@@ -1,0 +1,24 @@
+//! Ablation — Hybrid's bucketization vs SSO's score-sorted inserts at the
+//! same relaxation prefix. DESIGN.md: "Bucketization vs score-resorting
+//! (Hybrid's reason to exist)".
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flexpath::Algorithm;
+use flexpath_bench::{bench_session, run_once, XQ3};
+
+fn ablation(c: &mut Criterion) {
+    let flex = bench_session(2 << 20);
+    let mut group = c.benchmark_group("ablation_buckets");
+    group.sample_size(10);
+    for k in [100usize, 600] {
+        for alg in [Algorithm::Sso, Algorithm::Hybrid] {
+            group.bench_with_input(BenchmarkId::new(alg.to_string(), k), &k, |b, &k| {
+                b.iter(|| run_once(&flex, XQ3, k, alg, 1));
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, ablation);
+criterion_main!(benches);

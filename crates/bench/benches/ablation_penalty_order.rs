@@ -1,0 +1,19 @@
+//! Ablation — does DPO's penalty ordering matter? Runs the DPO round loop
+//! with the schedule in penalty order vs reversed (see
+//! `flexpath_bench::harness::ablations::penalty_order` for the one-shot
+//! variant with full statistics).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use flexpath_bench::harness::run_figure;
+
+fn ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_penalty_order");
+    group.sample_size(10);
+    group.bench_function("penalty_vs_reversed", |b| {
+        b.iter(|| run_figure("ablation_penalty_order", 0.05, 1));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, ablation);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Ablation — the threshold (maxScoreGrowth) pruning. Compares a normal
+//! small-K Hybrid run against a run whose K is so large the threshold never
+//! binds, isolating pruning's effect on intermediate bookkeeping.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flexpath::Algorithm;
+use flexpath_bench::{bench_session, run_once, XQ2};
+
+fn ablation(c: &mut Criterion) {
+    let flex = bench_session(2 << 20);
+    let mut group = c.benchmark_group("ablation_pruning");
+    group.sample_size(10);
+    group.bench_function(BenchmarkId::new("pruned", 25), |b| {
+        b.iter(|| run_once(&flex, XQ2, 25, Algorithm::Hybrid, 1));
+    });
+    group.bench_function(BenchmarkId::new("unpruned", "all"), |b| {
+        b.iter(|| run_once(&flex, XQ2, usize::MAX / 4, Algorithm::Hybrid, 1));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, ablation);
+criterion_main!(benches);

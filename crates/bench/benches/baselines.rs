@@ -1,0 +1,17 @@
+//! Related-work baselines (Section 7's three evaluation strategies) against
+//! DPO/SSO/Hybrid on the same workload.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use flexpath_bench::harness::run_figure;
+
+fn baselines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("baselines");
+    group.sample_size(10);
+    group.bench_function("all_strategies", |b| {
+        b.iter(|| run_figure("baselines", 0.05, 1));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, baselines);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Figure 9 — varying the number of relaxations (paper: 1 MB, K = 50,
+//! queries Q1/Q2/Q3 admitting 0/2/6 relaxations): DPO vs SSO.
+//!
+//! Expected shape: DPO ≈ SSO for Q1 (no relaxation needed); SSO pulls ahead
+//! as relaxation count grows, because DPO pays one full evaluation per
+//! relaxation round.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flexpath::Algorithm;
+use flexpath_bench::{bench_session, run_once, QUERIES};
+
+fn fig09(c: &mut Criterion) {
+    let flex = bench_session(1 << 20);
+    let mut group = c.benchmark_group("fig09_relaxations");
+    group.sample_size(10);
+    for (name, query) in QUERIES {
+        for alg in [Algorithm::Dpo, Algorithm::Sso] {
+            group.bench_with_input(
+                BenchmarkId::new(alg.to_string(), name),
+                &query,
+                |b, q| {
+                    b.iter(|| run_once(&flex, q, 50, alg, 1));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig09);
+criterion_main!(benches);

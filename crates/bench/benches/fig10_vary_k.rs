@@ -1,0 +1,26 @@
+//! Figure 10 — varying K (paper: 10 MB, Q3, K ∈ [50, 600]): DPO vs SSO.
+//!
+//! Expected shape: equal at small K (no relaxation needed); SSO's pruning
+//! makes it increasingly superior as K grows (paper reports up to 68%
+//! improvement at K = 600).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flexpath::Algorithm;
+use flexpath_bench::{bench_session, run_once, XQ3};
+
+fn fig10(c: &mut Criterion) {
+    let flex = bench_session(2 << 20);
+    let mut group = c.benchmark_group("fig10_vary_k");
+    group.sample_size(10);
+    for k in [50usize, 200, 400, 600] {
+        for alg in [Algorithm::Dpo, Algorithm::Sso] {
+            group.bench_with_input(BenchmarkId::new(alg.to_string(), k), &k, |b, &k| {
+                b.iter(|| run_once(&flex, XQ3, k, alg, 1));
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig10);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Figure 11 — varying document size at small K (paper: 1–100 MB, Q2,
+//! K = 12): DPO vs SSO.
+//!
+//! Expected shape: near-identical curves — at K = 12 relaxation is rarely
+//! needed, so both algorithms do one exact evaluation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flexpath::Algorithm;
+use flexpath_bench::{bench_session, run_once, XQ2};
+
+fn fig11(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig11_docsize_k12");
+    group.sample_size(10);
+    for kb in [256usize, 1024, 4096] {
+        let flex = bench_session(kb * 1024);
+        for alg in [Algorithm::Dpo, Algorithm::Sso] {
+            group.bench_with_input(
+                BenchmarkId::new(alg.to_string(), format!("{kb}KB")),
+                &kb,
+                |b, _| {
+                    b.iter(|| run_once(&flex, XQ2, 12, alg, 1));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig11);
+criterion_main!(benches);

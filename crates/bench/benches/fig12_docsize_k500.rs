@@ -1,0 +1,31 @@
+//! Figure 12 — varying document size at large K (paper: 1–100 MB, Q2,
+//! K = 500): DPO vs SSO.
+//!
+//! Expected shape: with K large, relaxations are needed; intermediate
+//! result counts grow with document size, and SSO's single encoded pass +
+//! pruning beats DPO's repeated rounds by a growing margin.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flexpath::Algorithm;
+use flexpath_bench::{bench_session, run_once, XQ2};
+
+fn fig12(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig12_docsize_k500");
+    group.sample_size(10);
+    for kb in [256usize, 1024, 4096] {
+        let flex = bench_session(kb * 1024);
+        for alg in [Algorithm::Dpo, Algorithm::Sso] {
+            group.bench_with_input(
+                BenchmarkId::new(alg.to_string(), format!("{kb}KB")),
+                &kb,
+                |b, _| {
+                    b.iter(|| run_once(&flex, XQ2, 500, alg, 1));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig12);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Figure 13 — varying the number of relaxations (paper: 10 MB, K = 500):
+//! SSO vs Hybrid.
+//!
+//! Expected shape: Hybrid consistently at or below SSO, with the gap
+//! opening as relaxation count grows (more intermediate answers → more
+//! score-sorted inserts for SSO, still zero for Hybrid).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flexpath::Algorithm;
+use flexpath_bench::{bench_session, run_once, QUERIES};
+
+fn fig13(c: &mut Criterion) {
+    let flex = bench_session(2 << 20);
+    let mut group = c.benchmark_group("fig13_sso_hybrid_relax");
+    group.sample_size(10);
+    for (name, query) in QUERIES {
+        for alg in [Algorithm::Sso, Algorithm::Hybrid] {
+            group.bench_with_input(
+                BenchmarkId::new(alg.to_string(), name),
+                &query,
+                |b, q| {
+                    b.iter(|| run_once(&flex, q, 500, alg, 1));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig13);
+criterion_main!(benches);

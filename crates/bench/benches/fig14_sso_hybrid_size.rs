@@ -1,0 +1,27 @@
+//! Figure 14 — varying document size (paper: 1–100 MB, Q3, K = 500):
+//! SSO vs Hybrid.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flexpath::Algorithm;
+use flexpath_bench::{bench_session, run_once, XQ3};
+
+fn fig14(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig14_sso_hybrid_size");
+    group.sample_size(10);
+    for kb in [256usize, 1024, 4096] {
+        let flex = bench_session(kb * 1024);
+        for alg in [Algorithm::Sso, Algorithm::Hybrid] {
+            group.bench_with_input(
+                BenchmarkId::new(alg.to_string(), format!("{kb}KB")),
+                &kb,
+                |b, _| {
+                    b.iter(|| run_once(&flex, XQ3, 500, alg, 1));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig14);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Figure 15 — varying K on the mid-size document (paper: 10 MB, Q3):
+//! SSO vs Hybrid.
+//!
+//! Expected shape: "SSO is more sensitive to the value of K than Hybrid
+//! because the size of intermediate answers that need to be resorted
+//! depends on K."
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flexpath::Algorithm;
+use flexpath_bench::{bench_session, run_once, XQ3};
+
+fn fig15(c: &mut Criterion) {
+    let flex = bench_session(2 << 20);
+    let mut group = c.benchmark_group("fig15_vary_k_10mb");
+    group.sample_size(10);
+    for k in [50usize, 200, 400, 600] {
+        for alg in [Algorithm::Sso, Algorithm::Hybrid] {
+            group.bench_with_input(BenchmarkId::new(alg.to_string(), k), &k, |b, &k| {
+                b.iter(|| run_once(&flex, XQ3, k, alg, 1));
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig15);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Figure 16 — varying K on the large document (paper: 100 MB, Q3):
+//! SSO vs Hybrid. The criterion target uses an 8 MB stand-in; run
+//! `repro fig16 --scale 1.0` for the paper-scale sweep.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flexpath::Algorithm;
+use flexpath_bench::{bench_session, run_once, XQ3};
+
+fn fig16(c: &mut Criterion) {
+    let flex = bench_session(8 << 20);
+    let mut group = c.benchmark_group("fig16_vary_k_100mb");
+    group.sample_size(10);
+    for k in [50usize, 300, 600] {
+        for alg in [Algorithm::Sso, Algorithm::Hybrid] {
+            group.bench_with_input(BenchmarkId::new(alg.to_string(), k), &k, |b, &k| {
+                b.iter(|| run_once(&flex, XQ3, k, alg, 1));
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig16);
+criterion_main!(benches);

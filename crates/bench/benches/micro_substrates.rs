@@ -1,0 +1,72 @@
+//! Micro-benchmarks for the substrates the paper's system is built on:
+//! XML parsing, statistics collection, inverted-index construction,
+//! structural joins, full-text evaluation, closure computation, and
+//! relaxation-schedule construction.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use flexpath_bench::bench_config;
+use flexpath_engine::{
+    build_schedule, stack_tree_desc, EngineContext, PenaltyModel, WeightAssignment,
+};
+use flexpath_ftsearch::{FtExpr, InvertedIndex, ScoringModel};
+use flexpath_tpq::parse_query;
+use flexpath_xmark::generate;
+use flexpath_xmldom::{parse, parse_events, to_xml_string, DocStats, FnSink, ParseOptions, XmlEvent};
+
+fn micro(c: &mut Criterion) {
+    let doc = generate(&bench_config(1 << 20));
+    let xml = to_xml_string(&doc);
+    let mut group = c.benchmark_group("micro_substrates");
+    group.sample_size(10);
+
+    group.bench_function("xml_parse_1mb", |b| {
+        b.iter(|| parse(&xml).unwrap().node_count())
+    });
+    group.bench_function("xml_parse_events_1mb", |b| {
+        b.iter(|| {
+            let mut elements = 0usize;
+            let mut sink = FnSink(|ev: XmlEvent<'_>| {
+                if matches!(ev, XmlEvent::StartElement { .. }) {
+                    elements += 1;
+                }
+            });
+            parse_events(&xml, ParseOptions::default(), &mut sink).unwrap();
+            let FnSink(_) = sink;
+            elements
+        })
+    });
+    group.bench_function("doc_stats_1mb", |b| b.iter(|| DocStats::compute(&doc)));
+    group.bench_function("inverted_index_1mb", |b| {
+        b.iter(|| InvertedIndex::build(&doc).term_count())
+    });
+
+    let items = doc.nodes_with_tag_name("item").to_vec();
+    let texts = doc.nodes_with_tag_name("text").to_vec();
+    group.bench_function("structural_join_item_text", |b| {
+        b.iter(|| stack_tree_desc(&doc, &items, &texts).len())
+    });
+
+    let ctx = EngineContext::new(doc.clone());
+    let gold = FtExpr::parse("\"vintage\" and \"gold\"").unwrap();
+    group.bench_function("ft_eval_conjunction", |b| {
+        b.iter(|| ctx.index().evaluate(ctx.doc(), &gold).len())
+    });
+    group.bench_function("ft_eval_conjunction_bm25", |b| {
+        b.iter(|| {
+            ctx.index()
+                .evaluate_with(ctx.doc(), &gold, ScoringModel::bm25())
+                .len()
+        })
+    });
+
+    let q3 = parse_query(flexpath_bench::XQ3).unwrap();
+    group.bench_function("closure_q3", |b| b.iter(|| q3.closure().len()));
+    let model = PenaltyModel::new(&q3, WeightAssignment::uniform());
+    group.bench_function("schedule_q3", |b| {
+        b.iter(|| build_schedule(&ctx, &model, &q3, 64).len())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, micro);
+criterion_main!(benches);

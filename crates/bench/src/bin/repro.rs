@@ -1,0 +1,103 @@
+//! One-shot reproduction driver for the paper's figures.
+//!
+//! ```text
+//! repro all                      # every figure, CI scale (0.1 × paper sizes)
+//! repro fig10 fig15              # selected figures
+//! repro all --scale 1.0          # paper-scale document sizes (1–100 MB)
+//! repro all --repeats 5          # median of 5 runs per cell
+//! repro all --json out.json      # also dump machine-readable series
+//! repro --list                   # list figure ids
+//! ```
+//!
+//! Figures run in parallel (one worker per figure, bounded by available
+//! parallelism) since each builds its own documents and sessions.
+
+use flexpath_bench::harness::{run_figure, FIGURES};
+use flexpath_bench::report::{render_json, render_table};
+use parking_lot::Mutex;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut figures: Vec<String> = Vec::new();
+    let mut scale = 0.1f64;
+    let mut repeats = 3usize;
+    let mut json_path: Option<String> = None;
+    let mut parallel = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--list" => {
+                for f in FIGURES {
+                    println!("{:<24} {}", f.id, f.title);
+                }
+                return;
+            }
+            "--scale" => {
+                i += 1;
+                scale = args.get(i).and_then(|s| s.parse().ok()).unwrap_or(scale);
+            }
+            "--repeats" => {
+                i += 1;
+                repeats = args.get(i).and_then(|s| s.parse().ok()).unwrap_or(repeats);
+            }
+            "--json" => {
+                i += 1;
+                json_path = args.get(i).cloned();
+            }
+            "--parallel" => parallel = true,
+            "all" => figures.extend(FIGURES.iter().map(|f| f.id.to_string())),
+            other => figures.push(other.to_string()),
+        }
+        i += 1;
+    }
+    if figures.is_empty() {
+        eprintln!("usage: repro <all|figNN|ablation_*>... [--scale F] [--repeats N] [--json PATH] [--parallel]");
+        eprintln!("       repro --list");
+        std::process::exit(2);
+    }
+    figures.dedup();
+
+    println!(
+        "reproducing {} figure(s) at scale {scale} ({} repeats per cell)\n",
+        figures.len(),
+        repeats
+    );
+
+    let results = Mutex::new(Vec::new());
+    // Serial by default: timing figures on a shared machine contend with
+    // each other; --parallel trades timing fidelity for wall-clock.
+    let workers = if parallel {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(2)
+            .min(figures.len().max(1))
+    } else {
+        1
+    };
+    let queue = Mutex::new(figures.clone());
+    crossbeam::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|_| loop {
+                let next = queue.lock().pop();
+                let Some(id) = next else { break };
+                match run_figure(&id, scale, repeats) {
+                    Some(series) => {
+                        println!("{}\n", render_table(&series));
+                        results.lock().push(series);
+                    }
+                    None => eprintln!("unknown figure id: {id} (try --list)"),
+                }
+            });
+        }
+    })
+    .expect("benchmark workers do not panic");
+
+    let mut all = results.into_inner();
+    all.sort_by(|a, b| a.id.cmp(&b.id));
+    if let Some(path) = json_path {
+        let body: Vec<String> = all.iter().map(render_json).collect();
+        let json = format!("[{}]", body.join(","));
+        std::fs::write(&path, json).expect("json output writable");
+        println!("wrote {path}");
+    }
+}

@@ -1,0 +1,24 @@
+//! # flexpath-bench
+//!
+//! Benchmark harness regenerating **every figure of the FleXPath
+//! evaluation** (paper Section 6, Figures 9–16), plus ablation benches for
+//! the design decisions called out in DESIGN.md.
+//!
+//! Two front ends share this library:
+//!
+//! * `cargo bench -p flexpath-bench` — criterion micro/meso benchmarks, one
+//!   target per figure, at CI-friendly document sizes;
+//! * `cargo run --release -p flexpath-bench --bin repro -- <figure|all>
+//!   [--scale F]` — one-shot reproduction runs that print the same series
+//!   the paper plots (and can be scaled up to the paper's 1–100 MB range).
+//!
+//! Absolute numbers are not comparable to the paper's 2 GHz Pentium 4; the
+//! *shapes* are what EXPERIMENTS.md tracks: who wins, how gaps grow with
+//! relaxation count / K / document size, and where the algorithms tie.
+
+pub mod harness;
+pub mod report;
+pub mod workload;
+
+pub use harness::{run_figure, run_once, FigureSpec, RunRecord, Series};
+pub use workload::{bench_config, bench_session, QUERIES, XQ1, XQ2, XQ3};

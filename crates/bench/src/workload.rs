@@ -1,0 +1,95 @@
+//! The benchmark workload: XMark-style documents calibrated so the paper's
+//! queries exhibit the paper's relaxation behaviour.
+//!
+//! Section 6 reports that, at K = 50 on a 1 MB document, Q1 needs no
+//! relaxation while Q2 admits 2 and Q3 admits 6. Relaxation demand depends
+//! on how selective the exact queries are, so the generator probabilities
+//! here are tuned to keep XQ2/XQ3 selective: sparse `parlist`s, sparse
+//! mailboxes, and independent ~40% inline markup make
+//! `text[./bold and ./keyword and ./emph]` a rare exact configuration.
+
+use flexpath::FleXPath;
+use flexpath_xmark::{generate, XmarkConfig};
+
+/// The paper's three benchmark queries (Section 6).
+pub const XQ1: &str = "//item[./description/parlist]";
+/// Q2 of Section 6.
+pub const XQ2: &str = "//item[./description/parlist and ./mailbox/mail/text]";
+/// Q3 of Section 6.
+pub const XQ3: &str = "//item[./description/parlist/listitem and ./mailbox/mail/text[./bold and ./keyword and ./emph] and ./name and ./incategory]";
+
+/// `(name, xpath)` pairs in increasing relaxation-opportunity order.
+pub const QUERIES: [(&str, &str); 3] = [("Q1", XQ1), ("Q2", XQ2), ("Q3", XQ3)];
+
+/// Generator configuration used by every benchmark (fixed seed: benchmarks
+/// must be reproducible).
+pub fn bench_config(target_bytes: usize) -> XmarkConfig {
+    XmarkConfig {
+        target_bytes,
+        seed: 0x0000_BEC5,
+        parlist_prob: 0.28,
+        nested_parlist_prob: 0.30,
+        max_parlist_depth: 3,
+        incategory_zero_prob: 0.40,
+        max_incategory: 2,
+        max_mail: 2,
+        inline_prob: 0.33,
+        zipf_exponent: 1.0,
+    }
+}
+
+/// Generates the document and preprocesses a FleXPath session for it.
+pub fn bench_session(target_bytes: usize) -> FleXPath {
+    FleXPath::new(generate(&bench_config(target_bytes)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn queries_parse() {
+        for (_, q) in QUERIES {
+            flexpath::parse_query(q).unwrap();
+        }
+    }
+
+    #[test]
+    fn calibration_orders_selectivity() {
+        // Q3 must be (much) more selective than Q2, which is more selective
+        // than Q1 — that ordering is what creates the paper's 0/2/6
+        // relaxation ladder.
+        let flex = bench_session(256 * 1024);
+        let count = |q: &str| {
+            flex.query(q)
+                .unwrap()
+                .top(100_000)
+                .max_relaxations(0)
+                .execute()
+                .hits
+                .len()
+        };
+        let (c1, c2, c3) = (count(XQ1), count(XQ2), count(XQ3));
+        assert!(c1 > c2, "Q1 ({c1}) should be less selective than Q2 ({c2})");
+        assert!(c2 > c3, "Q2 ({c2}) should be less selective than Q3 ({c3})");
+        assert!(c3 >= 1, "Q3 must still have exact matches");
+    }
+
+    #[test]
+    fn relaxation_demand_matches_paper_ladder() {
+        // At K = 50 on ~1 MB: Q1 should need no relaxation; Q3 should need
+        // several.
+        let flex = bench_session(1 << 20);
+        let relaxations = |q: &str| {
+            flex.query(q)
+                .unwrap()
+                .top(50)
+                .algorithm(flexpath::Algorithm::Dpo)
+                .execute()
+                .stats
+                .relaxations_used
+        };
+        assert_eq!(relaxations(XQ1), 0, "Q1 needs no relaxation at K=50");
+        assert!(relaxations(XQ3) > relaxations(XQ1), "Q3 must need relaxation");
+    }
+}

@@ -1,0 +1,364 @@
+//! The FleXPath session and query-builder API.
+
+use flexpath_engine::{
+    dpo_topk, hybrid_topk, sso_topk, Algorithm, Answer, AttrRelaxation, EngineContext,
+    ExecStats, RankingScheme, TagHierarchy, TopKRequest, TopKResult, WeightAssignment,
+};
+use flexpath_ftsearch::{highlight, HighlightStyle, Thesaurus};
+use flexpath_tpq::{parse_query_weighted, QueryParseError, Tpq};
+use flexpath_xmldom::{parse as parse_xml, to_xml_string, Document, NodeId, ParseError};
+
+/// A FleXPath session over one document (collection).
+///
+/// Construction preprocesses the document once: structural statistics for
+/// penalties and selectivity estimation, plus the full-text inverted index.
+pub struct FleXPath {
+    ctx: EngineContext,
+}
+
+impl FleXPath {
+    /// Opens a session over an already-built document.
+    pub fn new(doc: Document) -> Self {
+        FleXPath {
+            ctx: EngineContext::new(doc),
+        }
+    }
+
+    /// Parses `xml` and opens a session over it.
+    pub fn from_xml(xml: &str) -> Result<Self, ParseError> {
+        Ok(Self::new(parse_xml(xml)?))
+    }
+
+    /// Opens a session over a *collection* of XML documents (the paper's
+    /// `D` is "an XML document collection"): each part becomes a child of a
+    /// synthetic `<collection>` root.
+    pub fn from_xml_parts<'a>(
+        parts: impl IntoIterator<Item = &'a str>,
+    ) -> Result<Self, ParseError> {
+        let mut glued = String::from("<collection>");
+        for p in parts {
+            glued.push_str(p);
+        }
+        glued.push_str("</collection>");
+        Self::from_xml(&glued)
+    }
+
+    /// The underlying engine context (document, stats, index).
+    pub fn context(&self) -> &EngineContext {
+        &self.ctx
+    }
+
+    /// The document.
+    pub fn document(&self) -> &Document {
+        self.ctx.doc()
+    }
+
+    /// Starts a top-K query from an XPath-subset string. `^<weight>`
+    /// annotations on steps / contains predicates become weight overrides
+    /// (paper Section 4.1: "this weight may be user-specified").
+    pub fn query(&self, xpath: &str) -> Result<TopKQuery<'_>, QueryParseError> {
+        let (tpq, overrides) = parse_query_weighted(xpath)?;
+        let mut q = self.query_tpq(tpq);
+        if !overrides.is_empty() {
+            let mut weights = WeightAssignment::uniform();
+            for (pred, w) in overrides {
+                weights = weights.with_override(pred, w);
+            }
+            q.request.weights = weights;
+        }
+        Ok(q)
+    }
+
+    /// Starts a top-K query from a programmatically built [`Tpq`].
+    pub fn query_tpq(&self, tpq: Tpq) -> TopKQuery<'_> {
+        TopKQuery {
+            flex: self,
+            request: TopKRequest::new(tpq, 10),
+            algorithm: Algorithm::Hybrid,
+            thesaurus: None,
+        }
+    }
+
+    /// Serializes the subtree of an answer node (useful for display).
+    pub fn xml_of(&self, node: NodeId) -> String {
+        let mut out = String::new();
+        flexpath_xmldom::write_xml(self.ctx.doc(), node, &mut out);
+        out
+    }
+
+    /// A short text snippet of an answer node's content.
+    pub fn snippet(&self, node: NodeId, max_chars: usize) -> String {
+        let text = self.ctx.doc().subtree_text(node);
+        let mut s: String = text.chars().take(max_chars).collect();
+        if text.chars().count() > max_chars {
+            s.push('…');
+        }
+        s
+    }
+
+    /// Serializes the full document.
+    pub fn document_xml(&self) -> String {
+        to_xml_string(self.ctx.doc())
+    }
+
+    /// A snippet of an answer with the query's keywords highlighted
+    /// (stem-aware; `**…**` markers by default).
+    pub fn highlight(&self, node: NodeId, query: &Tpq) -> String {
+        self.highlight_styled(node, query, &HighlightStyle::default())
+    }
+
+    /// [`highlight`](Self::highlight) with custom markers / snippet length.
+    pub fn highlight_styled(
+        &self,
+        node: NodeId,
+        query: &Tpq,
+        style: &HighlightStyle,
+    ) -> String {
+        // Union all the query's contains expressions into one for marking.
+        let exprs: Vec<_> = query
+            .nodes()
+            .iter()
+            .flat_map(|n| n.contains.iter().cloned())
+            .collect();
+        if exprs.is_empty() {
+            return self.snippet(node, style.max_chars.max(1));
+        }
+        let combined = if exprs.len() == 1 {
+            exprs.into_iter().next().expect("len checked")
+        } else {
+            flexpath_ftsearch::FtExpr::Or(exprs)
+        };
+        highlight(self.ctx.doc(), node, &combined, style)
+    }
+
+    /// Human-readable path of a node (`/collection/article[3]/section`).
+    pub fn path_of(&self, node: NodeId) -> String {
+        self.ctx.doc().node_path(node)
+    }
+}
+
+/// A configurable top-K query (builder style).
+pub struct TopKQuery<'a> {
+    flex: &'a FleXPath,
+    request: TopKRequest,
+    algorithm: Algorithm,
+    thesaurus: Option<Thesaurus>,
+}
+
+impl TopKQuery<'_> {
+    /// Sets K (default 10).
+    pub fn top(mut self, k: usize) -> Self {
+        self.request.k = k;
+        self
+    }
+
+    /// Chooses the top-K algorithm (default [`Algorithm::Hybrid`]).
+    pub fn algorithm(mut self, algorithm: Algorithm) -> Self {
+        self.algorithm = algorithm;
+        self
+    }
+
+    /// Chooses the ranking scheme (default structure-first).
+    pub fn scheme(mut self, scheme: RankingScheme) -> Self {
+        self.request.scheme = scheme;
+        self
+    }
+
+    /// Sets the predicate weight assignment (default uniform).
+    pub fn weights(mut self, weights: WeightAssignment) -> Self {
+        self.request.weights = weights;
+        self
+    }
+
+    /// Caps the number of relaxation steps considered.
+    pub fn max_relaxations(mut self, n: usize) -> Self {
+        self.request.max_relaxation_steps = n;
+        self
+    }
+
+    /// Attaches a type hierarchy, enabling tag relaxation (paper
+    /// Section 3.4: `article` may relax to any subtype of its declared
+    /// supertype, e.g. `publication`).
+    pub fn hierarchy(mut self, hierarchy: TagHierarchy) -> Self {
+        self.request.hierarchy = Some(hierarchy);
+        self
+    }
+
+    /// Attaches a thesaurus: every `contains` term expands to its synonym
+    /// ring before evaluation (paper Section 3.4's keyword relaxation,
+    /// "performed by a separate IR engine").
+    pub fn thesaurus(mut self, thesaurus: Thesaurus) -> Self {
+        self.thesaurus = Some(thesaurus);
+        self
+    }
+
+    /// Enables numeric attribute-bound slackening (paper Section 3.4:
+    /// `price ≤ 98` may match as `price ≤ 100`, at a data-derived penalty).
+    pub fn attr_relaxation(mut self, relaxation: AttrRelaxation) -> Self {
+        self.request.attr_relaxation = Some(relaxation);
+        self
+    }
+
+    /// The underlying request (for advanced use).
+    pub fn request(&self) -> &TopKRequest {
+        &self.request
+    }
+
+    /// Runs the query.
+    pub fn execute(&self) -> QueryResults {
+        let mut request = self.request.clone();
+        if let Some(t) = &self.thesaurus {
+            request.query = request.query.map_contains(|e| t.expand(e));
+        }
+        let result: TopKResult = match self.algorithm {
+            Algorithm::Dpo => dpo_topk(&self.flex.ctx, &request),
+            Algorithm::Sso => sso_topk(&self.flex.ctx, &request),
+            Algorithm::Hybrid => hybrid_topk(&self.flex.ctx, &request),
+        };
+        QueryResults {
+            hits: result.answers,
+            stats: result.stats,
+            algorithm: self.algorithm,
+        }
+    }
+}
+
+/// Ranked results of a top-K query.
+#[derive(Debug, Clone)]
+pub struct QueryResults {
+    /// Ranked answers, best first.
+    pub hits: Vec<Answer>,
+    /// Execution counters.
+    pub stats: ExecStats,
+    /// The algorithm that produced them.
+    pub algorithm: Algorithm,
+}
+
+impl QueryResults {
+    /// Answer nodes in rank order.
+    pub fn nodes(&self) -> Vec<NodeId> {
+        self.hits.iter().map(|h| h.node).collect()
+    }
+
+    /// Whether any answer required relaxation.
+    pub fn used_relaxation(&self) -> bool {
+        self.hits.iter().any(|h| h.relaxation_level > 0)
+            || self.stats.relaxations_used > 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CORPUS: &str = "<site>\
+        <article id=\"exact\"><section><algorithm>x</algorithm>\
+          <paragraph>XML streaming</paragraph></section></article>\
+        <article id=\"close\"><section><title>XML streaming</title>\
+          <algorithm>y</algorithm><paragraph>other</paragraph></section></article>\
+        <article id=\"loose\"><note>XML streaming</note></article>\
+        </site>";
+
+    const Q1: &str = "//article[./section[./algorithm and ./paragraph[.contains(\"XML\" and \"streaming\")]]]";
+
+    #[test]
+    fn session_end_to_end() {
+        let flex = FleXPath::from_xml(CORPUS).unwrap();
+        let results = flex.query(Q1).unwrap().top(3).execute();
+        assert_eq!(results.hits.len(), 3);
+        let id = flex.document().symbols().lookup("id").unwrap();
+        assert_eq!(
+            flex.document().attribute(results.hits[0].node, id),
+            Some("exact")
+        );
+        assert!(results.used_relaxation());
+    }
+
+    #[test]
+    fn all_three_algorithms_return_same_answer_set() {
+        let flex = FleXPath::from_xml(CORPUS).unwrap();
+        let mut sets = Vec::new();
+        for alg in [Algorithm::Dpo, Algorithm::Sso, Algorithm::Hybrid] {
+            let r = flex.query(Q1).unwrap().top(3).algorithm(alg).execute();
+            let mut nodes = r.nodes();
+            nodes.sort();
+            sets.push(nodes);
+        }
+        assert_eq!(sets[0], sets[1]);
+        assert_eq!(sets[1], sets[2]);
+    }
+
+    #[test]
+    fn exact_query_needs_no_relaxation() {
+        let flex = FleXPath::from_xml(CORPUS).unwrap();
+        let r = flex.query(Q1).unwrap().top(1).execute();
+        assert_eq!(r.hits.len(), 1);
+        assert_eq!(r.hits[0].relaxation_level, 0);
+        assert!(!r.used_relaxation());
+    }
+
+    #[test]
+    fn snippets_and_xml_render() {
+        let flex = FleXPath::from_xml(CORPUS).unwrap();
+        let r = flex.query(Q1).unwrap().top(1).execute();
+        let node = r.hits[0].node;
+        assert!(flex.xml_of(node).starts_with("<article"));
+        let short = flex.snippet(node, 5);
+        assert!(short.chars().count() <= 6); // 5 + ellipsis
+    }
+
+    #[test]
+    fn builder_options_apply() {
+        let flex = FleXPath::from_xml(CORPUS).unwrap();
+        let q = flex
+            .query(Q1)
+            .unwrap()
+            .top(2)
+            .scheme(RankingScheme::Combined)
+            .algorithm(Algorithm::Sso)
+            .max_relaxations(8);
+        assert_eq!(q.request().k, 2);
+        assert_eq!(q.request().scheme, RankingScheme::Combined);
+        assert_eq!(q.request().max_relaxation_steps, 8);
+        let r = q.execute();
+        assert_eq!(r.algorithm, Algorithm::Sso);
+        assert_eq!(r.hits.len(), 2);
+    }
+
+    #[test]
+    fn collections_glue_under_a_synthetic_root() {
+        let flex = FleXPath::from_xml_parts([
+            "<article><p>XML streaming a</p></article>",
+            "<article><p>XML streaming b</p></article>",
+        ])
+        .unwrap();
+        assert_eq!(
+            flex.document().tag_name(flex.document().root_element()),
+            Some("collection")
+        );
+        let r = flex
+            .query("//article[.contains(\"XML\")]")
+            .unwrap()
+            .top(5)
+            .execute();
+        assert_eq!(r.hits.len(), 2);
+    }
+
+    #[test]
+    fn highlighting_marks_query_keywords() {
+        let flex = FleXPath::from_xml(CORPUS).unwrap();
+        let q = flexpath_tpq::parse_query(Q1).unwrap();
+        let r = flex.query(Q1).unwrap().top(1).execute();
+        let hl = flex.highlight(r.hits[0].node, &q);
+        assert!(hl.contains("**XML**"), "{hl}");
+        assert!(hl.contains("**streaming**"), "{hl}");
+        assert!(flex.path_of(r.hits[0].node).starts_with("/site/article"));
+    }
+
+    #[test]
+    fn parse_errors_surface() {
+        let flex = FleXPath::from_xml(CORPUS).unwrap();
+        assert!(flex.query("not an xpath").is_err());
+        assert!(FleXPath::from_xml("<broken").is_err());
+    }
+}

@@ -1,0 +1,191 @@
+//! Shared evaluation context: document, statistics, inverted index, and a
+//! cache of full-text evaluations.
+//!
+//! Everything FleXPath's penalties and estimates need is precomputed here
+//! once per document (the paper: "we first do intensive pre-processing of
+//! the document in order to obtain counts of the various types of nodes and
+//! edges").
+
+use flexpath_ftsearch::{FtEval, FtExpr, InvertedIndex};
+use flexpath_xmldom::{Document, DocStats, NodeId, Sym};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Owns one document plus every auxiliary structure the engine needs.
+pub struct EngineContext {
+    doc: Document,
+    stats: DocStats,
+    index: InvertedIndex,
+    /// Memoized full-text evaluations, keyed by expression. Guarded by a
+    /// read-write lock so one context can serve queries from many threads.
+    ft_cache: RwLock<HashMap<FtExpr, Arc<FtEval>>>,
+}
+
+impl EngineContext {
+    /// Preprocesses `doc`: collects statistics and builds the inverted index.
+    pub fn new(doc: Document) -> Self {
+        let stats = DocStats::compute(&doc);
+        let index = InvertedIndex::build(&doc);
+        EngineContext {
+            doc,
+            stats,
+            index,
+            ft_cache: RwLock::new(HashMap::new()),
+        }
+    }
+
+    /// The document.
+    pub fn doc(&self) -> &Document {
+        &self.doc
+    }
+
+    /// Structural statistics (`#(t)`, `#pc`, `#ad`).
+    pub fn stats(&self) -> &DocStats {
+        &self.stats
+    }
+
+    /// The inverted index.
+    pub fn index(&self) -> &InvertedIndex {
+        &self.index
+    }
+
+    /// Evaluates (or recalls) a full-text expression. The result is shared:
+    /// the same `contains` expression appearing at several query nodes — or
+    /// across relaxation rounds — is evaluated once (the "optimize repeated
+    /// computation" goal of Section 1).
+    pub fn ft_eval(&self, expr: &FtExpr) -> Arc<FtEval> {
+        if let Some(hit) = self.ft_cache.read().get(expr) {
+            return hit.clone();
+        }
+        let eval = Arc::new(self.index.evaluate(&self.doc, expr));
+        self.ft_cache
+            .write()
+            .entry(expr.clone())
+            .or_insert(eval)
+            .clone()
+    }
+
+    /// Number of cached full-text evaluations (for tests/stats).
+    pub fn ft_cache_size(&self) -> usize {
+        self.ft_cache.read().len()
+    }
+
+    /// Resolves a query tag name against the document's symbol table.
+    pub fn resolve_tag(&self, name: &str) -> Option<Sym> {
+        self.doc.symbols().lookup(name)
+    }
+
+    /// Candidate elements with tag `tag` inside the subtree of `anchor`
+    /// (strict descendants), optionally restricted to direct children.
+    ///
+    /// Cost: one binary search into the document-ordered tag list plus the
+    /// size of the result range.
+    pub fn candidates_under(
+        &self,
+        tag: Option<Sym>,
+        anchor: NodeId,
+        children_only: bool,
+        out: &mut Vec<NodeId>,
+    ) {
+        out.clear();
+        match tag {
+            Some(tag) => {
+                let list = self.doc.nodes_with_tag(tag);
+                let last = self.doc.subtree_last(anchor);
+                let lo = list.partition_point(|&n| n <= anchor);
+                for &n in &list[lo..] {
+                    if n > last {
+                        break;
+                    }
+                    if !children_only || self.doc.is_parent(anchor, n) {
+                        out.push(n);
+                    }
+                }
+            }
+            None => {
+                // Wildcard: scan the subtree.
+                for n in self.doc.descendants(anchor) {
+                    if !self.doc.is_element(n) {
+                        continue;
+                    }
+                    if !children_only || self.doc.is_parent(anchor, n) {
+                        out.push(n);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexpath_xmldom::parse;
+
+    fn ctx(xml: &str) -> EngineContext {
+        EngineContext::new(parse(xml).unwrap())
+    }
+
+    #[test]
+    fn preprocessing_populates_stats_and_index() {
+        let c = ctx("<a><b>gold</b><b>silver</b></a>");
+        let b = c.resolve_tag("b").unwrap();
+        assert_eq!(c.stats().tag_count(b), 2);
+        assert_eq!(c.index().df("gold"), 1);
+    }
+
+    #[test]
+    fn ft_eval_is_cached() {
+        let c = ctx("<a><b>gold</b></a>");
+        let e = FtExpr::term("gold");
+        let first = c.ft_eval(&e);
+        let second = c.ft_eval(&e);
+        assert!(std::sync::Arc::ptr_eq(&first, &second));
+        assert_eq!(c.ft_cache_size(), 1);
+    }
+
+    #[test]
+    fn candidates_under_descendants_and_children() {
+        let c = ctx("<a><b/><c><b/><b/></c></a>");
+        let root = c.doc().root_element();
+        let b = c.resolve_tag("b");
+        let mut out = Vec::new();
+        c.candidates_under(b, root, false, &mut out);
+        assert_eq!(out.len(), 3);
+        c.candidates_under(b, root, true, &mut out);
+        assert_eq!(out.len(), 1);
+        let c_node = c.doc().nodes_with_tag_name("c")[0];
+        c.candidates_under(b, c_node, true, &mut out);
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn wildcard_candidates_cover_all_elements() {
+        let c = ctx("<a><b/><c><d/></c></a>");
+        let root = c.doc().root_element();
+        let mut out = Vec::new();
+        c.candidates_under(None, root, false, &mut out);
+        assert_eq!(out.len(), 3); // b, c, d — not the anchor itself
+        c.candidates_under(None, root, true, &mut out);
+        assert_eq!(out.len(), 2); // b, c
+    }
+
+    #[test]
+    fn candidates_exclude_anchor_itself() {
+        // Recursive tags: anchor must not match itself.
+        let c = ctx("<p><p/></p>");
+        let p = c.resolve_tag("p");
+        let root = c.doc().root_element();
+        let mut out = Vec::new();
+        c.candidates_under(p, root, false, &mut out);
+        assert_eq!(out.len(), 1);
+        assert_ne!(out[0], root);
+    }
+
+    #[test]
+    fn unknown_tag_resolves_to_none() {
+        let c = ctx("<a/>");
+        assert!(c.resolve_tag("nope").is_none());
+    }
+}

@@ -1,0 +1,248 @@
+//! DPO — Dynamic Penalty Order (paper Section 5.1.1).
+//!
+//! DPO is the *rewriting* strategy: it evaluates the user query, and while
+//! fewer than K answers have been produced it applies the next-cheapest
+//! relaxation step and re-evaluates. Its strengths (usable with an
+//! off-the-shelf XPath engine; answers arrive already grouped by score so
+//! no resorting is needed; exact answer counts, no estimates) and weakness
+//! (repeated passes over the data, one evaluation per relaxation round) are
+//! both faithfully reproduced.
+//!
+//! Recomputation avoidance (Section 5.2.2): answers found in earlier rounds
+//! are remembered and skipped, so each round only surfaces the *delta* its
+//! relaxation admitted.
+
+use crate::context::EngineContext;
+use crate::encode::EncodedQuery;
+use crate::exec::evaluate_encoded;
+use crate::schedule::build_schedule;
+use crate::score::{PenaltyModel, RankingScheme};
+use crate::topk::{sort_answers, Answer, ExecStats, TopKRequest, TopKResult};
+use std::collections::HashSet;
+
+/// Runs the DPO top-K algorithm.
+pub fn dpo_topk(ctx: &EngineContext, request: &TopKRequest) -> TopKResult {
+    let model = PenaltyModel::new(&request.query, request.weights.clone());
+    let schedule = build_schedule(ctx, &model, &request.query, request.max_relaxation_steps);
+    let base_ss = model.base_structural_score(&request.query);
+    let m = request.query.contains_count() as f64; // Combined-scheme bound
+
+    let mut stats = ExecStats::default();
+    let mut answers: Vec<Answer> = Vec::new();
+    let mut seen: HashSet<flexpath_xmldom::NodeId> = HashSet::new();
+    // The structural score at which we had ≥ K answers (Combined pruning).
+    let mut ss_at_k: Option<f64> = None;
+
+    for round in 0..=schedule.len() {
+        let round_query = if round == 0 {
+            request.query.clone()
+        } else {
+            schedule[round - 1].query.clone()
+        };
+        let round_ss = if round == 0 {
+            base_ss
+        } else {
+            schedule[round - 1].ss_after
+        };
+
+        // Stop before evaluating a round that cannot contribute to the
+        // top K.
+        if answers.len() >= request.k {
+            match request.scheme {
+                RankingScheme::StructureFirst => {
+                    // Later rounds have ss ≤ previous; only exact ties could
+                    // still matter, and the schedule's penalties are ≥ 0, so
+                    // a strictly lower ss ends the search.
+                    let kth_ss = answers[..].iter().map(|a| a.score.ss).fold(f64::MAX, f64::min);
+                    if round_ss < kth_ss {
+                        break;
+                    }
+                }
+                RankingScheme::Combined => {
+                    // Section 5.1: no answer of a relaxation with
+                    // ss_j ≤ ss_i − m can reach the top K (ks ≤ m).
+                    if let Some(ssk) = ss_at_k {
+                        if round_ss <= ssk - m {
+                            break;
+                        }
+                    }
+                }
+                RankingScheme::KeywordFirst => {
+                    // "All relaxations need to be encoded": an answer with
+                    // the worst structural score might still lead on ks.
+                }
+            }
+        }
+
+        // Evaluate this round's query exactly (the off-the-shelf-engine
+        // path), skipping answers already produced by earlier rounds.
+        let enc = EncodedQuery::build_full(
+            ctx,
+            &model,
+            &round_query,
+            &[],
+            request.hierarchy.as_ref(),
+            request.attr_relaxation,
+        );
+        stats.evaluations += 1;
+        stats.relaxations_used = round;
+        evaluate_encoded(ctx, &enc, request.scheme, |a| {
+            stats.intermediate_answers += 1;
+            if seen.insert(a.node) {
+                // With the hierarchy extension the per-answer score already
+                // reflects unsatisfied exact-tag predicates; carry that
+                // deficit over to the round's compile-time score.
+                let tag_deficit = enc.base_ss - a.score.ss;
+                answers.push(Answer {
+                    node: a.node,
+                    score: crate::score::AnswerScore {
+                        ss: round_ss - tag_deficit,
+                        ks: a.score.ks,
+                    },
+                    satisfied: a.satisfied,
+                    relaxation_level: round,
+                });
+            }
+        });
+
+        if answers.len() >= request.k && ss_at_k.is_none() {
+            ss_at_k = Some(round_ss);
+            if request.scheme == RankingScheme::StructureFirst {
+                // Answers of strictly later rounds score strictly lower (or
+                // tie — handled by the loop guard above).
+                if round == schedule.len() {
+                    break;
+                }
+            }
+        }
+    }
+
+    sort_answers(&mut answers, request.scheme);
+    answers.truncate(request.k);
+    TopKResult { answers, stats }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topk::TopKRequest;
+    use flexpath_ftsearch::FtExpr;
+    use flexpath_tpq::TpqBuilder;
+    use flexpath_xmldom::parse;
+
+    const ARTICLES: &str = "<site>\
+        <article id=\"a0\"><section><algorithm>x</algorithm>\
+          <paragraph>XML streaming</paragraph></section></article>\
+        <article id=\"a1\"><section><title>XML streaming</title>\
+          <algorithm>y</algorithm><paragraph>other</paragraph></section></article>\
+        <article id=\"a2\"><section><wrap><paragraph>XML streaming</paragraph></wrap>\
+          </section><algorithm>z</algorithm></article>\
+        <article id=\"a3\"><note>XML streaming</note></article>\
+        <article id=\"a4\"><section><paragraph>nothing here</paragraph></section></article>\
+        </site>";
+
+    fn q1() -> flexpath_tpq::Tpq {
+        let mut b = TpqBuilder::new("article");
+        let s = b.child(0, "section");
+        let _a = b.child(s, "algorithm");
+        let p = b.child(s, "paragraph");
+        b.add_contains(p, FtExpr::all_of(&["XML", "streaming"]));
+        b.build()
+    }
+
+    fn label(ctx: &EngineContext, a: &Answer) -> String {
+        let id = ctx.resolve_tag("id").unwrap();
+        ctx.doc().attribute(a.node, id).unwrap_or("?").to_string()
+    }
+
+    #[test]
+    fn k1_stops_after_exact_round() {
+        let ctx = EngineContext::new(parse(ARTICLES).unwrap());
+        let r = dpo_topk(&ctx, &TopKRequest::new(q1(), 1));
+        assert_eq!(r.answers.len(), 1);
+        assert_eq!(label(&ctx, &r.answers[0]), "a0");
+        assert_eq!(r.stats.evaluations, 1, "no relaxation needed for K=1");
+        assert_eq!(r.answers[0].relaxation_level, 0);
+    }
+
+    #[test]
+    fn relaxation_rounds_admit_more_answers_in_score_order() {
+        let ctx = EngineContext::new(parse(ARTICLES).unwrap());
+        let r = dpo_topk(&ctx, &TopKRequest::new(q1(), 4));
+        assert_eq!(r.answers.len(), 4);
+        // Exact answer first; scores non-increasing.
+        assert_eq!(label(&ctx, &r.answers[0]), "a0");
+        for w in r.answers.windows(2) {
+            assert!(w[0].score.ss >= w[1].score.ss - 1e-12);
+        }
+        assert!(r.stats.evaluations > 1);
+        // Relaxation levels are non-decreasing with rank under
+        // structure-first.
+        for w in r.answers.windows(2) {
+            assert!(w[0].relaxation_level <= w[1].relaxation_level);
+        }
+    }
+
+    #[test]
+    fn k_larger_than_answer_universe_returns_everything() {
+        let ctx = EngineContext::new(parse(ARTICLES).unwrap());
+        let r = dpo_topk(&ctx, &TopKRequest::new(q1(), 50));
+        // a4 never satisfies the contains; 4 answers max.
+        assert_eq!(r.answers.len(), 4);
+    }
+
+    #[test]
+    fn answers_are_not_duplicated_across_rounds() {
+        let ctx = EngineContext::new(parse(ARTICLES).unwrap());
+        let r = dpo_topk(&ctx, &TopKRequest::new(q1(), 10));
+        let mut nodes: Vec<_> = r.answers.iter().map(|a| a.node).collect();
+        let before = nodes.len();
+        nodes.sort();
+        nodes.dedup();
+        assert_eq!(nodes.len(), before);
+    }
+
+    #[test]
+    fn more_relaxations_needed_for_larger_k() {
+        let ctx = EngineContext::new(parse(ARTICLES).unwrap());
+        let r1 = dpo_topk(&ctx, &TopKRequest::new(q1(), 1));
+        let r4 = dpo_topk(&ctx, &TopKRequest::new(q1(), 4));
+        assert!(r4.stats.relaxations_used > r1.stats.relaxations_used);
+        assert!(r4.stats.evaluations > r1.stats.evaluations);
+    }
+
+    #[test]
+    fn combined_scheme_returns_k_answers() {
+        let ctx = EngineContext::new(parse(ARTICLES).unwrap());
+        let r = dpo_topk(
+            &ctx,
+            &TopKRequest::new(q1(), 3).with_scheme(RankingScheme::Combined),
+        );
+        assert_eq!(r.answers.len(), 3);
+        for w in r.answers.windows(2) {
+            let a = w[0].score.ss + w[0].score.ks;
+            let b = w[1].score.ss + w[1].score.ks;
+            assert!(a >= b - 1e-12);
+        }
+    }
+
+    #[test]
+    fn keyword_first_runs_all_rounds() {
+        let ctx = EngineContext::new(parse(ARTICLES).unwrap());
+        let r = dpo_topk(
+            &ctx,
+            &TopKRequest::new(q1(), 2).with_scheme(RankingScheme::KeywordFirst),
+        );
+        assert_eq!(r.answers.len(), 2);
+        for w in r.answers.windows(2) {
+            assert!(w[0].score.ks >= w[1].score.ks - 1e-12);
+        }
+    }
+
+    #[test]
+    fn zero_k_returns_nothing_quickly() {
+        let ctx = EngineContext::new(parse(ARTICLES).unwrap());
+        let r = dpo_topk(&ctx, &TopKRequest::new(q1(), 0));
+        assert!(r.answers.is_empty());
+    }
+}

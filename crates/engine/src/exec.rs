@@ -1,0 +1,673 @@
+//! The encoded-plan evaluator.
+//!
+//! Matches an [`EncodedQuery`] against the document, streaming answers in
+//! document order of the distinguished binding. Per answer it computes:
+//!
+//! * the **satisfied-predicate bitset** over the encoded relaxable
+//!   predicates (Hybrid's bucket key),
+//! * the **structural score** `base − Σ_{unsatisfied} π(p)`,
+//! * the **keyword score** `Σ w·score(binding of each contains holder)`.
+//!
+//! ## How matching works
+//!
+//! The evaluator runs a best-embedding dynamic program over the *original*
+//! query tree. Sibling subtrees of a tree pattern are independent given the
+//! parent binding, and every relaxable predicate is owned by exactly one
+//! node and only references bindings of that node's original ancestors — so
+//! a per-child maximum is a global maximum, and no exponential embedding
+//! enumeration is needed.
+//!
+//! Surviving nodes must match (candidates are drawn under the binding of
+//! their *relaxed* anchor, which is always an original ancestor). Ghost
+//! nodes (λ-deleted) are optional: the evaluator tries real bindings (so
+//! answers that happen to satisfy deleted predicates score higher) and
+//! falls back to leaving the node unbound, recursing into its ghost
+//! children independently.
+
+use crate::context::EngineContext;
+use crate::encode::{BitCheck, EncodedQuery};
+use crate::score::{AnswerScore, RankingScheme};
+use crate::topk::Answer;
+use flexpath_xmldom::NodeId;
+
+/// Per-subtree contribution of a (partial) embedding.
+#[derive(Debug, Clone, Copy, Default)]
+struct Contribution {
+    bits: u64,
+    /// Sum of penalties of the *satisfied* relaxable predicates (higher is
+    /// better; the final ss adds this to `base − total_penalty`).
+    sat_penalty: f64,
+    ks: f64,
+}
+
+impl Contribution {
+    fn merge(&mut self, other: Contribution) {
+        self.bits |= other.bits;
+        self.sat_penalty += other.sat_penalty;
+        self.ks += other.ks;
+    }
+
+    fn better_than(&self, other: &Contribution, scheme: RankingScheme) -> bool {
+        let key = |c: &Contribution| match scheme {
+            RankingScheme::StructureFirst => (c.sat_penalty, c.ks),
+            RankingScheme::KeywordFirst => (c.ks, c.sat_penalty),
+            RankingScheme::Combined => (c.sat_penalty + c.ks, 0.0),
+        };
+        let (a1, a2) = key(self);
+        let (b1, b2) = key(other);
+        (a1, a2) > (b1, b2)
+    }
+}
+
+/// Streaming evaluation statistics.
+#[derive(Debug, Clone, Default)]
+pub struct EvalStats {
+    /// Candidate nodes examined across all specs.
+    pub candidates_examined: u64,
+    /// Answers emitted.
+    pub answers: u64,
+}
+
+/// Evaluates `enc`, invoking `on_answer` once per distinct answer
+/// (distinguished-node binding) in document order.
+pub fn evaluate_encoded(
+    ctx: &EngineContext,
+    enc: &EncodedQuery,
+    scheme: RankingScheme,
+    mut on_answer: impl FnMut(Answer),
+) -> EvalStats {
+    let children = enc.children_lists();
+    let mut ev = Evaluator {
+        ctx,
+        enc,
+        scheme,
+        children,
+        env: vec![None; enc.specs.len()],
+        pinned: None,
+        stats: EvalStats::default(),
+        buffer_pool: Vec::new(),
+    };
+
+    let root_spec = 0usize;
+    let dist = enc.distinguished_spec();
+    let root_candidates = ev.root_candidates(root_spec);
+
+    if dist == root_spec {
+        for d in root_candidates {
+            ev.stats.candidates_examined += 1;
+            if let Some(contrib) = ev.match_node(root_spec, d) {
+                ev.stats.answers += 1;
+                on_answer(finalize(enc, d, contrib));
+            }
+        }
+    } else {
+        // General case (distinguished node below the root): enumerate
+        // distinguished candidates, pin each, and keep the best embedding
+        // per candidate. Quadratic in the worst case but exact; the paper's
+        // workloads always distinguish the root.
+        let dist_candidates: Vec<NodeId> = ev.root_candidates(dist);
+        for dd in dist_candidates {
+            ev.pinned = Some((dist, dd));
+            let mut best: Option<Contribution> = None;
+            for &d in &root_candidates {
+                ev.stats.candidates_examined += 1;
+                if let Some(contrib) = ev.match_node(root_spec, d) {
+                    if best.is_none_or(|b| contrib.better_than(&b, scheme)) {
+                        best = Some(contrib);
+                    }
+                }
+            }
+            if let Some(contrib) = best {
+                ev.stats.answers += 1;
+                on_answer(finalize(enc, dd, contrib));
+            }
+        }
+    }
+    ev.stats
+}
+
+fn finalize(enc: &EncodedQuery, node: NodeId, c: Contribution) -> Answer {
+    // The answer's own relaxation level: the deepest schedule step whose
+    // dropped predicate it fails (an answer satisfying everything is an
+    // exact match even when evaluated under a fully relaxed encoding).
+    let mut level = 0usize;
+    for (bi, &step) in enc.bit_step.iter().enumerate() {
+        // Extension bits (tag relaxation) are not schedule steps.
+        if step != usize::MAX && c.bits & (1u64 << bi) == 0 {
+            level = level.max(step + 1);
+        }
+    }
+    Answer {
+        node,
+        score: AnswerScore {
+            ss: enc.base_ss - (enc.total_penalty - c.sat_penalty),
+            ks: c.ks,
+        },
+        satisfied: if enc.relaxable.is_empty() {
+            u64::MAX
+        } else {
+            c.bits
+        },
+        relaxation_level: level,
+    }
+}
+
+struct Evaluator<'a> {
+    ctx: &'a EngineContext,
+    enc: &'a EncodedQuery,
+    scheme: RankingScheme,
+    children: Vec<Vec<usize>>,
+    env: Vec<Option<NodeId>>,
+    pinned: Option<(usize, NodeId)>,
+    stats: EvalStats,
+    /// Reusable candidate buffers (one per active recursion level) — the
+    /// evaluator visits millions of candidates on large documents, so
+    /// per-call `Vec` allocations would dominate.
+    buffer_pool: Vec<Vec<NodeId>>,
+}
+
+impl Evaluator<'_> {
+    fn root_candidates(&self, root_spec: usize) -> Vec<NodeId> {
+        let spec = &self.enc.specs[root_spec];
+        if spec.tag_missing {
+            return Vec::new();
+        }
+        let mut out: Vec<NodeId> = match spec.tag {
+            Some(tag) => self.ctx.doc().nodes_with_tag(tag).to_vec(),
+            None if spec.alt_tags.is_empty() => self.ctx.doc().elements().collect(),
+            None => Vec::new(),
+        };
+        // Hierarchy extension: sibling subtypes are candidates too; merge
+        // back into document order so answers stream sorted by node id.
+        for &alt in &spec.alt_tags {
+            out.extend_from_slice(self.ctx.doc().nodes_with_tag(alt));
+        }
+        if !spec.alt_tags.is_empty() {
+            out.sort_unstable();
+        }
+        out
+    }
+
+    /// Local (non-edge) requirements of binding `spec` to `d`.
+    fn local_ok(&self, idx: usize, d: NodeId) -> bool {
+        let spec = &self.enc.specs[idx];
+        if let Some((pin_idx, pin_node)) = self.pinned {
+            if pin_idx == idx && pin_node != d {
+                return false;
+            }
+        }
+        for (name, pred, mode) in &spec.attrs {
+            let actual = name.and_then(|sym| self.ctx.doc().attribute(d, sym));
+            let ok = match (mode, self.enc.attr_relax) {
+                (crate::encode::AttrMode::Slackened, Some(relax)) => {
+                    relax.satisfies_relaxed(pred, actual)
+                }
+                _ => pred.eval(actual),
+            };
+            if !ok {
+                return false;
+            }
+        }
+        for &ci in &spec.required_contains {
+            if !self.enc.cspecs[ci].eval.satisfies(self.ctx.doc(), d) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Attempts to bind spec `idx` to document node `d`; returns the best
+    /// contribution of the subtree, or `None` when the (required parts of
+    /// the) subtree cannot be matched.
+    fn match_node(&mut self, idx: usize, d: NodeId) -> Option<Contribution> {
+        if !self.local_ok(idx, d) {
+            return None;
+        }
+        self.env[idx] = Some(d);
+        let mut contrib = Contribution::default();
+        let spec = &self.enc.specs[idx];
+        // Keyword score: contains predicates required here.
+        for &ci in &spec.required_contains {
+            let cs = &self.enc.cspecs[ci];
+            contrib.ks += cs.weight * cs.eval.score(self.ctx.doc(), d);
+        }
+        // Relaxable predicate bits owned here.
+        for &bi in &spec.bits {
+            if self.check_bit(bi, d) {
+                contrib.bits |= 1u64 << bi;
+                contrib.sat_penalty += self.enc.relaxable[bi].penalty;
+            }
+        }
+        // Children (original-tree order).
+        let kids = self.children[idx].clone();
+        for c in kids {
+            match self.best_child(c) {
+                Some(cc) => contrib.merge(cc),
+                None => {
+                    // A required child failed: this binding fails.
+                    self.env[idx] = None;
+                    return None;
+                }
+            }
+        }
+        self.env[idx] = None;
+        Some(contrib)
+    }
+
+    fn check_bit(&self, bi: usize, d: NodeId) -> bool {
+        match &self.enc.relaxable[bi].check {
+            BitCheck::PcFrom(x) => self.env[*x]
+                .map(|dx| self.ctx.doc().is_parent(dx, d))
+                .unwrap_or(false),
+            BitCheck::AdFrom(x) => self.env[*x]
+                .map(|dx| self.ctx.doc().is_ancestor(dx, d))
+                .unwrap_or(false),
+            BitCheck::ContainsHere(eval) => eval.satisfies(self.ctx.doc(), d),
+            BitCheck::TagIs(sym) => self.ctx.doc().tag(d) == Some(*sym),
+            BitCheck::AttrStrict { attr, pred } => {
+                let actual = attr.and_then(|sym| self.ctx.doc().attribute(d, sym));
+                pred.eval(actual)
+            }
+        }
+    }
+
+    /// Best contribution for child spec `c` (and its subtree). `None` means
+    /// a *required* subtree could not be matched.
+    fn best_child(&mut self, c: usize) -> Option<Contribution> {
+        let spec = &self.enc.specs[c];
+        let surviving = spec.surviving;
+        if spec.tag_missing {
+            // Tag absent from the document: a surviving node can never
+            // match; a ghost simply stays unbound.
+            return if surviving { None } else { self.ghost_skip(c) };
+        }
+        let anchor = spec
+            .anchor
+            .expect("non-root specs always have an anchor");
+        let anchor_binding = self.env[anchor]
+            .expect("anchors are original ancestors, bound before descendants");
+        let children_only = surviving && spec.axis == flexpath_tpq::Axis::Child;
+        let mut candidates = self.buffer_pool.pop().unwrap_or_default();
+        if spec.tag.is_some() || spec.alt_tags.is_empty() {
+            self.ctx
+                .candidates_under(spec.tag, anchor_binding, children_only, &mut candidates);
+        } else {
+            candidates.clear();
+        }
+        if !spec.alt_tags.is_empty() {
+            let mut extra = self.buffer_pool.pop().unwrap_or_default();
+            for &alt in &spec.alt_tags {
+                self.ctx
+                    .candidates_under(Some(alt), anchor_binding, children_only, &mut extra);
+                candidates.extend_from_slice(&extra);
+            }
+            self.buffer_pool.push(extra);
+            candidates.sort_unstable();
+        }
+
+        let mut best: Option<Contribution> = None;
+        for d in candidates {
+            self.stats.candidates_examined += 1;
+            if let Some(contrib) = self.match_node(c, d) {
+                if best.is_none_or(|b| contrib.better_than(&b, self.scheme)) {
+                    best = Some(contrib);
+                }
+            }
+        }
+        if surviving {
+            best
+        } else {
+            // Ghost: also consider leaving the node unbound — its
+            // descendants may still bind (independently) under their own
+            // anchors.
+            match (best, self.ghost_skip(c)) {
+                (Some(b), Some(s)) => Some(if b.better_than(&s, self.scheme) { b } else { s }),
+                (Some(b), None) => Some(b),
+                (None, s) => s,
+            }
+        }
+    }
+
+    /// Contribution of ghost `c`'s subtree with `c` left unbound: its own
+    /// bits are unsatisfied; its children are matched independently. A
+    /// child may still be *surviving* (σ promoted it out before λ deleted
+    /// `c`) — such a child is required, and its failure fails the match.
+    fn ghost_skip(&mut self, c: usize) -> Option<Contribution> {
+        let mut contrib = Contribution::default();
+        let kids = self.children[c].clone();
+        for k in kids {
+            match self.best_child(k) {
+                Some(cc) => contrib.merge(cc),
+                None => {
+                    if self.enc.specs[k].surviving {
+                        return None;
+                    }
+                }
+            }
+        }
+        Some(contrib)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::build_schedule;
+    use crate::score::{PenaltyModel, WeightAssignment};
+    use flexpath_ftsearch::FtExpr;
+    use flexpath_tpq::{Predicate, Tpq, TpqBuilder, Var};
+    use flexpath_xmldom::parse;
+
+    fn setup(xml: &str, q: &Tpq) -> (EngineContext, PenaltyModel) {
+        let ctx = EngineContext::new(parse(xml).unwrap());
+        let model = PenaltyModel::new(q, WeightAssignment::uniform());
+        (ctx, model)
+    }
+
+    fn collect(
+        ctx: &EngineContext,
+        enc: &EncodedQuery,
+        scheme: RankingScheme,
+    ) -> Vec<Answer> {
+        let mut out = Vec::new();
+        evaluate_encoded(ctx, enc, scheme, |a| out.push(a));
+        out
+    }
+
+    /// Brute-force oracle: all embeddings by exhaustive assignment.
+    fn naive_exact_answers(doc: &flexpath_xmldom::Document, q: &Tpq) -> Vec<NodeId> {
+        fn try_assign(
+            doc: &flexpath_xmldom::Document,
+            q: &Tpq,
+            idx: usize,
+            asg: &mut Vec<Option<NodeId>>,
+            out: &mut std::collections::BTreeSet<NodeId>,
+        ) {
+            if idx == q.node_count() {
+                out.insert(asg[q.distinguished()].unwrap());
+                return;
+            }
+            let node = q.node(idx);
+            for d in doc.elements() {
+                if let Some(tag) = node.tag.as_deref() {
+                    if doc.tag_name(d) != Some(tag) {
+                        continue;
+                    }
+                }
+                if let Some(p) = node.parent {
+                    let dp = asg[p].unwrap();
+                    let ok = match node.axis {
+                        flexpath_tpq::Axis::Child => doc.is_parent(dp, d),
+                        flexpath_tpq::Axis::Descendant => doc.is_ancestor(dp, d),
+                    };
+                    if !ok {
+                        continue;
+                    }
+                }
+                asg[idx] = Some(d);
+                try_assign(doc, q, idx + 1, asg, out);
+                asg[idx] = None;
+            }
+        }
+        let mut out = std::collections::BTreeSet::new();
+        let mut asg = vec![None; q.node_count()];
+        try_assign(doc, q, 0, &mut asg, &mut out);
+        out.into_iter().collect()
+    }
+
+    const ARTICLES: &str = "<site>\
+        <article id=\"a0\"><section><algorithm>x</algorithm>\
+          <paragraph>XML streaming</paragraph></section></article>\
+        <article id=\"a1\"><section><title>XML streaming</title>\
+          <algorithm>y</algorithm><paragraph>other</paragraph></section></article>\
+        <article id=\"a2\"><section><wrap><paragraph>XML streaming</paragraph></wrap>\
+          </section><algorithm>z</algorithm></article>\
+        <article id=\"a3\"><note>XML streaming</note></article>\
+        <article id=\"a4\"><section><paragraph>nothing here</paragraph></section></article>\
+        </site>";
+
+    fn q1() -> Tpq {
+        let mut b = TpqBuilder::new("article");
+        let s = b.child(0, "section");
+        let _a = b.child(s, "algorithm");
+        let p = b.child(s, "paragraph");
+        b.add_contains(p, FtExpr::all_of(&["XML", "streaming"]));
+        b.build()
+    }
+
+    #[test]
+    fn exact_evaluation_matches_only_strict_answers() {
+        // Only article a0 satisfies Q1 exactly.
+        let q = q1();
+        let (ctx, model) = setup(ARTICLES, &q);
+        let enc = EncodedQuery::exact(&ctx, &model, &q);
+        let answers = collect(&ctx, &enc, RankingScheme::StructureFirst);
+        assert_eq!(answers.len(), 1);
+        let id = ctx.resolve_tag("id").unwrap();
+        assert_eq!(ctx.doc().attribute(answers[0].node, id), Some("a0"));
+        assert_eq!(answers[0].score.ss, 3.0);
+        assert!(answers[0].score.ks > 0.0);
+    }
+
+    #[test]
+    fn exact_evaluation_agrees_with_naive_oracle_structurally() {
+        // Structural-only query (no contains) vs brute force.
+        let mut b = TpqBuilder::new("article");
+        let s = b.child(0, "section");
+        let _a = b.child(s, "algorithm");
+        let _p = b.child(s, "paragraph");
+        let q = b.build();
+        let (ctx, model) = setup(ARTICLES, &q);
+        let enc = EncodedQuery::exact(&ctx, &model, &q);
+        let got: Vec<NodeId> = collect(&ctx, &enc, RankingScheme::StructureFirst)
+            .into_iter()
+            .map(|a| a.node)
+            .collect();
+        assert_eq!(got, naive_exact_answers(ctx.doc(), &q));
+    }
+
+    #[test]
+    fn fully_encoded_evaluation_recovers_all_relaxed_answers() {
+        // With the full schedule encoded, every article whose subtree
+        // contains the keywords is an answer (Q6 semantics).
+        let q = q1();
+        let (ctx, model) = setup(ARTICLES, &q);
+        let steps = build_schedule(&ctx, &model, &q, 64);
+        let enc = EncodedQuery::build(&ctx, &model, &q, &steps);
+        let answers = collect(&ctx, &enc, RankingScheme::StructureFirst);
+        // a0, a1, a2, a3 contain both keywords; a4 does not.
+        assert_eq!(answers.len(), 4);
+        // Answers stream in document order.
+        for w in answers.windows(2) {
+            assert!(w[0].node < w[1].node);
+        }
+    }
+
+    #[test]
+    fn encoded_scores_grade_by_structural_fidelity() {
+        let q = q1();
+        let (ctx, model) = setup(ARTICLES, &q);
+        let steps = build_schedule(&ctx, &model, &q, 64);
+        let enc = EncodedQuery::build(&ctx, &model, &q, &steps);
+        let answers = collect(&ctx, &enc, RankingScheme::StructureFirst);
+        let id_sym = ctx.resolve_tag("id").unwrap();
+        let ss_of = |label: &str| {
+            answers
+                .iter()
+                .find(|a| ctx.doc().attribute(a.node, id_sym) == Some(label))
+                .map(|a| a.score.ss)
+                .unwrap()
+        };
+        // a0 is an exact match: full score.
+        assert!((ss_of("a0") - 3.0).abs() < 1e-9);
+        // a1 keeps structure but not the paragraph-contains; a3 keeps almost
+        // nothing. Ordering must reflect fidelity.
+        assert!(ss_of("a0") > ss_of("a1"));
+        assert!(ss_of("a1") > ss_of("a3"));
+        assert!(ss_of("a2") > ss_of("a3"));
+    }
+
+    #[test]
+    fn exact_match_bits_are_all_satisfied_under_encoding() {
+        let q = q1();
+        let (ctx, model) = setup(ARTICLES, &q);
+        let steps = build_schedule(&ctx, &model, &q, 64);
+        let enc = EncodedQuery::build(&ctx, &model, &q, &steps);
+        let answers = collect(&ctx, &enc, RankingScheme::StructureFirst);
+        let id_sym = ctx.resolve_tag("id").unwrap();
+        let a0 = answers
+            .iter()
+            .find(|a| ctx.doc().attribute(a.node, id_sym) == Some("a0"))
+            .unwrap();
+        let full_mask = (1u64 << enc.relaxable.len()) - 1;
+        assert_eq!(a0.satisfied & full_mask, full_mask);
+    }
+
+    #[test]
+    fn relaxed_subset_relationship_holds() {
+        // Answers of the exact query ⊆ answers at every relaxation level —
+        // the empirical half of Theorem 2's soundness.
+        let q = q1();
+        let (ctx, model) = setup(ARTICLES, &q);
+        let steps = build_schedule(&ctx, &model, &q, 64);
+        let mut previous: Option<Vec<NodeId>> = None;
+        for prefix in 0..=steps.len() {
+            let enc = EncodedQuery::build(&ctx, &model, &q, &steps[..prefix]);
+            let nodes: Vec<NodeId> = collect(&ctx, &enc, RankingScheme::StructureFirst)
+                .into_iter()
+                .map(|a| a.node)
+                .collect();
+            if let Some(prev) = &previous {
+                for n in prev {
+                    assert!(
+                        nodes.contains(n),
+                        "answer {n} lost at relaxation prefix {prefix}"
+                    );
+                }
+            }
+            previous = Some(nodes);
+        }
+    }
+
+    #[test]
+    fn distinguished_below_root_projects_correctly() {
+        // //article/section: answers are sections.
+        let mut b = TpqBuilder::new("article");
+        let s = b.child(0, "section");
+        b.set_distinguished(s);
+        let q = b.build();
+        let (ctx, model) = setup(ARTICLES, &q);
+        let enc = EncodedQuery::exact(&ctx, &model, &q);
+        let answers = collect(&ctx, &enc, RankingScheme::StructureFirst);
+        assert_eq!(answers.len(), 4); // a0, a1, a2, a4 have sections
+        for a in &answers {
+            assert_eq!(ctx.doc().tag_name(a.node), Some("section"));
+        }
+    }
+
+    #[test]
+    fn wildcard_root_enumerates_elements() {
+        let mut b = TpqBuilder::new("article");
+        let w = b.wildcard(0, flexpath_tpq::Axis::Child);
+        let _ = w;
+        let q = b.build();
+        let (ctx, model) = setup("<site><article><x/></article><article/></site>", &q);
+        let enc = EncodedQuery::exact(&ctx, &model, &q);
+        let answers = collect(&ctx, &enc, RankingScheme::StructureFirst);
+        assert_eq!(answers.len(), 1); // only the article with a child
+    }
+
+    #[test]
+    fn recursive_tags_do_not_match_self() {
+        // //parlist[./parlist]: inner parlist must be a *strict* child.
+        let mut b = TpqBuilder::new("parlist");
+        b.child(0, "parlist");
+        let q = b.build();
+        let (ctx, model) = setup("<r><parlist><parlist/></parlist></r>", &q);
+        let enc = EncodedQuery::exact(&ctx, &model, &q);
+        let answers = collect(&ctx, &enc, RankingScheme::StructureFirst);
+        assert_eq!(answers.len(), 1);
+        assert_eq!(answers[0].node, ctx.doc().nodes_with_tag_name("parlist")[0]);
+    }
+
+    #[test]
+    fn attribute_predicates_filter_matches() {
+        let q = flexpath_tpq::parse_query("//article[@id = \"a2\"]").unwrap();
+        let (ctx, model) = setup(ARTICLES, &q);
+        let enc = EncodedQuery::exact(&ctx, &model, &q);
+        let answers = collect(&ctx, &enc, RankingScheme::StructureFirst);
+        assert_eq!(answers.len(), 1);
+    }
+
+    #[test]
+    fn ks_reflects_contains_holder_score() {
+        let q = q1();
+        let (ctx, model) = setup(ARTICLES, &q);
+        let enc = EncodedQuery::exact(&ctx, &model, &q);
+        let answers = collect(&ctx, &enc, RankingScheme::StructureFirst);
+        let eval = ctx.ft_eval(&FtExpr::all_of(&["XML", "streaming"]));
+        // The single answer's ks equals the paragraph's contains score.
+        let para = ctx
+            .doc()
+            .nodes_with_tag_name("paragraph")
+            .iter()
+            .copied()
+            .find(|&p| eval.satisfies(ctx.doc(), p))
+            .unwrap();
+        assert!((answers[0].score.ks - eval.score(ctx.doc(), para)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn evaluation_on_xmark_is_consistent_across_schemes() {
+        let doc = flexpath_xmark::generate(&flexpath_xmark::XmarkConfig::sized(32 * 1024, 5));
+        let ctx = EngineContext::new(doc);
+        let q = flexpath_tpq::parse_query("//item[./description/parlist]").unwrap();
+        let model = PenaltyModel::new(&q, WeightAssignment::uniform());
+        let enc = EncodedQuery::exact(&ctx, &model, &q);
+        let a = collect(&ctx, &enc, RankingScheme::StructureFirst);
+        let b = collect(&ctx, &enc, RankingScheme::Combined);
+        // Same answer set regardless of scheme (scheme only reorders).
+        assert_eq!(
+            a.iter().map(|x| x.node).collect::<Vec<_>>(),
+            b.iter().map(|x| x.node).collect::<Vec<_>>()
+        );
+        assert!(!a.is_empty());
+        // Cross-check against the brute-force oracle.
+        assert_eq!(
+            a.iter().map(|x| x.node).collect::<Vec<_>>(),
+            naive_exact_answers(ctx.doc(), &q)
+        );
+    }
+
+    #[test]
+    fn ghost_bits_checked_between_two_ghosts() {
+        // Query a/b/c where both b and c get deleted: an answer whose
+        // document has the b/c chain should still satisfy the pc(b,c) bit.
+        let mut builder = TpqBuilder::new("a");
+        let b = builder.child(0, "b");
+        let _c = builder.child(b, "c");
+        let q = builder.build();
+        let (ctx, model) = setup("<r><a><b><c/></b></a><a><b/></a><a/></r>", &q);
+        let steps = build_schedule(&ctx, &model, &q, 64);
+        let enc = EncodedQuery::build(&ctx, &model, &q, &steps);
+        // Fully relaxed: every a is an answer.
+        let answers = collect(&ctx, &enc, RankingScheme::StructureFirst);
+        assert_eq!(answers.len(), 3);
+        // The a with the full chain satisfies everything.
+        let best = answers
+            .iter()
+            .max_by(|x, y| x.score.ss.total_cmp(&y.score.ss))
+            .unwrap();
+        assert_eq!(best.node, ctx.doc().nodes_with_tag_name("a")[0]);
+        let pc_bc_bit = enc
+            .relaxable
+            .iter()
+            .position(|r| r.pred == Predicate::Pc(Var(2), Var(3)))
+            .expect("pc(b,c) must be encoded");
+        assert!(best.satisfied & (1 << pc_bc_bit) != 0);
+        // Scores are graded: full chain > b only > bare.
+        let mut ss: Vec<f64> = answers.iter().map(|a| a.score.ss).collect();
+        ss.sort_by(f64::total_cmp);
+        assert!(ss[0] < ss[1] && ss[1] < ss[2]);
+    }
+}

@@ -1,0 +1,114 @@
+//! Type-hierarchy tag relaxation — the first "other relaxation" of paper
+//! Section 3.4: *"if we have a type hierarchy associated with element
+//! types, then we can relax a query by replacing a tag with a tag
+//! associated with a supertype: e.g., in Q1, replace `$1.tag = article`
+//! with `$1.tag = publication` if the type hierarchy says article is a
+//! subtype of publication."*
+//!
+//! The paper leaves this orthogonal to the four structural operators; we
+//! implement it the same way: when a [`TagHierarchy`] is attached to a
+//! request, every query node whose tag belongs to a declared type may also
+//! match its *sibling* tags (the other subtypes), with the tag-equality
+//! predicate becoming one more relaxable bit. Its penalty follows the
+//! paper's context-loss pattern:
+//!
+//! ```text
+//! π(tag(i) = t) = #(t) / Σ_{m ∈ members(type(t))} #(m)  ×  w
+//! ```
+//!
+//! — the closer the subtype dominates its type, the less a relaxation to
+//! the supertype can add, so the heavier the penalty.
+
+use std::collections::HashMap;
+
+/// A flat type hierarchy: named supertypes with concrete member tags.
+#[derive(Debug, Clone, Default)]
+pub struct TagHierarchy {
+    supertype_of: HashMap<Box<str>, Box<str>>,
+    members: HashMap<Box<str>, Vec<Box<str>>>,
+    weight: f64,
+}
+
+impl TagHierarchy {
+    /// An empty hierarchy with unit tag-predicate weight.
+    pub fn new() -> Self {
+        TagHierarchy {
+            supertype_of: HashMap::new(),
+            members: HashMap::new(),
+            weight: 1.0,
+        }
+    }
+
+    /// Sets the weight of relaxed tag predicates (default 1.0).
+    pub fn with_weight(mut self, weight: f64) -> Self {
+        self.weight = weight;
+        self
+    }
+
+    /// Declares `supertype` with the given member tags. A tag may belong to
+    /// at most one type; re-declaring moves it.
+    pub fn add_type(&mut self, supertype: &str, members: &[&str]) -> &mut Self {
+        let entry = self.members.entry(supertype.into()).or_default();
+        for m in members {
+            self.supertype_of.insert((*m).into(), supertype.into());
+            if !entry.iter().any(|e| &**e == *m) {
+                entry.push((*m).into());
+            }
+        }
+        self
+    }
+
+    /// The supertype of `tag`, if declared.
+    pub fn supertype(&self, tag: &str) -> Option<&str> {
+        self.supertype_of.get(tag).map(|s| s.as_ref())
+    }
+
+    /// All member tags of `tag`'s type (including `tag` itself), or `None`
+    /// when the tag is not part of any declared type.
+    pub fn siblings(&self, tag: &str) -> Option<&[Box<str>]> {
+        let sup = self.supertype_of.get(tag)?;
+        self.members.get(sup).map(|v| v.as_slice())
+    }
+
+    /// Weight for relaxed tag predicates.
+    pub fn weight(&self) -> f64 {
+        self.weight
+    }
+
+    /// Whether any types are declared.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn declares_and_looks_up_types() {
+        let mut h = TagHierarchy::new();
+        h.add_type("publication", &["article", "book", "thesis"]);
+        assert_eq!(h.supertype("article"), Some("publication"));
+        assert_eq!(h.supertype("unrelated"), None);
+        let sib = h.siblings("book").unwrap();
+        assert_eq!(sib.len(), 3);
+        assert!(sib.iter().any(|s| &**s == "article"));
+        assert!(h.siblings("unrelated").is_none());
+    }
+
+    #[test]
+    fn redeclaration_does_not_duplicate_members() {
+        let mut h = TagHierarchy::new();
+        h.add_type("t", &["a", "b"]);
+        h.add_type("t", &["b", "c"]);
+        assert_eq!(h.siblings("a").unwrap().len(), 3);
+    }
+
+    #[test]
+    fn weight_configuration() {
+        let h = TagHierarchy::new().with_weight(0.5);
+        assert_eq!(h.weight(), 0.5);
+        assert!(h.is_empty());
+    }
+}

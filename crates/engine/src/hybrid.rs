@@ -1,0 +1,250 @@
+//! Hybrid — SSO's single pass + DPO's no-resort property (paper
+//! Section 5.2.3, Algorithm 2).
+//!
+//! "The key idea behind Hybrid is to create buckets of intermediate results
+//! … where each bucket corresponds to a set of predicates. Answers in a
+//! bucket satisfy the same set of predicates and so have the same score.
+//! Within each bucket, answers are sorted on their node id. Since this sort
+//! order is preserved by the join algorithm we use, no additional sorting
+//! is necessary."
+//!
+//! Buckets are keyed on the satisfied-predicate bitset the evaluator
+//! computes per answer. Answers stream in document order, so each bucket's
+//! `Vec` push keeps node-id order for free — the counter that SSO pays
+//! ([`ExecStats::sorted_insert_shifts`]) stays at zero here. Pruning
+//! happens per answer against the current K-th structural score plus
+//! `maxScoreGrowth` (for Combined, the keyword headroom `m`).
+
+use crate::context::EngineContext;
+use crate::encode::EncodedQuery;
+use crate::exec::evaluate_encoded;
+use crate::schedule::build_schedule;
+use crate::score::{PenaltyModel, RankingScheme};
+use crate::sso::choose_prefix;
+use crate::topk::{sort_answers, Answer, ExecStats, TopKRequest, TopKResult};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+/// An `f64` ordered by `total_cmp` (usable in a heap).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct TotalF64(f64);
+
+impl Eq for TotalF64 {}
+
+impl PartialOrd for TotalF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for TotalF64 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+/// Runs the Hybrid top-K algorithm.
+pub fn hybrid_topk(ctx: &EngineContext, request: &TopKRequest) -> TopKResult {
+    let model = PenaltyModel::new(&request.query, request.weights.clone());
+    let schedule = build_schedule(ctx, &model, &request.query, request.max_relaxation_steps);
+    let base_ss = model.base_structural_score(&request.query);
+
+    let mut stats = ExecStats::default();
+    let (mut prefix, est) = choose_prefix(ctx, request, &schedule, base_ss);
+    stats.estimated_answers = est;
+    // Keyword headroom: an answer can gain at most `m` from ks (each
+    // contains predicate is weighted 1 and IR scores are ≤ 1).
+    let max_growth = match request.scheme {
+        RankingScheme::Combined | RankingScheme::KeywordFirst => {
+            request.query.contains_count() as f64
+        }
+        RankingScheme::StructureFirst => 0.0,
+    };
+
+    let mut buckets: HashMap<u64, Vec<Answer>> = HashMap::new();
+    loop {
+        let enc = EncodedQuery::build_full(
+            ctx,
+            &model,
+            &request.query,
+            &schedule[..prefix],
+            request.hierarchy.as_ref(),
+            request.attr_relaxation,
+        );
+        stats.relaxations_used = prefix;
+        stats.evaluations += 1;
+        buckets.clear();
+        let mut total_kept = 0usize;
+        // Min-heap of the top-K structural scores seen so far: its minimum
+        // is the pruning floor, maintained in O(log K) per answer — no
+        // score sorting of intermediate results ever happens.
+        let mut top_ss: BinaryHeap<Reverse<TotalF64>> = BinaryHeap::new();
+        evaluate_encoded(ctx, &enc, request.scheme, |a| {
+            stats.intermediate_answers += 1;
+            if top_ss.len() >= request.k {
+                let floor = top_ss.peek().expect("non-empty at k").0 .0;
+                if a.score.ss + max_growth < floor {
+                    stats.pruned += 1;
+                    return;
+                }
+            }
+            if request.k > 0 {
+                top_ss.push(Reverse(TotalF64(a.score.ss)));
+                if top_ss.len() > request.k {
+                    top_ss.pop();
+                }
+            }
+            buckets.entry(a.satisfied).or_default().push(a);
+            total_kept += 1;
+        });
+        if total_kept < request.k && prefix < schedule.len() {
+            // Deficit-driven restart, mirroring SSO (see sso.rs).
+            let deficit = (request.k - total_kept) as f64;
+            let mut gained = 0.0;
+            // Geometric advance: each successive restart at least doubles
+            // the number of newly encoded steps, bounding restarts at
+            // O(log |schedule|) even under persistent overestimates.
+            let min_steps = 1usize << stats.restarts.min(6);
+            let mut steps_taken = 0usize;
+            while prefix < schedule.len()
+                && (steps_taken < min_steps || gained < 2.0 * deficit)
+            {
+                steps_taken += 1;
+                gained += crate::selectivity::estimate_cardinality(ctx, &schedule[prefix].query);
+                prefix += 1;
+            }
+            stats.restarts += 1;
+            continue;
+        }
+        stats.buckets = buckets.len();
+        break;
+    }
+
+    // Buckets are ordered by score "since each bucket is uniquely identified
+    // by the set of structural predicates satisfied": concatenate buckets
+    // best-ss-first, then rank the (small) survivor set under the scheme.
+    let mut answers: Vec<Answer> = Vec::new();
+    let mut keyed: Vec<(f64, Vec<Answer>)> = buckets
+        .into_values()
+        .map(|v| (v[0].score.ss, v))
+        .collect();
+    keyed.sort_by(|a, b| b.0.total_cmp(&a.0));
+    let mut taken = 0usize;
+    for (ss, bucket) in keyed {
+        // Buckets that can no longer contribute are dropped wholesale
+        // ("pruning of intermediate answers translates to elimination of
+        // buckets").
+        if taken >= request.k {
+            let worst_kept = answers
+                .iter()
+                .map(|a| a.score.ss)
+                .fold(f64::INFINITY, f64::min);
+            if ss + max_growth < worst_kept {
+                break;
+            }
+        }
+        taken += bucket.len();
+        answers.extend(bucket);
+    }
+    sort_answers(&mut answers, request.scheme);
+    answers.truncate(request.k);
+    TopKResult { answers, stats }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sso::sso_topk;
+    use flexpath_ftsearch::FtExpr;
+    use flexpath_tpq::TpqBuilder;
+    use flexpath_xmldom::parse;
+
+    const ARTICLES: &str = "<site>\
+        <article id=\"a0\"><section><algorithm>x</algorithm>\
+          <paragraph>XML streaming</paragraph></section></article>\
+        <article id=\"a1\"><section><title>XML streaming</title>\
+          <algorithm>y</algorithm><paragraph>other</paragraph></section></article>\
+        <article id=\"a2\"><section><wrap><paragraph>XML streaming</paragraph></wrap>\
+          </section><algorithm>z</algorithm></article>\
+        <article id=\"a3\"><note>XML streaming</note></article>\
+        <article id=\"a4\"><section><paragraph>nothing here</paragraph></section></article>\
+        </site>";
+
+    fn q1() -> flexpath_tpq::Tpq {
+        let mut b = TpqBuilder::new("article");
+        let s = b.child(0, "section");
+        let _a = b.child(s, "algorithm");
+        let p = b.child(s, "paragraph");
+        b.add_contains(p, FtExpr::all_of(&["XML", "streaming"]));
+        b.build()
+    }
+
+    #[test]
+    fn hybrid_agrees_with_sso_exactly() {
+        // Hybrid and SSO encode the same relaxations and compute the same
+        // per-answer scores; only the intermediate bookkeeping differs.
+        let ctx = EngineContext::new(parse(ARTICLES).unwrap());
+        for k in [1, 2, 3, 4, 10] {
+            for scheme in [
+                RankingScheme::StructureFirst,
+                RankingScheme::KeywordFirst,
+                RankingScheme::Combined,
+            ] {
+                let req = TopKRequest::new(q1(), k).with_scheme(scheme);
+                let h = hybrid_topk(&ctx, &req);
+                let s = sso_topk(&ctx, &req);
+                assert_eq!(h.nodes(), s.nodes(), "k={k} scheme={scheme:?}");
+                for (a, b) in h.answers.iter().zip(s.answers.iter()) {
+                    assert!((a.score.ss - b.score.ss).abs() < 1e-9);
+                    assert!((a.score.ks - b.score.ks).abs() < 1e-9);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hybrid_never_sorts_intermediate_results() {
+        let ctx = EngineContext::new(parse(ARTICLES).unwrap());
+        let r = hybrid_topk(&ctx, &TopKRequest::new(q1(), 4));
+        assert_eq!(r.stats.sorted_insert_shifts, 0);
+        assert!(r.stats.buckets >= 1);
+    }
+
+    #[test]
+    fn buckets_group_answers_by_satisfied_set() {
+        let ctx = EngineContext::new(parse(ARTICLES).unwrap());
+        let r = hybrid_topk(&ctx, &TopKRequest::new(q1(), 4));
+        // a0..a3 all satisfy different predicate subsets here, so buckets
+        // number between 1 and 4 and answers total 4.
+        assert_eq!(r.answers.len(), 4);
+        assert!(r.stats.buckets >= 2, "expected multiple score classes");
+    }
+
+    #[test]
+    fn hybrid_on_xmark_agrees_with_sso() {
+        let doc = flexpath_xmark::generate(&flexpath_xmark::XmarkConfig::sized(48 * 1024, 21));
+        let ctx = EngineContext::new(doc);
+        let q = flexpath_tpq::parse_query(
+            "//item[./description/parlist and ./mailbox/mail/text]",
+        )
+        .unwrap();
+        for k in [5, 20] {
+            let req = TopKRequest::new(q.clone(), k);
+            let h = hybrid_topk(&ctx, &req);
+            let s = sso_topk(&ctx, &req);
+            assert_eq!(h.answers.len(), s.answers.len(), "k={k}");
+            // Score multisets agree (ordering of exact ties may differ
+            // pre-sort, but sort_answers ties on node id, so full equality).
+            assert_eq!(h.nodes(), s.nodes(), "k={k}");
+        }
+    }
+
+    #[test]
+    fn combined_scheme_respects_keyword_headroom() {
+        let ctx = EngineContext::new(parse(ARTICLES).unwrap());
+        let req = TopKRequest::new(q1(), 2).with_scheme(RankingScheme::Combined);
+        let h = hybrid_topk(&ctx, &req);
+        let s = sso_topk(&ctx, &req);
+        assert_eq!(h.nodes(), s.nodes());
+    }
+}

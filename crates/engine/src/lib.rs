@@ -1,0 +1,65 @@
+//! # flexpath-engine
+//!
+//! FleXPath's query processor (paper Sections 4–5): ranking schemes with
+//! data-derived predicate penalties, relaxation scheduling, encoded-plan
+//! evaluation, and the three top-K algorithms — **DPO** (Dynamic Penalty
+//! Order), **SSO** (Static Selectivity Order), and **Hybrid** (SSO's single
+//! pass + DPO's no-resort property via bucketization).
+//!
+//! ## Architecture (paper Figure 7)
+//!
+//! ```text
+//!  user query ──► relaxation schedule (penalty-ordered operator steps)
+//!       │                 │
+//!       ▼                 ▼
+//!  [XPath engine]   [IR engine: flexpath-ftsearch]
+//!   encoded-plan      contains → ranked (node, score)
+//!   evaluation             │
+//!       └────► combine nodes & scores ────► top-K answers
+//! ```
+//!
+//! * [`EngineContext`] owns the document, its [`DocStats`], the inverted
+//!   index, and a cache of full-text evaluations.
+//! * [`schedule`] builds the penalty-ordered relaxation schedule shared by
+//!   all three algorithms.
+//! * [`encode`]/[`exec`] implement the relaxation-encoded evaluation: one
+//!   pass that, per answer, determines exactly which original closure
+//!   predicates hold (the per-answer satisfied-predicate *bitset* that
+//!   Hybrid's buckets are keyed on).
+//! * [`dpo_topk`], [`sso_topk`], [`hybrid_topk`] are the three top-K
+//!   algorithms.
+//! * [`structural_join`] is the Stack-Tree structural join primitive
+//!   (Al-Khalifa et al.) the paper's implementation builds on; it is used
+//!   by the micro-benchmarks and as a cross-validation oracle in tests.
+//!
+//! [`DocStats`]: flexpath_xmldom::DocStats
+
+pub mod attr_relax;
+pub mod baseline;
+pub mod context;
+pub mod encode;
+pub mod exec;
+pub mod hierarchy;
+pub mod schedule;
+pub mod score;
+pub mod selectivity;
+pub mod structural_join;
+pub mod topk;
+
+mod dpo;
+mod hybrid;
+mod sso;
+
+pub use attr_relax::AttrRelaxation;
+pub use baseline::{data_relaxation_topk, full_encoding_topk, rewrite_enumeration_topk};
+pub use context::EngineContext;
+pub use dpo::dpo_topk;
+pub use encode::EncodedQuery;
+pub use hierarchy::TagHierarchy;
+pub use hybrid::hybrid_topk;
+pub use schedule::{build_schedule, ScheduledStep};
+pub use score::{AnswerScore, PenaltyModel, RankingScheme, WeightAssignment};
+pub use selectivity::estimate_cardinality;
+pub use sso::sso_topk;
+pub use structural_join::{stack_tree_anc, stack_tree_desc};
+pub use topk::{Algorithm, Answer, ExecStats, TopKRequest, TopKResult};

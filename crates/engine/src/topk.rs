@@ -1,0 +1,208 @@
+//! Shared top-K request/result types and execution statistics.
+
+use crate::attr_relax::AttrRelaxation;
+use crate::hierarchy::TagHierarchy;
+use crate::score::{AnswerScore, RankingScheme, WeightAssignment};
+use flexpath_tpq::Tpq;
+use flexpath_xmldom::NodeId;
+
+/// Which top-K algorithm to run (paper Section 5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Algorithm {
+    /// Dynamic Penalty Order: relax-evaluate-repeat with exact counts.
+    Dpo,
+    /// Static Selectivity Order: estimate-driven single encoded plan with
+    /// score-sorted intermediate results.
+    Sso,
+    /// SSO's single plan + DPO's no-resort property via bucketization.
+    Hybrid,
+}
+
+impl std::fmt::Display for Algorithm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Algorithm::Dpo => write!(f, "DPO"),
+            Algorithm::Sso => write!(f, "SSO"),
+            Algorithm::Hybrid => write!(f, "Hybrid"),
+        }
+    }
+}
+
+/// A top-K query: the TPQ, K, and the ranking configuration.
+#[derive(Debug, Clone)]
+pub struct TopKRequest {
+    /// The user query.
+    pub query: Tpq,
+    /// Number of answers requested.
+    pub k: usize,
+    /// How structural and keyword scores combine.
+    pub scheme: RankingScheme,
+    /// Per-predicate weights.
+    pub weights: WeightAssignment,
+    /// Upper bound on relaxation steps to consider (safety valve; the
+    /// schedule is also capped at 64 droppable predicates).
+    pub max_relaxation_steps: usize,
+    /// Optional type hierarchy enabling tag relaxation (Section 3.4).
+    pub hierarchy: Option<TagHierarchy>,
+    /// Optional numeric attribute-bound slackening (Section 3.4).
+    pub attr_relaxation: Option<AttrRelaxation>,
+}
+
+impl TopKRequest {
+    /// A request with the paper's defaults: structure-first ranking and
+    /// uniform weights.
+    pub fn new(query: Tpq, k: usize) -> Self {
+        TopKRequest {
+            query,
+            k,
+            scheme: RankingScheme::StructureFirst,
+            weights: WeightAssignment::uniform(),
+            max_relaxation_steps: 64,
+            hierarchy: None,
+            attr_relaxation: None,
+        }
+    }
+
+    /// Sets the ranking scheme.
+    pub fn with_scheme(mut self, scheme: RankingScheme) -> Self {
+        self.scheme = scheme;
+        self
+    }
+
+    /// Sets the weight assignment.
+    pub fn with_weights(mut self, weights: WeightAssignment) -> Self {
+        self.weights = weights;
+        self
+    }
+
+    /// Attaches a type hierarchy, enabling tag relaxation (Section 3.4).
+    pub fn with_hierarchy(mut self, hierarchy: TagHierarchy) -> Self {
+        self.hierarchy = Some(hierarchy);
+        self
+    }
+
+    /// Enables numeric attribute-bound slackening (Section 3.4).
+    pub fn with_attr_relaxation(mut self, relaxation: AttrRelaxation) -> Self {
+        self.attr_relaxation = Some(relaxation);
+        self
+    }
+}
+
+/// One ranked answer.
+#[derive(Debug, Clone)]
+pub struct Answer {
+    /// The document node bound to the distinguished variable.
+    pub node: NodeId,
+    /// Structural + keyword score.
+    pub score: AnswerScore,
+    /// Bitset over the encoded relaxable predicates: bit `i` set means
+    /// relaxable predicate `i` *is satisfied* by this answer. All-ones for
+    /// exact matches. (DPO reports the compile-time set of its round.)
+    pub satisfied: u64,
+    /// How many relaxation steps were needed before this answer appeared
+    /// (0 = answer of the exact query).
+    pub relaxation_level: usize,
+}
+
+/// Counters exposed for tests, benchmarks, and EXPERIMENTS.md narratives.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ExecStats {
+    /// Relaxation steps encoded/applied.
+    pub relaxations_used: usize,
+    /// Full query evaluations performed (DPO: one per round).
+    pub evaluations: usize,
+    /// Candidate answers produced before pruning/truncation.
+    pub intermediate_answers: usize,
+    /// SSO restarts due to estimate misses.
+    pub restarts: usize,
+    /// Elements shifted by score-sorted insertion (SSO's resort cost).
+    pub sorted_insert_shifts: u64,
+    /// Distinct buckets materialized (Hybrid).
+    pub buckets: usize,
+    /// Answers pruned by the score threshold (maxScoreGrowth pruning).
+    pub pruned: usize,
+    /// Estimated cardinality at the moment evaluation started (SSO/Hybrid).
+    pub estimated_answers: f64,
+    /// Ancestor-descendant shortcut pairs materialized (data-relaxation
+    /// baseline only).
+    pub shortcut_pairs: u64,
+}
+
+/// The result of a top-K run.
+#[derive(Debug, Clone)]
+pub struct TopKResult {
+    /// Top-K answers, best first under the request's ranking scheme.
+    pub answers: Vec<Answer>,
+    /// Execution counters.
+    pub stats: ExecStats,
+}
+
+impl TopKResult {
+    /// Answer nodes in rank order.
+    pub fn nodes(&self) -> Vec<NodeId> {
+        self.answers.iter().map(|a| a.node).collect()
+    }
+
+    /// `(ss, ks)` pairs in rank order.
+    pub fn scores(&self) -> Vec<(f64, f64)> {
+        self.answers.iter().map(|a| (a.score.ss, a.score.ks)).collect()
+    }
+}
+
+/// Sorts answers best-first under `scheme`, breaking exact ties by document
+/// order for determinism.
+pub fn sort_answers(answers: &mut [Answer], scheme: RankingScheme) {
+    answers.sort_by(|a, b| {
+        b.score
+            .cmp_under(&a.score, scheme)
+            .then(a.node.cmp(&b.node))
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ans(node: u32, ss: f64, ks: f64) -> Answer {
+        Answer {
+            node: NodeId(node),
+            score: AnswerScore { ss, ks },
+            satisfied: u64::MAX,
+            relaxation_level: 0,
+        }
+    }
+
+    #[test]
+    fn sort_answers_structure_first() {
+        let mut v = vec![ans(1, 2.0, 0.9), ans(2, 3.0, 0.1), ans(3, 3.0, 0.5)];
+        sort_answers(&mut v, RankingScheme::StructureFirst);
+        let nodes: Vec<u32> = v.iter().map(|a| a.node.0).collect();
+        assert_eq!(nodes, [3, 2, 1]);
+    }
+
+    #[test]
+    fn sort_answers_keyword_first() {
+        let mut v = vec![ans(1, 2.0, 0.9), ans(2, 3.0, 0.1), ans(3, 3.0, 0.5)];
+        sort_answers(&mut v, RankingScheme::KeywordFirst);
+        let nodes: Vec<u32> = v.iter().map(|a| a.node.0).collect();
+        assert_eq!(nodes, [1, 3, 2]);
+    }
+
+    #[test]
+    fn ties_break_by_document_order() {
+        let mut v = vec![ans(9, 1.0, 0.0), ans(3, 1.0, 0.0), ans(5, 1.0, 0.0)];
+        sort_answers(&mut v, RankingScheme::Combined);
+        let nodes: Vec<u32> = v.iter().map(|a| a.node.0).collect();
+        assert_eq!(nodes, [3, 5, 9]);
+    }
+
+    #[test]
+    fn request_builder_defaults() {
+        let q = flexpath_tpq::TpqBuilder::new("a").build();
+        let r = TopKRequest::new(q, 10);
+        assert_eq!(r.k, 10);
+        assert_eq!(r.scheme, RankingScheme::StructureFirst);
+        let r = r.with_scheme(RankingScheme::Combined);
+        assert_eq!(r.scheme, RankingScheme::Combined);
+    }
+}

@@ -1,0 +1,722 @@
+//! Full-text evaluation with most-specific-element semantics.
+//!
+//! Following the paper's implementation note (Section 5.1: *"we use the same
+//! techniques as in [20, 29] that return the most specific elements that
+//! satisfy the full-text expression"*), evaluation returns the *minimal*
+//! elements whose subtree satisfies the expression — no returned element
+//! has a descendant that also satisfies it. Scores are tf-idf with an
+//! XRANK-style per-level decay (tokens found deeper below the scored element
+//! contribute less), normalized so the best match scores `1.0`.
+//!
+//! ## Negation safety
+//!
+//! Evaluation requires at least one positive term
+//! ([`FtExpr::has_positive_term`]); `Not` is *safe* only inside a
+//! conjunction that has a positive conjunct ([`FtExpr::is_safe`]) — a
+//! disjunctive negation has no finite witness set at element granularity.
+
+use crate::ftexpr::FtExpr;
+use crate::index::InvertedIndex;
+use flexpath_xmldom::{Document, NodeId, Sym};
+use std::collections::HashSet;
+
+/// Score decay per level of depth between the direct holder of a token and
+/// the element being scored (XRANK's hyperlink-style dampening).
+const LEVEL_DECAY: f64 = 0.8;
+
+/// How match scores are computed before normalization.
+///
+/// The paper treats the IR engine's scoring as a black box returning
+/// normalized `(node, score)` pairs, so any model respecting that contract
+/// plugs in. Two classics are provided.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ScoringModel {
+    /// `Σ idf · (1 + ln tf) · decay^depth` — the XRANK-flavoured default
+    /// (deeper witnesses contribute less to an ancestor's score).
+    TfIdfDecay {
+        /// Per-level dampening factor in `(0, 1]`.
+        decay: f64,
+    },
+    /// Okapi BM25 over element subtrees: term frequency saturates with `k1`
+    /// and is normalized by subtree length against the average element
+    /// length with `b`.
+    Bm25 {
+        /// Saturation parameter (classic default 1.2).
+        k1: f64,
+        /// Length-normalization strength in `[0, 1]` (classic default 0.75).
+        b: f64,
+    },
+}
+
+impl Default for ScoringModel {
+    fn default() -> Self {
+        ScoringModel::TfIdfDecay { decay: LEVEL_DECAY }
+    }
+}
+
+impl ScoringModel {
+    /// The classic BM25 parameterization.
+    pub fn bm25() -> Self {
+        ScoringModel::Bm25 { k1: 1.2, b: 0.75 }
+    }
+}
+
+impl FtExpr {
+    /// Whether negation only occurs beneath a conjunction that also has a
+    /// positive conjunct (the fragment [`InvertedIndex::evaluate`] computes
+    /// exactly).
+    pub fn is_safe(&self) -> bool {
+        fn check(e: &FtExpr, guarded: bool) -> bool {
+            match e {
+                FtExpr::Term(_) | FtExpr::Phrase(_) | FtExpr::Window { .. } => true,
+                FtExpr::And(xs) => {
+                    let has_positive = xs.iter().any(FtExpr::has_positive_term);
+                    xs.iter().all(|x| check(x, has_positive))
+                }
+                FtExpr::Or(xs) => xs.iter().all(|x| x.has_positive_term() && check(x, false)),
+                FtExpr::Not(inner) => guarded && check(inner, false),
+            }
+        }
+        self.has_positive_term() && check(self, false)
+    }
+}
+
+/// The result of evaluating one [`FtExpr`] against one document: the ranked
+/// `(node, score)` contract FleXPath expects from its IR engine.
+#[derive(Debug, Clone)]
+pub struct FtEval {
+    /// Most-specific satisfying elements in ascending id (document) order,
+    /// with scores normalized to `(0, 1]`.
+    matches: Vec<(NodeId, f64)>,
+}
+
+impl FtEval {
+    /// An evaluation with no matches.
+    pub fn empty() -> Self {
+        FtEval {
+            matches: Vec::new(),
+        }
+    }
+
+    /// Most-specific matches in document order.
+    pub fn matches(&self) -> &[(NodeId, f64)] {
+        &self.matches
+    }
+
+    /// Matches sorted by descending score (the IR engine's ranked list).
+    pub fn ranked(&self) -> Vec<(NodeId, f64)> {
+        let mut out = self.matches.clone();
+        out.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        out
+    }
+
+    /// Number of most-specific matches.
+    pub fn len(&self) -> usize {
+        self.matches.len()
+    }
+
+    /// Whether nothing matched.
+    pub fn is_empty(&self) -> bool {
+        self.matches.is_empty()
+    }
+
+    /// Does the subtree rooted at `n` satisfy the expression?
+    ///
+    /// O(log m): a subtree is a contiguous id range and matches are sorted.
+    pub fn satisfies(&self, doc: &Document, n: NodeId) -> bool {
+        let last = doc.subtree_last(n);
+        let lo = self.matches.partition_point(|(m, _)| *m < n);
+        lo < self.matches.len() && self.matches[lo].0 <= last
+    }
+
+    /// Keyword score of context node `n`: the best match score within its
+    /// subtree (`0.0` when the subtree does not satisfy the expression).
+    pub fn score(&self, doc: &Document, n: NodeId) -> f64 {
+        let last = doc.subtree_last(n);
+        let lo = self.matches.partition_point(|(m, _)| *m < n);
+        let hi = self.matches.partition_point(|(m, _)| *m <= last);
+        self.matches[lo..hi]
+            .iter()
+            .map(|(_, s)| *s)
+            .fold(0.0, f64::max)
+    }
+
+    /// `#contains(tag, expr)`: how many elements with `tag` satisfy the
+    /// expression (the count FleXPath's contains-promotion penalty uses).
+    pub fn count_for_tag(&self, doc: &Document, tag: Sym) -> u64 {
+        doc.nodes_with_tag(tag)
+            .iter()
+            .filter(|&&n| self.satisfies(doc, n))
+            .count() as u64
+    }
+}
+
+/// A positive atom (term / phrase / window) compiled against the index.
+struct Atom {
+    /// Elements whose direct text satisfies the atom, ascending id, with
+    /// the atom's term frequency there.
+    holders: Vec<(NodeId, u32)>,
+    /// idf weight of the atom.
+    idf: f64,
+    /// Whether the atom occurs under a `Not` (satisfaction only, no score).
+    scoring: bool,
+}
+
+impl Atom {
+    fn any_in_range(&self, from: NodeId, to: NodeId) -> bool {
+        let lo = self.holders.partition_point(|(n, _)| *n < from);
+        lo < self.holders.len() && self.holders[lo].0 <= to
+    }
+}
+
+enum Compiled {
+    Atom(usize),
+    And(Vec<Compiled>),
+    Or(Vec<Compiled>),
+    Not(Box<Compiled>),
+}
+
+impl InvertedIndex {
+    /// Evaluates `expr`, returning the most-specific satisfying elements
+    /// with normalized scores under the default scoring model. Returns
+    /// [`FtEval::empty`] for expressions without positive terms.
+    pub fn evaluate(&self, doc: &Document, expr: &FtExpr) -> FtEval {
+        self.evaluate_with(doc, expr, ScoringModel::default())
+    }
+
+    /// [`evaluate`](Self::evaluate) with an explicit [`ScoringModel`].
+    /// Satisfaction (which elements match) is model-independent; only the
+    /// scores differ.
+    pub fn evaluate_with(&self, doc: &Document, expr: &FtExpr, model: ScoringModel) -> FtEval {
+        if !expr.has_positive_term() {
+            return FtEval::empty();
+        }
+        let mut atoms = Vec::new();
+        let compiled = self.compile(expr, true, &mut atoms);
+
+        // Candidate universe: ancestors-or-self of every holder of every
+        // atom — for safe expressions any satisfying element must contain a
+        // positive witness.
+        let mut universe: HashSet<NodeId> = HashSet::new();
+        for atom in &atoms {
+            for &(holder, _) in &atom.holders {
+                if universe.insert(holder) {
+                    for anc in doc.ancestors(holder) {
+                        if !universe.insert(anc) {
+                            break; // ancestors already recorded
+                        }
+                    }
+                }
+            }
+        }
+
+        let mut satisfying: Vec<NodeId> = universe
+            .into_iter()
+            .filter(|&e| sat(&compiled, &atoms, e, doc.subtree_last(e)))
+            .collect();
+        satisfying.sort_unstable();
+
+        // Most-specific filter: ids in a subtree are contiguous, so a
+        // candidate has a satisfying descendant iff the *next* candidate
+        // falls inside its range.
+        let mut specific: Vec<NodeId> = Vec::new();
+        for (i, &e) in satisfying.iter().enumerate() {
+            let has_inner = satisfying
+                .get(i + 1)
+                .map(|&next| next <= doc.subtree_last(e))
+                .unwrap_or(false);
+            if !has_inner {
+                specific.push(e);
+            }
+        }
+
+        // Model-dependent scoring, then normalization to (0, 1].
+        let avgdl = self.avg_element_length().max(1.0);
+        let mut matches: Vec<(NodeId, f64)> = specific
+            .into_iter()
+            .map(|e| {
+                let last = doc.subtree_last(e);
+                let elevel = doc.level(e) as i64;
+                let mut score = 0.0;
+                for atom in &atoms {
+                    if !atom.scoring {
+                        continue;
+                    }
+                    let lo = atom.holders.partition_point(|(n, _)| *n < e);
+                    let hi = atom.holders.partition_point(|(n, _)| *n <= last);
+                    match model {
+                        ScoringModel::TfIdfDecay { decay } => {
+                            for &(holder, tf) in &atom.holders[lo..hi] {
+                                let depth =
+                                    (doc.level(holder) as i64 - elevel).max(0) as i32;
+                                score += atom.idf
+                                    * (1.0 + f64::from(tf).ln())
+                                    * decay.powi(depth);
+                            }
+                        }
+                        ScoringModel::Bm25 { k1, b } => {
+                            let tf: f64 = atom.holders[lo..hi]
+                                .iter()
+                                .map(|&(_, tf)| f64::from(tf))
+                                .sum();
+                            if tf > 0.0 {
+                                let dl = self.subtree_token_count(doc, e) as f64;
+                                let norm = k1 * (1.0 - b + b * dl / avgdl);
+                                score += atom.idf * (tf * (k1 + 1.0)) / (tf + norm);
+                            }
+                        }
+                    }
+                }
+                (e, score)
+            })
+            .collect();
+        let max = matches.iter().map(|(_, s)| *s).fold(0.0, f64::max);
+        if max > 0.0 {
+            for (_, s) in &mut matches {
+                *s /= max;
+            }
+        } else {
+            // Degenerate (e.g. satisfaction through Not only): uniform score.
+            for (_, s) in &mut matches {
+                *s = 1.0;
+            }
+        }
+        FtEval { matches }
+    }
+
+    fn compile(&self, expr: &FtExpr, scoring: bool, atoms: &mut Vec<Atom>) -> Compiled {
+        match expr {
+            FtExpr::Term(t) => {
+                let holders = self
+                    .posting(t)
+                    .map(|p| p.entries.iter().map(|e| (e.node, e.tf())).collect())
+                    .unwrap_or_default();
+                atoms.push(Atom {
+                    holders,
+                    idf: self.idf(t),
+                    scoring,
+                });
+                Compiled::Atom(atoms.len() - 1)
+            }
+            FtExpr::Phrase(terms) => {
+                let holders = self.phrase_holders(terms);
+                let idf = terms.iter().map(|t| self.idf(t)).sum();
+                atoms.push(Atom {
+                    holders,
+                    idf,
+                    scoring,
+                });
+                Compiled::Atom(atoms.len() - 1)
+            }
+            FtExpr::Window { terms, window } => {
+                let holders = self.window_holders(terms, *window);
+                let idf = terms.iter().map(|t| self.idf(t)).sum();
+                atoms.push(Atom {
+                    holders,
+                    idf,
+                    scoring,
+                });
+                Compiled::Atom(atoms.len() - 1)
+            }
+            FtExpr::And(xs) => {
+                Compiled::And(xs.iter().map(|x| self.compile(x, scoring, atoms)).collect())
+            }
+            FtExpr::Or(xs) => {
+                Compiled::Or(xs.iter().map(|x| self.compile(x, scoring, atoms)).collect())
+            }
+            FtExpr::Not(inner) => Compiled::Not(Box::new(self.compile(inner, false, atoms))),
+        }
+    }
+
+    /// Elements whose direct text contains the terms at consecutive
+    /// positions, with the number of phrase occurrences.
+    fn phrase_holders(&self, terms: &[String]) -> Vec<(NodeId, u32)> {
+        if terms.is_empty() {
+            return Vec::new();
+        }
+        if terms.len() == 1 {
+            return self
+                .posting(&terms[0])
+                .map(|p| p.entries.iter().map(|e| (e.node, e.tf())).collect())
+                .unwrap_or_default();
+        }
+        let Some(first) = self.posting(&terms[0]) else {
+            return Vec::new();
+        };
+        let rest: Option<Vec<_>> = terms[1..].iter().map(|t| self.posting(t)).collect();
+        let Some(rest) = rest else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        for entry in &first.entries {
+            // Locate the same element in every other posting list.
+            let followers: Option<Vec<&[u32]>> = rest
+                .iter()
+                .map(|p| {
+                    let i = p.lower_bound(entry.node);
+                    p.entries
+                        .get(i)
+                        .filter(|e| e.node == entry.node)
+                        .map(|e| e.positions.as_slice())
+                })
+                .collect();
+            let Some(followers) = followers else { continue };
+            let mut occurrences = 0u32;
+            for &start in &entry.positions {
+                let chained = followers
+                    .iter()
+                    .enumerate()
+                    .all(|(k, pos)| pos.binary_search(&(start + 1 + k as u32)).is_ok());
+                if chained {
+                    occurrences += 1;
+                }
+            }
+            if occurrences > 0 {
+                out.push((entry.node, occurrences));
+            }
+        }
+        out
+    }
+
+    /// Elements whose direct text contains every term within a positional
+    /// window of `window` tokens.
+    fn window_holders(&self, terms: &[String], window: u32) -> Vec<(NodeId, u32)> {
+        if terms.is_empty() {
+            return Vec::new();
+        }
+        let postings: Option<Vec<_>> = terms.iter().map(|t| self.posting(t)).collect();
+        let Some(postings) = postings else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        for entry in &postings[0].entries {
+            let per_term: Option<Vec<&[u32]>> = postings
+                .iter()
+                .map(|p| {
+                    let i = p.lower_bound(entry.node);
+                    p.entries
+                        .get(i)
+                        .filter(|e| e.node == entry.node)
+                        .map(|e| e.positions.as_slice())
+                })
+                .collect();
+            let Some(per_term) = per_term else { continue };
+            // Sliding window over the merged position stream: does any span
+            // of width < window cover all terms?
+            let mut merged: Vec<(u32, usize)> = Vec::new();
+            for (k, positions) in per_term.iter().enumerate() {
+                merged.extend(positions.iter().map(|&p| (p, k)));
+            }
+            merged.sort_unstable();
+            let mut counts = vec![0u32; terms.len()];
+            let mut covered = 0usize;
+            let mut left = 0usize;
+            let mut hit = false;
+            for right in 0..merged.len() {
+                let (rp, rk) = merged[right];
+                counts[rk] += 1;
+                if counts[rk] == 1 {
+                    covered += 1;
+                }
+                while rp - merged[left].0 >= window {
+                    let (_, lk) = merged[left];
+                    counts[lk] -= 1;
+                    if counts[lk] == 0 {
+                        covered -= 1;
+                    }
+                    left += 1;
+                }
+                if covered == terms.len() {
+                    hit = true;
+                    break;
+                }
+            }
+            if hit {
+                out.push((entry.node, 1));
+            }
+        }
+        out
+    }
+}
+
+fn sat(c: &Compiled, atoms: &[Atom], from: NodeId, to: NodeId) -> bool {
+    match c {
+        Compiled::Atom(i) => atoms[*i].any_in_range(from, to),
+        Compiled::And(xs) => xs.iter().all(|x| sat(x, atoms, from, to)),
+        Compiled::Or(xs) => xs.iter().any(|x| sat(x, atoms, from, to)),
+        Compiled::Not(inner) => !sat(inner, atoms, from, to),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexpath_xmldom::parse;
+
+    fn eval(xml: &str, query: &str) -> (Document, FtEval) {
+        let doc = parse(xml).unwrap();
+        let idx = InvertedIndex::build(&doc);
+        let expr = FtExpr::parse(query).unwrap();
+        let ev = idx.evaluate(&doc, &expr);
+        (doc, ev)
+    }
+
+    #[test]
+    fn single_term_matches_direct_holder() {
+        let (doc, ev) = eval("<a><b>gold coin</b><c>silver</c></a>", "\"gold\"");
+        let b = doc.nodes_with_tag_name("b")[0];
+        assert_eq!(ev.len(), 1);
+        assert_eq!(ev.matches()[0].0, b);
+        assert_eq!(ev.matches()[0].1, 1.0);
+    }
+
+    #[test]
+    fn conjunction_returns_most_specific_common_container() {
+        // "xml" in one paragraph, "streaming" in a sibling — the most
+        // specific element whose subtree has both is the section.
+        let (doc, ev) = eval(
+            "<article><section><p>XML data</p><p>streaming queries</p></section></article>",
+            "\"XML\" and \"streaming\"",
+        );
+        let section = doc.nodes_with_tag_name("section")[0];
+        assert_eq!(ev.len(), 1);
+        assert_eq!(ev.matches()[0].0, section);
+    }
+
+    #[test]
+    fn most_specific_filter_prefers_descendants() {
+        // Both words inside one paragraph: the paragraph wins, not the
+        // section or article.
+        let (doc, ev) = eval(
+            "<article><section><p>XML streaming</p></section></article>",
+            "\"XML\" and \"streaming\"",
+        );
+        let p = doc.nodes_with_tag_name("p")[0];
+        assert_eq!(ev.matches(), &[(p, 1.0)]);
+    }
+
+    #[test]
+    fn satisfies_propagates_to_ancestors_only() {
+        let (doc, ev) = eval(
+            "<article><section><p>XML streaming</p></section><other>nothing</other></article>",
+            "\"XML\" and \"streaming\"",
+        );
+        let article = doc.root_element();
+        let section = doc.nodes_with_tag_name("section")[0];
+        let p = doc.nodes_with_tag_name("p")[0];
+        let other = doc.nodes_with_tag_name("other")[0];
+        for n in [article, section, p] {
+            assert!(ev.satisfies(&doc, n), "{n} should satisfy");
+        }
+        assert!(!ev.satisfies(&doc, other));
+        // The closure inference rule: ancestors score at least... scores are
+        // the max within subtree, so ancestors inherit the best descendant.
+        assert!(ev.score(&doc, article) >= ev.score(&doc, p) - 1e-12);
+        assert_eq!(ev.score(&doc, other), 0.0);
+    }
+
+    #[test]
+    fn or_matches_either_side() {
+        let (doc, ev) = eval(
+            "<r><a>gold</a><b>silver</b><c>copper</c></r>",
+            "\"gold\" or \"silver\"",
+        );
+        let ids: Vec<NodeId> = ev.matches().iter().map(|(n, _)| *n).collect();
+        let a = doc.nodes_with_tag_name("a")[0];
+        let b = doc.nodes_with_tag_name("b")[0];
+        assert_eq!(ids, vec![a, b]);
+    }
+
+    #[test]
+    fn negation_filters_in_conjunctions() {
+        let (doc, ev) = eval(
+            "<r><a>gold ring</a><b>gold plated ring</b></r>",
+            "\"gold\" and not \"plated\"",
+        );
+        let a = doc.nodes_with_tag_name("a")[0];
+        assert_eq!(ev.matches().len(), 1);
+        assert_eq!(ev.matches()[0].0, a);
+        // <r> is not a match: its subtree contains "plated".
+        assert!(!ev.satisfies(&doc, doc.root_element()) || ev.matches()[0].0 != doc.root_element());
+    }
+
+    #[test]
+    fn phrase_requires_adjacency_in_one_element() {
+        let (doc, ev) = eval(
+            "<r><a>vintage gold coin</a><b>gold vintage coin</b><c>vintage <i>gap</i> gold</c></r>",
+            "\"vintage gold\"",
+        );
+        let a = doc.nodes_with_tag_name("a")[0];
+        assert_eq!(ev.matches().len(), 1);
+        assert_eq!(ev.matches()[0].0, a);
+    }
+
+    #[test]
+    fn window_allows_bounded_gap() {
+        let doc = parse("<r><a>gold one two silver</a><b>gold one two three four five silver</b></r>").unwrap();
+        let idx = InvertedIndex::build(&doc);
+        let near = FtExpr::Window {
+            terms: vec!["gold".into(), "silver".into()],
+            window: 4,
+        };
+        let ev = idx.evaluate(&doc, &near);
+        let a = doc.nodes_with_tag_name("a")[0];
+        assert_eq!(ev.matches().len(), 1);
+        assert_eq!(ev.matches()[0].0, a);
+    }
+
+    #[test]
+    fn scores_are_normalized_and_tf_sensitive() {
+        let (doc, ev) = eval(
+            "<r><a>gold gold gold</a><b>gold</b></r>",
+            "\"gold\"",
+        );
+        let a = doc.nodes_with_tag_name("a")[0];
+        let b = doc.nodes_with_tag_name("b")[0];
+        let score = |n: NodeId| {
+            ev.matches()
+                .iter()
+                .find(|(m, _)| *m == n)
+                .map(|(_, s)| *s)
+                .unwrap()
+        };
+        assert_eq!(score(a), 1.0);
+        assert!(score(b) < 1.0 && score(b) > 0.0);
+        for (_, s) in ev.matches() {
+            assert!((0.0..=1.0).contains(s));
+        }
+        let _ = doc;
+    }
+
+    #[test]
+    fn ranked_is_descending() {
+        let (_, ev) = eval(
+            "<r><a>gold gold</a><b>gold</b><c>gold gold gold</c></r>",
+            "\"gold\"",
+        );
+        let ranked = ev.ranked();
+        for w in ranked.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+        assert_eq!(ranked[0].1, 1.0);
+    }
+
+    #[test]
+    fn count_for_tag_counts_satisfying_subtrees() {
+        let (doc, ev) = eval(
+            "<r><s><p>xml streaming</p></s><s><p>xml only</p></s><s><p>streaming only</p></s></r>",
+            "\"xml\" and \"streaming\"",
+        );
+        let s = doc.symbols().lookup("s").unwrap();
+        let p = doc.symbols().lookup("p").unwrap();
+        let r = doc.symbols().lookup("r").unwrap();
+        assert_eq!(ev.count_for_tag(&doc, s), 1);
+        assert_eq!(ev.count_for_tag(&doc, p), 1);
+        assert_eq!(ev.count_for_tag(&doc, r), 1);
+    }
+
+    #[test]
+    fn no_match_yields_empty_eval() {
+        let (doc, ev) = eval("<r><a>gold</a></r>", "\"platinum\"");
+        assert!(ev.is_empty());
+        assert!(!ev.satisfies(&doc, doc.root_element()));
+        assert_eq!(ev.score(&doc, doc.root_element()), 0.0);
+    }
+
+    #[test]
+    fn stemming_unifies_query_and_document_forms() {
+        let (doc, ev) = eval("<r><a>streaming algorithms</a></r>", "\"streams\" and \"algorithm\"");
+        assert_eq!(ev.len(), 1);
+        assert_eq!(ev.matches()[0].0, doc.nodes_with_tag_name("a")[0]);
+    }
+
+    #[test]
+    fn safety_classification() {
+        assert!(FtExpr::parse("\"a1\" and not \"b1\"").unwrap().is_safe());
+        assert!(FtExpr::parse("\"a1\" or \"b1\"").unwrap().is_safe());
+        let not_only = FtExpr::Not(Box::new(FtExpr::term("a1")));
+        assert!(!not_only.is_safe());
+        let or_with_not = FtExpr::Or(vec![FtExpr::term("a1"), not_only.clone()]);
+        assert!(!or_with_not.is_safe());
+    }
+
+    #[test]
+    fn bm25_and_tfidf_agree_on_satisfaction() {
+        let doc = parse(
+            "<r><a>gold gold gold</a><b>gold</b><c><d>gold coin</d>filler filler</c></r>",
+        )
+        .unwrap();
+        let idx = InvertedIndex::build(&doc);
+        let expr = FtExpr::term("gold");
+        let tfidf = idx.evaluate_with(&doc, &expr, ScoringModel::default());
+        let bm25 = idx.evaluate_with(&doc, &expr, ScoringModel::bm25());
+        let nodes = |e: &FtEval| e.matches().iter().map(|(n, _)| *n).collect::<Vec<_>>();
+        assert_eq!(nodes(&tfidf), nodes(&bm25));
+        for n in doc.elements() {
+            assert_eq!(tfidf.satisfies(&doc, n), bm25.satisfies(&doc, n));
+        }
+    }
+
+    #[test]
+    fn bm25_saturates_term_frequency() {
+        // Under BM25, tf 100 vs tf 1 differs far less than 100×.
+        let many = "gold ".repeat(100);
+        let xml = format!("<r><a>{many}</a><b>gold</b></r>");
+        let doc = parse(&xml).unwrap();
+        let idx = InvertedIndex::build(&doc);
+        let ev = idx.evaluate_with(&doc, &FtExpr::term("gold"), ScoringModel::bm25());
+        let a = doc.nodes_with_tag_name("a")[0];
+        let b = doc.nodes_with_tag_name("b")[0];
+        let score = |n| ev.matches().iter().find(|(m, _)| *m == n).unwrap().1;
+        assert_eq!(score(a), 1.0);
+        assert!(score(b) > 0.3, "BM25 saturation keeps tf=1 competitive: {}", score(b));
+    }
+
+    #[test]
+    fn bm25_penalizes_long_elements() {
+        // Same tf, different lengths: the shorter element scores higher.
+        let filler = "filler ".repeat(60);
+        let xml = format!("<r><short>gold coin</short><long>gold {filler}</long></r>");
+        let doc = parse(&xml).unwrap();
+        let idx = InvertedIndex::build(&doc);
+        let ev = idx.evaluate_with(&doc, &FtExpr::term("gold"), ScoringModel::bm25());
+        let short = doc.nodes_with_tag_name("short")[0];
+        let long = doc.nodes_with_tag_name("long")[0];
+        let score = |n| ev.matches().iter().find(|(m, _)| *m == n).unwrap().1;
+        assert!(
+            score(short) > score(long),
+            "length normalization must favour the short element"
+        );
+    }
+
+    #[test]
+    fn token_counts_back_bm25_lengths() {
+        let doc = parse("<r><a>one two <b>three</b></a>four</r>").unwrap();
+        let idx = InvertedIndex::build(&doc);
+        let r = doc.root_element();
+        let a = doc.nodes_with_tag_name("a")[0];
+        let b = doc.nodes_with_tag_name("b")[0];
+        assert_eq!(idx.direct_token_count(r), 1); // "four"
+        assert_eq!(idx.direct_token_count(a), 2);
+        assert_eq!(idx.direct_token_count(b), 1);
+        assert_eq!(idx.subtree_token_count(&doc, r), 4);
+        assert_eq!(idx.subtree_token_count(&doc, a), 3);
+        assert!(idx.avg_element_length() > 0.0);
+    }
+
+    #[test]
+    fn deep_nesting_scores_decay() {
+        let (doc, ev) = eval(
+            "<r><shallow>gold</shallow><deep><l1><l2><l3>gold</l3></l2></l1></deep></r>",
+            "\"gold\"",
+        );
+        // Both leaves are most-specific matches with the same tf; direct
+        // holders score equally (decay applies relative to the match, which
+        // *is* the holder here) — so both are 1.0.
+        assert_eq!(ev.len(), 2);
+        assert!(ev.matches().iter().all(|(_, s)| *s == 1.0));
+        // But the *root*'s score sees the shallow one at less decay; the
+        // max-based context score is still positive.
+        assert!(ev.score(&doc, doc.root_element()) > 0.0);
+    }
+}

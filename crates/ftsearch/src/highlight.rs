@@ -1,0 +1,184 @@
+//! Keyword highlighting for result presentation.
+//!
+//! Given an answer node and the full-text expression that matched it,
+//! produce a snippet with the matching words marked — the standard "hit
+//! highlighting" any IR front end provides. Matching is stem-based, so
+//! a query for `"stream"` highlights `streaming` too.
+
+use crate::ftexpr::FtExpr;
+use crate::stem::stem;
+use flexpath_xmldom::{Document, NodeId};
+use std::collections::HashSet;
+
+/// How matches are marked.
+#[derive(Debug, Clone)]
+pub struct HighlightStyle {
+    /// Inserted before each matching word (default `**`).
+    pub open: String,
+    /// Inserted after each matching word (default `**`).
+    pub close: String,
+    /// Maximum snippet length in characters (`0` = unlimited). The snippet
+    /// is centred on the first match.
+    pub max_chars: usize,
+}
+
+impl Default for HighlightStyle {
+    fn default() -> Self {
+        HighlightStyle {
+            open: "**".into(),
+            close: "**".into(),
+            max_chars: 160,
+        }
+    }
+}
+
+/// Renders the subtree text of `node` with every word whose stem occurs in
+/// `expr`'s positive terms wrapped in the style's markers.
+pub fn highlight(
+    doc: &Document,
+    node: NodeId,
+    expr: &FtExpr,
+    style: &HighlightStyle,
+) -> String {
+    let targets: HashSet<String> = expr
+        .positive_terms()
+        .into_iter()
+        .map(|t| t.to_string())
+        .collect();
+
+    // Walk text nodes, tokenizing with char positions so markers land
+    // exactly around the original (un-normalized) words.
+    let mut rendered = String::new();
+    let mut first_match: Option<usize> = None;
+    for d in doc.descendants_or_self(node) {
+        let Some(text) = doc.text_content(d) else {
+            continue;
+        };
+        if !rendered.is_empty() && !rendered.ends_with(' ') {
+            rendered.push(' ');
+        }
+        let mut chars = text.char_indices().peekable();
+        while let Some(&(start, c)) = chars.peek() {
+            if c.is_alphanumeric() {
+                let mut end = start;
+                let mut word = String::new();
+                while let Some(&(i, c)) = chars.peek() {
+                    if !c.is_alphanumeric() {
+                        break;
+                    }
+                    end = i + c.len_utf8();
+                    word.extend(c.to_lowercase());
+                    chars.next();
+                }
+                let original = &text[start..end];
+                if targets.contains(&stem(&word)) {
+                    if first_match.is_none() {
+                        first_match = Some(rendered.len());
+                    }
+                    rendered.push_str(&style.open);
+                    rendered.push_str(original);
+                    rendered.push_str(&style.close);
+                } else {
+                    rendered.push_str(original);
+                }
+            } else {
+                rendered.push(c);
+                chars.next();
+            }
+        }
+    }
+
+    // Window the snippet around the first match.
+    if style.max_chars > 0 && rendered.chars().count() > style.max_chars {
+        let centre = first_match.unwrap_or(0);
+        // Convert the byte offset into a char offset.
+        let centre_chars = rendered[..centre.min(rendered.len())].chars().count();
+        let half = style.max_chars / 2;
+        let from = centre_chars.saturating_sub(half);
+        let windowed: String = rendered.chars().skip(from).take(style.max_chars).collect();
+        let mut out = String::new();
+        if from > 0 {
+            out.push('…');
+        }
+        out.push_str(windowed.trim());
+        out.push('…');
+        out
+    } else {
+        rendered.trim().to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexpath_xmldom::parse;
+
+    #[test]
+    fn marks_matching_words() {
+        let doc = parse("<a>pure gold and silver rings</a>").unwrap();
+        let expr = FtExpr::parse("\"gold\" and \"silver\"").unwrap();
+        let out = highlight(&doc, doc.root_element(), &expr, &HighlightStyle::default());
+        assert_eq!(out, "pure **gold** and **silver** rings");
+    }
+
+    #[test]
+    fn stemmed_forms_are_highlighted() {
+        let doc = parse("<a>streams and streaming workloads</a>").unwrap();
+        let expr = FtExpr::term("stream");
+        let out = highlight(&doc, doc.root_element(), &expr, &HighlightStyle::default());
+        assert_eq!(out, "**streams** and **streaming** workloads");
+    }
+
+    #[test]
+    fn original_casing_is_preserved() {
+        let doc = parse("<a>XML Streaming</a>").unwrap();
+        let expr = FtExpr::all_of(&["xml", "streaming"]);
+        let out = highlight(&doc, doc.root_element(), &expr, &HighlightStyle::default());
+        assert_eq!(out, "**XML** **Streaming**");
+    }
+
+    #[test]
+    fn long_text_windows_around_first_match() {
+        let filler = "lorem ipsum dolor sit amet ".repeat(20);
+        let xml = format!("<a>{filler} gold here {filler}</a>");
+        let doc = parse(&xml).unwrap();
+        let expr = FtExpr::term("gold");
+        let style = HighlightStyle {
+            max_chars: 60,
+            ..Default::default()
+        };
+        let out = highlight(&doc, doc.root_element(), &expr, &style);
+        assert!(out.contains("**gold**"), "{out}");
+        assert!(out.chars().count() <= 64, "window respected: {out}");
+        assert!(out.starts_with('…') && out.ends_with('…'));
+    }
+
+    #[test]
+    fn custom_markers_apply() {
+        let doc = parse("<a>gold</a>").unwrap();
+        let expr = FtExpr::term("gold");
+        let style = HighlightStyle {
+            open: "<em>".into(),
+            close: "</em>".into(),
+            max_chars: 0,
+        };
+        let out = highlight(&doc, doc.root_element(), &expr, &style);
+        assert_eq!(out, "<em>gold</em>");
+    }
+
+    #[test]
+    fn cross_element_text_gets_separators() {
+        let doc = parse("<a><b>gold</b><c>coin</c></a>").unwrap();
+        let expr = FtExpr::term("gold");
+        let out = highlight(&doc, doc.root_element(), &expr, &HighlightStyle::default());
+        assert_eq!(out, "**gold** coin");
+    }
+
+    #[test]
+    fn no_match_returns_plain_text() {
+        let doc = parse("<a>nothing relevant</a>").unwrap();
+        let expr = FtExpr::term("gold");
+        let out = highlight(&doc, doc.root_element(), &expr, &HighlightStyle::default());
+        assert_eq!(out, "nothing relevant");
+    }
+}

@@ -1,0 +1,289 @@
+//! Element-granularity positional inverted index.
+//!
+//! Every token of every text node is attributed to the text node's *parent
+//! element* (its direct container). Posting lists are keyed by stemmed term
+//! and sorted by element id — i.e. by document order, which lets the
+//! evaluator answer "does the subtree of `n` contain this term?" with a
+//! binary search, because a subtree is a contiguous id range.
+//!
+//! Positions are global token offsets (document order), so phrase and
+//! window predicates compare positions *within one posting entry* only —
+//! tokens from different elements can never form a phrase.
+
+use crate::stem::stem;
+use crate::tokenize::for_each_token;
+use flexpath_xmldom::{Document, NodeId};
+use std::collections::HashMap;
+
+/// One element's occurrences of a term.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PostingEntry {
+    /// The element whose *direct* text contains the term.
+    pub node: NodeId,
+    /// Global token positions of each occurrence, ascending.
+    pub positions: Vec<u32>,
+}
+
+impl PostingEntry {
+    /// Term frequency within this element's direct text.
+    pub fn tf(&self) -> u32 {
+        self.positions.len() as u32
+    }
+}
+
+/// The posting list of one term: entries sorted by element id.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Posting {
+    /// Entries in ascending [`NodeId`] order.
+    pub entries: Vec<PostingEntry>,
+}
+
+impl Posting {
+    /// Document frequency: number of elements directly containing the term.
+    pub fn df(&self) -> u64 {
+        self.entries.len() as u64
+    }
+
+    /// Index of the first entry with `node >= id`.
+    pub fn lower_bound(&self, id: NodeId) -> usize {
+        self.entries.partition_point(|e| e.node < id)
+    }
+
+    /// Entries whose element falls in the (inclusive) id range
+    /// `[from, to]` — i.e. inside one subtree.
+    pub fn entries_in_range(&self, from: NodeId, to: NodeId) -> &[PostingEntry] {
+        let lo = self.lower_bound(from);
+        let hi = self.entries.partition_point(|e| e.node <= to);
+        &self.entries[lo..hi]
+    }
+
+    /// Whether any entry falls in `[from, to]`.
+    pub fn any_in_range(&self, from: NodeId, to: NodeId) -> bool {
+        let lo = self.lower_bound(from);
+        lo < self.entries.len() && self.entries[lo].node <= to
+    }
+}
+
+/// The inverted index over one document.
+#[derive(Debug, Clone)]
+pub struct InvertedIndex {
+    postings: HashMap<Box<str>, Posting>,
+    /// Elements with at least one direct text token (the `N` of idf).
+    scoring_elements: u64,
+    /// Total token count (all elements).
+    total_tokens: u64,
+    /// Prefix sums of per-node direct token counts (index i = tokens of
+    /// nodes `0..i`), enabling O(1) subtree-length lookups for BM25.
+    token_prefix: Vec<u64>,
+}
+
+impl InvertedIndex {
+    /// Builds the index in one pass over the document's text nodes.
+    pub fn build(doc: &Document) -> Self {
+        let mut postings: HashMap<Box<str>, Posting> = HashMap::new();
+        let mut scoring: Vec<bool> = vec![false; doc.node_count()];
+        let mut direct_tokens: Vec<u64> = vec![0; doc.node_count()];
+        let mut position = 0u32;
+        let mut total_tokens = 0u64;
+        for n in doc.all_nodes() {
+            let Some(text) = doc.text_content(n) else {
+                continue;
+            };
+            let parent = doc
+                .parent(n)
+                .expect("text nodes always have an element parent");
+            scoring[parent.index()] = true;
+            for_each_token(text, |tok| {
+                let stemmed = stem(tok);
+                let posting = postings.entry(stemmed.into_boxed_str()).or_default();
+                match posting.entries.last_mut() {
+                    Some(last) if last.node == parent => last.positions.push(position),
+                    _ => posting.entries.push(PostingEntry {
+                        node: parent,
+                        positions: vec![position],
+                    }),
+                }
+                position += 1;
+                total_tokens += 1;
+                direct_tokens[parent.index()] += 1;
+            });
+        }
+        let mut token_prefix = Vec::with_capacity(doc.node_count() + 1);
+        token_prefix.push(0);
+        let mut acc = 0u64;
+        for &c in &direct_tokens {
+            acc += c;
+            token_prefix.push(acc);
+        }
+        // Text-node scan order is document order, but a *parent* can receive
+        // trailing text after a child element's subtree (mixed content), so
+        // entries may arrive out of element-id order and an element may have
+        // several runs. Sort stably and merge runs; within one element,
+        // stable order keeps positions ascending.
+        for posting in postings.values_mut() {
+            posting.entries.sort_by_key(|e| e.node);
+            let mut merged: Vec<PostingEntry> = Vec::with_capacity(posting.entries.len());
+            for entry in posting.entries.drain(..) {
+                match merged.last_mut() {
+                    Some(last) if last.node == entry.node => {
+                        last.positions.extend(entry.positions)
+                    }
+                    _ => merged.push(entry),
+                }
+            }
+            posting.entries = merged;
+        }
+        InvertedIndex {
+            postings,
+            scoring_elements: scoring.iter().filter(|s| **s).count() as u64,
+            total_tokens,
+            token_prefix,
+        }
+    }
+
+    /// Number of tokens directly inside element `n` (not its descendants).
+    pub fn direct_token_count(&self, n: NodeId) -> u64 {
+        self.token_prefix[n.index() + 1] - self.token_prefix[n.index()]
+    }
+
+    /// Number of tokens in the whole subtree of `n` (O(1) via prefix sums).
+    pub fn subtree_token_count(&self, doc: &Document, n: NodeId) -> u64 {
+        let last = doc.subtree_last(n);
+        self.token_prefix[last.index() + 1] - self.token_prefix[n.index()]
+    }
+
+    /// Average direct token count over scoring elements (BM25's `avgdl`).
+    pub fn avg_element_length(&self) -> f64 {
+        if self.scoring_elements == 0 {
+            0.0
+        } else {
+            self.total_tokens as f64 / self.scoring_elements as f64
+        }
+    }
+
+    /// Posting list for an (already stemmed) term.
+    pub fn posting(&self, stemmed_term: &str) -> Option<&Posting> {
+        self.postings.get(stemmed_term)
+    }
+
+    /// Document frequency of an (already stemmed) term.
+    pub fn df(&self, stemmed_term: &str) -> u64 {
+        self.posting(stemmed_term).map_or(0, Posting::df)
+    }
+
+    /// Smoothed inverse document frequency, `ln(1 + N / df)`; 0 for absent
+    /// terms.
+    pub fn idf(&self, stemmed_term: &str) -> f64 {
+        let df = self.df(stemmed_term);
+        if df == 0 {
+            0.0
+        } else {
+            (1.0 + self.scoring_elements as f64 / df as f64).ln()
+        }
+    }
+
+    /// Number of elements with direct text (the idf denominator base).
+    pub fn scoring_elements(&self) -> u64 {
+        self.scoring_elements
+    }
+
+    /// Total number of indexed tokens.
+    pub fn total_tokens(&self) -> u64 {
+        self.total_tokens
+    }
+
+    /// Number of distinct terms.
+    pub fn term_count(&self) -> usize {
+        self.postings.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexpath_xmldom::parse;
+
+    fn index_of(xml: &str) -> (Document, InvertedIndex) {
+        let doc = parse(xml).unwrap();
+        let idx = InvertedIndex::build(&doc);
+        (doc, idx)
+    }
+
+    #[test]
+    fn tokens_attributed_to_direct_parent() {
+        let (doc, idx) = index_of("<a>alpha <b>beta</b> gamma</a>");
+        let a = doc.root_element();
+        let b = doc.nodes_with_tag_name("b")[0];
+        let alpha = idx.posting("alpha").unwrap();
+        assert_eq!(alpha.entries.len(), 1);
+        assert_eq!(alpha.entries[0].node, a);
+        let beta = idx.posting("beta").unwrap();
+        assert_eq!(beta.entries[0].node, b);
+    }
+
+    #[test]
+    fn positions_are_global_and_increasing() {
+        let (_, idx) = index_of("<a>alpha beta <b>gamma</b> delta</a>");
+        let pos = |t: &str| idx.posting(t).unwrap().entries[0].positions[0];
+        assert!(pos("alpha") < pos("beta"));
+        assert!(pos("beta") < pos("gamma"));
+        assert!(pos("gamma") < pos("delta"));
+    }
+
+    #[test]
+    fn repeated_terms_accumulate_tf() {
+        let (_, idx) = index_of("<a>gold gold gold</a>");
+        let p = idx.posting("gold").unwrap();
+        assert_eq!(p.entries.len(), 1);
+        assert_eq!(p.entries[0].tf(), 3);
+    }
+
+    #[test]
+    fn terms_are_stemmed_at_index_time() {
+        let (_, idx) = index_of("<a>streaming algorithms</a>");
+        assert!(idx.posting("stream").is_some());
+        assert!(idx.posting("algorithm").is_some());
+        assert!(idx.posting("streaming").is_none());
+    }
+
+    #[test]
+    fn df_and_idf_behave() {
+        let (_, idx) = index_of("<r><a>gold</a><a>gold</a><a>silver</a></r>");
+        assert_eq!(idx.df("gold"), 2);
+        assert_eq!(idx.df("silver"), 1);
+        assert_eq!(idx.scoring_elements(), 3);
+        assert!(idx.idf("silver") > idx.idf("gold"));
+        assert_eq!(idx.idf("missing"), 0.0);
+    }
+
+    #[test]
+    fn range_queries_respect_subtrees() {
+        let (doc, idx) = index_of("<r><a>gold</a><b>gold</b></r>");
+        let a = doc.nodes_with_tag_name("a")[0];
+        let b = doc.nodes_with_tag_name("b")[0];
+        let p = idx.posting("gold").unwrap();
+        assert!(p.any_in_range(a, doc.subtree_last(a)));
+        assert_eq!(p.entries_in_range(a, doc.subtree_last(a)).len(), 1);
+        assert!(p.any_in_range(b, doc.subtree_last(b)));
+        // Range covering the whole document sees both.
+        let r = doc.root_element();
+        assert_eq!(p.entries_in_range(r, doc.subtree_last(r)).len(), 2);
+    }
+
+    #[test]
+    fn posting_entries_sorted_by_node() {
+        let (_, idx) = index_of("<r><a>x1</a><b>x1</b><c>x1</c></r>");
+        let p = idx.posting("x1").unwrap();
+        for w in p.entries.windows(2) {
+            assert!(w[0].node < w[1].node);
+        }
+    }
+
+    #[test]
+    fn empty_document_indexes_cleanly() {
+        let (_, idx) = index_of("<a/>");
+        assert_eq!(idx.term_count(), 0);
+        assert_eq!(idx.scoring_elements(), 0);
+        assert_eq!(idx.total_tokens(), 0);
+    }
+}

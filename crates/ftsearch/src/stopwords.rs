@@ -1,0 +1,48 @@
+//! A classic English stopword list.
+//!
+//! The inverted index stores *all* tokens (so phrases containing stopwords
+//! still match); this list is for query-side filtering by callers that want
+//! bag-of-words behaviour.
+
+/// Sorted stopword list (binary-searchable).
+static STOPWORDS: &[&str] = &[
+    "a", "about", "after", "all", "also", "an", "and", "any", "are", "as", "at", "be",
+    "because", "been", "but", "by", "can", "could", "do", "for", "from", "had", "has",
+    "have", "he", "her", "his", "how", "if", "in", "into", "is", "it", "its", "just",
+    "like", "more", "most", "my", "no", "not", "of", "on", "one", "only", "or", "other",
+    "our", "out", "over", "she", "so", "some", "such", "than", "that", "the", "their",
+    "them", "then", "there", "these", "they", "this", "to", "under", "up", "was", "we",
+    "were", "what", "when", "where", "which", "who", "will", "with", "would", "you",
+    "your",
+];
+
+/// Whether `word` (already lowercase) is a stopword.
+pub fn is_stopword(word: &str) -> bool {
+    STOPWORDS.binary_search(&word).is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn list_is_sorted_for_binary_search() {
+        let mut sorted = STOPWORDS.to_vec();
+        sorted.sort_unstable();
+        assert_eq!(sorted, STOPWORDS);
+    }
+
+    #[test]
+    fn common_words_are_stopwords() {
+        for w in ["the", "and", "of", "is"] {
+            assert!(is_stopword(w), "{w}");
+        }
+    }
+
+    #[test]
+    fn content_words_are_not() {
+        for w in ["xml", "streaming", "algorithm", "gold"] {
+            assert!(!is_stopword(w), "{w}");
+        }
+    }
+}

@@ -1,0 +1,159 @@
+//! Thesaurus-based keyword expansion — the third "other relaxation" of
+//! paper Section 3.4: *"We could also relax the contains predicate by
+//! making use of thesauri and replacing keywords with more general ones."*
+//!
+//! The paper notes such relaxations "can already be performed by a separate
+//! IR engine before returning its results" — so this lives here, in the IR
+//! engine, as a query-side rewrite: [`Thesaurus::expand`] turns each
+//! `Term` into a disjunction of the term and its synonyms. Expansion is
+//! monotone (it only adds alternatives), so all of FleXPath's closure
+//! reasoning remains valid on the expanded expression.
+
+use crate::ftexpr::FtExpr;
+use crate::stem::stem;
+use std::collections::HashMap;
+
+/// A symmetric synonym table over stemmed terms.
+#[derive(Debug, Clone, Default)]
+pub struct Thesaurus {
+    synonyms: HashMap<Box<str>, Vec<Box<str>>>,
+}
+
+impl Thesaurus {
+    /// An empty thesaurus.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declares a synonym ring: every word becomes a synonym of every other
+    /// (terms are stemmed on entry, duplicates ignored).
+    pub fn add_ring(&mut self, words: &[&str]) -> &mut Self {
+        let stems: Vec<Box<str>> = words.iter().map(|w| stem(w).into_boxed_str()).collect();
+        for (i, a) in stems.iter().enumerate() {
+            let entry = self.synonyms.entry(a.clone()).or_default();
+            for (j, b) in stems.iter().enumerate() {
+                if i != j && !entry.contains(b) {
+                    entry.push(b.clone());
+                }
+            }
+        }
+        self
+    }
+
+    /// Synonyms of a (stemmed) term, excluding the term itself.
+    pub fn synonyms_of(&self, stemmed: &str) -> &[Box<str>] {
+        self.synonyms
+            .get(stemmed)
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Rewrites `expr`, replacing every [`FtExpr::Term`] that has synonyms
+    /// with a disjunction over the synonym ring. Phrases and windows are
+    /// left alone (positional semantics do not survive substitution);
+    /// negated subtrees are left alone too (expanding under a `Not` would
+    /// *strengthen* the query, the opposite of a relaxation).
+    pub fn expand(&self, expr: &FtExpr) -> FtExpr {
+        match expr {
+            FtExpr::Term(t) => {
+                let syns = self.synonyms_of(t);
+                if syns.is_empty() {
+                    expr.clone()
+                } else {
+                    let mut alts = Vec::with_capacity(syns.len() + 1);
+                    alts.push(FtExpr::Term(t.clone()));
+                    alts.extend(syns.iter().map(|s| FtExpr::Term(s.to_string())));
+                    FtExpr::Or(alts)
+                }
+            }
+            FtExpr::And(xs) => FtExpr::And(xs.iter().map(|x| self.expand(x)).collect()),
+            FtExpr::Or(xs) => FtExpr::Or(xs.iter().map(|x| self.expand(x)).collect()),
+            FtExpr::Not(_) | FtExpr::Phrase(_) | FtExpr::Window { .. } => expr.clone(),
+        }
+    }
+
+    /// Whether the thesaurus has any entries.
+    pub fn is_empty(&self) -> bool {
+        self.synonyms.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::InvertedIndex;
+    use flexpath_xmldom::parse;
+
+    fn gems() -> Thesaurus {
+        let mut t = Thesaurus::new();
+        t.add_ring(&["gold", "golden", "gilded"]);
+        t.add_ring(&["rare", "scarce"]);
+        t
+    }
+
+    #[test]
+    fn rings_are_symmetric_and_stemmed() {
+        let t = gems();
+        assert!(t.synonyms_of("gold").iter().any(|s| &**s == "golden"));
+        assert!(t.synonyms_of("golden").iter().any(|s| &**s == "gold"));
+        assert!(t.synonyms_of("scarc").iter().any(|s| &**s == "rare"));
+        assert!(t.synonyms_of("platinum").is_empty());
+    }
+
+    #[test]
+    fn expansion_turns_terms_into_disjunctions() {
+        let t = gems();
+        let e = FtExpr::parse("\"gold\" and \"coin\"").unwrap();
+        let expanded = t.expand(&e);
+        match expanded {
+            FtExpr::And(parts) => {
+                assert!(matches!(parts[0], FtExpr::Or(ref alts) if alts.len() == 3));
+                assert!(matches!(parts[1], FtExpr::Term(_))); // no synonyms
+            }
+            other => panic!("expected And, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn expansion_is_a_relaxation_under_evaluation() {
+        let doc = parse(
+            "<r><a>gold coin</a><b>golden coin</b><c>gilded coin</c><d>silver coin</d></r>",
+        )
+        .unwrap();
+        let index = InvertedIndex::build(&doc);
+        let strict = FtExpr::parse("\"gold\" and \"coin\"").unwrap();
+        let relaxed = gems().expand(&strict);
+        let es = index.evaluate(&doc, &strict);
+        let er = index.evaluate(&doc, &relaxed);
+        // Every strict match remains a match; new ones appear.
+        for n in doc.elements() {
+            if es.satisfies(&doc, n) {
+                assert!(er.satisfies(&doc, n));
+            }
+        }
+        assert_eq!(es.len(), 1);
+        assert_eq!(er.len(), 3); // a, b, c — not d
+    }
+
+    #[test]
+    fn negated_subtrees_are_not_expanded() {
+        let t = gems();
+        let e = FtExpr::parse("\"coin\" and not \"gold\"").unwrap();
+        let expanded = t.expand(&e);
+        // The gold inside Not must stay a bare term.
+        match &expanded {
+            FtExpr::And(parts) => match &parts[1] {
+                FtExpr::Not(inner) => assert!(matches!(**inner, FtExpr::Term(_))),
+                other => panic!("expected Not, got {other:?}"),
+            },
+            other => panic!("expected And, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn phrases_are_preserved() {
+        let t = gems();
+        let e = FtExpr::Phrase(vec!["gold".into(), "coin".into()]);
+        assert_eq!(t.expand(&e), e);
+    }
+}

@@ -1,0 +1,77 @@
+//! Word tokenization with case folding.
+//!
+//! A token is a maximal run of alphanumeric characters; everything else
+//! separates tokens. Tokens are folded to lowercase. This matches what the
+//! classic IR literature (and the paper's era of engines) assumes.
+
+/// Calls `f` once per token of `text`, in order, with the lowercase-folded
+/// token in a reused buffer (no per-token allocation).
+pub fn for_each_token(text: &str, mut f: impl FnMut(&str)) {
+    let mut buf = String::new();
+    let mut chars = text.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        if c.is_alphanumeric() {
+            buf.clear();
+            while let Some(&c) = chars.peek() {
+                if !c.is_alphanumeric() {
+                    break;
+                }
+                for lc in c.to_lowercase() {
+                    buf.push(lc);
+                }
+                chars.next();
+            }
+            f(&buf);
+        } else {
+            chars.next();
+        }
+    }
+}
+
+/// Convenience: collects the tokens of `text` into owned strings.
+pub fn tokenize(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    for_each_token(text, |t| out.push(t.to_string()));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_on_punctuation_and_whitespace() {
+        assert_eq!(
+            tokenize("Hello, world! foo-bar_baz"),
+            ["hello", "world", "foo", "bar", "baz"]
+        );
+    }
+
+    #[test]
+    fn folds_case() {
+        assert_eq!(tokenize("XML Streaming"), ["xml", "streaming"]);
+    }
+
+    #[test]
+    fn keeps_digits() {
+        assert_eq!(tokenize("model 42b"), ["model", "42b"]);
+    }
+
+    #[test]
+    fn empty_and_symbol_only_input() {
+        assert!(tokenize("").is_empty());
+        assert!(tokenize("!!! --- ???").is_empty());
+    }
+
+    #[test]
+    fn unicode_words_tokenize() {
+        assert_eq!(tokenize("héllo wörld"), ["héllo", "wörld"]);
+    }
+
+    #[test]
+    fn for_each_token_reuses_buffer_in_order() {
+        let mut seen = Vec::new();
+        for_each_token("a bb ccc", |t| seen.push(t.len()));
+        assert_eq!(seen, [1, 2, 3]);
+    }
+}

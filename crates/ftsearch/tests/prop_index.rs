@@ -1,0 +1,197 @@
+//! Property tests for the IR engine: index/evaluation consistency against
+//! naive text scans, most-specific-set invariants, and score sanity.
+
+use flexpath_ftsearch::{stem, FtExpr, InvertedIndex};
+use flexpath_xmldom::{parse, Document, NodeId};
+use proptest::prelude::*;
+
+const WORDS: [&str; 6] = ["gold", "silver", "vintage", "auction", "rare", "coin"];
+const TAGS: [&str; 4] = ["a", "b", "c", "d"];
+
+fn arb_doc() -> impl Strategy<Value = String> {
+    let text = prop::collection::vec(0usize..WORDS.len(), 1..6)
+        .prop_map(|ws| ws.iter().map(|&w| WORDS[w]).collect::<Vec<_>>().join(" "));
+    let node = text.prop_recursive(4, 32, 4, |inner| {
+        (0usize..TAGS.len(), prop::collection::vec(inner, 0..4)).prop_map(|(t, kids)| {
+            format!("<{0}>{1}</{0}>", TAGS[t], kids.join(" "))
+        })
+    });
+    node.prop_map(|body| format!("<root>{body}</root>"))
+}
+
+/// Naive oracle: does the subtree text of `n` contain every (stemmed) term?
+/// Tokenizes per text node — concatenating text nodes would glue adjacent
+/// words together across element boundaries.
+fn naive_contains_all(doc: &Document, n: NodeId, terms: &[&str]) -> bool {
+    let mut tokens: Vec<String> = Vec::new();
+    for d in doc.descendants_or_self(n) {
+        if let Some(text) = doc.text_content(d) {
+            for t in flexpath_ftsearch::tokenize(&text.to_lowercase()) {
+                tokens.push(stem(&t));
+            }
+        }
+    }
+    terms
+        .iter()
+        .all(|t| tokens.iter().any(|tok| tok == &stem(t)))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn satisfies_matches_naive_text_scan(
+        xml in arb_doc(),
+        w1 in 0usize..WORDS.len(),
+        w2 in 0usize..WORDS.len(),
+    ) {
+        let doc = parse(&xml).unwrap();
+        let index = InvertedIndex::build(&doc);
+        let terms = [WORDS[w1], WORDS[w2]];
+        let expr = FtExpr::all_of(&terms);
+        let eval = index.evaluate(&doc, &expr);
+        for n in doc.elements() {
+            prop_assert_eq!(
+                eval.satisfies(&doc, n),
+                naive_contains_all(&doc, n, &terms),
+                "node {} of {}", n, xml
+            );
+        }
+    }
+
+    #[test]
+    fn matches_are_minimal_and_sorted(xml in arb_doc(), w in 0usize..WORDS.len()) {
+        let doc = parse(&xml).unwrap();
+        let index = InvertedIndex::build(&doc);
+        let eval = index.evaluate(&doc, &FtExpr::term(WORDS[w]));
+        let nodes: Vec<NodeId> = eval.matches().iter().map(|(n, _)| *n).collect();
+        // Sorted in document order.
+        for pair in nodes.windows(2) {
+            prop_assert!(pair[0] < pair[1]);
+        }
+        // Most-specific: no match is an ancestor of another match.
+        for &a in &nodes {
+            for &b in &nodes {
+                prop_assert!(a == b || !doc.is_ancestor(a, b),
+                    "match {a} contains match {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn scores_are_normalized(xml in arb_doc(), w in 0usize..WORDS.len()) {
+        let doc = parse(&xml).unwrap();
+        let index = InvertedIndex::build(&doc);
+        let eval = index.evaluate(&doc, &FtExpr::term(WORDS[w]));
+        if !eval.is_empty() {
+            let max = eval
+                .matches()
+                .iter()
+                .map(|(_, s)| *s)
+                .fold(0.0f64, f64::max);
+            prop_assert!((max - 1.0).abs() < 1e-9, "max score must be 1.0");
+            for (_, s) in eval.matches() {
+                prop_assert!((0.0..=1.0 + 1e-9).contains(s));
+            }
+        }
+    }
+
+    #[test]
+    fn and_is_intersection_or_is_union_of_satisfaction(
+        xml in arb_doc(),
+        w1 in 0usize..WORDS.len(),
+        w2 in 0usize..WORDS.len(),
+    ) {
+        let doc = parse(&xml).unwrap();
+        let index = InvertedIndex::build(&doc);
+        let ta = FtExpr::term(WORDS[w1]);
+        let tb = FtExpr::term(WORDS[w2]);
+        let and = index.evaluate(&doc, &FtExpr::And(vec![ta.clone(), tb.clone()]));
+        let or = index.evaluate(&doc, &FtExpr::Or(vec![ta.clone(), tb.clone()]));
+        let ea = index.evaluate(&doc, &ta);
+        let eb = index.evaluate(&doc, &tb);
+        for n in doc.elements() {
+            prop_assert_eq!(
+                and.satisfies(&doc, n),
+                ea.satisfies(&doc, n) && eb.satisfies(&doc, n)
+            );
+            prop_assert_eq!(
+                or.satisfies(&doc, n),
+                ea.satisfies(&doc, n) || eb.satisfies(&doc, n)
+            );
+        }
+    }
+
+    #[test]
+    fn contains_satisfaction_is_monotone_up_the_tree(
+        xml in arb_doc(),
+        w in 0usize..WORDS.len(),
+    ) {
+        // The closure inference rule ad(x,y) ∧ contains(y,E) ⊢ contains(x,E)
+        // requires monotonicity for positive expressions.
+        let doc = parse(&xml).unwrap();
+        let index = InvertedIndex::build(&doc);
+        let eval = index.evaluate(&doc, &FtExpr::term(WORDS[w]));
+        for n in doc.elements() {
+            if eval.satisfies(&doc, n) {
+                for anc in doc.ancestors(n) {
+                    prop_assert!(eval.satisfies(&doc, anc),
+                        "ancestor {anc} of satisfying {n} must satisfy");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn count_for_tag_equals_naive_count(xml in arb_doc(), w in 0usize..WORDS.len()) {
+        let doc = parse(&xml).unwrap();
+        let index = InvertedIndex::build(&doc);
+        let expr = FtExpr::term(WORDS[w]);
+        let eval = index.evaluate(&doc, &expr);
+        for (sym, _) in doc.symbols().iter() {
+            let naive = doc
+                .nodes_with_tag(sym)
+                .iter()
+                .filter(|&&n| naive_contains_all(&doc, n, &[WORDS[w]]))
+                .count() as u64;
+            prop_assert_eq!(eval.count_for_tag(&doc, sym), naive);
+        }
+    }
+
+    #[test]
+    fn stemming_is_deterministic_and_bounded(word in "[a-z]{1,16}") {
+        // Porter is NOT idempotent in general (e.g. "abee" → "abe" → "ab"),
+        // so we check the properties it does guarantee: determinism,
+        // bounded growth (+1 char via the restore-e rules), non-emptiness,
+        // and a fixed point within a few applications.
+        let once = stem(&word);
+        prop_assert_eq!(stem(&word), once.clone(), "stem must be deterministic");
+        prop_assert!(once.len() <= word.len() + 1);
+        prop_assert!(!once.is_empty());
+        let mut cur = once;
+        for _ in 0..6 {
+            let next = stem(&cur);
+            if next == cur {
+                break;
+            }
+            prop_assert!(next.len() < cur.len(), "repeated stemming must shrink");
+            cur = next;
+        }
+        prop_assert_eq!(stem(&cur), cur.clone(), "must reach a fixed point");
+    }
+
+    #[test]
+    fn phrase_implies_conjunction(xml in arb_doc()) {
+        let doc = parse(&xml).unwrap();
+        let index = InvertedIndex::build(&doc);
+        let phrase = FtExpr::Phrase(vec!["gold".into(), "silver".into()]);
+        let conj = FtExpr::all_of(&["gold", "silver"]);
+        let ep = index.evaluate(&doc, &phrase);
+        let ec = index.evaluate(&doc, &conj);
+        for n in doc.elements() {
+            if ep.satisfies(&doc, n) {
+                prop_assert!(ec.satisfies(&doc, n), "phrase ⊆ conjunction");
+            }
+        }
+    }
+}

@@ -1,0 +1,182 @@
+//! Closure computation under the inference rules of Figure 3:
+//!
+//! ```text
+//! pc($x,$y)                      ⊢ ad($x,$y)
+//! ad($x,$y), ad($y,$z)           ⊢ ad($x,$z)
+//! ad($x,$y), contains($y, E)     ⊢ contains($x, E)
+//! ```
+//!
+//! The closure of a TPQ is its logical expression conjoined with every
+//! predicate derivable by these rules. It is equivalent to the query and
+//! unique; structural relaxations are defined as predicate subsets of the
+//! closure (Definition 1), which is why this module is the foundation of
+//! the whole relaxation machinery.
+
+use crate::ast::Tpq;
+use crate::logical::{Predicate, PredicateSet};
+
+/// Computes the closure of a predicate set (fixpoint of the three rules).
+pub fn closure_of(preds: &PredicateSet) -> PredicateSet {
+    let mut out = preds.clone();
+    loop {
+        let mut new: Vec<Predicate> = Vec::new();
+        // Rule 1: pc ⊢ ad.
+        for p in out.iter() {
+            if let Predicate::Pc(x, y) = p {
+                let d = Predicate::Ad(*x, *y);
+                if !out.contains(&d) {
+                    new.push(d);
+                }
+            }
+        }
+        // Rule 2: ad transitivity.
+        let ads: Vec<(crate::ast::Var, crate::ast::Var)> = out
+            .iter()
+            .filter_map(|p| match p {
+                Predicate::Ad(x, y) => Some((*x, *y)),
+                _ => None,
+            })
+            .collect();
+        for &(x, y) in &ads {
+            for &(y2, z) in &ads {
+                if y == y2 && x != z {
+                    let d = Predicate::Ad(x, z);
+                    if !out.contains(&d) {
+                        new.push(d);
+                    }
+                }
+            }
+        }
+        // Rule 3: contains propagates to ancestors.
+        let contains: Vec<(crate::ast::Var, flexpath_ftsearch::FtExpr)> = out
+            .iter()
+            .filter_map(|p| match p {
+                Predicate::Contains(y, e) => Some((*y, e.clone())),
+                _ => None,
+            })
+            .collect();
+        for &(x, y) in &ads {
+            for (cy, e) in &contains {
+                if y == *cy {
+                    let d = Predicate::Contains(x, e.clone());
+                    if !out.contains(&d) {
+                        new.push(d);
+                    }
+                }
+            }
+        }
+        if new.is_empty() {
+            return out;
+        }
+        for p in new {
+            out.insert(p);
+        }
+    }
+}
+
+impl Tpq {
+    /// The closure of this query's logical expression (Figure 4 for Q1).
+    pub fn closure(&self) -> PredicateSet {
+        closure_of(&self.logical())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{Tpq, TpqBuilder, Var};
+    use flexpath_ftsearch::FtExpr;
+
+    fn q1() -> Tpq {
+        let mut b = TpqBuilder::new("article");
+        let s = b.child(0, "section");
+        let _a = b.child(s, "algorithm");
+        let p = b.child(s, "paragraph");
+        b.add_contains(p, FtExpr::all_of(&["XML", "streaming"]));
+        b.build()
+    }
+
+    #[test]
+    fn closure_of_q1_matches_figure_4() {
+        // Figure 4: logical(Q1) plus ad(1,2) ad(2,3) ad(2,4) ad(1,3) ad(1,4)
+        // plus contains(2, E) and contains(1, E).
+        let c = q1().closure();
+        let e = FtExpr::all_of(&["XML", "streaming"]);
+        for p in [
+            Predicate::Pc(Var(1), Var(2)),
+            Predicate::Pc(Var(2), Var(3)),
+            Predicate::Pc(Var(2), Var(4)),
+            Predicate::Ad(Var(1), Var(2)),
+            Predicate::Ad(Var(2), Var(3)),
+            Predicate::Ad(Var(2), Var(4)),
+            Predicate::Ad(Var(1), Var(3)),
+            Predicate::Ad(Var(1), Var(4)),
+            Predicate::Contains(Var(4), e.clone()),
+            Predicate::Contains(Var(2), e.clone()),
+            Predicate::Contains(Var(1), e.clone()),
+        ] {
+            assert!(c.contains(&p), "closure missing {p}");
+        }
+        // 8 original + 5 derived ad + 2 derived contains = 15.
+        assert_eq!(c.len(), 15);
+    }
+
+    #[test]
+    fn closure_is_idempotent() {
+        let c = q1().closure();
+        assert_eq!(closure_of(&c), c);
+    }
+
+    #[test]
+    fn closure_is_monotone() {
+        let full = q1().logical();
+        let mut smaller = full.clone();
+        smaller.remove(&Predicate::Pc(Var(2), Var(3)));
+        let c_small = closure_of(&smaller);
+        let c_full = closure_of(&full);
+        assert!(c_small.is_subset_of(&c_full));
+    }
+
+    #[test]
+    fn deep_chain_derives_all_transitive_ads() {
+        // a/b/c/d: ad pairs = C(4,2) = 6.
+        let mut b = TpqBuilder::new("a");
+        let x = b.child(0, "b");
+        let y = b.child(x, "c");
+        let _z = b.child(y, "d");
+        let c = b.build().closure();
+        let ads = c
+            .iter()
+            .filter(|p| matches!(p, Predicate::Ad(..)))
+            .count();
+        assert_eq!(ads, 6);
+    }
+
+    #[test]
+    fn contains_propagates_through_descendant_edges() {
+        let mut b = TpqBuilder::new("a");
+        let x = b.descendant(0, "b");
+        b.add_contains(x, FtExpr::term("gold"));
+        let c = b.build().closure();
+        assert!(c.contains(&Predicate::Contains(Var(1), FtExpr::term("gold"))));
+    }
+
+    #[test]
+    fn closure_of_edgeless_query_adds_nothing_structural() {
+        let b = TpqBuilder::new("a");
+        let q = b.build();
+        let c = q.closure();
+        assert_eq!(c, q.logical());
+    }
+
+    #[test]
+    fn multiple_contains_each_propagate() {
+        let mut b = TpqBuilder::new("a");
+        let x = b.child(0, "b");
+        b.add_contains(x, FtExpr::term("gold"));
+        b.add_contains(x, FtExpr::term("silver"));
+        let c = b.build().closure();
+        assert!(c.contains(&Predicate::Contains(Var(1), FtExpr::term("gold"))));
+        assert!(c.contains(&Predicate::Contains(Var(1), FtExpr::term("silver"))));
+    }
+}

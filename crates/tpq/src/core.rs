@@ -1,0 +1,342 @@
+//! Minimal cores of TPQ closures (paper Theorem 1) and reconstruction of a
+//! [`Tpq`] from a predicate set.
+//!
+//! A predicate of a closure is **redundant** when it is derivable from the
+//! *other* predicates by the inference rules. The **core** removes all
+//! redundant predicates; the paper shows it is unique (the derivation
+//! relation is acyclic — `pc` is never derived, `ad` only from shorter `ad`
+//! chains, `contains` only from descendants — so all redundant predicates
+//! can be removed simultaneously).
+//!
+//! [`tpq_from_predicates`] rebuilds a tree pattern from a (core) predicate
+//! set; it fails when the structural predicates do not form a tree, which is
+//! exactly the check Definition 1 needs ("the core of C − S is a tree
+//! pattern query").
+
+use crate::ast::{Axis, Tpq, TpqNode, Var};
+use crate::closure::closure_of;
+use crate::logical::{Predicate, PredicateSet};
+use std::fmt;
+
+/// Computes the core of a predicate set: the unique minimal equivalent
+/// subset. The input is closed first (the core of a TPQ means the core of
+/// its closure).
+pub fn core_of(preds: &PredicateSet) -> PredicateSet {
+    let closed = closure_of(preds);
+    let mut keep: Vec<Predicate> = Vec::new();
+    for p in closed.iter() {
+        let mut without = closed.clone();
+        without.remove(p);
+        if !closure_of(&without).contains(p) {
+            keep.push(p.clone());
+        }
+    }
+    PredicateSet::from_vec(keep)
+}
+
+impl Tpq {
+    /// The core of this query (unique by Theorem 1).
+    pub fn core(&self) -> PredicateSet {
+        core_of(&self.logical())
+    }
+}
+
+/// Why a predicate set could not be rebuilt into a TPQ.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReconstructError {
+    /// A variable has two incoming structural edges.
+    MultipleParents(Var),
+    /// The structural predicates form more than one connected component (or
+    /// none at all for ≥ 2 variables).
+    Disconnected,
+    /// A cycle among structural predicates.
+    Cyclic,
+    /// The distinguished variable does not appear in the predicate set.
+    MissingDistinguished(Var),
+    /// The set mentions no variables at all.
+    Empty,
+}
+
+impl fmt::Display for ReconstructError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReconstructError::MultipleParents(v) => {
+                write!(f, "variable {v} has multiple structural parents")
+            }
+            ReconstructError::Disconnected => write!(f, "structural predicates are disconnected"),
+            ReconstructError::Cyclic => write!(f, "structural predicates contain a cycle"),
+            ReconstructError::MissingDistinguished(v) => {
+                write!(f, "distinguished variable {v} not present")
+            }
+            ReconstructError::Empty => write!(f, "no variables in predicate set"),
+        }
+    }
+}
+
+impl std::error::Error for ReconstructError {}
+
+/// Rebuilds a [`Tpq`] from a *minimal* (core) predicate set and a
+/// distinguished variable.
+///
+/// The structural predicates must form a single tree: every variable except
+/// one root has exactly one incoming `pc`/`ad` edge. Non-structural
+/// predicates are attached to their variables.
+pub fn tpq_from_predicates(
+    preds: &PredicateSet,
+    distinguished: Var,
+) -> Result<Tpq, ReconstructError> {
+    let vars = preds.vars();
+    if vars.is_empty() {
+        return Err(ReconstructError::Empty);
+    }
+    if !vars.contains(&distinguished) {
+        return Err(ReconstructError::MissingDistinguished(distinguished));
+    }
+    // Incoming edge per variable.
+    let mut parent: Vec<Option<(Var, Axis)>> = vec![None; vars.len()];
+    let pos = |v: Var| vars.binary_search(&v).expect("vars() contains all vars");
+    for p in preds.structural() {
+        let (x, y, axis) = match p {
+            Predicate::Pc(x, y) => (*x, *y, Axis::Child),
+            Predicate::Ad(x, y) => (*x, *y, Axis::Descendant),
+            _ => unreachable!("structural() yields pc/ad only"),
+        };
+        let yi = pos(y);
+        if parent[yi].is_some() {
+            return Err(ReconstructError::MultipleParents(y));
+        }
+        parent[yi] = Some((x, axis));
+    }
+    // Exactly one root, everything reachable from it, no cycles.
+    let roots: Vec<usize> = (0..vars.len()).filter(|&i| parent[i].is_none()).collect();
+    if roots.len() != 1 {
+        return Err(if roots.is_empty() {
+            ReconstructError::Cyclic
+        } else {
+            ReconstructError::Disconnected
+        });
+    }
+    let root_var = vars[roots[0]];
+    // Walk up from each var; detect cycles / disconnection.
+    for (i, &v) in vars.iter().enumerate() {
+        let mut cur = v;
+        let mut steps = 0;
+        loop {
+            if cur == root_var {
+                break;
+            }
+            match parent[pos(cur)] {
+                Some((p, _)) => cur = p,
+                None => return Err(ReconstructError::Disconnected),
+            }
+            steps += 1;
+            if steps > vars.len() {
+                return Err(ReconstructError::Cyclic);
+            }
+        }
+        let _ = i;
+    }
+    // Emit nodes in pre-order (DFS from the root, children in var order).
+    let mut order: Vec<Var> = Vec::with_capacity(vars.len());
+    let mut stack = vec![root_var];
+    while let Some(v) = stack.pop() {
+        order.push(v);
+        let mut kids: Vec<Var> = vars
+            .iter()
+            .copied()
+            .filter(|&c| parent[pos(c)].map(|(p, _)| p) == Some(v))
+            .collect();
+        kids.sort();
+        // Push reversed so smaller vars pop first.
+        for k in kids.into_iter().rev() {
+            stack.push(k);
+        }
+    }
+    let idx_of = |v: Var| order.iter().position(|&o| o == v).expect("ordered var");
+    let mut nodes: Vec<TpqNode> = order
+        .iter()
+        .map(|&v| {
+            let (parent_idx, axis) = match parent[pos(v)] {
+                Some((p, axis)) => (Some(idx_of(p)), axis),
+                None => (None, Axis::Child),
+            };
+            TpqNode {
+                var: v,
+                tag: None,
+                parent: parent_idx,
+                axis,
+                contains: Vec::new(),
+                attrs: Vec::new(),
+            }
+        })
+        .collect();
+    for p in preds.iter() {
+        match p {
+            Predicate::Tag(v, t) => nodes[idx_of(*v)].tag = Some(t.clone()),
+            Predicate::Attr(v, a) => nodes[idx_of(*v)].attrs.push(a.clone()),
+            Predicate::Contains(v, e) => nodes[idx_of(*v)].contains.push(e.clone()),
+            _ => {}
+        }
+    }
+    Ok(Tpq {
+        nodes,
+        distinguished: idx_of(distinguished),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::TpqBuilder;
+    use flexpath_ftsearch::FtExpr;
+
+    fn q1() -> Tpq {
+        let mut b = TpqBuilder::new("article");
+        let s = b.child(0, "section");
+        let _a = b.child(s, "algorithm");
+        let p = b.child(s, "paragraph");
+        b.add_contains(p, FtExpr::all_of(&["XML", "streaming"]));
+        b.build()
+    }
+
+    #[test]
+    fn core_of_closure_recovers_logical_form() {
+        // For a pc-only query, the core of the closure is exactly the
+        // original logical expression (every derived ad/contains is
+        // redundant).
+        let q = q1();
+        assert_eq!(q.core(), q.logical());
+    }
+
+    #[test]
+    fn core_removes_redundant_ad_from_paper_example() {
+        // pc(1,2) ∧ ad(2,3) ∧ ad(1,3): ad(1,3) is redundant (Section 3.2).
+        let preds: PredicateSet = [
+            Predicate::Pc(Var(1), Var(2)),
+            Predicate::Ad(Var(2), Var(3)),
+            Predicate::Ad(Var(1), Var(3)),
+        ]
+        .into_iter()
+        .collect();
+        let core = core_of(&preds);
+        assert!(core.contains(&Predicate::Pc(Var(1), Var(2))));
+        assert!(core.contains(&Predicate::Ad(Var(2), Var(3))));
+        assert!(!core.contains(&Predicate::Ad(Var(1), Var(3))));
+        assert_eq!(core.len(), 2);
+    }
+
+    #[test]
+    fn core_is_equivalent_to_closure() {
+        let q = q1();
+        let c = q.closure();
+        assert_eq!(closure_of(&q.core()), c);
+    }
+
+    #[test]
+    fn core_is_idempotent() {
+        let q = q1();
+        let once = q.core();
+        assert_eq!(core_of(&once), once);
+    }
+
+    #[test]
+    fn core_matches_figure_5_after_predicate_drop() {
+        // Drop pc(2,3) and ad(2,3) from the closure of Q1: the core is
+        // pc(1,2) ∧ pc(2,4) ∧ ad(1,3) ∧ tags ∧ contains(4, E) — Figure 5.
+        let mut c = q1().closure();
+        c.remove(&Predicate::Pc(Var(2), Var(3)));
+        c.remove(&Predicate::Ad(Var(2), Var(3)));
+        let core = core_of(&c);
+        assert!(core.contains(&Predicate::Pc(Var(1), Var(2))));
+        assert!(core.contains(&Predicate::Pc(Var(2), Var(4))));
+        assert!(core.contains(&Predicate::Ad(Var(1), Var(3))));
+        assert!(!core.contains(&Predicate::Ad(Var(2), Var(3))));
+        let e = FtExpr::all_of(&["XML", "streaming"]);
+        assert!(core.contains(&Predicate::Contains(Var(4), e)));
+        // pc(1,2), pc(2,4), ad(1,3), 4 tags, contains(4) = 8 predicates.
+        assert_eq!(core.len(), 8);
+    }
+
+    #[test]
+    fn reconstruction_round_trips_q1() {
+        let q = q1();
+        let rebuilt = tpq_from_predicates(&q.core(), q.distinguished_var()).unwrap();
+        assert_eq!(rebuilt.logical(), q.logical());
+        assert_eq!(rebuilt.distinguished_var(), q.distinguished_var());
+    }
+
+    #[test]
+    fn reconstruction_of_figure_5_is_q3() {
+        let mut c = q1().closure();
+        c.remove(&Predicate::Pc(Var(2), Var(3)));
+        c.remove(&Predicate::Ad(Var(2), Var(3)));
+        let q3 = tpq_from_predicates(&core_of(&c), Var(1)).unwrap();
+        // Q3: //article[.//algorithm and ./section[./paragraph[.contains…]]]
+        let alg = q3.index_of(Var(3)).unwrap();
+        assert_eq!(q3.node(alg).parent, Some(q3.index_of(Var(1)).unwrap()));
+        assert_eq!(q3.node(alg).axis, Axis::Descendant);
+        assert_eq!(q3.node_count(), 4);
+    }
+
+    #[test]
+    fn reconstruction_rejects_forests() {
+        let preds: PredicateSet = [
+            Predicate::Pc(Var(1), Var(2)),
+            Predicate::Pc(Var(3), Var(4)),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(
+            tpq_from_predicates(&preds, Var(1)),
+            Err(ReconstructError::Disconnected)
+        );
+    }
+
+    #[test]
+    fn reconstruction_rejects_multiple_parents() {
+        let preds: PredicateSet = [
+            Predicate::Pc(Var(1), Var(3)),
+            Predicate::Pc(Var(2), Var(3)),
+        ]
+        .into_iter()
+        .collect();
+        assert!(matches!(
+            tpq_from_predicates(&preds, Var(1)),
+            Err(ReconstructError::MultipleParents(Var(3)))
+        ));
+    }
+
+    #[test]
+    fn reconstruction_rejects_missing_distinguished() {
+        let preds: PredicateSet = [Predicate::Pc(Var(1), Var(2))].into_iter().collect();
+        assert!(matches!(
+            tpq_from_predicates(&preds, Var(9)),
+            Err(ReconstructError::MissingDistinguished(Var(9)))
+        ));
+    }
+
+    #[test]
+    fn reconstruction_rejects_cycles() {
+        let preds: PredicateSet = [
+            Predicate::Ad(Var(1), Var(2)),
+            Predicate::Ad(Var(2), Var(1)),
+        ]
+        .into_iter()
+        .collect();
+        let r = tpq_from_predicates(&preds, Var(1));
+        assert!(matches!(
+            r,
+            Err(ReconstructError::Cyclic) | Err(ReconstructError::Disconnected)
+        ));
+    }
+
+    #[test]
+    fn single_variable_tag_only_query_reconstructs() {
+        let preds: PredicateSet = [Predicate::Tag(Var(1), "article".into())]
+            .into_iter()
+            .collect();
+        let q = tpq_from_predicates(&preds, Var(1)).unwrap();
+        assert_eq!(q.node_count(), 1);
+        assert_eq!(q.node(0).tag.as_deref(), Some("article"));
+    }
+}

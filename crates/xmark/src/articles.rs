@@ -1,0 +1,292 @@
+//! INEX / SIGMOD-Record-style bibliographic corpus generator.
+//!
+//! The paper's *motivating* collections (Section 1) are the IEEE INEX and
+//! ACM SIGMOD Record article sets — "heterogeneity in structure and
+//! presence of textual content". This generator produces article
+//! collections whose heterogeneity is *controlled*: each on-topic article
+//! is drawn from one of the five Figure-1 scenarios, so a corpus contains a
+//! known mix of exact Q1 matches and each kind of near-miss.
+//!
+//! | scenario | what the article looks like | first Figure-1 query to catch it |
+//! |---|---|---|
+//! | `Exact` | section with algorithm + keyword paragraph | Q1 |
+//! | `TitleKeywords` | keywords in the section title, not the paragraph | Q2 |
+//! | `AlgorithmOutside` | keyword paragraph in a section, algorithm elsewhere | Q3 |
+//! | `NoAlgorithm` | keyword paragraph, no algorithm at all | Q5 |
+//! | `KeywordsAnywhere` | keywords outside any section | Q6 |
+
+use crate::vocab::Vocabulary;
+use flexpath_xmldom::{Document, DocumentBuilder};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The five Figure-1 near-miss scenarios.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scenario {
+    /// Exact Q1 match.
+    Exact,
+    /// Keywords in the section title (caught by Q2).
+    TitleKeywords,
+    /// Algorithm outside the keyword section (caught by Q3).
+    AlgorithmOutside,
+    /// No algorithm anywhere (caught by Q5).
+    NoAlgorithm,
+    /// Keywords outside any section (caught by Q6).
+    KeywordsAnywhere,
+}
+
+/// Configuration for [`generate_articles`].
+#[derive(Debug, Clone)]
+pub struct ArticlesConfig {
+    /// Number of articles in the collection.
+    pub articles: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Fraction of articles that are on-topic (carry the keywords).
+    pub topic_fraction: f64,
+    /// Relative weights of the five scenarios for on-topic articles, in
+    /// [`Scenario`] declaration order.
+    pub scenario_weights: [f64; 5],
+    /// The search keywords planted in on-topic articles.
+    pub keywords: (String, String),
+}
+
+impl Default for ArticlesConfig {
+    fn default() -> Self {
+        ArticlesConfig {
+            articles: 100,
+            seed: 7,
+            topic_fraction: 0.3,
+            scenario_weights: [1.0, 1.0, 1.0, 1.0, 1.0],
+            keywords: ("XML".into(), "streaming".into()),
+        }
+    }
+}
+
+/// Generates the collection; returns the document and the scenario assigned
+/// to each article (index = article position, `None` = off-topic).
+pub fn generate_articles(cfg: &ArticlesConfig) -> (Document, Vec<Option<Scenario>>) {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let vocab = Vocabulary::new(1.0);
+    let mut b = DocumentBuilder::new();
+    let mut scenarios = Vec::with_capacity(cfg.articles);
+    let total_weight: f64 = cfg.scenario_weights.iter().sum();
+
+    b.start_element("collection");
+    for i in 0..cfg.articles {
+        let scenario = if rng.gen_bool(cfg.topic_fraction.clamp(0.0, 1.0)) {
+            let mut x = rng.gen_range(0.0..total_weight.max(f64::MIN_POSITIVE));
+            let mut pick = Scenario::Exact;
+            for (w, s) in cfg.scenario_weights.iter().zip([
+                Scenario::Exact,
+                Scenario::TitleKeywords,
+                Scenario::AlgorithmOutside,
+                Scenario::NoAlgorithm,
+                Scenario::KeywordsAnywhere,
+            ]) {
+                if x < *w {
+                    pick = s;
+                    break;
+                }
+                x -= w;
+            }
+            Some(pick)
+        } else {
+            None
+        };
+        scenarios.push(scenario);
+        emit_article(&mut b, &mut rng, &vocab, cfg, i, scenario);
+    }
+    b.end_element();
+    (b.finish().expect("balanced emission"), scenarios)
+}
+
+fn sentence(rng: &mut StdRng, vocab: &Vocabulary, len: usize) -> String {
+    let mut s = String::new();
+    vocab.sentence(rng, len, &mut s);
+    s
+}
+
+fn emit_article(
+    b: &mut DocumentBuilder,
+    rng: &mut StdRng,
+    vocab: &Vocabulary,
+    cfg: &ArticlesConfig,
+    index: usize,
+    scenario: Option<Scenario>,
+) {
+    let (kw1, kw2) = (&cfg.keywords.0, &cfg.keywords.1);
+    let keyword_text = |rng: &mut StdRng| {
+        format!(
+            "{} {kw1} {kw2} {}",
+            sentence(rng, vocab, 3),
+            sentence(rng, vocab, 4)
+        )
+    };
+
+    b.start_element("article");
+    b.attribute("id", &format!("p{index}"));
+    b.start_element("title");
+    b.text(&sentence(rng, vocab, 4));
+    b.end_element();
+
+    match scenario {
+        None => {
+            // Off-topic filler with the usual structure.
+            for _ in 0..rng.gen_range(1..=3) {
+                b.start_element("section");
+                if rng.gen_bool(0.5) {
+                    b.start_element("algorithm");
+                    b.text(&sentence(rng, vocab, 3));
+                    b.end_element();
+                }
+                for _ in 0..rng.gen_range(1..=3) {
+                    b.start_element("paragraph");
+                    b.text(&sentence(rng, vocab, 10));
+                    b.end_element();
+                }
+                b.end_element();
+            }
+        }
+        Some(Scenario::Exact) => {
+            b.start_element("section");
+            b.start_element("algorithm");
+            b.text(&sentence(rng, vocab, 3));
+            b.end_element();
+            let kw = keyword_text(rng);
+            b.start_element("paragraph");
+            b.text(&kw);
+            b.end_element();
+            b.end_element();
+        }
+        Some(Scenario::TitleKeywords) => {
+            b.start_element("section");
+            b.start_element("title");
+            b.text(&keyword_text(rng));
+            b.end_element();
+            b.start_element("algorithm");
+            b.text(&sentence(rng, vocab, 3));
+            b.end_element();
+            b.start_element("paragraph");
+            b.text(&sentence(rng, vocab, 10));
+            b.end_element();
+            b.end_element();
+        }
+        Some(Scenario::AlgorithmOutside) => {
+            b.start_element("section");
+            let kw = keyword_text(rng);
+            b.start_element("paragraph");
+            b.text(&kw);
+            b.end_element();
+            b.end_element();
+            b.start_element("appendix");
+            b.start_element("algorithm");
+            b.text(&sentence(rng, vocab, 3));
+            b.end_element();
+            b.end_element();
+        }
+        Some(Scenario::NoAlgorithm) => {
+            b.start_element("section");
+            let kw = keyword_text(rng);
+            b.start_element("paragraph");
+            b.text(&kw);
+            b.end_element();
+            b.end_element();
+        }
+        Some(Scenario::KeywordsAnywhere) => {
+            b.start_element("abstract");
+            b.text(&keyword_text(rng));
+            b.end_element();
+            b.start_element("section");
+            b.start_element("paragraph");
+            b.text(&sentence(rng, vocab, 10));
+            b.end_element();
+            b.end_element();
+        }
+    }
+    b.end_element();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = ArticlesConfig::default();
+        let (a, sa) = generate_articles(&cfg);
+        let (b, sb) = generate_articles(&cfg);
+        assert_eq!(flexpath_xmldom::to_xml_string(&a), flexpath_xmldom::to_xml_string(&b));
+        assert_eq!(sa, sb);
+    }
+
+    #[test]
+    fn produces_the_requested_article_count() {
+        let cfg = ArticlesConfig {
+            articles: 57,
+            ..Default::default()
+        };
+        let (doc, scenarios) = generate_articles(&cfg);
+        assert_eq!(doc.nodes_with_tag_name("article").len(), 57);
+        assert_eq!(scenarios.len(), 57);
+    }
+
+    #[test]
+    fn topic_fraction_is_respected_statistically() {
+        let cfg = ArticlesConfig {
+            articles: 1000,
+            topic_fraction: 0.3,
+            seed: 42,
+            ..Default::default()
+        };
+        let (_, scenarios) = generate_articles(&cfg);
+        let on_topic = scenarios.iter().filter(|s| s.is_some()).count();
+        assert!((200..400).contains(&on_topic), "got {on_topic}");
+    }
+
+    #[test]
+    fn scenario_weights_zero_excludes_scenarios() {
+        let cfg = ArticlesConfig {
+            articles: 300,
+            topic_fraction: 1.0,
+            scenario_weights: [1.0, 0.0, 0.0, 0.0, 0.0],
+            seed: 5,
+            ..Default::default()
+        };
+        let (_, scenarios) = generate_articles(&cfg);
+        assert!(scenarios
+            .iter()
+            .all(|s| *s == Some(Scenario::Exact)));
+    }
+
+    #[test]
+    fn exact_articles_contain_the_full_pattern() {
+        let cfg = ArticlesConfig {
+            articles: 50,
+            topic_fraction: 1.0,
+            scenario_weights: [1.0, 0.0, 0.0, 0.0, 0.0],
+            seed: 9,
+            ..Default::default()
+        };
+        let (doc, _) = generate_articles(&cfg);
+        for &article in doc.nodes_with_tag_name("article") {
+            let has_section_with_both = doc
+                .children(article)
+                .filter(|&c| doc.tag_name(c) == Some("section"))
+                .any(|section| {
+                    let alg = doc
+                        .children(section)
+                        .any(|c| doc.tag_name(c) == Some("algorithm"));
+                    let kw_para = doc
+                        .children(section)
+                        .filter(|&c| doc.tag_name(c) == Some("paragraph"))
+                        .any(|p| {
+                            let t = doc.subtree_text(p);
+                            t.contains("XML") && t.contains("streaming")
+                        });
+                    alg && kw_para
+                });
+            assert!(has_section_with_both, "exact article missing the pattern");
+        }
+    }
+}

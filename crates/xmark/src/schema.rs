@@ -1,0 +1,94 @@
+//! The XMark auction-schema subset reproduced by the generator.
+//!
+//! Element names are centralized here so the generator, queries, tests, and
+//! benchmarks agree on spelling. The structural comments record the DTD
+//! features each element contributes to FleXPath's relaxation space.
+
+/// Document root.
+pub const SITE: &str = "site";
+/// Region container (`site/regions`).
+pub const REGIONS: &str = "regions";
+/// The six world regions of the XMark DTD.
+pub const REGION_NAMES: [&str; 6] = [
+    "africa",
+    "asia",
+    "australia",
+    "europe",
+    "namerica",
+    "samerica",
+];
+/// Auction item (`regions/*/item`) — the distinguished node of the paper's
+/// benchmark queries XQ1–XQ3.
+pub const ITEM: &str = "item";
+/// `item/location`.
+pub const LOCATION: &str = "location";
+/// `item/quantity`.
+pub const QUANTITY: &str = "quantity";
+/// `item/name` — required child, used by XQ3.
+pub const NAME: &str = "name";
+/// `item/payment`.
+pub const PAYMENT: &str = "payment";
+/// `item/description` — contains either `text` or `parlist`.
+pub const DESCRIPTION: &str = "description";
+/// `description/parlist` — **recursive** via `listitem/parlist`; this is the
+/// DTD feature that makes axis generalization productive ("Edge
+/// generalization is enabled by recursive nodes in the DTD (e.g. parlist)").
+pub const PARLIST: &str = "parlist";
+/// `parlist/listitem` — contains either `text` or a nested `parlist`.
+pub const LISTITEM: &str = "listitem";
+/// Mixed-content text block — **shared** between `description//listitem` and
+/// `mailbox/mail` ("subtree promotion is enabled by shared nodes (e.g.
+/// text)").
+pub const TEXT: &str = "text";
+/// Inline emphasis inside `text` (optional → leaf deletion).
+pub const BOLD: &str = "bold";
+/// Inline keyword inside `text` (optional → leaf deletion).
+pub const KEYWORD: &str = "keyword";
+/// Inline emphasis inside `text` (optional → leaf deletion).
+pub const EMPH: &str = "emph";
+/// `item/incategory` — **optional** ("Deleting leaf nodes is enabled by
+/// optional nodes in the DTD (e.g. incategory)").
+pub const INCATEGORY: &str = "incategory";
+/// `item/mailbox`.
+pub const MAILBOX: &str = "mailbox";
+/// `mailbox/mail`.
+pub const MAIL: &str = "mail";
+/// `mail/from`.
+pub const FROM: &str = "from";
+/// `mail/to`.
+pub const TO: &str = "to";
+/// `mail/date`.
+pub const DATE: &str = "date";
+/// `item/shipping`.
+pub const SHIPPING: &str = "shipping";
+/// `site/categories`.
+pub const CATEGORIES: &str = "categories";
+/// `categories/category`.
+pub const CATEGORY: &str = "category";
+/// `site/people`.
+pub const PEOPLE: &str = "people";
+/// `people/person`.
+pub const PERSON: &str = "person";
+/// `person/emailaddress`.
+pub const EMAILADDRESS: &str = "emailaddress";
+/// `person/phone`.
+pub const PHONE: &str = "phone";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_distinct() {
+        let all = [
+            SITE, REGIONS, ITEM, LOCATION, QUANTITY, NAME, PAYMENT, DESCRIPTION, PARLIST,
+            LISTITEM, TEXT, BOLD, KEYWORD, EMPH, INCATEGORY, MAILBOX, MAIL, FROM, TO, DATE,
+            SHIPPING, CATEGORIES, CATEGORY, PEOPLE, PERSON, EMAILADDRESS, PHONE,
+        ];
+        for (i, a) in all.iter().enumerate() {
+            for b in &all[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+}

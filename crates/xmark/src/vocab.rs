@@ -1,0 +1,153 @@
+//! Keyword vocabulary with a Zipf-like frequency distribution.
+//!
+//! XMark fills text content with Shakespeare vocabulary; we use a fixed word
+//! list with a Zipfian rank-frequency law so that full-text predicates see
+//! realistic document frequencies (a handful of very common words, a long
+//! tail of rare ones). The first few words double as the "search keywords"
+//! used by the examples and benchmarks.
+
+use rand::Rng;
+
+/// Words drawn by the generator. Order defines Zipf rank (earlier = more
+/// frequent); the list mixes auction-domain terms with common English filler
+/// so `contains` queries have both selective and unselective targets.
+pub const WORDS: &[&str] = &[
+    "gold", "vintage", "rare", "antique", "shipping", "auction", "payment", "creditcard",
+    "mint", "condition", "original", "collector", "estate", "bronze", "silver", "crystal",
+    "porcelain", "handmade", "limited", "edition", "signed", "certificate", "authentic",
+    "restored", "pristine", "engraved", "ornate", "classic", "deluxe", "premium",
+    "the", "a", "of", "and", "to", "in", "is", "with", "for", "this", "that", "item",
+    "offer", "bid", "seller", "buyer", "price", "value", "quality", "detail", "design",
+    "style", "period", "century", "museum", "gallery", "private", "collection", "piece",
+    "work", "artist", "maker", "brand", "model", "series", "number", "year", "country",
+    "region", "material", "finish", "surface", "color", "size", "weight", "height",
+    "width", "length", "box", "case", "wrap", "insured", "tracked", "express", "standard",
+    "economy", "refund", "return", "policy", "warranty", "described", "pictured", "shown",
+    "minor", "wear", "scratch", "chip", "crack", "repair", "replaced", "missing", "complete",
+    "partial", "set", "pair", "single", "lot", "bundle", "group", "assorted", "various",
+    "mixed", "wonderful", "beautiful", "stunning", "gorgeous", "elegant", "charming",
+    "unique", "unusual", "scarce", "hard", "find", "sought", "after", "popular", "famous",
+    "renowned", "celebrated", "historic", "important", "significant", "documented",
+    "provenance", "attributed", "school", "circle", "manner", "after_", "studio",
+    "workshop", "factory", "foundry", "press", "printed", "engraving", "etching",
+    "lithograph", "watercolor", "oil", "canvas", "panel", "board", "paper", "vellum",
+    "leather", "cloth", "binding", "spine", "cover", "page", "plate", "illustration",
+    "map", "chart", "globe", "instrument", "clock", "watch", "jewelry", "ring",
+    "necklace", "bracelet", "brooch", "pendant", "earring", "gem", "stone", "diamond",
+    "ruby", "sapphire", "emerald", "pearl", "amber", "coral", "jade", "ivory",
+];
+
+/// A cumulative-weight sampler over [`WORDS`] following a Zipf law.
+#[derive(Debug, Clone)]
+pub struct Vocabulary {
+    cumulative: Vec<f64>,
+}
+
+impl Default for Vocabulary {
+    fn default() -> Self {
+        Self::new(1.0)
+    }
+}
+
+impl Vocabulary {
+    /// Builds a sampler with Zipf exponent `s` (weight of rank `r` is
+    /// `1/(r+1)^s`). `s = 1.0` is the classic law.
+    pub fn new(s: f64) -> Self {
+        let mut cumulative = Vec::with_capacity(WORDS.len());
+        let mut total = 0.0;
+        for rank in 0..WORDS.len() {
+            total += 1.0 / ((rank + 1) as f64).powf(s);
+            cumulative.push(total);
+        }
+        Vocabulary { cumulative }
+    }
+
+    /// Draws one word.
+    pub fn word<R: Rng>(&self, rng: &mut R) -> &'static str {
+        let total = *self.cumulative.last().expect("non-empty vocabulary");
+        let x: f64 = rng.gen_range(0.0..total);
+        let idx = self.cumulative.partition_point(|&c| c <= x);
+        WORDS[idx.min(WORDS.len() - 1)]
+    }
+
+    /// Fills `out` with a space-separated sentence of `len` words.
+    pub fn sentence<R: Rng>(&self, rng: &mut R, len: usize, out: &mut String) {
+        for i in 0..len {
+            if i > 0 {
+                out.push(' ');
+            }
+            out.push_str(self.word(rng));
+        }
+    }
+
+    /// Number of distinct words available.
+    pub fn len(&self) -> usize {
+        WORDS.len()
+    }
+
+    /// Whether the vocabulary is empty (never, but clippy likes the pair).
+    pub fn is_empty(&self) -> bool {
+        WORDS.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let v = Vocabulary::default();
+        let mut a = StdRng::seed_from_u64(3);
+        let mut b = StdRng::seed_from_u64(3);
+        for _ in 0..100 {
+            assert_eq!(v.word(&mut a), v.word(&mut b));
+        }
+    }
+
+    #[test]
+    fn zipf_head_dominates_tail() {
+        let v = Vocabulary::default();
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut head = 0usize;
+        let mut tail = 0usize;
+        for _ in 0..20_000 {
+            let w = v.word(&mut rng);
+            let rank = WORDS.iter().position(|&x| x == w).unwrap();
+            if rank < 10 {
+                head += 1;
+            } else if rank >= WORDS.len() - 10 {
+                tail += 1;
+            }
+        }
+        assert!(
+            head > tail * 5,
+            "head rank draws ({head}) should dominate tail draws ({tail})"
+        );
+    }
+
+    #[test]
+    fn sentence_has_requested_word_count() {
+        let v = Vocabulary::default();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut s = String::new();
+        v.sentence(&mut rng, 12, &mut s);
+        assert_eq!(s.split(' ').count(), 12);
+    }
+
+    #[test]
+    fn all_ranks_are_reachable() {
+        let v = Vocabulary::new(0.2); // flat-ish so the tail gets hit
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut seen = vec![false; WORDS.len()];
+        for _ in 0..200_000 {
+            let w = v.word(&mut rng);
+            let rank = WORDS.iter().position(|&x| x == w).unwrap();
+            seen[rank] = true;
+        }
+        let unseen = seen.iter().filter(|s| !**s).count();
+        assert!(unseen < WORDS.len() / 10, "{unseen} words never drawn");
+    }
+}

@@ -1,0 +1,162 @@
+//! Navigation axes: child, descendant, ancestor iterators.
+//!
+//! Descendant iteration exploits the fact that node ids are assigned in
+//! document order, so a subtree occupies a contiguous id range — the
+//! iterator is a simple counter, no stack needed.
+
+use crate::document::{Document, NodeId};
+
+/// Iterator over the children of a node, in document order.
+#[derive(Debug, Clone)]
+pub struct ChildIter<'d> {
+    doc: &'d Document,
+    next: Option<NodeId>,
+}
+
+impl Iterator for ChildIter<'_> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        let cur = self.next?;
+        self.next = self.doc.next_sibling(cur);
+        Some(cur)
+    }
+}
+
+/// Iterator over the (strict) descendants of a node, in document order.
+#[derive(Debug, Clone)]
+pub struct DescendantIter {
+    next: u32,
+    last: u32,
+}
+
+impl Iterator for DescendantIter {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        if self.next > self.last {
+            return None;
+        }
+        let id = NodeId(self.next);
+        self.next += 1;
+        Some(id)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = (self.last + 1).saturating_sub(self.next) as usize;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for DescendantIter {}
+
+/// Iterator over the (strict) ancestors of a node, nearest first.
+#[derive(Debug, Clone)]
+pub struct AncestorIter<'d> {
+    doc: &'d Document,
+    next: Option<NodeId>,
+}
+
+impl Iterator for AncestorIter<'_> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        let cur = self.next?;
+        self.next = self.doc.parent(cur);
+        Some(cur)
+    }
+}
+
+impl Document {
+    /// Children of `n` in document order.
+    pub fn children(&self, n: NodeId) -> ChildIter<'_> {
+        ChildIter {
+            doc: self,
+            next: self.first_child(n),
+        }
+    }
+
+    /// Strict descendants of `n` in document order.
+    pub fn descendants(&self, n: NodeId) -> DescendantIter {
+        DescendantIter {
+            next: n.0 + 1,
+            last: self.subtree_last(n).0,
+        }
+    }
+
+    /// `n` followed by its descendants, in document order.
+    pub fn descendants_or_self(&self, n: NodeId) -> DescendantIter {
+        DescendantIter {
+            next: n.0,
+            last: self.subtree_last(n).0,
+        }
+    }
+
+    /// Strict ancestors of `n`, nearest (parent) first.
+    pub fn ancestors(&self, n: NodeId) -> AncestorIter<'_> {
+        AncestorIter {
+            doc: self,
+            next: self.parent(n),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::parse;
+
+    const DOC: &str = "<a><b><c/><d/></b><e>t</e></a>";
+
+    #[test]
+    fn children_in_document_order() {
+        let doc = parse(DOC).unwrap();
+        let root = doc.root_element();
+        let tags: Vec<_> = doc
+            .children(root)
+            .filter_map(|c| doc.tag_name(c))
+            .collect();
+        assert_eq!(tags, ["b", "e"]);
+    }
+
+    #[test]
+    fn descendants_cover_subtree_exactly() {
+        let doc = parse(DOC).unwrap();
+        let b = doc.nodes_with_tag_name("b")[0];
+        let tags: Vec<_> = doc
+            .descendants(b)
+            .filter_map(|c| doc.tag_name(c))
+            .collect();
+        assert_eq!(tags, ["c", "d"]);
+        // Every descendant passes the O(1) interval test.
+        for d in doc.descendants(b) {
+            assert!(doc.is_ancestor(b, d));
+        }
+    }
+
+    #[test]
+    fn descendants_or_self_includes_self_first() {
+        let doc = parse(DOC).unwrap();
+        let b = doc.nodes_with_tag_name("b")[0];
+        let first = doc.descendants_or_self(b).next().unwrap();
+        assert_eq!(first, b);
+        assert_eq!(
+            doc.descendants_or_self(b).count(),
+            doc.descendants(b).count() + 1
+        );
+    }
+
+    #[test]
+    fn ancestors_walk_to_root() {
+        let doc = parse(DOC).unwrap();
+        let c = doc.nodes_with_tag_name("c")[0];
+        let tags: Vec<_> = doc.ancestors(c).filter_map(|a| doc.tag_name(a)).collect();
+        assert_eq!(tags, ["b", "a"]);
+    }
+
+    #[test]
+    fn leaf_has_no_descendants() {
+        let doc = parse(DOC).unwrap();
+        let c = doc.nodes_with_tag_name("c")[0];
+        assert_eq!(doc.descendants(c).count(), 0);
+    }
+}

@@ -1,0 +1,406 @@
+//! The arena [`Document`] with interval-encoded nodes.
+//!
+//! Nodes are stored in document (pre-)order, so the arena index *is* the
+//! document-order rank. Each node additionally carries the classic
+//! `(start, end, level)` region label used by structural-join algorithms:
+//!
+//! * `a` is an **ancestor** of `b`  iff  `start(a) < start(b) && end(b) < end(a)`;
+//! * `a` is the **parent** of `b`   iff  the above and `level(b) == level(a) + 1`.
+//!
+//! Both tests are O(1), which is what makes the FleXPath join plans cheap to
+//! evaluate and the `#pc`/`#ad` statistics cheap to collect.
+
+use crate::symbols::{Sym, SymbolTable};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Index of a node in the document arena. Ids are dense and assigned in
+/// document order: `a.0 < b.0` iff `a` precedes `b` in document order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// Arena index of this node.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Discriminates element nodes from text nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeKind {
+    /// An element with an interned tag name.
+    Element {
+        /// Interned tag name.
+        tag: Sym,
+    },
+    /// A text node; `text` indexes the document's text arena.
+    Text {
+        /// Index into [`Document::text_content`]'s backing store.
+        text: u32,
+    },
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct NodeData {
+    pub(crate) kind: NodeKind,
+    pub(crate) parent: Option<NodeId>,
+    pub(crate) first_child: Option<NodeId>,
+    pub(crate) next_sibling: Option<NodeId>,
+    pub(crate) start: u32,
+    pub(crate) end: u32,
+    pub(crate) level: u32,
+    pub(crate) attrs_start: u32,
+    pub(crate) attrs_len: u16,
+}
+
+/// An immutable XML document: node arena, text arena, attributes, interned
+/// names, and per-tag node lists sorted in document order.
+///
+/// Construct one with [`crate::parse`] or [`crate::DocumentBuilder`].
+#[derive(Debug, Clone)]
+pub struct Document {
+    pub(crate) nodes: Vec<NodeData>,
+    pub(crate) texts: Vec<Box<str>>,
+    pub(crate) attrs: Vec<(Sym, Box<str>)>,
+    pub(crate) symbols: SymbolTable,
+    pub(crate) tag_index: HashMap<Sym, Vec<NodeId>>,
+    pub(crate) root: NodeId,
+}
+
+impl Document {
+    /// The single root element.
+    #[inline]
+    pub fn root_element(&self) -> NodeId {
+        self.root
+    }
+
+    /// Total number of nodes (elements + text nodes).
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of element nodes.
+    pub fn element_count(&self) -> usize {
+        self.tag_index.values().map(Vec::len).sum()
+    }
+
+    /// The interned-name table for this document.
+    #[inline]
+    pub fn symbols(&self) -> &SymbolTable {
+        &self.symbols
+    }
+
+    /// Kind of node `n`.
+    #[inline]
+    pub fn kind(&self, n: NodeId) -> NodeKind {
+        self.nodes[n.index()].kind
+    }
+
+    /// Tag of `n` if it is an element.
+    #[inline]
+    pub fn tag(&self, n: NodeId) -> Option<Sym> {
+        match self.nodes[n.index()].kind {
+            NodeKind::Element { tag } => Some(tag),
+            NodeKind::Text { .. } => None,
+        }
+    }
+
+    /// Tag name of `n` if it is an element.
+    pub fn tag_name(&self, n: NodeId) -> Option<&str> {
+        self.tag(n).map(|s| self.symbols.name(s))
+    }
+
+    /// Whether `n` is an element node.
+    #[inline]
+    pub fn is_element(&self, n: NodeId) -> bool {
+        matches!(self.nodes[n.index()].kind, NodeKind::Element { .. })
+    }
+
+    /// Parent of `n`, if any.
+    #[inline]
+    pub fn parent(&self, n: NodeId) -> Option<NodeId> {
+        self.nodes[n.index()].parent
+    }
+
+    /// First child of `n`, if any.
+    #[inline]
+    pub fn first_child(&self, n: NodeId) -> Option<NodeId> {
+        self.nodes[n.index()].first_child
+    }
+
+    /// Next sibling of `n`, if any.
+    #[inline]
+    pub fn next_sibling(&self, n: NodeId) -> Option<NodeId> {
+        self.nodes[n.index()].next_sibling
+    }
+
+    /// Region-label start of `n` (document-order entry stamp).
+    #[inline]
+    pub fn start(&self, n: NodeId) -> u32 {
+        self.nodes[n.index()].start
+    }
+
+    /// Region-label end of `n` (document-order exit stamp).
+    #[inline]
+    pub fn end(&self, n: NodeId) -> u32 {
+        self.nodes[n.index()].end
+    }
+
+    /// Depth of `n`; the root element has level 0.
+    #[inline]
+    pub fn level(&self, n: NodeId) -> u32 {
+        self.nodes[n.index()].level
+    }
+
+    /// O(1) strict-ancestor test: is `a` a proper ancestor of `b`?
+    #[inline]
+    pub fn is_ancestor(&self, a: NodeId, b: NodeId) -> bool {
+        let na = &self.nodes[a.index()];
+        let nb = &self.nodes[b.index()];
+        na.start < nb.start && nb.end < na.end
+    }
+
+    /// O(1) ancestor-or-self test.
+    #[inline]
+    pub fn is_ancestor_or_self(&self, a: NodeId, b: NodeId) -> bool {
+        a == b || self.is_ancestor(a, b)
+    }
+
+    /// O(1) parent test: is `a` the parent of `b`?
+    #[inline]
+    pub fn is_parent(&self, a: NodeId, b: NodeId) -> bool {
+        let na = &self.nodes[a.index()];
+        let nb = &self.nodes[b.index()];
+        na.start < nb.start && nb.end < na.end && nb.level == na.level + 1
+    }
+
+    /// All element nodes with tag `tag`, sorted in document order.
+    ///
+    /// This is the input list shape required by structural joins.
+    pub fn nodes_with_tag(&self, tag: Sym) -> &[NodeId] {
+        self.tag_index.get(&tag).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    /// Convenience: `nodes_with_tag` via a tag *name* (no-op on unknown names).
+    pub fn nodes_with_tag_name(&self, name: &str) -> &[NodeId] {
+        match self.symbols.lookup(name) {
+            Some(sym) => self.nodes_with_tag(sym),
+            None => &[],
+        }
+    }
+
+    /// Content of a text node; `None` for elements.
+    pub fn text_content(&self, n: NodeId) -> Option<&str> {
+        match self.nodes[n.index()].kind {
+            NodeKind::Text { text } => Some(&self.texts[text as usize]),
+            NodeKind::Element { .. } => None,
+        }
+    }
+
+    /// Concatenated text of the subtree rooted at `n`, in document order.
+    pub fn subtree_text(&self, n: NodeId) -> String {
+        let mut out = String::new();
+        for d in self.descendants_or_self(n) {
+            if let Some(t) = self.text_content(d) {
+                out.push_str(t);
+            }
+        }
+        out
+    }
+
+    /// Attributes of `n` as `(name, value)` pairs, in source order.
+    pub fn attributes(&self, n: NodeId) -> &[(Sym, Box<str>)] {
+        let d = &self.nodes[n.index()];
+        let s = d.attrs_start as usize;
+        &self.attrs[s..s + d.attrs_len as usize]
+    }
+
+    /// Value of attribute `name` on `n`, if present.
+    pub fn attribute(&self, n: NodeId, name: Sym) -> Option<&str> {
+        self.attributes(n)
+            .iter()
+            .find(|(s, _)| *s == name)
+            .map(|(_, v)| v.as_ref())
+    }
+
+    /// All node ids in document order.
+    pub fn all_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.nodes.len() as u32).map(NodeId)
+    }
+
+    /// All element node ids in document order.
+    pub fn elements(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.all_nodes().filter(|&n| self.is_element(n))
+    }
+
+    /// Id of the last node in the subtree of `n` (i.e. descendants of `n` are
+    /// exactly the ids `n+1 ..= subtree_last(n)`). Returns `n` for leaves.
+    pub fn subtree_last(&self, n: NodeId) -> NodeId {
+        let end = self.nodes[n.index()].end;
+        // Ids are in document order, so descendants form a contiguous id
+        // range. Binary-search the first node whose start exceeds our end.
+        let lo = n.index() + 1;
+        let mut a = lo;
+        let mut b = self.nodes.len();
+        while a < b {
+            let mid = (a + b) / 2;
+            if self.nodes[mid].start < end {
+                a = mid + 1;
+            } else {
+                b = mid;
+            }
+        }
+        if a == lo {
+            n
+        } else {
+            NodeId((a - 1) as u32)
+        }
+    }
+
+    /// Number of descendants of `n` (excluding `n`).
+    pub fn descendant_count(&self, n: NodeId) -> usize {
+        self.subtree_last(n).index() - n.index()
+    }
+
+    /// A human-readable absolute path like `/site/regions/item[3]` (indexes
+    /// are 1-based positions among same-tag siblings, omitted when unique).
+    pub fn node_path(&self, n: NodeId) -> String {
+        let mut parts: Vec<String> = Vec::new();
+        let mut cur = Some(n);
+        while let Some(node) = cur {
+            let label = match self.tag(node) {
+                Some(tag) => {
+                    let name = self.symbols.name(tag);
+                    match self.parent(node) {
+                        Some(p) => {
+                            let same: Vec<NodeId> = self
+                                .children(p)
+                                .filter(|&c| self.tag(c) == Some(tag))
+                                .collect();
+                            if same.len() > 1 {
+                                let pos =
+                                    same.iter().position(|&c| c == node).unwrap_or(0) + 1;
+                                format!("{name}[{pos}]")
+                            } else {
+                                name.to_string()
+                            }
+                        }
+                        None => name.to_string(),
+                    }
+                }
+                None => "text()".to_string(),
+            };
+            parts.push(label);
+            cur = self.parent(node);
+        }
+        parts.reverse();
+        format!("/{}", parts.join("/"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::parse;
+
+    const DOC: &str = "<a x=\"1\"><b><c>hi</c></b><b y=\"2\">there</b></a>";
+
+    #[test]
+    fn region_labels_nest_properly() {
+        let doc = parse(DOC).unwrap();
+        let root = doc.root_element();
+        for n in doc.all_nodes() {
+            if n != root {
+                assert!(doc.is_ancestor(root, n), "root must contain {n}");
+            }
+            assert!(doc.start(n) < doc.end(n));
+        }
+    }
+
+    #[test]
+    fn parent_and_level_agree() {
+        let doc = parse(DOC).unwrap();
+        for n in doc.all_nodes() {
+            if let Some(p) = doc.parent(n) {
+                assert!(doc.is_parent(p, n));
+                assert!(doc.is_ancestor(p, n));
+                assert_eq!(doc.level(n), doc.level(p) + 1);
+            } else {
+                assert_eq!(n, doc.root_element());
+            }
+        }
+    }
+
+    #[test]
+    fn tag_index_is_document_ordered() {
+        let doc = parse(DOC).unwrap();
+        let bs = doc.nodes_with_tag_name("b");
+        assert_eq!(bs.len(), 2);
+        assert!(bs[0] < bs[1]);
+        assert!(doc.start(bs[0]) < doc.start(bs[1]));
+    }
+
+    #[test]
+    fn attributes_are_accessible() {
+        let doc = parse(DOC).unwrap();
+        let root = doc.root_element();
+        let x = doc.symbols().lookup("x").unwrap();
+        assert_eq!(doc.attribute(root, x), Some("1"));
+        let bs = doc.nodes_with_tag_name("b").to_vec();
+        let y = doc.symbols().lookup("y").unwrap();
+        assert_eq!(doc.attribute(bs[0], y), None);
+        assert_eq!(doc.attribute(bs[1], y), Some("2"));
+    }
+
+    #[test]
+    fn subtree_text_concatenates_in_order() {
+        let doc = parse(DOC).unwrap();
+        assert_eq!(doc.subtree_text(doc.root_element()), "hithere");
+    }
+
+    #[test]
+    fn subtree_last_bounds_descendants() {
+        let doc = parse(DOC).unwrap();
+        let root = doc.root_element();
+        assert_eq!(doc.subtree_last(root).index(), doc.node_count() - 1);
+        assert_eq!(doc.descendant_count(root), doc.node_count() - 1);
+        // A leaf text node has no descendants.
+        let c = doc.nodes_with_tag_name("c")[0];
+        let text = doc.first_child(c).unwrap();
+        assert_eq!(doc.subtree_last(text), text);
+    }
+
+    #[test]
+    fn node_path_is_readable_and_positional() {
+        let doc = parse(DOC).unwrap();
+        let bs = doc.nodes_with_tag_name("b").to_vec();
+        assert_eq!(doc.node_path(doc.root_element()), "/a");
+        assert_eq!(doc.node_path(bs[0]), "/a/b[1]");
+        assert_eq!(doc.node_path(bs[1]), "/a/b[2]");
+        let c = doc.nodes_with_tag_name("c")[0];
+        assert_eq!(doc.node_path(c), "/a/b[1]/c");
+        let text = doc.first_child(c).unwrap();
+        assert_eq!(doc.node_path(text), "/a/b[1]/c/text()");
+    }
+
+    #[test]
+    fn is_ancestor_is_irreflexive_and_antisymmetric() {
+        let doc = parse(DOC).unwrap();
+        for a in doc.all_nodes() {
+            assert!(!doc.is_ancestor(a, a));
+            for b in doc.all_nodes() {
+                if doc.is_ancestor(a, b) {
+                    assert!(!doc.is_ancestor(b, a));
+                }
+            }
+        }
+    }
+}

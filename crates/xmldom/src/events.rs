@@ -1,0 +1,186 @@
+//! Streaming (SAX-style) parse events.
+//!
+//! The parser is event-driven at its core: it performs all well-formedness
+//! checking itself and pushes decoded content into an [`XmlSink`]. Building
+//! a [`Document`](crate::Document) is just one sink
+//! (`DocumentBuilder` implements the trait); user code can consume events
+//! directly via [`parse_events`](crate::parse_events) to scan huge inputs
+//! without materializing a tree.
+//!
+//! ```
+//! use flexpath_xmldom::{parse_events, FnSink, ParseOptions, XmlEvent};
+//!
+//! let mut depth_max = 0usize;
+//! let mut depth = 0usize;
+//! let mut sink = FnSink(|ev: XmlEvent<'_>| match ev {
+//!     XmlEvent::StartElement { .. } => {
+//!         depth += 1;
+//!         depth_max = depth_max.max(depth);
+//!     }
+//!     XmlEvent::EndElement => depth -= 1,
+//!     _ => {}
+//! });
+//! parse_events("<a><b><c/></b></a>", ParseOptions::default(), &mut sink).unwrap();
+//! let FnSink(_) = sink; // consume the sink, releasing its borrows
+//! assert_eq!(depth_max, 3);
+//! ```
+
+/// One parse event. Borrowed data lives only for the duration of the
+/// callback.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum XmlEvent<'a> {
+    /// An element opened. Its attributes follow immediately as
+    /// [`XmlEvent::Attribute`] events, before any child content.
+    StartElement {
+        /// Tag name.
+        name: &'a str,
+    },
+    /// One attribute of the element just opened (entities decoded).
+    Attribute {
+        /// Attribute name.
+        name: &'a str,
+        /// Decoded value.
+        value: &'a str,
+    },
+    /// Character data (entities decoded; CDATA included verbatim).
+    /// Whitespace-only text is suppressed unless
+    /// [`ParseOptions::keep_whitespace`](crate::parser::ParseOptions) is set.
+    Text(&'a str),
+    /// The most recently opened element closed (self-closing tags emit
+    /// `StartElement` immediately followed by `EndElement`).
+    EndElement,
+}
+
+/// Receives parse events. The parser guarantees well-formed sequencing:
+/// attributes directly follow their `start_element`, elements balance, and
+/// nothing arrives outside the root element.
+pub trait XmlSink {
+    /// An element opened.
+    fn start_element(&mut self, name: &str);
+    /// An attribute of the element just opened.
+    fn attribute(&mut self, name: &str, value: &str);
+    /// Character data inside the current element.
+    fn text(&mut self, content: &str);
+    /// The current element closed.
+    fn end_element(&mut self);
+}
+
+/// Adapts a closure over [`XmlEvent`] into an [`XmlSink`].
+pub struct FnSink<F: FnMut(XmlEvent<'_>)>(pub F);
+
+impl<F: FnMut(XmlEvent<'_>)> XmlSink for FnSink<F> {
+    fn start_element(&mut self, name: &str) {
+        (self.0)(XmlEvent::StartElement { name });
+    }
+
+    fn attribute(&mut self, name: &str, value: &str) {
+        (self.0)(XmlEvent::Attribute { name, value });
+    }
+
+    fn text(&mut self, content: &str) {
+        (self.0)(XmlEvent::Text(content));
+    }
+
+    fn end_element(&mut self) {
+        (self.0)(XmlEvent::EndElement);
+    }
+}
+
+impl XmlSink for crate::builder::DocumentBuilder {
+    fn start_element(&mut self, name: &str) {
+        DocumentBuilder::start_element(self, name);
+    }
+
+    fn attribute(&mut self, name: &str, value: &str) {
+        DocumentBuilder::attribute(self, name, value);
+    }
+
+    fn text(&mut self, content: &str) {
+        DocumentBuilder::text(self, content);
+    }
+
+    fn end_element(&mut self) {
+        DocumentBuilder::end_element(self);
+    }
+}
+
+use crate::builder::DocumentBuilder;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_events, ParseOptions};
+
+    fn collect(input: &str) -> Vec<String> {
+        let mut out = Vec::new();
+        let mut sink = FnSink(|ev: XmlEvent<'_>| {
+            out.push(match ev {
+                XmlEvent::StartElement { name } => format!("<{name}>"),
+                XmlEvent::Attribute { name, value } => format!("@{name}={value}"),
+                XmlEvent::Text(t) => format!("'{t}'"),
+                XmlEvent::EndElement => "</>".to_string(),
+            });
+        });
+        parse_events(input, ParseOptions::default(), &mut sink).unwrap();
+        let FnSink(_) = sink; // consume the sink, releasing its borrow
+        out
+    }
+
+    #[test]
+    fn events_arrive_in_document_order() {
+        let ev = collect("<a x=\"1\"><b>hi</b></a>");
+        assert_eq!(ev, ["<a>", "@x=1", "<b>", "'hi'", "</>", "</>"]);
+    }
+
+    #[test]
+    fn self_closing_emits_balanced_pair() {
+        let ev = collect("<a><b/></a>");
+        assert_eq!(ev, ["<a>", "<b>", "</>", "</>"]);
+    }
+
+    #[test]
+    fn entities_are_decoded_in_events() {
+        let ev = collect("<a t=\"x&amp;y\">&lt;z&gt;</a>");
+        assert_eq!(ev, ["<a>", "@t=x&y", "'<z>'", "</>"]);
+    }
+
+    #[test]
+    fn malformed_input_errors_without_sink_corruption() {
+        let mut events = 0usize;
+        let mut sink = FnSink(|_| events += 1);
+        let err = parse_events("<a><b></a>", ParseOptions::default(), &mut sink);
+        assert!(err.is_err());
+        let FnSink(_) = sink;
+        assert!(events >= 2, "events before the failure are delivered");
+    }
+
+    #[test]
+    fn streaming_count_matches_dom_count() {
+        // A deep, wide synthetic document: the streaming element count must
+        // equal the DOM's.
+        let mut b = crate::DocumentBuilder::new();
+        b.start_element("root");
+        for i in 0..50 {
+            b.start_element("outer");
+            b.attribute("i", &i.to_string());
+            for _ in 0..(i % 4) {
+                b.start_element("inner");
+                b.text("content here");
+                b.end_element();
+            }
+            b.end_element();
+        }
+        b.end_element();
+        let doc = b.finish().unwrap();
+        let xml = crate::to_xml_string(&doc);
+        let mut starts = 0usize;
+        let mut sink = FnSink(|ev: XmlEvent<'_>| {
+            if matches!(ev, XmlEvent::StartElement { .. }) {
+                starts += 1;
+            }
+        });
+        parse_events(&xml, ParseOptions::default(), &mut sink).unwrap();
+        let FnSink(_) = sink;
+        assert_eq!(starts, doc.elements().count());
+    }
+}

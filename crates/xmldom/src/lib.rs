@@ -1,0 +1,53 @@
+//! # flexpath-xmldom
+//!
+//! Arena-based XML document model used by every layer of the FleXPath
+//! reproduction (SIGMOD 2004). The paper's query processor is built on
+//! *structural joins* over node lists sorted in document order
+//! (Al-Khalifa et al., ICDE 2002), which require each node to carry an
+//! interval label. This crate provides:
+//!
+//! * a from-scratch, dependency-free XML **parser** ([`parse`]) and
+//!   **serializer** ([`serialize::write_xml`]);
+//! * an arena [`Document`] whose nodes carry `(start, end, level)` interval
+//!   labels assigned in document order, so ancestor/descendant tests are
+//!   O(1) and per-tag node lists come out sorted;
+//! * a programmatic [`DocumentBuilder`] (used by the XMark generator and by
+//!   tests);
+//! * [`DocStats`] — the `#(t)`, `#pc(t1,t2)`, `#ad(t1,t2)` occurrence counts
+//!   that FleXPath's predicate penalties (Section 4.3.1) and selectivity
+//!   estimates (Section 6) are computed from.
+//!
+//! ## Example
+//!
+//! ```
+//! use flexpath_xmldom::{parse, Document};
+//!
+//! let doc = parse("<article><section><paragraph>XML streaming</paragraph></section></article>")
+//!     .expect("well-formed");
+//! let article = doc.root_element();
+//! let sym = doc.symbols().lookup("paragraph").unwrap();
+//! let paras = doc.nodes_with_tag(sym);
+//! assert_eq!(paras.len(), 1);
+//! assert!(doc.is_ancestor(article, paras[0]));
+//! assert_eq!(doc.subtree_text(paras[0]), "XML streaming");
+//! ```
+
+pub mod axes;
+pub mod builder;
+pub mod document;
+pub mod error;
+pub mod events;
+pub mod parser;
+pub mod serialize;
+pub mod stats;
+pub mod symbols;
+
+pub use axes::{AncestorIter, ChildIter, DescendantIter};
+pub use builder::DocumentBuilder;
+pub use document::{Document, NodeId, NodeKind};
+pub use error::{ParseError, ParseErrorKind};
+pub use events::{FnSink, XmlEvent, XmlSink};
+pub use parser::{parse, parse_events, parse_with_options, ParseOptions};
+pub use serialize::{to_xml_pretty, to_xml_string, write_xml};
+pub use stats::{DocStats, TagPair};
+pub use symbols::{Sym, SymbolTable};

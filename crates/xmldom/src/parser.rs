@@ -1,0 +1,477 @@
+//! A from-scratch, non-validating XML parser.
+//!
+//! Supports the subset of XML 1.0 a data-centric corpus needs: elements,
+//! attributes, character data, CDATA sections, comments, processing
+//! instructions, an (ignored) prolog and DOCTYPE, the five predefined
+//! entities, and decimal/hex character references. Namespaces are treated
+//! literally (a tag `a:b` is just the name `"a:b"`).
+//!
+//! By default, whitespace-only text nodes are dropped — FleXPath's corpora
+//! are data-centric and indentation between elements carries no signal; use
+//! [`ParseOptions::keep_whitespace`] to retain them.
+
+use crate::builder::DocumentBuilder;
+use crate::document::Document;
+use crate::error::{ParseError, ParseErrorKind};
+use crate::events::XmlSink;
+
+/// Knobs for [`parse_with_options`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ParseOptions {
+    /// Keep text nodes that consist solely of XML whitespace.
+    pub keep_whitespace: bool,
+}
+
+/// Parses `input` into a [`Document`] with default options.
+pub fn parse(input: &str) -> Result<Document, ParseError> {
+    parse_with_options(input, ParseOptions::default())
+}
+
+/// Parses `input` into a [`Document`].
+pub fn parse_with_options(input: &str, options: ParseOptions) -> Result<Document, ParseError> {
+    let mut builder = DocumentBuilder::new();
+    parse_events(input, options, &mut builder)?;
+    builder
+        .finish()
+        .map_err(|_| ParseError::at(ParseErrorKind::Empty, input, input.len()))
+}
+
+/// Streams parse events into `sink` (SAX-style). All well-formedness
+/// checking — balanced tags, single root, duplicate attributes — happens
+/// here; the sink sees only valid sequences (truncated at the first error).
+pub fn parse_events<S: XmlSink>(
+    input: &str,
+    options: ParseOptions,
+    sink: &mut S,
+) -> Result<(), ParseError> {
+    let mut p = Parser {
+        input,
+        bytes: input.as_bytes(),
+        pos: 0,
+        options,
+        sink,
+        open: Vec::new(),
+        seen_root: false,
+    };
+    p.run()
+}
+
+struct Parser<'a, 's, S: XmlSink> {
+    input: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    options: ParseOptions,
+    sink: &'s mut S,
+    /// Names of currently open elements (the parser's own well-formedness
+    /// stack — sinks never have to validate).
+    open: Vec<&'a str>,
+    seen_root: bool,
+}
+
+impl<'a, S: XmlSink> Parser<'a, '_, S> {
+    fn err(&self, kind: ParseErrorKind) -> ParseError {
+        ParseError::at(kind, self.input, self.pos)
+    }
+
+    fn eof(&self) -> bool {
+        self.pos >= self.bytes.len()
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.bytes[self.pos..].starts_with(s.as_bytes())
+    }
+
+    fn expect_str(&mut self, s: &str) -> Result<(), ParseError> {
+        if self.starts_with(s) {
+            self.pos += s.len();
+            Ok(())
+        } else if self.eof() {
+            Err(self.err(ParseErrorKind::UnexpectedEof))
+        } else {
+            let c = self.input[self.pos..].chars().next().unwrap_or('\0');
+            Err(self.err(ParseErrorKind::UnexpectedChar(c)))
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.pos += 1;
+        }
+    }
+
+    /// Skips past the first occurrence of `end`, erroring on EOF.
+    fn skip_until(&mut self, end: &str) -> Result<(), ParseError> {
+        match self.input[self.pos..].find(end) {
+            Some(i) => {
+                self.pos += i + end.len();
+                Ok(())
+            }
+            None => {
+                self.pos = self.bytes.len();
+                Err(self.err(ParseErrorKind::UnexpectedEof))
+            }
+        }
+    }
+
+    fn is_name_start(b: u8) -> bool {
+        b.is_ascii_alphabetic() || b == b'_' || b == b':' || b >= 0x80
+    }
+
+    fn is_name_char(b: u8) -> bool {
+        Self::is_name_start(b) || b.is_ascii_digit() || b == b'-' || b == b'.'
+    }
+
+    fn parse_name(&mut self) -> Result<&'a str, ParseError> {
+        let start = self.pos;
+        match self.peek() {
+            Some(b) if Self::is_name_start(b) => self.pos += 1,
+            Some(_) => {
+                let c = self.input[self.pos..].chars().next().unwrap();
+                return Err(self.err(ParseErrorKind::UnexpectedChar(c)));
+            }
+            None => return Err(self.err(ParseErrorKind::UnexpectedEof)),
+        }
+        while matches!(self.peek(), Some(b) if Self::is_name_char(b)) {
+            self.pos += 1;
+        }
+        Ok(&self.input[start..self.pos])
+    }
+
+    /// Decodes `&...;` starting just *after* the ampersand; appends to `out`.
+    fn decode_entity(&mut self, out: &mut String) -> Result<(), ParseError> {
+        let start = self.pos;
+        let semi = self.input[self.pos..]
+            .find(';')
+            .ok_or_else(|| self.err(ParseErrorKind::UnexpectedEof))?;
+        let name = &self.input[start..start + semi];
+        self.pos = start + semi + 1;
+        let bad = |p: &Self| p.err(ParseErrorKind::BadEntity(name.to_string()));
+        match name {
+            "amp" => out.push('&'),
+            "lt" => out.push('<'),
+            "gt" => out.push('>'),
+            "apos" => out.push('\''),
+            "quot" => out.push('"'),
+            _ if name.starts_with("#x") || name.starts_with("#X") => {
+                let code = u32::from_str_radix(&name[2..], 16).map_err(|_| bad(self))?;
+                out.push(char::from_u32(code).ok_or_else(|| bad(self))?);
+            }
+            _ if name.starts_with('#') => {
+                let code: u32 = name[1..].parse().map_err(|_| bad(self))?;
+                out.push(char::from_u32(code).ok_or_else(|| bad(self))?);
+            }
+            _ => return Err(bad(self)),
+        }
+        Ok(())
+    }
+
+    fn parse_attr_value(&mut self) -> Result<String, ParseError> {
+        let quote = match self.bump() {
+            Some(q @ (b'"' | b'\'')) => q,
+            Some(b) => return Err(self.err(ParseErrorKind::UnexpectedChar(b as char))),
+            None => return Err(self.err(ParseErrorKind::UnexpectedEof)),
+        };
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                Some(b) if b == quote => return Ok(out),
+                Some(b'&') => self.decode_entity(&mut out)?,
+                Some(b) if b < 0x80 => out.push(b as char),
+                Some(_) => {
+                    // Re-decode the multi-byte char properly.
+                    self.pos -= 1;
+                    let c = self.input[self.pos..].chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+                None => return Err(self.err(ParseErrorKind::UnexpectedEof)),
+            }
+        }
+    }
+
+    fn run(&mut self) -> Result<(), ParseError> {
+        loop {
+            if self.eof() {
+                if !self.open.is_empty() {
+                    return Err(self.err(ParseErrorKind::UnexpectedEof));
+                }
+                if !self.seen_root {
+                    return Err(self.err(ParseErrorKind::Empty));
+                }
+                return Ok(());
+            }
+            if self.peek() == Some(b'<') {
+                self.parse_markup()?;
+            } else {
+                self.parse_text()?;
+            }
+        }
+    }
+
+    fn parse_markup(&mut self) -> Result<(), ParseError> {
+        debug_assert_eq!(self.peek(), Some(b'<'));
+        if self.starts_with("<!--") {
+            self.pos += 4;
+            return self.skip_until("-->");
+        }
+        if self.starts_with("<![CDATA[") {
+            self.pos += 9;
+            let start = self.pos;
+            let end = self.input[self.pos..]
+                .find("]]>")
+                .ok_or_else(|| self.err(ParseErrorKind::UnexpectedEof))?;
+            let content = &self.input[start..start + end];
+            self.pos = start + end + 3;
+            if self.open.is_empty() {
+                return Err(self.err(ParseErrorKind::ContentOutsideRoot));
+            }
+            if !content.is_empty() {
+                self.sink.text(content);
+            }
+            return Ok(());
+        }
+        if self.starts_with("<?") {
+            self.pos += 2;
+            return self.skip_until("?>");
+        }
+        if self.starts_with("<!") {
+            // DOCTYPE (possibly with an internal subset) — skip with bracket
+            // awareness.
+            self.pos += 2;
+            let mut depth = 1usize;
+            while depth > 0 {
+                match self.bump() {
+                    Some(b'<') => depth += 1,
+                    Some(b'>') => depth -= 1,
+                    Some(_) => {}
+                    None => return Err(self.err(ParseErrorKind::UnexpectedEof)),
+                }
+            }
+            return Ok(());
+        }
+        if self.starts_with("</") {
+            self.pos += 2;
+            let name = self.parse_name()?;
+            self.skip_ws();
+            self.expect_str(">")?;
+            match self.open.last() {
+                Some(&expected) if expected == name => {
+                    self.open.pop();
+                    self.sink.end_element();
+                    Ok(())
+                }
+                Some(&expected) => Err(self.err(ParseErrorKind::MismatchedTag {
+                    expected: expected.to_string(),
+                    found: name.to_string(),
+                })),
+                None => Err(self.err(ParseErrorKind::ContentOutsideRoot)),
+            }
+        } else {
+            // Open tag.
+            self.pos += 1;
+            let name = self.parse_name()?;
+            if self.open.is_empty() && self.seen_root {
+                return Err(self.err(ParseErrorKind::ContentOutsideRoot));
+            }
+            self.seen_root = true;
+            self.open.push(name);
+            self.sink.start_element(name);
+            let mut seen_attrs: Vec<&str> = Vec::new();
+            loop {
+                self.skip_ws();
+                match self.peek() {
+                    Some(b'>') => {
+                        self.pos += 1;
+                        return Ok(());
+                    }
+                    Some(b'/') => {
+                        self.pos += 1;
+                        self.expect_str(">")?;
+                        self.open.pop();
+                        self.sink.end_element();
+                        return Ok(());
+                    }
+                    Some(b) if Self::is_name_start(b) => {
+                        let attr = self.parse_name()?;
+                        if seen_attrs.contains(&attr) {
+                            return Err(
+                                self.err(ParseErrorKind::DuplicateAttribute(attr.into()))
+                            );
+                        }
+                        self.skip_ws();
+                        self.expect_str("=")?;
+                        self.skip_ws();
+                        let value = self.parse_attr_value()?;
+                        self.sink.attribute(attr, &value);
+                        seen_attrs.push(attr);
+                    }
+                    Some(b) => return Err(self.err(ParseErrorKind::UnexpectedChar(b as char))),
+                    None => return Err(self.err(ParseErrorKind::UnexpectedEof)),
+                }
+            }
+        }
+    }
+
+    fn parse_text(&mut self) -> Result<(), ParseError> {
+        let mut out = String::new();
+        while let Some(b) = self.peek() {
+            match b {
+                b'<' => break,
+                b'&' => {
+                    self.pos += 1;
+                    self.decode_entity(&mut out)?;
+                }
+                _ => {
+                    let c = self.input[self.pos..].chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+        let significant = self.options.keep_whitespace
+            || !out.chars().all(|c| matches!(c, ' ' | '\t' | '\r' | '\n'));
+        if !significant {
+            return Ok(());
+        }
+        if self.open.is_empty() {
+            return Err(self.err(ParseErrorKind::ContentOutsideRoot));
+        }
+        if !out.is_empty() {
+            self.sink.text(&out);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_minimal_document() {
+        let doc = parse("<a/>").unwrap();
+        assert_eq!(doc.node_count(), 1);
+        assert_eq!(doc.tag_name(doc.root_element()), Some("a"));
+    }
+
+    #[test]
+    fn parses_prolog_doctype_comments_and_pis() {
+        let doc = parse(
+            "<?xml version=\"1.0\"?>\n<!DOCTYPE a [<!ELEMENT a ANY>]>\n\
+             <!-- hello --><a><?pi data?><b/><!-- inner --></a>",
+        )
+        .unwrap();
+        assert_eq!(doc.nodes_with_tag_name("b").len(), 1);
+    }
+
+    #[test]
+    fn decodes_predefined_and_numeric_entities() {
+        let doc = parse("<a>&lt;tag&gt; &amp; &quot;x&quot; &apos;y&apos; &#65;&#x42;</a>").unwrap();
+        assert_eq!(
+            doc.subtree_text(doc.root_element()),
+            "<tag> & \"x\" 'y' AB"
+        );
+    }
+
+    #[test]
+    fn decodes_entities_in_attributes() {
+        let doc = parse("<a t=\"x&amp;y&#33;\"/>").unwrap();
+        let t = doc.symbols().lookup("t").unwrap();
+        assert_eq!(doc.attribute(doc.root_element(), t), Some("x&y!"));
+    }
+
+    #[test]
+    fn cdata_is_literal() {
+        let doc = parse("<a><![CDATA[<b>&amp;</b>]]></a>").unwrap();
+        assert_eq!(doc.subtree_text(doc.root_element()), "<b>&amp;</b>");
+    }
+
+    #[test]
+    fn whitespace_only_text_dropped_by_default() {
+        let doc = parse("<a>\n  <b/>\n</a>").unwrap();
+        assert_eq!(doc.node_count(), 2);
+        let kept = parse_with_options(
+            "<a>\n  <b/>\n</a>",
+            ParseOptions {
+                keep_whitespace: true,
+            },
+        )
+        .unwrap();
+        assert_eq!(kept.node_count(), 4);
+    }
+
+    #[test]
+    fn mismatched_tag_is_reported_with_names() {
+        let err = parse("<a><b></a>").unwrap_err();
+        assert!(matches!(
+            err.kind,
+            ParseErrorKind::MismatchedTag { ref expected, ref found }
+                if expected == "b" && found == "a"
+        ));
+    }
+
+    #[test]
+    fn unclosed_element_is_eof_error() {
+        let err = parse("<a><b>").unwrap_err();
+        assert_eq!(err.kind, ParseErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn second_root_rejected() {
+        let err = parse("<a/><b/>").unwrap_err();
+        assert_eq!(err.kind, ParseErrorKind::ContentOutsideRoot);
+    }
+
+    #[test]
+    fn text_outside_root_rejected() {
+        let err = parse("<a/>junk").unwrap_err();
+        assert_eq!(err.kind, ParseErrorKind::ContentOutsideRoot);
+    }
+
+    #[test]
+    fn duplicate_attribute_rejected() {
+        let err = parse("<a x=\"1\" x=\"2\"/>").unwrap_err();
+        assert!(matches!(err.kind, ParseErrorKind::DuplicateAttribute(ref a) if a == "x"));
+    }
+
+    #[test]
+    fn bad_entity_rejected() {
+        let err = parse("<a>&nope;</a>").unwrap_err();
+        assert!(matches!(err.kind, ParseErrorKind::BadEntity(ref e) if e == "nope"));
+    }
+
+    #[test]
+    fn empty_input_rejected() {
+        assert_eq!(parse("").unwrap_err().kind, ParseErrorKind::Empty);
+        assert_eq!(parse("<!-- x -->").unwrap_err().kind, ParseErrorKind::Empty);
+    }
+
+    #[test]
+    fn single_quoted_attributes_work() {
+        let doc = parse("<a t='v'/>").unwrap();
+        let t = doc.symbols().lookup("t").unwrap();
+        assert_eq!(doc.attribute(doc.root_element(), t), Some("v"));
+    }
+
+    #[test]
+    fn utf8_text_round_trips() {
+        let doc = parse("<a>héllo wörld — ✓</a>").unwrap();
+        assert_eq!(doc.subtree_text(doc.root_element()), "héllo wörld — ✓");
+    }
+
+    #[test]
+    fn error_positions_point_into_input() {
+        let err = parse("<a>\n<b></c>\n</a>").unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+}

@@ -1,0 +1,134 @@
+//! String interning for tag and attribute names.
+//!
+//! Every query-processing structure in FleXPath keys on element tags
+//! (tag-equality predicates, per-tag node lists, `#pc`/`#ad` statistics).
+//! Interning names to a dense [`Sym`] id makes those keys `Copy`, hashable
+//! in O(1), and usable as array indices.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// An interned name (element tag or attribute name).
+///
+/// `Sym`s are only meaningful relative to the [`SymbolTable`] that produced
+/// them; documents expose their table via `Document::symbols`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Sym(pub u32);
+
+impl Sym {
+    /// Dense index usable for direct array addressing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Sym {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sym#{}", self.0)
+    }
+}
+
+/// Bidirectional map between names and [`Sym`] ids.
+///
+/// Insertion order defines the id space, so two documents built through the
+/// same table share ids (the FleXPath session relies on this when combining
+/// IR and XPath results).
+#[derive(Debug, Default, Clone)]
+pub struct SymbolTable {
+    names: Vec<Box<str>>,
+    ids: HashMap<Box<str>, Sym>,
+}
+
+impl SymbolTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `name`, returning its existing id when already present.
+    pub fn intern(&mut self, name: &str) -> Sym {
+        if let Some(&sym) = self.ids.get(name) {
+            return sym;
+        }
+        let sym = Sym(self.names.len() as u32);
+        let boxed: Box<str> = name.into();
+        self.names.push(boxed.clone());
+        self.ids.insert(boxed, sym);
+        sym
+    }
+
+    /// Looks up a name without interning it.
+    pub fn lookup(&self, name: &str) -> Option<Sym> {
+        self.ids.get(name).copied()
+    }
+
+    /// Resolves a [`Sym`] back to its name.
+    ///
+    /// # Panics
+    /// Panics if `sym` was not produced by this table.
+    pub fn name(&self, sym: Sym) -> &str {
+        &self.names[sym.index()]
+    }
+
+    /// Number of distinct interned names.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterates `(sym, name)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (Sym, &str)> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (Sym(i as u32), n.as_ref()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut t = SymbolTable::new();
+        let a = t.intern("article");
+        let b = t.intern("article");
+        assert_eq!(a, b);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn distinct_names_get_distinct_ids() {
+        let mut t = SymbolTable::new();
+        let a = t.intern("article");
+        let s = t.intern("section");
+        assert_ne!(a, s);
+        assert_eq!(t.name(a), "article");
+        assert_eq!(t.name(s), "section");
+    }
+
+    #[test]
+    fn lookup_does_not_intern() {
+        let mut t = SymbolTable::new();
+        assert!(t.lookup("missing").is_none());
+        assert!(t.is_empty());
+        let s = t.intern("present");
+        assert_eq!(t.lookup("present"), Some(s));
+    }
+
+    #[test]
+    fn ids_are_dense_and_ordered_by_insertion() {
+        let mut t = SymbolTable::new();
+        for (i, name) in ["a", "b", "c", "d"].iter().enumerate() {
+            assert_eq!(t.intern(name).index(), i);
+        }
+        let collected: Vec<_> = t.iter().map(|(_, n)| n.to_string()).collect();
+        assert_eq!(collected, ["a", "b", "c", "d"]);
+    }
+}

@@ -1,0 +1,60 @@
+//! Robustness: the parser must never panic, whatever the input — it either
+//! produces a document or a positioned error. Fuzz-lite via proptest over
+//! arbitrary strings and over mutations of valid XML.
+
+use flexpath_xmldom::{parse, parse_with_options, to_xml_string, ParseOptions};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn arbitrary_input_never_panics(input in ".{0,200}") {
+        let _ = parse(&input);
+        let _ = parse_with_options(&input, ParseOptions { keep_whitespace: true });
+    }
+
+    #[test]
+    fn xml_flavoured_noise_never_panics(
+        input in "[<>/a-c\"'= &;!\\[\\]-]{0,120}"
+    ) {
+        let _ = parse(&input);
+    }
+
+    #[test]
+    fn truncations_of_valid_xml_never_panic(cut in 0usize..200) {
+        let valid = "<a x=\"1&amp;2\"><!-- c --><b><![CDATA[z]]></b>text &#65; <c/></a>";
+        let cut = cut.min(valid.len());
+        // Cut on a char boundary.
+        let mut end = cut;
+        while !valid.is_char_boundary(end) {
+            end -= 1;
+        }
+        let _ = parse(&valid[..end]);
+    }
+
+    #[test]
+    fn mutations_of_valid_xml_never_panic(
+        pos in 0usize..60,
+        replacement in prop::char::any(),
+    ) {
+        let valid = "<a x=\"1\"><b>hello &amp; goodbye</b><c/></a>";
+        let mut s: Vec<char> = valid.chars().collect();
+        if pos < s.len() {
+            s[pos] = replacement;
+        }
+        let mutated: String = s.into_iter().collect();
+        let _ = parse(&mutated);
+    }
+
+    #[test]
+    fn successful_parses_round_trip(input in "[<>a-c/ ]{0,80}") {
+        // Whenever noise happens to parse, the result must serialize and
+        // re-parse to the same document.
+        if let Ok(doc) = parse(&input) {
+            let xml = to_xml_string(&doc);
+            let reparsed = parse(&xml).expect("serializer output must re-parse");
+            prop_assert_eq!(to_xml_string(&reparsed), xml);
+        }
+    }
+}

@@ -1,0 +1,171 @@
+//! Property tests for the document substrate: parse/serialize round trips,
+//! interval-encoding invariants, and statistics consistency against naive
+//! recomputation.
+
+use flexpath_xmldom::{parse, to_xml_string, DocStats, Document, DocumentBuilder};
+use proptest::prelude::*;
+
+/// Strategy: a random element tree rendered through the builder.
+#[derive(Debug, Clone)]
+enum Node {
+    Element { tag: usize, children: Vec<Node> },
+    Text(String),
+}
+
+fn arb_tree() -> impl Strategy<Value = Node> {
+    let leaf = prop_oneof![
+        "[a-z][a-z ]{0,11}".prop_map(Node::Text),
+        (0usize..6).prop_map(|tag| Node::Element {
+            tag,
+            children: vec![]
+        }),
+    ];
+    leaf.prop_recursive(5, 48, 5, |inner| {
+        (0usize..6, prop::collection::vec(inner, 0..5)).prop_map(|(tag, children)| {
+            Node::Element { tag, children }
+        })
+    })
+}
+
+const TAGS: [&str; 6] = ["a", "b", "c", "d", "e", "f"];
+
+fn build(node: &Node, b: &mut DocumentBuilder) {
+    match node {
+        Node::Text(t) => b.text(t),
+        Node::Element { tag, children } => {
+            b.start_element(TAGS[*tag]);
+            for c in children {
+                build(c, b);
+            }
+            b.end_element();
+        }
+    }
+}
+
+fn doc_from(root: &Node) -> Document {
+    let mut b = DocumentBuilder::new();
+    match root {
+        Node::Element { .. } => build(root, &mut b),
+        Node::Text(_) => {
+            b.start_element("root");
+            build(root, &mut b);
+            b.end_element();
+        }
+    }
+    b.finish().unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn serialize_parse_round_trip(tree in arb_tree()) {
+        let doc = doc_from(&tree);
+        let xml = to_xml_string(&doc);
+        let reparsed = parse(&xml).unwrap();
+        prop_assert_eq!(to_xml_string(&reparsed), xml);
+        // Text content is preserved exactly. (The parser drops
+        // whitespace-only text nodes by default, but the generator only
+        // produces text with at least one letter.)
+        prop_assert_eq!(
+            reparsed.subtree_text(reparsed.root_element()),
+            doc.subtree_text(doc.root_element())
+        );
+    }
+
+    #[test]
+    fn interval_labels_are_a_proper_nesting(tree in arb_tree()) {
+        let doc = doc_from(&tree);
+        for a in doc.all_nodes() {
+            prop_assert!(doc.start(a) < doc.end(a));
+            for b in doc.all_nodes() {
+                if a == b { continue; }
+                let (sa, ea) = (doc.start(a), doc.end(a));
+                let (sb, eb) = (doc.start(b), doc.end(b));
+                // Intervals either nest or are disjoint.
+                let nested = (sa < sb && eb < ea) || (sb < sa && ea < eb);
+                let disjoint = ea < sb || eb < sa;
+                prop_assert!(nested || disjoint, "{a} and {b} overlap improperly");
+            }
+        }
+    }
+
+    #[test]
+    fn parent_links_agree_with_intervals(tree in arb_tree()) {
+        let doc = doc_from(&tree);
+        for n in doc.all_nodes() {
+            match doc.parent(n) {
+                Some(p) => {
+                    prop_assert!(doc.is_parent(p, n));
+                    prop_assert!(doc.is_ancestor(p, n));
+                }
+                None => prop_assert_eq!(n, doc.root_element()),
+            }
+            // children() yields exactly the nodes whose parent is n.
+            for c in doc.children(n) {
+                prop_assert_eq!(doc.parent(c), Some(n));
+            }
+        }
+    }
+
+    #[test]
+    fn descendant_iteration_matches_interval_test(tree in arb_tree()) {
+        let doc = doc_from(&tree);
+        for n in doc.all_nodes() {
+            let via_iter: Vec<_> = doc.descendants(n).collect();
+            let via_test: Vec<_> = doc
+                .all_nodes()
+                .filter(|&m| doc.is_ancestor(n, m))
+                .collect();
+            prop_assert_eq!(via_iter, via_test);
+        }
+    }
+
+    #[test]
+    fn stats_match_naive_counts(tree in arb_tree()) {
+        let doc = doc_from(&tree);
+        let stats = DocStats::compute(&doc);
+        let elements: Vec<_> = doc.elements().collect();
+        prop_assert_eq!(stats.element_total(), elements.len() as u64);
+        for &t1 in doc.symbols().iter().map(|(s, _)| s).collect::<Vec<_>>().iter() {
+            let count = elements.iter().filter(|&&e| doc.tag(e) == Some(t1)).count() as u64;
+            prop_assert_eq!(stats.tag_count(t1), count);
+            for &t2 in doc.symbols().iter().map(|(s, _)| s).collect::<Vec<_>>().iter() {
+                let pc = elements
+                    .iter()
+                    .flat_map(|&p| doc.children(p).map(move |c| (p, c)))
+                    .filter(|&(p, c)| {
+                        doc.tag(p) == Some(t1) && doc.tag(c) == Some(t2)
+                    })
+                    .count() as u64;
+                let doc_ref = &doc;
+                let ad = elements
+                    .iter()
+                    .flat_map(|&a| {
+                        elements
+                            .iter()
+                            .filter(move |&&d| doc_ref.is_ancestor(a, d))
+                            .map(move |&d| (a, d))
+                    })
+                    .filter(|&(a, d)| doc.tag(a) == Some(t1) && doc.tag(d) == Some(t2))
+                    .count() as u64;
+                prop_assert_eq!(stats.pc_count(t1, t2), pc, "pc({},{})", t1, t2);
+                prop_assert_eq!(stats.ad_count(t1, t2), ad, "ad({},{})", t1, t2);
+            }
+        }
+    }
+
+    #[test]
+    fn subtree_last_is_the_maximal_descendant(tree in arb_tree()) {
+        let doc = doc_from(&tree);
+        for n in doc.all_nodes() {
+            let last = doc.subtree_last(n);
+            let max_desc = doc
+                .all_nodes()
+                .filter(|&m| doc.is_ancestor(n, m))
+                .max()
+                .unwrap_or(n);
+            prop_assert_eq!(last, max_desc);
+        }
+    }
+}

@@ -1,0 +1,211 @@
+//! `flexpath-cli` — run flexible XPath + full-text queries against an XML
+//! file from the command line.
+//!
+//! ```text
+//! flexpath-cli <corpus.xml> '<query>' [options]
+//!
+//! options:
+//!   --k N                 number of answers (default 10)
+//!   --algorithm A         dpo | sso | hybrid (default hybrid)
+//!   --scheme S            structure | keyword | combined (default structure)
+//!   --explain             print the relaxation schedule before the results
+//!   --plan                print the relaxation-encoded plan (Figure 8 style)
+//!   --xml                 print each answer's XML subtree
+//!   --snippet N           snippet length in characters (default 80)
+//!   --highlight           mark the query keywords in snippets
+//!   --paths               print each answer's node path
+//!   --stats               print execution statistics
+//! ```
+//!
+//! Example:
+//!
+//! ```text
+//! flexpath-cli articles.xml \
+//!   '//article[./section[./algorithm and ./paragraph[.contains("XML" and "streaming")]]]' \
+//!   --k 5 --explain
+//! ```
+
+use flexpath::{explain_answer, explain_plan, explain_schedule, Algorithm, FleXPath, RankingScheme};
+use std::process::ExitCode;
+
+struct Options {
+    corpus: String,
+    query: String,
+    k: usize,
+    algorithm: Algorithm,
+    scheme: RankingScheme,
+    explain: bool,
+    plan: bool,
+    xml: bool,
+    snippet: usize,
+    highlight: bool,
+    paths: bool,
+    stats: bool,
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: flexpath-cli <corpus.xml> '<query>' [--k N] [--algorithm dpo|sso|hybrid]\n\
+         \x20                [--scheme structure|keyword|combined] [--explain] [--xml]\n\
+         \x20                [--snippet N] [--stats]"
+    );
+    ExitCode::from(2)
+}
+
+fn parse_args() -> Result<Options, ExitCode> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut positional: Vec<String> = Vec::new();
+    let mut opts = Options {
+        corpus: String::new(),
+        query: String::new(),
+        k: 10,
+        algorithm: Algorithm::Hybrid,
+        scheme: RankingScheme::StructureFirst,
+        explain: false,
+        plan: false,
+        xml: false,
+        snippet: 80,
+        highlight: false,
+        paths: false,
+        stats: false,
+    };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--k" => {
+                i += 1;
+                opts.k = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(usage)?;
+            }
+            "--algorithm" => {
+                i += 1;
+                opts.algorithm = match args.get(i).map(String::as_str) {
+                    Some("dpo") => Algorithm::Dpo,
+                    Some("sso") => Algorithm::Sso,
+                    Some("hybrid") => Algorithm::Hybrid,
+                    _ => return Err(usage()),
+                };
+            }
+            "--scheme" => {
+                i += 1;
+                opts.scheme = match args.get(i).map(String::as_str) {
+                    Some("structure") => RankingScheme::StructureFirst,
+                    Some("keyword") => RankingScheme::KeywordFirst,
+                    Some("combined") => RankingScheme::Combined,
+                    _ => return Err(usage()),
+                };
+            }
+            "--snippet" => {
+                i += 1;
+                opts.snippet = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(usage)?;
+            }
+            "--explain" => opts.explain = true,
+            "--plan" => opts.plan = true,
+            "--xml" => opts.xml = true,
+            "--highlight" => opts.highlight = true,
+            "--paths" => opts.paths = true,
+            "--stats" => opts.stats = true,
+            "--help" | "-h" => return Err(usage()),
+            other => positional.push(other.to_string()),
+        }
+        i += 1;
+    }
+    if positional.len() != 2 {
+        return Err(usage());
+    }
+    opts.corpus = positional.remove(0);
+    opts.query = positional.remove(0);
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(code) => return code,
+    };
+
+    let xml = match std::fs::read_to_string(&opts.corpus) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot read {}: {e}", opts.corpus);
+            return ExitCode::FAILURE;
+        }
+    };
+    let flex = match FleXPath::from_xml(&xml) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("cannot parse {}: {e}", opts.corpus);
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let query = match flex.query(&opts.query) {
+        Ok(q) => q,
+        Err(e) => {
+            eprintln!("bad query: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if opts.explain {
+        let tpq = flexpath::parse_query(&opts.query).expect("validated above");
+        print!("{}", explain_schedule(flex.context(), &tpq, 32));
+        println!();
+    }
+    if opts.plan {
+        let tpq = flexpath::parse_query(&opts.query).expect("validated above");
+        print!("{}", explain_plan(flex.context(), &tpq, 32));
+        println!();
+    }
+
+
+    let results = query
+        .top(opts.k)
+        .algorithm(opts.algorithm)
+        .scheme(opts.scheme)
+        .execute();
+
+    if results.hits.is_empty() {
+        println!("no answers (even after relaxation)");
+        return ExitCode::SUCCESS;
+    }
+    let tpq = flexpath::parse_query(&opts.query).expect("validated above");
+    for (rank, hit) in results.hits.iter().enumerate() {
+        println!("#{:<3} {}", rank + 1, explain_answer(flex.context(), hit));
+        if opts.paths {
+            println!("     {}", flex.path_of(hit.node));
+        }
+        if opts.xml {
+            println!("{}", flex.xml_of(hit.node));
+        } else if opts.highlight {
+            let style = flexpath_ftsearch::HighlightStyle {
+                max_chars: opts.snippet,
+                ..Default::default()
+            };
+            println!("     {}", flex.highlight_styled(hit.node, &tpq, &style));
+        } else {
+            println!("     {}", flex.snippet(hit.node, opts.snippet));
+        }
+    }
+    if opts.stats {
+        let s = &results.stats;
+        println!(
+            "\nstats: algorithm={} relaxations={} evaluations={} intermediates={} \
+             pruned={} shifts={} buckets={} restarts={}",
+            results.algorithm,
+            s.relaxations_used,
+            s.evaluations,
+            s.intermediate_answers,
+            s.pruned,
+            s.sorted_insert_shifts,
+            s.buckets,
+            s.restarts
+        );
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,5 @@
+//! `flexpath-suite` is the workspace-root package hosting cross-crate
+//! integration tests (`tests/`) and runnable examples (`examples/`).
+//! The library surface simply re-exports the public facade crate.
+
+pub use flexpath::*;

@@ -1,0 +1,74 @@
+//! Concurrency contract: one [`FleXPath`] session serves queries from many
+//! threads simultaneously with identical results, and the shared full-text
+//! cache is populated exactly once per expression.
+
+use flexpath::{Algorithm, FleXPath};
+use flexpath_xmark::{generate, XmarkConfig};
+use std::sync::Arc;
+
+const QUERY: &str =
+    "//item[./description/parlist and ./mailbox/mail/text[.contains(\"vintage\" and \"gold\")]]";
+
+#[test]
+fn session_is_send_and_sync() {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<FleXPath>();
+    assert_send_sync::<flexpath::TagHierarchy>();
+    assert_send_sync::<flexpath::Thesaurus>();
+}
+
+#[test]
+fn parallel_queries_agree_with_serial_execution() {
+    let flex = Arc::new(FleXPath::new(generate(&XmarkConfig::sized(128 * 1024, 33))));
+    let serial = flex.query(QUERY).unwrap().top(25).execute();
+
+    let mut handles = Vec::new();
+    for t in 0..8 {
+        let flex = Arc::clone(&flex);
+        handles.push(std::thread::spawn(move || {
+            let alg = match t % 3 {
+                0 => Algorithm::Dpo,
+                1 => Algorithm::Sso,
+                _ => Algorithm::Hybrid,
+            };
+            let r = flex.query(QUERY).unwrap().top(25).algorithm(alg).execute();
+            (alg, r.nodes())
+        }));
+    }
+    for h in handles {
+        let (alg, nodes) = h.join().expect("worker did not panic");
+        if alg != Algorithm::Dpo {
+            assert_eq!(nodes, serial.nodes(), "{alg} differs under concurrency");
+        } else {
+            // DPO's round-level scores may tie-break differently; the sets
+            // must still agree.
+            let mut a = nodes;
+            let mut b = serial.nodes();
+            a.sort();
+            b.sort();
+            assert_eq!(a, b, "DPO set differs under concurrency");
+        }
+    }
+}
+
+#[test]
+fn ft_cache_is_shared_across_threads() {
+    let flex = Arc::new(FleXPath::new(generate(&XmarkConfig::sized(64 * 1024, 34))));
+    let mut handles = Vec::new();
+    for _ in 0..4 {
+        let flex = Arc::clone(&flex);
+        handles.push(std::thread::spawn(move || {
+            flex.query(QUERY).unwrap().top(5).execute().hits.len()
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    // One distinct contains expression → at most a couple of cache entries
+    // (the expression plus any schedule-derived duplicates), not 4×.
+    assert!(
+        flex.context().ft_cache_size() <= 2,
+        "cache should be shared, found {} entries",
+        flex.context().ft_cache_size()
+    );
+}

@@ -1,0 +1,214 @@
+//! Property-based tests over random documents and random queries:
+//! the empirical side of Theorems 2 and 3.
+//!
+//! * **Soundness** — for every applicable operator, `answers(Q) ⊆
+//!   answers(op(Q))`, verified by actual evaluation (not just the
+//!   homomorphism check).
+//! * **Monotone growth** — each relaxation-schedule prefix's answer set
+//!   contains the previous prefix's.
+//! * **Algorithm agreement** — DPO, SSO, and Hybrid return consistent
+//!   top-K answer sets.
+//! * **Relevance** — relaxed answers never outscore exact ones.
+
+use flexpath::{Algorithm, FleXPath, RankingScheme};
+use flexpath_engine::{full_encoding_topk, rewrite_enumeration_topk, TopKRequest};
+use flexpath_tpq::{applicable_ops, apply_op, Tpq, TpqBuilder};
+use proptest::prelude::*;
+
+const TAGS: [&str; 5] = ["a", "b", "c", "d", "e"];
+const WORDS: [&str; 4] = ["gold", "silver", "vintage", "auction"];
+
+/// A random XML tree, rendered directly to a string.
+fn arb_doc() -> impl Strategy<Value = String> {
+    let leaf = (0usize..WORDS.len()).prop_map(|w| WORDS[w].to_string());
+    let tree = leaf.prop_recursive(4, 24, 4, |inner| {
+        (0usize..TAGS.len(), prop::collection::vec(inner, 0..4)).prop_map(|(t, kids)| {
+            let tag = TAGS[t];
+            if kids.is_empty() {
+                format!("<{tag}/>")
+            } else {
+                format!("<{tag}>{}</{tag}>", kids.join(""))
+            }
+        })
+    });
+    tree.prop_map(|body| format!("<root>{body}</root>"))
+}
+
+/// A random small TPQ rooted at a random tag.
+fn arb_query() -> impl Strategy<Value = Tpq> {
+    (
+        0usize..TAGS.len(),
+        prop::collection::vec((0usize..TAGS.len(), any::<bool>(), 0usize..3), 1..4),
+        prop::option::of(0usize..WORDS.len()),
+    )
+        .prop_map(|(root_tag, nodes, contains_word)| {
+            let mut b = TpqBuilder::new(TAGS[root_tag]);
+            let mut created = vec![0usize];
+            for (tag, is_child, parent_pick) in nodes {
+                let parent = created[parent_pick % created.len()];
+                let idx = if is_child {
+                    b.child(parent, TAGS[tag])
+                } else {
+                    b.descendant(parent, TAGS[tag])
+                };
+                created.push(idx);
+            }
+            if let Some(w) = contains_word {
+                let target = *created.last().unwrap();
+                b.add_contains(target, flexpath::FtExpr::term(WORDS[w]));
+            }
+            b.build()
+        })
+}
+
+/// Evaluates a TPQ exactly (no relaxation) and returns its answer set.
+fn exact_answers(flex: &FleXPath, q: &Tpq) -> Vec<flexpath::NodeId> {
+    let mut r = flex
+        .query_tpq(q.clone())
+        .top(usize::MAX / 2)
+        .max_relaxations(0)
+        .execute()
+        .nodes();
+    r.sort();
+    r
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn operators_are_sound_under_evaluation(xml in arb_doc(), q in arb_query()) {
+        let flex = FleXPath::from_xml(&xml).unwrap();
+        let base = exact_answers(&flex, &q);
+        for op in applicable_ops(&q) {
+            let relaxed = apply_op(&q, &op).unwrap();
+            let more = exact_answers(&flex, &relaxed);
+            for n in &base {
+                prop_assert!(
+                    more.contains(n),
+                    "{op} lost answer {n} (query {}, doc {xml})",
+                    q.to_xpath()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn relaxation_only_adds_answers_along_the_schedule(
+        xml in arb_doc(),
+        q in arb_query(),
+    ) {
+        let flex = FleXPath::from_xml(&xml).unwrap();
+        // Run with generous K and full relaxation: the result must contain
+        // every exact answer, all carrying the maximal score.
+        let exact = exact_answers(&flex, &q);
+        let full = flex
+            .query_tpq(q.clone())
+            .top(10_000)
+            .execute();
+        let full_nodes: Vec<_> = full.nodes();
+        for n in &exact {
+            prop_assert!(full_nodes.contains(n), "exact answer {n} missing");
+        }
+        if !exact.is_empty() {
+            let best = full.hits[0].score.ss;
+            for h in &full.hits {
+                if exact.contains(&h.node) {
+                    prop_assert!((h.score.ss - best).abs() < 1e-9,
+                        "exact answer scored below maximum");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sso_and_hybrid_agree(xml in arb_doc(), q in arb_query(), k in 1usize..8) {
+        let flex = FleXPath::from_xml(&xml).unwrap();
+        let s = flex.query_tpq(q.clone()).top(k).algorithm(Algorithm::Sso).execute();
+        let h = flex.query_tpq(q.clone()).top(k).algorithm(Algorithm::Hybrid).execute();
+        prop_assert_eq!(s.nodes(), h.nodes());
+        for (a, b) in s.hits.iter().zip(h.hits.iter()) {
+            prop_assert!((a.score.ss - b.score.ss).abs() < 1e-9);
+            prop_assert!((a.score.ks - b.score.ks).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn dpo_answer_sets_match_encoded_algorithms(
+        xml in arb_doc(),
+        q in arb_query(),
+        k in 1usize..8,
+    ) {
+        let flex = FleXPath::from_xml(&xml).unwrap();
+        let d = flex.query_tpq(q.clone()).top(k).algorithm(Algorithm::Dpo).execute();
+        let h = flex.query_tpq(q.clone()).top(k).algorithm(Algorithm::Hybrid).execute();
+        // DPO's coarser per-round scores can reorder ties, but the sets of
+        // structural scores attainable must agree in size.
+        prop_assert_eq!(d.hits.len(), h.hits.len());
+    }
+
+    #[test]
+    fn relevance_exact_answers_never_outscored(xml in arb_doc(), q in arb_query()) {
+        let flex = FleXPath::from_xml(&xml).unwrap();
+        let r = flex.query_tpq(q.clone()).top(10_000).execute();
+        let exact = exact_answers(&flex, &q);
+        let best_exact = r
+            .hits
+            .iter()
+            .filter(|h| exact.contains(&h.node))
+            .map(|h| h.score.ss)
+            .fold(f64::NEG_INFINITY, f64::max);
+        if best_exact.is_finite() {
+            for h in &r.hits {
+                prop_assert!(h.score.ss <= best_exact + 1e-9,
+                    "relaxed answer outscored exact ones structurally");
+            }
+        }
+    }
+
+    #[test]
+    fn encoded_and_enumerated_strategies_agree_on_answer_sets(
+        xml in arb_doc(),
+        q in arb_query(),
+    ) {
+        // Two *independent* evaluation paths: the relaxation-encoded plan
+        // (ghost operands + bitsets) vs exhaustive query enumeration with
+        // exact evaluation. They must cover the same answer universe.
+        let flex = FleXPath::from_xml(&xml).unwrap();
+        let req = TopKRequest::new(q.clone(), 10_000);
+        let encoded = full_encoding_topk(flex.context(), &req);
+        let enumerated = rewrite_enumeration_topk(flex.context(), &req, 5_000);
+        let mut a = encoded.nodes();
+        let mut b = enumerated.nodes();
+        a.sort();
+        a.dedup();
+        b.sort();
+        b.dedup();
+        prop_assert_eq!(a, b, "strategies diverge on {} / {}", q.to_xpath(), xml);
+    }
+
+    #[test]
+    fn scheme_results_are_permutations_of_each_other_at_full_k(
+        xml in arb_doc(),
+        q in arb_query(),
+    ) {
+        let flex = FleXPath::from_xml(&xml).unwrap();
+        let mut sets = Vec::new();
+        for scheme in [
+            RankingScheme::StructureFirst,
+            RankingScheme::KeywordFirst,
+            RankingScheme::Combined,
+        ] {
+            let mut nodes = flex
+                .query_tpq(q.clone())
+                .top(10_000)
+                .scheme(scheme)
+                .execute()
+                .nodes();
+            nodes.sort();
+            sets.push(nodes);
+        }
+        prop_assert_eq!(&sets[0], &sets[1]);
+        prop_assert_eq!(&sets[1], &sets[2]);
+    }
+}
