@@ -2,7 +2,7 @@
 //! same relaxation prefix. DESIGN.md: "Bucketization vs score-resorting
 //! (Hybrid's reason to exist)".
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flexpath_bench::minibench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use flexpath::Algorithm;
 use flexpath_bench::{bench_session, run_once, XQ3};
 

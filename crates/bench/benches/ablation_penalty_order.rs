@@ -3,7 +3,7 @@
 //! `flexpath_bench::harness::ablations::penalty_order` for the one-shot
 //! variant with full statistics).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use flexpath_bench::minibench::{criterion_group, criterion_main, Criterion};
 use flexpath_bench::harness::run_figure;
 
 fn ablation(c: &mut Criterion) {

@@ -1,7 +1,7 @@
 //! Related-work baselines (Section 7's three evaluation strategies) against
 //! DPO/SSO/Hybrid on the same workload.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use flexpath_bench::minibench::{criterion_group, criterion_main, Criterion};
 use flexpath_bench::harness::run_figure;
 
 fn baselines(c: &mut Criterion) {

@@ -5,7 +5,7 @@
 //! as relaxation count grows, because DPO pays one full evaluation per
 //! relaxation round.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flexpath_bench::minibench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use flexpath::Algorithm;
 use flexpath_bench::{bench_session, run_once, QUERIES};
 

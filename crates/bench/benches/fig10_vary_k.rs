@@ -4,7 +4,7 @@
 //! makes it increasingly superior as K grows (paper reports up to 68%
 //! improvement at K = 600).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flexpath_bench::minibench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use flexpath::Algorithm;
 use flexpath_bench::{bench_session, run_once, XQ3};
 

@@ -5,7 +5,7 @@
 //! opening as relaxation count grows (more intermediate answers → more
 //! score-sorted inserts for SSO, still zero for Hybrid).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flexpath_bench::minibench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use flexpath::Algorithm;
 use flexpath_bench::{bench_session, run_once, QUERIES};
 

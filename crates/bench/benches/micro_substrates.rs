@@ -3,7 +3,7 @@
 //! structural joins, full-text evaluation, closure computation, and
 //! relaxation-schedule construction.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use flexpath_bench::minibench::{criterion_group, criterion_main, Criterion};
 use flexpath_bench::bench_config;
 use flexpath_engine::{
     build_schedule, stack_tree_desc, EngineContext, PenaltyModel, WeightAssignment,

@@ -14,7 +14,13 @@
 
 use flexpath_bench::harness::{run_figure, FIGURES};
 use flexpath_bench::report::{render_json, render_table};
-use parking_lot::Mutex;
+use std::sync::Mutex;
+
+// Benchmark workers only push results; a poisoned lock just means another
+// worker panicked mid-push, and the data already in the vec is still good.
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -75,24 +81,23 @@ fn main() {
         1
     };
     let queue = Mutex::new(figures.clone());
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|_| loop {
-                let next = queue.lock().pop();
+            scope.spawn(|| loop {
+                let next = lock(&queue).pop();
                 let Some(id) = next else { break };
                 match run_figure(&id, scale, repeats) {
                     Some(series) => {
                         println!("{}\n", render_table(&series));
-                        results.lock().push(series);
+                        lock(&results).push(series);
                     }
                     None => eprintln!("unknown figure id: {id} (try --list)"),
                 }
             });
         }
-    })
-    .expect("benchmark workers do not panic");
+    });
 
-    let mut all = results.into_inner();
+    let mut all = results.into_inner().unwrap_or_else(|e| e.into_inner());
     all.sort_by(|a, b| a.id.cmp(&b.id));
     if let Some(path) = json_path {
         let body: Vec<String> = all.iter().map(render_json).collect();

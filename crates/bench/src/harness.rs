@@ -6,11 +6,10 @@
 
 use crate::workload::{bench_session, QUERIES, XQ2, XQ3};
 use flexpath::{Algorithm, ExecStats, FleXPath};
-use serde::Serialize;
 use std::time::Instant;
 
 /// One timed execution.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct RunRecord {
     /// Algorithm that ran.
     pub algorithm: String,
@@ -33,7 +32,7 @@ pub struct RunRecord {
 }
 
 /// A named series point: x-label plus per-algorithm records.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct SeriesRow {
     /// X-axis label (query name, K, or document size).
     pub x: String,
@@ -42,7 +41,7 @@ pub struct SeriesRow {
 }
 
 /// A regenerated figure.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Series {
     /// Figure id, e.g. `fig09`.
     pub id: String,

@@ -6,8 +6,9 @@
 //!
 //! Two front ends share this library:
 //!
-//! * `cargo bench -p flexpath-bench` — criterion micro/meso benchmarks, one
-//!   target per figure, at CI-friendly document sizes;
+//! * `cargo bench -p flexpath-bench` — micro/meso benchmarks (via the
+//!   dependency-free [`minibench`] harness), one target per figure, at
+//!   CI-friendly document sizes;
 //! * `cargo run --release -p flexpath-bench --bin repro -- <figure|all>
 //!   [--scale F]` — one-shot reproduction runs that print the same series
 //!   the paper plots (and can be scaled up to the paper's 1–100 MB range).
@@ -17,6 +18,7 @@
 //! relaxation count / K / document size, and where the algorithms tie.
 
 pub mod harness;
+pub mod minibench;
 pub mod report;
 pub mod workload;
 

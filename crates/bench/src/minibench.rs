@@ -1,0 +1,159 @@
+//! A minimal, dependency-free stand-in for the criterion benchmark API.
+//!
+//! The bench targets only use a small slice of criterion (`benchmark_group`,
+//! `sample_size`, `bench_function`, `bench_with_input`, the two macros), so
+//! this module reproduces exactly that surface: each benchmark runs
+//! `sample_size` timed iterations after one warm-up pass and prints the
+//! median. No statistics engine, no HTML reports — numbers on stdout that
+//! EXPERIMENTS.md can quote.
+
+use std::time::Instant;
+
+/// Re-exported so bench targets can `use flexpath_bench::minibench::{...}`.
+pub use crate::{criterion_group, criterion_main};
+
+/// Prevents the optimizer from discarding a benchmarked value.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Top-level benchmark driver handed to each target function.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        let name = name.into();
+        println!("group {name}");
+        BenchmarkGroup {
+            name,
+            sample_size: 10,
+        }
+    }
+}
+
+/// A named benchmark id, `function/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Builds `<function>/<parameter>`.
+    pub fn new(function: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{function}/{parameter}"),
+        }
+    }
+}
+
+/// A group of benchmarks sharing a sample size.
+#[derive(Debug)]
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup {
+    /// Number of timed iterations per benchmark (criterion's meaning is
+    /// samples; here one sample = one iteration).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark closure.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            samples: self.sample_size,
+            median_nanos: 0.0,
+        };
+        f(&mut b);
+        println!(
+            "  {}/{:<40} {:>12.3} ms",
+            self.name,
+            id.to_string(),
+            b.median_nanos / 1e6
+        );
+        self
+    }
+
+    /// Runs one benchmark closure over a borrowed input.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id.id.clone(), |b| f(b, input))
+    }
+
+    /// Ends the group (printing already happened per-benchmark).
+    pub fn finish(self) {}
+}
+
+/// Timer handed to the benchmark closure.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: usize,
+    median_nanos: f64,
+}
+
+impl Bencher {
+    /// Times `f`: one warm-up call, then `samples` timed calls; the median
+    /// is reported by the caller.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f());
+        let mut times = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let t = Instant::now();
+            black_box(f());
+            times.push(t.elapsed().as_nanos() as f64);
+        }
+        times.sort_by(f64::total_cmp);
+        self.median_nanos = times[times.len() / 2];
+    }
+}
+
+/// Defines a `fn $name()` running each target with a fresh [`Criterion`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::minibench::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Defines `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_a_median() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("test");
+        group.sample_size(3);
+        group.bench_function("noop", |b| b.iter(|| 1 + 1));
+        group.bench_with_input(BenchmarkId::new("with", "input"), &41, |b, &x| {
+            b.iter(|| x + 1)
+        });
+        group.finish();
+    }
+}

@@ -49,14 +49,14 @@ pub fn render_table(series: &Series) -> String {
     out
 }
 
-/// JSON rendering (stable field order via serde).
+/// JSON rendering (stable field order).
 pub fn render_json(series: &Series) -> String {
     serde_json_lite(series)
 }
 
-// A tiny hand-rolled JSON writer: serde is available for derive metadata,
-// but serde_json is not among the sanctioned dependencies, so the harness
-// serializes its own (flat, simple) structures directly.
+// A tiny hand-rolled JSON writer: the workspace carries no serialization
+// dependency, so the harness serializes its own (flat, simple) structures
+// directly.
 fn serde_json_lite(series: &Series) -> String {
     fn esc(s: &str) -> String {
         s.replace('\\', "\\\\").replace('"', "\\\"")

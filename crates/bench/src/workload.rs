@@ -26,7 +26,7 @@ pub const QUERIES: [(&str, &str); 3] = [("Q1", XQ1), ("Q2", XQ2), ("Q3", XQ3)];
 pub fn bench_config(target_bytes: usize) -> XmarkConfig {
     XmarkConfig {
         target_bytes,
-        seed: 0x0000_BEC5,
+        seed: 1, // chosen so XQ1/XQ2/XQ3 selectivities order correctly
         parlist_prob: 0.28,
         nested_parlist_prob: 0.30,
         max_parlist_depth: 3,

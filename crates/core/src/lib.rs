@@ -57,8 +57,9 @@ pub use session::{FleXPath, QueryResults, TopKQuery};
 
 // Re-exports for downstream users.
 pub use flexpath_engine::{
-    Algorithm, Answer, AnswerScore, AttrRelaxation, ExecStats, RankingScheme,
-    TagHierarchy, WeightAssignment,
+    Algorithm, Answer, AnswerScore, AttrRelaxation, CancelToken, Completeness,
+    EngineError, ExecStats, ExhaustReason, QueryLimits, RankingScheme, TagHierarchy,
+    WeightAssignment,
 };
 pub use flexpath_ftsearch::{FtExpr, Thesaurus};
 pub use flexpath_tpq::{parse_query, parse_query_weighted, QueryParseError, RelaxOp, Tpq, TpqBuilder};

@@ -1,12 +1,16 @@
 //! The FleXPath session and query-builder API.
 
 use flexpath_engine::{
-    dpo_topk, hybrid_topk, sso_topk, Algorithm, Answer, AttrRelaxation, EngineContext,
-    ExecStats, RankingScheme, TagHierarchy, TopKRequest, TopKResult, WeightAssignment,
+    dpo_topk, hybrid_topk, sso_topk, Algorithm, Answer, AttrRelaxation, CancelToken,
+    Completeness, EngineContext, EngineError, ExecStats, QueryLimits, RankingScheme,
+    TagHierarchy, TopKRequest, TopKResult, WeightAssignment,
 };
 use flexpath_ftsearch::{highlight, HighlightStyle, Thesaurus};
 use flexpath_tpq::{parse_query_weighted, QueryParseError, Tpq};
-use flexpath_xmldom::{parse as parse_xml, to_xml_string, Document, NodeId, ParseError};
+use flexpath_xmldom::{
+    parse as parse_xml, to_xml_string, Document, NodeId, ParseError, ParseErrorKind,
+};
+use std::time::Duration;
 
 /// A FleXPath session over one document (collection).
 ///
@@ -32,15 +36,36 @@ impl FleXPath {
     /// Opens a session over a *collection* of XML documents (the paper's
     /// `D` is "an XML document collection"): each part becomes a child of a
     /// synthetic `<collection>` root.
+    ///
+    /// Every part is validated *before* gluing: a part carrying a document
+    /// type declaration is rejected ([`EngineError::DoctypeForbidden`]),
+    /// as is a part that is not a single well-formed element
+    /// ([`EngineError::NotSingleElement`]) — otherwise a part like
+    /// `"<a/><b/>"` or `"</collection><evil/>"` could silently reshape the
+    /// merged document.
     pub fn from_xml_parts<'a>(
         parts: impl IntoIterator<Item = &'a str>,
-    ) -> Result<Self, ParseError> {
+    ) -> Result<Self, EngineError> {
         let mut glued = String::from("<collection>");
-        for p in parts {
+        for (i, p) in parts.into_iter().enumerate() {
+            if contains_doctype(p) {
+                return Err(EngineError::DoctypeForbidden { part: i });
+            }
+            // Each part must parse on its own as exactly one element; the
+            // parser already rejects text or a second root outside the
+            // first (`ContentOutsideRoot`) and empty input (`Empty`).
+            if let Err(e) = parse_xml(p) {
+                return Err(match e.kind {
+                    ParseErrorKind::ContentOutsideRoot | ParseErrorKind::Empty => {
+                        EngineError::NotSingleElement { part: i }
+                    }
+                    _ => EngineError::Parse(e),
+                });
+            }
             glued.push_str(p);
         }
         glued.push_str("</collection>");
-        Self::from_xml(&glued)
+        Ok(Self::from_xml(&glued)?)
     }
 
     /// The underlying engine context (document, stats, index).
@@ -137,6 +162,14 @@ impl FleXPath {
     }
 }
 
+/// Case-insensitive scan for a `<!DOCTYPE` declaration.
+fn contains_doctype(part: &str) -> bool {
+    let bytes = part.as_bytes();
+    bytes.windows(9).any(|w| {
+        w[0] == b'<' && w[1] == b'!' && w[2..].eq_ignore_ascii_case(b"doctype")
+    })
+}
+
 /// A configurable top-K query (builder style).
 pub struct TopKQuery<'a> {
     flex: &'a FleXPath,
@@ -173,6 +206,28 @@ impl TopKQuery<'_> {
     /// Caps the number of relaxation steps considered.
     pub fn max_relaxations(mut self, n: usize) -> Self {
         self.request.max_relaxation_steps = n;
+        self
+    }
+
+    /// Gives the query a wall-clock deadline. When it expires the run
+    /// returns the best answers found so far and
+    /// [`QueryResults::completeness`] reports the interruption.
+    pub fn deadline(mut self, deadline: Duration) -> Self {
+        self.request.limits.deadline = Some(deadline);
+        self
+    }
+
+    /// Sets all resource limits at once (see [`QueryLimits`]).
+    pub fn limits(mut self, limits: QueryLimits) -> Self {
+        self.request.limits = limits;
+        self
+    }
+
+    /// Attaches an external cancellation token; calling
+    /// [`CancelToken::cancel`] from any thread stops the query at its next
+    /// checkpoint with a best-effort result.
+    pub fn cancel(mut self, cancel: CancelToken) -> Self {
+        self.request.cancel = Some(cancel);
         self
     }
 
@@ -218,6 +273,7 @@ impl TopKQuery<'_> {
         QueryResults {
             hits: result.answers,
             stats: result.stats,
+            completeness: result.completeness,
             algorithm: self.algorithm,
         }
     }
@@ -230,6 +286,8 @@ pub struct QueryResults {
     pub hits: Vec<Answer>,
     /// Execution counters.
     pub stats: ExecStats,
+    /// Whether the run explored everything or stopped on a resource limit.
+    pub completeness: Completeness,
     /// The algorithm that produced them.
     pub algorithm: Algorithm,
 }
@@ -238,6 +296,11 @@ impl QueryResults {
     /// Answer nodes in rank order.
     pub fn nodes(&self) -> Vec<NodeId> {
         self.hits.iter().map(|h| h.node).collect()
+    }
+
+    /// `true` when the run explored its full search space.
+    pub fn is_complete(&self) -> bool {
+        self.completeness.is_complete()
     }
 
     /// Whether any answer required relaxation.
@@ -353,6 +416,64 @@ mod tests {
         assert!(hl.contains("**XML**"), "{hl}");
         assert!(hl.contains("**streaming**"), "{hl}");
         assert!(flex.path_of(r.hits[0].node).starts_with("/site/article"));
+    }
+
+    #[test]
+    fn from_xml_parts_rejects_doctype_and_fragments() {
+        assert!(matches!(
+            FleXPath::from_xml_parts(["<!DOCTYPE a><a/>"]),
+            Err(EngineError::DoctypeForbidden { part: 0 })
+        ));
+        assert!(matches!(
+            FleXPath::from_xml_parts(["<a/>", "<!doctype b><b/>"]),
+            Err(EngineError::DoctypeForbidden { part: 1 })
+        ));
+        assert!(matches!(
+            FleXPath::from_xml_parts(["<a/>", "<b/><c/>"]),
+            Err(EngineError::NotSingleElement { part: 1 })
+        ));
+        assert!(matches!(
+            FleXPath::from_xml_parts(["<a/>", "   "]),
+            Err(EngineError::NotSingleElement { part: 1 })
+        ));
+        assert!(matches!(
+            FleXPath::from_xml_parts(["</collection><evil/>", "<a/>"]),
+            Err(_)
+        ));
+    }
+
+    #[test]
+    fn deadline_and_limits_flow_into_the_request() {
+        let flex = FleXPath::from_xml(CORPUS).unwrap();
+        let q = flex
+            .query(Q1)
+            .unwrap()
+            .deadline(Duration::from_millis(100))
+            .limits(QueryLimits::default().with_max_candidate_answers(7))
+            .cancel(CancelToken::new());
+        // `.limits` replaced the deadline set before it; set it again.
+        let q = q.deadline(Duration::from_millis(50));
+        assert_eq!(q.request().limits.deadline, Some(Duration::from_millis(50)));
+        assert_eq!(q.request().limits.max_candidate_answers, Some(7));
+        assert!(q.request().cancel.is_some());
+        let r = q.execute();
+        assert!(r.is_complete(), "tiny corpus finishes well within limits");
+    }
+
+    #[test]
+    fn zero_answer_budget_degrades_gracefully() {
+        let flex = FleXPath::from_xml(CORPUS).unwrap();
+        for alg in [Algorithm::Dpo, Algorithm::Sso, Algorithm::Hybrid] {
+            let r = flex
+                .query(Q1)
+                .unwrap()
+                .top(3)
+                .algorithm(alg)
+                .limits(QueryLimits::default().with_max_candidate_answers(0))
+                .execute();
+            assert!(r.hits.is_empty(), "{alg}: no budget, no answers");
+            assert!(!r.is_complete(), "{alg}: must report exhaustion");
+        }
     }
 
     #[test]

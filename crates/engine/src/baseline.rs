@@ -83,7 +83,7 @@ pub fn rewrite_enumeration_topk(
     }
     sort_answers(&mut answers, request.scheme);
     answers.truncate(request.k);
-    TopKResult { answers, stats }
+    TopKResult::complete(answers, stats)
 }
 
 /// Full-encoding baseline: the entire relaxation schedule is encoded in one
@@ -105,7 +105,7 @@ pub fn full_encoding_topk(ctx: &EngineContext, request: &TopKRequest) -> TopKRes
     });
     sort_answers(&mut answers, request.scheme);
     answers.truncate(request.k);
-    TopKResult { answers, stats }
+    TopKResult::complete(answers, stats)
 }
 
 /// Data-relaxation baseline (APPROXML): materialize ancestor-descendant
@@ -150,7 +150,7 @@ pub fn data_relaxation_topk(ctx: &EngineContext, request: &TopKRequest) -> TopKR
     });
     sort_answers(&mut answers, request.scheme);
     answers.truncate(request.k);
-    TopKResult { answers, stats }
+    TopKResult::complete(answers, stats)
 }
 
 #[cfg(test)]

@@ -6,11 +6,10 @@
 //! the document in order to obtain counts of the various types of nodes and
 //! edges").
 
-use flexpath_ftsearch::{FtEval, FtExpr, InvertedIndex};
+use flexpath_ftsearch::{Budget, FtEval, FtExpr, InvertedIndex, ScoringModel};
 use flexpath_xmldom::{Document, DocStats, NodeId, Sym};
-use parking_lot::RwLock;
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 /// Owns one document plus every auxiliary structure the engine needs.
 pub struct EngineContext {
@@ -55,12 +54,38 @@ impl EngineContext {
     /// across relaxation rounds — is evaluated once (the "optimize repeated
     /// computation" goal of Section 1).
     pub fn ft_eval(&self, expr: &FtExpr) -> Arc<FtEval> {
-        if let Some(hit) = self.ft_cache.read().get(expr) {
+        if let Some(hit) = self.cache_read().get(expr) {
             return hit.clone();
         }
         let eval = Arc::new(self.index.evaluate(&self.doc, expr));
-        self.ft_cache
-            .write()
+        self.cache_write()
+            .entry(expr.clone())
+            .or_insert(eval)
+            .clone()
+    }
+
+    /// [`ft_eval`](Self::ft_eval) under a resource [`Budget`].
+    ///
+    /// A tripped evaluation is returned to the caller (best-effort partial
+    /// matches) but never inserted into the shared cache — a later
+    /// unbudgeted query must not observe a truncated evaluation.
+    pub fn ft_eval_budgeted(&self, expr: &FtExpr, budget: &Budget) -> Arc<FtEval> {
+        if !budget.is_limited() {
+            return self.ft_eval(expr);
+        }
+        if let Some(hit) = self.cache_read().get(expr) {
+            return hit.clone();
+        }
+        let eval = Arc::new(self.index.evaluate_budgeted(
+            &self.doc,
+            expr,
+            ScoringModel::default(),
+            budget,
+        ));
+        if budget.tripped().is_some() {
+            return eval;
+        }
+        self.cache_write()
             .entry(expr.clone())
             .or_insert(eval)
             .clone()
@@ -68,7 +93,17 @@ impl EngineContext {
 
     /// Number of cached full-text evaluations (for tests/stats).
     pub fn ft_cache_size(&self) -> usize {
-        self.ft_cache.read().len()
+        self.cache_read().len()
+    }
+
+    // Poison-tolerant lock access: the cache holds only memoized pure
+    // computations, so a panic mid-insert cannot leave it inconsistent.
+    fn cache_read(&self) -> RwLockReadGuard<'_, HashMap<FtExpr, Arc<FtEval>>> {
+        self.ft_cache.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn cache_write(&self) -> RwLockWriteGuard<'_, HashMap<FtExpr, Arc<FtEval>>> {
+        self.ft_cache.write().unwrap_or_else(|e| e.into_inner())
     }
 
     /// Resolves a query tag name against the document's symbol table.

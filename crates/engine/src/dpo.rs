@@ -14,16 +14,38 @@
 
 use crate::context::EngineContext;
 use crate::encode::EncodedQuery;
-use crate::exec::evaluate_encoded;
-use crate::schedule::build_schedule;
+use crate::exec::evaluate_encoded_budgeted;
+use crate::governor::{Completeness, ExhaustReason};
+use crate::schedule::build_schedule_budgeted;
 use crate::score::{PenaltyModel, RankingScheme};
 use crate::topk::{sort_answers, Answer, ExecStats, TopKRequest, TopKResult};
 use std::collections::HashSet;
 
-/// Runs the DPO top-K algorithm.
+/// Runs the DPO top-K algorithm under the request's resource limits.
+///
+/// When the budget trips mid-search the partially evaluated round is
+/// *discarded*: the returned answers are exactly the union of the completed
+/// rounds, which by Theorem 3 is a prefix of the unbounded run's ranking
+/// under structure-first order.
 pub fn dpo_topk(ctx: &EngineContext, request: &TopKRequest) -> TopKResult {
+    let budget = request.limits.budget(request.cancel.clone());
     let model = PenaltyModel::new(&request.query, request.weights.clone());
-    let schedule = build_schedule(ctx, &model, &request.query, request.max_relaxation_steps);
+    let mut schedule = build_schedule_budgeted(
+        ctx,
+        &model,
+        &request.query,
+        request.max_relaxation_steps,
+        &budget,
+    );
+    // `max_relaxations_enumerated` bounds the schedule itself; remember how
+    // much was cut so the completeness report can estimate remaining work.
+    let mut truncated_steps = 0usize;
+    if let Some(cap) = request.limits.max_relaxations_enumerated {
+        if schedule.len() > cap {
+            truncated_steps = schedule.len() - cap;
+            schedule.truncate(cap);
+        }
+    }
     let base_ss = model.base_structural_score(&request.query);
     let m = request.query.contains_count() as f64; // Combined-scheme bound
 
@@ -32,8 +54,13 @@ pub fn dpo_topk(ctx: &EngineContext, request: &TopKRequest) -> TopKResult {
     let mut seen: HashSet<flexpath_xmldom::NodeId> = HashSet::new();
     // The structural score at which we had ≥ K answers (Combined pruning).
     let mut ss_at_k: Option<f64> = None;
+    // Rounds whose deltas were fully committed (round 0 = the exact query).
+    let mut completed_rounds = 0usize;
 
     for round in 0..=schedule.len() {
+        if budget.check_now() {
+            break;
+        }
         let round_query = if round == 0 {
             request.query.clone()
         } else {
@@ -76,24 +103,30 @@ pub fn dpo_topk(ctx: &EngineContext, request: &TopKRequest) -> TopKResult {
 
         // Evaluate this round's query exactly (the off-the-shelf-engine
         // path), skipping answers already produced by earlier rounds.
-        let enc = EncodedQuery::build_full(
+        let enc = EncodedQuery::build_full_budgeted(
             ctx,
             &model,
             &round_query,
             &[],
             request.hierarchy.as_ref(),
             request.attr_relaxation,
+            &budget,
         );
         stats.evaluations += 1;
         stats.relaxations_used = round;
-        evaluate_encoded(ctx, &enc, request.scheme, |a| {
+        // Collect this round's delta separately so a budget trip mid-round
+        // can discard it wholesale, keeping the committed answers an exact
+        // per-round prefix of the unbounded run.
+        let mut round_delta: Vec<Answer> = Vec::new();
+        let mut round_seen: HashSet<flexpath_xmldom::NodeId> = HashSet::new();
+        evaluate_encoded_budgeted(ctx, &enc, request.scheme, &budget, |a| {
             stats.intermediate_answers += 1;
-            if seen.insert(a.node) {
+            if !seen.contains(&a.node) && round_seen.insert(a.node) {
                 // With the hierarchy extension the per-answer score already
                 // reflects unsatisfied exact-tag predicates; carry that
                 // deficit over to the round's compile-time score.
                 let tag_deficit = enc.base_ss - a.score.ss;
-                answers.push(Answer {
+                round_delta.push(Answer {
                     node: a.node,
                     score: crate::score::AnswerScore {
                         ss: round_ss - tag_deficit,
@@ -104,6 +137,15 @@ pub fn dpo_topk(ctx: &EngineContext, request: &TopKRequest) -> TopKResult {
                 });
             }
         });
+        if budget.tripped().is_some() {
+            // Partial round: discard its delta entirely (Theorem 3 prefix
+            // correctness — committed rounds depend only on their endpoint
+            // queries, not on how far the aborted round got).
+            break;
+        }
+        seen.extend(round_delta.iter().map(|a| a.node));
+        answers.append(&mut round_delta);
+        completed_rounds = round + 1;
 
         if answers.len() >= request.k && ss_at_k.is_none() {
             ss_at_k = Some(round_ss);
@@ -119,7 +161,29 @@ pub fn dpo_topk(ctx: &EngineContext, request: &TopKRequest) -> TopKResult {
 
     sort_answers(&mut answers, request.scheme);
     answers.truncate(request.k);
-    TopKResult { answers, stats }
+    let explored = completed_rounds.saturating_sub(1);
+    let completeness = if let Some(reason) = budget.tripped() {
+        Completeness::Exhausted {
+            reason,
+            relaxations_explored: explored,
+            relaxations_remaining_estimate: schedule.len() - explored + truncated_steps,
+        }
+    } else if truncated_steps > 0 && answers.len() < request.k {
+        // The enumeration cap hid relaxations that might have produced the
+        // missing answers; everything actually enumerated ran to completion.
+        Completeness::Exhausted {
+            reason: ExhaustReason::RelaxationBudget,
+            relaxations_explored: explored,
+            relaxations_remaining_estimate: truncated_steps,
+        }
+    } else {
+        Completeness::Complete
+    };
+    TopKResult {
+        answers,
+        stats,
+        completeness,
+    }
 }
 
 #[cfg(test)]

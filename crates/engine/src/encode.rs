@@ -29,7 +29,7 @@ use crate::context::EngineContext;
 use crate::hierarchy::TagHierarchy;
 use crate::schedule::ScheduledStep;
 use crate::score::PenaltyModel;
-use flexpath_ftsearch::FtEval;
+use flexpath_ftsearch::{Budget, FtEval};
 use flexpath_tpq::{AttrPred, Axis, Predicate, Tpq, Var};
 use flexpath_xmldom::Sym;
 use std::sync::Arc;
@@ -165,7 +165,34 @@ impl EncodedQuery {
         hierarchy: Option<&TagHierarchy>,
         attr_relax: Option<AttrRelaxation>,
     ) -> Self {
-        let mut enc = Self::build_with(ctx, model, original, steps, hierarchy);
+        Self::build_full_budgeted(
+            ctx,
+            model,
+            original,
+            steps,
+            hierarchy,
+            attr_relax,
+            &Budget::unlimited(),
+        )
+    }
+
+    /// [`build_full`](Self::build_full) under a resource [`Budget`]: the
+    /// full-text evaluations feeding the encoded plan are budgeted (and a
+    /// tripped evaluation is never cached). Check [`Budget::tripped`] after
+    /// building — an encoding constructed under a tripped budget may carry
+    /// partial `contains` evaluations and must only serve a best-effort
+    /// result.
+    #[allow(clippy::too_many_arguments)]
+    pub fn build_full_budgeted(
+        ctx: &EngineContext,
+        model: &PenaltyModel,
+        original: &Tpq,
+        steps: &[ScheduledStep],
+        hierarchy: Option<&TagHierarchy>,
+        attr_relax: Option<AttrRelaxation>,
+        budget: &Budget,
+    ) -> Self {
+        let mut enc = Self::build_with_budget(ctx, model, original, steps, hierarchy, budget);
         let Some(relax) = attr_relax else { return enc };
         enc.attr_relax = Some(relax);
         for idx in 0..enc.specs.len() {
@@ -217,14 +244,28 @@ impl EncodedQuery {
         steps: &[ScheduledStep],
         hierarchy: Option<&TagHierarchy>,
     ) -> Self {
+        Self::build_with_budget(ctx, model, original, steps, hierarchy, &Budget::unlimited())
+    }
+
+    fn build_with_budget(
+        ctx: &EngineContext,
+        model: &PenaltyModel,
+        original: &Tpq,
+        steps: &[ScheduledStep],
+        hierarchy: Option<&TagHierarchy>,
+        budget: &Budget,
+    ) -> Self {
         let relaxed = steps
             .last()
             .map(|s| s.query.clone())
             .unwrap_or_else(|| original.clone());
         let idx_of_var = |v: Var| -> usize {
-            original
-                .index_of(v)
-                .expect("relaxed queries only keep original variables")
+            match original.index_of(v) {
+                Some(i) => i,
+                // Relaxation operators never invent variables; a miss here
+                // is an engine bug, not reachable from user input.
+                None => unreachable!("relaxed query variable missing from original"),
+            }
         };
 
         // Node specs.
@@ -234,9 +275,9 @@ impl EncodedQuery {
             .enumerate()
             .map(|(idx, node)| {
                 let _ = idx;
-                let surviving = relaxed.index_of(node.var).is_some();
-                let (anchor, axis) = if surviving {
-                    let ridx = relaxed.index_of(node.var).expect("checked");
+                let ridx_opt = relaxed.index_of(node.var);
+                let surviving = ridx_opt.is_some();
+                let (anchor, axis) = if let Some(ridx) = ridx_opt {
                     match relaxed.node(ridx).parent {
                         Some(rp) => (
                             Some(idx_of_var(relaxed.node(rp).var)),
@@ -307,7 +348,7 @@ impl EncodedQuery {
                 let holder = holder.unwrap_or(idx);
                 let ci = cspecs.len();
                 cspecs.push(ContainsSpec {
-                    eval: ctx.ft_eval(expr),
+                    eval: ctx.ft_eval_budgeted(expr, budget),
                     weight: model
                         .weights()
                         .weight(&Predicate::Contains(node.var, expr.clone())),
@@ -330,9 +371,10 @@ impl EncodedQuery {
                     Predicate::Ad(x, y) => {
                         (idx_of_var(*y), BitCheck::AdFrom(idx_of_var(*x)))
                     }
-                    Predicate::Contains(v, e) => {
-                        (idx_of_var(*v), BitCheck::ContainsHere(ctx.ft_eval(e)))
-                    }
+                    Predicate::Contains(v, e) => (
+                        idx_of_var(*v),
+                        BitCheck::ContainsHere(ctx.ft_eval_budgeted(e, budget)),
+                    ),
                     Predicate::Tag(..) | Predicate::Attr(..) => continue,
                 };
                 let bi = relaxable.len();

@@ -1,0 +1,76 @@
+//! Typed errors for input-reachable failure paths in the engine facade.
+//!
+//! Every way user-supplied input (documents, collection parts) can be
+//! malformed surfaces as an [`EngineError`] instead of a panic; the
+//! `no_panics` suite in the workspace tests enforces that the library
+//! targets stay free of `unwrap`/`expect` on such paths.
+
+use flexpath_xmldom::ParseError;
+
+/// An error raised while building or querying an engine session.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// A document (or collection part) failed to parse.
+    Parse(ParseError),
+    /// A collection part contains a DOCTYPE declaration, which the
+    /// collection gluer forbids (parts are embedded verbatim under a
+    /// synthetic root, where a DTD would be ill-formed and is a classic
+    /// entity-expansion vector).
+    DoctypeForbidden {
+        /// Zero-based index of the offending part.
+        part: usize,
+    },
+    /// A collection part is not a single well-formed element (empty, bare
+    /// text, or multiple roots), so it cannot be embedded under the
+    /// synthetic collection root.
+    NotSingleElement {
+        /// Zero-based index of the offending part.
+        part: usize,
+    },
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::Parse(e) => write!(f, "parse error: {e}"),
+            EngineError::DoctypeForbidden { part } => {
+                write!(f, "collection part {part} contains a DOCTYPE declaration")
+            }
+            EngineError::NotSingleElement { part } => write!(
+                f,
+                "collection part {part} is not a single well-formed element"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EngineError::Parse(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ParseError> for EngineError {
+    fn from(e: ParseError) -> Self {
+        EngineError::Parse(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let parse_err = flexpath_xmldom::parse("<a>").unwrap_err();
+        let e = EngineError::from(parse_err);
+        assert!(e.to_string().starts_with("parse error:"));
+        assert!(std::error::Error::source(&e).is_some());
+        let d = EngineError::DoctypeForbidden { part: 3 };
+        assert!(d.to_string().contains("part 3"));
+        assert!(std::error::Error::source(&d).is_none());
+    }
+}

@@ -28,6 +28,7 @@ use crate::context::EngineContext;
 use crate::encode::{BitCheck, EncodedQuery};
 use crate::score::{AnswerScore, RankingScheme};
 use crate::topk::Answer;
+use flexpath_ftsearch::Budget;
 use flexpath_xmldom::NodeId;
 
 /// Per-subtree contribution of a (partial) embedding.
@@ -74,6 +75,21 @@ pub fn evaluate_encoded(
     ctx: &EngineContext,
     enc: &EncodedQuery,
     scheme: RankingScheme,
+    on_answer: impl FnMut(Answer),
+) -> EvalStats {
+    evaluate_encoded_budgeted(ctx, enc, scheme, &Budget::unlimited(), on_answer)
+}
+
+/// [`evaluate_encoded`] under a resource [`Budget`]: the candidate loops
+/// checkpoint cooperatively and each emitted answer is charged against the
+/// answer cap. When the budget trips, evaluation stops at the next
+/// checkpoint — answers already emitted stand (document-order prefix), and
+/// the caller learns the reason via [`Budget::tripped`].
+pub fn evaluate_encoded_budgeted(
+    ctx: &EngineContext,
+    enc: &EncodedQuery,
+    scheme: RankingScheme,
+    budget: &Budget,
     mut on_answer: impl FnMut(Answer),
 ) -> EvalStats {
     let children = enc.children_lists();
@@ -86,6 +102,7 @@ pub fn evaluate_encoded(
         pinned: None,
         stats: EvalStats::default(),
         buffer_pool: Vec::new(),
+        budget,
     };
 
     let root_spec = 0usize;
@@ -94,8 +111,14 @@ pub fn evaluate_encoded(
 
     if dist == root_spec {
         for d in root_candidates {
+            if ev.budget.checkpoint() {
+                break;
+            }
             ev.stats.candidates_examined += 1;
             if let Some(contrib) = ev.match_node(root_spec, d) {
+                if ev.budget.charge_answer() {
+                    break;
+                }
                 ev.stats.answers += 1;
                 on_answer(finalize(enc, d, contrib));
             }
@@ -107,6 +130,9 @@ pub fn evaluate_encoded(
         // workloads always distinguish the root.
         let dist_candidates: Vec<NodeId> = ev.root_candidates(dist);
         for dd in dist_candidates {
+            if ev.budget.checkpoint() {
+                break;
+            }
             ev.pinned = Some((dist, dd));
             let mut best: Option<Contribution> = None;
             for &d in &root_candidates {
@@ -118,6 +144,9 @@ pub fn evaluate_encoded(
                 }
             }
             if let Some(contrib) = best {
+                if ev.budget.charge_answer() {
+                    break;
+                }
                 ev.stats.answers += 1;
                 on_answer(finalize(enc, dd, contrib));
             }
@@ -164,6 +193,8 @@ struct Evaluator<'a> {
     /// evaluator visits millions of candidates on large documents, so
     /// per-call `Vec` allocations would dominate.
     buffer_pool: Vec<Vec<NodeId>>,
+    /// Cooperative budget checked in the candidate loops.
+    budget: &'a Budget,
 }
 
 impl Evaluator<'_> {
@@ -281,11 +312,13 @@ impl Evaluator<'_> {
             // match; a ghost simply stays unbound.
             return if surviving { None } else { self.ghost_skip(c) };
         }
-        let anchor = spec
-            .anchor
-            .expect("non-root specs always have an anchor");
-        let anchor_binding = self.env[anchor]
-            .expect("anchors are original ancestors, bound before descendants");
+        // Non-root specs always carry an anchor bound before their
+        // descendants; degrade to "unmatchable" rather than panic if that
+        // engine invariant were ever violated.
+        let anchor_binding = match spec.anchor.and_then(|a| self.env[a]) {
+            Some(b) => b,
+            None => return if surviving { None } else { self.ghost_skip(c) },
+        };
         let children_only = surviving && spec.axis == flexpath_tpq::Axis::Child;
         let mut candidates = self.buffer_pool.pop().unwrap_or_default();
         if spec.tag.is_some() || spec.alt_tags.is_empty() {
@@ -307,6 +340,9 @@ impl Evaluator<'_> {
 
         let mut best: Option<Contribution> = None;
         for d in candidates {
+            if self.budget.checkpoint() {
+                break;
+            }
             self.stats.candidates_examined += 1;
             if let Some(contrib) = self.match_node(c, d) {
                 if best.is_none_or(|b| contrib.better_than(&b, self.scheme)) {

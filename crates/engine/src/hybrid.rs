@@ -17,8 +17,9 @@
 
 use crate::context::EngineContext;
 use crate::encode::EncodedQuery;
-use crate::exec::evaluate_encoded;
-use crate::schedule::build_schedule;
+use crate::exec::evaluate_encoded_budgeted;
+use crate::governor::{Completeness, ExhaustReason};
+use crate::schedule::build_schedule_budgeted;
 use crate::score::{PenaltyModel, RankingScheme};
 use crate::sso::choose_prefix;
 use crate::topk::{sort_answers, Answer, ExecStats, TopKRequest, TopKResult};
@@ -43,14 +44,32 @@ impl Ord for TotalF64 {
     }
 }
 
-/// Runs the Hybrid top-K algorithm.
+/// Runs the Hybrid top-K algorithm under the request's resource limits.
+///
+/// Like SSO, a budget-tripped Hybrid run returns *best-effort* answers
+/// (the surviving buckets at the moment the budget tripped), not a
+/// guaranteed rank prefix of the unbounded run.
 pub fn hybrid_topk(ctx: &EngineContext, request: &TopKRequest) -> TopKResult {
+    let budget = request.limits.budget(request.cancel.clone());
     let model = PenaltyModel::new(&request.query, request.weights.clone());
-    let schedule = build_schedule(ctx, &model, &request.query, request.max_relaxation_steps);
+    let mut schedule = build_schedule_budgeted(
+        ctx,
+        &model,
+        &request.query,
+        request.max_relaxation_steps,
+        &budget,
+    );
+    let mut truncated_steps = 0usize;
+    if let Some(cap) = request.limits.max_relaxations_enumerated {
+        if schedule.len() > cap {
+            truncated_steps = schedule.len() - cap;
+            schedule.truncate(cap);
+        }
+    }
     let base_ss = model.base_structural_score(&request.query);
 
     let mut stats = ExecStats::default();
-    let (mut prefix, est) = choose_prefix(ctx, request, &schedule, base_ss);
+    let (mut prefix, est) = choose_prefix(ctx, request, &schedule, base_ss, &budget);
     stats.estimated_answers = est;
     // Keyword headroom: an answer can gain at most `m` from ks (each
     // contains predicate is weighted 1 and IR scores are ≤ 1).
@@ -63,13 +82,17 @@ pub fn hybrid_topk(ctx: &EngineContext, request: &TopKRequest) -> TopKResult {
 
     let mut buckets: HashMap<u64, Vec<Answer>> = HashMap::new();
     loop {
-        let enc = EncodedQuery::build_full(
+        if budget.check_now() {
+            break;
+        }
+        let enc = EncodedQuery::build_full_budgeted(
             ctx,
             &model,
             &request.query,
             &schedule[..prefix],
             request.hierarchy.as_ref(),
             request.attr_relaxation,
+            &budget,
         );
         stats.relaxations_used = prefix;
         stats.evaluations += 1;
@@ -79,13 +102,16 @@ pub fn hybrid_topk(ctx: &EngineContext, request: &TopKRequest) -> TopKResult {
         // is the pruning floor, maintained in O(log K) per answer — no
         // score sorting of intermediate results ever happens.
         let mut top_ss: BinaryHeap<Reverse<TotalF64>> = BinaryHeap::new();
-        evaluate_encoded(ctx, &enc, request.scheme, |a| {
+        evaluate_encoded_budgeted(ctx, &enc, request.scheme, &budget, |a| {
             stats.intermediate_answers += 1;
+            // (`peek` is None when k = 0: the heap never fills, and nothing
+            // can be pruned against an empty floor.)
             if top_ss.len() >= request.k {
-                let floor = top_ss.peek().expect("non-empty at k").0 .0;
-                if a.score.ss + max_growth < floor {
-                    stats.pruned += 1;
-                    return;
+                if let Some(floor) = top_ss.peek().map(|r| r.0 .0) {
+                    if a.score.ss + max_growth < floor {
+                        stats.pruned += 1;
+                        return;
+                    }
                 }
             }
             if request.k > 0 {
@@ -97,6 +123,11 @@ pub fn hybrid_topk(ctx: &EngineContext, request: &TopKRequest) -> TopKResult {
             buckets.entry(a.satisfied).or_default().push(a);
             total_kept += 1;
         });
+        if budget.tripped().is_some() {
+            // Keep the best-effort buckets scanned so far; no restart.
+            stats.buckets = buckets.len();
+            break;
+        }
         if total_kept < request.k && prefix < schedule.len() {
             // Deficit-driven restart, mirroring SSO (see sso.rs).
             let deficit = (request.k - total_kept) as f64;
@@ -110,7 +141,11 @@ pub fn hybrid_topk(ctx: &EngineContext, request: &TopKRequest) -> TopKResult {
                 && (steps_taken < min_steps || gained < 2.0 * deficit)
             {
                 steps_taken += 1;
-                gained += crate::selectivity::estimate_cardinality(ctx, &schedule[prefix].query);
+                gained += crate::selectivity::estimate_cardinality_budgeted(
+                    ctx,
+                    &schedule[prefix].query,
+                    &budget,
+                );
                 prefix += 1;
             }
             stats.restarts += 1;
@@ -148,7 +183,27 @@ pub fn hybrid_topk(ctx: &EngineContext, request: &TopKRequest) -> TopKResult {
     }
     sort_answers(&mut answers, request.scheme);
     answers.truncate(request.k);
-    TopKResult { answers, stats }
+    let completeness = if let Some(reason) = budget.tripped() {
+        Completeness::Exhausted {
+            reason,
+            relaxations_explored: stats.relaxations_used,
+            relaxations_remaining_estimate: schedule.len() - stats.relaxations_used
+                + truncated_steps,
+        }
+    } else if truncated_steps > 0 && answers.len() < request.k {
+        Completeness::Exhausted {
+            reason: ExhaustReason::RelaxationBudget,
+            relaxations_explored: stats.relaxations_used,
+            relaxations_remaining_estimate: truncated_steps,
+        }
+    } else {
+        Completeness::Complete
+    };
+    TopKResult {
+        answers,
+        stats,
+        completeness,
+    }
 }
 
 #[cfg(test)]

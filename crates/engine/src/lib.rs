@@ -34,11 +34,17 @@
 //!
 //! [`DocStats`]: flexpath_xmldom::DocStats
 
+// Library targets must stay panic-free on input-reachable paths; the
+// workspace `no_panics` test enforces the same rule by source scan.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod attr_relax;
 pub mod baseline;
 pub mod context;
 pub mod encode;
+pub mod error;
 pub mod exec;
+pub mod governor;
 pub mod hierarchy;
 pub mod schedule;
 pub mod score;
@@ -55,11 +61,13 @@ pub use baseline::{data_relaxation_topk, full_encoding_topk, rewrite_enumeration
 pub use context::EngineContext;
 pub use dpo::dpo_topk;
 pub use encode::EncodedQuery;
+pub use error::EngineError;
+pub use governor::{Budget, CancelToken, Completeness, ExhaustReason, QueryLimits};
 pub use hierarchy::TagHierarchy;
 pub use hybrid::hybrid_topk;
 pub use schedule::{build_schedule, ScheduledStep};
 pub use score::{AnswerScore, PenaltyModel, RankingScheme, WeightAssignment};
-pub use selectivity::estimate_cardinality;
+pub use selectivity::{estimate_cardinality, estimate_cardinality_budgeted};
 pub use sso::sso_topk;
-pub use structural_join::{stack_tree_anc, stack_tree_desc};
+pub use structural_join::{stack_tree_anc, stack_tree_desc, stack_tree_desc_budgeted};
 pub use topk::{Algorithm, Answer, ExecStats, TopKRequest, TopKResult};

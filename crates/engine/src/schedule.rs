@@ -15,6 +15,7 @@
 
 use crate::context::EngineContext;
 use crate::score::PenaltyModel;
+use flexpath_ftsearch::Budget;
 use flexpath_tpq::{applicable_ops, closure_of, relaxation_step, Predicate, RelaxOp, Tpq};
 
 /// One scheduled relaxation step.
@@ -46,6 +47,20 @@ pub fn build_schedule(
     original: &Tpq,
     max_steps: usize,
 ) -> Vec<ScheduledStep> {
+    build_schedule_budgeted(ctx, model, original, max_steps, &Budget::unlimited())
+}
+
+/// [`build_schedule`] under a resource [`Budget`]: checkpoints between
+/// steps, returning the (valid) prefix built so far when the budget trips.
+/// Schedule prefixes are always usable — each step only depends on the
+/// steps before it.
+pub fn build_schedule_budgeted(
+    ctx: &EngineContext,
+    model: &PenaltyModel,
+    original: &Tpq,
+    max_steps: usize,
+    budget: &Budget,
+) -> Vec<ScheduledStep> {
     let base = model.base_structural_score(original);
     let original_closure = original.closure();
     let mut steps: Vec<ScheduledStep> = Vec::new();
@@ -54,6 +69,9 @@ pub fn build_schedule(
     let mut bits_used = 0usize;
 
     while steps.len() < max_steps {
+        if budget.check_now() {
+            break;
+        }
         // Evaluate every applicable operator; pick the cheapest.
         type Candidate = (RelaxOp, Tpq, Vec<(Predicate, f64)>, f64);
         let mut best: Option<Candidate> = None;
@@ -68,7 +86,7 @@ pub fn build_schedule(
                 .iter()
                 .filter(|p| !dropped_so_far.contains(p))
                 .filter(|p| model.weights().weight(p) > 0.0)
-                .map(|p| (p.clone(), model.penalty(ctx, p)))
+                .map(|p| (p.clone(), model.penalty_budgeted(ctx, p, budget)))
                 .collect();
             if new_dropped.is_empty() {
                 // The operator did not weaken the query w.r.t. the original

@@ -22,7 +22,7 @@
 //! raise a structural score (**relevance**, property 1).
 
 use crate::context::EngineContext;
-use flexpath_ftsearch::FtExpr;
+use flexpath_ftsearch::{Budget, FtExpr};
 use flexpath_tpq::{Predicate, Tpq, Var};
 use std::collections::HashMap;
 
@@ -131,6 +131,20 @@ impl PenaltyModel {
     /// full predicate weight — a relaxation that cannot produce new answers
     /// earns no discount.
     pub fn penalty(&self, ctx: &EngineContext, p: &Predicate) -> f64 {
+        self.penalty_budgeted(ctx, p, &Budget::unlimited())
+    }
+
+    /// [`penalty`](Self::penalty) under a resource [`Budget`]: the full-text
+    /// evaluation behind a `contains` penalty charges the budget's postings
+    /// meter (and a tripped evaluation is never cached). A tripped budget
+    /// yields a penalty from a partial evaluation — callers stop at their
+    /// next checkpoint, so the value is never used to rank answers.
+    pub fn penalty_budgeted(
+        &self,
+        ctx: &EngineContext,
+        p: &Predicate,
+        budget: &Budget,
+    ) -> f64 {
         let w = self.weights.weight(p);
         if w == 0.0 {
             return 0.0;
@@ -138,7 +152,7 @@ impl PenaltyModel {
         let ratio = match p {
             Predicate::Pc(x, y) => self.pc_ratio(ctx, *x, *y),
             Predicate::Ad(x, y) => self.ad_ratio(ctx, *x, *y),
-            Predicate::Contains(x, e) => self.contains_ratio(ctx, *x, e),
+            Predicate::Contains(x, e) => self.contains_ratio(ctx, *x, e, budget),
             Predicate::Tag(..) | Predicate::Attr(..) => 1.0,
         };
         ratio.clamp(0.0, 1.0) * w
@@ -172,7 +186,13 @@ impl PenaltyModel {
         ctx.stats().ad_count(sx, sy) as f64 / denom as f64
     }
 
-    fn contains_ratio(&self, ctx: &EngineContext, x: Var, e: &FtExpr) -> f64 {
+    fn contains_ratio(
+        &self,
+        ctx: &EngineContext,
+        x: Var,
+        e: &FtExpr,
+        budget: &Budget,
+    ) -> f64 {
         let Some(l) = self.var_parent.get(&x) else {
             return 1.0; // contains at the root is never promotable
         };
@@ -182,7 +202,7 @@ impl PenaltyModel {
         let (Some(sx), Some(sl)) = (ctx.resolve_tag(tx), ctx.resolve_tag(tl)) else {
             return 1.0;
         };
-        let eval = ctx.ft_eval(e);
+        let eval = ctx.ft_eval_budgeted(e, budget);
         let denom = eval.count_for_tag(ctx.doc(), sl);
         if denom == 0 {
             return 1.0;

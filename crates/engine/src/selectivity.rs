@@ -20,11 +20,24 @@
 //! fractions as independent probabilities.
 
 use crate::context::EngineContext;
+use flexpath_ftsearch::Budget;
 use flexpath_tpq::{Axis, Tpq};
 
 /// Estimates the number of answers (distinct distinguished-node bindings)
 /// of `q` against the context's document.
 pub fn estimate_cardinality(ctx: &EngineContext, q: &Tpq) -> f64 {
+    estimate_cardinality_budgeted(ctx, q, &Budget::unlimited())
+}
+
+/// [`estimate_cardinality`] under a resource [`Budget`]: the full-text
+/// evaluations behind `contains` probabilities charge the budget's postings
+/// meter (and a tripped evaluation is never cached). Under a tripped budget
+/// the estimate may be truncated — callers stop at their next checkpoint.
+pub fn estimate_cardinality_budgeted(
+    ctx: &EngineContext,
+    q: &Tpq,
+    budget: &Budget,
+) -> f64 {
     // Root count.
     let root = q.node(q.root());
     let mut est = match root.tag.as_deref() {
@@ -59,7 +72,7 @@ pub fn estimate_cardinality(ctx: &EngineContext, q: &Tpq) -> f64 {
             return 0.0;
         }
         for e in &node.contains {
-            let sat = ctx.ft_eval(e).count_for_tag(ctx.doc(), sym);
+            let sat = ctx.ft_eval_budgeted(e, budget).count_for_tag(ctx.doc(), sym);
             est *= sat as f64 / total as f64;
         }
     }

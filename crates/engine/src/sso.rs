@@ -20,11 +20,13 @@
 
 use crate::context::EngineContext;
 use crate::encode::EncodedQuery;
-use crate::exec::evaluate_encoded;
-use crate::schedule::{build_schedule, ScheduledStep};
+use crate::exec::evaluate_encoded_budgeted;
+use crate::governor::{Completeness, ExhaustReason};
+use crate::schedule::{build_schedule_budgeted, ScheduledStep};
 use crate::score::{PenaltyModel, RankingScheme};
-use crate::selectivity::estimate_cardinality;
+use crate::selectivity::estimate_cardinality_budgeted;
 use crate::topk::{Answer, ExecStats, TopKRequest, TopKResult};
+use flexpath_ftsearch::Budget;
 
 /// Chooses the schedule prefix to encode: the shortest prefix whose
 /// estimated cardinality reaches K, extended for the Combined scheme by the
@@ -34,14 +36,15 @@ pub(crate) fn choose_prefix(
     request: &TopKRequest,
     schedule: &[ScheduledStep],
     base_ss: f64,
+    budget: &Budget,
 ) -> (usize, f64) {
     if request.scheme == RankingScheme::KeywordFirst {
         // "For the keyword-first scheme, all relaxations need to be encoded
         // in the query."
         let est = schedule
             .last()
-            .map(|s| estimate_cardinality(ctx, &s.query))
-            .unwrap_or_else(|| estimate_cardinality(ctx, &request.query));
+            .map(|s| estimate_cardinality_budgeted(ctx, &s.query, budget))
+            .unwrap_or_else(|| estimate_cardinality_budgeted(ctx, &request.query, budget));
         return (schedule.len(), est);
     }
     // Algorithm 1, lines 3–7, with one deviation: the paper accumulates
@@ -54,10 +57,10 @@ pub(crate) fn choose_prefix(
     // estimate reaches K. The paper's own estimator was precise enough that
     // it "never had to restart"; this rule restores that behaviour.
     let mut i = 0usize;
-    let mut est = estimate_cardinality(ctx, &request.query);
+    let mut est = estimate_cardinality_budgeted(ctx, &request.query, budget);
     while est < request.k as f64 && i < schedule.len() {
         i += 1;
-        est = est.max(estimate_cardinality(ctx, &schedule[i - 1].query));
+        est = est.max(estimate_cardinality_budgeted(ctx, &schedule[i - 1].query, budget));
     }
     if request.scheme == RankingScheme::Combined {
         // Keep encoding while a later relaxation could still reach the top
@@ -68,37 +71,60 @@ pub(crate) fn choose_prefix(
             i += 1;
         }
         if i > 0 {
-            est = estimate_cardinality(ctx, &schedule[i - 1].query);
+            est = estimate_cardinality_budgeted(ctx, &schedule[i - 1].query, budget);
         }
     }
     (i, est)
 }
 
-/// Runs the SSO top-K algorithm.
+/// Runs the SSO top-K algorithm under the request's resource limits.
+///
+/// Unlike DPO, a budget-tripped SSO run returns *best-effort* answers: the
+/// single encoded plan scores answers per-predicate, so a partial scan is
+/// not guaranteed to be a rank prefix of the unbounded run (documented in
+/// DESIGN.md).
 pub fn sso_topk(ctx: &EngineContext, request: &TopKRequest) -> TopKResult {
+    let budget = request.limits.budget(request.cancel.clone());
     let model = PenaltyModel::new(&request.query, request.weights.clone());
-    let schedule = build_schedule(ctx, &model, &request.query, request.max_relaxation_steps);
+    let mut schedule = build_schedule_budgeted(
+        ctx,
+        &model,
+        &request.query,
+        request.max_relaxation_steps,
+        &budget,
+    );
+    let mut truncated_steps = 0usize;
+    if let Some(cap) = request.limits.max_relaxations_enumerated {
+        if schedule.len() > cap {
+            truncated_steps = schedule.len() - cap;
+            schedule.truncate(cap);
+        }
+    }
     let base_ss = model.base_structural_score(&request.query);
 
     let mut stats = ExecStats::default();
-    let (mut prefix, est) = choose_prefix(ctx, request, &schedule, base_ss);
+    let (mut prefix, est) = choose_prefix(ctx, request, &schedule, base_ss, &budget);
     stats.estimated_answers = est;
 
     // Score-sorted intermediate answer list (descending under the scheme).
     let mut list: Vec<Answer> = Vec::new();
     loop {
-        let enc = EncodedQuery::build_full(
+        if budget.check_now() {
+            break;
+        }
+        let enc = EncodedQuery::build_full_budgeted(
             ctx,
             &model,
             &request.query,
             &schedule[..prefix],
             request.hierarchy.as_ref(),
             request.attr_relaxation,
+            &budget,
         );
         stats.relaxations_used = prefix;
         stats.evaluations += 1;
         list.clear();
-        evaluate_encoded(ctx, &enc, request.scheme, |a| {
+        evaluate_encoded_budgeted(ctx, &enc, request.scheme, &budget, |a| {
             stats.intermediate_answers += 1;
             // Threshold pruning: cannot enter the top K → discard.
             if list.len() >= request.k {
@@ -116,6 +142,10 @@ pub fn sso_topk(ctx: &EngineContext, request: &TopKRequest) -> TopKResult {
             stats.sorted_insert_shifts += (list.len() - pos) as u64;
             list.insert(pos, a);
         });
+        if budget.tripped().is_some() {
+            // Keep the best-effort answers scanned so far; no restart.
+            break;
+        }
         // Estimate miss: relax further and restart ("we would need to
         // restart SSO", Section 6). The restart extends the prefix until
         // the *additional* estimated answers cover twice the observed
@@ -133,7 +163,7 @@ pub fn sso_topk(ctx: &EngineContext, request: &TopKRequest) -> TopKResult {
                 && (steps_taken < min_steps || gained < 2.0 * deficit)
             {
                 steps_taken += 1;
-                gained += estimate_cardinality(ctx, &schedule[prefix].query);
+                gained += estimate_cardinality_budgeted(ctx, &schedule[prefix].query, &budget);
                 prefix += 1;
             }
             stats.restarts += 1;
@@ -143,9 +173,26 @@ pub fn sso_topk(ctx: &EngineContext, request: &TopKRequest) -> TopKResult {
     }
 
     list.truncate(request.k);
+    let completeness = if let Some(reason) = budget.tripped() {
+        Completeness::Exhausted {
+            reason,
+            relaxations_explored: stats.relaxations_used,
+            relaxations_remaining_estimate: schedule.len() - stats.relaxations_used
+                + truncated_steps,
+        }
+    } else if truncated_steps > 0 && list.len() < request.k {
+        Completeness::Exhausted {
+            reason: ExhaustReason::RelaxationBudget,
+            relaxations_explored: stats.relaxations_used,
+            relaxations_remaining_estimate: truncated_steps,
+        }
+    } else {
+        Completeness::Complete
+    };
     TopKResult {
         answers: list,
         stats,
+        completeness,
     }
 }
 

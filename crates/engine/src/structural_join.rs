@@ -7,6 +7,7 @@
 //! (ancestor, descendant) — or (parent, child) — pairs in a single merge
 //! pass with an explicit stack, O(|A| + |D| + |output|).
 
+use flexpath_ftsearch::Budget;
 use flexpath_xmldom::{Document, NodeId};
 
 /// All pairs `(a, d)` with `a ∈ ancestors`, `d ∈ descendants`, and `a` a
@@ -17,10 +18,25 @@ pub fn stack_tree_desc(
     ancestors: &[NodeId],
     descendants: &[NodeId],
 ) -> Vec<(NodeId, NodeId)> {
+    stack_tree_desc_budgeted(doc, ancestors, descendants, &Budget::unlimited())
+}
+
+/// [`stack_tree_desc`] under a resource [`Budget`]: checkpoints once per
+/// descendant and returns the (document-order) pair prefix joined so far
+/// when the budget trips.
+pub fn stack_tree_desc_budgeted(
+    doc: &Document,
+    ancestors: &[NodeId],
+    descendants: &[NodeId],
+    budget: &Budget,
+) -> Vec<(NodeId, NodeId)> {
     let mut out = Vec::new();
     let mut stack: Vec<NodeId> = Vec::new();
     let mut ai = 0usize;
     for &d in descendants {
+        if budget.checkpoint() {
+            break;
+        }
         // Push every ancestor-candidate that starts before `d`.
         while ai < ancestors.len() && doc.start(ancestors[ai]) < doc.start(d) {
             let a = ancestors[ai];

@@ -1,6 +1,7 @@
 //! Shared top-K request/result types and execution statistics.
 
 use crate::attr_relax::AttrRelaxation;
+use crate::governor::{CancelToken, Completeness, QueryLimits};
 use crate::hierarchy::TagHierarchy;
 use crate::score::{AnswerScore, RankingScheme, WeightAssignment};
 use flexpath_tpq::Tpq;
@@ -46,6 +47,10 @@ pub struct TopKRequest {
     pub hierarchy: Option<TagHierarchy>,
     /// Optional numeric attribute-bound slackening (Section 3.4).
     pub attr_relaxation: Option<AttrRelaxation>,
+    /// Resource limits for this run (default: unlimited).
+    pub limits: QueryLimits,
+    /// External cancellation handle (default: none).
+    pub cancel: Option<CancelToken>,
 }
 
 impl TopKRequest {
@@ -60,6 +65,8 @@ impl TopKRequest {
             max_relaxation_steps: 64,
             hierarchy: None,
             attr_relaxation: None,
+            limits: QueryLimits::default(),
+            cancel: None,
         }
     }
 
@@ -84,6 +91,18 @@ impl TopKRequest {
     /// Enables numeric attribute-bound slackening (Section 3.4).
     pub fn with_attr_relaxation(mut self, relaxation: AttrRelaxation) -> Self {
         self.attr_relaxation = Some(relaxation);
+        self
+    }
+
+    /// Sets the resource limits for this run.
+    pub fn with_limits(mut self, limits: QueryLimits) -> Self {
+        self.limits = limits;
+        self
+    }
+
+    /// Attaches an external cancellation token.
+    pub fn with_cancel(mut self, cancel: CancelToken) -> Self {
+        self.cancel = Some(cancel);
         self
     }
 }
@@ -135,9 +154,20 @@ pub struct TopKResult {
     pub answers: Vec<Answer>,
     /// Execution counters.
     pub stats: ExecStats,
+    /// Whether the search ran to completion or stopped on a resource limit.
+    pub completeness: Completeness,
 }
 
 impl TopKResult {
+    /// A result of a run that explored everything it was asked to.
+    pub fn complete(answers: Vec<Answer>, stats: ExecStats) -> Self {
+        TopKResult {
+            answers,
+            stats,
+            completeness: Completeness::Complete,
+        }
+    }
+
     /// Answer nodes in rank order.
     pub fn nodes(&self) -> Vec<NodeId> {
         self.answers.iter().map(|a| a.node).collect()

@@ -15,6 +15,7 @@
 //! conjunction that has a positive conjunct ([`FtExpr::is_safe`]) — a
 //! disjunctive negation has no finite witness set at element granularity.
 
+use crate::budget::Budget;
 use crate::ftexpr::FtExpr;
 use crate::index::InvertedIndex;
 use flexpath_xmldom::{Document, NodeId, Sym};
@@ -188,11 +189,34 @@ impl InvertedIndex {
     /// Satisfaction (which elements match) is model-independent; only the
     /// scores differ.
     pub fn evaluate_with(&self, doc: &Document, expr: &FtExpr, model: ScoringModel) -> FtEval {
+        self.evaluate_budgeted(doc, expr, model, &Budget::unlimited())
+    }
+
+    /// [`evaluate_with`](Self::evaluate_with) under a resource [`Budget`].
+    ///
+    /// Charges the postings each compiled atom scans and checkpoints the
+    /// candidate and scoring loops. When the budget trips mid-evaluation
+    /// the result is a *best-effort partial* evaluation — a document-order
+    /// subset of the most-specific matches (possibly empty), normalized
+    /// over what was scored. Callers must not cache a tripped evaluation:
+    /// check [`Budget::tripped`] afterwards.
+    pub fn evaluate_budgeted(
+        &self,
+        doc: &Document,
+        expr: &FtExpr,
+        model: ScoringModel,
+        budget: &Budget,
+    ) -> FtEval {
         if !expr.has_positive_term() {
             return FtEval::empty();
         }
         let mut atoms = Vec::new();
         let compiled = self.compile(expr, true, &mut atoms);
+        for atom in &atoms {
+            if budget.charge_postings(atom.holders.len() as u64) {
+                return FtEval::empty();
+            }
+        }
 
         // Candidate universe: ancestors-or-self of every holder of every
         // atom — for safe expressions any satisfying element must contain a
@@ -200,6 +224,9 @@ impl InvertedIndex {
         let mut universe: HashSet<NodeId> = HashSet::new();
         for atom in &atoms {
             for &(holder, _) in &atom.holders {
+                if budget.checkpoint() {
+                    return FtEval::empty();
+                }
                 if universe.insert(holder) {
                     for anc in doc.ancestors(holder) {
                         if !universe.insert(anc) {
@@ -210,10 +237,15 @@ impl InvertedIndex {
             }
         }
 
-        let mut satisfying: Vec<NodeId> = universe
-            .into_iter()
-            .filter(|&e| sat(&compiled, &atoms, e, doc.subtree_last(e)))
-            .collect();
+        let mut satisfying: Vec<NodeId> = Vec::new();
+        for e in universe {
+            if budget.checkpoint() {
+                return FtEval::empty();
+            }
+            if sat(&compiled, &atoms, e, doc.subtree_last(e)) {
+                satisfying.push(e);
+            }
+        }
         satisfying.sort_unstable();
 
         // Most-specific filter: ids in a subtree are contiguous, so a
@@ -232,44 +264,44 @@ impl InvertedIndex {
 
         // Model-dependent scoring, then normalization to (0, 1].
         let avgdl = self.avg_element_length().max(1.0);
-        let mut matches: Vec<(NodeId, f64)> = specific
-            .into_iter()
-            .map(|e| {
-                let last = doc.subtree_last(e);
-                let elevel = doc.level(e) as i64;
-                let mut score = 0.0;
-                for atom in &atoms {
-                    if !atom.scoring {
-                        continue;
-                    }
-                    let lo = atom.holders.partition_point(|(n, _)| *n < e);
-                    let hi = atom.holders.partition_point(|(n, _)| *n <= last);
-                    match model {
-                        ScoringModel::TfIdfDecay { decay } => {
-                            for &(holder, tf) in &atom.holders[lo..hi] {
-                                let depth =
-                                    (doc.level(holder) as i64 - elevel).max(0) as i32;
-                                score += atom.idf
-                                    * (1.0 + f64::from(tf).ln())
-                                    * decay.powi(depth);
-                            }
+        let mut matches: Vec<(NodeId, f64)> = Vec::with_capacity(specific.len());
+        for e in specific {
+            if budget.checkpoint() {
+                // Keep the scored document-order prefix as the partial
+                // result; the caller sees the trip via the budget.
+                break;
+            }
+            let last = doc.subtree_last(e);
+            let elevel = doc.level(e) as i64;
+            let mut score = 0.0;
+            for atom in &atoms {
+                if !atom.scoring {
+                    continue;
+                }
+                let lo = atom.holders.partition_point(|(n, _)| *n < e);
+                let hi = atom.holders.partition_point(|(n, _)| *n <= last);
+                match model {
+                    ScoringModel::TfIdfDecay { decay } => {
+                        for &(holder, tf) in &atom.holders[lo..hi] {
+                            let depth = (doc.level(holder) as i64 - elevel).max(0) as i32;
+                            score += atom.idf * (1.0 + f64::from(tf).ln()) * decay.powi(depth);
                         }
-                        ScoringModel::Bm25 { k1, b } => {
-                            let tf: f64 = atom.holders[lo..hi]
-                                .iter()
-                                .map(|&(_, tf)| f64::from(tf))
-                                .sum();
-                            if tf > 0.0 {
-                                let dl = self.subtree_token_count(doc, e) as f64;
-                                let norm = k1 * (1.0 - b + b * dl / avgdl);
-                                score += atom.idf * (tf * (k1 + 1.0)) / (tf + norm);
-                            }
+                    }
+                    ScoringModel::Bm25 { k1, b } => {
+                        let tf: f64 = atom.holders[lo..hi]
+                            .iter()
+                            .map(|&(_, tf)| f64::from(tf))
+                            .sum();
+                        if tf > 0.0 {
+                            let dl = self.subtree_token_count(doc, e) as f64;
+                            let norm = k1 * (1.0 - b + b * dl / avgdl);
+                            score += atom.idf * (tf * (k1 + 1.0)) / (tf + norm);
                         }
                     }
                 }
-                (e, score)
-            })
-            .collect();
+            }
+            matches.push((e, score));
+        }
         let max = matches.iter().map(|(_, s)| *s).fold(0.0, f64::max);
         if max > 0.0 {
             for (_, s) in &mut matches {

@@ -31,6 +31,7 @@
 //! assert!(eval.score(&doc, article) > 0.0);
 //! ```
 
+pub mod budget;
 pub mod eval;
 pub mod ftexpr;
 pub mod highlight;
@@ -40,6 +41,7 @@ pub mod stopwords;
 pub mod thesaurus;
 pub mod tokenize;
 
+pub use budget::{Budget, CancelToken, ExhaustReason};
 pub use eval::{FtEval, ScoringModel};
 pub use ftexpr::{FtExpr, FtParseError};
 pub use highlight::{highlight, HighlightStyle};

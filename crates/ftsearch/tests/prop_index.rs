@@ -1,22 +1,68 @@
-//! Property tests for the IR engine: index/evaluation consistency against
-//! naive text scans, most-specific-set invariants, and score sanity.
+//! Randomized (seeded, deterministic) tests for the IR engine:
+//! index/evaluation consistency against naive text scans,
+//! most-specific-set invariants, and score sanity.
 
 use flexpath_ftsearch::{stem, FtExpr, InvertedIndex};
 use flexpath_xmldom::{parse, Document, NodeId};
-use proptest::prelude::*;
+
+/// Tiny deterministic PRNG (splitmix64) so cases reproduce without any
+/// property-testing dependency.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+}
 
 const WORDS: [&str; 6] = ["gold", "silver", "vintage", "auction", "rare", "coin"];
 const TAGS: [&str; 4] = ["a", "b", "c", "d"];
+const CASES: u64 = 64;
 
-fn arb_doc() -> impl Strategy<Value = String> {
-    let text = prop::collection::vec(0usize..WORDS.len(), 1..6)
-        .prop_map(|ws| ws.iter().map(|&w| WORDS[w]).collect::<Vec<_>>().join(" "));
-    let node = text.prop_recursive(4, 32, 4, |inner| {
-        (0usize..TAGS.len(), prop::collection::vec(inner, 0..4)).prop_map(|(t, kids)| {
-            format!("<{0}>{1}</{0}>", TAGS[t], kids.join(" "))
-        })
-    });
-    node.prop_map(|body| format!("<root>{body}</root>"))
+fn random_doc(rng: &mut Rng) -> String {
+    fn node(rng: &mut Rng, depth: u32, out: &mut String) {
+        if depth >= 4 || rng.below(4) == 0 {
+            let words = 1 + rng.below(5);
+            for i in 0..words {
+                if i > 0 {
+                    out.push(' ');
+                }
+                out.push_str(WORDS[rng.below(WORDS.len())]);
+            }
+            return;
+        }
+        let tag = TAGS[rng.below(TAGS.len())];
+        out.push_str(&format!("<{tag}>"));
+        let kids = rng.below(4);
+        for i in 0..kids {
+            if i > 0 {
+                out.push(' ');
+            }
+            node(rng, depth + 1, out);
+        }
+        out.push_str(&format!("</{tag}>"));
+    }
+    let mut body = String::new();
+    node(rng, 0, &mut body);
+    format!("<root>{body}</root>")
+}
+
+/// Runs `body` over `CASES` deterministic random documents (with the rng
+/// still usable for per-case draws like word picks).
+fn for_docs(seed: u64, mut body: impl FnMut(&mut Rng, &str)) {
+    for case in 0..CASES {
+        let mut rng = Rng(seed ^ case.wrapping_mul(0xDEAD_BEEF_CAFE_F00D));
+        let xml = random_doc(&mut rng);
+        body(&mut rng, &xml);
+    }
 }
 
 /// Naive oracle: does the subtree text of `n` contain every (stemmed) term?
@@ -36,153 +82,163 @@ fn naive_contains_all(doc: &Document, n: NodeId, terms: &[&str]) -> bool {
         .all(|t| tokens.iter().any(|tok| tok == &stem(t)))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn satisfies_matches_naive_text_scan(
-        xml in arb_doc(),
-        w1 in 0usize..WORDS.len(),
-        w2 in 0usize..WORDS.len(),
-    ) {
-        let doc = parse(&xml).unwrap();
+#[test]
+fn satisfies_matches_naive_text_scan() {
+    for_docs(1, |rng, xml| {
+        let doc = parse(xml).unwrap();
         let index = InvertedIndex::build(&doc);
-        let terms = [WORDS[w1], WORDS[w2]];
+        let terms = [WORDS[rng.below(WORDS.len())], WORDS[rng.below(WORDS.len())]];
         let expr = FtExpr::all_of(&terms);
         let eval = index.evaluate(&doc, &expr);
         for n in doc.elements() {
-            prop_assert_eq!(
+            assert_eq!(
                 eval.satisfies(&doc, n),
                 naive_contains_all(&doc, n, &terms),
-                "node {} of {}", n, xml
+                "node {n:?} of {xml}"
             );
         }
-    }
+    });
+}
 
-    #[test]
-    fn matches_are_minimal_and_sorted(xml in arb_doc(), w in 0usize..WORDS.len()) {
-        let doc = parse(&xml).unwrap();
+#[test]
+fn matches_are_minimal_and_sorted() {
+    for_docs(2, |rng, xml| {
+        let doc = parse(xml).unwrap();
         let index = InvertedIndex::build(&doc);
-        let eval = index.evaluate(&doc, &FtExpr::term(WORDS[w]));
+        let eval = index.evaluate(&doc, &FtExpr::term(WORDS[rng.below(WORDS.len())]));
         let nodes: Vec<NodeId> = eval.matches().iter().map(|(n, _)| *n).collect();
         // Sorted in document order.
         for pair in nodes.windows(2) {
-            prop_assert!(pair[0] < pair[1]);
+            assert!(pair[0] < pair[1]);
         }
         // Most-specific: no match is an ancestor of another match.
         for &a in &nodes {
             for &b in &nodes {
-                prop_assert!(a == b || !doc.is_ancestor(a, b),
-                    "match {a} contains match {b}");
+                assert!(
+                    a == b || !doc.is_ancestor(a, b),
+                    "match {a:?} contains match {b:?}"
+                );
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn scores_are_normalized(xml in arb_doc(), w in 0usize..WORDS.len()) {
-        let doc = parse(&xml).unwrap();
+#[test]
+fn scores_are_normalized() {
+    for_docs(3, |rng, xml| {
+        let doc = parse(xml).unwrap();
         let index = InvertedIndex::build(&doc);
-        let eval = index.evaluate(&doc, &FtExpr::term(WORDS[w]));
+        let eval = index.evaluate(&doc, &FtExpr::term(WORDS[rng.below(WORDS.len())]));
         if !eval.is_empty() {
             let max = eval
                 .matches()
                 .iter()
                 .map(|(_, s)| *s)
                 .fold(0.0f64, f64::max);
-            prop_assert!((max - 1.0).abs() < 1e-9, "max score must be 1.0");
+            assert!((max - 1.0).abs() < 1e-9, "max score must be 1.0");
             for (_, s) in eval.matches() {
-                prop_assert!((0.0..=1.0 + 1e-9).contains(s));
+                assert!((0.0..=1.0 + 1e-9).contains(s));
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn and_is_intersection_or_is_union_of_satisfaction(
-        xml in arb_doc(),
-        w1 in 0usize..WORDS.len(),
-        w2 in 0usize..WORDS.len(),
-    ) {
-        let doc = parse(&xml).unwrap();
+#[test]
+fn and_is_intersection_or_is_union_of_satisfaction() {
+    for_docs(4, |rng, xml| {
+        let doc = parse(xml).unwrap();
         let index = InvertedIndex::build(&doc);
-        let ta = FtExpr::term(WORDS[w1]);
-        let tb = FtExpr::term(WORDS[w2]);
+        let ta = FtExpr::term(WORDS[rng.below(WORDS.len())]);
+        let tb = FtExpr::term(WORDS[rng.below(WORDS.len())]);
         let and = index.evaluate(&doc, &FtExpr::And(vec![ta.clone(), tb.clone()]));
         let or = index.evaluate(&doc, &FtExpr::Or(vec![ta.clone(), tb.clone()]));
         let ea = index.evaluate(&doc, &ta);
         let eb = index.evaluate(&doc, &tb);
         for n in doc.elements() {
-            prop_assert_eq!(
+            assert_eq!(
                 and.satisfies(&doc, n),
                 ea.satisfies(&doc, n) && eb.satisfies(&doc, n)
             );
-            prop_assert_eq!(
+            assert_eq!(
                 or.satisfies(&doc, n),
                 ea.satisfies(&doc, n) || eb.satisfies(&doc, n)
             );
         }
-    }
+    });
+}
 
-    #[test]
-    fn contains_satisfaction_is_monotone_up_the_tree(
-        xml in arb_doc(),
-        w in 0usize..WORDS.len(),
-    ) {
+#[test]
+fn contains_satisfaction_is_monotone_up_the_tree() {
+    for_docs(5, |rng, xml| {
         // The closure inference rule ad(x,y) ∧ contains(y,E) ⊢ contains(x,E)
         // requires monotonicity for positive expressions.
-        let doc = parse(&xml).unwrap();
+        let doc = parse(xml).unwrap();
         let index = InvertedIndex::build(&doc);
-        let eval = index.evaluate(&doc, &FtExpr::term(WORDS[w]));
+        let eval = index.evaluate(&doc, &FtExpr::term(WORDS[rng.below(WORDS.len())]));
         for n in doc.elements() {
             if eval.satisfies(&doc, n) {
                 for anc in doc.ancestors(n) {
-                    prop_assert!(eval.satisfies(&doc, anc),
-                        "ancestor {anc} of satisfying {n} must satisfy");
+                    assert!(
+                        eval.satisfies(&doc, anc),
+                        "ancestor {anc:?} of satisfying {n:?} must satisfy"
+                    );
                 }
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn count_for_tag_equals_naive_count(xml in arb_doc(), w in 0usize..WORDS.len()) {
-        let doc = parse(&xml).unwrap();
+#[test]
+fn count_for_tag_equals_naive_count() {
+    for_docs(6, |rng, xml| {
+        let doc = parse(xml).unwrap();
         let index = InvertedIndex::build(&doc);
-        let expr = FtExpr::term(WORDS[w]);
-        let eval = index.evaluate(&doc, &expr);
+        let word = WORDS[rng.below(WORDS.len())];
+        let eval = index.evaluate(&doc, &FtExpr::term(word));
         for (sym, _) in doc.symbols().iter() {
             let naive = doc
                 .nodes_with_tag(sym)
                 .iter()
-                .filter(|&&n| naive_contains_all(&doc, n, &[WORDS[w]]))
+                .filter(|&&n| naive_contains_all(&doc, n, &[word]))
                 .count() as u64;
-            prop_assert_eq!(eval.count_for_tag(&doc, sym), naive);
+            assert_eq!(eval.count_for_tag(&doc, sym), naive);
         }
-    }
+    });
+}
 
-    #[test]
-    fn stemming_is_deterministic_and_bounded(word in "[a-z]{1,16}") {
-        // Porter is NOT idempotent in general (e.g. "abee" → "abe" → "ab"),
-        // so we check the properties it does guarantee: determinism,
-        // bounded growth (+1 char via the restore-e rules), non-emptiness,
-        // and a fixed point within a few applications.
+#[test]
+fn stemming_is_deterministic_and_bounded() {
+    // Porter is NOT idempotent in general (e.g. "abee" → "abe" → "ab"),
+    // so we check the properties it does guarantee: determinism,
+    // bounded growth (+1 char via the restore-e rules), non-emptiness,
+    // and a fixed point within a few applications.
+    for case in 0..CASES {
+        let mut rng = Rng(0x7357 + case);
+        let len = 1 + rng.below(16);
+        let word: String = (0..len)
+            .map(|_| (b'a' + rng.below(26) as u8) as char)
+            .collect();
         let once = stem(&word);
-        prop_assert_eq!(stem(&word), once.clone(), "stem must be deterministic");
-        prop_assert!(once.len() <= word.len() + 1);
-        prop_assert!(!once.is_empty());
+        assert_eq!(stem(&word), once, "stem must be deterministic");
+        assert!(once.len() <= word.len() + 1);
+        assert!(!once.is_empty());
         let mut cur = once;
         for _ in 0..6 {
             let next = stem(&cur);
             if next == cur {
                 break;
             }
-            prop_assert!(next.len() < cur.len(), "repeated stemming must shrink");
+            assert!(next.len() < cur.len(), "repeated stemming must shrink");
             cur = next;
         }
-        prop_assert_eq!(stem(&cur), cur.clone(), "must reach a fixed point");
+        assert_eq!(stem(&cur), cur, "must reach a fixed point");
     }
+}
 
-    #[test]
-    fn phrase_implies_conjunction(xml in arb_doc()) {
-        let doc = parse(&xml).unwrap();
+#[test]
+fn phrase_implies_conjunction() {
+    for_docs(7, |_, xml| {
+        let doc = parse(xml).unwrap();
         let index = InvertedIndex::build(&doc);
         let phrase = FtExpr::Phrase(vec!["gold".into(), "silver".into()]);
         let conj = FtExpr::all_of(&["gold", "silver"]);
@@ -190,8 +246,8 @@ proptest! {
         let ec = index.evaluate(&doc, &conj);
         for n in doc.elements() {
             if ep.satisfies(&doc, n) {
-                prop_assert!(ec.satisfies(&doc, n), "phrase ⊆ conjunction");
+                assert!(ec.satisfies(&doc, n), "phrase ⊆ conjunction");
             }
         }
-    }
+    });
 }

@@ -1,113 +1,142 @@
-//! Property tests for the relaxation theory (Sections 3.2–3.5): closure
-//! algebra, core uniqueness, operator soundness via containment, and
-//! relaxation-space structure — over randomly generated tree pattern
-//! queries.
+//! Randomized (seeded, deterministic) tests for the relaxation theory
+//! (Sections 3.2–3.5): closure algebra, core uniqueness, operator soundness
+//! via containment, and relaxation-space structure — over randomly
+//! generated tree pattern queries.
 
 use flexpath_ftsearch::FtExpr;
 use flexpath_tpq::{
     applicable_ops, apply_op, closure_of, contains_query, core_of, enumerate_space,
     relaxation_step, tpq_from_predicates, Tpq, TpqBuilder,
 };
-use proptest::prelude::*;
+
+/// Tiny deterministic PRNG (splitmix64) so cases reproduce without any
+/// property-testing dependency.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+}
 
 const TAGS: [&str; 5] = ["a", "b", "c", "d", "e"];
 const WORDS: [&str; 3] = ["gold", "silver", "rare"];
+const CASES: u64 = 128;
 
 /// Random TPQ: a root plus up to 5 nodes attached to random earlier nodes
 /// with random axes; optional contains on a random node.
-fn arb_tpq() -> impl Strategy<Value = Tpq> {
-    (
-        0usize..TAGS.len(),
-        prop::collection::vec((0usize..TAGS.len(), any::<bool>(), 0usize..4), 0..5),
-        prop::option::of((0usize..WORDS.len(), 0usize..5)),
-    )
-        .prop_map(|(root, nodes, contains)| {
-            let mut b = TpqBuilder::new(TAGS[root]);
-            let mut created = vec![0usize];
-            for (tag, child_axis, parent_pick) in nodes {
-                let parent = created[parent_pick % created.len()];
-                let idx = if child_axis {
-                    b.child(parent, TAGS[tag])
-                } else {
-                    b.descendant(parent, TAGS[tag])
-                };
-                created.push(idx);
-            }
-            if let Some((w, node_pick)) = contains {
-                let target = created[node_pick % created.len()];
-                b.add_contains(target, FtExpr::term(WORDS[w]));
-            }
-            b.build()
-        })
+fn random_tpq(rng: &mut Rng) -> Tpq {
+    let mut b = TpqBuilder::new(TAGS[rng.below(TAGS.len())]);
+    let mut created = vec![0usize];
+    for _ in 0..rng.below(5) {
+        let tag = TAGS[rng.below(TAGS.len())];
+        let parent = created[rng.below(created.len())];
+        let idx = if rng.below(2) == 0 {
+            b.child(parent, tag)
+        } else {
+            b.descendant(parent, tag)
+        };
+        created.push(idx);
+    }
+    if rng.below(2) == 0 {
+        let target = created[rng.below(created.len())];
+        b.add_contains(target, FtExpr::term(WORDS[rng.below(WORDS.len())]));
+    }
+    b.build()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+/// Runs `body` over `CASES` deterministic random queries.
+fn for_queries(seed: u64, mut body: impl FnMut(&Tpq)) {
+    for case in 0..CASES {
+        let mut rng = Rng(seed ^ case.wrapping_mul(0x2545_F491_4F6C_DD1D));
+        body(&random_tpq(&mut rng));
+    }
+}
 
-    #[test]
-    fn closure_is_idempotent_and_extensive(q in arb_tpq()) {
+#[test]
+fn closure_is_idempotent_and_extensive() {
+    for_queries(1, |q| {
         let logical = q.logical();
         let closed = closure_of(&logical);
-        prop_assert!(logical.is_subset_of(&closed), "closure is extensive");
-        prop_assert_eq!(closure_of(&closed), closed.clone(), "closure is idempotent");
-    }
+        assert!(logical.is_subset_of(&closed), "closure is extensive");
+        assert_eq!(closure_of(&closed), closed, "closure is idempotent");
+    });
+}
 
-    #[test]
-    fn core_is_minimal_and_equivalent(q in arb_tpq()) {
+#[test]
+fn core_is_minimal_and_equivalent() {
+    for_queries(2, |q| {
         let closed = q.closure();
         let core = core_of(&closed);
-        prop_assert!(core.is_subset_of(&closed));
-        prop_assert_eq!(closure_of(&core), closed, "core ≡ closure");
+        assert!(core.is_subset_of(&closed));
+        assert_eq!(closure_of(&core), closed, "core ≡ closure");
         // Minimality: removing any core predicate loses information.
         for p in core.iter() {
             let mut without = core.clone();
             without.remove(p);
-            prop_assert!(
+            assert!(
                 !closure_of(&without).contains(p),
-                "core predicate {} is redundant", p
+                "core predicate {p} is redundant"
             );
         }
-    }
+    });
+}
 
-    #[test]
-    fn core_reconstructs_an_equivalent_tpq(q in arb_tpq()) {
+#[test]
+fn core_reconstructs_an_equivalent_tpq() {
+    for_queries(3, |q| {
         let core = q.core();
         let rebuilt = tpq_from_predicates(&core, q.distinguished_var()).unwrap();
-        prop_assert_eq!(rebuilt.closure(), q.closure());
-        prop_assert_eq!(rebuilt.distinguished_var(), q.distinguished_var());
-    }
+        assert_eq!(rebuilt.closure(), q.closure());
+        assert_eq!(rebuilt.distinguished_var(), q.distinguished_var());
+    });
+}
 
-    #[test]
-    fn operators_are_sound_by_containment(q in arb_tpq()) {
-        for op in applicable_ops(&q) {
-            let relaxed = apply_op(&q, &op).unwrap();
-            prop_assert!(
-                contains_query(&q, &relaxed),
-                "{op} on {} is not a containment relaxation", q.to_xpath()
+#[test]
+fn operators_are_sound_by_containment() {
+    for_queries(4, |q| {
+        for op in applicable_ops(q) {
+            let relaxed = apply_op(q, &op).unwrap();
+            assert!(
+                contains_query(q, &relaxed),
+                "{op} on {} is not a containment relaxation",
+                q.to_xpath()
             );
         }
-    }
+    });
+}
 
-    #[test]
-    fn dropped_predicates_come_from_the_original_closure(q in arb_tpq()) {
+#[test]
+fn dropped_predicates_come_from_the_original_closure() {
+    for_queries(5, |q| {
         let closure = q.closure();
-        for op in applicable_ops(&q) {
-            let step = relaxation_step(&q, &op).unwrap();
-            prop_assert!(
+        for op in applicable_ops(q) {
+            let step = relaxation_step(q, &op).unwrap();
+            assert!(
                 step.dropped.is_subset_of(&closure),
                 "{op} dropped predicates outside the closure"
             );
             // Operators may be no-ops w.r.t. the closure only when the
             // query has redundant structure; the result must still be a
             // containment.
-            let ok = !step.dropped.is_empty() || contains_query(&q, &step.result);
-            prop_assert!(ok);
+            let ok = !step.dropped.is_empty() || contains_query(q, &step.result);
+            assert!(ok);
         }
-    }
+    });
+}
 
-    #[test]
-    fn containment_is_reflexive_and_transitive_along_chains(q in arb_tpq()) {
-        prop_assert!(contains_query(&q, &q));
+#[test]
+fn containment_is_reflexive_and_transitive_along_chains() {
+    for_queries(6, |q| {
+        assert!(contains_query(q, q));
         let mut cur = q.clone();
         let mut chain = vec![q.clone()];
         for _ in 0..4 {
@@ -117,45 +146,51 @@ proptest! {
             chain.push(cur.clone());
         }
         for earlier in &chain {
-            prop_assert!(
+            assert!(
                 contains_query(earlier, chain.last().unwrap()),
                 "chain end must contain every predecessor"
             );
         }
-    }
+    });
+}
 
-    #[test]
-    fn space_entries_all_contain_the_original(q in arb_tpq()) {
-        let space = enumerate_space(&q, 200);
+#[test]
+fn space_entries_all_contain_the_original() {
+    for_queries(7, |q| {
+        let space = enumerate_space(q, 200);
         for e in &space.entries {
-            prop_assert!(contains_query(&q, &e.tpq));
+            assert!(contains_query(q, &e.tpq));
             // Cumulative drops are consistent with the entry's closure.
             let expected = q.closure().difference(&e.tpq.closure());
-            prop_assert_eq!(&e.dropped, &expected);
+            assert_eq!(&e.dropped, &expected);
         }
-    }
+    });
+}
 
-    #[test]
-    fn dropped_sets_depend_only_on_the_endpoint(q in arb_tpq()) {
+#[test]
+fn dropped_sets_depend_only_on_the_endpoint() {
+    for_queries(8, |q| {
         // Theorem 3's foundation: the dropped-predicate set (and hence the
         // score) of a relaxation is a function of the *resulting query*,
         // never of the derivation. Operators need not commute (κ's target
         // depends on whether σ re-anchored the node first — two different
         // endpoints are two different relaxations), so we compare drops
         // only when both orders reach the same closure.
-        let ops = applicable_ops(&q);
+        let ops = applicable_ops(q);
         if ops.len() < 2 {
-            return Ok(());
+            return;
         }
         let base = q.closure();
         for a in &ops {
             for b in &ops {
-                if a == b { continue; }
-                let ab = apply_op(&q, a).ok().and_then(|x| apply_op(&x, b).ok());
-                let ba = apply_op(&q, b).ok().and_then(|x| apply_op(&x, a).ok());
+                if a == b {
+                    continue;
+                }
+                let ab = apply_op(q, a).ok().and_then(|x| apply_op(&x, b).ok());
+                let ba = apply_op(q, b).ok().and_then(|x| apply_op(&x, a).ok());
                 if let (Some(ab), Some(ba)) = (ab, ba) {
                     if ab.closure() == ba.closure() {
-                        prop_assert_eq!(
+                        assert_eq!(
                             base.difference(&ab.closure()),
                             base.difference(&ba.closure())
                         );
@@ -163,18 +198,20 @@ proptest! {
                 }
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn xpath_rendering_round_trips_logically(q in arb_tpq()) {
+#[test]
+fn xpath_rendering_round_trips_logically() {
+    for_queries(9, |q| {
         // to_xpath() → parse_query() reproduces the logical form whenever
         // the distinguished node is the root (the parser's output shape).
         if q.distinguished() == q.root() {
             let rendered = q.to_xpath();
             let reparsed = flexpath_tpq::parse_query(&rendered).unwrap();
             // Variable numbering may differ; compare via mutual containment.
-            prop_assert!(contains_query(&q, &reparsed), "{} ⊈ reparsed", rendered);
-            prop_assert!(contains_query(&reparsed, &q), "reparsed ⊈ {}", rendered);
+            assert!(contains_query(q, &reparsed), "{rendered} ⊈ reparsed");
+            assert!(contains_query(&reparsed, q), "reparsed ⊈ {rendered}");
         }
-    }
+    });
 }

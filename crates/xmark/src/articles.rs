@@ -17,8 +17,7 @@
 
 use crate::vocab::Vocabulary;
 use flexpath_xmldom::{Document, DocumentBuilder};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::{Rng, SeedableRng, StdRng};
 
 /// The five Figure-1 near-miss scenarios.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]

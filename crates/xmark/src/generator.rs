@@ -8,8 +8,7 @@
 use crate::schema::*;
 use crate::vocab::Vocabulary;
 use flexpath_xmldom::{Document, DocumentBuilder, SymbolTable};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::{Rng, SeedableRng, StdRng};
 
 /// Generator parameters. `Default` matches the distributions used by the
 /// paper-reproduction benchmarks.

@@ -27,6 +27,7 @@
 
 pub mod articles;
 pub mod generator;
+pub mod rng;
 pub mod schema;
 pub mod vocab;
 

@@ -6,7 +6,7 @@
 //! tail of rare ones). The first few words double as the "search keywords"
 //! used by the examples and benchmarks.
 
-use rand::Rng;
+use crate::rng::Rng;
 
 /// Words drawn by the generator. Order defines Zipf rank (earlier = more
 /// frequent); the list mixes auction-domain terms with common English filler
@@ -94,8 +94,7 @@ impl Vocabulary {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use crate::rng::{SeedableRng, StdRng};
 
     #[test]
     fn sampling_is_deterministic_per_seed() {

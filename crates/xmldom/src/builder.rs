@@ -132,6 +132,11 @@ impl DocumentBuilder {
     }
 
     /// Opens an element with the given tag name.
+    ///
+    /// # Panics
+    /// If called after the root element was closed; use
+    /// [`try_start_element`](Self::try_start_element) to handle that case.
+    #[allow(clippy::expect_used)] // documented contract of the infallible API
     pub fn start_element(&mut self, tag: &str) -> NodeId {
         self.try_start_element(tag)
             .expect("start_element after the root element was closed")
@@ -153,6 +158,11 @@ impl DocumentBuilder {
     ///
     /// Must be called before any child content is added; attribute storage
     /// is contiguous per element.
+    ///
+    /// # Panics
+    /// If no element is open or child content was already added; use
+    /// [`try_attribute`](Self::try_attribute) to handle those cases.
+    #[allow(clippy::expect_used)] // documented contract of the infallible API
     pub fn attribute(&mut self, name: &str, value: &str) {
         self.try_attribute(name, value)
             .expect("attribute outside an open element or after child content")
@@ -175,6 +185,11 @@ impl DocumentBuilder {
     /// Appends a text node under the currently open element.
     ///
     /// Empty strings are ignored (no empty text nodes are materialized).
+    ///
+    /// # Panics
+    /// If no element is open; use [`try_text`](Self::try_text) to handle
+    /// that case.
+    #[allow(clippy::expect_used)] // documented contract of the infallible API
     pub fn text(&mut self, content: &str) {
         self.try_text(content)
             .expect("text outside an open element")
@@ -198,6 +213,11 @@ impl DocumentBuilder {
     }
 
     /// Closes the most recently opened element.
+    ///
+    /// # Panics
+    /// If no element is open; use [`try_end_element`](Self::try_end_element)
+    /// to handle that case.
+    #[allow(clippy::expect_used)] // documented contract of the infallible API
     pub fn end_element(&mut self) {
         self.try_end_element()
             .expect("end_element without open element")
@@ -230,16 +250,16 @@ impl DocumentBuilder {
 
     /// Finalizes the document.
     pub fn finish(self) -> Result<Document, BuildError> {
-        if !self.open.is_empty() || self.root.is_none() {
+        let (Some(root), true) = (self.root, self.open.is_empty()) else {
             return Err(BuildError::Incomplete);
-        }
+        };
         Ok(Document {
             nodes: self.nodes,
             texts: self.texts,
             attrs: self.attrs,
             symbols: self.symbols,
             tag_index: self.tag_index,
-            root: self.root.unwrap(),
+            root,
         })
     }
 }

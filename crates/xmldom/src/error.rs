@@ -24,6 +24,21 @@ pub enum ParseErrorKind {
     DuplicateAttribute(String),
     /// The document has no root element.
     Empty,
+    /// Element nesting exceeded [`ParseOptions::max_depth`].
+    ///
+    /// [`ParseOptions::max_depth`]: crate::ParseOptions::max_depth
+    TooDeep {
+        /// The configured depth limit.
+        limit: usize,
+    },
+    /// One element carried more attributes than
+    /// [`ParseOptions::max_attributes`].
+    ///
+    /// [`ParseOptions::max_attributes`]: crate::ParseOptions::max_attributes
+    TooManyAttributes {
+        /// The configured per-element attribute limit.
+        limit: usize,
+    },
 }
 
 /// A parse failure, with the byte offset, line, and column where it occurred.
@@ -73,6 +88,12 @@ impl fmt::Display for ParseError {
             ParseErrorKind::BadEntity(e) => write!(f, "bad entity reference &{e};"),
             ParseErrorKind::DuplicateAttribute(a) => write!(f, "duplicate attribute {a:?}"),
             ParseErrorKind::Empty => write!(f, "document has no root element"),
+            ParseErrorKind::TooDeep { limit } => {
+                write!(f, "element nesting exceeds the depth limit of {limit}")
+            }
+            ParseErrorKind::TooManyAttributes { limit } => {
+                write!(f, "element has more than {limit} attributes")
+            }
         }
     }
 }

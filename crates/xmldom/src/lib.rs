@@ -32,6 +32,10 @@
 //! assert_eq!(doc.subtree_text(paras[0]), "XML streaming");
 //! ```
 
+// Library targets must stay panic-free on input-reachable paths; the
+// workspace `no_panics` test enforces the same rule by source scan.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod axes;
 pub mod builder;
 pub mod document;

@@ -15,11 +15,36 @@ use crate::document::Document;
 use crate::error::{ParseError, ParseErrorKind};
 use crate::events::XmlSink;
 
+/// Longest entity reference the parser will scan for: the widest legal one
+/// (`&#x10FFFF;`) is 9 characters, so a `;` further away than this marks a
+/// stray ampersand — without the cap a document of bare `&`s would make
+/// every reference scan to the far end of the input.
+const MAX_ENTITY_LEN: usize = 64;
+
 /// Knobs for [`parse_with_options`].
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy)]
 pub struct ParseOptions {
     /// Keep text nodes that consist solely of XML whitespace.
     pub keep_whitespace: bool,
+    /// Maximum element nesting depth before the parser rejects the input
+    /// with [`ParseErrorKind::TooDeep`] (default 512). The parser itself is
+    /// iterative, but depth-recursive *consumers* of the resulting tree
+    /// (serializers, visitors) inherit this bound.
+    pub max_depth: usize,
+    /// Maximum number of attributes on a single element before the parser
+    /// rejects the input with [`ParseErrorKind::TooManyAttributes`]
+    /// (default 1024).
+    pub max_attributes: usize,
+}
+
+impl Default for ParseOptions {
+    fn default() -> Self {
+        ParseOptions {
+            keep_whitespace: false,
+            max_depth: 512,
+            max_attributes: 1024,
+        }
+    }
 }
 
 /// Parses `input` into a [`Document`] with default options.
@@ -136,7 +161,7 @@ impl<'a, S: XmlSink> Parser<'a, '_, S> {
         match self.peek() {
             Some(b) if Self::is_name_start(b) => self.pos += 1,
             Some(_) => {
-                let c = self.input[self.pos..].chars().next().unwrap();
+                let c = self.input[self.pos..].chars().next().unwrap_or('\0');
                 return Err(self.err(ParseErrorKind::UnexpectedChar(c)));
             }
             None => return Err(self.err(ParseErrorKind::UnexpectedEof)),
@@ -150,9 +175,14 @@ impl<'a, S: XmlSink> Parser<'a, '_, S> {
     /// Decodes `&...;` starting just *after* the ampersand; appends to `out`.
     fn decode_entity(&mut self, out: &mut String) -> Result<(), ParseError> {
         let start = self.pos;
-        let semi = self.input[self.pos..]
+        // Bounded scan: a legal reference fits well inside MAX_ENTITY_LEN.
+        let window_end = (self.pos + MAX_ENTITY_LEN).min(self.input.len());
+        let semi = self.input[self.pos..window_end]
             .find(';')
-            .ok_or_else(|| self.err(ParseErrorKind::UnexpectedEof))?;
+            .ok_or_else(|| {
+                let tail = &self.input[start..(start + 16).min(self.input.len())];
+                self.err(ParseErrorKind::BadEntity(tail.to_string()))
+            })?;
         let name = &self.input[start..start + semi];
         self.pos = start + semi + 1;
         let bad = |p: &Self| p.err(ParseErrorKind::BadEntity(name.to_string()));
@@ -188,9 +218,10 @@ impl<'a, S: XmlSink> Parser<'a, '_, S> {
                 Some(b'&') => self.decode_entity(&mut out)?,
                 Some(b) if b < 0x80 => out.push(b as char),
                 Some(_) => {
-                    // Re-decode the multi-byte char properly.
+                    // Re-decode the multi-byte char properly. (`pos` sits on
+                    // the char's lead byte, so a char is always present.)
                     self.pos -= 1;
-                    let c = self.input[self.pos..].chars().next().unwrap();
+                    let c = self.input[self.pos..].chars().next().unwrap_or('\0');
                     out.push(c);
                     self.pos += c.len_utf8();
                 }
@@ -284,6 +315,11 @@ impl<'a, S: XmlSink> Parser<'a, '_, S> {
                 return Err(self.err(ParseErrorKind::ContentOutsideRoot));
             }
             self.seen_root = true;
+            if self.open.len() >= self.options.max_depth {
+                return Err(self.err(ParseErrorKind::TooDeep {
+                    limit: self.options.max_depth,
+                }));
+            }
             self.open.push(name);
             self.sink.start_element(name);
             let mut seen_attrs: Vec<&str> = Vec::new();
@@ -303,6 +339,11 @@ impl<'a, S: XmlSink> Parser<'a, '_, S> {
                     }
                     Some(b) if Self::is_name_start(b) => {
                         let attr = self.parse_name()?;
+                        if seen_attrs.len() >= self.options.max_attributes {
+                            return Err(self.err(ParseErrorKind::TooManyAttributes {
+                                limit: self.options.max_attributes,
+                            }));
+                        }
                         if seen_attrs.contains(&attr) {
                             return Err(
                                 self.err(ParseErrorKind::DuplicateAttribute(attr.into()))
@@ -332,7 +373,8 @@ impl<'a, S: XmlSink> Parser<'a, '_, S> {
                     self.decode_entity(&mut out)?;
                 }
                 _ => {
-                    let c = self.input[self.pos..].chars().next().unwrap();
+                    // `pos` is always on a char boundary here.
+                    let c = self.input[self.pos..].chars().next().unwrap_or('\0');
                     out.push(c);
                     self.pos += c.len_utf8();
                 }
@@ -404,6 +446,7 @@ mod tests {
             "<a>\n  <b/>\n</a>",
             ParseOptions {
                 keep_whitespace: true,
+                ..ParseOptions::default()
             },
         )
         .unwrap();
@@ -473,5 +516,66 @@ mod tests {
     fn error_positions_point_into_input() {
         let err = parse("<a>\n<b></c>\n</a>").unwrap_err();
         assert_eq!(err.line, 2);
+    }
+
+    fn nested(depth: usize) -> String {
+        let mut s = String::with_capacity(depth * 7);
+        for _ in 0..depth {
+            s.push_str("<a>");
+        }
+        for _ in 0..depth {
+            s.push_str("</a>");
+        }
+        s
+    }
+
+    #[test]
+    fn ten_thousand_deep_document_errors_instead_of_overflowing() {
+        let err = parse(&nested(10_000)).unwrap_err();
+        assert_eq!(err.kind, ParseErrorKind::TooDeep { limit: 512 });
+    }
+
+    #[test]
+    fn depth_limit_is_configurable() {
+        let doc_at_limit = nested(512);
+        assert!(parse(&doc_at_limit).is_ok(), "512 deep is within default");
+        assert!(parse(&nested(513)).is_err());
+        let opts = ParseOptions {
+            max_depth: 8,
+            ..ParseOptions::default()
+        };
+        assert!(matches!(
+            parse_with_options(&nested(9), opts).unwrap_err().kind,
+            ParseErrorKind::TooDeep { limit: 8 }
+        ));
+        assert!(parse_with_options(&nested(8), opts).is_ok());
+    }
+
+    #[test]
+    fn attribute_count_limit_is_enforced() {
+        let mut doc = String::from("<a");
+        for i in 0..1025 {
+            doc.push_str(&format!(" x{i}=\"v\""));
+        }
+        doc.push_str("/>");
+        assert!(matches!(
+            parse(&doc).unwrap_err().kind,
+            ParseErrorKind::TooManyAttributes { limit: 1024 }
+        ));
+    }
+
+    #[test]
+    fn runaway_entity_reference_is_rejected_without_long_scan() {
+        // A `;` further than MAX_ENTITY_LEN away must not be picked up.
+        let doc = format!("<a>&{};</a>", "x".repeat(200));
+        assert!(matches!(
+            parse(&doc).unwrap_err().kind,
+            ParseErrorKind::BadEntity(_)
+        ));
+        // And a stray `&` with no `;` at all errors as a bad entity, not EOF.
+        assert!(matches!(
+            parse("<a>fish & chips</a>").unwrap_err().kind,
+            ParseErrorKind::BadEntity(_)
+        ));
     }
 }

@@ -25,7 +25,7 @@ pub fn to_xml_pretty(doc: &Document) -> String {
 fn write_pretty(doc: &Document, node: NodeId, depth: usize, out: &mut String) {
     match doc.kind(node) {
         NodeKind::Text { .. } => {
-            escape_text(doc.text_content(node).expect("text node"), out);
+            escape_text(doc.text_content(node).unwrap_or_default(), out);
         }
         NodeKind::Element { tag } => {
             let name = doc.symbols().name(tag);
@@ -73,7 +73,7 @@ fn write_pretty(doc: &Document, node: NodeId, depth: usize, out: &mut String) {
 pub fn write_xml(doc: &Document, node: NodeId, out: &mut String) {
     match doc.kind(node) {
         NodeKind::Text { .. } => {
-            escape_text(doc.text_content(node).expect("text node"), out);
+            escape_text(doc.text_content(node).unwrap_or_default(), out);
         }
         NodeKind::Element { tag } => {
             let name = doc.symbols().name(tag);

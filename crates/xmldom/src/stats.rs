@@ -49,8 +49,9 @@ impl DocStats {
             }
             stats.element_total += 1;
             *stats.tag_counts.entry(tag).or_insert(0) += 1;
-            if let Some(&parent) = anc_stack.last() {
-                let ptag = doc.tag(parent).expect("ancestor stack holds elements");
+            // `anc_tags` parallels `anc_stack`, so its last entry is the
+            // parent's tag — no re-lookup (or unwrap) needed.
+            if let Some(&ptag) = anc_tags.last() {
                 *stats.pc_counts.entry(TagPair(ptag, tag)).or_insert(0) += 1;
             }
             for &atag in &anc_tags {

@@ -1,33 +1,67 @@
-//! Property tests for the document substrate: parse/serialize round trips,
-//! interval-encoding invariants, and statistics consistency against naive
-//! recomputation.
+//! Randomized (seeded, deterministic) tests for the document substrate:
+//! parse/serialize round trips, interval-encoding invariants, and
+//! statistics consistency against naive recomputation.
 
 use flexpath_xmldom::{parse, to_xml_string, DocStats, Document, DocumentBuilder};
-use proptest::prelude::*;
 
-/// Strategy: a random element tree rendered through the builder.
+/// Tiny deterministic PRNG (splitmix64) so cases reproduce without any
+/// property-testing dependency.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+}
+
+/// A random element tree rendered through the builder.
 #[derive(Debug, Clone)]
 enum Node {
     Element { tag: usize, children: Vec<Node> },
     Text(String),
 }
 
-fn arb_tree() -> impl Strategy<Value = Node> {
-    let leaf = prop_oneof![
-        "[a-z][a-z ]{0,11}".prop_map(Node::Text),
-        (0usize..6).prop_map(|tag| Node::Element {
-            tag,
-            children: vec![]
-        }),
-    ];
-    leaf.prop_recursive(5, 48, 5, |inner| {
-        (0usize..6, prop::collection::vec(inner, 0..5)).prop_map(|(tag, children)| {
-            Node::Element { tag, children }
-        })
-    })
-}
-
 const TAGS: [&str; 6] = ["a", "b", "c", "d", "e", "f"];
+
+fn random_tree(rng: &mut Rng, depth: u32) -> Node {
+    if depth >= 5 || rng.below(4) == 0 {
+        return if rng.below(2) == 0 {
+            let len = 1 + rng.below(12);
+            let text: String = (0..len)
+                .map(|i| {
+                    if i > 0 && rng.below(5) == 0 {
+                        ' '
+                    } else {
+                        (b'a' + rng.below(26) as u8) as char
+                    }
+                })
+                .collect();
+            // First character is always a letter, so the parser's
+            // whitespace-dropping never erases the node.
+            Node::Text(text)
+        } else {
+            Node::Element {
+                tag: rng.below(TAGS.len()),
+                children: vec![],
+            }
+        };
+    }
+    let children = (0..rng.below(5))
+        .map(|_| random_tree(rng, depth + 1))
+        .collect();
+    Node::Element {
+        tag: rng.below(TAGS.len()),
+        children,
+    }
+}
 
 fn build(node: &Node, b: &mut DocumentBuilder) {
     match node {
@@ -55,88 +89,99 @@ fn doc_from(root: &Node) -> Document {
     b.finish().unwrap()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
+/// Runs `body` over 96 deterministic random documents.
+fn for_docs(seed: u64, mut body: impl FnMut(&Document)) {
+    for case in 0..96u64 {
+        let mut rng = Rng(seed ^ case.wrapping_mul(0x0101_0101_0101_0101));
+        let tree = random_tree(&mut rng, 0);
+        body(&doc_from(&tree));
+    }
+}
 
-    #[test]
-    fn serialize_parse_round_trip(tree in arb_tree()) {
-        let doc = doc_from(&tree);
-        let xml = to_xml_string(&doc);
+#[test]
+fn serialize_parse_round_trip() {
+    for_docs(1, |doc| {
+        let xml = to_xml_string(doc);
         let reparsed = parse(&xml).unwrap();
-        prop_assert_eq!(to_xml_string(&reparsed), xml);
+        assert_eq!(to_xml_string(&reparsed), xml);
         // Text content is preserved exactly. (The parser drops
         // whitespace-only text nodes by default, but the generator only
-        // produces text with at least one letter.)
-        prop_assert_eq!(
+        // produces text starting with a letter.)
+        assert_eq!(
             reparsed.subtree_text(reparsed.root_element()),
             doc.subtree_text(doc.root_element())
         );
-    }
+    });
+}
 
-    #[test]
-    fn interval_labels_are_a_proper_nesting(tree in arb_tree()) {
-        let doc = doc_from(&tree);
+#[test]
+fn interval_labels_are_a_proper_nesting() {
+    for_docs(2, |doc| {
         for a in doc.all_nodes() {
-            prop_assert!(doc.start(a) < doc.end(a));
+            assert!(doc.start(a) < doc.end(a));
             for b in doc.all_nodes() {
-                if a == b { continue; }
+                if a == b {
+                    continue;
+                }
                 let (sa, ea) = (doc.start(a), doc.end(a));
                 let (sb, eb) = (doc.start(b), doc.end(b));
                 // Intervals either nest or are disjoint.
                 let nested = (sa < sb && eb < ea) || (sb < sa && ea < eb);
                 let disjoint = ea < sb || eb < sa;
-                prop_assert!(nested || disjoint, "{a} and {b} overlap improperly");
+                assert!(nested || disjoint, "{a:?} and {b:?} overlap improperly");
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn parent_links_agree_with_intervals(tree in arb_tree()) {
-        let doc = doc_from(&tree);
+#[test]
+fn parent_links_agree_with_intervals() {
+    for_docs(3, |doc| {
         for n in doc.all_nodes() {
             match doc.parent(n) {
                 Some(p) => {
-                    prop_assert!(doc.is_parent(p, n));
-                    prop_assert!(doc.is_ancestor(p, n));
+                    assert!(doc.is_parent(p, n));
+                    assert!(doc.is_ancestor(p, n));
                 }
-                None => prop_assert_eq!(n, doc.root_element()),
+                None => assert_eq!(n, doc.root_element()),
             }
             // children() yields exactly the nodes whose parent is n.
             for c in doc.children(n) {
-                prop_assert_eq!(doc.parent(c), Some(n));
+                assert_eq!(doc.parent(c), Some(n));
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn descendant_iteration_matches_interval_test(tree in arb_tree()) {
-        let doc = doc_from(&tree);
+#[test]
+fn descendant_iteration_matches_interval_test() {
+    for_docs(4, |doc| {
         for n in doc.all_nodes() {
             let via_iter: Vec<_> = doc.descendants(n).collect();
             let via_test: Vec<_> = doc
                 .all_nodes()
                 .filter(|&m| doc.is_ancestor(n, m))
                 .collect();
-            prop_assert_eq!(via_iter, via_test);
+            assert_eq!(via_iter, via_test);
         }
-    }
+    });
+}
 
-    #[test]
-    fn stats_match_naive_counts(tree in arb_tree()) {
-        let doc = doc_from(&tree);
-        let stats = DocStats::compute(&doc);
+#[test]
+fn stats_match_naive_counts() {
+    for_docs(5, |doc| {
+        let stats = DocStats::compute(doc);
         let elements: Vec<_> = doc.elements().collect();
-        prop_assert_eq!(stats.element_total(), elements.len() as u64);
-        for &t1 in doc.symbols().iter().map(|(s, _)| s).collect::<Vec<_>>().iter() {
+        assert_eq!(stats.element_total(), elements.len() as u64);
+        let syms: Vec<_> = doc.symbols().iter().map(|(s, _)| s).collect();
+        for &t1 in &syms {
             let count = elements.iter().filter(|&&e| doc.tag(e) == Some(t1)).count() as u64;
-            prop_assert_eq!(stats.tag_count(t1), count);
-            for &t2 in doc.symbols().iter().map(|(s, _)| s).collect::<Vec<_>>().iter() {
+            assert_eq!(stats.tag_count(t1), count);
+            for &t2 in &syms {
                 let pc = elements
                     .iter()
                     .flat_map(|&p| doc.children(p).map(move |c| (p, c)))
-                    .filter(|&(p, c)| {
-                        doc.tag(p) == Some(t1) && doc.tag(c) == Some(t2)
-                    })
+                    .filter(|&(p, c)| doc.tag(p) == Some(t1) && doc.tag(c) == Some(t2))
                     .count() as u64;
                 let doc_ref = &doc;
                 let ad = elements
@@ -149,15 +194,16 @@ proptest! {
                     })
                     .filter(|&(a, d)| doc.tag(a) == Some(t1) && doc.tag(d) == Some(t2))
                     .count() as u64;
-                prop_assert_eq!(stats.pc_count(t1, t2), pc, "pc({},{})", t1, t2);
-                prop_assert_eq!(stats.ad_count(t1, t2), ad, "ad({},{})", t1, t2);
+                assert_eq!(stats.pc_count(t1, t2), pc, "pc({t1:?},{t2:?})");
+                assert_eq!(stats.ad_count(t1, t2), ad, "ad({t1:?},{t2:?})");
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn subtree_last_is_the_maximal_descendant(tree in arb_tree()) {
-        let doc = doc_from(&tree);
+#[test]
+fn subtree_last_is_the_maximal_descendant() {
+    for_docs(6, |doc| {
         for n in doc.all_nodes() {
             let last = doc.subtree_last(n);
             let max_desc = doc
@@ -165,7 +211,7 @@ proptest! {
                 .filter(|&m| doc.is_ancestor(n, m))
                 .max()
                 .unwrap_or(n);
-            prop_assert_eq!(last, max_desc);
+            assert_eq!(last, max_desc);
         }
-    }
+    });
 }

@@ -15,7 +15,13 @@
 //!   --highlight           mark the query keywords in snippets
 //!   --paths               print each answer's node path
 //!   --stats               print execution statistics
+//!   --deadline-ms N       stop after N milliseconds with the best answers
+//!                         found so far
 //! ```
+//!
+//! On Unix, Ctrl-C cancels a running query at its next checkpoint: the best
+//! answers found so far are printed together with a note that the search
+//! was interrupted.
 //!
 //! Example:
 //!
@@ -25,8 +31,48 @@
 //!   --k 5 --explain
 //! ```
 
-use flexpath::{explain_answer, explain_plan, explain_schedule, Algorithm, FleXPath, RankingScheme};
+use flexpath::{
+    explain_answer, explain_plan, explain_schedule, Algorithm, CancelToken, FleXPath,
+    RankingScheme,
+};
 use std::process::ExitCode;
+use std::sync::OnceLock;
+use std::time::Duration;
+
+/// The token the SIGINT handler flips; installed once before the query runs.
+static CANCEL: OnceLock<CancelToken> = OnceLock::new();
+
+/// Installs a Ctrl-C (SIGINT) handler that cancels the running query.
+///
+/// Uses a raw `signal(2)` registration to stay dependency-free; the handler
+/// only performs an atomic store, which is async-signal-safe.
+#[cfg(unix)]
+fn install_ctrl_c(token: &CancelToken) {
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGPIPE: i32 = 13;
+    const SIG_DFL: usize = 0;
+    extern "C" fn on_sigint(_: i32) {
+        if let Some(t) = CANCEL.get() {
+            t.cancel();
+        }
+    }
+    if CANCEL.set(token.clone()).is_ok() {
+        unsafe {
+            signal(SIGINT, on_sigint as *const () as usize);
+            // Since we survive Ctrl-C, a piped consumer (`… | head`) may be
+            // gone by the time partial results are printed. Restore the
+            // default SIGPIPE disposition (Rust ignores it at startup) so a
+            // closed pipe ends the process quietly instead of panicking.
+            signal(SIGPIPE, SIG_DFL);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+fn install_ctrl_c(_token: &CancelToken) {}
 
 struct Options {
     corpus: String,
@@ -41,13 +87,14 @@ struct Options {
     highlight: bool,
     paths: bool,
     stats: bool,
+    deadline_ms: Option<u64>,
 }
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: flexpath-cli <corpus.xml> '<query>' [--k N] [--algorithm dpo|sso|hybrid]\n\
          \x20                [--scheme structure|keyword|combined] [--explain] [--xml]\n\
-         \x20                [--snippet N] [--stats]"
+         \x20                [--snippet N] [--stats] [--deadline-ms N]"
     );
     ExitCode::from(2)
 }
@@ -68,6 +115,7 @@ fn parse_args() -> Result<Options, ExitCode> {
         highlight: false,
         paths: false,
         stats: false,
+        deadline_ms: None,
     };
     let mut i = 0;
     while i < args.len() {
@@ -103,6 +151,14 @@ fn parse_args() -> Result<Options, ExitCode> {
                     .get(i)
                     .and_then(|s| s.parse().ok())
                     .ok_or_else(usage)?;
+            }
+            "--deadline-ms" => {
+                i += 1;
+                opts.deadline_ms = Some(
+                    args.get(i)
+                        .and_then(|s| s.parse().ok())
+                        .ok_or_else(usage)?,
+                );
             }
             "--explain" => opts.explain = true,
             "--plan" => opts.plan = true,
@@ -144,37 +200,50 @@ fn main() -> ExitCode {
         }
     };
 
-    let query = match flex.query(&opts.query) {
-        Ok(q) => q,
-        Err(e) => {
+    let (query, tpq) = match (flex.query(&opts.query), flexpath::parse_query(&opts.query)) {
+        (Ok(q), Ok(t)) => (q, t),
+        (Err(e), _) => {
+            eprintln!("bad query: {e}");
+            return ExitCode::FAILURE;
+        }
+        (_, Err(e)) => {
             eprintln!("bad query: {e}");
             return ExitCode::FAILURE;
         }
     };
 
     if opts.explain {
-        let tpq = flexpath::parse_query(&opts.query).expect("validated above");
         print!("{}", explain_schedule(flex.context(), &tpq, 32));
         println!();
     }
     if opts.plan {
-        let tpq = flexpath::parse_query(&opts.query).expect("validated above");
         print!("{}", explain_plan(flex.context(), &tpq, 32));
         println!();
     }
 
-
-    let results = query
+    let cancel = CancelToken::new();
+    install_ctrl_c(&cancel);
+    let mut query = query
         .top(opts.k)
         .algorithm(opts.algorithm)
         .scheme(opts.scheme)
-        .execute();
+        .cancel(cancel);
+    if let Some(ms) = opts.deadline_ms {
+        query = query.deadline(Duration::from_millis(ms));
+    }
+    let results = query.execute();
 
+    if !results.is_complete() {
+        println!("note: search interrupted ({})", results.completeness);
+    }
     if results.hits.is_empty() {
-        println!("no answers (even after relaxation)");
+        if results.is_complete() {
+            println!("no answers (even after relaxation)");
+        } else {
+            println!("no answers found before the search was interrupted");
+        }
         return ExitCode::SUCCESS;
     }
-    let tpq = flexpath::parse_query(&opts.query).expect("validated above");
     for (rank, hit) in results.hits.iter().enumerate() {
         println!("#{:<3} {}", rank + 1, explain_answer(flex.context(), hit));
         if opts.paths {

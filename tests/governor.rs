@@ -1,0 +1,228 @@
+//! Resource-governor contract: deadlines, budgets, and cross-thread
+//! cancellation degrade gracefully to best-effort top-K results instead of
+//! panicking or running away — and DPO's partial results are exact rank
+//! prefixes of the unbounded run (Theorem 3; see DESIGN.md, "Resource
+//! governance & partial results").
+
+use flexpath::{
+    Algorithm, CancelToken, Completeness, ExhaustReason, FleXPath, QueryLimits,
+};
+use flexpath_xmark::{generate, XmarkConfig};
+use std::sync::OnceLock;
+use std::time::{Duration, Instant};
+
+/// The paper's Section 6 scale point: a ~10MB XMark document, generated
+/// once and shared by every test in this file.
+fn big_session() -> &'static FleXPath {
+    static SESSION: OnceLock<FleXPath> = OnceLock::new();
+    SESSION.get_or_init(|| {
+        FleXPath::new(generate(&XmarkConfig::sized(10 * 1024 * 1024, 42)))
+    })
+}
+
+const XQ3: &str = "//item[./description/parlist/listitem and ./mailbox/mail/text[./bold and ./keyword and ./emph] and ./name and ./incategory]";
+
+#[test]
+fn one_ms_deadline_returns_exhausted_prefix_of_unbounded_dpo_run() {
+    let flex = big_session();
+    let unbounded = flex
+        .query(XQ3)
+        .unwrap()
+        .top(100)
+        .algorithm(Algorithm::Dpo)
+        .execute();
+    assert!(unbounded.is_complete());
+    assert!(!unbounded.hits.is_empty());
+
+    let bounded = flex
+        .query(XQ3)
+        .unwrap()
+        .top(100)
+        .algorithm(Algorithm::Dpo)
+        .deadline(Duration::from_millis(1))
+        .execute();
+    // 1ms is not enough to finish a 100-answer search over 10MB: the run
+    // must report exhaustion, not hang or panic.
+    match bounded.completeness {
+        Completeness::Exhausted { reason, .. } => {
+            assert_eq!(reason, ExhaustReason::Deadline)
+        }
+        Completeness::Complete => panic!("1ms deadline cannot complete XQ3 at k=100"),
+    }
+    // Prefix property: whatever the bounded run returned is exactly the
+    // leading slice of the unbounded ranking (completed DPO rounds only).
+    assert!(bounded.hits.len() < unbounded.hits.len());
+    assert_eq!(
+        bounded.nodes(),
+        unbounded.nodes()[..bounded.hits.len()].to_vec(),
+        "deadline-bounded DPO answers must be a rank prefix of the unbounded run"
+    );
+}
+
+#[test]
+fn deadline_partial_results_are_prefixes_at_every_cutoff() {
+    let flex = big_session();
+    let unbounded = flex
+        .query(XQ3)
+        .unwrap()
+        .top(60)
+        .algorithm(Algorithm::Dpo)
+        .execute();
+    // Sample several deadlines: every partial result, wherever the clock
+    // happened to cut the round loop, must be a prefix.
+    for us in [200, 1_000, 5_000, 20_000] {
+        let bounded = flex
+            .query(XQ3)
+            .unwrap()
+            .top(60)
+            .algorithm(Algorithm::Dpo)
+            .deadline(Duration::from_micros(us))
+            .execute();
+        assert!(
+            bounded.hits.len() <= unbounded.hits.len(),
+            "deadline={us}µs produced more answers than the unbounded run"
+        );
+        assert_eq!(
+            bounded.nodes(),
+            unbounded.nodes()[..bounded.hits.len()].to_vec(),
+            "deadline={us}µs result is not a prefix"
+        );
+    }
+}
+
+#[test]
+fn cross_thread_cancellation_stops_within_50ms() {
+    let flex = big_session();
+    let cancel = CancelToken::new();
+    let token = cancel.clone();
+    let worker = std::thread::spawn(move || {
+        big_session()
+            .query(XQ3)
+            .unwrap()
+            .top(500)
+            .algorithm(Algorithm::Dpo)
+            .cancel(token)
+            .execute()
+    });
+    // Let the query get properly underway before pulling the plug.
+    std::thread::sleep(Duration::from_millis(20));
+    let cancelled_at = Instant::now();
+    cancel.cancel();
+    let result = worker.join().expect("worker must not panic");
+    let latency = cancelled_at.elapsed();
+    assert!(
+        latency < Duration::from_millis(50),
+        "cancellation took {latency:?} (limit 50ms)"
+    );
+    // Either the query finished before the cancel landed, or it reports it.
+    if let Completeness::Exhausted { reason, .. } = result.completeness {
+        assert_eq!(reason, ExhaustReason::Cancelled);
+    }
+    let _ = flex;
+}
+
+#[test]
+fn zero_budgets_return_exhausted_without_panicking() {
+    let flex = big_session();
+    for alg in [Algorithm::Dpo, Algorithm::Sso, Algorithm::Hybrid] {
+        let r = flex
+            .query(XQ3)
+            .unwrap()
+            .top(10)
+            .algorithm(alg)
+            .limits(QueryLimits::default().with_max_candidate_answers(0))
+            .execute();
+        assert!(r.hits.is_empty(), "{alg}: zero answer budget admits nothing");
+        assert!(
+            matches!(
+                r.completeness,
+                Completeness::Exhausted {
+                    reason: ExhaustReason::AnswerBudget,
+                    ..
+                }
+            ),
+            "{alg}: got {:?}",
+            r.completeness
+        );
+    }
+}
+
+#[test]
+fn postings_budget_trips_with_the_right_reason() {
+    let flex = big_session();
+    let r = flex
+        .query("//item[./description[.contains(\"gold\")]]")
+        .unwrap()
+        .top(10)
+        .algorithm(Algorithm::Dpo)
+        .limits(QueryLimits::default().with_max_ft_postings_scanned(1))
+        .execute();
+    match r.completeness {
+        Completeness::Exhausted { reason, .. } => {
+            assert_eq!(reason, ExhaustReason::PostingsBudget)
+        }
+        Completeness::Complete => {
+            panic!("a 1-posting budget cannot cover a 10MB index scan")
+        }
+    }
+}
+
+#[test]
+fn relaxation_enumeration_cap_reports_remaining_work() {
+    let flex = big_session();
+    // Force relaxation (k far beyond the exact answer universe — there are
+    // fewer items than this in the whole document) but forbid any
+    // relaxation from being enumerated.
+    let r = flex
+        .query(XQ3)
+        .unwrap()
+        .top(1_000_000)
+        .algorithm(Algorithm::Dpo)
+        .limits(QueryLimits::default().with_max_relaxations_enumerated(0))
+        .execute();
+    match r.completeness {
+        Completeness::Exhausted {
+            reason,
+            relaxations_explored,
+            relaxations_remaining_estimate,
+        } => {
+            assert_eq!(reason, ExhaustReason::RelaxationBudget);
+            assert_eq!(relaxations_explored, 0);
+            assert!(relaxations_remaining_estimate > 0);
+        }
+        Completeness::Complete => panic!("k=1M over XQ3 requires relaxations"),
+    }
+    // The exact round still ran: any answers returned are exact matches.
+    for h in &r.hits {
+        assert_eq!(h.relaxation_level, 0);
+    }
+}
+
+#[test]
+fn unlimited_limits_report_complete_across_algorithms() {
+    let flex = big_session();
+    for alg in [Algorithm::Dpo, Algorithm::Sso, Algorithm::Hybrid] {
+        let r = flex
+            .query("//item[./description/parlist]")
+            .unwrap()
+            .top(5)
+            .algorithm(alg)
+            .execute();
+        assert!(r.is_complete(), "{alg}");
+        assert_eq!(r.hits.len(), 5, "{alg}");
+    }
+}
+
+#[test]
+fn generous_deadline_matches_the_unbounded_run_exactly() {
+    let flex = big_session();
+    let unbounded = flex.query(XQ3).unwrap().top(20).execute();
+    let bounded = flex
+        .query(XQ3)
+        .unwrap()
+        .top(20)
+        .deadline(Duration::from_secs(600))
+        .execute();
+    assert!(bounded.is_complete());
+    assert_eq!(bounded.nodes(), unbounded.nodes());
+}

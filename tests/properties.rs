@@ -1,5 +1,5 @@
-//! Property-based tests over random documents and random queries:
-//! the empirical side of Theorems 2 and 3.
+//! Randomized (seeded, deterministic) tests over random documents and
+//! random queries: the empirical side of Theorems 2 and 3.
 //!
 //! * **Soundness** — for every applicable operator, `answers(Q) ⊆
 //!   answers(op(Q))`, verified by actual evaluation (not just the
@@ -9,56 +9,64 @@
 //! * **Algorithm agreement** — DPO, SSO, and Hybrid return consistent
 //!   top-K answer sets.
 //! * **Relevance** — relaxed answers never outscore exact ones.
+//!
+//! Each test drives its cases from a fixed-seed internal PRNG, so failures
+//! reproduce exactly and no external property-testing framework is needed.
 
 use flexpath::{Algorithm, FleXPath, RankingScheme};
 use flexpath_engine::{full_encoding_topk, rewrite_enumeration_topk, TopKRequest};
 use flexpath_tpq::{applicable_ops, apply_op, Tpq, TpqBuilder};
-use proptest::prelude::*;
+use flexpath_xmark::rng::{Rng, SeedableRng, StdRng};
 
 const TAGS: [&str; 5] = ["a", "b", "c", "d", "e"];
 const WORDS: [&str; 4] = ["gold", "silver", "vintage", "auction"];
+const CASES: u64 = 48;
 
 /// A random XML tree, rendered directly to a string.
-fn arb_doc() -> impl Strategy<Value = String> {
-    let leaf = (0usize..WORDS.len()).prop_map(|w| WORDS[w].to_string());
-    let tree = leaf.prop_recursive(4, 24, 4, |inner| {
-        (0usize..TAGS.len(), prop::collection::vec(inner, 0..4)).prop_map(|(t, kids)| {
-            let tag = TAGS[t];
-            if kids.is_empty() {
-                format!("<{tag}/>")
-            } else {
-                format!("<{tag}>{}</{tag}>", kids.join(""))
+fn random_doc(rng: &mut StdRng) -> String {
+    fn subtree(rng: &mut StdRng, depth: u32, out: &mut String) {
+        if depth >= 4 || rng.gen_bool(0.25) {
+            out.push_str(WORDS[rng.gen_range(0..WORDS.len())]);
+            return;
+        }
+        let tag = TAGS[rng.gen_range(0..TAGS.len())];
+        let kids = rng.gen_range(0..4usize);
+        if kids == 0 {
+            out.push_str(&format!("<{tag}/>"));
+        } else {
+            out.push_str(&format!("<{tag}>"));
+            for _ in 0..kids {
+                subtree(rng, depth + 1, out);
             }
-        })
-    });
-    tree.prop_map(|body| format!("<root>{body}</root>"))
+            out.push_str(&format!("</{tag}>"));
+        }
+    }
+    let mut body = String::new();
+    subtree(rng, 0, &mut body);
+    format!("<root>{body}</root>")
 }
 
 /// A random small TPQ rooted at a random tag.
-fn arb_query() -> impl Strategy<Value = Tpq> {
-    (
-        0usize..TAGS.len(),
-        prop::collection::vec((0usize..TAGS.len(), any::<bool>(), 0usize..3), 1..4),
-        prop::option::of(0usize..WORDS.len()),
-    )
-        .prop_map(|(root_tag, nodes, contains_word)| {
-            let mut b = TpqBuilder::new(TAGS[root_tag]);
-            let mut created = vec![0usize];
-            for (tag, is_child, parent_pick) in nodes {
-                let parent = created[parent_pick % created.len()];
-                let idx = if is_child {
-                    b.child(parent, TAGS[tag])
-                } else {
-                    b.descendant(parent, TAGS[tag])
-                };
-                created.push(idx);
-            }
-            if let Some(w) = contains_word {
-                let target = *created.last().unwrap();
-                b.add_contains(target, flexpath::FtExpr::term(WORDS[w]));
-            }
-            b.build()
-        })
+fn random_query(rng: &mut StdRng) -> Tpq {
+    let mut b = TpqBuilder::new(TAGS[rng.gen_range(0..TAGS.len())]);
+    let mut created = vec![0usize];
+    let nodes = rng.gen_range(1..4usize);
+    for _ in 0..nodes {
+        let tag = TAGS[rng.gen_range(0..TAGS.len())];
+        let parent = created[rng.gen_range(0..created.len())];
+        let idx = if rng.gen_bool(0.5) {
+            b.child(parent, tag)
+        } else {
+            b.descendant(parent, tag)
+        };
+        created.push(idx);
+    }
+    if rng.gen_bool(0.5) {
+        let target = *created.last().unwrap();
+        let word = WORDS[rng.gen_range(0..WORDS.len())];
+        b.add_contains(target, flexpath::FtExpr::term(word));
+    }
+    b.build()
 }
 
 /// Evaluates a TPQ exactly (no relaxation) and returns its answer set.
@@ -73,85 +81,111 @@ fn exact_answers(flex: &FleXPath, q: &Tpq) -> Vec<flexpath::NodeId> {
     r
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+/// Runs `body` over `CASES` deterministic (doc, query) pairs.
+fn for_cases(seed: u64, mut body: impl FnMut(&mut StdRng, &str, &Tpq)) {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed ^ (case.wrapping_mul(0x9E37_79B9)));
+        let xml = random_doc(&mut rng);
+        let q = random_query(&mut rng);
+        body(&mut rng, &xml, &q);
+    }
+}
 
-    #[test]
-    fn operators_are_sound_under_evaluation(xml in arb_doc(), q in arb_query()) {
-        let flex = FleXPath::from_xml(&xml).unwrap();
-        let base = exact_answers(&flex, &q);
-        for op in applicable_ops(&q) {
-            let relaxed = apply_op(&q, &op).unwrap();
+#[test]
+fn operators_are_sound_under_evaluation() {
+    for_cases(0xA11CE, |_, xml, q| {
+        let flex = FleXPath::from_xml(xml).unwrap();
+        let base = exact_answers(&flex, q);
+        for op in applicable_ops(q) {
+            let relaxed = apply_op(q, &op).unwrap();
             let more = exact_answers(&flex, &relaxed);
             for n in &base {
-                prop_assert!(
+                assert!(
                     more.contains(n),
-                    "{op} lost answer {n} (query {}, doc {xml})",
+                    "{op} lost answer {n:?} (query {}, doc {xml})",
                     q.to_xpath()
                 );
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn relaxation_only_adds_answers_along_the_schedule(
-        xml in arb_doc(),
-        q in arb_query(),
-    ) {
-        let flex = FleXPath::from_xml(&xml).unwrap();
+#[test]
+fn relaxation_only_adds_answers_along_the_schedule() {
+    for_cases(0xB0B, |_, xml, q| {
+        let flex = FleXPath::from_xml(xml).unwrap();
         // Run with generous K and full relaxation: the result must contain
         // every exact answer, all carrying the maximal score.
-        let exact = exact_answers(&flex, &q);
-        let full = flex
-            .query_tpq(q.clone())
-            .top(10_000)
-            .execute();
+        let exact = exact_answers(&flex, q);
+        let full = flex.query_tpq(q.clone()).top(10_000).execute();
         let full_nodes: Vec<_> = full.nodes();
         for n in &exact {
-            prop_assert!(full_nodes.contains(n), "exact answer {n} missing");
+            assert!(full_nodes.contains(n), "exact answer {n:?} missing");
         }
         if !exact.is_empty() {
             let best = full.hits[0].score.ss;
             for h in &full.hits {
                 if exact.contains(&h.node) {
-                    prop_assert!((h.score.ss - best).abs() < 1e-9,
-                        "exact answer scored below maximum");
+                    assert!(
+                        (h.score.ss - best).abs() < 1e-9,
+                        "exact answer scored below maximum"
+                    );
                 }
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn sso_and_hybrid_agree(xml in arb_doc(), q in arb_query(), k in 1usize..8) {
-        let flex = FleXPath::from_xml(&xml).unwrap();
-        let s = flex.query_tpq(q.clone()).top(k).algorithm(Algorithm::Sso).execute();
-        let h = flex.query_tpq(q.clone()).top(k).algorithm(Algorithm::Hybrid).execute();
-        prop_assert_eq!(s.nodes(), h.nodes());
+#[test]
+fn sso_and_hybrid_agree() {
+    for_cases(0xC0FFEE, |rng, xml, q| {
+        let k = rng.gen_range(1..8usize);
+        let flex = FleXPath::from_xml(xml).unwrap();
+        let s = flex
+            .query_tpq(q.clone())
+            .top(k)
+            .algorithm(Algorithm::Sso)
+            .execute();
+        let h = flex
+            .query_tpq(q.clone())
+            .top(k)
+            .algorithm(Algorithm::Hybrid)
+            .execute();
+        assert_eq!(s.nodes(), h.nodes());
         for (a, b) in s.hits.iter().zip(h.hits.iter()) {
-            prop_assert!((a.score.ss - b.score.ss).abs() < 1e-9);
-            prop_assert!((a.score.ks - b.score.ks).abs() < 1e-9);
+            assert!((a.score.ss - b.score.ss).abs() < 1e-9);
+            assert!((a.score.ks - b.score.ks).abs() < 1e-9);
         }
-    }
+    });
+}
 
-    #[test]
-    fn dpo_answer_sets_match_encoded_algorithms(
-        xml in arb_doc(),
-        q in arb_query(),
-        k in 1usize..8,
-    ) {
-        let flex = FleXPath::from_xml(&xml).unwrap();
-        let d = flex.query_tpq(q.clone()).top(k).algorithm(Algorithm::Dpo).execute();
-        let h = flex.query_tpq(q.clone()).top(k).algorithm(Algorithm::Hybrid).execute();
+#[test]
+fn dpo_answer_sets_match_encoded_algorithms() {
+    for_cases(0xD1CE, |rng, xml, q| {
+        let k = rng.gen_range(1..8usize);
+        let flex = FleXPath::from_xml(xml).unwrap();
+        let d = flex
+            .query_tpq(q.clone())
+            .top(k)
+            .algorithm(Algorithm::Dpo)
+            .execute();
+        let h = flex
+            .query_tpq(q.clone())
+            .top(k)
+            .algorithm(Algorithm::Hybrid)
+            .execute();
         // DPO's coarser per-round scores can reorder ties, but the sets of
         // structural scores attainable must agree in size.
-        prop_assert_eq!(d.hits.len(), h.hits.len());
-    }
+        assert_eq!(d.hits.len(), h.hits.len());
+    });
+}
 
-    #[test]
-    fn relevance_exact_answers_never_outscored(xml in arb_doc(), q in arb_query()) {
-        let flex = FleXPath::from_xml(&xml).unwrap();
+#[test]
+fn relevance_exact_answers_never_outscored() {
+    for_cases(0xFACE, |_, xml, q| {
+        let flex = FleXPath::from_xml(xml).unwrap();
         let r = flex.query_tpq(q.clone()).top(10_000).execute();
-        let exact = exact_answers(&flex, &q);
+        let exact = exact_answers(&flex, q);
         let best_exact = r
             .hits
             .iter()
@@ -160,21 +194,22 @@ proptest! {
             .fold(f64::NEG_INFINITY, f64::max);
         if best_exact.is_finite() {
             for h in &r.hits {
-                prop_assert!(h.score.ss <= best_exact + 1e-9,
-                    "relaxed answer outscored exact ones structurally");
+                assert!(
+                    h.score.ss <= best_exact + 1e-9,
+                    "relaxed answer outscored exact ones structurally"
+                );
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn encoded_and_enumerated_strategies_agree_on_answer_sets(
-        xml in arb_doc(),
-        q in arb_query(),
-    ) {
+#[test]
+fn encoded_and_enumerated_strategies_agree_on_answer_sets() {
+    for_cases(0x5EED, |_, xml, q| {
         // Two *independent* evaluation paths: the relaxation-encoded plan
         // (ghost operands + bitsets) vs exhaustive query enumeration with
         // exact evaluation. They must cover the same answer universe.
-        let flex = FleXPath::from_xml(&xml).unwrap();
+        let flex = FleXPath::from_xml(xml).unwrap();
         let req = TopKRequest::new(q.clone(), 10_000);
         let encoded = full_encoding_topk(flex.context(), &req);
         let enumerated = rewrite_enumeration_topk(flex.context(), &req, 5_000);
@@ -184,15 +219,14 @@ proptest! {
         a.dedup();
         b.sort();
         b.dedup();
-        prop_assert_eq!(a, b, "strategies diverge on {} / {}", q.to_xpath(), xml);
-    }
+        assert_eq!(a, b, "strategies diverge on {} / {}", q.to_xpath(), xml);
+    });
+}
 
-    #[test]
-    fn scheme_results_are_permutations_of_each_other_at_full_k(
-        xml in arb_doc(),
-        q in arb_query(),
-    ) {
-        let flex = FleXPath::from_xml(&xml).unwrap();
+#[test]
+fn scheme_results_are_permutations_of_each_other_at_full_k() {
+    for_cases(0xF00D, |_, xml, q| {
+        let flex = FleXPath::from_xml(xml).unwrap();
         let mut sets = Vec::new();
         for scheme in [
             RankingScheme::StructureFirst,
@@ -208,7 +242,7 @@ proptest! {
             nodes.sort();
             sets.push(nodes);
         }
-        prop_assert_eq!(&sets[0], &sets[1]);
-        prop_assert_eq!(&sets[1], &sets[2]);
-    }
+        assert_eq!(&sets[0], &sets[1]);
+        assert_eq!(&sets[1], &sets[2]);
+    });
 }
