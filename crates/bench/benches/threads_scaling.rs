@@ -1,0 +1,34 @@
+//! Thread scaling — the fig09 workload (1 MB, K = 50, Q3) at 1/2/4/8
+//! worker threads for each algorithm.
+//!
+//! The parallel execution is deterministic (see
+//! `flexpath_engine::parallel`): every thread count returns byte-identical
+//! top-K answers, so this bench measures pure wall-clock scaling. On a
+//! single-core host all counts time alike (the scoped workers serialize on
+//! one CPU); run on a multi-core machine to see the fan-out pay off.
+
+use flexpath::Algorithm;
+use flexpath_bench::harness::run_once_threads;
+use flexpath_bench::minibench::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flexpath_bench::{bench_session, XQ3};
+
+fn threads_scaling(c: &mut Criterion) {
+    let flex = bench_session(1 << 20);
+    let mut group = c.benchmark_group("threads_scaling");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4, 8] {
+        for alg in [Algorithm::Dpo, Algorithm::Sso, Algorithm::Hybrid] {
+            group.bench_with_input(
+                BenchmarkId::new(alg.to_string(), format!("T{threads}")),
+                &threads,
+                |b, &t| {
+                    b.iter(|| run_once_threads(&flex, XQ3, 50, alg, t, 1));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, threads_scaling);
+criterion_main!(benches);

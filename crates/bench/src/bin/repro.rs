@@ -102,7 +102,19 @@ fn main() {
     if let Some(path) = json_path {
         let body: Vec<String> = all.iter().map(render_json).collect();
         let json = format!("[{}]", body.join(","));
-        std::fs::write(&path, json).expect("json output writable");
+        // `--json results/run.json` should create `results/`, not error.
+        if let Some(parent) = std::path::Path::new(&path).parent() {
+            if !parent.as_os_str().is_empty() {
+                if let Err(e) = std::fs::create_dir_all(parent) {
+                    eprintln!("cannot create {}: {e}", parent.display());
+                    std::process::exit(1);
+                }
+            }
+        }
+        if let Err(e) = std::fs::write(&path, json) {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        }
         println!("wrote {path}");
     }
 }

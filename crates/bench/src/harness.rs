@@ -5,7 +5,7 @@
 //! (`scale = 1.0`, up to 100 MB).
 
 use crate::workload::{bench_session, QUERIES, XQ2, XQ3};
-use flexpath::{Algorithm, ExecStats, FleXPath};
+use flexpath::{Algorithm, ExecStats, FleXPath, ParallelConfig};
 use std::time::Instant;
 
 /// One timed execution.
@@ -65,7 +65,7 @@ pub struct FigureSpec {
 }
 
 /// All reproducible figures and ablations.
-pub const FIGURES: [FigureSpec; 12] = [
+pub const FIGURES: [FigureSpec; 13] = [
     FigureSpec { id: "fig09", title: "Varying number of relaxations (1MB, K=50): DPO vs SSO" },
     FigureSpec { id: "fig10", title: "Varying K (10MB, Q3): DPO vs SSO" },
     FigureSpec { id: "fig11", title: "Varying document size (K=12, Q2): DPO vs SSO" },
@@ -78,6 +78,7 @@ pub const FIGURES: [FigureSpec; 12] = [
     FigureSpec { id: "ablation_pruning", title: "Ablation: threshold pruning on/off" },
     FigureSpec { id: "ablation_penalty_order", title: "Ablation: penalty-ordered vs reversed DPO schedule" },
     FigureSpec { id: "baselines", title: "Related-work baselines vs DPO/SSO/Hybrid (Section 7 strategies)" },
+    FigureSpec { id: "threads_scaling", title: "Thread scaling (fig09/fig10 workloads): 1/2/4/8 workers, identical ranking" },
 ];
 
 const MB: usize = 1 << 20;
@@ -117,6 +118,80 @@ pub fn run_once(
         shifts: stats.sorted_insert_shifts,
         buckets: stats.buckets,
         note: String::new(),
+    }
+}
+
+/// Like [`run_once`] but with an explicit worker-thread count. The ranking
+/// is identical at every count (see `flexpath_engine::parallel`), so this
+/// measures wall-clock only; the record's note carries the thread count.
+pub fn run_once_threads(
+    flex: &FleXPath,
+    query: &str,
+    k: usize,
+    algorithm: Algorithm,
+    threads: usize,
+    repeats: usize,
+) -> RunRecord {
+    let mut times = Vec::with_capacity(repeats.max(1));
+    let mut answers = 0usize;
+    let mut stats = ExecStats::default();
+    for _ in 0..repeats.max(1) {
+        let t = Instant::now();
+        let r = flex
+            .query(query)
+            .expect("benchmark query parses")
+            .top(k)
+            .algorithm(algorithm)
+            .parallel(ParallelConfig::with_threads(threads))
+            .execute();
+        times.push(t.elapsed().as_secs_f64() * 1e3);
+        answers = r.hits.len();
+        stats = r.stats;
+    }
+    times.sort_by(f64::total_cmp);
+    RunRecord {
+        algorithm: algorithm.to_string(),
+        millis: times[times.len() / 2],
+        answers,
+        relaxations: stats.relaxations_used,
+        evaluations: stats.evaluations,
+        intermediates: stats.intermediate_answers,
+        shifts: stats.sorted_insert_shifts,
+        buckets: stats.buckets,
+        note: format!("{threads} thread(s)"),
+    }
+}
+
+/// Thread-scaling series on the fig09 and fig10 workloads: the same query
+/// run at 1/2/4/8 worker threads for each algorithm. Every cell returns the
+/// same answers in the same order; only wall-clock varies (and only on
+/// multi-core hosts — see EXPERIMENTS.md for the single-core caveat).
+fn threads_scaling(scale: f64, repeats: usize) -> Series {
+    use Algorithm::{Dpo, Hybrid, Sso};
+    const THREADS: [usize; 4] = [1, 2, 4, 8];
+    let workloads = [
+        ("fig09 wl (1MB, K=50, Q3)", scaled(1.0, scale), 50usize),
+        ("fig10 wl (10MB, K=500, Q3)", scaled(10.0, scale), 500),
+    ];
+    let mut rows = Vec::new();
+    for (label, bytes, k) in workloads {
+        let flex = bench_session(bytes);
+        for t in THREADS {
+            rows.push(SeriesRow {
+                x: format!("{label}, T={t}"),
+                records: [Dpo, Sso, Hybrid]
+                    .iter()
+                    .map(|&alg| run_once_threads(&flex, XQ3, k, alg, t, repeats))
+                    .collect(),
+            });
+        }
+    }
+    Series {
+        id: "threads_scaling".into(),
+        title: "Thread scaling — 1/2/4/8 workers, fig09/fig10 workloads (ranking identical)".into(),
+        x_label: "workload, worker threads".into(),
+        algorithms: vec!["DPO".into(), "SSO".into(), "Hybrid".into()],
+        rows,
     }
 }
 
@@ -300,6 +375,7 @@ pub fn run_figure(id: &str, scale: f64, repeats: usize) -> Option<Series> {
             &[Sso, Hybrid],
             repeats,
         ),
+        "threads_scaling" => threads_scaling(scale, repeats),
         "baselines" => crate::harness::ablations::baselines(scale, repeats),
         "ablation_buckets" => crate::harness::ablations::buckets(scale, repeats),
         "ablation_pruning" => crate::harness::ablations::pruning(scale, repeats),

@@ -22,5 +22,5 @@ pub mod minibench;
 pub mod report;
 pub mod workload;
 
-pub use harness::{run_figure, run_once, FigureSpec, RunRecord, Series};
+pub use harness::{run_figure, run_once, run_once_threads, FigureSpec, RunRecord, Series};
 pub use workload::{bench_config, bench_session, QUERIES, XQ1, XQ2, XQ3};

@@ -50,6 +50,14 @@ impl BenchmarkId {
     }
 }
 
+// Criterion's `bench_function` takes `impl IntoBenchmarkId`, which a
+// `BenchmarkId` satisfies; the shim's Display bound needs this to match.
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
 /// A group of benchmarks sharing a sample size.
 #[derive(Debug)]
 pub struct BenchmarkGroup {

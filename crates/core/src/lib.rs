@@ -49,6 +49,10 @@
 //! This crate re-exports the pieces a downstream user needs and adds the
 //! session/query-builder API plus human-readable explanations.
 
+// The facade is the public surface downstream users read first — every
+// exported item must carry a doc comment.
+#![deny(missing_docs)]
+
 pub mod explain;
 pub mod session;
 
@@ -58,8 +62,8 @@ pub use session::{FleXPath, QueryResults, TopKQuery};
 // Re-exports for downstream users.
 pub use flexpath_engine::{
     Algorithm, Answer, AnswerScore, AttrRelaxation, CancelToken, Completeness,
-    EngineError, ExecStats, ExhaustReason, QueryLimits, RankingScheme, TagHierarchy,
-    WeightAssignment,
+    EngineError, ExecStats, ExhaustReason, ParallelConfig, QueryLimits, RankingScheme,
+    TagHierarchy, WeightAssignment,
 };
 pub use flexpath_ftsearch::{FtExpr, Thesaurus};
 pub use flexpath_tpq::{parse_query, parse_query_weighted, QueryParseError, RelaxOp, Tpq, TpqBuilder};

@@ -6,19 +6,19 @@
 //! the document in order to obtain counts of the various types of nodes and
 //! edges").
 
-use flexpath_ftsearch::{Budget, FtEval, FtExpr, InvertedIndex, ScoringModel};
+use flexpath_ftsearch::{Budget, FtEval, FtExpr, InvertedIndex, ScoringModel, ShardedCache};
 use flexpath_xmldom::{Document, DocStats, NodeId, Sym};
-use std::collections::HashMap;
-use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::sync::Arc;
 
 /// Owns one document plus every auxiliary structure the engine needs.
 pub struct EngineContext {
     doc: Document,
     stats: DocStats,
     index: InvertedIndex,
-    /// Memoized full-text evaluations, keyed by expression. Guarded by a
-    /// read-write lock so one context can serve queries from many threads.
-    ft_cache: RwLock<HashMap<FtExpr, Arc<FtEval>>>,
+    /// Memoized full-text evaluations, keyed by expression. Sharded and
+    /// lock-striped so the parallel top-K workers — and concurrent queries
+    /// sharing one session — probe it without serializing on a single lock.
+    ft_cache: ShardedCache<FtExpr, FtEval>,
 }
 
 impl EngineContext {
@@ -30,7 +30,7 @@ impl EngineContext {
             doc,
             stats,
             index,
-            ft_cache: RwLock::new(HashMap::new()),
+            ft_cache: ShardedCache::default(),
         }
     }
 
@@ -54,14 +54,8 @@ impl EngineContext {
     /// across relaxation rounds — is evaluated once (the "optimize repeated
     /// computation" goal of Section 1).
     pub fn ft_eval(&self, expr: &FtExpr) -> Arc<FtEval> {
-        if let Some(hit) = self.cache_read().get(expr) {
-            return hit.clone();
-        }
-        let eval = Arc::new(self.index.evaluate(&self.doc, expr));
-        self.cache_write()
-            .entry(expr.clone())
-            .or_insert(eval)
-            .clone()
+        self.ft_cache
+            .get_or_insert_with(expr, || self.index.evaluate(&self.doc, expr))
     }
 
     /// [`ft_eval`](Self::ft_eval) under a resource [`Budget`].
@@ -73,8 +67,8 @@ impl EngineContext {
         if !budget.is_limited() {
             return self.ft_eval(expr);
         }
-        if let Some(hit) = self.cache_read().get(expr) {
-            return hit.clone();
+        if let Some(hit) = self.ft_cache.get(expr) {
+            return hit;
         }
         let eval = Arc::new(self.index.evaluate_budgeted(
             &self.doc,
@@ -85,25 +79,12 @@ impl EngineContext {
         if budget.tripped().is_some() {
             return eval;
         }
-        self.cache_write()
-            .entry(expr.clone())
-            .or_insert(eval)
-            .clone()
+        self.ft_cache.insert_if_absent(expr, eval)
     }
 
     /// Number of cached full-text evaluations (for tests/stats).
     pub fn ft_cache_size(&self) -> usize {
-        self.cache_read().len()
-    }
-
-    // Poison-tolerant lock access: the cache holds only memoized pure
-    // computations, so a panic mid-insert cannot leave it inconsistent.
-    fn cache_read(&self) -> RwLockReadGuard<'_, HashMap<FtExpr, Arc<FtEval>>> {
-        self.ft_cache.read().unwrap_or_else(|e| e.into_inner())
-    }
-
-    fn cache_write(&self) -> RwLockWriteGuard<'_, HashMap<FtExpr, Arc<FtEval>>> {
-        self.ft_cache.write().unwrap_or_else(|e| e.into_inner())
+        self.ft_cache.len()
     }
 
     /// Resolves a query tag name against the document's symbol table.

@@ -11,12 +11,29 @@
 //! Recomputation avoidance (Section 5.2.2): answers found in earlier rounds
 //! are remembered and skipped, so each round only surfaces the *delta* its
 //! relaxation admitted.
+//!
+//! ## Parallel rounds
+//!
+//! With [`ParallelConfig::is_parallel`] set, DPO evaluates the next
+//! `threads` rounds *speculatively* as one batch, one worker per round —
+//! Theorem 3 makes round deltas independent of each other, so evaluating
+//! round `r+1` before round `r` has committed changes nothing. The merge
+//! then replays the batch strictly in round order: per-round stop conditions
+//! are re-applied against the committed state, cross-round duplicates are
+//! filtered exactly as the sequential loop would, and rounds past a stop
+//! point are discarded as wasted speculation. Committed state is therefore
+//! identical at every thread count; only the `evaluations`-style *work*
+//! counters remain those of the committed rounds. If the shared budget trips
+//! anywhere in a batch, the whole batch is discarded — the committed
+//! answers stay an exact per-round prefix of the unbounded run, the same
+//! guarantee the sequential path gives for its single aborted round.
 
 use crate::context::EngineContext;
 use crate::encode::EncodedQuery;
-use crate::exec::evaluate_encoded_budgeted;
+use crate::exec::{evaluate_encoded_budgeted, evaluate_encoded_parallel};
 use crate::governor::{Completeness, ExhaustReason};
-use crate::schedule::build_schedule_budgeted;
+use crate::parallel::{fan_out, ParallelConfig};
+use crate::schedule::build_schedule_parallel;
 use crate::score::{PenaltyModel, RankingScheme};
 use crate::topk::{sort_answers, Answer, ExecStats, TopKRequest, TopKResult};
 use std::collections::HashSet;
@@ -30,12 +47,13 @@ use std::collections::HashSet;
 pub fn dpo_topk(ctx: &EngineContext, request: &TopKRequest) -> TopKResult {
     let budget = request.limits.budget(request.cancel.clone());
     let model = PenaltyModel::new(&request.query, request.weights.clone());
-    let mut schedule = build_schedule_budgeted(
+    let mut schedule = build_schedule_parallel(
         ctx,
         &model,
         &request.query,
         request.max_relaxation_steps,
         &budget,
+        &request.parallel,
     );
     // `max_relaxations_enumerated` bounds the schedule itself; remember how
     // much was cut so the completeness report can estimate remaining work.
@@ -57,106 +75,156 @@ pub fn dpo_topk(ctx: &EngineContext, request: &TopKRequest) -> TopKResult {
     // Rounds whose deltas were fully committed (round 0 = the exact query).
     let mut completed_rounds = 0usize;
 
-    for round in 0..=schedule.len() {
+    // Stop before evaluating (or committing) a round that cannot contribute
+    // to the top K.
+    let should_stop = |answers: &[Answer], ss_at_k: Option<f64>, round_ss: f64| -> bool {
+        if answers.len() < request.k {
+            return false;
+        }
+        match request.scheme {
+            RankingScheme::StructureFirst => {
+                // Later rounds have ss ≤ previous; only exact ties could
+                // still matter, and the schedule's penalties are ≥ 0, so
+                // a strictly lower ss ends the search.
+                let kth_ss = answers.iter().map(|a| a.score.ss).fold(f64::MAX, f64::min);
+                round_ss < kth_ss
+            }
+            RankingScheme::Combined => {
+                // Section 5.1: no answer of a relaxation with
+                // ss_j ≤ ss_i − m can reach the top K (ks ≤ m).
+                ss_at_k.is_some_and(|ssk| round_ss <= ssk - m)
+            }
+            RankingScheme::KeywordFirst => {
+                // "All relaxations need to be encoded": an answer with
+                // the worst structural score might still lead on ks.
+                false
+            }
+        }
+    };
+    let round_ss_of = |r: usize| {
+        if r == 0 {
+            base_ss
+        } else {
+            schedule[r - 1].ss_after
+        }
+    };
+
+    let total_rounds = schedule.len() + 1;
+    let mut next_round = 0usize;
+    'rounds: while next_round < total_rounds {
         if budget.check_now() {
             break;
         }
-        let round_query = if round == 0 {
-            request.query.clone()
-        } else {
-            schedule[round - 1].query.clone()
-        };
-        let round_ss = if round == 0 {
-            base_ss
-        } else {
-            schedule[round - 1].ss_after
-        };
-
-        // Stop before evaluating a round that cannot contribute to the
-        // top K.
-        if answers.len() >= request.k {
-            match request.scheme {
-                RankingScheme::StructureFirst => {
-                    // Later rounds have ss ≤ previous; only exact ties could
-                    // still matter, and the schedule's penalties are ≥ 0, so
-                    // a strictly lower ss ends the search.
-                    let kth_ss = answers[..].iter().map(|a| a.score.ss).fold(f64::MAX, f64::min);
-                    if round_ss < kth_ss {
-                        break;
-                    }
-                }
-                RankingScheme::Combined => {
-                    // Section 5.1: no answer of a relaxation with
-                    // ss_j ≤ ss_i − m can reach the top K (ks ≤ m).
-                    if let Some(ssk) = ss_at_k {
-                        if round_ss <= ssk - m {
-                            break;
-                        }
-                    }
-                }
-                RankingScheme::KeywordFirst => {
-                    // "All relaxations need to be encoded": an answer with
-                    // the worst structural score might still lead on ks.
-                }
-            }
-        }
-
-        // Evaluate this round's query exactly (the off-the-shelf-engine
-        // path), skipping answers already produced by earlier rounds.
-        let enc = EncodedQuery::build_full_budgeted(
-            ctx,
-            &model,
-            &round_query,
-            &[],
-            request.hierarchy.as_ref(),
-            request.attr_relaxation,
-            &budget,
-        );
-        stats.evaluations += 1;
-        stats.relaxations_used = round;
-        // Collect this round's delta separately so a budget trip mid-round
-        // can discard it wholesale, keeping the committed answers an exact
-        // per-round prefix of the unbounded run.
-        let mut round_delta: Vec<Answer> = Vec::new();
-        let mut round_seen: HashSet<flexpath_xmldom::NodeId> = HashSet::new();
-        evaluate_encoded_budgeted(ctx, &enc, request.scheme, &budget, |a| {
-            stats.intermediate_answers += 1;
-            if !seen.contains(&a.node) && round_seen.insert(a.node) {
-                // With the hierarchy extension the per-answer score already
-                // reflects unsatisfied exact-tag predicates; carry that
-                // deficit over to the round's compile-time score.
-                let tag_deficit = enc.base_ss - a.score.ss;
-                round_delta.push(Answer {
-                    node: a.node,
-                    score: crate::score::AnswerScore {
-                        ss: round_ss - tag_deficit,
-                        ks: a.score.ks,
-                    },
-                    satisfied: a.satisfied,
-                    relaxation_level: round,
-                });
-            }
-        });
-        if budget.tripped().is_some() {
-            // Partial round: discard its delta entirely (Theorem 3 prefix
-            // correctness — committed rounds depend only on their endpoint
-            // queries, not on how far the aborted round got).
+        if should_stop(&answers, ss_at_k, round_ss_of(next_round)) {
             break;
         }
-        seen.extend(round_delta.iter().map(|a| a.node));
-        answers.append(&mut round_delta);
-        completed_rounds = round + 1;
+        // Speculative batch: the next `threads` rounds, one worker each
+        // (one round evaluated inline when sequential). A batch of one
+        // instead parallelizes *within* the round, over its candidates.
+        let batch = request
+            .parallel
+            .workers_for_rounds(total_rounds - next_round)
+            .min(total_rounds - next_round);
+        let within_round = if batch == 1 {
+            request.parallel
+        } else {
+            ParallelConfig::sequential()
+        };
+        // Evaluate each round of the batch against the ORIGINAL `seen` set:
+        // workers dedup only within their own round; the cross-round filter
+        // happens at merge time, in round order, exactly as the sequential
+        // loop interleaves it.
+        let evaluated: Vec<(Vec<Answer>, u64)> = fan_out(batch, batch, |bi| {
+            let round = next_round + bi;
+            let round_query = if round == 0 {
+                request.query.clone()
+            } else {
+                schedule[round - 1].query.clone()
+            };
+            let round_ss = round_ss_of(round);
+            // Evaluate this round's query exactly (the off-the-shelf-engine
+            // path).
+            let enc = EncodedQuery::build_full_budgeted(
+                ctx,
+                &model,
+                &round_query,
+                &[],
+                request.hierarchy.as_ref(),
+                request.attr_relaxation,
+                &budget,
+            );
+            let mut round_delta: Vec<Answer> = Vec::new();
+            let mut round_seen: HashSet<flexpath_xmldom::NodeId> = HashSet::new();
+            let mut intermediates = 0u64;
+            let mut on_answer = |a: Answer| {
+                intermediates += 1;
+                if round_seen.insert(a.node) {
+                    // With the hierarchy extension the per-answer score
+                    // already reflects unsatisfied exact-tag predicates;
+                    // carry that deficit over to the round's compile-time
+                    // score.
+                    let tag_deficit = enc.base_ss - a.score.ss;
+                    round_delta.push(Answer {
+                        node: a.node,
+                        score: crate::score::AnswerScore {
+                            ss: round_ss - tag_deficit,
+                            ks: a.score.ks,
+                        },
+                        satisfied: a.satisfied,
+                        relaxation_level: round,
+                    });
+                }
+            };
+            if within_round.is_parallel() {
+                let (collected, _) =
+                    evaluate_encoded_parallel(ctx, &enc, request.scheme, &budget, &within_round);
+                for a in collected {
+                    on_answer(a);
+                }
+            } else {
+                evaluate_encoded_budgeted(ctx, &enc, request.scheme, &budget, on_answer);
+            }
+            (round_delta, intermediates)
+        });
+        if budget.tripped().is_some() {
+            // Partial batch: discard its deltas entirely (Theorem 3 prefix
+            // correctness — committed rounds depend only on their endpoint
+            // queries, not on how far the aborted rounds got). Account the
+            // aborted evaluation the way the sequential loop does.
+            stats.evaluations += 1;
+            stats.relaxations_used = next_round;
+            break;
+        }
+        // Commit the batch strictly in round order, re-applying the stop
+        // conditions against the growing committed state.
+        for (bi, (mut round_delta, intermediates)) in evaluated.into_iter().enumerate() {
+            let round = next_round + bi;
+            let round_ss = round_ss_of(round);
+            if bi > 0 && should_stop(&answers, ss_at_k, round_ss) {
+                // Wasted speculation: this round (and everything after it)
+                // would never have been evaluated sequentially.
+                break 'rounds;
+            }
+            stats.evaluations += 1;
+            stats.relaxations_used = round;
+            stats.intermediate_answers += intermediates as usize;
+            round_delta.retain(|a| !seen.contains(&a.node));
+            seen.extend(round_delta.iter().map(|a| a.node));
+            answers.append(&mut round_delta);
+            completed_rounds = round + 1;
 
-        if answers.len() >= request.k && ss_at_k.is_none() {
-            ss_at_k = Some(round_ss);
-            if request.scheme == RankingScheme::StructureFirst {
-                // Answers of strictly later rounds score strictly lower (or
-                // tie — handled by the loop guard above).
-                if round == schedule.len() {
-                    break;
+            if answers.len() >= request.k && ss_at_k.is_none() {
+                ss_at_k = Some(round_ss);
+                if request.scheme == RankingScheme::StructureFirst {
+                    // Answers of strictly later rounds score strictly lower
+                    // (or tie — handled by the stop check above).
+                    if round == schedule.len() {
+                        break 'rounds;
+                    }
                 }
             }
         }
+        next_round += batch;
     }
 
     sort_answers(&mut answers, request.scheme);

@@ -1,4 +1,6 @@
 //! Typed errors for input-reachable failure paths in the engine facade.
+//! (Engineering surface with no direct paper analogue — the paper's
+//! Section 6 prototype assumes well-formed inputs.)
 //!
 //! Every way user-supplied input (documents, collection parts) can be
 //! malformed surfaces as an [`EngineError`] instead of a panic; the

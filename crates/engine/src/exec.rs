@@ -26,6 +26,7 @@
 
 use crate::context::EngineContext;
 use crate::encode::{BitCheck, EncodedQuery};
+use crate::parallel::{chunk_ranges, fan_out, ParallelConfig};
 use crate::score::{AnswerScore, RankingScheme};
 use crate::topk::Answer;
 use flexpath_ftsearch::Budget;
@@ -155,6 +156,105 @@ pub fn evaluate_encoded_budgeted(
     ev.stats
 }
 
+/// [`evaluate_encoded_budgeted`] fanned out over worker threads, collecting
+/// the answers into a vector.
+///
+/// The outer candidate list (root candidates, or distinguished candidates in
+/// the general driver) is split into **contiguous** document-order chunks,
+/// one evaluator per worker; concatenating the per-chunk answer vectors in
+/// chunk order therefore reproduces the sequential answer stream exactly —
+/// same answers, same order, same scores (each answer's embedding search is
+/// confined to its own subtree, so per-answer results are independent of
+/// chunk boundaries; see Theorem 3 / the [`crate::parallel`] module doc).
+///
+/// Small candidate sets (below [`ParallelConfig::min_round_size`]) and
+/// `threads = 1` run inline on the calling thread — literally the
+/// sequential code path. When the shared [`Budget`] trips mid-fan-out every
+/// worker stops at its next checkpoint and the partial answer set is
+/// best-effort (callers that need an exact-prefix guarantee, like DPO's
+/// batched rounds, discard tripped batches instead).
+pub fn evaluate_encoded_parallel(
+    ctx: &EngineContext,
+    enc: &EncodedQuery,
+    scheme: RankingScheme,
+    budget: &Budget,
+    parallel: &ParallelConfig,
+) -> (Vec<Answer>, EvalStats) {
+    let dist = enc.distinguished_spec();
+    let root_spec = 0usize;
+    let outer: Vec<NodeId> = spec_candidates(ctx, enc, if dist == root_spec { root_spec } else { dist });
+    let workers = parallel.workers_for_candidates(outer.len());
+    if workers <= 1 {
+        let mut answers = Vec::new();
+        let stats = evaluate_encoded_budgeted(ctx, enc, scheme, budget, |a| answers.push(a));
+        return (answers, stats);
+    }
+    // The general driver scans all root candidates per pinned distinguished
+    // candidate; share that list across workers.
+    let shared_roots: Vec<NodeId> = if dist == root_spec {
+        Vec::new()
+    } else {
+        spec_candidates(ctx, enc, root_spec)
+    };
+    let ranges = chunk_ranges(outer.len(), workers);
+    let per_chunk: Vec<(Vec<Answer>, EvalStats)> = fan_out(ranges.len(), workers, |wi| {
+        let mut ev = Evaluator {
+            ctx,
+            enc,
+            scheme,
+            children: enc.children_lists(),
+            env: vec![None; enc.specs.len()],
+            pinned: None,
+            stats: EvalStats::default(),
+            buffer_pool: Vec::new(),
+            budget,
+        };
+        let mut answers = Vec::new();
+        for &d in &outer[ranges[wi].clone()] {
+            if ev.budget.checkpoint() {
+                break;
+            }
+            if dist == root_spec {
+                ev.stats.candidates_examined += 1;
+                if let Some(contrib) = ev.match_node(root_spec, d) {
+                    if ev.budget.charge_answer() {
+                        break;
+                    }
+                    ev.stats.answers += 1;
+                    answers.push(finalize(enc, d, contrib));
+                }
+            } else {
+                ev.pinned = Some((dist, d));
+                let mut best: Option<Contribution> = None;
+                for &r in &shared_roots {
+                    ev.stats.candidates_examined += 1;
+                    if let Some(contrib) = ev.match_node(root_spec, r) {
+                        if best.is_none_or(|b| contrib.better_than(&b, scheme)) {
+                            best = Some(contrib);
+                        }
+                    }
+                }
+                if let Some(contrib) = best {
+                    if ev.budget.charge_answer() {
+                        break;
+                    }
+                    ev.stats.answers += 1;
+                    answers.push(finalize(enc, d, contrib));
+                }
+            }
+        }
+        (answers, ev.stats)
+    });
+    let mut all = Vec::new();
+    let mut stats = EvalStats::default();
+    for (answers, s) in per_chunk {
+        all.extend(answers);
+        stats.candidates_examined += s.candidates_examined;
+        stats.answers += s.answers;
+    }
+    (all, stats)
+}
+
 fn finalize(enc: &EncodedQuery, node: NodeId, c: Contribution) -> Answer {
     // The answer's own relaxation level: the deepest schedule step whose
     // dropped predicate it fails (an answer satisfying everything is an
@@ -197,26 +297,32 @@ struct Evaluator<'a> {
     budget: &'a Budget,
 }
 
+/// Document-ordered candidates for an unanchored spec (the query root, or
+/// the distinguished spec in the general driver).
+fn spec_candidates(ctx: &EngineContext, enc: &EncodedQuery, spec_idx: usize) -> Vec<NodeId> {
+    let spec = &enc.specs[spec_idx];
+    if spec.tag_missing {
+        return Vec::new();
+    }
+    let mut out: Vec<NodeId> = match spec.tag {
+        Some(tag) => ctx.doc().nodes_with_tag(tag).to_vec(),
+        None if spec.alt_tags.is_empty() => ctx.doc().elements().collect(),
+        None => Vec::new(),
+    };
+    // Hierarchy extension: sibling subtypes are candidates too; merge
+    // back into document order so answers stream sorted by node id.
+    for &alt in &spec.alt_tags {
+        out.extend_from_slice(ctx.doc().nodes_with_tag(alt));
+    }
+    if !spec.alt_tags.is_empty() {
+        out.sort_unstable();
+    }
+    out
+}
+
 impl Evaluator<'_> {
     fn root_candidates(&self, root_spec: usize) -> Vec<NodeId> {
-        let spec = &self.enc.specs[root_spec];
-        if spec.tag_missing {
-            return Vec::new();
-        }
-        let mut out: Vec<NodeId> = match spec.tag {
-            Some(tag) => self.ctx.doc().nodes_with_tag(tag).to_vec(),
-            None if spec.alt_tags.is_empty() => self.ctx.doc().elements().collect(),
-            None => Vec::new(),
-        };
-        // Hierarchy extension: sibling subtypes are candidates too; merge
-        // back into document order so answers stream sorted by node id.
-        for &alt in &spec.alt_tags {
-            out.extend_from_slice(self.ctx.doc().nodes_with_tag(alt));
-        }
-        if !spec.alt_tags.is_empty() {
-            out.sort_unstable();
-        }
-        out
+        spec_candidates(self.ctx, self.enc, root_spec)
     }
 
     /// Local (non-edge) requirements of binding `spec` to `d`.
@@ -672,6 +778,61 @@ mod tests {
         assert_eq!(
             a.iter().map(|x| x.node).collect::<Vec<_>>(),
             naive_exact_answers(ctx.doc(), &q)
+        );
+    }
+
+    #[test]
+    fn parallel_evaluation_matches_sequential_exactly() {
+        let q = q1();
+        let (ctx, model) = setup(ARTICLES, &q);
+        let steps = build_schedule(&ctx, &model, &q, 64);
+        let enc = EncodedQuery::build(&ctx, &model, &q, &steps);
+        for scheme in [
+            RankingScheme::StructureFirst,
+            RankingScheme::KeywordFirst,
+            RankingScheme::Combined,
+        ] {
+            let seq = collect(&ctx, &enc, scheme);
+            for threads in [2, 4, 8] {
+                let mut cfg = ParallelConfig::with_threads(threads);
+                cfg.min_round_size = 1; // force the fan-out even on tiny inputs
+                let (par, stats) =
+                    evaluate_encoded_parallel(&ctx, &enc, scheme, &Budget::unlimited(), &cfg);
+                assert_eq!(seq.len(), par.len());
+                for (a, b) in seq.iter().zip(&par) {
+                    assert_eq!(a.node, b.node);
+                    assert_eq!(a.score.ss, b.score.ss);
+                    assert_eq!(a.score.ks, b.score.ks);
+                    assert_eq!(a.satisfied, b.satisfied);
+                    assert_eq!(a.relaxation_level, b.relaxation_level);
+                }
+                assert_eq!(stats.answers as usize, par.len());
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_evaluation_matches_sequential_with_projected_distinguished() {
+        // Distinguished node below the root exercises the pinned driver.
+        let mut b = TpqBuilder::new("article");
+        let s = b.child(0, "section");
+        b.set_distinguished(s);
+        let q = b.build();
+        let (ctx, model) = setup(ARTICLES, &q);
+        let enc = EncodedQuery::exact(&ctx, &model, &q);
+        let seq = collect(&ctx, &enc, RankingScheme::StructureFirst);
+        let mut cfg = ParallelConfig::with_threads(4);
+        cfg.min_round_size = 1;
+        let (par, _) = evaluate_encoded_parallel(
+            &ctx,
+            &enc,
+            RankingScheme::StructureFirst,
+            &Budget::unlimited(),
+            &cfg,
+        );
+        assert_eq!(
+            seq.iter().map(|a| a.node).collect::<Vec<_>>(),
+            par.iter().map(|a| a.node).collect::<Vec<_>>()
         );
     }
 

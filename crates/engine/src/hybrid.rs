@@ -17,9 +17,9 @@
 
 use crate::context::EngineContext;
 use crate::encode::EncodedQuery;
-use crate::exec::evaluate_encoded_budgeted;
+use crate::exec::{evaluate_encoded_budgeted, evaluate_encoded_parallel};
 use crate::governor::{Completeness, ExhaustReason};
-use crate::schedule::build_schedule_budgeted;
+use crate::schedule::build_schedule_parallel;
 use crate::score::{PenaltyModel, RankingScheme};
 use crate::sso::choose_prefix;
 use crate::topk::{sort_answers, Answer, ExecStats, TopKRequest, TopKResult};
@@ -52,12 +52,13 @@ impl Ord for TotalF64 {
 pub fn hybrid_topk(ctx: &EngineContext, request: &TopKRequest) -> TopKResult {
     let budget = request.limits.budget(request.cancel.clone());
     let model = PenaltyModel::new(&request.query, request.weights.clone());
-    let mut schedule = build_schedule_budgeted(
+    let mut schedule = build_schedule_parallel(
         ctx,
         &model,
         &request.query,
         request.max_relaxation_steps,
         &budget,
+        &request.parallel,
     );
     let mut truncated_steps = 0usize;
     if let Some(cap) = request.limits.max_relaxations_enumerated {
@@ -102,7 +103,7 @@ pub fn hybrid_topk(ctx: &EngineContext, request: &TopKRequest) -> TopKResult {
         // is the pruning floor, maintained in O(log K) per answer — no
         // score sorting of intermediate results ever happens.
         let mut top_ss: BinaryHeap<Reverse<TotalF64>> = BinaryHeap::new();
-        evaluate_encoded_budgeted(ctx, &enc, request.scheme, &budget, |a| {
+        let mut feed = |a: Answer| {
             stats.intermediate_answers += 1;
             // (`peek` is None when k = 0: the heap never fills, and nothing
             // can be pruned against an empty floor.)
@@ -122,7 +123,20 @@ pub fn hybrid_topk(ctx: &EngineContext, request: &TopKRequest) -> TopKResult {
             }
             buckets.entry(a.satisfied).or_default().push(a);
             total_kept += 1;
-        });
+        };
+        if request.parallel.is_parallel() {
+            // Candidates are evaluated on worker threads; the concatenated
+            // per-chunk answers replay the sequential document-order stream
+            // through the same pruning/bucketing closure, so buckets keep
+            // their node-id order (the no-resort property survives).
+            let (collected, _) =
+                evaluate_encoded_parallel(ctx, &enc, request.scheme, &budget, &request.parallel);
+            for a in collected {
+                feed(a);
+            }
+        } else {
+            evaluate_encoded_budgeted(ctx, &enc, request.scheme, &budget, feed);
+        }
         if budget.tripped().is_some() {
             // Keep the best-effort buckets scanned so far; no restart.
             stats.buckets = buckets.len();

@@ -31,6 +31,11 @@
 //! * [`structural_join`] is the Stack-Tree structural join primitive
 //!   (Al-Khalifa et al.) the paper's implementation builds on; it is used
 //!   by the micro-benchmarks and as a cross-validation oracle in tests.
+//! * [`parallel`] is the threading model: a [`ParallelConfig`] threaded
+//!   through every algorithm plus a deterministic fan-out primitive that
+//!   exploits Theorem 3's order-invariance (equal-penalty relaxations are
+//!   rank-independent) to evaluate rounds and candidate chunks on worker
+//!   threads while reproducing the sequential ranking exactly.
 //!
 //! [`DocStats`]: flexpath_xmldom::DocStats
 
@@ -46,6 +51,7 @@ pub mod error;
 pub mod exec;
 pub mod governor;
 pub mod hierarchy;
+pub mod parallel;
 pub mod schedule;
 pub mod score;
 pub mod selectivity;
@@ -65,9 +71,12 @@ pub use error::EngineError;
 pub use governor::{Budget, CancelToken, Completeness, ExhaustReason, QueryLimits};
 pub use hierarchy::TagHierarchy;
 pub use hybrid::hybrid_topk;
+pub use parallel::ParallelConfig;
 pub use schedule::{build_schedule, ScheduledStep};
 pub use score::{AnswerScore, PenaltyModel, RankingScheme, WeightAssignment};
 pub use selectivity::{estimate_cardinality, estimate_cardinality_budgeted};
 pub use sso::sso_topk;
-pub use structural_join::{stack_tree_anc, stack_tree_desc, stack_tree_desc_budgeted};
+pub use structural_join::{
+    stack_tree_anc, stack_tree_desc, stack_tree_desc_budgeted, stack_tree_desc_parallel,
+};
 pub use topk::{Algorithm, Answer, ExecStats, TopKRequest, TopKResult};

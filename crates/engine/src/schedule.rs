@@ -14,6 +14,7 @@
 //! independent of derivation order (Theorem 3).
 
 use crate::context::EngineContext;
+use crate::parallel::{fan_out, ParallelConfig};
 use crate::score::PenaltyModel;
 use flexpath_ftsearch::Budget;
 use flexpath_tpq::{applicable_ops, closure_of, relaxation_step, Predicate, RelaxOp, Tpq};
@@ -61,6 +62,33 @@ pub fn build_schedule_budgeted(
     max_steps: usize,
     budget: &Budget,
 ) -> Vec<ScheduledStep> {
+    build_schedule_parallel(
+        ctx,
+        model,
+        original,
+        max_steps,
+        budget,
+        &ParallelConfig::sequential(),
+    )
+}
+
+/// [`build_schedule_budgeted`] with the per-step operator evaluation fanned
+/// out over worker threads.
+///
+/// The greedy loop itself stays sequential (step `i+1` depends on step
+/// `i`'s query), but within one step every applicable operator's penalty is
+/// independent — each is scored concurrently, and the winner is chosen by
+/// the same rule as the sequential scan: smallest penalty, earliest
+/// operator index on ties (strict `<` over the index-ordered candidate
+/// list). The schedule is therefore identical at every thread count.
+pub fn build_schedule_parallel(
+    ctx: &EngineContext,
+    model: &PenaltyModel,
+    original: &Tpq,
+    max_steps: usize,
+    budget: &Budget,
+    parallel: &ParallelConfig,
+) -> Vec<ScheduledStep> {
     let base = model.base_structural_score(original);
     let original_closure = original.closure();
     let mut steps: Vec<ScheduledStep> = Vec::new();
@@ -72,12 +100,15 @@ pub fn build_schedule_budgeted(
         if budget.check_now() {
             break;
         }
-        // Evaluate every applicable operator; pick the cheapest.
+        // Score every applicable operator (concurrently when configured);
+        // pick the cheapest, first-listed on ties.
         type Candidate = (RelaxOp, Tpq, Vec<(Predicate, f64)>, f64);
-        let mut best: Option<Candidate> = None;
-        for op in applicable_ops(&current) {
+        let ops = applicable_ops(&current);
+        let workers = parallel.workers_for_rounds(ops.len());
+        let scored: Vec<Option<Candidate>> = fan_out(ops.len(), workers, |i| {
+            let op = ops[i].clone();
             let Ok(step) = relaxation_step(&current, &op) else {
-                continue;
+                return None;
             };
             // New drops relative to the ORIGINAL closure (weighted preds only).
             let after_closure = closure_of(&step.result.logical());
@@ -91,15 +122,19 @@ pub fn build_schedule_budgeted(
             if new_dropped.is_empty() {
                 // The operator did not weaken the query w.r.t. the original
                 // closure (e.g. a no-op diamond); skip it.
-                continue;
+                return None;
             }
             let penalty: f64 = new_dropped.iter().map(|(_, pi)| pi).sum();
+            Some((op, step.result, new_dropped, penalty))
+        });
+        let mut best: Option<Candidate> = None;
+        for candidate in scored.into_iter().flatten() {
             let better = match &best {
                 None => true,
-                Some((_, _, _, best_penalty)) => penalty < *best_penalty,
+                Some((_, _, _, best_penalty)) => candidate.3 < *best_penalty,
             };
             if better {
-                best = Some((op, step.result, new_dropped, penalty));
+                best = Some(candidate);
             }
         }
         let Some((op, next, new_dropped, step_penalty)) = best else {
@@ -233,6 +268,30 @@ mod tests {
         let q = TpqBuilder::new("article").build();
         let (ctx, model) = setup(DOC, &q);
         assert!(build_schedule(&ctx, &model, &q, 64).is_empty());
+    }
+
+    #[test]
+    fn parallel_schedule_is_identical_to_sequential() {
+        let q = q1();
+        let (ctx, model) = setup(DOC, &q);
+        let seq = build_schedule(&ctx, &model, &q, 64);
+        for threads in [2, 4, 8] {
+            let par = build_schedule_parallel(
+                &ctx,
+                &model,
+                &q,
+                64,
+                &Budget::unlimited(),
+                &ParallelConfig::with_threads(threads),
+            );
+            assert_eq!(seq.len(), par.len());
+            for (a, b) in seq.iter().zip(&par) {
+                assert_eq!(format!("{:?}", a.op), format!("{:?}", b.op));
+                assert_eq!(a.step_penalty, b.step_penalty);
+                assert_eq!(a.ss_after, b.ss_after);
+                assert_eq!(a.new_dropped.len(), b.new_dropped.len());
+            }
+        }
     }
 
     #[test]

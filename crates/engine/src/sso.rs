@@ -20,9 +20,9 @@
 
 use crate::context::EngineContext;
 use crate::encode::EncodedQuery;
-use crate::exec::evaluate_encoded_budgeted;
+use crate::exec::{evaluate_encoded_budgeted, evaluate_encoded_parallel};
 use crate::governor::{Completeness, ExhaustReason};
-use crate::schedule::{build_schedule_budgeted, ScheduledStep};
+use crate::schedule::{build_schedule_parallel, ScheduledStep};
 use crate::score::{PenaltyModel, RankingScheme};
 use crate::selectivity::estimate_cardinality_budgeted;
 use crate::topk::{Answer, ExecStats, TopKRequest, TopKResult};
@@ -86,12 +86,13 @@ pub(crate) fn choose_prefix(
 pub fn sso_topk(ctx: &EngineContext, request: &TopKRequest) -> TopKResult {
     let budget = request.limits.budget(request.cancel.clone());
     let model = PenaltyModel::new(&request.query, request.weights.clone());
-    let mut schedule = build_schedule_budgeted(
+    let mut schedule = build_schedule_parallel(
         ctx,
         &model,
         &request.query,
         request.max_relaxation_steps,
         &budget,
+        &request.parallel,
     );
     let mut truncated_steps = 0usize;
     if let Some(cap) = request.limits.max_relaxations_enumerated {
@@ -124,7 +125,7 @@ pub fn sso_topk(ctx: &EngineContext, request: &TopKRequest) -> TopKResult {
         stats.relaxations_used = prefix;
         stats.evaluations += 1;
         list.clear();
-        evaluate_encoded_budgeted(ctx, &enc, request.scheme, &budget, |a| {
+        let mut feed = |a: Answer| {
             stats.intermediate_answers += 1;
             // Threshold pruning: cannot enter the top K → discard.
             if list.len() >= request.k {
@@ -141,7 +142,20 @@ pub fn sso_topk(ctx: &EngineContext, request: &TopKRequest) -> TopKResult {
             });
             stats.sorted_insert_shifts += (list.len() - pos) as u64;
             list.insert(pos, a);
-        });
+        };
+        if request.parallel.is_parallel() {
+            // Candidates are evaluated on worker threads; the concatenated
+            // per-chunk answers replay the sequential document-order stream
+            // through the same pruning/insert closure, so `list` (and the
+            // prune/shift counters) come out identical.
+            let (collected, _) =
+                evaluate_encoded_parallel(ctx, &enc, request.scheme, &budget, &request.parallel);
+            for a in collected {
+                feed(a);
+            }
+        } else {
+            evaluate_encoded_budgeted(ctx, &enc, request.scheme, &budget, feed);
+        }
         if budget.tripped().is_some() {
             // Keep the best-effort answers scanned so far; no restart.
             break;

@@ -7,6 +7,7 @@
 //! (ancestor, descendant) — or (parent, child) — pairs in a single merge
 //! pass with an explicit stack, O(|A| + |D| + |output|).
 
+use crate::parallel::{chunk_ranges, fan_out, ParallelConfig};
 use flexpath_ftsearch::Budget;
 use flexpath_xmldom::{Document, NodeId};
 
@@ -64,6 +65,41 @@ pub fn stack_tree_desc_budgeted(
             debug_assert!(doc.is_ancestor(a, d));
             out.push((a, d));
         }
+    }
+    out
+}
+
+/// [`stack_tree_desc`] fanned out over worker threads.
+///
+/// The descendant list is split into contiguous document-order chunks; each
+/// worker re-runs the merge for its chunk against the full ancestor list.
+/// Because XML intervals nest properly, the ancestors stacked above a given
+/// descendant are a pure function of that descendant — chunk boundaries
+/// cannot change any pair — so concatenating the per-chunk outputs in chunk
+/// order reproduces the sequential `(d, a)`-grouped output exactly.
+///
+/// Each worker's merge rescans the ancestor list from the beginning, so the
+/// total work is `O(W·|A| + |D| + |output|)` for `W` workers: worthwhile
+/// when the descendant side dominates (the common shape for the selective
+/// ancestor lists relaxation produces), and the fan-out is skipped below
+/// [`ParallelConfig::min_round_size`] descendants.
+pub fn stack_tree_desc_parallel(
+    doc: &Document,
+    ancestors: &[NodeId],
+    descendants: &[NodeId],
+    parallel: &ParallelConfig,
+) -> Vec<(NodeId, NodeId)> {
+    let workers = parallel.workers_for_candidates(descendants.len());
+    if workers <= 1 {
+        return stack_tree_desc(doc, ancestors, descendants);
+    }
+    let ranges = chunk_ranges(descendants.len(), workers);
+    let per_chunk = fan_out(ranges.len(), workers, |wi| {
+        stack_tree_desc(doc, ancestors, &descendants[ranges[wi].clone()])
+    });
+    let mut out = Vec::with_capacity(per_chunk.iter().map(Vec::len).sum());
+    for chunk in per_chunk {
+        out.extend(chunk);
     }
     out
 }
@@ -157,6 +193,21 @@ mod tests {
         let mut sorted_ds = ds.clone();
         sorted_ds.sort();
         assert_eq!(ds, sorted_ds);
+    }
+
+    #[test]
+    fn parallel_join_reproduces_sequential_output_exactly() {
+        let cfg = flexpath_xmark::XmarkConfig::sized(16 * 1024, 5);
+        let doc = flexpath_xmark::generate(&cfg);
+        let a_list = doc.nodes_with_tag_name("parlist").to_vec();
+        let d_list = doc.nodes_with_tag_name("text").to_vec();
+        let seq = stack_tree_desc(&doc, &a_list, &d_list);
+        for threads in [2, 4, 8] {
+            let mut p = ParallelConfig::with_threads(threads);
+            p.min_round_size = 1;
+            let par = stack_tree_desc_parallel(&doc, &a_list, &d_list, &p);
+            assert_eq!(seq, par, "threads={threads}");
+        }
     }
 
     #[test]

@@ -3,6 +3,7 @@
 use crate::attr_relax::AttrRelaxation;
 use crate::governor::{CancelToken, Completeness, QueryLimits};
 use crate::hierarchy::TagHierarchy;
+use crate::parallel::ParallelConfig;
 use crate::score::{AnswerScore, RankingScheme, WeightAssignment};
 use flexpath_tpq::Tpq;
 use flexpath_xmldom::NodeId;
@@ -51,6 +52,9 @@ pub struct TopKRequest {
     pub limits: QueryLimits,
     /// External cancellation handle (default: none).
     pub cancel: Option<CancelToken>,
+    /// Worker-thread configuration (default: sequential; the ranking is
+    /// identical at every thread count — see [`crate::parallel`]).
+    pub parallel: ParallelConfig,
 }
 
 impl TopKRequest {
@@ -67,6 +71,7 @@ impl TopKRequest {
             attr_relaxation: None,
             limits: QueryLimits::default(),
             cancel: None,
+            parallel: ParallelConfig::default(),
         }
     }
 
@@ -103,6 +108,19 @@ impl TopKRequest {
     /// Attaches an external cancellation token.
     pub fn with_cancel(mut self, cancel: CancelToken) -> Self {
         self.cancel = Some(cancel);
+        self
+    }
+
+    /// Sets the worker-thread configuration.
+    pub fn with_parallel(mut self, parallel: ParallelConfig) -> Self {
+        self.parallel = parallel;
+        self
+    }
+
+    /// Shorthand for [`with_parallel`](Self::with_parallel) with `threads`
+    /// workers and the default candidate floor.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.parallel = ParallelConfig::with_threads(threads);
         self
     }
 }

@@ -1,4 +1,7 @@
-//! Cooperative resource budgets and external cancellation.
+//! Cooperative resource budgets and external cancellation — an
+//! engineering extension beyond the paper, motivated by the Section 6
+//! workloads (1–100 MB documents, relaxation spaces exponential in the
+//! query).
 //!
 //! FleXPath's top-K algorithms enumerate a relaxation space whose size is
 //! exponential in the query; on large documents a single query can run far

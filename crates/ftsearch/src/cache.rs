@@ -1,0 +1,210 @@
+//! Sharded, lock-striped concurrent cache for memoized evaluations.
+//!
+//! The FleXPath engine memoizes full-text evaluations so that the same
+//! `contains` expression — appearing at several query nodes, across
+//! relaxation rounds, or across *queries* sharing one session — is
+//! evaluated once (the "optimize repeated computation" goal of the paper's
+//! Section 1). With the parallel top-K execution path, many worker threads
+//! hit that cache at once: a single map behind one lock would serialize
+//! them on every probe.
+//!
+//! [`ShardedCache`] stripes the key space over `N` independently locked
+//! shards (key → shard by hash). Readers on different shards never contend;
+//! writers contend only within a shard. Values are handed out as
+//! [`Arc`]s, so a hit never copies the (potentially large) evaluation.
+//!
+//! The cache is *insert-only* by design: memoized results are pure
+//! functions of `(document, expression)` and a session's document is
+//! immutable, so eviction and invalidation are unnecessary. A computation
+//! raced by two threads may run twice, but exactly one result wins the
+//! `entry` insert and both callers observe the same `Arc` thereafter.
+
+use std::collections::HashMap;
+use std::hash::{BuildHasher, Hash, RandomState};
+use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+/// Default shard count — enough stripes that 8–16 worker threads rarely
+/// collide, small enough that an empty cache stays cheap.
+pub const DEFAULT_SHARDS: usize = 16;
+
+/// A concurrent, insert-only memoization cache striped over `N` shards.
+///
+/// ```
+/// use flexpath_ftsearch::ShardedCache;
+///
+/// let cache: ShardedCache<String, usize> = ShardedCache::default();
+/// let v = cache.get_or_insert_with(&"answer".to_string(), || 42);
+/// assert_eq!(*v, 42);
+/// assert_eq!(cache.len(), 1);
+/// // Second probe hits the same shared value.
+/// assert!(std::sync::Arc::ptr_eq(
+///     &v,
+///     &cache.get_or_insert_with(&"answer".to_string(), || 0)
+/// ));
+/// ```
+#[derive(Debug)]
+pub struct ShardedCache<K, V> {
+    shards: Box<[Shard<K, V>]>,
+    hasher: RandomState,
+}
+
+/// One lock stripe: an independently locked slice of the key space.
+type Shard<K, V> = RwLock<HashMap<K, Arc<V>>>;
+
+impl<K: Hash + Eq + Clone, V> Default for ShardedCache<K, V> {
+    fn default() -> Self {
+        Self::with_shards(DEFAULT_SHARDS)
+    }
+}
+
+impl<K: Hash + Eq + Clone, V> ShardedCache<K, V> {
+    /// A cache striped over `shards` locks (rounded up to at least 1).
+    pub fn with_shards(shards: usize) -> Self {
+        let shards = shards.max(1);
+        ShardedCache {
+            shards: (0..shards)
+                .map(|_| RwLock::new(HashMap::new()))
+                .collect::<Vec<_>>()
+                .into_boxed_slice(),
+            hasher: RandomState::new(),
+        }
+    }
+
+    fn shard_of(&self, key: &K) -> usize {
+        (self.hasher.hash_one(key) as usize) % self.shards.len()
+    }
+
+    // Poison-tolerant lock access: shards hold only memoized pure
+    // computations, so a panic mid-insert cannot leave them inconsistent.
+    fn read_shard(&self, i: usize) -> RwLockReadGuard<'_, HashMap<K, Arc<V>>> {
+        self.shards[i].read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn write_shard(&self, i: usize) -> RwLockWriteGuard<'_, HashMap<K, Arc<V>>> {
+        self.shards[i].write().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Returns the cached value for `key`, if present.
+    pub fn get(&self, key: &K) -> Option<Arc<V>> {
+        self.read_shard(self.shard_of(key)).get(key).cloned()
+    }
+
+    /// Returns the cached value for `key`, computing and inserting it with
+    /// `compute` on a miss.
+    ///
+    /// `compute` runs *outside* any lock, so a slow computation never
+    /// blocks other shards (or even other keys of the same shard beyond
+    /// the final insert). If two threads race on the same missing key, both
+    /// compute but only the first insert wins; both return the winner.
+    pub fn get_or_insert_with(&self, key: &K, compute: impl FnOnce() -> V) -> Arc<V> {
+        let shard = self.shard_of(key);
+        if let Some(hit) = self.read_shard(shard).get(key) {
+            return hit.clone();
+        }
+        let value = Arc::new(compute());
+        self.write_shard(shard)
+            .entry(key.clone())
+            .or_insert(value)
+            .clone()
+    }
+
+    /// Inserts `value` for `key` unless an entry already exists; returns
+    /// the entry that ended up in the cache.
+    pub fn insert_if_absent(&self, key: &K, value: Arc<V>) -> Arc<V> {
+        let shard = self.shard_of(key);
+        self.write_shard(shard)
+            .entry(key.clone())
+            .or_insert(value)
+            .clone()
+    }
+
+    /// Total number of cached entries (sums the shards; approximate while
+    /// writers are active).
+    pub fn len(&self) -> usize {
+        (0..self.shards.len()).map(|i| self.read_shard(i).len()).sum()
+    }
+
+    /// `true` when no shard holds any entry.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of lock stripes.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn miss_computes_and_hit_shares() {
+        let cache: ShardedCache<u32, String> = ShardedCache::default();
+        let first = cache.get_or_insert_with(&7, || "seven".to_string());
+        let second = cache.get_or_insert_with(&7, || unreachable!("must hit"));
+        assert!(Arc::ptr_eq(&first, &second));
+        assert_eq!(cache.len(), 1);
+        assert!(cache.get(&8).is_none());
+    }
+
+    #[test]
+    fn keys_spread_across_shards() {
+        let cache: ShardedCache<u64, u64> = ShardedCache::with_shards(8);
+        for k in 0..256u64 {
+            cache.get_or_insert_with(&k, || k * 2);
+        }
+        assert_eq!(cache.len(), 256);
+        assert_eq!(cache.shard_count(), 8);
+        // With 256 keys over 8 shards, more than one shard must be in use —
+        // a same-shard pileup would mean the hash routing is broken.
+        let used = (0..8)
+            .filter(|&i| !cache.read_shard(i).is_empty())
+            .count();
+        assert!(used > 1, "all keys landed in one shard");
+    }
+
+    #[test]
+    fn zero_shards_clamps_to_one() {
+        let cache: ShardedCache<u8, u8> = ShardedCache::with_shards(0);
+        assert_eq!(cache.shard_count(), 1);
+        cache.get_or_insert_with(&1, || 1);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn concurrent_hammering_inserts_each_key_once() {
+        let cache: ShardedCache<u32, u32> = ShardedCache::default();
+        let computations = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    for k in 0..64u32 {
+                        let v = cache.get_or_insert_with(&k, || {
+                            computations.fetch_add(1, Ordering::Relaxed);
+                            k + 1
+                        });
+                        assert_eq!(*v, k + 1);
+                    }
+                });
+            }
+        });
+        assert_eq!(cache.len(), 64);
+        // Racing threads may compute a key twice, but every reader of a key
+        // sees one canonical Arc afterwards.
+        for k in 0..64u32 {
+            assert_eq!(*cache.get(&k).unwrap(), k + 1);
+        }
+    }
+
+    #[test]
+    fn insert_if_absent_keeps_first_entry() {
+        let cache: ShardedCache<u8, u8> = ShardedCache::default();
+        let a = cache.insert_if_absent(&1, Arc::new(10));
+        let b = cache.insert_if_absent(&1, Arc::new(20));
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(*b, 10);
+    }
+}

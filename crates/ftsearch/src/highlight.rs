@@ -1,4 +1,5 @@
-//! Keyword highlighting for result presentation.
+//! Keyword highlighting for result presentation (supports the paper's
+//! Figure 1 bibliographic scenarios; standard IR hit highlighting).
 //!
 //! Given an answer node and the full-text expression that matched it,
 //! produce a snippet with the matching words marked — the standard "hit

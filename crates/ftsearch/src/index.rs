@@ -1,4 +1,5 @@
-//! Element-granularity positional inverted index.
+//! Element-granularity positional inverted index — the IR-engine side of
+//! the paper's Figure 7 architecture (Sections 2.2 and 5.1).
 //!
 //! Every token of every text node is attributed to the text node's *parent
 //! element* (its direct container). Posting lists are keyed by stemmed term

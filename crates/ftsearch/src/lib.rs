@@ -32,6 +32,7 @@
 //! ```
 
 pub mod budget;
+pub mod cache;
 pub mod eval;
 pub mod ftexpr;
 pub mod highlight;
@@ -42,6 +43,7 @@ pub mod thesaurus;
 pub mod tokenize;
 
 pub use budget::{Budget, CancelToken, ExhaustReason};
+pub use cache::ShardedCache;
 pub use eval::{FtEval, ScoringModel};
 pub use ftexpr::{FtExpr, FtParseError};
 pub use highlight::{highlight, HighlightStyle};

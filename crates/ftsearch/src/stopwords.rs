@@ -1,4 +1,5 @@
-//! A classic English stopword list.
+//! A classic English stopword list (query-side hygiene for the Section 2.2
+//! IR-style `contains` semantics).
 //!
 //! The inverted index stores *all* tokens (so phrases containing stopwords
 //! still match); this list is for query-side filtering by callers that want

@@ -17,6 +17,8 @@
 //!   --stats               print execution statistics
 //!   --deadline-ms N       stop after N milliseconds with the best answers
 //!                         found so far
+//!   --threads N           worker threads (default: available parallelism;
+//!                         1 = sequential; results are identical either way)
 //! ```
 //!
 //! On Unix, Ctrl-C cancels a running query at its next checkpoint: the best
@@ -33,7 +35,7 @@
 
 use flexpath::{
     explain_answer, explain_plan, explain_schedule, Algorithm, CancelToken, FleXPath,
-    RankingScheme,
+    ParallelConfig, RankingScheme,
 };
 use std::process::ExitCode;
 use std::sync::OnceLock;
@@ -88,13 +90,14 @@ struct Options {
     paths: bool,
     stats: bool,
     deadline_ms: Option<u64>,
+    threads: Option<usize>,
 }
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: flexpath-cli <corpus.xml> '<query>' [--k N] [--algorithm dpo|sso|hybrid]\n\
          \x20                [--scheme structure|keyword|combined] [--explain] [--xml]\n\
-         \x20                [--snippet N] [--stats] [--deadline-ms N]"
+         \x20                [--snippet N] [--stats] [--deadline-ms N] [--threads N]"
     );
     ExitCode::from(2)
 }
@@ -116,6 +119,7 @@ fn parse_args() -> Result<Options, ExitCode> {
         paths: false,
         stats: false,
         deadline_ms: None,
+        threads: None,
     };
     let mut i = 0;
     while i < args.len() {
@@ -155,6 +159,14 @@ fn parse_args() -> Result<Options, ExitCode> {
             "--deadline-ms" => {
                 i += 1;
                 opts.deadline_ms = Some(
+                    args.get(i)
+                        .and_then(|s| s.parse().ok())
+                        .ok_or_else(usage)?,
+                );
+            }
+            "--threads" => {
+                i += 1;
+                opts.threads = Some(
                     args.get(i)
                         .and_then(|s| s.parse().ok())
                         .ok_or_else(usage)?,
@@ -227,7 +239,13 @@ fn main() -> ExitCode {
         .top(opts.k)
         .algorithm(opts.algorithm)
         .scheme(opts.scheme)
-        .cancel(cancel);
+        .cancel(cancel)
+        // Default: one worker per hardware thread. The ranking is identical
+        // at every thread count, so this only changes wall-clock time.
+        .parallel(match opts.threads {
+            Some(n) => ParallelConfig::with_threads(n),
+            None => ParallelConfig::auto(),
+        });
     if let Some(ms) = opts.deadline_ms {
         query = query.deadline(Duration::from_millis(ms));
     }

@@ -1,0 +1,217 @@
+//! Parallel-execution determinism contract: a query run on N worker
+//! threads returns **byte-identical** top-K output to the sequential run —
+//! same answer ids, same scores, same Completeness — for every algorithm
+//! and ranking scheme. This is the engine-level consequence of Theorem 3
+//! (order-invariance) plus the deterministic chunk/merge discipline in
+//! `flexpath_engine::parallel` (see ARCHITECTURE.md, "Threading model").
+//!
+//! Also covered: cancelling a parallel run mid-flight stops every worker,
+//! and a cancelled DPO run still returns an exact rank prefix of the
+//! unbounded ranking (whole speculative batches are discarded, never split).
+
+use flexpath::{
+    Algorithm, CancelToken, FleXPath, ParallelConfig, QueryResults, RankingScheme,
+};
+use flexpath_xmark::{generate, XmarkConfig};
+use std::sync::OnceLock;
+
+/// A ~2MB XMark document: large enough that every algorithm's candidate
+/// sets clear the fan-out floor, small enough to keep the matrix fast.
+fn session() -> &'static FleXPath {
+    static SESSION: OnceLock<FleXPath> = OnceLock::new();
+    SESSION.get_or_init(|| FleXPath::new(generate(&XmarkConfig::sized(2 * 1024 * 1024, 42))))
+}
+
+const QUERIES: &[&str] = &[
+    "//item[./description/parlist/listitem and ./mailbox/mail/text and ./name]",
+    "//item[./description/parlist and ./mailbox/mail/text[./bold and ./keyword]]",
+];
+
+/// The full serialized observable state of a result — if any byte of this
+/// differs across thread counts, the determinism contract is broken.
+fn render(r: &QueryResults) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let _ = writeln!(out, "completeness={:?}", r.completeness);
+    for (rank, hit) in r.hits.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "#{rank} node={:?} ss={:.17} ks={:.17} satisfied={:#x} level={}",
+            hit.node, hit.score.ss, hit.score.ks, hit.satisfied, hit.relaxation_level
+        );
+    }
+    out
+}
+
+#[test]
+fn threads_8_output_is_byte_identical_to_threads_1() {
+    let flex = session();
+    // min_round_size = 1 forces the candidate fan-out even where the
+    // default floor would keep small rounds sequential — the stronger test.
+    let mut eight = ParallelConfig::with_threads(8);
+    eight.min_round_size = 1;
+    for &query in QUERIES {
+        for algorithm in [Algorithm::Dpo, Algorithm::Sso, Algorithm::Hybrid] {
+            for scheme in [
+                RankingScheme::StructureFirst,
+                RankingScheme::KeywordFirst,
+                RankingScheme::Combined,
+            ] {
+                let run = |parallel: ParallelConfig| {
+                    flex.query(query)
+                        .unwrap()
+                        .top(25)
+                        .algorithm(algorithm)
+                        .scheme(scheme)
+                        .parallel(parallel)
+                        .execute()
+                };
+                let seq = run(ParallelConfig::with_threads(1));
+                let par = run(eight);
+                assert_eq!(
+                    render(&seq),
+                    render(&par),
+                    "{algorithm} / {scheme:?} / {query}: threads=8 diverged from threads=1"
+                );
+                assert!(!seq.hits.is_empty(), "matrix cell must exercise answers");
+            }
+        }
+    }
+}
+
+#[test]
+fn intermediate_thread_counts_agree_too() {
+    let flex = session();
+    let baseline = flex
+        .query(QUERIES[0])
+        .unwrap()
+        .top(40)
+        .algorithm(Algorithm::Dpo)
+        .threads(1)
+        .execute();
+    for threads in [2, 3, 4] {
+        let mut cfg = ParallelConfig::with_threads(threads);
+        cfg.min_round_size = 1;
+        let r = flex
+            .query(QUERIES[0])
+            .unwrap()
+            .top(40)
+            .algorithm(Algorithm::Dpo)
+            .parallel(cfg)
+            .execute();
+        assert_eq!(render(&baseline), render(&r), "threads={threads}");
+    }
+}
+
+#[test]
+fn dpo_work_counters_match_across_thread_counts() {
+    // Speculative rounds that get discarded must not leak into the
+    // committed work counters: evaluations/relaxations_used reflect the
+    // committed rounds only, which are the same at every thread count.
+    let flex = session();
+    let run = |threads: usize| {
+        flex.query(QUERIES[0])
+            .unwrap()
+            .top(25)
+            .algorithm(Algorithm::Dpo)
+            .threads(threads)
+            .execute()
+    };
+    let seq = run(1);
+    let par = run(8);
+    assert_eq!(seq.stats.evaluations, par.stats.evaluations);
+    assert_eq!(seq.stats.relaxations_used, par.stats.relaxations_used);
+    assert_eq!(seq.stats.intermediate_answers, par.stats.intermediate_answers);
+}
+
+#[test]
+fn concurrent_cancel_stops_all_workers_and_keeps_exact_rank_prefix() {
+    let flex = session();
+    let unbounded = flex
+        .query(QUERIES[0])
+        .unwrap()
+        .top(60)
+        .algorithm(Algorithm::Dpo)
+        .threads(8)
+        .execute();
+    assert!(unbounded.is_complete());
+
+    // Cancel from another thread while the 8-worker run is mid-round. The
+    // cancel token is shared by every worker through the budget's atomics,
+    // so one store stops all of them at their next checkpoint.
+    for delay_us in [50u64, 200, 1_000, 5_000] {
+        let cancel = CancelToken::new();
+        let canceller = {
+            let token = cancel.clone();
+            std::thread::spawn(move || {
+                std::thread::sleep(std::time::Duration::from_micros(delay_us));
+                token.cancel();
+            })
+        };
+        let start = std::time::Instant::now();
+        let bounded = flex
+            .query(QUERIES[0])
+            .unwrap()
+            .top(60)
+            .algorithm(Algorithm::Dpo)
+            .threads(8)
+            .cancel(cancel)
+            .execute();
+        let elapsed = start.elapsed();
+        canceller.join().expect("canceller thread");
+        // All workers observed the trip: execute() returned promptly (the
+        // scoped fan-out joins every worker before returning, so merely
+        // returning proves no worker kept running).
+        assert!(
+            elapsed < std::time::Duration::from_secs(10),
+            "cancelled run took {elapsed:?}"
+        );
+        // Exact rank prefix: whole speculative batches are discarded on a
+        // trip, so the committed answers are a prefix of the unbounded
+        // ranking — never a torn round.
+        assert!(
+            bounded.hits.len() <= unbounded.hits.len(),
+            "cancelled run returned more answers than the complete run"
+        );
+        assert_eq!(
+            bounded.nodes(),
+            unbounded.nodes()[..bounded.hits.len()].to_vec(),
+            "cancelled parallel DPO must return an exact rank prefix (delay={delay_us}µs)"
+        );
+        if !bounded.is_complete() {
+            // Tripped runs must say so; complete runs (cancel arrived too
+            // late) are fine and already covered by the prefix check.
+            assert!(bounded.hits.len() <= unbounded.hits.len());
+        }
+    }
+}
+
+#[test]
+fn shared_session_parallel_queries_from_many_threads_agree() {
+    // The sharded FT cache makes one session safe to share across query
+    // threads, each of which is itself running a multi-threaded query.
+    let flex = session();
+    let expected = render(
+        &flex
+            .query(QUERIES[1])
+            .unwrap()
+            .top(20)
+            .algorithm(Algorithm::Hybrid)
+            .threads(1)
+            .execute(),
+    );
+    std::thread::scope(|scope| {
+        for _ in 0..4 {
+            scope.spawn(|| {
+                let r = flex
+                    .query(QUERIES[1])
+                    .unwrap()
+                    .top(20)
+                    .algorithm(Algorithm::Hybrid)
+                    .threads(4)
+                    .execute();
+                assert_eq!(expected, render(&r));
+            });
+        }
+    });
+}
