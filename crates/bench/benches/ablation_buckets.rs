@@ -2,8 +2,8 @@
 //! same relaxation prefix. DESIGN.md: "Bucketization vs score-resorting
 //! (Hybrid's reason to exist)".
 
-use flexpath_bench::minibench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use flexpath::Algorithm;
+use flexpath_bench::minibench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use flexpath_bench::{bench_session, run_once, XQ3};
 
 fn ablation(c: &mut Criterion) {

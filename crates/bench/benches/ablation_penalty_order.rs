@@ -3,8 +3,8 @@
 //! `flexpath_bench::harness::ablations::penalty_order` for the one-shot
 //! variant with full statistics).
 
-use flexpath_bench::minibench::{criterion_group, criterion_main, Criterion};
 use flexpath_bench::harness::run_figure;
+use flexpath_bench::minibench::{criterion_group, criterion_main, Criterion};
 
 fn ablation(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_penalty_order");

@@ -2,8 +2,8 @@
 //! small-K Hybrid run against a run whose K is so large the threshold never
 //! binds, isolating pruning's effect on intermediate bookkeeping.
 
-use flexpath_bench::minibench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use flexpath::Algorithm;
+use flexpath_bench::minibench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use flexpath_bench::{bench_session, run_once, XQ2};
 
 fn ablation(c: &mut Criterion) {

@@ -1,8 +1,8 @@
 //! Related-work baselines (Section 7's three evaluation strategies) against
 //! DPO/SSO/Hybrid on the same workload.
 
-use flexpath_bench::minibench::{criterion_group, criterion_main, Criterion};
 use flexpath_bench::harness::run_figure;
+use flexpath_bench::minibench::{criterion_group, criterion_main, Criterion};
 
 fn baselines(c: &mut Criterion) {
     let mut group = c.benchmark_group("baselines");

@@ -5,8 +5,8 @@
 //! as relaxation count grows, because DPO pays one full evaluation per
 //! relaxation round.
 
-use flexpath_bench::minibench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use flexpath::Algorithm;
+use flexpath_bench::minibench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use flexpath_bench::{bench_session, run_once, QUERIES};
 
 fn fig09(c: &mut Criterion) {
@@ -15,13 +15,9 @@ fn fig09(c: &mut Criterion) {
     group.sample_size(10);
     for (name, query) in QUERIES {
         for alg in [Algorithm::Dpo, Algorithm::Sso] {
-            group.bench_with_input(
-                BenchmarkId::new(alg.to_string(), name),
-                &query,
-                |b, q| {
-                    b.iter(|| run_once(&flex, q, 50, alg, 1));
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(alg.to_string(), name), &query, |b, q| {
+                b.iter(|| run_once(&flex, q, 50, alg, 1));
+            });
         }
     }
     group.finish();

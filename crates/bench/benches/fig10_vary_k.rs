@@ -4,8 +4,8 @@
 //! makes it increasingly superior as K grows (paper reports up to 68%
 //! improvement at K = 600).
 
-use flexpath_bench::minibench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use flexpath::Algorithm;
+use flexpath_bench::minibench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use flexpath_bench::{bench_session, run_once, XQ3};
 
 fn fig10(c: &mut Criterion) {

@@ -4,8 +4,8 @@
 //! Expected shape: near-identical curves — at K = 12 relaxation is rarely
 //! needed, so both algorithms do one exact evaluation.
 
-use flexpath_bench::minibench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use flexpath::Algorithm;
+use flexpath_bench::minibench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use flexpath_bench::{bench_session, run_once, XQ2};
 
 fn fig11(c: &mut Criterion) {

@@ -5,8 +5,8 @@
 //! result counts grow with document size, and SSO's single encoded pass +
 //! pruning beats DPO's repeated rounds by a growing margin.
 
-use flexpath_bench::minibench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use flexpath::Algorithm;
+use flexpath_bench::minibench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use flexpath_bench::{bench_session, run_once, XQ2};
 
 fn fig12(c: &mut Criterion) {

@@ -5,8 +5,8 @@
 //! opening as relaxation count grows (more intermediate answers → more
 //! score-sorted inserts for SSO, still zero for Hybrid).
 
-use flexpath_bench::minibench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use flexpath::Algorithm;
+use flexpath_bench::minibench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use flexpath_bench::{bench_session, run_once, QUERIES};
 
 fn fig13(c: &mut Criterion) {
@@ -15,13 +15,9 @@ fn fig13(c: &mut Criterion) {
     group.sample_size(10);
     for (name, query) in QUERIES {
         for alg in [Algorithm::Sso, Algorithm::Hybrid] {
-            group.bench_with_input(
-                BenchmarkId::new(alg.to_string(), name),
-                &query,
-                |b, q| {
-                    b.iter(|| run_once(&flex, q, 500, alg, 1));
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(alg.to_string(), name), &query, |b, q| {
+                b.iter(|| run_once(&flex, q, 500, alg, 1));
+            });
         }
     }
     group.finish();

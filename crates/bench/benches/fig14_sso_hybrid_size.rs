@@ -1,8 +1,8 @@
 //! Figure 14 — varying document size (paper: 1–100 MB, Q3, K = 500):
 //! SSO vs Hybrid.
 
-use flexpath_bench::minibench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use flexpath::Algorithm;
+use flexpath_bench::minibench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use flexpath_bench::{bench_session, run_once, XQ3};
 
 fn fig14(c: &mut Criterion) {

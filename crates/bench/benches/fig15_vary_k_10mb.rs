@@ -5,8 +5,8 @@
 //! because the size of intermediate answers that need to be resorted
 //! depends on K."
 
-use flexpath_bench::minibench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use flexpath::Algorithm;
+use flexpath_bench::minibench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use flexpath_bench::{bench_session, run_once, XQ3};
 
 fn fig15(c: &mut Criterion) {

@@ -2,8 +2,8 @@
 //! SSO vs Hybrid. The criterion target uses an 8 MB stand-in; run
 //! `repro fig16 --scale 1.0` for the paper-scale sweep.
 
-use flexpath_bench::minibench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use flexpath::Algorithm;
+use flexpath_bench::minibench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use flexpath_bench::{bench_session, run_once, XQ3};
 
 fn fig16(c: &mut Criterion) {

@@ -3,15 +3,17 @@
 //! structural joins, full-text evaluation, closure computation, and
 //! relaxation-schedule construction.
 
-use flexpath_bench::minibench::{criterion_group, criterion_main, Criterion};
 use flexpath_bench::bench_config;
+use flexpath_bench::minibench::{criterion_group, criterion_main, Criterion};
 use flexpath_engine::{
     build_schedule, stack_tree_desc, EngineContext, PenaltyModel, WeightAssignment,
 };
 use flexpath_ftsearch::{FtExpr, InvertedIndex, ScoringModel};
 use flexpath_tpq::parse_query;
 use flexpath_xmark::generate;
-use flexpath_xmldom::{parse, parse_events, to_xml_string, DocStats, FnSink, ParseOptions, XmlEvent};
+use flexpath_xmldom::{
+    parse, parse_events, to_xml_string, DocStats, FnSink, ParseOptions, XmlEvent,
+};
 
 fn micro(c: &mut Criterion) {
     let doc = generate(&bench_config(1 << 20));

@@ -6,6 +6,9 @@
 //! repro all --scale 1.0          # paper-scale document sizes (1–100 MB)
 //! repro all --repeats 5          # median of 5 runs per cell
 //! repro all --json out.json      # also dump machine-readable series
+//! repro all --metrics results/metrics.json
+//!                                # dump the engine metrics registry
+//!                                # (same JSON the CLI's --metrics shows)
 //! repro --list                   # list figure ids
 //! ```
 //!
@@ -28,6 +31,7 @@ fn main() {
     let mut scale = 0.1f64;
     let mut repeats = 3usize;
     let mut json_path: Option<String> = None;
+    let mut metrics_path: Option<String> = None;
     let mut parallel = false;
     let mut i = 0;
     while i < args.len() {
@@ -50,6 +54,10 @@ fn main() {
                 i += 1;
                 json_path = args.get(i).cloned();
             }
+            "--metrics" => {
+                i += 1;
+                metrics_path = args.get(i).cloned();
+            }
             "--parallel" => parallel = true,
             "all" => figures.extend(FIGURES.iter().map(|f| f.id.to_string())),
             other => figures.push(other.to_string()),
@@ -57,7 +65,10 @@ fn main() {
         i += 1;
     }
     if figures.is_empty() {
-        eprintln!("usage: repro <all|figNN|ablation_*>... [--scale F] [--repeats N] [--json PATH] [--parallel]");
+        eprintln!(
+            "usage: repro <all|figNN|ablation_*>... [--scale F] [--repeats N] [--json PATH] \
+             [--metrics PATH] [--parallel]"
+        );
         eprintln!("       repro --list");
         std::process::exit(2);
     }
@@ -101,20 +112,32 @@ fn main() {
     all.sort_by(|a, b| a.id.cmp(&b.id));
     if let Some(path) = json_path {
         let body: Vec<String> = all.iter().map(render_json).collect();
-        let json = format!("[{}]", body.join(","));
-        // `--json results/run.json` should create `results/`, not error.
-        if let Some(parent) = std::path::Path::new(&path).parent() {
-            if !parent.as_os_str().is_empty() {
-                if let Err(e) = std::fs::create_dir_all(parent) {
-                    eprintln!("cannot create {}: {e}", parent.display());
-                    std::process::exit(1);
-                }
+        write_report(&path, &format!("[{}]", body.join(",")));
+    }
+    if let Some(path) = metrics_path {
+        // The cumulative engine registry over every figure just run — the
+        // same JSON `flexpath-cli --metrics` renders.
+        write_report(
+            &path,
+            &flexpath_engine::metrics::global().snapshot().render_json(),
+        );
+    }
+}
+
+/// Writes `body` to `path`, creating parent directories as needed
+/// (`--json results/run.json` should create `results/`, not error).
+fn write_report(path: &str, body: &str) {
+    if let Some(parent) = std::path::Path::new(path).parent() {
+        if !parent.as_os_str().is_empty() {
+            if let Err(e) = std::fs::create_dir_all(parent) {
+                eprintln!("cannot create {}: {e}", parent.display());
+                std::process::exit(1);
             }
         }
-        if let Err(e) = std::fs::write(&path, json) {
-            eprintln!("cannot write {path}: {e}");
-            std::process::exit(1);
-        }
-        println!("wrote {path}");
     }
+    if let Err(e) = std::fs::write(path, body) {
+        eprintln!("cannot write {path}: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {path}");
 }

@@ -66,19 +66,58 @@ pub struct FigureSpec {
 
 /// All reproducible figures and ablations.
 pub const FIGURES: [FigureSpec; 13] = [
-    FigureSpec { id: "fig09", title: "Varying number of relaxations (1MB, K=50): DPO vs SSO" },
-    FigureSpec { id: "fig10", title: "Varying K (10MB, Q3): DPO vs SSO" },
-    FigureSpec { id: "fig11", title: "Varying document size (K=12, Q2): DPO vs SSO" },
-    FigureSpec { id: "fig12", title: "Varying document size (K=500, Q2): DPO vs SSO" },
-    FigureSpec { id: "fig13", title: "Varying number of relaxations (10MB, K=500): SSO vs Hybrid" },
-    FigureSpec { id: "fig14", title: "Varying document size (K=500, Q3): SSO vs Hybrid" },
-    FigureSpec { id: "fig15", title: "Varying K (10MB, Q3): SSO vs Hybrid" },
-    FigureSpec { id: "fig16", title: "Varying K (100MB, Q3): SSO vs Hybrid" },
-    FigureSpec { id: "ablation_buckets", title: "Ablation: bucketization vs score-sorted inserts" },
-    FigureSpec { id: "ablation_pruning", title: "Ablation: threshold pruning on/off" },
-    FigureSpec { id: "ablation_penalty_order", title: "Ablation: penalty-ordered vs reversed DPO schedule" },
-    FigureSpec { id: "baselines", title: "Related-work baselines vs DPO/SSO/Hybrid (Section 7 strategies)" },
-    FigureSpec { id: "threads_scaling", title: "Thread scaling (fig09/fig10 workloads): 1/2/4/8 workers, identical ranking" },
+    FigureSpec {
+        id: "fig09",
+        title: "Varying number of relaxations (1MB, K=50): DPO vs SSO",
+    },
+    FigureSpec {
+        id: "fig10",
+        title: "Varying K (10MB, Q3): DPO vs SSO",
+    },
+    FigureSpec {
+        id: "fig11",
+        title: "Varying document size (K=12, Q2): DPO vs SSO",
+    },
+    FigureSpec {
+        id: "fig12",
+        title: "Varying document size (K=500, Q2): DPO vs SSO",
+    },
+    FigureSpec {
+        id: "fig13",
+        title: "Varying number of relaxations (10MB, K=500): SSO vs Hybrid",
+    },
+    FigureSpec {
+        id: "fig14",
+        title: "Varying document size (K=500, Q3): SSO vs Hybrid",
+    },
+    FigureSpec {
+        id: "fig15",
+        title: "Varying K (10MB, Q3): SSO vs Hybrid",
+    },
+    FigureSpec {
+        id: "fig16",
+        title: "Varying K (100MB, Q3): SSO vs Hybrid",
+    },
+    FigureSpec {
+        id: "ablation_buckets",
+        title: "Ablation: bucketization vs score-sorted inserts",
+    },
+    FigureSpec {
+        id: "ablation_pruning",
+        title: "Ablation: threshold pruning on/off",
+    },
+    FigureSpec {
+        id: "ablation_penalty_order",
+        title: "Ablation: penalty-ordered vs reversed DPO schedule",
+    },
+    FigureSpec {
+        id: "baselines",
+        title: "Related-work baselines vs DPO/SSO/Hybrid (Section 7 strategies)",
+    },
+    FigureSpec {
+        id: "threads_scaling",
+        title: "Thread scaling (fig09/fig10 workloads): 1/2/4/8 workers, identical ranking",
+    },
 ];
 
 const MB: usize = 1 << 20;
@@ -409,11 +448,18 @@ pub mod ablations {
                 ("DPO", Box::new(|r: &TopKRequest| dpo_topk(ctx, r))),
                 ("SSO", Box::new(|r: &TopKRequest| sso_topk(ctx, r))),
                 ("Hybrid", Box::new(|r: &TopKRequest| hybrid_topk(ctx, r))),
-                ("FullEncode", Box::new(|r: &TopKRequest| full_encoding_topk(ctx, r))),
-                ("RewriteEnum", Box::new(|r: &TopKRequest| {
-                    rewrite_enumeration_topk(ctx, r, 2_000)
-                })),
-                ("DataRelax", Box::new(|r: &TopKRequest| data_relaxation_topk(ctx, r))),
+                (
+                    "FullEncode",
+                    Box::new(|r: &TopKRequest| full_encoding_topk(ctx, r)),
+                ),
+                (
+                    "RewriteEnum",
+                    Box::new(|r: &TopKRequest| rewrite_enumeration_topk(ctx, r, 2_000)),
+                ),
+                (
+                    "DataRelax",
+                    Box::new(|r: &TopKRequest| data_relaxation_topk(ctx, r)),
+                ),
             ];
             for (label, run) in runners {
                 let req = TopKRequest::new(query.clone(), k);
@@ -535,7 +581,7 @@ pub mod ablations {
                 seen.clear();
                 rounds_used = 0;
                 let count_round = |q: &flexpath::Tpq,
-                                       seen: &mut std::collections::HashSet<flexpath::NodeId>|
+                                   seen: &mut std::collections::HashSet<flexpath::NodeId>|
                  -> usize {
                     let enc = EncodedQuery::exact(ctx, &model, q);
                     let mut fresh = 0usize;
@@ -558,9 +604,7 @@ pub mod ablations {
                     }
                     rounds_used += 1;
                     // Apply this step's operator to the *current* query.
-                    if let Ok(next) =
-                        flexpath_tpq::apply_op(&current, &schedule[si].op)
-                    {
+                    if let Ok(next) = flexpath_tpq::apply_op(&current, &schedule[si].op) {
                         current = next;
                         answers += count_round(&current, &mut seen);
                     }
@@ -569,7 +613,12 @@ pub mod ablations {
             }
             times.sort_by(f64::total_cmp);
             RunRecord {
-                algorithm: if reversed { "DPO-reversed" } else { "DPO-penalty" }.into(),
+                algorithm: if reversed {
+                    "DPO-reversed"
+                } else {
+                    "DPO-penalty"
+                }
+                .into(),
                 millis: times[times.len() / 2],
                 answers: answers.min(k),
                 relaxations: rounds_used,
@@ -607,8 +656,8 @@ pub mod ablations {
             };
             let mut current = query.clone();
             let round = |q: &flexpath::Tpq,
-                             seen: &mut std::collections::HashSet<flexpath::NodeId>,
-                             admitted: &mut Vec<flexpath::NodeId>| {
+                         seen: &mut std::collections::HashSet<flexpath::NodeId>,
+                         admitted: &mut Vec<flexpath::NodeId>| {
                 let enc = EncodedQuery::exact(ctx, &model, q);
                 flexpath_engine::exec::evaluate_encoded(
                     ctx,
@@ -638,8 +687,7 @@ pub mod ablations {
             if truth.is_empty() {
                 return 1.0;
             }
-            admitted.iter().filter(|n| truth.contains(n)).count() as f64
-                / truth.len() as f64
+            admitted.iter().filter(|n| truth.contains(n)).count() as f64 / truth.len() as f64
         };
         let mut forward = run_order(false);
         forward.note = format!("top-K overlap {:.0}%", overlap(false) * 100.0);

@@ -26,22 +26,20 @@ pub fn render_table(series: &Series) -> String {
             .records
             .iter()
             .map(|r| {
-                {
-                    let mut n = format!(
-                        "{}: ans={} rel={} ev={} int={} sh={} bk={}",
-                        r.algorithm,
-                        r.answers,
-                        r.relaxations,
-                        r.evaluations,
-                        r.intermediates,
-                        r.shifts,
-                        r.buckets
-                    );
-                    if !r.note.is_empty() {
-                        n.push_str(&format!(" [{}]", r.note));
-                    }
-                    n
+                let mut n = format!(
+                    "{}: ans={} rel={} ev={} int={} sh={} bk={}",
+                    r.algorithm,
+                    r.answers,
+                    r.relaxations,
+                    r.evaluations,
+                    r.intermediates,
+                    r.shifts,
+                    r.buckets
+                );
+                if !r.note.is_empty() {
+                    n.push_str(&format!(" [{}]", r.note));
                 }
+                n
             })
             .collect();
         let _ = writeln!(out, " {}", notes.join("; "));

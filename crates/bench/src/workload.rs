@@ -90,6 +90,9 @@ mod tests {
                 .relaxations_used
         };
         assert_eq!(relaxations(XQ1), 0, "Q1 needs no relaxation at K=50");
-        assert!(relaxations(XQ3) > relaxations(XQ1), "Q3 must need relaxation");
+        assert!(
+            relaxations(XQ3) > relaxations(XQ1),
+            "Q3 must need relaxation"
+        );
     }
 }

@@ -4,10 +4,11 @@
 //! explainable*: each one corresponds to a specific set of dropped closure
 //! predicates with data-derived penalties. These helpers render that story.
 
+use crate::session::FleXPath;
 use flexpath_engine::{
-    build_schedule, Answer, EncodedQuery, EngineContext, PenaltyModel, WeightAssignment,
+    build_schedule, Algorithm, Answer, EncodedQuery, EngineContext, PenaltyModel, WeightAssignment,
 };
-use flexpath_tpq::Tpq;
+use flexpath_tpq::{QueryParseError, Tpq};
 use std::fmt::Write as _;
 
 /// Renders the penalty-ordered relaxation schedule of `query` against the
@@ -52,6 +53,38 @@ pub fn explain_plan(ctx: &EngineContext, query: &Tpq, max_steps: usize) -> Strin
     enc.describe(ctx)
 }
 
+/// EXPLAIN ANALYZE: *runs* `xpath` with tracing enabled and renders what
+/// actually happened — the span tree (parse, schedule, every relaxation
+/// round / evaluation pass, with candidate / prune / cache / governor
+/// counters and wall-clock durations) followed by the deterministic
+/// counter fingerprint (the digest that is byte-identical across
+/// `--threads` values; see `flexpath_engine::metrics`).
+pub fn explain_profile(
+    flex: &FleXPath,
+    xpath: &str,
+    k: usize,
+    algorithm: Algorithm,
+) -> Result<String, QueryParseError> {
+    let results = flex
+        .query(xpath)?
+        .top(k)
+        .algorithm(algorithm)
+        .trace()
+        .execute();
+    let mut out = String::new();
+    let _ = writeln!(out, "EXPLAIN ANALYZE  algorithm={algorithm} k={k}");
+    let _ = writeln!(out, "query: {xpath}");
+    let _ = writeln!(out, "completeness: {}", results.completeness);
+    let _ = writeln!(out, "answers returned: {}", results.hits.len());
+    if let Some(trace) = &results.trace {
+        let _ = writeln!(out, "--- span tree ---");
+        out.push_str(&trace.render_text());
+        let _ = writeln!(out, "--- deterministic counter fingerprint ---");
+        out.push_str(&trace.counter_fingerprint());
+    }
+    Ok(out)
+}
+
 /// Renders one answer: its node, scores, and relaxation level.
 pub fn explain_answer(ctx: &EngineContext, answer: &Answer) -> String {
     let doc = ctx.doc();
@@ -69,7 +102,11 @@ pub fn explain_answer(ctx: &EngineContext, answer: &Answer) -> String {
             out,
             "  (admitted after {} relaxation step{})",
             answer.relaxation_level,
-            if answer.relaxation_level == 1 { "" } else { "s" }
+            if answer.relaxation_level == 1 {
+                ""
+            } else {
+                "s"
+            }
         );
     }
     out
@@ -86,7 +123,8 @@ mod tests {
         <article><note>XML streaming</note></article>\
         </site>";
 
-    const Q1: &str = "//article[./section[./algorithm and ./paragraph[.contains(\"XML\" and \"streaming\")]]]";
+    const Q1: &str =
+        "//article[./section[./algorithm and ./paragraph[.contains(\"XML\" and \"streaming\")]]]";
 
     #[test]
     fn schedule_explanation_mentions_operators_and_penalties() {
@@ -120,9 +158,25 @@ mod tests {
         let text = explain_plan(flex.context(), &q, 64);
         assert!(text.contains("encoded plan"), "{text}");
         assert!(text.contains("[root]"), "{text}");
-        assert!(text.contains("ghost"), "fully relaxed plan has ghosts: {text}");
+        assert!(
+            text.contains("ghost"),
+            "fully relaxed plan has ghosts: {text}"
+        );
         assert!(text.contains("π="), "{text}");
         assert!(text.contains("requires contains#0"), "{text}");
+    }
+
+    #[test]
+    fn profile_renders_spans_and_fingerprint() {
+        let flex = FleXPath::from_xml(CORPUS).unwrap();
+        let text = explain_profile(&flex, Q1, 2, crate::Algorithm::Dpo).unwrap();
+        assert!(text.contains("EXPLAIN ANALYZE"), "{text}");
+        assert!(text.contains("span tree"), "{text}");
+        assert!(text.contains("round[0] op=exact"), "{text}");
+        assert!(text.contains("round.candidates="), "{text}");
+        assert!(text.contains("governor.checkpoint."), "{text}");
+        assert!(text.contains("counter fingerprint"), "{text}");
+        assert!(text.contains("dpo>schedule"), "{text}");
     }
 
     #[test]

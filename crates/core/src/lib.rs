@@ -56,15 +56,24 @@
 pub mod explain;
 pub mod session;
 
-pub use explain::{explain_answer, explain_plan, explain_schedule};
+pub use explain::{explain_answer, explain_plan, explain_profile, explain_schedule};
 pub use session::{FleXPath, QueryResults, TopKQuery};
 
 // Re-exports for downstream users.
 pub use flexpath_engine::{
-    Algorithm, Answer, AnswerScore, AttrRelaxation, CancelToken, Completeness,
-    EngineError, ExecStats, ExhaustReason, ParallelConfig, QueryLimits, RankingScheme,
-    TagHierarchy, WeightAssignment,
+    Algorithm, Answer, AnswerScore, AttrRelaxation, CancelToken, Completeness, EngineError,
+    ExecStats, ExhaustReason, MetricsRegistry, MetricsSnapshot, ParallelConfig, QueryLimits,
+    QueryTrace, RankingScheme, TagHierarchy, TraceSpan, WeightAssignment,
 };
+
+/// The process-wide engine metrics registry (see
+/// [`flexpath_engine::metrics`]): cumulative counters and duration
+/// histograms across every query run in this process.
+pub fn engine_metrics() -> MetricsSnapshot {
+    flexpath_engine::metrics::global().snapshot()
+}
 pub use flexpath_ftsearch::{FtExpr, Thesaurus};
-pub use flexpath_tpq::{parse_query, parse_query_weighted, QueryParseError, RelaxOp, Tpq, TpqBuilder};
+pub use flexpath_tpq::{
+    parse_query, parse_query_weighted, QueryParseError, RelaxOp, Tpq, TpqBuilder,
+};
 pub use flexpath_xmldom::{parse as parse_xml, Document, NodeId, ParseError};

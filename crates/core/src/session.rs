@@ -1,9 +1,9 @@
 //! The FleXPath session and query-builder API.
 
 use flexpath_engine::{
-    dpo_topk, hybrid_topk, sso_topk, Algorithm, Answer, AttrRelaxation, CancelToken,
-    Completeness, EngineContext, EngineError, ExecStats, ParallelConfig, QueryLimits,
-    RankingScheme, TagHierarchy, TopKRequest, TopKResult, WeightAssignment,
+    dpo_topk, hybrid_topk, sso_topk, Algorithm, Answer, AttrRelaxation, CancelToken, Completeness,
+    EngineContext, EngineError, ExecStats, ParallelConfig, QueryLimits, QueryTrace, RankingScheme,
+    TagHierarchy, TopKRequest, TopKResult, TraceSpan, WeightAssignment,
 };
 use flexpath_ftsearch::{highlight, HighlightStyle, Thesaurus};
 use flexpath_tpq::{parse_query_weighted, QueryParseError, Tpq};
@@ -82,8 +82,11 @@ impl FleXPath {
     /// annotations on steps / contains predicates become weight overrides
     /// (paper Section 4.1: "this weight may be user-specified").
     pub fn query(&self, xpath: &str) -> Result<TopKQuery<'_>, QueryParseError> {
+        let parse_started = std::time::Instant::now();
         let (tpq, overrides) = parse_query_weighted(xpath)?;
+        let parse_time = parse_started.elapsed();
         let mut q = self.query_tpq(tpq);
+        q.parse_time = Some(parse_time);
         if !overrides.is_empty() {
             let mut weights = WeightAssignment::uniform();
             for (pred, w) in overrides {
@@ -101,6 +104,7 @@ impl FleXPath {
             request: TopKRequest::new(tpq, 10),
             algorithm: Algorithm::Hybrid,
             thesaurus: None,
+            parse_time: None,
         }
     }
 
@@ -133,12 +137,7 @@ impl FleXPath {
     }
 
     /// [`highlight`](Self::highlight) with custom markers / snippet length.
-    pub fn highlight_styled(
-        &self,
-        node: NodeId,
-        query: &Tpq,
-        style: &HighlightStyle,
-    ) -> String {
+    pub fn highlight_styled(&self, node: NodeId, query: &Tpq, style: &HighlightStyle) -> String {
         // Union all the query's contains expressions into one for marking.
         let exprs: Vec<_> = query
             .nodes()
@@ -165,9 +164,9 @@ impl FleXPath {
 /// Case-insensitive scan for a `<!DOCTYPE` declaration.
 fn contains_doctype(part: &str) -> bool {
     let bytes = part.as_bytes();
-    bytes.windows(9).any(|w| {
-        w[0] == b'<' && w[1] == b'!' && w[2..].eq_ignore_ascii_case(b"doctype")
-    })
+    bytes
+        .windows(9)
+        .any(|w| w[0] == b'<' && w[1] == b'!' && w[2..].eq_ignore_ascii_case(b"doctype"))
 }
 
 /// A configurable top-K query (builder style).
@@ -176,6 +175,7 @@ pub struct TopKQuery<'a> {
     request: TopKRequest,
     algorithm: Algorithm,
     thesaurus: Option<Thesaurus>,
+    parse_time: Option<Duration>,
 }
 
 impl TopKQuery<'_> {
@@ -269,6 +269,15 @@ impl TopKQuery<'_> {
         self
     }
 
+    /// Collects a per-query execution trace: [`QueryResults::trace`] will
+    /// carry a [`QueryTrace`] span tree covering parse, scheduling, and
+    /// every relaxation round / evaluation pass. Off by default (tracing
+    /// allocates a span tree per round).
+    pub fn trace(mut self) -> Self {
+        self.request.collect_trace = true;
+        self
+    }
+
     /// The underlying request (for advanced use).
     pub fn request(&self) -> &TopKRequest {
         &self.request
@@ -285,11 +294,21 @@ impl TopKQuery<'_> {
             Algorithm::Sso => sso_topk(&self.flex.ctx, &request),
             Algorithm::Hybrid => hybrid_topk(&self.flex.ctx, &request),
         };
+        let mut trace = result.trace;
+        if let (Some(t), Some(parse_time)) = (trace.as_mut(), self.parse_time) {
+            // The parse happened before the engine's root span existed;
+            // splice it in as the first child so the tree reads in
+            // pipeline order (parse → schedule → rounds).
+            let mut parse_span = TraceSpan::new("parse");
+            parse_span.duration = parse_time;
+            t.root.children.insert(0, parse_span);
+        }
         QueryResults {
             hits: result.answers,
             stats: result.stats,
             completeness: result.completeness,
             algorithm: self.algorithm,
+            trace,
         }
     }
 }
@@ -305,6 +324,8 @@ pub struct QueryResults {
     pub completeness: Completeness,
     /// The algorithm that produced them.
     pub algorithm: Algorithm,
+    /// Execution trace (present only when [`TopKQuery::trace`] was set).
+    pub trace: Option<QueryTrace>,
 }
 
 impl QueryResults {
@@ -320,8 +341,7 @@ impl QueryResults {
 
     /// Whether any answer required relaxation.
     pub fn used_relaxation(&self) -> bool {
-        self.hits.iter().any(|h| h.relaxation_level > 0)
-            || self.stats.relaxations_used > 0
+        self.hits.iter().any(|h| h.relaxation_level > 0) || self.stats.relaxations_used > 0
     }
 }
 
@@ -337,7 +357,8 @@ mod tests {
         <article id=\"loose\"><note>XML streaming</note></article>\
         </site>";
 
-    const Q1: &str = "//article[./section[./algorithm and ./paragraph[.contains(\"XML\" and \"streaming\")]]]";
+    const Q1: &str =
+        "//article[./section[./algorithm and ./paragraph[.contains(\"XML\" and \"streaming\")]]]";
 
     #[test]
     fn session_end_to_end() {
@@ -485,6 +506,29 @@ mod tests {
                 .execute();
             assert!(r.hits.is_empty(), "{alg}: no budget, no answers");
             assert!(!r.is_complete(), "{alg}: must report exhaustion");
+        }
+    }
+
+    #[test]
+    fn trace_opt_in_yields_span_tree_with_parse_span() {
+        let flex = FleXPath::from_xml(CORPUS).unwrap();
+        let untraced = flex.query(Q1).unwrap().top(3).execute();
+        assert!(untraced.trace.is_none(), "tracing must be opt-in");
+        for alg in [Algorithm::Dpo, Algorithm::Sso, Algorithm::Hybrid] {
+            let r = flex
+                .query(Q1)
+                .unwrap()
+                .top(3)
+                .algorithm(alg)
+                .trace()
+                .execute();
+            let trace = r.trace.expect("trace requested");
+            assert_eq!(
+                trace.root.children.first().map(|s| s.name.as_str()),
+                Some("parse"),
+                "{alg}"
+            );
+            assert!(trace.find("schedule").is_some(), "{alg}");
         }
     }
 

@@ -206,10 +206,8 @@ mod tests {
         // Prices 80, 95, 105, 120 with bound ≤ 100, slack 10%:
         // strict = {80, 95}, relaxed = {80, 95, 105} → π = 2/3.
         let ctx = EngineContext::new(
-            parse(
-                "<r><i price=\"80\"/><i price=\"95\"/><i price=\"105\"/><i price=\"120\"/></r>",
-            )
-            .unwrap(),
+            parse("<r><i price=\"80\"/><i price=\"95\"/><i price=\"105\"/><i price=\"120\"/></r>")
+                .unwrap(),
         );
         let r = AttrRelaxation {
             slack: 0.1,

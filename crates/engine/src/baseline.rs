@@ -219,7 +219,10 @@ mod tests {
         let ctx = EngineContext::new(parse(ARTICLES).unwrap());
         let req = TopKRequest::new(q1(), 4);
         let dr = data_relaxation_topk(&ctx, &req);
-        assert!(dr.stats.shortcut_pairs > 0, "closure must materialize pairs");
+        assert!(
+            dr.stats.shortcut_pairs > 0,
+            "closure must materialize pairs"
+        );
         let hybrid = hybrid_topk(&ctx, &req);
         let mut a = dr.nodes();
         let mut b = hybrid.nodes();
@@ -233,9 +236,8 @@ mod tests {
         // Recursive tags are the killer for data relaxation: parlist chains
         // of depth d materialize O(d²) pairs.
         let shallow = EngineContext::new(parse("<r><p><p/></p></r>").unwrap());
-        let deep = EngineContext::new(
-            parse("<r><p><p><p><p><p><p/></p></p></p></p></p></r>").unwrap(),
-        );
+        let deep =
+            EngineContext::new(parse("<r><p><p><p><p><p><p/></p></p></p></p></p></r>").unwrap());
         let mut b = TpqBuilder::new("p");
         b.child(0, "p");
         let q = b.build();

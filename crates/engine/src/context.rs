@@ -6,8 +6,10 @@
 //! the document in order to obtain counts of the various types of nodes and
 //! edges").
 
-use flexpath_ftsearch::{Budget, FtEval, FtExpr, InvertedIndex, ScoringModel, ShardedCache};
-use flexpath_xmldom::{Document, DocStats, NodeId, Sym};
+use flexpath_ftsearch::{
+    Budget, CacheStats, FtEval, FtExpr, InvertedIndex, ScoringModel, ShardedCache,
+};
+use flexpath_xmldom::{DocStats, Document, NodeId, Sym};
 use std::sync::Arc;
 
 /// Owns one document plus every auxiliary structure the engine needs.
@@ -85,6 +87,13 @@ impl EngineContext {
     /// Number of cached full-text evaluations (for tests/stats).
     pub fn ft_cache_size(&self) -> usize {
         self.ft_cache.len()
+    }
+
+    /// Hit/miss/insert/eviction counters of the full-text cache. The
+    /// counters are cumulative over the context's lifetime; observability
+    /// callers snapshot before and after a run and report the delta.
+    pub fn ft_cache_stats(&self) -> CacheStats {
+        self.ft_cache.stats()
     }
 
     /// Resolves a query tag name against the document's symbol table.

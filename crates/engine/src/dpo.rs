@@ -31,12 +31,14 @@
 use crate::context::EngineContext;
 use crate::encode::EncodedQuery;
 use crate::exec::{evaluate_encoded_budgeted, evaluate_encoded_parallel};
-use crate::governor::{Completeness, ExhaustReason};
+use crate::governor::{reason_key, CheckpointSite, Completeness, ExhaustReason};
+use crate::metrics::{self, TraceSpan, Tracer};
 use crate::parallel::{fan_out, ParallelConfig};
-use crate::schedule::build_schedule_parallel;
+use crate::schedule::build_schedule_reported;
 use crate::score::{PenaltyModel, RankingScheme};
 use crate::topk::{sort_answers, Answer, ExecStats, TopKRequest, TopKResult};
 use std::collections::HashSet;
+use std::time::{Duration, Instant};
 
 /// Runs the DPO top-K algorithm under the request's resource limits.
 ///
@@ -45,9 +47,17 @@ use std::collections::HashSet;
 /// rounds, which by Theorem 3 is a prefix of the unbounded run's ranking
 /// under structure-first order.
 pub fn dpo_topk(ctx: &EngineContext, request: &TopKRequest) -> TopKResult {
+    let started = Instant::now();
+    let mut tracer = if request.collect_trace {
+        Tracer::enabled("dpo")
+    } else {
+        Tracer::disabled()
+    };
+    let cache_before = tracer.is_enabled().then(|| ctx.ft_cache_stats());
     let budget = request.limits.budget(request.cancel.clone());
     let model = PenaltyModel::new(&request.query, request.weights.clone());
-    let mut schedule = build_schedule_parallel(
+    tracer.begin("schedule");
+    let (mut schedule, sched_report) = build_schedule_reported(
         ctx,
         &model,
         &request.query,
@@ -64,6 +74,13 @@ pub fn dpo_topk(ctx: &EngineContext, request: &TopKRequest) -> TopKResult {
             schedule.truncate(cap);
         }
     }
+    if tracer.is_enabled() {
+        tracer.add("schedule.steps", schedule.len() as u64);
+        tracer.add("schedule.truncated", truncated_steps as u64);
+        tracer.add("schedule.ops_scored", sched_report.ops_scored);
+        tracer.add("governor.checkpoint.schedule", sched_report.checkpoints);
+    }
+    tracer.end();
     let base_ss = model.base_structural_score(&request.query);
     let m = request.query.contains_count() as f64; // Combined-scheme bound
 
@@ -74,6 +91,9 @@ pub fn dpo_topk(ctx: &EngineContext, request: &TopKRequest) -> TopKResult {
     let mut ss_at_k: Option<f64> = None;
     // Rounds whose deltas were fully committed (round 0 = the exact query).
     let mut completed_rounds = 0usize;
+    // Speculatively evaluated rounds thrown away (batch-size dependent,
+    // hence scheduling-dependent — traced under the `nd.` namespace).
+    let mut discarded_rounds = 0usize;
 
     // Stop before evaluating (or committing) a round that cannot contribute
     // to the top K.
@@ -134,7 +154,8 @@ pub fn dpo_topk(ctx: &EngineContext, request: &TopKRequest) -> TopKResult {
         // workers dedup only within their own round; the cross-round filter
         // happens at merge time, in round order, exactly as the sequential
         // loop interleaves it.
-        let evaluated: Vec<(Vec<Answer>, u64)> = fan_out(batch, batch, |bi| {
+        let evaluated: Vec<(Vec<Answer>, u64, u64, Duration)> = fan_out(batch, batch, |bi| {
+            let round_started = Instant::now();
             let round = next_round + bi;
             let round_query = if round == 0 {
                 request.query.clone()
@@ -175,16 +196,23 @@ pub fn dpo_topk(ctx: &EngineContext, request: &TopKRequest) -> TopKResult {
                     });
                 }
             };
-            if within_round.is_parallel() {
-                let (collected, _) =
+            let candidates = if within_round.is_parallel() {
+                let (collected, eval_stats) =
                     evaluate_encoded_parallel(ctx, &enc, request.scheme, &budget, &within_round);
                 for a in collected {
                     on_answer(a);
                 }
+                eval_stats.candidates_examined
             } else {
-                evaluate_encoded_budgeted(ctx, &enc, request.scheme, &budget, on_answer);
-            }
-            (round_delta, intermediates)
+                evaluate_encoded_budgeted(ctx, &enc, request.scheme, &budget, on_answer)
+                    .candidates_examined
+            };
+            (
+                round_delta,
+                intermediates,
+                candidates,
+                round_started.elapsed(),
+            )
         });
         if budget.tripped().is_some() {
             // Partial batch: discard its deltas entirely (Theorem 3 prefix
@@ -193,22 +221,54 @@ pub fn dpo_topk(ctx: &EngineContext, request: &TopKRequest) -> TopKResult {
             // aborted evaluation the way the sequential loop does.
             stats.evaluations += 1;
             stats.relaxations_used = next_round;
+            discarded_rounds += batch;
             break;
         }
         // Commit the batch strictly in round order, re-applying the stop
         // conditions against the growing committed state.
-        for (bi, (mut round_delta, intermediates)) in evaluated.into_iter().enumerate() {
+        for (bi, (mut round_delta, intermediates, candidates, round_time)) in
+            evaluated.into_iter().enumerate()
+        {
             let round = next_round + bi;
             let round_ss = round_ss_of(round);
             if bi > 0 && should_stop(&answers, ss_at_k, round_ss) {
                 // Wasted speculation: this round (and everything after it)
                 // would never have been evaluated sequentially.
+                discarded_rounds += batch - bi;
                 break 'rounds;
             }
             stats.evaluations += 1;
             stats.relaxations_used = round;
             stats.intermediate_answers += intermediates as usize;
+            let before_dedup = round_delta.len();
             round_delta.retain(|a| !seen.contains(&a.node));
+            if tracer.is_enabled() {
+                // Span attachment happens only here, at commit time and in
+                // round order, so the span tree (and every non-`nd.`
+                // counter) is identical at every thread count.
+                let mut span = TraceSpan::new(if round == 0 {
+                    "round[0] op=exact".to_string()
+                } else {
+                    format!("round[{round}] op={}", schedule[round - 1].op)
+                });
+                span.duration = round_time;
+                span.add("round.candidates", candidates);
+                span.add("round.intermediates", intermediates);
+                span.add("round.admitted", round_delta.len() as u64);
+                span.add(
+                    "round.duplicates_pruned",
+                    (before_dedup - round_delta.len()) as u64,
+                );
+                if round > 0 {
+                    span.add(
+                        "round.dropped_preds",
+                        schedule[round - 1].new_dropped.len() as u64,
+                    );
+                }
+                span.add("governor.checkpoint.dpo_round", 1);
+                span.add("governor.checkpoint.candidate_loop", candidates);
+                tracer.attach(span);
+            }
             seen.extend(round_delta.iter().map(|a| a.node));
             answers.append(&mut round_delta);
             completed_rounds = round + 1;
@@ -247,11 +307,59 @@ pub fn dpo_topk(ctx: &EngineContext, request: &TopKRequest) -> TopKResult {
     } else {
         Completeness::Complete
     };
+    if tracer.is_enabled() {
+        tracer.add_root("dpo.rounds_total", (schedule.len() + 1) as u64);
+        tracer.add_root("dpo.rounds_committed", completed_rounds as u64);
+        tracer.add_root("evaluations", stats.evaluations as u64);
+        if discarded_rounds > 0 {
+            tracer.add_root("nd.dpo.rounds_discarded", discarded_rounds as u64);
+        }
+        record_common_root(&mut tracer, ctx, cache_before, &budget);
+        if let Some(reason) = completeness.exhaust_reason() {
+            let site = CheckpointSite::for_reason(reason, CheckpointSite::DpoRound);
+            tracer.record_trip(site.name(), reason_key(reason));
+        }
+    }
+    let reg = metrics::global();
+    reg.add("engine.query.count", 1);
+    reg.add("engine.query.dpo", 1);
+    reg.observe_duration("engine.query_duration", started.elapsed());
     TopKResult {
         answers,
         stats,
         completeness,
+        trace: None,
     }
+    .with_trace(tracer.finish())
+}
+
+/// Adds the whole-query root counters shared by all three algorithms: the
+/// full-text cache delta for this run and the postings total — all under
+/// `nd.` because cache hit/miss splits (and hence postings scanned through
+/// the cache) legitimately vary with thread scheduling.
+pub(crate) fn record_common_root(
+    tracer: &mut Tracer,
+    ctx: &EngineContext,
+    cache_before: Option<flexpath_ftsearch::CacheStats>,
+    budget: &crate::governor::Budget,
+) {
+    if let Some(before) = cache_before {
+        let after = ctx.ft_cache_stats();
+        tracer.add_root("nd.cache.hits", after.hits.saturating_sub(before.hits));
+        tracer.add_root(
+            "nd.cache.misses",
+            after.misses.saturating_sub(before.misses),
+        );
+        tracer.add_root(
+            "nd.cache.inserts",
+            after.inserts.saturating_sub(before.inserts),
+        );
+        tracer.add_root(
+            "nd.cache.evictions",
+            after.evictions.saturating_sub(before.evictions),
+        );
+    }
+    tracer.add_root("nd.ft.postings_scanned", budget.postings_scanned());
 }
 
 #[cfg(test)]

@@ -365,12 +365,8 @@ impl EncodedQuery {
         for (si, step) in steps.iter().enumerate() {
             for (pred, penalty) in &step.new_dropped {
                 let (owner, check) = match pred {
-                    Predicate::Pc(x, y) => {
-                        (idx_of_var(*y), BitCheck::PcFrom(idx_of_var(*x)))
-                    }
-                    Predicate::Ad(x, y) => {
-                        (idx_of_var(*y), BitCheck::AdFrom(idx_of_var(*x)))
-                    }
+                    Predicate::Pc(x, y) => (idx_of_var(*y), BitCheck::PcFrom(idx_of_var(*x))),
+                    Predicate::Ad(x, y) => (idx_of_var(*y), BitCheck::AdFrom(idx_of_var(*x))),
                     Predicate::Contains(v, e) => (
                         idx_of_var(*v),
                         BitCheck::ContainsHere(ctx.ft_eval_budgeted(e, budget)),
@@ -395,8 +391,12 @@ impl EncodedQuery {
                 if relaxable.len() >= 64 {
                     break;
                 }
-                let Some(tag) = node.tag.as_deref() else { continue };
-                let Some(siblings) = h.siblings(tag) else { continue };
+                let Some(tag) = node.tag.as_deref() else {
+                    continue;
+                };
+                let Some(siblings) = h.siblings(tag) else {
+                    continue;
+                };
                 let alt: Vec<Sym> = siblings
                     .iter()
                     .filter(|m| &***m != tag)
@@ -410,14 +410,16 @@ impl EncodedQuery {
                     .map(|sym| ctx.stats().tag_count(sym))
                     .unwrap_or(0);
                 let member_total: u64 = own_count
-                    + alt.iter().map(|&sym| ctx.stats().tag_count(sym)).sum::<u64>();
+                    + alt
+                        .iter()
+                        .map(|&sym| ctx.stats().tag_count(sym))
+                        .sum::<u64>();
                 if member_total == 0 {
                     continue;
                 }
                 // A tag whose subtype dominates its supertype gains little
                 // by relaxing — penalty close to the full weight.
-                let penalty =
-                    (own_count as f64 / member_total as f64).clamp(0.0, 1.0) * h.weight();
+                let penalty = (own_count as f64 / member_total as f64).clamp(0.0, 1.0) * h.weight();
                 // The node may now match sibling tags even though its own
                 // tag resolved to nothing.
                 specs[idx].alt_tags = alt;
@@ -490,7 +492,13 @@ impl EncodedQuery {
             let tag = spec
                 .tag
                 .map(|s| ctx.doc().symbols().name(s).to_string())
-                .unwrap_or_else(|| if spec.tag_missing { "<missing>".into() } else { "*".into() });
+                .unwrap_or_else(|| {
+                    if spec.tag_missing {
+                        "<missing>".into()
+                    } else {
+                        "*".into()
+                    }
+                });
             let role = if !spec.surviving {
                 "ghost"
             } else if spec.parent.is_none() {

@@ -153,7 +153,16 @@ pub fn evaluate_encoded_budgeted(
             }
         }
     }
+    record_eval(&ev.stats);
     ev.stats
+}
+
+/// Folds one encoded-plan evaluation into the process-wide registry.
+fn record_eval(stats: &EvalStats) {
+    let reg = crate::metrics::global();
+    reg.add("engine.exec.evaluations", 1);
+    reg.add("engine.exec.candidates", stats.candidates_examined);
+    reg.add("engine.exec.answers", stats.answers);
 }
 
 /// [`evaluate_encoded_budgeted`] fanned out over worker threads, collecting
@@ -182,7 +191,8 @@ pub fn evaluate_encoded_parallel(
 ) -> (Vec<Answer>, EvalStats) {
     let dist = enc.distinguished_spec();
     let root_spec = 0usize;
-    let outer: Vec<NodeId> = spec_candidates(ctx, enc, if dist == root_spec { root_spec } else { dist });
+    let outer: Vec<NodeId> =
+        spec_candidates(ctx, enc, if dist == root_spec { root_spec } else { dist });
     let workers = parallel.workers_for_candidates(outer.len());
     if workers <= 1 {
         let mut answers = Vec::new();
@@ -252,6 +262,7 @@ pub fn evaluate_encoded_parallel(
         stats.candidates_examined += s.candidates_examined;
         stats.answers += s.answers;
     }
+    record_eval(&stats);
     (all, stats)
 }
 
@@ -506,11 +517,7 @@ mod tests {
         (ctx, model)
     }
 
-    fn collect(
-        ctx: &EngineContext,
-        enc: &EncodedQuery,
-        scheme: RankingScheme,
-    ) -> Vec<Answer> {
+    fn collect(ctx: &EngineContext, enc: &EncodedQuery, scheme: RankingScheme) -> Vec<Answer> {
         let mut out = Vec::new();
         evaluate_encoded(ctx, enc, scheme, |a| out.push(a));
         out

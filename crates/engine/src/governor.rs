@@ -105,6 +105,89 @@ impl QueryLimits {
     }
 }
 
+/// The named engine locations where a budget trip can first be observed.
+///
+/// Each site corresponds to one cooperative-checkpoint location in the
+/// engine; when a budgeted run stops, the site that first saw the tripped
+/// budget is recorded in the query trace as `governor.trip.site.<name>`
+/// (see [`crate::metrics`]), alongside per-site checkpoint counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CheckpointSite {
+    /// Schedule construction (one check per relaxation step scored).
+    Schedule,
+    /// DPO's per-round boundary (commit loop).
+    DpoRound,
+    /// SSO's per-pass boundary (restart loop).
+    SsoPass,
+    /// Hybrid's per-pass boundary (restart loop).
+    HybridPass,
+    /// The encoded-plan candidate loop (per outer candidate).
+    CandidateLoop,
+    /// Full-text `contains` evaluation (postings scans).
+    FtEval,
+}
+
+impl CheckpointSite {
+    /// Every checkpoint site, for coverage tests and docs.
+    pub const ALL: [CheckpointSite; 6] = [
+        CheckpointSite::Schedule,
+        CheckpointSite::DpoRound,
+        CheckpointSite::SsoPass,
+        CheckpointSite::HybridPass,
+        CheckpointSite::CandidateLoop,
+        CheckpointSite::FtEval,
+    ];
+
+    /// The site to attribute a trip to: budget-typed reasons map to the
+    /// site whose charge can trip them (postings charges happen inside FT
+    /// evaluation, answer charges inside the candidate loop, the
+    /// relaxation-enumeration cap during scheduling); time-based reasons
+    /// (deadline, cancellation, the advisory memory cap) are attributed to
+    /// `observed`, the checkpoint at which the driving loop noticed the
+    /// stop.
+    pub fn for_reason(reason: ExhaustReason, observed: CheckpointSite) -> CheckpointSite {
+        match reason {
+            ExhaustReason::PostingsBudget => CheckpointSite::FtEval,
+            ExhaustReason::AnswerBudget => CheckpointSite::CandidateLoop,
+            ExhaustReason::RelaxationBudget => CheckpointSite::Schedule,
+            ExhaustReason::Deadline | ExhaustReason::Cancelled | ExhaustReason::MemoryBudget => {
+                observed
+            }
+        }
+    }
+
+    /// Stable snake_case name used in trace/metric keys.
+    pub fn name(self) -> &'static str {
+        match self {
+            CheckpointSite::Schedule => "schedule",
+            CheckpointSite::DpoRound => "dpo_round",
+            CheckpointSite::SsoPass => "sso_pass",
+            CheckpointSite::HybridPass => "hybrid_pass",
+            CheckpointSite::CandidateLoop => "candidate_loop",
+            CheckpointSite::FtEval => "ft_eval",
+        }
+    }
+}
+
+impl std::fmt::Display for CheckpointSite {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Stable snake_case name for an [`ExhaustReason`], used in trace/metric
+/// keys (`governor.trip.reason.<name>`).
+pub fn reason_key(reason: ExhaustReason) -> &'static str {
+    match reason {
+        ExhaustReason::Deadline => "deadline",
+        ExhaustReason::Cancelled => "cancelled",
+        ExhaustReason::RelaxationBudget => "relaxation_budget",
+        ExhaustReason::AnswerBudget => "answer_budget",
+        ExhaustReason::PostingsBudget => "postings_budget",
+        ExhaustReason::MemoryBudget => "memory_budget",
+    }
+}
+
 /// Whether a top-K result reflects the full search or a budgeted prefix.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Completeness {

@@ -16,15 +16,18 @@
 //! `maxScoreGrowth` (for Combined, the keyword headroom `m`).
 
 use crate::context::EngineContext;
+use crate::dpo::record_common_root;
 use crate::encode::EncodedQuery;
 use crate::exec::{evaluate_encoded_budgeted, evaluate_encoded_parallel};
-use crate::governor::{Completeness, ExhaustReason};
-use crate::schedule::build_schedule_parallel;
+use crate::governor::{reason_key, CheckpointSite, Completeness, ExhaustReason};
+use crate::metrics::{self, Tracer};
+use crate::schedule::build_schedule_reported;
 use crate::score::{PenaltyModel, RankingScheme};
 use crate::sso::choose_prefix;
 use crate::topk::{sort_answers, Answer, ExecStats, TopKRequest, TopKResult};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
+use std::time::Instant;
 
 /// An `f64` ordered by `total_cmp` (usable in a heap).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -50,9 +53,17 @@ impl Ord for TotalF64 {
 /// (the surviving buckets at the moment the budget tripped), not a
 /// guaranteed rank prefix of the unbounded run.
 pub fn hybrid_topk(ctx: &EngineContext, request: &TopKRequest) -> TopKResult {
+    let started = Instant::now();
+    let mut tracer = if request.collect_trace {
+        Tracer::enabled("hybrid")
+    } else {
+        Tracer::disabled()
+    };
+    let cache_before = tracer.is_enabled().then(|| ctx.ft_cache_stats());
     let budget = request.limits.budget(request.cancel.clone());
     let model = PenaltyModel::new(&request.query, request.weights.clone());
-    let mut schedule = build_schedule_parallel(
+    tracer.begin("schedule");
+    let (mut schedule, sched_report) = build_schedule_reported(
         ctx,
         &model,
         &request.query,
@@ -67,11 +78,24 @@ pub fn hybrid_topk(ctx: &EngineContext, request: &TopKRequest) -> TopKResult {
             schedule.truncate(cap);
         }
     }
+    if tracer.is_enabled() {
+        tracer.add("schedule.steps", schedule.len() as u64);
+        tracer.add("schedule.truncated", truncated_steps as u64);
+        tracer.add("schedule.ops_scored", sched_report.ops_scored);
+        tracer.add("governor.checkpoint.schedule", sched_report.checkpoints);
+    }
+    tracer.end();
     let base_ss = model.base_structural_score(&request.query);
 
     let mut stats = ExecStats::default();
+    tracer.begin("choose_prefix");
     let (mut prefix, est) = choose_prefix(ctx, request, &schedule, base_ss, &budget);
     stats.estimated_answers = est;
+    if tracer.is_enabled() {
+        tracer.add("prefix.steps", prefix as u64);
+        tracer.add("prefix.estimated_answers", est.max(0.0) as u64);
+    }
+    tracer.end();
     // Keyword headroom: an answer can gain at most `m` from ks (each
     // contains predicate is weighted 1 and IR scores are ≤ 1).
     let max_growth = match request.scheme {
@@ -86,6 +110,9 @@ pub fn hybrid_topk(ctx: &EngineContext, request: &TopKRequest) -> TopKResult {
         if budget.check_now() {
             break;
         }
+        tracer.begin(&format!("pass[{}]", stats.restarts));
+        let pass_intermediates = stats.intermediate_answers;
+        let pass_pruned = stats.pruned;
         let enc = EncodedQuery::build_full_budgeted(
             ctx,
             &model,
@@ -124,19 +151,33 @@ pub fn hybrid_topk(ctx: &EngineContext, request: &TopKRequest) -> TopKResult {
             buckets.entry(a.satisfied).or_default().push(a);
             total_kept += 1;
         };
-        if request.parallel.is_parallel() {
+        let candidates = if request.parallel.is_parallel() {
             // Candidates are evaluated on worker threads; the concatenated
             // per-chunk answers replay the sequential document-order stream
             // through the same pruning/bucketing closure, so buckets keep
             // their node-id order (the no-resort property survives).
-            let (collected, _) =
+            let (collected, eval_stats) =
                 evaluate_encoded_parallel(ctx, &enc, request.scheme, &budget, &request.parallel);
             for a in collected {
                 feed(a);
             }
+            eval_stats.candidates_examined
         } else {
-            evaluate_encoded_budgeted(ctx, &enc, request.scheme, &budget, feed);
+            evaluate_encoded_budgeted(ctx, &enc, request.scheme, &budget, feed).candidates_examined
+        };
+        if tracer.is_enabled() {
+            tracer.add("pass.prefix", prefix as u64);
+            tracer.add("pass.candidates", candidates);
+            tracer.add(
+                "pass.intermediates",
+                (stats.intermediate_answers - pass_intermediates) as u64,
+            );
+            tracer.add("pass.pruned", (stats.pruned - pass_pruned) as u64);
+            tracer.add("pass.buckets", buckets.len() as u64);
+            tracer.add("governor.checkpoint.hybrid_pass", 1);
+            tracer.add("governor.checkpoint.candidate_loop", candidates);
         }
+        tracer.end();
         if budget.tripped().is_some() {
             // Keep the best-effort buckets scanned so far; no restart.
             stats.buckets = buckets.len();
@@ -151,9 +192,7 @@ pub fn hybrid_topk(ctx: &EngineContext, request: &TopKRequest) -> TopKResult {
             // O(log |schedule|) even under persistent overestimates.
             let min_steps = 1usize << stats.restarts.min(6);
             let mut steps_taken = 0usize;
-            while prefix < schedule.len()
-                && (steps_taken < min_steps || gained < 2.0 * deficit)
-            {
+            while prefix < schedule.len() && (steps_taken < min_steps || gained < 2.0 * deficit) {
                 steps_taken += 1;
                 gained += crate::selectivity::estimate_cardinality_budgeted(
                     ctx,
@@ -173,10 +212,8 @@ pub fn hybrid_topk(ctx: &EngineContext, request: &TopKRequest) -> TopKResult {
     // by the set of structural predicates satisfied": concatenate buckets
     // best-ss-first, then rank the (small) survivor set under the scheme.
     let mut answers: Vec<Answer> = Vec::new();
-    let mut keyed: Vec<(f64, Vec<Answer>)> = buckets
-        .into_values()
-        .map(|v| (v[0].score.ss, v))
-        .collect();
+    let mut keyed: Vec<(f64, Vec<Answer>)> =
+        buckets.into_values().map(|v| (v[0].score.ss, v)).collect();
     keyed.sort_by(|a, b| b.0.total_cmp(&a.0));
     let mut taken = 0usize;
     for (ss, bucket) in keyed {
@@ -213,11 +250,27 @@ pub fn hybrid_topk(ctx: &EngineContext, request: &TopKRequest) -> TopKResult {
     } else {
         Completeness::Complete
     };
+    if tracer.is_enabled() {
+        tracer.add_root("evaluations", stats.evaluations as u64);
+        tracer.add_root("restarts", stats.restarts as u64);
+        tracer.add_root("buckets", stats.buckets as u64);
+        record_common_root(&mut tracer, ctx, cache_before, &budget);
+        if let Some(reason) = completeness.exhaust_reason() {
+            let site = CheckpointSite::for_reason(reason, CheckpointSite::HybridPass);
+            tracer.record_trip(site.name(), reason_key(reason));
+        }
+    }
+    let reg = metrics::global();
+    reg.add("engine.query.count", 1);
+    reg.add("engine.query.hybrid", 1);
+    reg.observe_duration("engine.query_duration", started.elapsed());
     TopKResult {
         answers,
         stats,
         completeness,
+        trace: None,
     }
+    .with_trace(tracer.finish())
 }
 
 #[cfg(test)]
@@ -293,10 +346,8 @@ mod tests {
     fn hybrid_on_xmark_agrees_with_sso() {
         let doc = flexpath_xmark::generate(&flexpath_xmark::XmarkConfig::sized(48 * 1024, 21));
         let ctx = EngineContext::new(doc);
-        let q = flexpath_tpq::parse_query(
-            "//item[./description/parlist and ./mailbox/mail/text]",
-        )
-        .unwrap();
+        let q = flexpath_tpq::parse_query("//item[./description/parlist and ./mailbox/mail/text]")
+            .unwrap();
         for k in [5, 20] {
             let req = TopKRequest::new(q.clone(), k);
             let h = hybrid_topk(&ctx, &req);

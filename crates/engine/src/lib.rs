@@ -51,6 +51,7 @@ pub mod error;
 pub mod exec;
 pub mod governor;
 pub mod hierarchy;
+pub mod metrics;
 pub mod parallel;
 pub mod schedule;
 pub mod score;
@@ -68,11 +69,14 @@ pub use context::EngineContext;
 pub use dpo::dpo_topk;
 pub use encode::EncodedQuery;
 pub use error::EngineError;
-pub use governor::{Budget, CancelToken, Completeness, ExhaustReason, QueryLimits};
+pub use governor::{
+    reason_key, Budget, CancelToken, CheckpointSite, Completeness, ExhaustReason, QueryLimits,
+};
 pub use hierarchy::TagHierarchy;
 pub use hybrid::hybrid_topk;
+pub use metrics::{MetricsRegistry, MetricsSnapshot, QueryTrace, TraceSpan, Tracer};
 pub use parallel::ParallelConfig;
-pub use schedule::{build_schedule, ScheduledStep};
+pub use schedule::{build_schedule, ScheduleBuildReport, ScheduledStep};
 pub use score::{AnswerScore, PenaltyModel, RankingScheme, WeightAssignment};
 pub use selectivity::{estimate_cardinality, estimate_cardinality_budgeted};
 pub use sso::sso_topk;

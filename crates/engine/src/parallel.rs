@@ -133,6 +133,7 @@ where
     }
     let next = AtomicUsize::new(0);
     let mut collected: Vec<(usize, R)> = Vec::with_capacity(items);
+    let mut worker_items: Vec<usize> = Vec::new();
     let mut panic: Option<Box<dyn std::any::Any + Send>> = None;
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers.min(items))
@@ -152,13 +153,25 @@ where
             .collect();
         for h in handles {
             match h.join() {
-                Ok(local) => collected.extend(local),
+                Ok(local) => {
+                    worker_items.push(local.len());
+                    collected.extend(local);
+                }
                 Err(p) => panic = Some(p),
             }
         }
     });
     if let Some(p) = panic {
         std::panic::resume_unwind(p);
+    }
+    // Per-worker attribution in the process-wide registry. The split of
+    // items across workers is scheduling-dependent (dynamic assignment);
+    // only the merged result is deterministic.
+    let reg = crate::metrics::global();
+    reg.add("engine.parallel.fan_outs", 1);
+    reg.add("engine.parallel.items", items as u64);
+    for (w, n) in worker_items.iter().enumerate() {
+        reg.add(&format!("engine.parallel.worker[{w}].items"), *n as u64);
     }
     collected.sort_unstable_by_key(|&(i, _)| i);
     collected.into_iter().map(|(_, r)| r).collect()

@@ -72,6 +72,17 @@ pub fn build_schedule_budgeted(
     )
 }
 
+/// Work counters from one schedule construction, for the observability
+/// layer. Both counts come from the sequential greedy loop, so they are
+/// identical at every thread count.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScheduleBuildReport {
+    /// Governor checkpoints taken (one per greedy step attempted).
+    pub checkpoints: u64,
+    /// Applicable operators scored across all steps.
+    pub ops_scored: u64,
+}
+
 /// [`build_schedule_budgeted`] with the per-step operator evaluation fanned
 /// out over worker threads.
 ///
@@ -89,14 +100,29 @@ pub fn build_schedule_parallel(
     budget: &Budget,
     parallel: &ParallelConfig,
 ) -> Vec<ScheduledStep> {
+    build_schedule_reported(ctx, model, original, max_steps, budget, parallel).0
+}
+
+/// [`build_schedule_parallel`] that also returns a [`ScheduleBuildReport`]
+/// of the work performed.
+pub fn build_schedule_reported(
+    ctx: &EngineContext,
+    model: &PenaltyModel,
+    original: &Tpq,
+    max_steps: usize,
+    budget: &Budget,
+    parallel: &ParallelConfig,
+) -> (Vec<ScheduledStep>, ScheduleBuildReport) {
     let base = model.base_structural_score(original);
     let original_closure = original.closure();
     let mut steps: Vec<ScheduledStep> = Vec::new();
     let mut current = original.clone();
     let mut dropped_so_far = flexpath_tpq::PredicateSet::new();
     let mut bits_used = 0usize;
+    let mut report = ScheduleBuildReport::default();
 
     while steps.len() < max_steps {
+        report.checkpoints += 1;
         if budget.check_now() {
             break;
         }
@@ -104,6 +130,7 @@ pub fn build_schedule_parallel(
         // pick the cheapest, first-listed on ties.
         type Candidate = (RelaxOp, Tpq, Vec<(Predicate, f64)>, f64);
         let ops = applicable_ops(&current);
+        report.ops_scored += ops.len() as u64;
         let workers = parallel.workers_for_rounds(ops.len());
         let scored: Vec<Option<Candidate>> = fan_out(ops.len(), workers, |i| {
             let op = ops[i].clone();
@@ -147,8 +174,7 @@ pub fn build_schedule_parallel(
         for (p, _) in &new_dropped {
             dropped_so_far.insert(p.clone());
         }
-        let cumulative = steps.last().map(|s| s.cumulative_penalty).unwrap_or(0.0)
-            + step_penalty;
+        let cumulative = steps.last().map(|s| s.cumulative_penalty).unwrap_or(0.0) + step_penalty;
         steps.push(ScheduledStep {
             op,
             query: next.clone(),
@@ -159,7 +185,7 @@ pub fn build_schedule_parallel(
         });
         current = next;
     }
-    steps
+    (steps, report)
 }
 
 #[cfg(test)]

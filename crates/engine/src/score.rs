@@ -102,7 +102,11 @@ impl PenaltyModel {
             }
             let _ = idx;
         }
-        PenaltyModel { var_tags, var_parent, weights }
+        PenaltyModel {
+            var_tags,
+            var_parent,
+            weights,
+        }
     }
 
     /// The weight assignment in use.
@@ -139,12 +143,7 @@ impl PenaltyModel {
     /// meter (and a tripped evaluation is never cached). A tripped budget
     /// yields a penalty from a partial evaluation — callers stop at their
     /// next checkpoint, so the value is never used to rank answers.
-    pub fn penalty_budgeted(
-        &self,
-        ctx: &EngineContext,
-        p: &Predicate,
-        budget: &Budget,
-    ) -> f64 {
+    pub fn penalty_budgeted(&self, ctx: &EngineContext, p: &Predicate, budget: &Budget) -> f64 {
         let w = self.weights.weight(p);
         if w == 0.0 {
             return 0.0;
@@ -186,13 +185,7 @@ impl PenaltyModel {
         ctx.stats().ad_count(sx, sy) as f64 / denom as f64
     }
 
-    fn contains_ratio(
-        &self,
-        ctx: &EngineContext,
-        x: Var,
-        e: &FtExpr,
-        budget: &Budget,
-    ) -> f64 {
+    fn contains_ratio(&self, ctx: &EngineContext, x: Var, e: &FtExpr, budget: &Budget) -> f64 {
         let Some(l) = self.var_parent.get(&x) else {
             return 1.0; // contains at the root is never promotable
         };
@@ -299,11 +292,9 @@ mod tests {
     #[test]
     fn pc_penalty_is_pc_over_ad_ratio() {
         // 3 (section, paragraph) ad pairs, 2 of them pc.
-        let c = ctx(
-            "<article><section><paragraph>gold</paragraph>\
+        let c = ctx("<article><section><paragraph>gold</paragraph>\
              <wrap><paragraph>gold</paragraph></wrap>\
-             <paragraph>x</paragraph></section></article>",
-        );
+             <paragraph>x</paragraph></section></article>");
         let q = q_section();
         let m = PenaltyModel::new(&q, WeightAssignment::uniform());
         let pi = m.penalty(&c, &Predicate::Pc(Var(2), Var(3)));
@@ -323,10 +314,8 @@ mod tests {
     #[test]
     fn contains_penalty_is_count_ratio_to_parent() {
         // 1 paragraph satisfies, 2 sections satisfy → ratio 1/2.
-        let c = ctx(
-            "<article><section><paragraph>gold</paragraph></section>\
-             <section>gold<paragraph>x</paragraph></section></article>",
-        );
+        let c = ctx("<article><section><paragraph>gold</paragraph></section>\
+             <section>gold<paragraph>x</paragraph></section></article>");
         let q = q_section();
         let m = PenaltyModel::new(&q, WeightAssignment::uniform());
         let pi = m.penalty(&c, &Predicate::Contains(Var(3), FtExpr::term("gold")));
@@ -349,9 +338,7 @@ mod tests {
 
     #[test]
     fn penalties_are_bounded_by_weights() {
-        let c = ctx(
-            "<article><section><paragraph>gold</paragraph></section></article>",
-        );
+        let c = ctx("<article><section><paragraph>gold</paragraph></section></article>");
         let q = q_section();
         let m = PenaltyModel::new(&q, WeightAssignment::uniform());
         for p in q.closure().iter() {
@@ -380,10 +367,8 @@ mod tests {
     #[test]
     fn total_penalty_is_order_invariant() {
         // Theorem 3: the aggregate over a multiset cannot depend on order.
-        let c = ctx(
-            "<article><section><paragraph>gold</paragraph></section>\
-             <section><wrap><paragraph>gold</paragraph></wrap></section></article>",
-        );
+        let c = ctx("<article><section><paragraph>gold</paragraph></section>\
+             <section><wrap><paragraph>gold</paragraph></wrap></section></article>");
         let q = q_section();
         let m = PenaltyModel::new(&q, WeightAssignment::uniform());
         let preds: Vec<Predicate> = q.closure().iter().cloned().collect();

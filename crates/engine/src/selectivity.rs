@@ -33,11 +33,7 @@ pub fn estimate_cardinality(ctx: &EngineContext, q: &Tpq) -> f64 {
 /// evaluations behind `contains` probabilities charge the budget's postings
 /// meter (and a tripped evaluation is never cached). Under a tripped budget
 /// the estimate may be truncated — callers stop at their next checkpoint.
-pub fn estimate_cardinality_budgeted(
-    ctx: &EngineContext,
-    q: &Tpq,
-    budget: &Budget,
-) -> f64 {
+pub fn estimate_cardinality_budgeted(ctx: &EngineContext, q: &Tpq, budget: &Budget) -> f64 {
     // Root count.
     let root = q.node(q.root());
     let mut est = match root.tag.as_deref() {
@@ -72,7 +68,9 @@ pub fn estimate_cardinality_budgeted(
             return 0.0;
         }
         for e in &node.contains {
-            let sat = ctx.ft_eval_budgeted(e, budget).count_for_tag(ctx.doc(), sym);
+            let sat = ctx
+                .ft_eval_budgeted(e, budget)
+                .count_for_tag(ctx.doc(), sym);
             est *= sat as f64 / total as f64;
         }
     }
@@ -147,9 +145,7 @@ mod tests {
 
     #[test]
     fn relaxation_never_lowers_the_estimate() {
-        let c = ctx(
-            "<r><a><b/></a><a><w><b/></w></a><a><b/><c/></a><a/><a><c/></a></r>",
-        );
+        let c = ctx("<r><a><b/></a><a><w><b/></w></a><a><b/><c/></a><a/><a><c/></a></r>");
         let mut builder = TpqBuilder::new("a");
         builder.child(0, "b");
         builder.child(0, "c");
@@ -202,9 +198,7 @@ mod tests {
         let c = EngineContext::new(doc);
         let q = flexpath_tpq::parse_query("//item[./description/parlist]").unwrap();
         let est = estimate_cardinality(&c, &q);
-        let items = c
-            .stats()
-            .tag_count(c.resolve_tag("item").unwrap()) as f64;
+        let items = c.stats().tag_count(c.resolve_tag("item").unwrap()) as f64;
         assert!(est > 0.0 && est <= items, "est {est}, items {items}");
     }
 }

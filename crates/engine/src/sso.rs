@@ -19,14 +19,17 @@
 //! without insertion.
 
 use crate::context::EngineContext;
+use crate::dpo::record_common_root;
 use crate::encode::EncodedQuery;
 use crate::exec::{evaluate_encoded_budgeted, evaluate_encoded_parallel};
-use crate::governor::{Completeness, ExhaustReason};
-use crate::schedule::{build_schedule_parallel, ScheduledStep};
+use crate::governor::{reason_key, CheckpointSite, Completeness, ExhaustReason};
+use crate::metrics::{self, Tracer};
+use crate::schedule::{build_schedule_reported, ScheduledStep};
 use crate::score::{PenaltyModel, RankingScheme};
 use crate::selectivity::estimate_cardinality_budgeted;
 use crate::topk::{Answer, ExecStats, TopKRequest, TopKResult};
 use flexpath_ftsearch::Budget;
+use std::time::Instant;
 
 /// Chooses the schedule prefix to encode: the shortest prefix whose
 /// estimated cardinality reaches K, extended for the Combined scheme by the
@@ -60,13 +63,21 @@ pub(crate) fn choose_prefix(
     let mut est = estimate_cardinality_budgeted(ctx, &request.query, budget);
     while est < request.k as f64 && i < schedule.len() {
         i += 1;
-        est = est.max(estimate_cardinality_budgeted(ctx, &schedule[i - 1].query, budget));
+        est = est.max(estimate_cardinality_budgeted(
+            ctx,
+            &schedule[i - 1].query,
+            budget,
+        ));
     }
     if request.scheme == RankingScheme::Combined {
         // Keep encoding while a later relaxation could still reach the top
         // K on keyword score alone: ks ≤ m, so stop once ss_j ≤ ss_i − m.
         let m = request.query.contains_count() as f64;
-        let ss_i = if i == 0 { base_ss } else { schedule[i - 1].ss_after };
+        let ss_i = if i == 0 {
+            base_ss
+        } else {
+            schedule[i - 1].ss_after
+        };
         while i < schedule.len() && schedule[i].ss_after > ss_i - m {
             i += 1;
         }
@@ -84,9 +95,17 @@ pub(crate) fn choose_prefix(
 /// not guaranteed to be a rank prefix of the unbounded run (documented in
 /// DESIGN.md).
 pub fn sso_topk(ctx: &EngineContext, request: &TopKRequest) -> TopKResult {
+    let started = Instant::now();
+    let mut tracer = if request.collect_trace {
+        Tracer::enabled("sso")
+    } else {
+        Tracer::disabled()
+    };
+    let cache_before = tracer.is_enabled().then(|| ctx.ft_cache_stats());
     let budget = request.limits.budget(request.cancel.clone());
     let model = PenaltyModel::new(&request.query, request.weights.clone());
-    let mut schedule = build_schedule_parallel(
+    tracer.begin("schedule");
+    let (mut schedule, sched_report) = build_schedule_reported(
         ctx,
         &model,
         &request.query,
@@ -101,11 +120,24 @@ pub fn sso_topk(ctx: &EngineContext, request: &TopKRequest) -> TopKResult {
             schedule.truncate(cap);
         }
     }
+    if tracer.is_enabled() {
+        tracer.add("schedule.steps", schedule.len() as u64);
+        tracer.add("schedule.truncated", truncated_steps as u64);
+        tracer.add("schedule.ops_scored", sched_report.ops_scored);
+        tracer.add("governor.checkpoint.schedule", sched_report.checkpoints);
+    }
+    tracer.end();
     let base_ss = model.base_structural_score(&request.query);
 
     let mut stats = ExecStats::default();
+    tracer.begin("choose_prefix");
     let (mut prefix, est) = choose_prefix(ctx, request, &schedule, base_ss, &budget);
     stats.estimated_answers = est;
+    if tracer.is_enabled() {
+        tracer.add("prefix.steps", prefix as u64);
+        tracer.add("prefix.estimated_answers", est.max(0.0) as u64);
+    }
+    tracer.end();
 
     // Score-sorted intermediate answer list (descending under the scheme).
     let mut list: Vec<Answer> = Vec::new();
@@ -113,6 +145,10 @@ pub fn sso_topk(ctx: &EngineContext, request: &TopKRequest) -> TopKResult {
         if budget.check_now() {
             break;
         }
+        tracer.begin(&format!("pass[{}]", stats.restarts));
+        let pass_intermediates = stats.intermediate_answers;
+        let pass_pruned = stats.pruned;
+        let pass_shifts = stats.sorted_insert_shifts;
         let enc = EncodedQuery::build_full_budgeted(
             ctx,
             &model,
@@ -137,25 +173,37 @@ pub fn sso_topk(ctx: &EngineContext, request: &TopKRequest) -> TopKResult {
             }
             // Binary search on the scheme key (descending list), then
             // shift-insert — SSO's resort cost.
-            let pos = list.partition_point(|b| {
-                b.score.cmp_under(&a.score, request.scheme).is_ge()
-            });
+            let pos = list.partition_point(|b| b.score.cmp_under(&a.score, request.scheme).is_ge());
             stats.sorted_insert_shifts += (list.len() - pos) as u64;
             list.insert(pos, a);
         };
-        if request.parallel.is_parallel() {
+        let candidates = if request.parallel.is_parallel() {
             // Candidates are evaluated on worker threads; the concatenated
             // per-chunk answers replay the sequential document-order stream
             // through the same pruning/insert closure, so `list` (and the
             // prune/shift counters) come out identical.
-            let (collected, _) =
+            let (collected, eval_stats) =
                 evaluate_encoded_parallel(ctx, &enc, request.scheme, &budget, &request.parallel);
             for a in collected {
                 feed(a);
             }
+            eval_stats.candidates_examined
         } else {
-            evaluate_encoded_budgeted(ctx, &enc, request.scheme, &budget, feed);
+            evaluate_encoded_budgeted(ctx, &enc, request.scheme, &budget, feed).candidates_examined
+        };
+        if tracer.is_enabled() {
+            tracer.add("pass.prefix", prefix as u64);
+            tracer.add("pass.candidates", candidates);
+            tracer.add(
+                "pass.intermediates",
+                (stats.intermediate_answers - pass_intermediates) as u64,
+            );
+            tracer.add("pass.pruned", (stats.pruned - pass_pruned) as u64);
+            tracer.add("pass.shifts", stats.sorted_insert_shifts - pass_shifts);
+            tracer.add("governor.checkpoint.sso_pass", 1);
+            tracer.add("governor.checkpoint.candidate_loop", candidates);
         }
+        tracer.end();
         if budget.tripped().is_some() {
             // Keep the best-effort answers scanned so far; no restart.
             break;
@@ -173,9 +221,7 @@ pub fn sso_topk(ctx: &EngineContext, request: &TopKRequest) -> TopKResult {
             // O(log |schedule|) even under persistent overestimates.
             let min_steps = 1usize << stats.restarts.min(6);
             let mut steps_taken = 0usize;
-            while prefix < schedule.len()
-                && (steps_taken < min_steps || gained < 2.0 * deficit)
-            {
+            while prefix < schedule.len() && (steps_taken < min_steps || gained < 2.0 * deficit) {
                 steps_taken += 1;
                 gained += estimate_cardinality_budgeted(ctx, &schedule[prefix].query, &budget);
                 prefix += 1;
@@ -203,11 +249,26 @@ pub fn sso_topk(ctx: &EngineContext, request: &TopKRequest) -> TopKResult {
     } else {
         Completeness::Complete
     };
+    if tracer.is_enabled() {
+        tracer.add_root("evaluations", stats.evaluations as u64);
+        tracer.add_root("restarts", stats.restarts as u64);
+        record_common_root(&mut tracer, ctx, cache_before, &budget);
+        if let Some(reason) = completeness.exhaust_reason() {
+            let site = CheckpointSite::for_reason(reason, CheckpointSite::SsoPass);
+            tracer.record_trip(site.name(), reason_key(reason));
+        }
+    }
+    let reg = metrics::global();
+    reg.add("engine.query.count", 1);
+    reg.add("engine.query.sso", 1);
+    reg.observe_duration("engine.query_duration", started.elapsed());
     TopKResult {
         answers: list,
         stats,
         completeness,
+        trace: None,
     }
+    .with_trace(tracer.finish())
 }
 
 #[cfg(test)]
@@ -243,11 +304,10 @@ mod tests {
         let r = sso_topk(&ctx, &TopKRequest::new(q1(), 3));
         assert_eq!(r.answers.len(), 3);
         for w in r.answers.windows(2) {
-            assert!(
-                w[0].score
-                    .cmp_under(&w[1].score, RankingScheme::StructureFirst)
-                    .is_ge()
-            );
+            assert!(w[0]
+                .score
+                .cmp_under(&w[1].score, RankingScheme::StructureFirst)
+                .is_ge());
         }
     }
 
@@ -333,10 +393,8 @@ mod tests {
         // Build a larger corpus so more than K answers stream by.
         let doc = flexpath_xmark::generate(&flexpath_xmark::XmarkConfig::sized(64 * 1024, 9));
         let ctx = EngineContext::new(doc);
-        let q = flexpath_tpq::parse_query(
-            "//item[./description/parlist and ./mailbox/mail/text]",
-        )
-        .unwrap();
+        let q = flexpath_tpq::parse_query("//item[./description/parlist and ./mailbox/mail/text]")
+            .unwrap();
         let mut req = TopKRequest::new(q, 5);
         req.max_relaxation_steps = 16;
         let r = sso_topk(&ctx, &req);

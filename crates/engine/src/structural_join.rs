@@ -66,6 +66,9 @@ pub fn stack_tree_desc_budgeted(
             out.push((a, d));
         }
     }
+    let reg = crate::metrics::global();
+    reg.add("engine.join.calls", 1);
+    reg.add("engine.join.pairs", out.len() as u64);
     out
 }
 

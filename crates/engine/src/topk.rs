@@ -3,6 +3,7 @@
 use crate::attr_relax::AttrRelaxation;
 use crate::governor::{CancelToken, Completeness, QueryLimits};
 use crate::hierarchy::TagHierarchy;
+use crate::metrics::QueryTrace;
 use crate::parallel::ParallelConfig;
 use crate::score::{AnswerScore, RankingScheme, WeightAssignment};
 use flexpath_tpq::Tpq;
@@ -55,6 +56,9 @@ pub struct TopKRequest {
     /// Worker-thread configuration (default: sequential; the ranking is
     /// identical at every thread count — see [`crate::parallel`]).
     pub parallel: ParallelConfig,
+    /// Whether to record a [`QueryTrace`] of this execution (default: off;
+    /// untraced runs pay nothing).
+    pub collect_trace: bool,
 }
 
 impl TopKRequest {
@@ -72,6 +76,7 @@ impl TopKRequest {
             limits: QueryLimits::default(),
             cancel: None,
             parallel: ParallelConfig::default(),
+            collect_trace: false,
         }
     }
 
@@ -121,6 +126,12 @@ impl TopKRequest {
     /// workers and the default candidate floor.
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.parallel = ParallelConfig::with_threads(threads);
+        self
+    }
+
+    /// Enables [`QueryTrace`] collection for this run.
+    pub fn with_trace(mut self) -> Self {
+        self.collect_trace = true;
         self
     }
 }
@@ -174,6 +185,9 @@ pub struct TopKResult {
     pub stats: ExecStats,
     /// Whether the search ran to completion or stopped on a resource limit.
     pub completeness: Completeness,
+    /// Per-query trace, present when the request set
+    /// [`TopKRequest::collect_trace`].
+    pub trace: Option<QueryTrace>,
 }
 
 impl TopKResult {
@@ -183,7 +197,14 @@ impl TopKResult {
             answers,
             stats,
             completeness: Completeness::Complete,
+            trace: None,
         }
+    }
+
+    /// Attaches a trace (builder-style, used by the algorithms).
+    pub fn with_trace(mut self, trace: Option<QueryTrace>) -> Self {
+        self.trace = trace;
+        self
     }
 
     /// Answer nodes in rank order.
@@ -193,7 +214,10 @@ impl TopKResult {
 
     /// `(ss, ks)` pairs in rank order.
     pub fn scores(&self) -> Vec<(f64, f64)> {
-        self.answers.iter().map(|a| (a.score.ss, a.score.ks)).collect()
+        self.answers
+            .iter()
+            .map(|a| (a.score.ss, a.score.ks))
+            .collect()
     }
 }
 

@@ -198,12 +198,9 @@ impl Budget {
     /// Latches `reason` as the trip cause (first writer wins) and reports
     /// that the computation should stop.
     pub fn trip(&self, reason: ExhaustReason) -> bool {
-        let _ = self.tripped.compare_exchange(
-            0,
-            reason.code(),
-            Ordering::AcqRel,
-            Ordering::Acquire,
-        );
+        let _ =
+            self.tripped
+                .compare_exchange(0, reason.code(), Ordering::AcqRel, Ordering::Acquire);
         true
     }
 
@@ -244,29 +241,34 @@ impl Budget {
     }
 
     /// Records `n` full-text postings scanned; `true` means stop.
+    ///
+    /// The count always accumulates — even on unlimited budgets — so the
+    /// observability layer can report postings totals; only the cap check
+    /// is skipped when unlimited.
     pub fn charge_postings(&self, n: u64) -> bool {
+        let before = self.postings.fetch_add(n, Ordering::Relaxed);
         if self.tripped.load(Ordering::Relaxed) != 0 {
             return true;
         }
         if self.max_postings == u64::MAX {
             return false;
         }
-        let before = self.postings.fetch_add(n, Ordering::Relaxed);
         if before.saturating_add(n) > self.max_postings {
             return self.trip(ExhaustReason::PostingsBudget);
         }
         false
     }
 
-    /// Records one candidate answer produced; `true` means stop.
+    /// Records one candidate answer produced; `true` means stop. Counts
+    /// even when unlimited (see [`charge_postings`](Self::charge_postings)).
     pub fn charge_answer(&self) -> bool {
+        let before = self.answers.fetch_add(1, Ordering::Relaxed);
         if self.tripped.load(Ordering::Relaxed) != 0 {
             return true;
         }
         if self.max_answers == u64::MAX {
             return false;
         }
-        let before = self.answers.fetch_add(1, Ordering::Relaxed);
         if before + 1 > self.max_answers {
             return self.trip(ExhaustReason::AnswerBudget);
         }
@@ -275,15 +277,15 @@ impl Budget {
 
     /// Records `bytes` of working memory retained; `true` means stop. The
     /// cap is advisory (checked at allocation-heavy sites, not a hard
-    /// allocator limit).
+    /// allocator limit). Counts even when unlimited.
     pub fn charge_memory(&self, bytes: u64) -> bool {
+        let before = self.memory.fetch_add(bytes, Ordering::Relaxed);
         if self.tripped.load(Ordering::Relaxed) != 0 {
             return true;
         }
         if self.max_memory == u64::MAX {
             return false;
         }
-        let before = self.memory.fetch_add(bytes, Ordering::Relaxed);
         if before.saturating_add(bytes) > self.max_memory {
             return self.trip(ExhaustReason::MemoryBudget);
         }
@@ -332,7 +334,10 @@ mod tests {
                 break;
             }
         }
-        assert!(stopped, "cancellation must surface within one tick interval");
+        assert!(
+            stopped,
+            "cancellation must surface within one tick interval"
+        );
         assert_eq!(b.tripped(), Some(ExhaustReason::Cancelled));
     }
 

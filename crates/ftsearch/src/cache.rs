@@ -13,21 +13,64 @@
 //! writers contend only within a shard. Values are handed out as
 //! [`Arc`]s, so a hit never copies the (potentially large) evaluation.
 //!
-//! The cache is *insert-only* by design: memoized results are pure
-//! functions of `(document, expression)` and a session's document is
-//! immutable, so eviction and invalidation are unnecessary. A computation
-//! raced by two threads may run twice, but exactly one result wins the
-//! `entry` insert and both callers observe the same `Arc` thereafter.
+//! ## Sizing and eviction
+//!
+//! Memoized results are pure functions of `(document, expression)` and a
+//! session's document is immutable, so entries never need *invalidation* —
+//! but a long-lived session serving many distinct queries would otherwise
+//! grow the cache without bound (every distinct `contains` expression ever
+//! seen stays resident). Each shard therefore holds at most
+//! [`ShardedCache::shard_cap`] entries and evicts its oldest-inserted entry
+//! (FIFO order) to make room; total residency is bounded by
+//! `shards × shard_cap` *values* (an [`Arc`] still held by a running query
+//! keeps its value alive until that query finishes). The default cap
+//! ([`DEFAULT_SHARD_CAP`] per shard) is generous for one document's
+//! plausible expression space; size it down for memory-tight deployments
+//! with [`ShardedCache::with_shards_and_cap`]. A computation raced by two
+//! threads may run twice, but exactly one result wins the insert and both
+//! callers observe the same [`Arc`] thereafter.
+//!
+//! Hit/miss/insert/eviction totals are kept as relaxed atomics and read
+//! via [`ShardedCache::stats`]. Note that hit/miss splits are inherently
+//! scheduling-dependent under concurrency (two racing threads may both
+//! miss the same key), so observability layers should treat them as
+//! nondeterministic quantities.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::hash::{BuildHasher, Hash, RandomState};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 /// Default shard count — enough stripes that 8–16 worker threads rarely
 /// collide, small enough that an empty cache stays cheap.
 pub const DEFAULT_SHARDS: usize = 16;
 
-/// A concurrent, insert-only memoization cache striped over `N` shards.
+/// Default per-shard entry cap (so a default cache holds at most
+/// `16 × 4096` entries before FIFO eviction kicks in).
+pub const DEFAULT_SHARD_CAP: usize = 4096;
+
+/// Point-in-time counters for a [`ShardedCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Probes that found an entry.
+    pub hits: u64,
+    /// Probes that found nothing (each typically followed by a compute +
+    /// insert; racing threads may both miss the same key).
+    pub misses: u64,
+    /// Entries actually inserted (lost insert races are not counted).
+    pub inserts: u64,
+    /// Entries evicted to respect the per-shard cap.
+    pub evictions: u64,
+    /// Entries currently resident (approximate while writers are active).
+    pub entries: usize,
+    /// Number of lock stripes.
+    pub shards: usize,
+    /// Per-shard entry cap.
+    pub shard_cap: usize,
+}
+
+/// A concurrent memoization cache striped over `N` shards, each bounded to
+/// `shard_cap` entries with FIFO eviction.
 ///
 /// ```
 /// use flexpath_ftsearch::ShardedCache;
@@ -41,15 +84,29 @@ pub const DEFAULT_SHARDS: usize = 16;
 ///     &v,
 ///     &cache.get_or_insert_with(&"answer".to_string(), || 0)
 /// ));
+/// let stats = cache.stats();
+/// assert_eq!((stats.hits, stats.misses, stats.inserts), (1, 1, 1));
 /// ```
 #[derive(Debug)]
 pub struct ShardedCache<K, V> {
     shards: Box<[Shard<K, V>]>,
     hasher: RandomState,
+    shard_cap: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    inserts: AtomicU64,
+    evictions: AtomicU64,
 }
 
-/// One lock stripe: an independently locked slice of the key space.
-type Shard<K, V> = RwLock<HashMap<K, Arc<V>>>;
+/// One lock stripe: an independently locked slice of the key space, with
+/// its keys in insertion order for FIFO eviction.
+#[derive(Debug)]
+struct ShardState<K, V> {
+    map: HashMap<K, Arc<V>>,
+    order: VecDeque<K>,
+}
+
+type Shard<K, V> = RwLock<ShardState<K, V>>;
 
 impl<K: Hash + Eq + Clone, V> Default for ShardedCache<K, V> {
     fn default() -> Self {
@@ -58,15 +115,32 @@ impl<K: Hash + Eq + Clone, V> Default for ShardedCache<K, V> {
 }
 
 impl<K: Hash + Eq + Clone, V> ShardedCache<K, V> {
-    /// A cache striped over `shards` locks (rounded up to at least 1).
+    /// A cache striped over `shards` locks (rounded up to at least 1) with
+    /// the default per-shard cap.
     pub fn with_shards(shards: usize) -> Self {
+        Self::with_shards_and_cap(shards, DEFAULT_SHARD_CAP)
+    }
+
+    /// A cache striped over `shards` locks, each holding at most
+    /// `shard_cap` entries (both rounded up to at least 1).
+    pub fn with_shards_and_cap(shards: usize, shard_cap: usize) -> Self {
         let shards = shards.max(1);
         ShardedCache {
             shards: (0..shards)
-                .map(|_| RwLock::new(HashMap::new()))
+                .map(|_| {
+                    RwLock::new(ShardState {
+                        map: HashMap::new(),
+                        order: VecDeque::new(),
+                    })
+                })
                 .collect::<Vec<_>>()
                 .into_boxed_slice(),
             hasher: RandomState::new(),
+            shard_cap: shard_cap.max(1),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            inserts: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
         }
     }
 
@@ -76,17 +150,45 @@ impl<K: Hash + Eq + Clone, V> ShardedCache<K, V> {
 
     // Poison-tolerant lock access: shards hold only memoized pure
     // computations, so a panic mid-insert cannot leave them inconsistent.
-    fn read_shard(&self, i: usize) -> RwLockReadGuard<'_, HashMap<K, Arc<V>>> {
+    fn read_shard(&self, i: usize) -> RwLockReadGuard<'_, ShardState<K, V>> {
         self.shards[i].read().unwrap_or_else(|e| e.into_inner())
     }
 
-    fn write_shard(&self, i: usize) -> RwLockWriteGuard<'_, HashMap<K, Arc<V>>> {
+    fn write_shard(&self, i: usize) -> RwLockWriteGuard<'_, ShardState<K, V>> {
         self.shards[i].write().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Inserts `value` under the shard's write lock, evicting FIFO as
+    /// needed. Returns the resident entry (the existing one if another
+    /// thread won an insert race).
+    fn insert_evicting(&self, shard: usize, key: &K, value: Arc<V>) -> Arc<V> {
+        let mut state = self.write_shard(shard);
+        if let Some(existing) = state.map.get(key) {
+            return existing.clone();
+        }
+        while state.map.len() >= self.shard_cap {
+            match state.order.pop_front() {
+                Some(oldest) => {
+                    state.map.remove(&oldest);
+                    self.evictions.fetch_add(1, Ordering::Relaxed);
+                }
+                None => break,
+            }
+        }
+        state.order.push_back(key.clone());
+        state.map.insert(key.clone(), value.clone());
+        self.inserts.fetch_add(1, Ordering::Relaxed);
+        value
     }
 
     /// Returns the cached value for `key`, if present.
     pub fn get(&self, key: &K) -> Option<Arc<V>> {
-        self.read_shard(self.shard_of(key)).get(key).cloned()
+        let hit = self.read_shard(self.shard_of(key)).map.get(key).cloned();
+        match hit {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        hit
     }
 
     /// Returns the cached value for `key`, computing and inserting it with
@@ -98,30 +200,28 @@ impl<K: Hash + Eq + Clone, V> ShardedCache<K, V> {
     /// compute but only the first insert wins; both return the winner.
     pub fn get_or_insert_with(&self, key: &K, compute: impl FnOnce() -> V) -> Arc<V> {
         let shard = self.shard_of(key);
-        if let Some(hit) = self.read_shard(shard).get(key) {
+        if let Some(hit) = self.read_shard(shard).map.get(key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
             return hit.clone();
         }
+        self.misses.fetch_add(1, Ordering::Relaxed);
         let value = Arc::new(compute());
-        self.write_shard(shard)
-            .entry(key.clone())
-            .or_insert(value)
-            .clone()
+        self.insert_evicting(shard, key, value)
     }
 
     /// Inserts `value` for `key` unless an entry already exists; returns
-    /// the entry that ended up in the cache.
+    /// the entry that ended up in the cache. Does not count as a probe in
+    /// [`CacheStats`] (callers already probed with [`get`](Self::get)).
     pub fn insert_if_absent(&self, key: &K, value: Arc<V>) -> Arc<V> {
-        let shard = self.shard_of(key);
-        self.write_shard(shard)
-            .entry(key.clone())
-            .or_insert(value)
-            .clone()
+        self.insert_evicting(self.shard_of(key), key, value)
     }
 
     /// Total number of cached entries (sums the shards; approximate while
     /// writers are active).
     pub fn len(&self) -> usize {
-        (0..self.shards.len()).map(|i| self.read_shard(i).len()).sum()
+        (0..self.shards.len())
+            .map(|i| self.read_shard(i).map.len())
+            .sum()
     }
 
     /// `true` when no shard holds any entry.
@@ -132,6 +232,24 @@ impl<K: Hash + Eq + Clone, V> ShardedCache<K, V> {
     /// Number of lock stripes.
     pub fn shard_count(&self) -> usize {
         self.shards.len()
+    }
+
+    /// Per-shard entry cap.
+    pub fn shard_cap(&self) -> usize {
+        self.shard_cap
+    }
+
+    /// Point-in-time hit/miss/insert/eviction counters plus residency.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            inserts: self.inserts.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries: self.len(),
+            shards: self.shards.len(),
+            shard_cap: self.shard_cap,
+        }
     }
 }
 
@@ -148,6 +266,12 @@ mod tests {
         assert!(Arc::ptr_eq(&first, &second));
         assert_eq!(cache.len(), 1);
         assert!(cache.get(&8).is_none());
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 2); // first get_or_insert + the get(&8)
+        assert_eq!(stats.inserts, 1);
+        assert_eq!(stats.evictions, 0);
+        assert_eq!(stats.entries, 1);
     }
 
     #[test]
@@ -161,7 +285,7 @@ mod tests {
         // With 256 keys over 8 shards, more than one shard must be in use —
         // a same-shard pileup would mean the hash routing is broken.
         let used = (0..8)
-            .filter(|&i| !cache.read_shard(i).is_empty())
+            .filter(|&i| !cache.read_shard(i).map.is_empty())
             .count();
         assert!(used > 1, "all keys landed in one shard");
     }
@@ -172,6 +296,33 @@ mod tests {
         assert_eq!(cache.shard_count(), 1);
         cache.get_or_insert_with(&1, || 1);
         assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn shard_cap_evicts_fifo() {
+        let cache: ShardedCache<u32, u32> = ShardedCache::with_shards_and_cap(1, 3);
+        for k in 0..5u32 {
+            cache.get_or_insert_with(&k, || k);
+        }
+        // Cap 3 on one shard: keys 0 and 1 (oldest) were evicted.
+        assert_eq!(cache.len(), 3);
+        assert_eq!(cache.stats().evictions, 2);
+        assert!(cache.get(&0).is_none());
+        assert!(cache.get(&1).is_none());
+        assert!(cache.get(&4).is_some());
+        // An evicted key recomputes on next probe.
+        let v = cache.get_or_insert_with(&0, || 100);
+        assert_eq!(*v, 100);
+    }
+
+    #[test]
+    fn zero_cap_clamps_to_one() {
+        let cache: ShardedCache<u8, u8> = ShardedCache::with_shards_and_cap(1, 0);
+        assert_eq!(cache.shard_cap(), 1);
+        cache.get_or_insert_with(&1, || 1);
+        cache.get_or_insert_with(&2, || 2);
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.stats().evictions, 1);
     }
 
     #[test]
@@ -197,6 +348,9 @@ mod tests {
         for k in 0..64u32 {
             assert_eq!(*cache.get(&k).unwrap(), k + 1);
         }
+        let stats = cache.stats();
+        assert_eq!(stats.inserts, 64, "lost insert races must not count");
+        assert_eq!(stats.hits + stats.misses, 8 * 64 + 64);
     }
 
     #[test]
@@ -206,5 +360,8 @@ mod tests {
         let b = cache.insert_if_absent(&1, Arc::new(20));
         assert!(Arc::ptr_eq(&a, &b));
         assert_eq!(*b, 10);
+        let stats = cache.stats();
+        assert_eq!(stats.inserts, 1);
+        assert_eq!((stats.hits, stats.misses), (0, 0));
     }
 }

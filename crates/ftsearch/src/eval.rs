@@ -585,7 +585,9 @@ mod tests {
 
     #[test]
     fn window_allows_bounded_gap() {
-        let doc = parse("<r><a>gold one two silver</a><b>gold one two three four five silver</b></r>").unwrap();
+        let doc =
+            parse("<r><a>gold one two silver</a><b>gold one two three four five silver</b></r>")
+                .unwrap();
         let idx = InvertedIndex::build(&doc);
         let near = FtExpr::Window {
             terms: vec!["gold".into(), "silver".into()],
@@ -599,10 +601,7 @@ mod tests {
 
     #[test]
     fn scores_are_normalized_and_tf_sensitive() {
-        let (doc, ev) = eval(
-            "<r><a>gold gold gold</a><b>gold</b></r>",
-            "\"gold\"",
-        );
+        let (doc, ev) = eval("<r><a>gold gold gold</a><b>gold</b></r>", "\"gold\"");
         let a = doc.nodes_with_tag_name("a")[0];
         let b = doc.nodes_with_tag_name("b")[0];
         let score = |n: NodeId| {
@@ -657,7 +656,10 @@ mod tests {
 
     #[test]
     fn stemming_unifies_query_and_document_forms() {
-        let (doc, ev) = eval("<r><a>streaming algorithms</a></r>", "\"streams\" and \"algorithm\"");
+        let (doc, ev) = eval(
+            "<r><a>streaming algorithms</a></r>",
+            "\"streams\" and \"algorithm\"",
+        );
         assert_eq!(ev.len(), 1);
         assert_eq!(ev.matches()[0].0, doc.nodes_with_tag_name("a")[0]);
     }
@@ -674,10 +676,9 @@ mod tests {
 
     #[test]
     fn bm25_and_tfidf_agree_on_satisfaction() {
-        let doc = parse(
-            "<r><a>gold gold gold</a><b>gold</b><c><d>gold coin</d>filler filler</c></r>",
-        )
-        .unwrap();
+        let doc =
+            parse("<r><a>gold gold gold</a><b>gold</b><c><d>gold coin</d>filler filler</c></r>")
+                .unwrap();
         let idx = InvertedIndex::build(&doc);
         let expr = FtExpr::term("gold");
         let tfidf = idx.evaluate_with(&doc, &expr, ScoringModel::default());
@@ -701,7 +702,11 @@ mod tests {
         let b = doc.nodes_with_tag_name("b")[0];
         let score = |n| ev.matches().iter().find(|(m, _)| *m == n).unwrap().1;
         assert_eq!(score(a), 1.0);
-        assert!(score(b) > 0.3, "BM25 saturation keeps tf=1 competitive: {}", score(b));
+        assert!(
+            score(b) > 0.3,
+            "BM25 saturation keeps tf=1 competitive: {}",
+            score(b)
+        );
     }
 
     #[test]

@@ -57,7 +57,11 @@ pub struct FtParseError {
 
 impl fmt::Display for FtParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "full-text parse error at byte {}: {}", self.offset, self.message)
+        write!(
+            f,
+            "full-text parse error at byte {}: {}",
+            self.offset, self.message
+        )
     }
 }
 

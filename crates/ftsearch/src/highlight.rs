@@ -35,12 +35,7 @@ impl Default for HighlightStyle {
 
 /// Renders the subtree text of `node` with every word whose stem occurs in
 /// `expr`'s positive terms wrapped in the style's markers.
-pub fn highlight(
-    doc: &Document,
-    node: NodeId,
-    expr: &FtExpr,
-    style: &HighlightStyle,
-) -> String {
+pub fn highlight(doc: &Document, node: NodeId, expr: &FtExpr, style: &HighlightStyle) -> String {
     let targets: HashSet<String> = expr
         .positive_terms()
         .into_iter()

@@ -126,9 +126,7 @@ impl InvertedIndex {
             let mut merged: Vec<PostingEntry> = Vec::with_capacity(posting.entries.len());
             for entry in posting.entries.drain(..) {
                 match merged.last_mut() {
-                    Some(last) if last.node == entry.node => {
-                        last.positions.extend(entry.positions)
-                    }
+                    Some(last) if last.node == entry.node => last.positions.extend(entry.positions),
                     _ => merged.push(entry),
                 }
             }

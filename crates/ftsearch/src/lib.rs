@@ -43,7 +43,7 @@ pub mod thesaurus;
 pub mod tokenize;
 
 pub use budget::{Budget, CancelToken, ExhaustReason};
-pub use cache::ShardedCache;
+pub use cache::{CacheStats, ShardedCache};
 pub use eval::{FtEval, ScoringModel};
 pub use ftexpr::{FtExpr, FtParseError};
 pub use highlight::{highlight, HighlightStyle};

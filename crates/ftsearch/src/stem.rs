@@ -11,7 +11,11 @@
 /// Stems a lowercase word. Words shorter than 3 characters and non-ASCII
 /// words are returned unchanged.
 pub fn stem(word: &str) -> String {
-    if word.len() <= 2 || !word.bytes().all(|b| b.is_ascii_lowercase() || b.is_ascii_digit()) {
+    if word.len() <= 2
+        || !word
+            .bytes()
+            .all(|b| b.is_ascii_lowercase() || b.is_ascii_digit())
+    {
         return word.to_string();
     }
     let mut w = word.as_bytes().to_vec();
@@ -133,9 +137,7 @@ fn step_1b(w: &mut Vec<u8>) {
     // Cleanup after removing -ed / -ing.
     if ends_with(w, "at") || ends_with(w, "bl") || ends_with(w, "iz") {
         w.push(b'e');
-    } else if ends_double_consonant(w, w.len())
-        && !matches!(w[w.len() - 1], b'l' | b's' | b'z')
-    {
+    } else if ends_double_consonant(w, w.len()) && !matches!(w[w.len() - 1], b'l' | b's' | b'z') {
         w.truncate(w.len() - 1);
     } else if measure(w, w.len()) == 1 && ends_cvc(w, w.len()) {
         w.push(b'e');
@@ -200,16 +202,15 @@ fn step_3(w: &mut Vec<u8>) {
 
 fn step_4(w: &mut Vec<u8>) {
     const SUFFIXES: &[&str] = &[
-        "al", "ance", "ence", "er", "ic", "able", "ible", "ant", "ement", "ment", "ent",
-        "ion", "ou", "ism", "ate", "iti", "ous", "ive", "ize",
+        "al", "ance", "ence", "er", "ic", "able", "ible", "ant", "ement", "ment", "ent", "ion",
+        "ou", "ism", "ate", "iti", "ous", "ive", "ize",
     ];
     for suffix in SUFFIXES {
         if ends_with(w, suffix) {
             let stem_len = w.len() - suffix.len();
             if measure(w, stem_len) > 1 {
                 // -ion additionally requires the stem to end in s or t.
-                if *suffix == "ion" && !(stem_len > 0 && matches!(w[stem_len - 1], b's' | b't'))
-                {
+                if *suffix == "ion" && !(stem_len > 0 && matches!(w[stem_len - 1], b's' | b't')) {
                     return;
                 }
                 w.truncate(stem_len);
@@ -346,8 +347,16 @@ mod tests {
     #[test]
     fn idempotent_on_common_vocabulary() {
         for w in [
-            "gold", "vintage", "rare", "antique", "shipping", "auction", "payment",
-            "collector", "condition", "original",
+            "gold",
+            "vintage",
+            "rare",
+            "antique",
+            "shipping",
+            "auction",
+            "payment",
+            "collector",
+            "condition",
+            "original",
         ] {
             let once = stem(w);
             let twice = stem(&once);

@@ -7,14 +7,13 @@
 
 /// Sorted stopword list (binary-searchable).
 static STOPWORDS: &[&str] = &[
-    "a", "about", "after", "all", "also", "an", "and", "any", "are", "as", "at", "be",
-    "because", "been", "but", "by", "can", "could", "do", "for", "from", "had", "has",
-    "have", "he", "her", "his", "how", "if", "in", "into", "is", "it", "its", "just",
-    "like", "more", "most", "my", "no", "not", "of", "on", "one", "only", "or", "other",
-    "our", "out", "over", "she", "so", "some", "such", "than", "that", "the", "their",
-    "them", "then", "there", "these", "they", "this", "to", "under", "up", "was", "we",
-    "were", "what", "when", "where", "which", "who", "will", "with", "would", "you",
-    "your",
+    "a", "about", "after", "all", "also", "an", "and", "any", "are", "as", "at", "be", "because",
+    "been", "but", "by", "can", "could", "do", "for", "from", "had", "has", "have", "he", "her",
+    "his", "how", "if", "in", "into", "is", "it", "its", "just", "like", "more", "most", "my",
+    "no", "not", "of", "on", "one", "only", "or", "other", "our", "out", "over", "she", "so",
+    "some", "such", "than", "that", "the", "their", "them", "then", "there", "these", "they",
+    "this", "to", "under", "up", "was", "we", "were", "what", "when", "where", "which", "who",
+    "will", "with", "would", "you", "your",
 ];
 
 /// Whether `word` (already lowercase) is a stopword.

@@ -116,10 +116,9 @@ mod tests {
 
     #[test]
     fn expansion_is_a_relaxation_under_evaluation() {
-        let doc = parse(
-            "<r><a>gold coin</a><b>golden coin</b><c>gilded coin</c><d>silver coin</d></r>",
-        )
-        .unwrap();
+        let doc =
+            parse("<r><a>gold coin</a><b>golden coin</b><c>gilded coin</c><d>silver coin</d></r>")
+                .unwrap();
         let index = InvertedIndex::build(&doc);
         let strict = FtExpr::parse("\"gold\" and \"coin\"").unwrap();
         let relaxed = gems().expand(&strict);

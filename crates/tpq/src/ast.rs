@@ -187,9 +187,7 @@ impl Tpq {
 
     /// Indices of all leaves.
     pub fn leaves(&self) -> Vec<usize> {
-        (0..self.nodes.len())
-            .filter(|&i| self.is_leaf(i))
-            .collect()
+        (0..self.nodes.len()).filter(|&i| self.is_leaf(i)).collect()
     }
 
     /// Strict ancestor indices of `idx`, nearest first.

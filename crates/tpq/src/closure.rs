@@ -145,10 +145,7 @@ mod tests {
         let y = b.child(x, "c");
         let _z = b.child(y, "d");
         let c = b.build().closure();
-        let ads = c
-            .iter()
-            .filter(|p| matches!(p, Predicate::Ad(..)))
-            .count();
+        let ads = c.iter().filter(|p| matches!(p, Predicate::Ad(..))).count();
         assert_eq!(ads, 6);
     }
 

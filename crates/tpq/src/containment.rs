@@ -25,7 +25,13 @@ pub fn contains_query(sub: &Tpq, sup: &Tpq) -> bool {
     let mut assignment: Vec<Option<usize>> = vec![None; sup.node_count()];
     // Map the distinguished nodes together up front.
     assignment[sup.distinguished()] = Some(sub.distinguished());
-    if !node_compatible(sub, sup, sup.distinguished(), sub.distinguished(), &sub_closure) {
+    if !node_compatible(
+        sub,
+        sup,
+        sup.distinguished(),
+        sub.distinguished(),
+        &sub_closure,
+    ) {
         return false;
     }
     search(sub, sup, 0, &mut assignment, &sub_closure)
@@ -91,8 +97,10 @@ fn search(
         if let Some(p) = sup.node(sup_idx).parent {
             let hp = assignment[p].expect("pre-order guarantees parent assigned");
             let ok = match sup.node(sup_idx).axis {
-                crate::ast::Axis::Child => sub.node(cand).parent == Some(hp)
-                    && sub.node(cand).axis == crate::ast::Axis::Child,
+                crate::ast::Axis::Child => {
+                    sub.node(cand).parent == Some(hp)
+                        && sub.node(cand).axis == crate::ast::Axis::Child
+                }
                 crate::ast::Axis::Descendant => is_tree_ancestor(sub, hp, cand),
             };
             if !ok {

@@ -280,12 +280,9 @@ mod tests {
 
     #[test]
     fn reconstruction_rejects_forests() {
-        let preds: PredicateSet = [
-            Predicate::Pc(Var(1), Var(2)),
-            Predicate::Pc(Var(3), Var(4)),
-        ]
-        .into_iter()
-        .collect();
+        let preds: PredicateSet = [Predicate::Pc(Var(1), Var(2)), Predicate::Pc(Var(3), Var(4))]
+            .into_iter()
+            .collect();
         assert_eq!(
             tpq_from_predicates(&preds, Var(1)),
             Err(ReconstructError::Disconnected)
@@ -294,12 +291,9 @@ mod tests {
 
     #[test]
     fn reconstruction_rejects_multiple_parents() {
-        let preds: PredicateSet = [
-            Predicate::Pc(Var(1), Var(3)),
-            Predicate::Pc(Var(2), Var(3)),
-        ]
-        .into_iter()
-        .collect();
+        let preds: PredicateSet = [Predicate::Pc(Var(1), Var(3)), Predicate::Pc(Var(2), Var(3))]
+            .into_iter()
+            .collect();
         assert!(matches!(
             tpq_from_predicates(&preds, Var(1)),
             Err(ReconstructError::MultipleParents(Var(3)))
@@ -317,12 +311,9 @@ mod tests {
 
     #[test]
     fn reconstruction_rejects_cycles() {
-        let preds: PredicateSet = [
-            Predicate::Ad(Var(1), Var(2)),
-            Predicate::Ad(Var(2), Var(1)),
-        ]
-        .into_iter()
-        .collect();
+        let preds: PredicateSet = [Predicate::Ad(Var(1), Var(2)), Predicate::Ad(Var(2), Var(1))]
+            .into_iter()
+            .collect();
         let r = tpq_from_predicates(&preds, Var(1));
         assert!(matches!(
             r,

@@ -268,12 +268,9 @@ mod tests {
 
     #[test]
     fn vars_are_collected_sorted() {
-        let s: PredicateSet = [
-            Predicate::Ad(Var(3), Var(7)),
-            Predicate::Pc(Var(1), Var(3)),
-        ]
-        .into_iter()
-        .collect();
+        let s: PredicateSet = [Predicate::Ad(Var(3), Var(7)), Predicate::Pc(Var(1), Var(3))]
+            .into_iter()
+            .collect();
         assert_eq!(s.vars(), vec![Var(1), Var(3), Var(7)]);
     }
 

@@ -64,7 +64,11 @@ pub struct QueryParseError {
 
 impl fmt::Display for QueryParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "query parse error at byte {}: {}", self.offset, self.message)
+        write!(
+            f,
+            "query parse error at byte {}: {}",
+            self.offset, self.message
+        )
     }
 }
 
@@ -79,9 +83,7 @@ pub fn parse_query(input: &str) -> Result<Tpq, QueryParseError> {
 /// Parses an XPath-subset string, returning the query plus any
 /// user-specified predicate weights (`^<w>` annotations) as
 /// `(predicate, weight)` overrides for the engine's weight assignment.
-pub fn parse_query_weighted(
-    input: &str,
-) -> Result<(Tpq, Vec<(Predicate, f64)>), QueryParseError> {
+pub fn parse_query_weighted(input: &str) -> Result<(Tpq, Vec<(Predicate, f64)>), QueryParseError> {
     let mut p = QParser {
         input,
         pos: 0,
@@ -114,7 +116,11 @@ pub fn parse_query_weighted(
                 };
                 overrides.push((pred, weight));
             }
-            WeightHint::Contains { node, index, weight } => {
+            WeightHint::Contains {
+                node,
+                index,
+                weight,
+            } => {
                 let n = q.node(node);
                 if let Some(expr) = n.contains.get(index) {
                     overrides.push((Predicate::Contains(n.var, expr.clone()), weight));
@@ -126,8 +132,15 @@ pub fn parse_query_weighted(
 }
 
 enum WeightHint {
-    Edge { node: usize, weight: f64 },
-    Contains { node: usize, index: usize, weight: f64 },
+    Edge {
+        node: usize,
+        weight: f64,
+    },
+    Contains {
+        node: usize,
+        index: usize,
+        weight: f64,
+    },
 }
 
 struct QParser<'a> {
@@ -222,7 +235,10 @@ impl<'a> QParser<'a> {
         // Optional weight annotation on the edge into this step.
         if let Some(w) = self.parse_weight_suffix()? {
             if parent.is_some() {
-                self.weights.push(WeightHint::Edge { node: idx, weight: w });
+                self.weights.push(WeightHint::Edge {
+                    node: idx,
+                    weight: w,
+                });
             }
         }
         // Qualifiers on this step.
@@ -281,7 +297,11 @@ impl<'a> QParser<'a> {
             self.nodes[node].contains.push(expr);
             let index = self.nodes[node].contains.len() - 1;
             if let Some(w) = self.parse_weight_suffix()? {
-                self.weights.push(WeightHint::Contains { node, index, weight: w });
+                self.weights.push(WeightHint::Contains {
+                    node,
+                    index,
+                    weight: w,
+                });
             }
             return Ok(());
         }
@@ -471,8 +491,7 @@ mod tests {
     fn parses_xmark_benchmark_queries() {
         let q1 = parse_query("//item[./description/parlist]").unwrap();
         assert_eq!(q1.node_count(), 3);
-        let q2 =
-            parse_query("//item[./description/parlist and ./mailbox/mail/text]").unwrap();
+        let q2 = parse_query("//item[./description/parlist and ./mailbox/mail/text]").unwrap();
         assert_eq!(q2.node_count(), 6);
         let q3 = parse_query(
             "//item[./description/parlist/listitem and ./mailbox/mail/text[./bold and ./keyword and ./emph] and ./name and ./incategory]",

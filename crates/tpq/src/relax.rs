@@ -104,7 +104,10 @@ impl fmt::Display for RelaxError {
             RelaxError::NotLeaf(v) => write!(f, "{v} is not a leaf"),
             RelaxError::IsRoot(v) => write!(f, "{v} is the root"),
             RelaxError::LeafHasContains(v) => {
-                write!(f, "leaf {v} carries contains predicates; promote them first")
+                write!(
+                    f,
+                    "leaf {v} carries contains predicates; promote them first"
+                )
             }
             RelaxError::NoGrandparent(v) => write!(f, "{v} has no grandparent"),
             RelaxError::NoSuchContains(v, i) => {
@@ -378,8 +381,14 @@ mod tests {
         // algorithm and paragraph leaves, then delete section.
         let mut q = q1();
         for op in [
-            RelaxOp::ContainsPromote { var: Var(4), index: 0 }, // → Q2
-            RelaxOp::ContainsPromote { var: Var(2), index: 0 }, // contains at root
+            RelaxOp::ContainsPromote {
+                var: Var(4),
+                index: 0,
+            }, // → Q2
+            RelaxOp::ContainsPromote {
+                var: Var(2),
+                index: 0,
+            }, // contains at root
             RelaxOp::LeafDelete { var: Var(3) },
             RelaxOp::LeafDelete { var: Var(4) },
             RelaxOp::LeafDelete { var: Var(2) },

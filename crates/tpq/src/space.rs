@@ -55,9 +55,8 @@ impl RelaxationSpace {
 /// truncation).
 pub fn enumerate_space(q: &Tpq, max_states: usize) -> RelaxationSpace {
     let original_closure = closure_of(&q.logical());
-    let key = |t: &Tpq| -> (PredicateSet, Var) {
-        (closure_of(&t.logical()), t.distinguished_var())
-    };
+    let key =
+        |t: &Tpq| -> (PredicateSet, Var) { (closure_of(&t.logical()), t.distinguished_var()) };
     let mut seen: HashMap<(PredicateSet, Var), usize> = HashMap::new();
     let mut entries: Vec<SpaceEntry> = Vec::new();
     let mut truncated = false;
@@ -157,9 +156,10 @@ mod tests {
             shapes.push(b.build());
         }
         for (i, target) in shapes.iter().enumerate() {
-            let found = space.entries.iter().any(|e| {
-                contains_query(&e.tpq, target) && contains_query(target, &e.tpq)
-            });
+            let found = space
+                .entries
+                .iter()
+                .any(|e| contains_query(&e.tpq, target) && contains_query(target, &e.tpq));
             assert!(found, "figure-1 relaxation #{i} not found in space");
         }
     }

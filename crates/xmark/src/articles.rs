@@ -15,9 +15,9 @@
 //! | `NoAlgorithm` | keyword paragraph, no algorithm at all | Q5 |
 //! | `KeywordsAnywhere` | keywords outside any section | Q6 |
 
+use crate::rng::{Rng, SeedableRng, StdRng};
 use crate::vocab::Vocabulary;
 use flexpath_xmldom::{Document, DocumentBuilder};
-use crate::rng::{Rng, SeedableRng, StdRng};
 
 /// The five Figure-1 near-miss scenarios.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -215,7 +215,10 @@ mod tests {
         let cfg = ArticlesConfig::default();
         let (a, sa) = generate_articles(&cfg);
         let (b, sb) = generate_articles(&cfg);
-        assert_eq!(flexpath_xmldom::to_xml_string(&a), flexpath_xmldom::to_xml_string(&b));
+        assert_eq!(
+            flexpath_xmldom::to_xml_string(&a),
+            flexpath_xmldom::to_xml_string(&b)
+        );
         assert_eq!(sa, sb);
     }
 
@@ -253,9 +256,7 @@ mod tests {
             ..Default::default()
         };
         let (_, scenarios) = generate_articles(&cfg);
-        assert!(scenarios
-            .iter()
-            .all(|s| *s == Some(Scenario::Exact)));
+        assert!(scenarios.iter().all(|s| *s == Some(Scenario::Exact)));
     }
 
     #[test]

@@ -5,10 +5,10 @@
 //! [`XmarkConfig::seed`]. Structure probabilities are configurable so the
 //! ablation benchmarks can vary relaxation opportunity density.
 
+use crate::rng::{Rng, SeedableRng, StdRng};
 use crate::schema::*;
 use crate::vocab::Vocabulary;
 use flexpath_xmldom::{Document, DocumentBuilder, SymbolTable};
-use crate::rng::{Rng, SeedableRng, StdRng};
 
 /// Generator parameters. `Default` matches the distributions used by the
 /// paper-reproduction benchmarks.
@@ -83,7 +83,9 @@ pub fn generate_with_symbols(config: &XmarkConfig, symbols: SymbolTable) -> Docu
         item_seq: 0,
     };
     gen.run();
-    gen.builder.finish().expect("generator emits balanced events")
+    gen.builder
+        .finish()
+        .expect("generator emits balanced events")
 }
 
 struct Generator<'c> {

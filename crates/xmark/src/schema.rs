@@ -81,9 +81,33 @@ mod tests {
     #[test]
     fn names_are_distinct() {
         let all = [
-            SITE, REGIONS, ITEM, LOCATION, QUANTITY, NAME, PAYMENT, DESCRIPTION, PARLIST,
-            LISTITEM, TEXT, BOLD, KEYWORD, EMPH, INCATEGORY, MAILBOX, MAIL, FROM, TO, DATE,
-            SHIPPING, CATEGORIES, CATEGORY, PEOPLE, PERSON, EMAILADDRESS, PHONE,
+            SITE,
+            REGIONS,
+            ITEM,
+            LOCATION,
+            QUANTITY,
+            NAME,
+            PAYMENT,
+            DESCRIPTION,
+            PARLIST,
+            LISTITEM,
+            TEXT,
+            BOLD,
+            KEYWORD,
+            EMPH,
+            INCATEGORY,
+            MAILBOX,
+            MAIL,
+            FROM,
+            TO,
+            DATE,
+            SHIPPING,
+            CATEGORIES,
+            CATEGORY,
+            PEOPLE,
+            PERSON,
+            EMAILADDRESS,
+            PHONE,
         ];
         for (i, a) in all.iter().enumerate() {
             for b in &all[i + 1..] {

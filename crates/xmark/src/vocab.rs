@@ -12,29 +12,193 @@ use crate::rng::Rng;
 /// frequent); the list mixes auction-domain terms with common English filler
 /// so `contains` queries have both selective and unselective targets.
 pub const WORDS: &[&str] = &[
-    "gold", "vintage", "rare", "antique", "shipping", "auction", "payment", "creditcard",
-    "mint", "condition", "original", "collector", "estate", "bronze", "silver", "crystal",
-    "porcelain", "handmade", "limited", "edition", "signed", "certificate", "authentic",
-    "restored", "pristine", "engraved", "ornate", "classic", "deluxe", "premium",
-    "the", "a", "of", "and", "to", "in", "is", "with", "for", "this", "that", "item",
-    "offer", "bid", "seller", "buyer", "price", "value", "quality", "detail", "design",
-    "style", "period", "century", "museum", "gallery", "private", "collection", "piece",
-    "work", "artist", "maker", "brand", "model", "series", "number", "year", "country",
-    "region", "material", "finish", "surface", "color", "size", "weight", "height",
-    "width", "length", "box", "case", "wrap", "insured", "tracked", "express", "standard",
-    "economy", "refund", "return", "policy", "warranty", "described", "pictured", "shown",
-    "minor", "wear", "scratch", "chip", "crack", "repair", "replaced", "missing", "complete",
-    "partial", "set", "pair", "single", "lot", "bundle", "group", "assorted", "various",
-    "mixed", "wonderful", "beautiful", "stunning", "gorgeous", "elegant", "charming",
-    "unique", "unusual", "scarce", "hard", "find", "sought", "after", "popular", "famous",
-    "renowned", "celebrated", "historic", "important", "significant", "documented",
-    "provenance", "attributed", "school", "circle", "manner", "after_", "studio",
-    "workshop", "factory", "foundry", "press", "printed", "engraving", "etching",
-    "lithograph", "watercolor", "oil", "canvas", "panel", "board", "paper", "vellum",
-    "leather", "cloth", "binding", "spine", "cover", "page", "plate", "illustration",
-    "map", "chart", "globe", "instrument", "clock", "watch", "jewelry", "ring",
-    "necklace", "bracelet", "brooch", "pendant", "earring", "gem", "stone", "diamond",
-    "ruby", "sapphire", "emerald", "pearl", "amber", "coral", "jade", "ivory",
+    "gold",
+    "vintage",
+    "rare",
+    "antique",
+    "shipping",
+    "auction",
+    "payment",
+    "creditcard",
+    "mint",
+    "condition",
+    "original",
+    "collector",
+    "estate",
+    "bronze",
+    "silver",
+    "crystal",
+    "porcelain",
+    "handmade",
+    "limited",
+    "edition",
+    "signed",
+    "certificate",
+    "authentic",
+    "restored",
+    "pristine",
+    "engraved",
+    "ornate",
+    "classic",
+    "deluxe",
+    "premium",
+    "the",
+    "a",
+    "of",
+    "and",
+    "to",
+    "in",
+    "is",
+    "with",
+    "for",
+    "this",
+    "that",
+    "item",
+    "offer",
+    "bid",
+    "seller",
+    "buyer",
+    "price",
+    "value",
+    "quality",
+    "detail",
+    "design",
+    "style",
+    "period",
+    "century",
+    "museum",
+    "gallery",
+    "private",
+    "collection",
+    "piece",
+    "work",
+    "artist",
+    "maker",
+    "brand",
+    "model",
+    "series",
+    "number",
+    "year",
+    "country",
+    "region",
+    "material",
+    "finish",
+    "surface",
+    "color",
+    "size",
+    "weight",
+    "height",
+    "width",
+    "length",
+    "box",
+    "case",
+    "wrap",
+    "insured",
+    "tracked",
+    "express",
+    "standard",
+    "economy",
+    "refund",
+    "return",
+    "policy",
+    "warranty",
+    "described",
+    "pictured",
+    "shown",
+    "minor",
+    "wear",
+    "scratch",
+    "chip",
+    "crack",
+    "repair",
+    "replaced",
+    "missing",
+    "complete",
+    "partial",
+    "set",
+    "pair",
+    "single",
+    "lot",
+    "bundle",
+    "group",
+    "assorted",
+    "various",
+    "mixed",
+    "wonderful",
+    "beautiful",
+    "stunning",
+    "gorgeous",
+    "elegant",
+    "charming",
+    "unique",
+    "unusual",
+    "scarce",
+    "hard",
+    "find",
+    "sought",
+    "after",
+    "popular",
+    "famous",
+    "renowned",
+    "celebrated",
+    "historic",
+    "important",
+    "significant",
+    "documented",
+    "provenance",
+    "attributed",
+    "school",
+    "circle",
+    "manner",
+    "after_",
+    "studio",
+    "workshop",
+    "factory",
+    "foundry",
+    "press",
+    "printed",
+    "engraving",
+    "etching",
+    "lithograph",
+    "watercolor",
+    "oil",
+    "canvas",
+    "panel",
+    "board",
+    "paper",
+    "vellum",
+    "leather",
+    "cloth",
+    "binding",
+    "spine",
+    "cover",
+    "page",
+    "plate",
+    "illustration",
+    "map",
+    "chart",
+    "globe",
+    "instrument",
+    "clock",
+    "watch",
+    "jewelry",
+    "ring",
+    "necklace",
+    "bracelet",
+    "brooch",
+    "pendant",
+    "earring",
+    "gem",
+    "stone",
+    "diamond",
+    "ruby",
+    "sapphire",
+    "emerald",
+    "pearl",
+    "amber",
+    "coral",
+    "jade",
+    "ivory",
 ];
 
 /// A cumulative-weight sampler over [`WORDS`] following a Zipf law.

@@ -111,10 +111,7 @@ mod tests {
     fn children_in_document_order() {
         let doc = parse(DOC).unwrap();
         let root = doc.root_element();
-        let tags: Vec<_> = doc
-            .children(root)
-            .filter_map(|c| doc.tag_name(c))
-            .collect();
+        let tags: Vec<_> = doc.children(root).filter_map(|c| doc.tag_name(c)).collect();
         assert_eq!(tags, ["b", "e"]);
     }
 
@@ -122,10 +119,7 @@ mod tests {
     fn descendants_cover_subtree_exactly() {
         let doc = parse(DOC).unwrap();
         let b = doc.nodes_with_tag_name("b")[0];
-        let tags: Vec<_> = doc
-            .descendants(b)
-            .filter_map(|c| doc.tag_name(c))
-            .collect();
+        let tags: Vec<_> = doc.descendants(b).filter_map(|c| doc.tag_name(c)).collect();
         assert_eq!(tags, ["c", "d"]);
         // Every descendant passes the O(1) interval test.
         for d in doc.descendants(b) {

@@ -187,7 +187,10 @@ impl Document {
     ///
     /// This is the input list shape required by structural joins.
     pub fn nodes_with_tag(&self, tag: Sym) -> &[NodeId] {
-        self.tag_index.get(&tag).map(|v| v.as_slice()).unwrap_or(&[])
+        self.tag_index
+            .get(&tag)
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
     }
 
     /// Convenience: `nodes_with_tag` via a tag *name* (no-op on unknown names).
@@ -287,8 +290,7 @@ impl Document {
                                 .filter(|&c| self.tag(c) == Some(tag))
                                 .collect();
                             if same.len() > 1 {
-                                let pos =
-                                    same.iter().position(|&c| c == node).unwrap_or(0) + 1;
+                                let pos = same.iter().position(|&c| c == node).unwrap_or(0) + 1;
                                 format!("{name}[{pos}]")
                             } else {
                                 name.to_string()

@@ -82,7 +82,10 @@ impl fmt::Display for ParseError {
             ParseErrorKind::UnexpectedEof => write!(f, "unexpected end of input"),
             ParseErrorKind::UnexpectedChar(c) => write!(f, "unexpected character {c:?}"),
             ParseErrorKind::MismatchedTag { expected, found } => {
-                write!(f, "mismatched close tag: expected </{expected}>, found </{found}>")
+                write!(
+                    f,
+                    "mismatched close tag: expected </{expected}>, found </{found}>"
+                )
             }
             ParseErrorKind::ContentOutsideRoot => write!(f, "content outside the root element"),
             ParseErrorKind::BadEntity(e) => write!(f, "bad entity reference &{e};"),

@@ -177,12 +177,10 @@ impl<'a, S: XmlSink> Parser<'a, '_, S> {
         let start = self.pos;
         // Bounded scan: a legal reference fits well inside MAX_ENTITY_LEN.
         let window_end = (self.pos + MAX_ENTITY_LEN).min(self.input.len());
-        let semi = self.input[self.pos..window_end]
-            .find(';')
-            .ok_or_else(|| {
-                let tail = &self.input[start..(start + 16).min(self.input.len())];
-                self.err(ParseErrorKind::BadEntity(tail.to_string()))
-            })?;
+        let semi = self.input[self.pos..window_end].find(';').ok_or_else(|| {
+            let tail = &self.input[start..(start + 16).min(self.input.len())];
+            self.err(ParseErrorKind::BadEntity(tail.to_string()))
+        })?;
         let name = &self.input[start..start + semi];
         self.pos = start + semi + 1;
         let bad = |p: &Self| p.err(ParseErrorKind::BadEntity(name.to_string()));
@@ -345,9 +343,7 @@ impl<'a, S: XmlSink> Parser<'a, '_, S> {
                             }));
                         }
                         if seen_attrs.contains(&attr) {
-                            return Err(
-                                self.err(ParseErrorKind::DuplicateAttribute(attr.into()))
-                            );
+                            return Err(self.err(ParseErrorKind::DuplicateAttribute(attr.into())));
                         }
                         self.skip_ws();
                         self.expect_str("=")?;
@@ -418,11 +414,9 @@ mod tests {
 
     #[test]
     fn decodes_predefined_and_numeric_entities() {
-        let doc = parse("<a>&lt;tag&gt; &amp; &quot;x&quot; &apos;y&apos; &#65;&#x42;</a>").unwrap();
-        assert_eq!(
-            doc.subtree_text(doc.root_element()),
-            "<tag> & \"x\" 'y' AB"
-        );
+        let doc =
+            parse("<a>&lt;tag&gt; &amp; &quot;x&quot; &apos;y&apos; &#65;&#x42;</a>").unwrap();
+        assert_eq!(doc.subtree_text(doc.root_element()), "<tag> & \"x\" 'y' AB");
     }
 
     #[test]

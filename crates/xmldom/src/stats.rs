@@ -150,8 +150,7 @@ mod tests {
 
     #[test]
     fn pc_is_bounded_by_ad() {
-        let doc =
-            parse("<r><x><y/><y><x><y/></x></y></x><x/><z><x><z/></x></z></r>").unwrap();
+        let doc = parse("<r><x><y/><y><x><y/></x></y></x><x/><z><x><z/></x></z></r>").unwrap();
         let s = DocStats::compute(&doc);
         let tags: Vec<Sym> = s.tags().collect();
         for &t1 in &tags {

@@ -158,10 +158,7 @@ fn descendant_iteration_matches_interval_test() {
     for_docs(4, |doc| {
         for n in doc.all_nodes() {
             let via_iter: Vec<_> = doc.descendants(n).collect();
-            let via_test: Vec<_> = doc
-                .all_nodes()
-                .filter(|&m| doc.is_ancestor(n, m))
-                .collect();
+            let via_test: Vec<_> = doc.all_nodes().filter(|&m| doc.is_ancestor(n, m)).collect();
             assert_eq!(via_iter, via_test);
         }
     });

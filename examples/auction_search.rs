@@ -67,7 +67,10 @@ fn main() {
     // Show what relaxation actually surfaced for XQ3.
     let r = flex.query(QUERIES[2].1).unwrap().top(k).execute();
     if let (Some(best), Some(worst)) = (r.hits.first(), r.hits.last()) {
-        println!("XQ3 score range: best ss={:.3} … worst ss={:.3}", best.score.ss, worst.score.ss);
+        println!(
+            "XQ3 score range: best ss={:.3} … worst ss={:.3}",
+            best.score.ss, worst.score.ss
+        );
         println!(
             "levels used: {:?}",
             r.hits

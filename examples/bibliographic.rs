@@ -84,16 +84,15 @@ fn main() {
             .entries
             .iter()
             .any(|e| contains_query(&e.tpq, q) && contains_query(q, &e.tpq));
-        println!("  {name} reachable from Q1: {}", if found { "yes" } else { "no" });
+        println!(
+            "  {name} reachable from Q1: {}",
+            if found { "yes" } else { "no" }
+        );
     }
 
     // 3. Run Q1 flexibly: every on-topic article surfaces, ranked.
     let flex = FleXPath::from_xml(COLLECTION).unwrap();
-    let results = flex
-        .query(FIGURE_1[0].1)
-        .unwrap()
-        .top(6)
-        .execute();
+    let results = flex.query(FIGURE_1[0].1).unwrap().top(6).execute();
     println!("\ntop answers for Q1 as a template:");
     let id = flex.document().symbols().lookup("id").unwrap();
     for hit in &results.hits {

@@ -20,8 +20,7 @@ const CATALOG: &str = r#"<catalog>
   <newsletter id="n1"><section><paragraph>XML streaming gossip.</paragraph></section></newsletter>
 </catalog>"#;
 
-const QUERY: &str =
-    "//article[./section[./paragraph[.contains(\"XML\" and \"streaming\")]]]";
+const QUERY: &str = "//article[./section[./paragraph[.contains(\"XML\" and \"streaming\")]]]";
 
 fn main() {
     let flex = FleXPath::from_xml(CATALOG).expect("catalog parses");
@@ -38,10 +37,7 @@ fn main() {
     // 2. With the publication hierarchy, sibling subtypes become
     //    penalized matches; the newsletter stays out (not a publication).
     let mut hierarchy = TagHierarchy::new();
-    hierarchy.add_type(
-        "publication",
-        &["article", "book", "thesis", "techreport"],
-    );
+    hierarchy.add_type("publication", &["article", "book", "thesis", "techreport"]);
     let with = flex
         .query(QUERY)
         .unwrap()

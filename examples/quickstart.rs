@@ -22,7 +22,8 @@ const CORPUS: &str = r#"<library>
   <article id="off-topic"><section><paragraph>Relational query optimization.</paragraph></section></article>
 </library>"#;
 
-const QUERY: &str = "//article[./section[./algorithm and ./paragraph[.contains(\"XML\" and \"streaming\")]]]";
+const QUERY: &str =
+    "//article[./section[./algorithm and ./paragraph[.contains(\"XML\" and \"streaming\")]]]";
 
 fn main() {
     let flex = FleXPath::from_xml(CORPUS).expect("corpus is well-formed");

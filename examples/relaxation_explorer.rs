@@ -23,7 +23,10 @@ const DEFAULT_CORPUS: &str = r#"<collection>
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let query_str = args.get(1).cloned().unwrap_or_else(|| DEFAULT_QUERY.to_string());
+    let query_str = args
+        .get(1)
+        .cloned()
+        .unwrap_or_else(|| DEFAULT_QUERY.to_string());
     let corpus = match args.get(2) {
         Some(path) => std::fs::read_to_string(path).expect("corpus file readable"),
         None => DEFAULT_CORPUS.to_string(),
@@ -59,13 +62,21 @@ fn main() {
     println!(
         "  {} distinct relaxations{}",
         space.len(),
-        if space.truncated { " (truncated at 500)" } else { "" }
+        if space.truncated {
+            " (truncated at 500)"
+        } else {
+            ""
+        }
     );
     for e in space.entries.iter().take(12) {
         let ops: Vec<String> = e.ops.iter().map(|o| o.to_string()).collect();
         println!(
             "  [{}] {}",
-            if ops.is_empty() { "original".to_string() } else { ops.join(" ∘ ") },
+            if ops.is_empty() {
+                "original".to_string()
+            } else {
+                ops.join(" ∘ ")
+            },
             e.tpq.to_xpath()
         );
     }

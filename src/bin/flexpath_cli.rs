@@ -15,6 +15,10 @@
 //!   --highlight           mark the query keywords in snippets
 //!   --paths               print each answer's node path
 //!   --stats               print execution statistics
+//!   --trace               print the execution trace (span tree with
+//!                         per-round counters) after the results
+//!   --trace-json          print the execution trace as JSON
+//!   --metrics             print the process-wide engine metrics registry
 //!   --deadline-ms N       stop after N milliseconds with the best answers
 //!                         found so far
 //!   --threads N           worker threads (default: available parallelism;
@@ -89,21 +93,71 @@ struct Options {
     highlight: bool,
     paths: bool,
     stats: bool,
+    trace: bool,
+    trace_json: bool,
+    metrics: bool,
     deadline_ms: Option<u64>,
     threads: Option<usize>,
 }
 
+/// Every flag the parser accepts, with `true` for flags that consume a
+/// value. The usage text is generated from this table, so the help output
+/// can never drift from what the parser actually accepts again.
+const FLAGS: &[(&str, bool, &str)] = &[
+    ("--k", true, "number of answers (default 10)"),
+    ("--algorithm", true, "dpo | sso | hybrid (default hybrid)"),
+    (
+        "--scheme",
+        true,
+        "structure | keyword | combined (default structure)",
+    ),
+    ("--explain", false, "print the relaxation schedule first"),
+    ("--plan", false, "print the relaxation-encoded plan"),
+    ("--xml", false, "print each answer's XML subtree"),
+    (
+        "--snippet",
+        true,
+        "snippet length in characters (default 80)",
+    ),
+    ("--highlight", false, "mark the query keywords in snippets"),
+    ("--paths", false, "print each answer's node path"),
+    ("--stats", false, "print execution statistics"),
+    ("--trace", false, "print the execution trace (span tree)"),
+    ("--trace-json", false, "print the execution trace as JSON"),
+    ("--metrics", false, "print the engine metrics registry"),
+    (
+        "--deadline-ms",
+        true,
+        "stop after N ms with best answers so far",
+    ),
+    ("--threads", true, "worker threads (default: all cores)"),
+    ("--help", false, "print this help"),
+];
+
+fn usage_text() -> String {
+    let mut out =
+        String::from("usage: flexpath-cli <corpus.xml> '<query>' [options]\n\noptions:\n");
+    for (flag, takes_value, help) in FLAGS {
+        let arg = if *takes_value {
+            format!("{flag} N")
+        } else {
+            (*flag).to_string()
+        };
+        out.push_str(&format!("  {arg:<18} {help}\n"));
+    }
+    out
+}
+
 fn usage() -> ExitCode {
-    eprintln!(
-        "usage: flexpath-cli <corpus.xml> '<query>' [--k N] [--algorithm dpo|sso|hybrid]\n\
-         \x20                [--scheme structure|keyword|combined] [--explain] [--xml]\n\
-         \x20                [--snippet N] [--stats] [--deadline-ms N] [--threads N]"
-    );
+    eprint!("{}", usage_text());
     ExitCode::from(2)
 }
 
 fn parse_args() -> Result<Options, ExitCode> {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    parse_args_from(std::env::args().skip(1).collect())
+}
+
+fn parse_args_from(args: Vec<String>) -> Result<Options, ExitCode> {
     let mut positional: Vec<String> = Vec::new();
     let mut opts = Options {
         corpus: String::new(),
@@ -118,6 +172,9 @@ fn parse_args() -> Result<Options, ExitCode> {
         highlight: false,
         paths: false,
         stats: false,
+        trace: false,
+        trace_json: false,
+        metrics: false,
         deadline_ms: None,
         threads: None,
     };
@@ -126,10 +183,7 @@ fn parse_args() -> Result<Options, ExitCode> {
         match args[i].as_str() {
             "--k" => {
                 i += 1;
-                opts.k = args
-                    .get(i)
-                    .and_then(|s| s.parse().ok())
-                    .ok_or_else(usage)?;
+                opts.k = args.get(i).and_then(|s| s.parse().ok()).ok_or_else(usage)?;
             }
             "--algorithm" => {
                 i += 1;
@@ -151,26 +205,16 @@ fn parse_args() -> Result<Options, ExitCode> {
             }
             "--snippet" => {
                 i += 1;
-                opts.snippet = args
-                    .get(i)
-                    .and_then(|s| s.parse().ok())
-                    .ok_or_else(usage)?;
+                opts.snippet = args.get(i).and_then(|s| s.parse().ok()).ok_or_else(usage)?;
             }
             "--deadline-ms" => {
                 i += 1;
-                opts.deadline_ms = Some(
-                    args.get(i)
-                        .and_then(|s| s.parse().ok())
-                        .ok_or_else(usage)?,
-                );
+                opts.deadline_ms =
+                    Some(args.get(i).and_then(|s| s.parse().ok()).ok_or_else(usage)?);
             }
             "--threads" => {
                 i += 1;
-                opts.threads = Some(
-                    args.get(i)
-                        .and_then(|s| s.parse().ok())
-                        .ok_or_else(usage)?,
-                );
+                opts.threads = Some(args.get(i).and_then(|s| s.parse().ok()).ok_or_else(usage)?);
             }
             "--explain" => opts.explain = true,
             "--plan" => opts.plan = true,
@@ -178,6 +222,9 @@ fn parse_args() -> Result<Options, ExitCode> {
             "--highlight" => opts.highlight = true,
             "--paths" => opts.paths = true,
             "--stats" => opts.stats = true,
+            "--trace" => opts.trace = true,
+            "--trace-json" => opts.trace_json = true,
+            "--metrics" => opts.metrics = true,
             "--help" | "-h" => return Err(usage()),
             other => positional.push(other.to_string()),
         }
@@ -249,6 +296,9 @@ fn main() -> ExitCode {
     if let Some(ms) = opts.deadline_ms {
         query = query.deadline(Duration::from_millis(ms));
     }
+    if opts.trace || opts.trace_json {
+        query = query.trace();
+    }
     let results = query.execute();
 
     if !results.is_complete() {
@@ -294,5 +344,88 @@ fn main() -> ExitCode {
             s.restarts
         );
     }
+    if let Some(trace) = &results.trace {
+        if opts.trace {
+            println!("\n-- trace --");
+            print!("{}", trace.render_text());
+        }
+        if opts.trace_json {
+            println!("{}", trace.render_json());
+        }
+    }
+    if opts.metrics {
+        println!("\n-- engine metrics --");
+        print!("{}", flexpath::engine_metrics().render_text());
+    }
     ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn usage_lists_every_accepted_flag() {
+        // The parser and the help text share the FLAGS table; this guards
+        // the table itself against missing entries for hand-written match
+        // arms (and vice versa) by exercising both sides.
+        let text = usage_text();
+        for (flag, _, _) in FLAGS {
+            assert!(text.contains(flag), "usage text is missing {flag}");
+        }
+    }
+
+    #[test]
+    fn parser_accepts_every_flag_in_the_table() {
+        let mut args = vec!["corpus.xml".to_string(), "//a".to_string()];
+        for (flag, takes_value, _) in FLAGS {
+            if *flag == "--help" {
+                continue; // exits with usage by design
+            }
+            args.push((*flag).to_string());
+            if *takes_value {
+                // Every value-taking flag accepts a number except the two
+                // enum-valued ones.
+                args.push(
+                    match *flag {
+                        "--algorithm" => "dpo",
+                        "--scheme" => "combined",
+                        _ => "3",
+                    }
+                    .to_string(),
+                );
+            }
+        }
+        let opts = parse_args_from(args).expect("all flags parse");
+        assert_eq!(opts.k, 3);
+        assert_eq!(opts.algorithm, Algorithm::Dpo);
+        assert_eq!(opts.scheme, RankingScheme::Combined);
+        assert!(opts.explain && opts.plan && opts.xml && opts.highlight);
+        assert!(opts.paths && opts.stats && opts.trace && opts.trace_json);
+        assert!(opts.metrics);
+        assert_eq!(opts.deadline_ms, Some(3));
+        assert_eq!(opts.threads, Some(3));
+        assert_eq!(opts.snippet, 3);
+        assert_eq!(opts.corpus, "corpus.xml");
+        assert_eq!(opts.query, "//a");
+    }
+
+    #[test]
+    fn missing_positionals_or_bad_values_are_rejected() {
+        assert!(parse_args_from(vec!["only-one".into()]).is_err());
+        assert!(parse_args_from(vec![
+            "c.xml".into(),
+            "//a".into(),
+            "--algorithm".into(),
+            "nope".into()
+        ])
+        .is_err());
+        assert!(parse_args_from(vec![
+            "c.xml".into(),
+            "//a".into(),
+            "--k".into(),
+            "NaN".into()
+        ])
+        .is_err());
+    }
 }

@@ -9,9 +9,7 @@
 //! and a cancelled DPO run still returns an exact rank prefix of the
 //! unbounded ranking (whole speculative batches are discarded, never split).
 
-use flexpath::{
-    Algorithm, CancelToken, FleXPath, ParallelConfig, QueryResults, RankingScheme,
-};
+use flexpath::{Algorithm, CancelToken, FleXPath, ParallelConfig, QueryResults, RankingScheme};
 use flexpath_xmark::{generate, XmarkConfig};
 use std::sync::OnceLock;
 
@@ -121,7 +119,54 @@ fn dpo_work_counters_match_across_thread_counts() {
     let par = run(8);
     assert_eq!(seq.stats.evaluations, par.stats.evaluations);
     assert_eq!(seq.stats.relaxations_used, par.stats.relaxations_used);
-    assert_eq!(seq.stats.intermediate_answers, par.stats.intermediate_answers);
+    assert_eq!(
+        seq.stats.intermediate_answers,
+        par.stats.intermediate_answers
+    );
+}
+
+#[test]
+fn trace_counter_fingerprints_are_identical_across_thread_counts() {
+    // The observability contract on top of the output contract: the
+    // deterministic counter fingerprint (span tree + all counters except
+    // durations and the nd.* namespace) is byte-identical at every thread
+    // count, for every algorithm and ranking scheme.
+    let flex = session();
+    for algorithm in [Algorithm::Dpo, Algorithm::Sso, Algorithm::Hybrid] {
+        for scheme in [
+            RankingScheme::StructureFirst,
+            RankingScheme::KeywordFirst,
+            RankingScheme::Combined,
+        ] {
+            let run = |threads: usize| {
+                let mut cfg = ParallelConfig::with_threads(threads);
+                cfg.min_round_size = 1;
+                flex.query(QUERIES[0])
+                    .unwrap()
+                    .top(25)
+                    .algorithm(algorithm)
+                    .scheme(scheme)
+                    .parallel(cfg)
+                    .trace()
+                    .execute()
+                    .trace
+                    .expect("trace requested")
+                    .counter_fingerprint()
+            };
+            let baseline = run(1);
+            assert!(
+                baseline.contains("governor.checkpoint."),
+                "{algorithm} / {scheme:?}: fingerprint must carry checkpoint counters"
+            );
+            for threads in [2, 4, 8] {
+                assert_eq!(
+                    baseline,
+                    run(threads),
+                    "{algorithm} / {scheme:?}: fingerprint diverged at threads={threads}"
+                );
+            }
+        }
+    }
 }
 
 #[test]

@@ -4,9 +4,7 @@
 //! prefixes of the unbounded run (Theorem 3; see DESIGN.md, "Resource
 //! governance & partial results").
 
-use flexpath::{
-    Algorithm, CancelToken, Completeness, ExhaustReason, FleXPath, QueryLimits,
-};
+use flexpath::{Algorithm, CancelToken, Completeness, ExhaustReason, FleXPath, QueryLimits};
 use flexpath_xmark::{generate, XmarkConfig};
 use std::sync::OnceLock;
 use std::time::{Duration, Instant};
@@ -15,9 +13,7 @@ use std::time::{Duration, Instant};
 /// once and shared by every test in this file.
 fn big_session() -> &'static FleXPath {
     static SESSION: OnceLock<FleXPath> = OnceLock::new();
-    SESSION.get_or_init(|| {
-        FleXPath::new(generate(&XmarkConfig::sized(10 * 1024 * 1024, 42)))
-    })
+    SESSION.get_or_init(|| FleXPath::new(generate(&XmarkConfig::sized(10 * 1024 * 1024, 42))))
 }
 
 const XQ3: &str = "//item[./description/parlist/listitem and ./mailbox/mail/text[./bold and ./keyword and ./emph] and ./name and ./incategory]";
@@ -132,7 +128,10 @@ fn zero_budgets_return_exhausted_without_panicking() {
             .algorithm(alg)
             .limits(QueryLimits::default().with_max_candidate_answers(0))
             .execute();
-        assert!(r.hits.is_empty(), "{alg}: zero answer budget admits nothing");
+        assert!(
+            r.hits.is_empty(),
+            "{alg}: zero answer budget admits nothing"
+        );
         assert!(
             matches!(
                 r.completeness,
@@ -211,6 +210,133 @@ fn unlimited_limits_report_complete_across_algorithms() {
         assert!(r.is_complete(), "{alg}");
         assert_eq!(r.hits.len(), 5, "{alg}");
     }
+}
+
+#[test]
+fn tripped_traces_cover_every_checkpoint_site_and_match_completeness() {
+    use flexpath_engine::{reason_key, CheckpointSite};
+    let flex = big_session();
+
+    // One budget-tripped run per checkpoint site: budget-typed limits are
+    // attributed to the site whose charge trips them, deadlines to the
+    // driving loop of the chosen algorithm.
+    let runs: Vec<(&str, flexpath::QueryResults)> = vec![
+        (
+            "schedule",
+            flex.query(XQ3)
+                .unwrap()
+                .top(1_000_000)
+                .algorithm(Algorithm::Dpo)
+                .limits(QueryLimits::default().with_max_relaxations_enumerated(0))
+                .trace()
+                .execute(),
+        ),
+        (
+            "ft_eval",
+            flex.query("//item[./description[.contains(\"gold\")]]")
+                .unwrap()
+                .top(10)
+                .algorithm(Algorithm::Dpo)
+                .limits(QueryLimits::default().with_max_ft_postings_scanned(1))
+                .trace()
+                .execute(),
+        ),
+        (
+            "candidate_loop",
+            flex.query(XQ3)
+                .unwrap()
+                .top(10)
+                .algorithm(Algorithm::Dpo)
+                .limits(QueryLimits::default().with_max_candidate_answers(0))
+                .trace()
+                .execute(),
+        ),
+        (
+            "dpo_round",
+            flex.query(XQ3)
+                .unwrap()
+                .top(100)
+                .algorithm(Algorithm::Dpo)
+                .deadline(Duration::from_micros(1))
+                .trace()
+                .execute(),
+        ),
+        (
+            "sso_pass",
+            flex.query(XQ3)
+                .unwrap()
+                .top(100)
+                .algorithm(Algorithm::Sso)
+                .deadline(Duration::from_micros(1))
+                .trace()
+                .execute(),
+        ),
+        (
+            "hybrid_pass",
+            flex.query(XQ3)
+                .unwrap()
+                .top(100)
+                .algorithm(Algorithm::Hybrid)
+                .deadline(Duration::from_micros(1))
+                .trace()
+                .execute(),
+        ),
+    ];
+
+    let mut seen = std::collections::BTreeSet::new();
+    for (expected_site, r) in &runs {
+        let reason = r
+            .completeness
+            .exhaust_reason()
+            .unwrap_or_else(|| panic!("{expected_site}: run must trip its budget"));
+        let trace = r.trace.as_ref().expect("trace requested");
+        // The trip site in the trace matches what Completeness reports …
+        assert_eq!(
+            trace
+                .root
+                .counters
+                .get(&format!("governor.trip.site.{expected_site}")),
+            Some(&1),
+            "{expected_site}: trip site missing or wrong; root counters: {:?}",
+            trace.root.counters
+        );
+        // … and so does the trip reason.
+        assert_eq!(
+            trace
+                .root
+                .counters
+                .get(&format!("governor.trip.reason.{}", reason_key(reason))),
+            Some(&1),
+            "{expected_site}: trip reason mismatch"
+        );
+        seen.insert(*expected_site);
+    }
+    // Together the six runs exercise every named checkpoint site.
+    for site in CheckpointSite::ALL {
+        assert!(
+            seen.contains(site.name()),
+            "checkpoint site {site} has no covering tripped run"
+        );
+    }
+}
+
+#[test]
+fn checkpoint_counters_appear_in_traced_spans() {
+    // Even an untripped run records how often each cooperative checkpoint
+    // was consulted — the EXPLAIN ANALYZE signal for where a budget *would*
+    // bite.
+    let flex = big_session();
+    let r = flex
+        .query(XQ3)
+        .unwrap()
+        .top(20)
+        .algorithm(Algorithm::Dpo)
+        .trace()
+        .execute();
+    let trace = r.trace.expect("trace requested");
+    assert!(trace.total("governor.checkpoint.schedule") > 0);
+    assert!(trace.total("governor.checkpoint.dpo_round") > 0);
+    assert!(trace.total("governor.checkpoint.candidate_loop") > 0);
 }
 
 #[test]

@@ -12,8 +12,7 @@ const LIBRARY: &str = r#"<library>
   <advert id="ad"><section><paragraph>XML streaming gadget</paragraph></section></advert>
 </library>"#;
 
-const QUERY: &str =
-    "//article[./section/paragraph[.contains(\"XML\" and \"streaming\")]]";
+const QUERY: &str = "//article[./section/paragraph[.contains(\"XML\" and \"streaming\")]]";
 
 fn publication_hierarchy() -> TagHierarchy {
     let mut h = TagHierarchy::new();
@@ -84,8 +83,11 @@ fn hierarchy_penalty_reflects_subtype_dominance() {
         .execute();
     assert_eq!(r.hits.len(), 2);
     let relaxed = &r.hits[1];
-    assert!((r.hits[0].score.ss - relaxed.score.ss - 0.75).abs() < 1e-9,
-        "expected penalty 3/4, got {}", r.hits[0].score.ss - relaxed.score.ss);
+    assert!(
+        (r.hits[0].score.ss - relaxed.score.ss - 0.75).abs() < 1e-9,
+        "expected penalty 3/4, got {}",
+        r.hits[0].score.ss - relaxed.score.ss
+    );
 
     // Query for books containing gold: the article relaxation costs only
     // #(book)/#(members) = 1/4.

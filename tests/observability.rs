@@ -1,0 +1,119 @@
+//! Observability-layer acceptance: EXPLAIN ANALYZE renders the full span
+//! tree for a relaxed XMark query (per-round operator, candidate / prune /
+//! cache / governor-checkpoint counters), the trace JSON is well-formed,
+//! and the process-wide metrics registry accumulates across queries.
+
+use flexpath::{explain_profile, Algorithm, FleXPath, ParallelConfig};
+use flexpath_xmark::{generate, XmarkConfig};
+use std::sync::OnceLock;
+
+fn session() -> &'static FleXPath {
+    static SESSION: OnceLock<FleXPath> = OnceLock::new();
+    SESSION.get_or_init(|| FleXPath::new(generate(&XmarkConfig::sized(2 * 1024 * 1024, 42))))
+}
+
+/// A query that *requires* relaxation to fill k, so the profile shows
+/// relaxation rounds beyond round[0].
+const RELAXED: &str =
+    "//item[./description/parlist/listitem and ./mailbox/mail/text[./bold and ./keyword]]";
+
+#[test]
+fn explain_profile_renders_rounds_counters_and_fingerprint() {
+    let text = explain_profile(session(), RELAXED, 500, Algorithm::Dpo).unwrap();
+    // Header and outcome.
+    assert!(text.contains("EXPLAIN ANALYZE"), "{text}");
+    assert!(text.contains("completeness: complete"), "{text}");
+    // Span tree: parse, schedule, and relaxation rounds with their operator.
+    assert!(text.contains("parse ["), "{text}");
+    assert!(text.contains("schedule ["), "{text}");
+    assert!(text.contains("round[0] op=exact"), "{text}");
+    assert!(
+        text.contains("round[1] op="),
+        "relaxation must have run: {text}"
+    );
+    // Per-round counters.
+    assert!(text.contains("round.candidates="), "{text}");
+    assert!(text.contains("round.duplicates_pruned="), "{text}");
+    assert!(text.contains("round.admitted="), "{text}");
+    // Cache delta (nd.* namespace) and governor checkpoint counters.
+    assert!(text.contains("nd.cache.hits="), "{text}");
+    assert!(text.contains("nd.cache.misses="), "{text}");
+    assert!(text.contains("governor.checkpoint.dpo_round="), "{text}");
+    assert!(
+        text.contains("governor.checkpoint.candidate_loop="),
+        "{text}"
+    );
+    // Deterministic fingerprint section, nd.* excluded from it.
+    let fp = text
+        .split("--- deterministic counter fingerprint ---")
+        .nth(1)
+        .expect("fingerprint section");
+    // Counter keys are space-separated in fingerprint lines; no key may
+    // come from the scheduling-dependent nd.* namespace.
+    assert!(!fp.contains(" nd."), "fingerprint must exclude nd.*: {fp}");
+    assert!(fp.contains("dpo>round[0] op=exact"), "{fp}");
+}
+
+#[test]
+fn trace_json_is_balanced_and_carries_spans() {
+    let r = session()
+        .query(RELAXED)
+        .unwrap()
+        .top(10)
+        .algorithm(Algorithm::Hybrid)
+        .trace()
+        .execute();
+    let json = r.trace.expect("trace requested").render_json();
+    assert!(json.starts_with('{') && json.ends_with('}'), "{json}");
+    assert_eq!(
+        json.matches('{').count(),
+        json.matches('}').count(),
+        "unbalanced braces: {json}"
+    );
+    assert!(json.contains("\"name\":\"hybrid\""), "{json}");
+    assert!(json.contains("\"duration_us\":"), "{json}");
+    assert!(json.contains("\"children\":["), "{json}");
+}
+
+#[test]
+fn registry_accumulates_queries_and_parallel_worker_attribution() {
+    let flex = session();
+    let before = flexpath::engine_metrics();
+    let mut cfg = ParallelConfig::with_threads(4);
+    cfg.min_round_size = 1;
+    for _ in 0..3 {
+        let r = flex
+            .query(RELAXED)
+            .unwrap()
+            .top(25)
+            .algorithm(Algorithm::Dpo)
+            .parallel(cfg)
+            .execute();
+        assert!(!r.hits.is_empty());
+    }
+    let after = flexpath::engine_metrics();
+    let delta = |k: &str| {
+        after.counters.get(k).copied().unwrap_or(0) - before.counters.get(k).copied().unwrap_or(0)
+    };
+    assert!(delta("engine.query.count") >= 3);
+    assert!(delta("engine.query.dpo") >= 3);
+    assert!(delta("engine.exec.evaluations") > 0);
+    assert!(delta("engine.exec.candidates") > 0);
+    assert!(delta("engine.parallel.fan_outs") > 0);
+    assert!(delta("engine.parallel.worker[0].items") > 0);
+    // The duration histogram saw every query.
+    let hist_before = before
+        .histograms
+        .get("engine.query_duration")
+        .map(|h| h.count)
+        .unwrap_or(0);
+    let hist_after = after
+        .histograms
+        .get("engine.query_duration")
+        .map(|h| h.count)
+        .unwrap_or(0);
+    assert!(hist_after >= hist_before + 3);
+    // Text rendering mentions the counters.
+    let text = after.render_text();
+    assert!(text.contains("engine.query.count"), "{text}");
+}

@@ -70,7 +70,11 @@ fn strict_q1_misses_what_flexpath_recovers() {
     // ordered by structural fidelity, and the off-topic article never does.
     let flexed = flex.query(Q1).unwrap().top(10).execute();
     let labels: Vec<String> = flexed.hits.iter().map(|h| label(&flex, h.node)).collect();
-    assert_eq!(labels.len(), 5, "irrelevant article must not appear: {labels:?}");
+    assert_eq!(
+        labels.len(),
+        5,
+        "irrelevant article must not appear: {labels:?}"
+    );
     assert_eq!(labels[0], "exactQ1");
     assert!(!labels.contains(&"irrelevant".to_string()));
     // The title-keywords article (Q2's catch) outranks the structure-poor
@@ -95,12 +99,7 @@ fn each_figure_1_query_answers_its_scenario_exactly() {
         (Q6, "keywordsAnywhere"),
     ];
     for (q, newly_visible) in cases {
-        let r = flex
-            .query(q)
-            .unwrap()
-            .top(10)
-            .max_relaxations(0)
-            .execute();
+        let r = flex.query(q).unwrap().top(10).max_relaxations(0).execute();
         let labels: Vec<String> = r.hits.iter().map(|h| label(&flex, h.node)).collect();
         assert!(
             labels.contains(&newly_visible.to_string()),

@@ -76,9 +76,6 @@ fn zero_weight_makes_a_predicate_free_to_drop() {
         .top(10)
         .execute();
     let id = flex.document().symbols().lookup("id").unwrap();
-    assert_eq!(
-        flex.document().attribute(r.hits[0].node, id),
-        Some("noAlg")
-    );
+    assert_eq!(flex.document().attribute(r.hits[0].node, id), Some("noAlg"));
     assert!(r.hits[0].score.ss > r.hits[1].score.ss);
 }
