@@ -9,6 +9,10 @@
 //! repro all --metrics results/metrics.json
 //!                                # dump the engine metrics registry
 //!                                # (same JSON the CLI's --metrics shows)
+//! repro all --store results/store
+//!                                # cache sessions in a persistent store:
+//!                                # first run indexes+saves, later runs
+//!                                # skip generation and preprocessing
 //! repro --list                   # list figure ids
 //! ```
 //!
@@ -58,6 +62,16 @@ fn main() {
                 i += 1;
                 metrics_path = args.get(i).cloned();
             }
+            "--store" => {
+                i += 1;
+                match args.get(i) {
+                    Some(dir) => flexpath_bench::workload::set_store_dir(dir),
+                    None => {
+                        eprintln!("--store requires a directory");
+                        std::process::exit(2);
+                    }
+                }
+            }
             "--parallel" => parallel = true,
             "all" => figures.extend(FIGURES.iter().map(|f| f.id.to_string())),
             other => figures.push(other.to_string()),
@@ -67,7 +81,7 @@ fn main() {
     if figures.is_empty() {
         eprintln!(
             "usage: repro <all|figNN|ablation_*>... [--scale F] [--repeats N] [--json PATH] \
-             [--metrics PATH] [--parallel]"
+             [--metrics PATH] [--store DIR] [--parallel]"
         );
         eprintln!("       repro --list");
         std::process::exit(2);

@@ -65,7 +65,7 @@ pub struct FigureSpec {
 }
 
 /// All reproducible figures and ablations.
-pub const FIGURES: [FigureSpec; 13] = [
+pub const FIGURES: [FigureSpec; 14] = [
     FigureSpec {
         id: "fig09",
         title: "Varying number of relaxations (1MB, K=50): DPO vs SSO",
@@ -117,6 +117,10 @@ pub const FIGURES: [FigureSpec; 13] = [
     FigureSpec {
         id: "threads_scaling",
         title: "Thread scaling (fig09/fig10 workloads): 1/2/4/8 workers, identical ranking",
+    },
+    FigureSpec {
+        id: "store_coldstart",
+        title: "Cold start: parse+index from XML vs CorpusStore::open (1/10/100MB)",
     },
 ];
 
@@ -230,6 +234,108 @@ fn threads_scaling(scale: f64, repeats: usize) -> Series {
         title: "Thread scaling — 1/2/4/8 workers, fig09/fig10 workloads (ranking identical)".into(),
         x_label: "workload, worker threads".into(),
         algorithms: vec!["DPO".into(), "SSO".into(), "Hybrid".into()],
+        rows,
+    }
+}
+
+/// Cold-start elimination: per document size, median wall-clock of a full
+/// in-memory build (XML parse + statistics + inverted index) vs restoring
+/// the same session with `CorpusStore::open`. Both sessions answer a
+/// verification query identically (fingerprints compared; a mismatch is
+/// reported in the record's note rather than silently ignored).
+fn store_coldstart(scale: f64, repeats: usize) -> Series {
+    use crate::workload::bench_config;
+    use flexpath_xmark::generate;
+
+    let dir = std::env::temp_dir().join(format!("flexpath-bench-coldstart-{}", std::process::id()));
+    let mut rows = Vec::new();
+    for mb in [1.0, 10.0, 100.0] {
+        let bytes = scaled(mb, scale);
+        let doc = generate(&bench_config(bytes));
+        let xml = flexpath_xmldom::to_xml_string(&doc);
+        let path = dir.join(format!("coldstart-{bytes}.fxs"));
+        let file_bytes = FleXPath::new(doc)
+            .save(&path, "coldstart")
+            .expect("benchmark store saves");
+
+        let median = |mut times: Vec<f64>| -> f64 {
+            times.sort_by(f64::total_cmp);
+            times[times.len() / 2]
+        };
+        let fingerprint = |flex: &FleXPath| {
+            let r = flex
+                .query(XQ2)
+                .expect("benchmark query parses")
+                .top(20)
+                .trace()
+                .execute();
+            let nodes: Vec<_> = r.hits.iter().map(|h| h.node).collect();
+            (
+                r.hits.len(),
+                nodes,
+                r.trace.expect("trace requested").counter_fingerprint(),
+            )
+        };
+
+        let mut built = None;
+        let build_times: Vec<f64> = (0..repeats.max(1))
+            .map(|_| {
+                let t = Instant::now();
+                built = Some(FleXPath::from_xml(&xml).expect("serialized document reparses"));
+                t.elapsed().as_secs_f64() * 1e3
+            })
+            .collect();
+        let mut loaded = None;
+        let load_times: Vec<f64> = (0..repeats.max(1))
+            .map(|_| {
+                let t = Instant::now();
+                loaded = Some(FleXPath::open(&path).expect("benchmark store opens"));
+                t.elapsed().as_secs_f64() * 1e3
+            })
+            .collect();
+
+        let built = built.expect("at least one build");
+        let loaded = loaded.expect("at least one load");
+        let (answers, built_nodes, built_fp) = fingerprint(&built);
+        let (_, loaded_nodes, loaded_fp) = fingerprint(&loaded);
+        let verified = built_nodes == loaded_nodes && built_fp == loaded_fp;
+
+        let record = |label: &str, millis: f64, note: String| RunRecord {
+            algorithm: label.into(),
+            millis,
+            answers,
+            relaxations: 0,
+            evaluations: 0,
+            intermediates: 0,
+            shifts: 0,
+            buckets: 0,
+            note,
+        };
+        rows.push(SeriesRow {
+            x: size_label(bytes),
+            records: vec![
+                record(
+                    "ColdBuild",
+                    median(build_times),
+                    format!("{} B xml", xml.len()),
+                ),
+                record(
+                    "StoreOpen",
+                    median(load_times),
+                    format!(
+                        "{file_bytes} B store, answers {}",
+                        if verified { "identical" } else { "MISMATCH" }
+                    ),
+                ),
+            ],
+        });
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    Series {
+        id: "store_coldstart".into(),
+        title: "Cold start — XML parse+index vs persistent-store open (same answers)".into(),
+        x_label: "document size".into(),
+        algorithms: vec!["ColdBuild".into(), "StoreOpen".into()],
         rows,
     }
 }
@@ -415,6 +521,7 @@ pub fn run_figure(id: &str, scale: f64, repeats: usize) -> Option<Series> {
             repeats,
         ),
         "threads_scaling" => threads_scaling(scale, repeats),
+        "store_coldstart" => store_coldstart(scale, repeats),
         "baselines" => crate::harness::ablations::baselines(scale, repeats),
         "ablation_buckets" => crate::harness::ablations::buckets(scale, repeats),
         "ablation_pruning" => crate::harness::ablations::pruning(scale, repeats),

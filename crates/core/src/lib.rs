@@ -44,6 +44,7 @@
 //! | IR engine (tokenizer, stemmer, index, FT eval) | `flexpath-ftsearch` |
 //! | Tree pattern queries, closure/core, relaxation operators | `flexpath-tpq` |
 //! | Penalties, selectivity, DPO / SSO / Hybrid | `flexpath-engine` |
+//! | Persistent corpus store (on-disk format, catalog) | `flexpath-store` |
 //! | XMark-style data generator (evaluation workload) | `flexpath-xmark` |
 //!
 //! This crate re-exports the pieces a downstream user needs and adds the
@@ -61,10 +62,11 @@ pub use session::{FleXPath, QueryResults, TopKQuery};
 
 // Re-exports for downstream users.
 pub use flexpath_engine::{
-    Algorithm, Answer, AnswerScore, AttrRelaxation, CancelToken, Completeness, EngineError,
+    Algorithm, Answer, AnswerScore, AttrRelaxation, Budget, CancelToken, Completeness, EngineError,
     ExecStats, ExhaustReason, MetricsRegistry, MetricsSnapshot, ParallelConfig, QueryLimits,
     QueryTrace, RankingScheme, TagHierarchy, TraceSpan, WeightAssignment,
 };
+pub use flexpath_store::{Catalog, CatalogEntry, CorpusStore, StoreBuilder, StoreError, StoreMeta};
 
 /// The process-wide engine metrics registry (see
 /// [`flexpath_engine::metrics`]): cumulative counters and duration

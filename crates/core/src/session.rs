@@ -1,23 +1,33 @@
 //! The FleXPath session and query-builder API.
 
+use flexpath_engine::Budget;
 use flexpath_engine::{
     dpo_topk, hybrid_topk, sso_topk, Algorithm, Answer, AttrRelaxation, CancelToken, Completeness,
     EngineContext, EngineError, ExecStats, ParallelConfig, QueryLimits, QueryTrace, RankingScheme,
     TagHierarchy, TopKRequest, TopKResult, TraceSpan, WeightAssignment,
 };
 use flexpath_ftsearch::{highlight, HighlightStyle, Thesaurus};
+use flexpath_store::{CorpusStore, StoreBuilder, StoreError};
 use flexpath_tpq::{parse_query_weighted, QueryParseError, Tpq};
 use flexpath_xmldom::{
     parse as parse_xml, to_xml_string, Document, NodeId, ParseError, ParseErrorKind,
 };
+use std::path::Path;
 use std::time::Duration;
 
 /// A FleXPath session over one document (collection).
 ///
 /// Construction preprocesses the document once: structural statistics for
 /// penalties and selectivity estimation, plus the full-text inverted index.
+/// Alternatively, [`FleXPath::open`] restores a session from a persistent
+/// store file, skipping all preprocessing.
 pub struct FleXPath {
     ctx: EngineContext,
+    /// The `store.open` span when this session was loaded from a store.
+    /// Deliberately *not* spliced into query traces: answers and
+    /// `counter_fingerprint()`s must be identical across the parse and
+    /// load paths.
+    store_trace: Option<TraceSpan>,
 }
 
 impl FleXPath {
@@ -25,6 +35,7 @@ impl FleXPath {
     pub fn new(doc: Document) -> Self {
         FleXPath {
             ctx: EngineContext::new(doc),
+            store_trace: None,
         }
     }
 
@@ -66,6 +77,48 @@ impl FleXPath {
         }
         glued.push_str("</collection>");
         Ok(Self::from_xml(&glued)?)
+    }
+
+    /// Restores a session from the persistent store file at `path`
+    /// (written by [`FleXPath::save`] or the `flexpath index` command),
+    /// skipping XML parsing, statistics collection, and index
+    /// construction. Queries on the restored session return byte-identical
+    /// answers and trace fingerprints to a freshly built one.
+    pub fn open(path: &Path) -> Result<Self, StoreError> {
+        Ok(Self::from_store(CorpusStore::open(path)?))
+    }
+
+    /// [`FleXPath::open`] under a governor [`Budget`]: the load charges
+    /// the file's bytes against the memory cap and the index's posting
+    /// entries against the postings cap before decoding.
+    pub fn open_budgeted(path: &Path, budget: &Budget) -> Result<Self, StoreError> {
+        Ok(Self::from_store(CorpusStore::open_budgeted(path, budget)?))
+    }
+
+    /// Wraps an already-loaded [`CorpusStore`] (e.g. one fetched from a
+    /// [`flexpath_store::Catalog`]) in a session.
+    pub fn from_store(store: CorpusStore) -> Self {
+        let trace = store.load_trace().clone();
+        let (doc, stats, index) = store.into_parts();
+        FleXPath {
+            ctx: EngineContext::from_parts(doc, stats, index),
+            store_trace: Some(trace),
+        }
+    }
+
+    /// Persists this session's document, statistics, and index to `path`
+    /// in the store format, under the logical name `name`. Returns the
+    /// number of bytes written.
+    pub fn save(&self, path: &Path, name: &str) -> Result<u64, StoreError> {
+        StoreBuilder::from_parts(name, self.ctx.doc(), self.ctx.stats(), self.ctx.index())
+            .write_to(path)
+    }
+
+    /// The `store.open` trace span when this session was restored from a
+    /// store (bytes, node/term counts, load wall time); `None` for
+    /// sessions built from XML.
+    pub fn store_trace(&self) -> Option<&TraceSpan> {
+        self.store_trace.as_ref()
     }
 
     /// The underlying engine context (document, stats, index).
@@ -537,5 +590,58 @@ mod tests {
         let flex = FleXPath::from_xml(CORPUS).unwrap();
         assert!(flex.query("not an xpath").is_err());
         assert!(FleXPath::from_xml("<broken").is_err());
+    }
+
+    #[test]
+    fn save_then_open_reproduces_answers_and_fingerprints() {
+        let dir = std::env::temp_dir().join(format!("flexpath-session-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("corpus.fxs");
+
+        let built = FleXPath::from_xml(CORPUS).unwrap();
+        built.save(&path, "corpus").unwrap();
+        assert!(
+            built.store_trace().is_none(),
+            "built sessions have no load span"
+        );
+
+        let loaded = FleXPath::open(&path).unwrap();
+        let span = loaded
+            .store_trace()
+            .expect("loaded sessions expose the span");
+        assert_eq!(span.name, "store.open");
+
+        for alg in [Algorithm::Dpo, Algorithm::Sso, Algorithm::Hybrid] {
+            let a = built
+                .query(Q1)
+                .unwrap()
+                .top(3)
+                .algorithm(alg)
+                .trace()
+                .execute();
+            let b = loaded
+                .query(Q1)
+                .unwrap()
+                .top(3)
+                .algorithm(alg)
+                .trace()
+                .execute();
+            assert_eq!(a.nodes(), b.nodes(), "{alg}");
+            for (x, y) in a.hits.iter().zip(&b.hits) {
+                assert_eq!(x.score, y.score, "{alg}");
+            }
+            assert_eq!(
+                a.trace.unwrap().counter_fingerprint(),
+                b.trace.unwrap().counter_fingerprint(),
+                "{alg}"
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn open_missing_file_is_a_typed_error() {
+        let missing = std::env::temp_dir().join("flexpath-definitely-missing.fxs");
+        assert!(matches!(FleXPath::open(&missing), Err(StoreError::Io(_))));
     }
 }

@@ -28,6 +28,15 @@ impl EngineContext {
     pub fn new(doc: Document) -> Self {
         let stats = DocStats::compute(&doc);
         let index = InvertedIndex::build(&doc);
+        Self::from_parts(doc, stats, index)
+    }
+
+    /// Assembles a context from precomputed parts — the persistent-store
+    /// load path, which skips [`DocStats::compute`] and
+    /// [`InvertedIndex::build`] entirely. The caller guarantees `stats`
+    /// and `index` were derived from `doc` (the store's decoders validate
+    /// exactly that).
+    pub fn from_parts(doc: Document, stats: DocStats, index: InvertedIndex) -> Self {
         EngineContext {
             doc,
             stats,

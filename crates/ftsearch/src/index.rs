@@ -13,7 +13,8 @@
 
 use crate::stem::stem;
 use crate::tokenize::for_each_token;
-use flexpath_xmldom::{Document, NodeId};
+use flexpath_xmldom::wire::{ByteReader, ByteWriter, WireError};
+use flexpath_xmldom::{CodecError, Document, NodeId};
 use std::collections::HashMap;
 
 /// One element's occurrences of a term.
@@ -195,6 +196,162 @@ impl InvertedIndex {
     pub fn term_count(&self) -> usize {
         self.postings.len()
     }
+
+    /// Total number of posting entries across all terms (one per
+    /// `(term, element)` pair). This is what the store charges against the
+    /// governor's posting budget at load time.
+    pub fn posting_entry_count(&self) -> u64 {
+        self.postings.values().map(Posting::df).sum()
+    }
+
+    /// Encodes the index as two byte payloads: the term dictionary
+    /// (`TERMS` store section) and the posting lists (`POSTINGS` section).
+    ///
+    /// Terms are emitted in lexicographic byte order and each posting's
+    /// entries are already node-sorted, so the output is deterministic —
+    /// a requirement of the store's golden-file drift check.
+    pub fn encode(&self) -> (Vec<u8>, Vec<u8>) {
+        let mut terms: Vec<&str> = self.postings.keys().map(|k| k.as_ref()).collect();
+        terms.sort_unstable();
+        let mut tw = ByteWriter::with_capacity(24 + terms.len() * 16);
+        tw.u64(self.scoring_elements);
+        tw.u64(terms.len() as u64);
+        let mut pw = ByteWriter::new();
+        for term in terms {
+            // `term` is a key of `postings`, so the lookup cannot miss;
+            // an empty default keeps this branch panic-free regardless.
+            let posting = self.postings.get(term);
+            let entries: &[PostingEntry] = posting.map(|p| p.entries.as_slice()).unwrap_or(&[]);
+            tw.str(term);
+            tw.u64(entries.len() as u64);
+            for e in entries {
+                pw.u32(e.node.0);
+                pw.u32(e.positions.len() as u32);
+                for &p in &e.positions {
+                    pw.u32(p);
+                }
+            }
+        }
+        (tw.into_bytes(), pw.into_bytes())
+    }
+
+    /// Decodes an index from `TERMS` + `POSTINGS` payloads produced by
+    /// [`InvertedIndex::encode`]. `node_count` is the owning document's
+    /// node count and bounds every element reference.
+    ///
+    /// Validates the canonical form end to end — terms strictly ascending,
+    /// entry nodes strictly ascending and in range, positions strictly
+    /// ascending and non-empty — so lookups and binary searches on the
+    /// decoded index behave identically to a freshly built one.
+    pub fn decode(
+        term_bytes: &[u8],
+        posting_bytes: &[u8],
+        node_count: usize,
+    ) -> Result<Self, CodecError> {
+        let mut tr = ByteReader::new(term_bytes);
+        let scoring_elements = tr.u64()?;
+        let term_count = tr.count(12)?;
+        let mut pr = ByteReader::new(posting_bytes);
+        let mut postings: HashMap<Box<str>, Posting> = HashMap::with_capacity(term_count);
+        let mut direct_tokens: Vec<u64> = vec![0; node_count];
+        let mut total_tokens = 0u64;
+        let mut prev_term: Option<Box<str>> = None;
+        for i in 0..term_count {
+            let idx = i as u64;
+            let term: Box<str> = tr.str()?.into();
+            if let Some(prev) = &prev_term {
+                if term <= *prev {
+                    return Err(CodecError::Invalid {
+                        what: "terms not strictly sorted",
+                        index: idx,
+                    });
+                }
+            }
+            let entry_count = {
+                // Each entry is ≥ 12 bytes in the postings stream.
+                let at = pr.position();
+                let n = tr.u64()?;
+                if n > (pr.remaining() as u64) / 12 {
+                    return Err(CodecError::Wire(WireError::ImplausibleLength {
+                        at,
+                        len: n,
+                    }));
+                }
+                n as usize
+            };
+            if entry_count == 0 {
+                return Err(CodecError::Invalid {
+                    what: "term with empty posting list",
+                    index: idx,
+                });
+            }
+            let mut entries: Vec<PostingEntry> = Vec::with_capacity(entry_count);
+            for _ in 0..entry_count {
+                let node = pr.u32()?;
+                if node as usize >= node_count {
+                    return Err(CodecError::Invalid {
+                        what: "posting node id out of range",
+                        index: node as u64,
+                    });
+                }
+                if let Some(last) = entries.last() {
+                    if NodeId(node) <= last.node {
+                        return Err(CodecError::Invalid {
+                            what: "posting entries not node-sorted",
+                            index: node as u64,
+                        });
+                    }
+                }
+                let tf = {
+                    let at = pr.position();
+                    let tf = pr.u32()?;
+                    if tf == 0 || tf as usize > pr.remaining() / 4 {
+                        return Err(CodecError::Wire(WireError::ImplausibleLength {
+                            at,
+                            len: tf as u64,
+                        }));
+                    }
+                    tf as usize
+                };
+                let mut positions: Vec<u32> = Vec::with_capacity(tf);
+                for _ in 0..tf {
+                    let p = pr.u32()?;
+                    if let Some(&last) = positions.last() {
+                        if p <= last {
+                            return Err(CodecError::Invalid {
+                                what: "positions not strictly ascending",
+                                index: p as u64,
+                            });
+                        }
+                    }
+                    positions.push(p);
+                }
+                direct_tokens[node as usize] += tf as u64;
+                total_tokens += tf as u64;
+                entries.push(PostingEntry {
+                    node: NodeId(node),
+                    positions,
+                });
+            }
+            postings.insert(term.clone(), Posting { entries });
+            prev_term = Some(term);
+        }
+        tr.expect_exhausted()?;
+        pr.expect_exhausted()?;
+        let mut token_prefix = Vec::with_capacity(node_count + 1);
+        token_prefix.push(0);
+        let mut acc = 0u64;
+        for &c in &direct_tokens {
+            acc += c;
+            token_prefix.push(acc);
+        }
+        Ok(InvertedIndex {
+            postings,
+            scoring_elements,
+            total_tokens,
+            token_prefix,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -284,5 +441,71 @@ mod tests {
         assert_eq!(idx.term_count(), 0);
         assert_eq!(idx.scoring_elements(), 0);
         assert_eq!(idx.total_tokens(), 0);
+    }
+
+    #[test]
+    fn codec_roundtrip_is_lossless() {
+        let (doc, idx) = index_of(
+            "<r><a>gold silver gold</a><b>gold <c>copper</c> tail</b><d>streaming</d></r>",
+        );
+        let (terms, postings) = idx.encode();
+        let back = InvertedIndex::decode(&terms, &postings, doc.node_count()).unwrap();
+        assert_eq!(back.term_count(), idx.term_count());
+        assert_eq!(back.scoring_elements(), idx.scoring_elements());
+        assert_eq!(back.total_tokens(), idx.total_tokens());
+        for t in ["gold", "silver", "copper", "tail", "stream"] {
+            assert_eq!(back.posting(t), idx.posting(t), "posting for {t}");
+            assert!((back.idf(t) - idx.idf(t)).abs() < 1e-15);
+        }
+        for n in doc.all_nodes() {
+            assert_eq!(back.direct_token_count(n), idx.direct_token_count(n));
+            assert_eq!(
+                back.subtree_token_count(&doc, n),
+                idx.subtree_token_count(&doc, n)
+            );
+        }
+    }
+
+    #[test]
+    fn codec_encoding_is_deterministic() {
+        let (_, idx) = index_of("<r><a>one two three</a><b>two three four</b></r>");
+        assert_eq!(idx.encode(), idx.encode());
+    }
+
+    #[test]
+    fn codec_rejects_any_single_byte_flip_or_decodes_validly() {
+        let (doc, idx) = index_of("<r><a>gold silver</a><b>gold</b></r>");
+        let (terms, postings) = idx.encode();
+        for i in 0..terms.len() {
+            let mut bad = terms.clone();
+            bad[i] ^= 0xff;
+            let _ = InvertedIndex::decode(&bad, &postings, doc.node_count());
+        }
+        for i in 0..postings.len() {
+            let mut bad = postings.clone();
+            bad[i] ^= 0xff;
+            let _ = InvertedIndex::decode(&terms, &bad, doc.node_count());
+        }
+    }
+
+    #[test]
+    fn codec_rejects_truncation() {
+        let (doc, idx) = index_of("<r><a>gold silver</a></r>");
+        let (terms, postings) = idx.encode();
+        for cut in 0..terms.len() {
+            assert!(InvertedIndex::decode(&terms[..cut], &postings, doc.node_count()).is_err());
+        }
+        for cut in 0..postings.len() {
+            assert!(InvertedIndex::decode(&terms, &postings[..cut], doc.node_count()).is_err());
+        }
+    }
+
+    #[test]
+    fn codec_rejects_out_of_range_nodes() {
+        let (doc, idx) = index_of("<r><a>gold</a></r>");
+        let (terms, postings) = idx.encode();
+        // Shrink the claimed node count below the posting's node id.
+        assert!(InvertedIndex::decode(&terms, &postings, 1).is_err());
+        assert!(InvertedIndex::decode(&terms, &postings, doc.node_count()).is_ok());
     }
 }

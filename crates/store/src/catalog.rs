@@ -1,0 +1,229 @@
+//! A directory of named store files — the multi-document layer.
+//!
+//! One [`Catalog`] owns one directory; each document lives in its own
+//! `<name>.fxs` file, so documents can be added, replaced, and removed
+//! independently and a crashed writer never damages its neighbours (the
+//! per-file temp-and-rename in [`StoreBuilder::write_to`] keeps each file
+//! individually consistent).
+
+use crate::error::StoreError;
+use crate::format::FILE_EXTENSION;
+use crate::store::{CorpusStore, StoreBuilder, StoreMeta};
+use crate::{format, SectionId};
+use flexpath_engine::Budget;
+use std::path::{Path, PathBuf};
+
+/// A named document visible in a catalog directory.
+#[derive(Debug, Clone)]
+pub struct CatalogEntry {
+    /// The meta fields read from the file (name, node/term counts).
+    pub meta: StoreMeta,
+    /// The backing file.
+    pub path: PathBuf,
+    /// File size in bytes.
+    pub file_bytes: u64,
+}
+
+/// Manages multiple named documents in one store directory.
+#[derive(Debug, Clone)]
+pub struct Catalog {
+    dir: PathBuf,
+}
+
+impl Catalog {
+    /// Opens (creating if needed) the catalog directory at `dir`.
+    pub fn open(dir: &Path) -> Result<Self, StoreError> {
+        std::fs::create_dir_all(dir)?;
+        Ok(Catalog {
+            dir: dir.to_path_buf(),
+        })
+    }
+
+    /// The catalog's directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The file path a document named `name` is stored at. Names are
+    /// restricted to `[A-Za-z0-9._-]`, must not start with `.`, and must
+    /// be non-empty — exactly the set that is safe to splice into a file
+    /// name on every platform.
+    pub fn path_for(&self, name: &str) -> Result<PathBuf, StoreError> {
+        let valid = !name.is_empty()
+            && !name.starts_with('.')
+            && name
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-'));
+        if !valid {
+            return Err(StoreError::InvalidName {
+                name: name.to_string(),
+            });
+        }
+        Ok(self.dir.join(format!("{name}.{FILE_EXTENSION}")))
+    }
+
+    /// Writes `builder`'s document into the catalog under its meta name,
+    /// replacing any previous version. Returns the file path.
+    pub fn save(&self, builder: &StoreBuilder) -> Result<PathBuf, StoreError> {
+        let path = self.path_for(&builder.meta().name)?;
+        builder.write_to(&path)?;
+        Ok(path)
+    }
+
+    /// Whether a document named `name` exists.
+    pub fn contains(&self, name: &str) -> bool {
+        self.path_for(name).map(|p| p.is_file()).unwrap_or(false)
+    }
+
+    /// Loads the document named `name` with no budget.
+    pub fn load(&self, name: &str) -> Result<CorpusStore, StoreError> {
+        self.load_budgeted(name, &Budget::unlimited())
+    }
+
+    /// Loads the document named `name`, charging `budget` as
+    /// [`CorpusStore::open_budgeted`] does.
+    pub fn load_budgeted(&self, name: &str, budget: &Budget) -> Result<CorpusStore, StoreError> {
+        let path = self.path_for(name)?;
+        if !path.is_file() {
+            return Err(StoreError::DocumentNotFound {
+                name: name.to_string(),
+            });
+        }
+        CorpusStore::open_budgeted(&path, budget)
+    }
+
+    /// Removes the document named `name`.
+    pub fn remove(&self, name: &str) -> Result<(), StoreError> {
+        let path = self.path_for(name)?;
+        if !path.is_file() {
+            return Err(StoreError::DocumentNotFound {
+                name: name.to_string(),
+            });
+        }
+        std::fs::remove_file(path)?;
+        Ok(())
+    }
+
+    /// Lists the catalog's documents, sorted by name. Only each file's
+    /// header and meta section are read (and CRC-verified) — payloads are
+    /// not decoded, so listing stays cheap for large catalogs. Files that
+    /// are not valid stores are skipped rather than failing the listing.
+    pub fn list(&self) -> Result<Vec<CatalogEntry>, StoreError> {
+        let mut out = Vec::new();
+        for entry in std::fs::read_dir(&self.dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            if path.extension().and_then(|e| e.to_str()) != Some(FILE_EXTENSION) {
+                continue;
+            }
+            let Ok(bytes) = std::fs::read(&path) else {
+                continue;
+            };
+            let Ok(meta) = peek_meta(&bytes) else {
+                continue;
+            };
+            out.push(CatalogEntry {
+                meta,
+                file_bytes: bytes.len() as u64,
+                path,
+            });
+        }
+        out.sort_by(|a, b| a.meta.name.cmp(&b.meta.name));
+        Ok(out)
+    }
+}
+
+/// Reads and verifies just the header + meta section of a store image.
+fn peek_meta(bytes: &[u8]) -> Result<StoreMeta, StoreError> {
+    let entries = format::parse_header(bytes)?;
+    StoreMeta::decode(format::section(bytes, &entries, SectionId::Meta)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexpath_ftsearch::InvertedIndex;
+    use flexpath_xmldom::{parse, DocStats};
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("flexpath-catalog-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn builder(name: &str, xml: &str) -> StoreBuilder {
+        let doc = parse(xml).unwrap();
+        let stats = DocStats::compute(&doc);
+        let index = InvertedIndex::build(&doc);
+        StoreBuilder::from_parts(name, &doc, &stats, &index)
+    }
+
+    #[test]
+    fn save_load_list_remove() {
+        let dir = tmp_dir("basic");
+        let cat = Catalog::open(&dir).unwrap();
+        cat.save(&builder("alpha", "<a>gold</a>")).unwrap();
+        cat.save(&builder("beta", "<b><c>silver</c></b>")).unwrap();
+        assert!(cat.contains("alpha"));
+        assert!(!cat.contains("gamma"));
+
+        let listing = cat.list().unwrap();
+        assert_eq!(listing.len(), 2);
+        assert_eq!(listing[0].meta.name, "alpha");
+        assert_eq!(listing[1].meta.name, "beta");
+
+        let store = cat.load("beta").unwrap();
+        assert_eq!(store.index().df("silver"), 1);
+
+        cat.remove("alpha").unwrap();
+        assert!(!cat.contains("alpha"));
+        assert!(matches!(
+            cat.load("alpha"),
+            Err(StoreError::DocumentNotFound { .. })
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn names_are_sanitized() {
+        let dir = tmp_dir("names");
+        let cat = Catalog::open(&dir).unwrap();
+        for bad in ["", ".", "..", "a/b", "a\\b", "x y", ".hidden", "a\0b"] {
+            assert!(
+                matches!(cat.path_for(bad), Err(StoreError::InvalidName { .. })),
+                "name {bad:?} must be rejected"
+            );
+        }
+        for good in ["doc", "Doc-1", "a.b_c", "XMARK-10mb"] {
+            assert!(cat.path_for(good).is_ok(), "name {good:?} must be accepted");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn listing_skips_non_store_files() {
+        let dir = tmp_dir("skip");
+        let cat = Catalog::open(&dir).unwrap();
+        cat.save(&builder("real", "<a>x1</a>")).unwrap();
+        std::fs::write(dir.join("junk.fxs"), b"not a store").unwrap();
+        std::fs::write(dir.join("other.txt"), b"ignored").unwrap();
+        let listing = cat.list().unwrap();
+        assert_eq!(listing.len(), 1);
+        assert_eq!(listing[0].meta.name, "real");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn save_replaces_existing_document() {
+        let dir = tmp_dir("replace");
+        let cat = Catalog::open(&dir).unwrap();
+        cat.save(&builder("doc", "<a>old</a>")).unwrap();
+        cat.save(&builder("doc", "<a>new shiny</a>")).unwrap();
+        let store = cat.load("doc").unwrap();
+        assert_eq!(store.index().df("old"), 0);
+        assert_eq!(store.index().df("shini"), 1); // Porter-stemmed "shiny"
+        assert_eq!(cat.list().unwrap().len(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,257 @@
+//! The container layout: magic, version, and the checksummed section table.
+//!
+//! ```text
+//! offset 0   magic          b"FXPSTORE"                      (8 bytes)
+//! offset 8   format version u32 LE                           (4 bytes)
+//! offset 12  section count  u32 LE                           (4 bytes)
+//! offset 16  section table  count x { id u32, offset u64,
+//!                                     len u64, crc32 u32 }   (24 bytes each)
+//! ...        header CRC     u32 LE over bytes [0, 16 + 24*count)
+//! ...        section payloads, byte-addressed by the table
+//! ```
+//!
+//! Every section carries its own CRC-32, and the header (including the
+//! table itself) carries one too, so corruption anywhere in the file maps
+//! to a *typed* [`StoreError`] — never an out-of-bounds slice. The version
+//! check runs before the header CRC check so that files written by a
+//! future format (whose header may be laid out differently) report
+//! [`StoreError::UnsupportedVersion`] rather than a checksum failure.
+
+use crate::crc::crc32;
+use crate::error::StoreError;
+use flexpath_xmldom::wire::{ByteReader, ByteWriter};
+
+/// First eight bytes of every store file.
+pub const MAGIC: [u8; 8] = *b"FXPSTORE";
+
+/// The (single) format version this build reads and writes. Bump it on
+/// any byte-level change to the container or section payloads — the
+/// committed golden file under `tests/golden/` enforces this.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Extension used by [`crate::Catalog`] files.
+pub const FILE_EXTENSION: &str = "fxs";
+
+/// Section identifiers (the `id` field of a table entry).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u32)]
+pub enum SectionId {
+    /// Document name and summary counts.
+    Meta = 1,
+    /// Interned tag/attribute name dictionary.
+    Tags = 2,
+    /// Node arena with structural labels, text arena, attributes.
+    Elems = 3,
+    /// `#(t)`, `#pc`, `#ad` occurrence statistics.
+    Stats = 4,
+    /// Full-text term dictionary and collection stats.
+    Terms = 5,
+    /// Full-text posting lists.
+    Postings = 6,
+}
+
+impl SectionId {
+    /// Human-readable section name (used in error variants).
+    pub fn name(self) -> &'static str {
+        match self {
+            SectionId::Meta => "meta",
+            SectionId::Tags => "tags",
+            SectionId::Elems => "elems",
+            SectionId::Stats => "stats",
+            SectionId::Terms => "terms",
+            SectionId::Postings => "postings",
+        }
+    }
+}
+
+/// One parsed entry of the section table.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct SectionEntry {
+    pub(crate) id: u32,
+    pub(crate) offset: u64,
+    pub(crate) len: u64,
+    pub(crate) crc: u32,
+}
+
+const ENTRY_BYTES: usize = 24;
+const FIXED_HEADER_BYTES: usize = 16;
+
+/// Serializes a whole store file from `(id, payload)` pairs.
+pub(crate) fn assemble(sections: &[(SectionId, Vec<u8>)]) -> Vec<u8> {
+    let table_end = FIXED_HEADER_BYTES + sections.len() * ENTRY_BYTES;
+    let mut offset = (table_end + 4) as u64; // + header CRC
+    let total: usize = sections.iter().map(|(_, p)| p.len()).sum();
+    let mut w = ByteWriter::with_capacity(offset as usize + total);
+    w.bytes(&MAGIC);
+    w.u32(FORMAT_VERSION);
+    w.u32(sections.len() as u32);
+    for (id, payload) in sections {
+        w.u32(*id as u32);
+        w.u64(offset);
+        w.u64(payload.len() as u64);
+        w.u32(crc32(payload));
+        offset += payload.len() as u64;
+    }
+    let mut bytes = w.into_bytes();
+    let header_crc = crc32(&bytes[..table_end]);
+    bytes.extend_from_slice(&header_crc.to_le_bytes());
+    for (_, payload) in sections {
+        bytes.extend_from_slice(payload);
+    }
+    bytes
+}
+
+/// Parses and verifies the header, returning the section table.
+pub(crate) fn parse_header(bytes: &[u8]) -> Result<Vec<SectionEntry>, StoreError> {
+    if bytes.len() < MAGIC.len() {
+        return Err(StoreError::Truncated { what: "magic" });
+    }
+    if bytes[..MAGIC.len()] != MAGIC {
+        return Err(StoreError::BadMagic);
+    }
+    let mut r = ByteReader::new(&bytes[MAGIC.len()..]);
+    let version = r
+        .u32()
+        .map_err(|_| StoreError::Truncated { what: "version" })?;
+    if version != FORMAT_VERSION {
+        return Err(StoreError::UnsupportedVersion {
+            found: version,
+            supported: FORMAT_VERSION,
+        });
+    }
+    let count = r.u32().map_err(|_| StoreError::Truncated {
+        what: "section count",
+    })? as usize;
+    let table_end = FIXED_HEADER_BYTES + count * ENTRY_BYTES;
+    if bytes.len() < table_end + 4 {
+        return Err(StoreError::Truncated {
+            what: "section table",
+        });
+    }
+    let mut entries = Vec::with_capacity(count);
+    for _ in 0..count {
+        let id = r.u32().map_err(|_| StoreError::Truncated {
+            what: "section table",
+        })?;
+        let offset = r.u64().map_err(|_| StoreError::Truncated {
+            what: "section table",
+        })?;
+        let len = r.u64().map_err(|_| StoreError::Truncated {
+            what: "section table",
+        })?;
+        let crc = r.u32().map_err(|_| StoreError::Truncated {
+            what: "section table",
+        })?;
+        entries.push(SectionEntry {
+            id,
+            offset,
+            len,
+            crc,
+        });
+    }
+    let stored_crc = r.u32().map_err(|_| StoreError::Truncated {
+        what: "header checksum",
+    })?;
+    if crc32(&bytes[..table_end]) != stored_crc {
+        return Err(StoreError::ChecksumMismatch { section: "header" });
+    }
+    Ok(entries)
+}
+
+/// Borrows a section's payload after verifying bounds and its CRC.
+pub(crate) fn section<'a>(
+    bytes: &'a [u8],
+    entries: &[SectionEntry],
+    id: SectionId,
+) -> Result<&'a [u8], StoreError> {
+    let entry = entries
+        .iter()
+        .find(|e| e.id == id as u32)
+        .ok_or(StoreError::MissingSection { section: id.name() })?;
+    let start = usize::try_from(entry.offset)
+        .ok()
+        .filter(|&s| s <= bytes.len())
+        .ok_or(StoreError::Truncated { what: id.name() })?;
+    let len = usize::try_from(entry.len)
+        .ok()
+        .filter(|&l| l <= bytes.len() - start)
+        .ok_or(StoreError::Truncated { what: id.name() })?;
+    let payload = &bytes[start..start + len];
+    if crc32(payload) != entry.crc {
+        return Err(StoreError::ChecksumMismatch { section: id.name() });
+    }
+    Ok(payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assemble_then_parse_roundtrips() {
+        let file = assemble(&[
+            (SectionId::Meta, vec![1, 2, 3]),
+            (SectionId::Tags, vec![4, 5]),
+        ]);
+        let entries = parse_header(&file).unwrap();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(
+            section(&file, &entries, SectionId::Meta).unwrap(),
+            &[1, 2, 3]
+        );
+        assert_eq!(section(&file, &entries, SectionId::Tags).unwrap(), &[4, 5]);
+        assert!(matches!(
+            section(&file, &entries, SectionId::Stats),
+            Err(StoreError::MissingSection { section: "stats" })
+        ));
+    }
+
+    #[test]
+    fn bad_magic_and_future_version_are_typed() {
+        let mut file = assemble(&[(SectionId::Meta, vec![])]);
+        file[0] ^= 0xff;
+        assert!(matches!(parse_header(&file), Err(StoreError::BadMagic)));
+        let mut file = assemble(&[(SectionId::Meta, vec![])]);
+        file[8] = 0x7f; // version low byte
+        assert!(matches!(
+            parse_header(&file),
+            Err(StoreError::UnsupportedVersion { found: 0x7f, .. })
+        ));
+    }
+
+    #[test]
+    fn header_and_section_corruption_hit_their_crcs() {
+        let file = assemble(&[(SectionId::Meta, vec![9; 16])]);
+        // Corrupt a table byte: header CRC must catch it.
+        let mut bad = file.clone();
+        bad[20] ^= 0xff;
+        assert!(matches!(
+            parse_header(&bad),
+            Err(StoreError::ChecksumMismatch { section: "header" })
+        ));
+        // Corrupt a payload byte: the section CRC must catch it.
+        let mut bad = file.clone();
+        let last = bad.len() - 1;
+        bad[last] ^= 0xff;
+        let entries = parse_header(&bad).unwrap();
+        assert!(matches!(
+            section(&bad, &entries, SectionId::Meta),
+            Err(StoreError::ChecksumMismatch { section: "meta" })
+        ));
+    }
+
+    #[test]
+    fn every_truncation_point_is_typed() {
+        let file = assemble(&[(SectionId::Meta, vec![7; 8])]);
+        for cut in 0..file.len() {
+            let head = &file[..cut];
+            match parse_header(head) {
+                Err(_) => {}
+                Ok(entries) => {
+                    // Header happens to fit; the payload must then fail.
+                    assert!(section(head, &entries, SectionId::Meta).is_err());
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,61 @@
+//! # flexpath-store
+//!
+//! Persistent corpus store for the FleXPath reproduction: a versioned,
+//! checksummed binary format holding everything a query session needs —
+//! the arena document with its structural `(start, end, level)` labels,
+//! the tag dictionary, the `#(t)`/`#pc`/`#ad` statistics behind predicate
+//! penalties, and the positional inverted index with its collection
+//! stats. Opening a store ([`CorpusStore::open`]) replaces the parse +
+//! stats + index cold-start with a single validated read; the XML IR
+//! survey literature treats exactly this labeled-tree + postings store as
+//! table stakes for serving tree-pattern/full-text queries at scale.
+//!
+//! Design rules:
+//!
+//! * **Typed failure, never panic.** Truncation, bad magic, a future
+//!   format version, a flipped bit anywhere — each maps to a
+//!   [`StoreError`] variant. Per-section CRC-32s (plus one over the
+//!   header) catch corruption before decoding; the decoders underneath
+//!   validate every cross-reference anyway.
+//! * **Deterministic bytes.** Identical inputs produce identical files
+//!   (dictionaries sorted, no timestamps), so a committed golden file
+//!   can detect format drift that lacks a version bump.
+//! * **Governed loads.** [`CorpusStore::open_budgeted`] charges the
+//!   session's [`Budget`](flexpath_engine::Budget) for file bytes and
+//!   posting entries before decoding, and emits `engine.store.*` metrics.
+//! * **Byte-identical answers.** A loaded session must reproduce the
+//!   exact top-K results and `counter_fingerprint()`s of an in-memory
+//!   build; the load trace span is therefore kept out of query traces.
+//!
+//! ```no_run
+//! use flexpath_store::{Catalog, StoreBuilder};
+//! use flexpath_ftsearch::InvertedIndex;
+//! use flexpath_xmldom::{parse, DocStats};
+//! use std::path::Path;
+//!
+//! let doc = parse("<site><item>gold watch</item></site>").unwrap();
+//! let stats = DocStats::compute(&doc);
+//! let index = InvertedIndex::build(&doc);
+//! let catalog = Catalog::open(Path::new("store-dir")).unwrap();
+//! catalog
+//!     .save(&StoreBuilder::from_parts("auctions", &doc, &stats, &index))
+//!     .unwrap();
+//! let loaded = catalog.load("auctions").unwrap();
+//! assert_eq!(loaded.index().df("gold"), 1);
+//! ```
+
+// Library targets must stay panic-free on input-reachable paths; the
+// workspace `no_panics` test enforces the same rule by source scan.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+pub mod catalog;
+pub mod crc;
+pub mod error;
+pub mod format;
+pub mod store;
+
+pub use catalog::{Catalog, CatalogEntry};
+pub use crc::crc32;
+pub use error::StoreError;
+pub use format::{SectionId, FILE_EXTENSION, FORMAT_VERSION, MAGIC};
+pub use store::{CorpusStore, StoreBuilder, StoreMeta};

@@ -1,0 +1,344 @@
+//! Writing ([`StoreBuilder`]) and reading ([`CorpusStore`]) one document's
+//! persistent image.
+//!
+//! A store file bundles everything [`flexpath_engine::EngineContext`]
+//! needs, so opening one skips XML parsing, statistics collection, and
+//! index construction entirely — the cold-start elimination this
+//! subsystem exists for. Loading charges the governor [`Budget`]
+//! (memory for the file bytes, postings for the index entries) *before*
+//! decoding the expensive sections, and emits `engine.store.*` metrics
+//! plus a `store.open` trace span retrievable from the loaded store.
+
+use crate::error::StoreError;
+use crate::format::{self, SectionId};
+use flexpath_engine::metrics::{self, TraceSpan};
+use flexpath_engine::Budget;
+use flexpath_ftsearch::InvertedIndex;
+use flexpath_xmldom::codec::{
+    decode_document, decode_stats, encode_nodes, encode_stats, encode_symbols,
+};
+use flexpath_xmldom::wire::{ByteReader, ByteWriter};
+use flexpath_xmldom::{CodecError, DocStats, Document};
+use std::path::Path;
+use std::time::Instant;
+
+/// Summary fields stored in the `meta` section — readable without
+/// decoding any payload (this is what [`crate::Catalog::list`] shows).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StoreMeta {
+    /// Logical document name (catalog key).
+    pub name: String,
+    /// Node count of the stored document.
+    pub nodes: u64,
+    /// Distinct indexed terms.
+    pub terms: u64,
+    /// Total posting entries (what the budget charges at load).
+    pub posting_entries: u64,
+}
+
+impl StoreMeta {
+    fn encode(&self) -> Vec<u8> {
+        let mut w = ByteWriter::with_capacity(32 + self.name.len());
+        w.str(&self.name);
+        w.u64(self.nodes);
+        w.u64(self.terms);
+        w.u64(self.posting_entries);
+        w.into_bytes()
+    }
+
+    pub(crate) fn decode(bytes: &[u8]) -> Result<Self, StoreError> {
+        let mut r = ByteReader::new(bytes);
+        let name = r.str()?.to_string();
+        let nodes = r.u64()?;
+        let terms = r.u64()?;
+        let posting_entries = r.u64()?;
+        r.expect_exhausted()?;
+        Ok(StoreMeta {
+            name,
+            nodes,
+            terms,
+            posting_entries,
+        })
+    }
+}
+
+/// Serializes one document (plus statistics and inverted index) into the
+/// store format.
+///
+/// Output bytes are deterministic: the same inputs always produce the
+/// same file, which the golden-file drift check under `tests/golden/`
+/// relies on.
+#[derive(Debug)]
+pub struct StoreBuilder {
+    meta: StoreMeta,
+    sections: Vec<(SectionId, Vec<u8>)>,
+}
+
+impl StoreBuilder {
+    /// Encodes `doc`, `stats`, and `index` under the logical name `name`.
+    pub fn from_parts(name: &str, doc: &Document, stats: &DocStats, index: &InvertedIndex) -> Self {
+        let (terms, postings) = index.encode();
+        let meta = StoreMeta {
+            name: name.to_string(),
+            nodes: doc.node_count() as u64,
+            terms: index.term_count() as u64,
+            posting_entries: index.posting_entry_count(),
+        };
+        let sections = vec![
+            (SectionId::Meta, meta.encode()),
+            (SectionId::Tags, encode_symbols(doc.symbols())),
+            (SectionId::Elems, encode_nodes(doc)),
+            (SectionId::Stats, encode_stats(stats)),
+            (SectionId::Terms, terms),
+            (SectionId::Postings, postings),
+        ];
+        StoreBuilder { meta, sections }
+    }
+
+    /// The meta fields this builder will write.
+    pub fn meta(&self) -> &StoreMeta {
+        &self.meta
+    }
+
+    /// Serializes the full store file to a byte vector.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        format::assemble(&self.sections)
+    }
+
+    /// Writes the store to `path` atomically (temp file + rename), creating
+    /// parent directories as needed. Returns the number of bytes written.
+    pub fn write_to(&self, path: &Path) -> Result<u64, StoreError> {
+        let start = Instant::now();
+        let bytes = self.to_bytes();
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        // Write to a sibling temp file first so readers never observe a
+        // half-written store; rename is atomic on POSIX filesystems.
+        let tmp = path.with_extension("fxs.tmp");
+        std::fs::write(&tmp, &bytes)?;
+        if let Err(e) = std::fs::rename(&tmp, path) {
+            let _ = std::fs::remove_file(&tmp);
+            return Err(StoreError::Io(e));
+        }
+        let m = metrics::global();
+        m.add("engine.store.saves", 1);
+        m.add("engine.store.bytes_written", bytes.len() as u64);
+        m.observe_duration("engine.store.save", start.elapsed());
+        Ok(bytes.len() as u64)
+    }
+}
+
+/// A fully loaded store: the document, its statistics, and its inverted
+/// index, ready to back an engine context without any parsing.
+#[derive(Debug)]
+pub struct CorpusStore {
+    meta: StoreMeta,
+    doc: Document,
+    stats: DocStats,
+    index: InvertedIndex,
+    load_span: TraceSpan,
+}
+
+impl CorpusStore {
+    /// Opens and fully validates the store at `path` with no budget.
+    pub fn open(path: &Path) -> Result<Self, StoreError> {
+        Self::open_budgeted(path, &Budget::unlimited())
+    }
+
+    /// Opens the store at `path`, charging `budget` for the load: the
+    /// file's size against the memory cap (before decode) and the posting
+    /// entry count against the postings cap. A tripped budget aborts the
+    /// load with [`StoreError::Budget`].
+    pub fn open_budgeted(path: &Path, budget: &Budget) -> Result<Self, StoreError> {
+        let start = Instant::now();
+        let m = metrics::global();
+        let bytes = std::fs::read(path)?;
+        let result = Self::from_bytes(&bytes, budget);
+        match result {
+            Ok(mut store) => {
+                let elapsed = start.elapsed();
+                store.load_span.duration = elapsed;
+                m.add("engine.store.opens", 1);
+                m.add("engine.store.bytes_read", bytes.len() as u64);
+                m.observe_duration("engine.store.open", elapsed);
+                Ok(store)
+            }
+            Err(e) => {
+                m.add("engine.store.open_errors", 1);
+                Err(e)
+            }
+        }
+    }
+
+    /// Decodes a store image from memory (the open path minus the I/O).
+    pub fn from_bytes(bytes: &[u8], budget: &Budget) -> Result<Self, StoreError> {
+        let entries = format::parse_header(bytes)?;
+        let meta = StoreMeta::decode(format::section(bytes, &entries, SectionId::Meta)?)?;
+        // Charge the budget up front, before any expensive decoding: the
+        // resident cost of the load is roughly the file size, and the
+        // postings cap bounds how large an index a query session accepts.
+        if budget.charge_memory(bytes.len() as u64) || budget.charge_postings(meta.posting_entries)
+        {
+            let reason = budget
+                .tripped()
+                .unwrap_or(flexpath_engine::ExhaustReason::MemoryBudget);
+            return Err(StoreError::Budget(reason));
+        }
+        let tags = format::section(bytes, &entries, SectionId::Tags)?;
+        let elems = format::section(bytes, &entries, SectionId::Elems)?;
+        let doc = decode_document(tags, elems)?;
+        if doc.node_count() as u64 != meta.nodes {
+            return Err(StoreError::Corrupt(CodecError::Invalid {
+                what: "meta node count disagrees with element table",
+                index: meta.nodes,
+            }));
+        }
+        let stats = decode_stats(
+            format::section(bytes, &entries, SectionId::Stats)?,
+            doc.symbols().len(),
+        )?;
+        let index = InvertedIndex::decode(
+            format::section(bytes, &entries, SectionId::Terms)?,
+            format::section(bytes, &entries, SectionId::Postings)?,
+            doc.node_count(),
+        )?;
+        if index.posting_entry_count() != meta.posting_entries
+            || index.term_count() as u64 != meta.terms
+        {
+            return Err(StoreError::Corrupt(CodecError::Invalid {
+                what: "meta index counts disagree with postings",
+                index: meta.posting_entries,
+            }));
+        }
+        let mut load_span = TraceSpan::new("store.open");
+        load_span.add("store.bytes", bytes.len() as u64);
+        load_span.add("store.nodes", meta.nodes);
+        load_span.add("store.terms", meta.terms);
+        load_span.add("store.posting_entries", meta.posting_entries);
+        Ok(CorpusStore {
+            meta,
+            doc,
+            stats,
+            index,
+            load_span,
+        })
+    }
+
+    /// The stored meta fields.
+    pub fn meta(&self) -> &StoreMeta {
+        &self.meta
+    }
+
+    /// Logical document name.
+    pub fn name(&self) -> &str {
+        &self.meta.name
+    }
+
+    /// The decoded document.
+    pub fn document(&self) -> &Document {
+        &self.doc
+    }
+
+    /// The decoded statistics.
+    pub fn stats(&self) -> &DocStats {
+        &self.stats
+    }
+
+    /// The decoded inverted index.
+    pub fn index(&self) -> &InvertedIndex {
+        &self.index
+    }
+
+    /// The `store.open` trace span (bytes/nodes/terms counters and, for
+    /// [`CorpusStore::open`], the wall-clock load time). Kept *separate*
+    /// from query traces on purpose: query `counter_fingerprint()`s must
+    /// be identical whether a session was parsed or loaded.
+    pub fn load_trace(&self) -> &TraceSpan {
+        &self.load_span
+    }
+
+    /// Consumes the store, yielding `(document, stats, index)` for
+    /// engine-context construction.
+    pub fn into_parts(self) -> (Document, DocStats, InvertedIndex) {
+        (self.doc, self.stats, self.index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexpath_xmldom::parse;
+
+    fn build(xml: &str) -> StoreBuilder {
+        let doc = parse(xml).unwrap();
+        let stats = DocStats::compute(&doc);
+        let index = InvertedIndex::build(&doc);
+        StoreBuilder::from_parts("t", &doc, &stats, &index)
+    }
+
+    #[test]
+    fn memory_roundtrip_preserves_counts() {
+        let b = build("<a><b>gold silver</b><c>gold</c></a>");
+        let bytes = b.to_bytes();
+        let store = CorpusStore::from_bytes(&bytes, &Budget::unlimited()).unwrap();
+        assert_eq!(store.name(), "t");
+        assert_eq!(store.meta().nodes, store.document().node_count() as u64);
+        assert_eq!(store.index().df("gold"), 2);
+        assert_eq!(store.stats().element_total(), 3);
+        assert_eq!(store.load_trace().name, "store.open");
+    }
+
+    #[test]
+    fn serialization_is_deterministic() {
+        let xml = "<a><b>one two</b><c x=\"1\">three</c></a>";
+        assert_eq!(build(xml).to_bytes(), build(xml).to_bytes());
+    }
+
+    #[test]
+    fn postings_budget_blocks_load() {
+        let b = build("<a><b>gold silver</b></a>");
+        let bytes = b.to_bytes();
+        let budget = Budget::new(None, None, 0, u64::MAX, u64::MAX);
+        match CorpusStore::from_bytes(&bytes, &budget) {
+            Err(StoreError::Budget(reason)) => {
+                assert_eq!(reason, flexpath_engine::ExhaustReason::PostingsBudget)
+            }
+            other => panic!("expected budget error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn memory_budget_blocks_load() {
+        let b = build("<a><b>gold</b></a>");
+        let bytes = b.to_bytes();
+        let budget = Budget::new(None, None, u64::MAX, u64::MAX, 16);
+        assert!(matches!(
+            CorpusStore::from_bytes(&bytes, &budget),
+            Err(StoreError::Budget(_))
+        ));
+    }
+
+    #[test]
+    fn meta_disagreement_is_corrupt() {
+        // Hand-assemble a file whose meta claims the wrong node count but
+        // whose CRCs are all valid.
+        let doc = parse("<a><b>x1</b></a>").unwrap();
+        let stats = DocStats::compute(&doc);
+        let index = InvertedIndex::build(&doc);
+        let b = StoreBuilder::from_parts("t", &doc, &stats, &index);
+        let mut sections = b.sections.clone();
+        let meta = StoreMeta {
+            nodes: 999,
+            ..b.meta.clone()
+        };
+        sections[0].1 = meta.encode();
+        let bytes = format::assemble(&sections);
+        assert!(matches!(
+            CorpusStore::from_bytes(&bytes, &Budget::unlimited()),
+            Err(StoreError::Corrupt(_))
+        ));
+    }
+}

@@ -1,0 +1,497 @@
+//! Binary codec for [`Document`] and [`DocStats`] — the payloads of the
+//! persistent corpus store's `TAGS`, `ELEMS`, and `STATS` sections.
+//!
+//! Encoding is **deterministic**: hash maps are emitted in sorted key
+//! order and nothing environment-dependent (timestamps, pointer values)
+//! is written, so the same document always produces the same bytes. The
+//! store's golden-file drift check depends on this.
+//!
+//! Decoding is **total and validating**: every cross-reference a decoded
+//! [`Document`] could later index with — parent/child/sibling ids, tag
+//! and attribute symbols, text-arena indices, attribute ranges, the root
+//! id — is bounds-checked here, so downstream code may keep using plain
+//! indexing without risking a panic on a corrupted store. Structural
+//! invariants that algorithms rely on (region `start < end`, document-
+//! order-monotonic starts) are validated too.
+
+use crate::document::{Document, NodeData, NodeId, NodeKind};
+use crate::stats::{DocStats, TagPair};
+use crate::symbols::{Sym, SymbolTable};
+use crate::wire::{ByteReader, ByteWriter, WireError};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Sentinel for `Option<NodeId>::None` on the wire.
+const NO_NODE: u32 = u32::MAX;
+/// Fixed wire size of one node record (used for count plausibility).
+const NODE_WIRE_BYTES: usize = 1 + 4 * 8 + 2;
+
+/// A failure while decoding a document or statistics section.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// Low-level read failure (truncation, bad UTF-8, absurd length).
+    Wire(WireError),
+    /// The bytes parsed but describe an inconsistent structure.
+    Invalid {
+        /// Which invariant was violated.
+        what: &'static str,
+        /// Item index (node id, symbol id, …) at which it was detected.
+        index: u64,
+    },
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::Wire(e) => write!(f, "wire error: {e}"),
+            CodecError::Invalid { what, index } => {
+                write!(f, "invalid structure: {what} (item {index})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CodecError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CodecError::Wire(e) => Some(e),
+            CodecError::Invalid { .. } => None,
+        }
+    }
+}
+
+impl From<WireError> for CodecError {
+    fn from(e: WireError) -> Self {
+        CodecError::Wire(e)
+    }
+}
+
+fn opt_node(v: Option<NodeId>) -> u32 {
+    v.map(|n| n.0).unwrap_or(NO_NODE)
+}
+
+fn node_opt(
+    v: u32,
+    node_count: usize,
+    what: &'static str,
+    index: u64,
+) -> Result<Option<NodeId>, CodecError> {
+    if v == NO_NODE {
+        Ok(None)
+    } else if (v as usize) < node_count {
+        Ok(Some(NodeId(v)))
+    } else {
+        Err(CodecError::Invalid { what, index })
+    }
+}
+
+/// Encodes a document's interned-name table (the `TAGS` section payload).
+pub fn encode_symbols(symbols: &SymbolTable) -> Vec<u8> {
+    let mut w = ByteWriter::with_capacity(16 + symbols.len() * 12);
+    w.u64(symbols.len() as u64);
+    for (_, name) in symbols.iter() {
+        w.str(name);
+    }
+    w.into_bytes()
+}
+
+/// Decodes a `TAGS` section payload back into a [`SymbolTable`].
+pub fn decode_symbols(bytes: &[u8]) -> Result<SymbolTable, CodecError> {
+    let mut r = ByteReader::new(bytes);
+    let n = r.count(4)?;
+    let mut table = SymbolTable::new();
+    for i in 0..n {
+        let name = r.str()?;
+        let sym = table.intern(name);
+        // A repeated name would intern to an earlier id and desync every
+        // Sym reference in the element table; reject it.
+        if sym.index() != i {
+            return Err(CodecError::Invalid {
+                what: "duplicate symbol name",
+                index: i as u64,
+            });
+        }
+    }
+    r.expect_exhausted()?;
+    Ok(table)
+}
+
+/// Encodes a document's node arena, text arena, and attributes (the
+/// `ELEMS` section payload). The per-tag index is not written — it is
+/// rebuilt on decode from the (document-ordered) node arena.
+pub fn encode_nodes(doc: &Document) -> Vec<u8> {
+    let mut w = ByteWriter::with_capacity(32 + doc.nodes.len() * NODE_WIRE_BYTES);
+    w.u32(doc.root.0);
+    w.u64(doc.nodes.len() as u64);
+    for n in &doc.nodes {
+        match n.kind {
+            NodeKind::Element { tag } => {
+                w.u8(0);
+                w.u32(tag.0);
+            }
+            NodeKind::Text { text } => {
+                w.u8(1);
+                w.u32(text);
+            }
+        }
+        w.u32(opt_node(n.parent));
+        w.u32(opt_node(n.first_child));
+        w.u32(opt_node(n.next_sibling));
+        w.u32(n.start);
+        w.u32(n.end);
+        w.u32(n.level);
+        w.u32(n.attrs_start);
+        w.u16(n.attrs_len);
+    }
+    w.u64(doc.texts.len() as u64);
+    for t in &doc.texts {
+        w.str(t);
+    }
+    w.u64(doc.attrs.len() as u64);
+    for (sym, val) in &doc.attrs {
+        w.u32(sym.0);
+        w.str(val);
+    }
+    w.into_bytes()
+}
+
+/// Decodes `TAGS` + `ELEMS` payloads into a fully validated [`Document`].
+pub fn decode_document(tag_bytes: &[u8], elem_bytes: &[u8]) -> Result<Document, CodecError> {
+    let symbols = decode_symbols(tag_bytes)?;
+    let mut r = ByteReader::new(elem_bytes);
+    let root_raw = r.u32()?;
+    let node_count = r.count(NODE_WIRE_BYTES)?;
+    let mut nodes: Vec<NodeData> = Vec::with_capacity(node_count);
+    for i in 0..node_count {
+        let idx = i as u64;
+        let kind_tag = r.u8()?;
+        let payload = r.u32()?;
+        let kind = match kind_tag {
+            0 => NodeKind::Element { tag: Sym(payload) },
+            1 => NodeKind::Text { text: payload },
+            _ => {
+                return Err(CodecError::Invalid {
+                    what: "unknown node kind",
+                    index: idx,
+                })
+            }
+        };
+        let parent = r.u32()?;
+        let first_child = r.u32()?;
+        let next_sibling = r.u32()?;
+        let start = r.u32()?;
+        let end = r.u32()?;
+        let level = r.u32()?;
+        let attrs_start = r.u32()?;
+        let attrs_len = r.u16()?;
+        nodes.push(NodeData {
+            kind,
+            parent: node_opt(parent, node_count, "parent id out of range", idx)?,
+            first_child: node_opt(first_child, node_count, "first-child id out of range", idx)?,
+            next_sibling: node_opt(
+                next_sibling,
+                node_count,
+                "next-sibling id out of range",
+                idx,
+            )?,
+            start,
+            end,
+            level,
+            attrs_start,
+            attrs_len,
+        });
+    }
+    let text_count = r.count(4)?;
+    let mut texts: Vec<Box<str>> = Vec::with_capacity(text_count);
+    for _ in 0..text_count {
+        texts.push(r.str()?.into());
+    }
+    let attr_count = r.count(8)?;
+    let mut attrs: Vec<(Sym, Box<str>)> = Vec::with_capacity(attr_count);
+    for i in 0..attr_count {
+        let sym = Sym(r.u32()?);
+        if sym.index() >= symbols.len() {
+            return Err(CodecError::Invalid {
+                what: "attribute name symbol out of range",
+                index: i as u64,
+            });
+        }
+        attrs.push((sym, r.str()?.into()));
+    }
+    r.expect_exhausted()?;
+
+    // Cross-reference validation: after this loop, every index stored in
+    // `nodes` is safe to use for direct slice indexing.
+    let mut prev_start: Option<u32> = None;
+    for (i, n) in nodes.iter().enumerate() {
+        let idx = i as u64;
+        match n.kind {
+            NodeKind::Element { tag } => {
+                if tag.index() >= symbols.len() {
+                    return Err(CodecError::Invalid {
+                        what: "tag symbol out of range",
+                        index: idx,
+                    });
+                }
+            }
+            NodeKind::Text { text } => {
+                if text as usize >= texts.len() {
+                    return Err(CodecError::Invalid {
+                        what: "text index out of range",
+                        index: idx,
+                    });
+                }
+            }
+        }
+        if n.start >= n.end {
+            return Err(CodecError::Invalid {
+                what: "region label start >= end",
+                index: idx,
+            });
+        }
+        if let Some(p) = prev_start {
+            if n.start <= p {
+                return Err(CodecError::Invalid {
+                    what: "node starts not in document order",
+                    index: idx,
+                });
+            }
+        }
+        prev_start = Some(n.start);
+        let attrs_end = n.attrs_start as usize + n.attrs_len as usize;
+        if attrs_end > attrs.len() {
+            return Err(CodecError::Invalid {
+                what: "attribute range out of bounds",
+                index: idx,
+            });
+        }
+    }
+    if root_raw as usize >= nodes.len() {
+        return Err(CodecError::Invalid {
+            what: "root id out of range",
+            index: root_raw as u64,
+        });
+    }
+    let root = NodeId(root_raw);
+    if !matches!(nodes[root.index()].kind, NodeKind::Element { .. }) {
+        return Err(CodecError::Invalid {
+            what: "root is not an element",
+            index: root_raw as u64,
+        });
+    }
+
+    // Rebuild the per-tag index; the arena is in document order, so pushing
+    // in arena order yields the sorted lists structural joins require.
+    let mut tag_index: HashMap<Sym, Vec<NodeId>> = HashMap::new();
+    for (i, n) in nodes.iter().enumerate() {
+        if let NodeKind::Element { tag } = n.kind {
+            tag_index.entry(tag).or_default().push(NodeId(i as u32));
+        }
+    }
+
+    Ok(Document {
+        nodes,
+        texts,
+        attrs,
+        symbols,
+        tag_index,
+        root,
+    })
+}
+
+/// Encodes document statistics (the `STATS` section payload), maps in
+/// sorted key order for byte determinism.
+pub fn encode_stats(stats: &DocStats) -> Vec<u8> {
+    let mut w = ByteWriter::with_capacity(32);
+    w.u64(stats.element_total);
+    let mut tags: Vec<(Sym, u64)> = stats.tag_counts.iter().map(|(&s, &c)| (s, c)).collect();
+    tags.sort_unstable();
+    w.u64(tags.len() as u64);
+    for (s, c) in tags {
+        w.u32(s.0);
+        w.u64(c);
+    }
+    for map in [&stats.pc_counts, &stats.ad_counts] {
+        let mut pairs: Vec<(TagPair, u64)> = map.iter().map(|(&p, &c)| (p, c)).collect();
+        pairs.sort_unstable();
+        w.u64(pairs.len() as u64);
+        for (TagPair(a, b), c) in pairs {
+            w.u32(a.0);
+            w.u32(b.0);
+            w.u64(c);
+        }
+    }
+    w.into_bytes()
+}
+
+/// Decodes a `STATS` payload; `symbol_count` bounds every tag reference.
+pub fn decode_stats(bytes: &[u8], symbol_count: usize) -> Result<DocStats, CodecError> {
+    let mut r = ByteReader::new(bytes);
+    let element_total = r.u64()?;
+    let check = |s: Sym, i: usize| -> Result<Sym, CodecError> {
+        if s.index() >= symbol_count {
+            Err(CodecError::Invalid {
+                what: "statistics tag symbol out of range",
+                index: i as u64,
+            })
+        } else {
+            Ok(s)
+        }
+    };
+    let n = r.count(12)?;
+    let mut tag_counts = HashMap::with_capacity(n);
+    for i in 0..n {
+        let s = check(Sym(r.u32()?), i)?;
+        let c = r.u64()?;
+        if tag_counts.insert(s, c).is_some() {
+            return Err(CodecError::Invalid {
+                what: "duplicate tag-count key",
+                index: i as u64,
+            });
+        }
+    }
+    let mut pair_maps: [HashMap<TagPair, u64>; 2] = [HashMap::new(), HashMap::new()];
+    for map in &mut pair_maps {
+        let n = r.count(16)?;
+        map.reserve(n);
+        for i in 0..n {
+            let a = check(Sym(r.u32()?), i)?;
+            let b = check(Sym(r.u32()?), i)?;
+            let c = r.u64()?;
+            if map.insert(TagPair(a, b), c).is_some() {
+                return Err(CodecError::Invalid {
+                    what: "duplicate tag-pair key",
+                    index: i as u64,
+                });
+            }
+        }
+    }
+    r.expect_exhausted()?;
+    let [pc_counts, ad_counts] = pair_maps;
+    Ok(DocStats {
+        tag_counts,
+        pc_counts,
+        ad_counts,
+        element_total,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    const DOC: &str =
+        "<a x=\"1\"><b><c>hi there</c></b><b y=\"2\">more text</b><d/><c>tail</c></a>";
+
+    fn roundtrip(xml: &str) -> (Document, Document) {
+        let doc = parse(xml).unwrap();
+        let tags = encode_symbols(doc.symbols());
+        let elems = encode_nodes(&doc);
+        let back = decode_document(&tags, &elems).unwrap();
+        (doc, back)
+    }
+
+    #[test]
+    fn document_roundtrip_preserves_everything() {
+        let (doc, back) = roundtrip(DOC);
+        assert_eq!(doc.node_count(), back.node_count());
+        assert_eq!(doc.root_element(), back.root_element());
+        for n in doc.all_nodes() {
+            assert_eq!(doc.kind(n), back.kind(n));
+            assert_eq!(doc.parent(n), back.parent(n));
+            assert_eq!(doc.first_child(n), back.first_child(n));
+            assert_eq!(doc.next_sibling(n), back.next_sibling(n));
+            assert_eq!(doc.start(n), back.start(n));
+            assert_eq!(doc.end(n), back.end(n));
+            assert_eq!(doc.level(n), back.level(n));
+            assert_eq!(doc.text_content(n), back.text_content(n));
+            assert_eq!(doc.attributes(n), back.attributes(n));
+        }
+        for (sym, name) in doc.symbols().iter() {
+            assert_eq!(back.symbols().name(sym), name);
+            assert_eq!(doc.nodes_with_tag(sym), back.nodes_with_tag(sym));
+        }
+    }
+
+    #[test]
+    fn encoding_is_deterministic() {
+        let doc = parse(DOC).unwrap();
+        assert_eq!(encode_nodes(&doc), encode_nodes(&doc));
+        assert_eq!(encode_symbols(doc.symbols()), encode_symbols(doc.symbols()));
+        let s = DocStats::compute(&doc);
+        assert_eq!(encode_stats(&s), encode_stats(&s));
+    }
+
+    #[test]
+    fn stats_roundtrip_preserves_counts() {
+        let doc = parse(DOC).unwrap();
+        let stats = DocStats::compute(&doc);
+        let bytes = encode_stats(&stats);
+        let back = decode_stats(&bytes, doc.symbols().len()).unwrap();
+        assert_eq!(back.element_total(), stats.element_total());
+        for t1 in stats.tags() {
+            assert_eq!(back.tag_count(t1), stats.tag_count(t1));
+            for t2 in stats.tags() {
+                assert_eq!(back.pc_count(t1, t2), stats.pc_count(t1, t2));
+                assert_eq!(back.ad_count(t1, t2), stats.ad_count(t1, t2));
+            }
+        }
+    }
+
+    #[test]
+    fn every_single_byte_flip_is_rejected_or_equivalent() {
+        // Exhaustively flip one byte at a time in a small document's ELEMS
+        // payload: decode must return Err or a structurally valid document
+        // (it must never panic). This is the codec-level version of the
+        // store corruption suite.
+        let doc = parse("<a><b>hi</b></a>").unwrap();
+        let tags = encode_symbols(doc.symbols());
+        let elems = encode_nodes(&doc);
+        for i in 0..elems.len() {
+            let mut bad = elems.clone();
+            bad[i] ^= 0xff;
+            let _ = decode_document(&tags, &bad);
+        }
+        for i in 0..tags.len() {
+            let mut bad = tags.clone();
+            bad[i] ^= 0xff;
+            let _ = decode_document(&bad, &elems);
+        }
+    }
+
+    #[test]
+    fn truncation_is_typed() {
+        let doc = parse(DOC).unwrap();
+        let tags = encode_symbols(doc.symbols());
+        let elems = encode_nodes(&doc);
+        for cut in 0..elems.len() {
+            assert!(decode_document(&tags, &elems[..cut]).is_err());
+        }
+    }
+
+    #[test]
+    fn dangling_references_are_invalid() {
+        let doc = parse("<a><b/></a>").unwrap();
+        let tags = encode_symbols(doc.symbols());
+        let mut elems = encode_nodes(&doc);
+        // Corrupt the root id field (first 4 bytes) to an out-of-range node.
+        elems[0] = 0x7f;
+        assert!(matches!(
+            decode_document(&tags, &elems),
+            Err(CodecError::Invalid { .. })
+        ));
+    }
+
+    #[test]
+    fn stats_symbol_bounds_are_enforced() {
+        let doc = parse("<a><b/></a>").unwrap();
+        let stats = DocStats::compute(&doc);
+        let bytes = encode_stats(&stats);
+        // Claim a smaller symbol table than the stats reference.
+        assert!(matches!(
+            decode_stats(&bytes, 0),
+            Err(CodecError::Invalid { .. })
+        ));
+    }
+}

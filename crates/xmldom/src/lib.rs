@@ -38,6 +38,7 @@
 
 pub mod axes;
 pub mod builder;
+pub mod codec;
 pub mod document;
 pub mod error;
 pub mod events;
@@ -45,9 +46,11 @@ pub mod parser;
 pub mod serialize;
 pub mod stats;
 pub mod symbols;
+pub mod wire;
 
 pub use axes::{AncestorIter, ChildIter, DescendantIter};
 pub use builder::DocumentBuilder;
+pub use codec::CodecError;
 pub use document::{Document, NodeId, NodeKind};
 pub use error::{ParseError, ParseErrorKind};
 pub use events::{FnSink, XmlEvent, XmlSink};
@@ -55,3 +58,4 @@ pub use parser::{parse, parse_events, parse_with_options, ParseOptions};
 pub use serialize::{to_xml_pretty, to_xml_string, write_xml};
 pub use stats::{DocStats, TagPair};
 pub use symbols::{Sym, SymbolTable};
+pub use wire::{ByteReader, ByteWriter, WireError};

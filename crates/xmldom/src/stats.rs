@@ -23,10 +23,12 @@ pub struct TagPair(pub Sym, pub Sym);
 /// Immutable occurrence counts for one document.
 #[derive(Debug, Clone, Default)]
 pub struct DocStats {
-    tag_counts: HashMap<Sym, u64>,
-    pc_counts: HashMap<TagPair, u64>,
-    ad_counts: HashMap<TagPair, u64>,
-    element_total: u64,
+    // pub(crate) so the persistent-store codec (`crate::codec`) can
+    // serialize and reconstruct the maps without an intermediate copy.
+    pub(crate) tag_counts: HashMap<Sym, u64>,
+    pub(crate) pc_counts: HashMap<TagPair, u64>,
+    pub(crate) ad_counts: HashMap<TagPair, u64>,
+    pub(crate) element_total: u64,
 }
 
 impl DocStats {

@@ -1,0 +1,332 @@
+//! Minimal binary wire helpers shared by every persistent-store codec.
+//!
+//! The persistent corpus format (see the `flexpath-store` crate) is
+//! deliberately dependency-free: fixed-width little-endian integers and
+//! length-prefixed UTF-8 strings, written by [`ByteWriter`] and read back
+//! by [`ByteReader`]. The reader is *total*: every method returns a typed
+//! [`WireError`] instead of panicking, no matter how truncated or
+//! malformed the input bytes are — the store's corruption contract ("no
+//! panic on any byte flip") bottoms out here.
+
+use std::fmt;
+
+/// A decode failure at a specific byte offset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The input ended before `want` more bytes could be read.
+    UnexpectedEof {
+        /// Byte offset at which the read was attempted.
+        at: usize,
+        /// Number of bytes the read needed.
+        want: usize,
+    },
+    /// A length-prefixed string was not valid UTF-8.
+    InvalidUtf8 {
+        /// Byte offset of the string payload.
+        at: usize,
+    },
+    /// A length or count field exceeds what the remaining input could hold.
+    ImplausibleLength {
+        /// Byte offset of the offending field.
+        at: usize,
+        /// The decoded length/count value.
+        len: u64,
+    },
+    /// Trailing bytes remained after a decode that must consume everything.
+    TrailingBytes {
+        /// Byte offset of the first unconsumed byte.
+        at: usize,
+    },
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::UnexpectedEof { at, want } => {
+                write!(
+                    f,
+                    "unexpected end of input at byte {at} (wanted {want} more)"
+                )
+            }
+            WireError::InvalidUtf8 { at } => write!(f, "invalid UTF-8 string at byte {at}"),
+            WireError::ImplausibleLength { at, len } => {
+                write!(f, "implausible length {len} at byte {at}")
+            }
+            WireError::TrailingBytes { at } => write!(f, "trailing bytes at offset {at}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Append-only little-endian encoder.
+#[derive(Debug, Default)]
+pub struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    /// An empty writer.
+    pub fn new() -> Self {
+        ByteWriter::default()
+    }
+
+    /// An empty writer with `cap` bytes preallocated.
+    pub fn with_capacity(cap: usize) -> Self {
+        ByteWriter {
+            buf: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Appends one byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a little-endian `u16`.
+    pub fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u32`.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends raw bytes (no length prefix).
+    pub fn bytes(&mut self, v: &[u8]) {
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Appends a `u32` length prefix followed by the UTF-8 bytes of `s`.
+    pub fn str(&mut self, s: &str) {
+        self.u32(s.len() as u32);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    /// Number of bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Consumes the writer, returning the encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// Bounds-checked little-endian decoder over a borrowed byte slice.
+///
+/// Every read advances an internal cursor; a read past the end returns
+/// [`WireError::UnexpectedEof`] and leaves the cursor untouched.
+#[derive(Debug)]
+pub struct ByteReader<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// A reader over `data`, cursor at 0.
+    pub fn new(data: &'a [u8]) -> Self {
+        ByteReader { data, pos: 0 }
+    }
+
+    /// Current cursor offset.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Bytes left to read.
+    pub fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    /// Whether the cursor has consumed every byte.
+    pub fn is_exhausted(&self) -> bool {
+        self.pos == self.data.len()
+    }
+
+    /// Errors unless every byte was consumed.
+    pub fn expect_exhausted(&self) -> Result<(), WireError> {
+        if self.is_exhausted() {
+            Ok(())
+        } else {
+            Err(WireError::TrailingBytes { at: self.pos })
+        }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.data.len())
+            .ok_or(WireError::UnexpectedEof {
+                at: self.pos,
+                want: n,
+            })?;
+        let out = &self.data[self.pos..end];
+        self.pos = end;
+        Ok(out)
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian `u16`.
+    pub fn u16(&mut self) -> Result<u16, WireError> {
+        let b = self.take(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, WireError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, WireError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    /// Reads `n` raw bytes.
+    pub fn bytes(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        self.take(n)
+    }
+
+    /// Reads a `u32`-length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> Result<&'a str, WireError> {
+        let at = self.pos;
+        let len = self.u32()? as usize;
+        if len > self.remaining() {
+            // Rewind so the reported offset points at the length field.
+            self.pos = at;
+            return Err(WireError::ImplausibleLength {
+                at,
+                len: len as u64,
+            });
+        }
+        let start = self.pos;
+        let bytes = self.take(len)?;
+        std::str::from_utf8(bytes).map_err(|_| WireError::InvalidUtf8 { at: start })
+    }
+
+    /// Reads a `u64` count field and sanity-checks it against the bytes
+    /// remaining: each counted item occupies at least `min_item_bytes`, so
+    /// a count that could not possibly fit is rejected *before* any
+    /// allocation sized by it (a flipped high byte in a count must not
+    /// trigger a multi-gigabyte `Vec::with_capacity`).
+    pub fn count(&mut self, min_item_bytes: usize) -> Result<usize, WireError> {
+        let at = self.pos;
+        let n = self.u64()?;
+        let max = match min_item_bytes {
+            0 => u64::MAX,
+            m => (self.remaining() as u64).checked_div(m as u64).unwrap_or(0),
+        };
+        if n > max {
+            self.pos = at;
+            return Err(WireError::ImplausibleLength { at, len: n });
+        }
+        Ok(n as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_primitives() {
+        let mut w = ByteWriter::new();
+        w.u8(7);
+        w.u16(300);
+        w.u32(70_000);
+        w.u64(1 << 40);
+        w.str("héllo");
+        w.bytes(&[1, 2, 3]);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(r.u8().unwrap(), 7);
+        assert_eq!(r.u16().unwrap(), 300);
+        assert_eq!(r.u32().unwrap(), 70_000);
+        assert_eq!(r.u64().unwrap(), 1 << 40);
+        assert_eq!(r.str().unwrap(), "héllo");
+        assert_eq!(r.bytes(3).unwrap(), &[1, 2, 3]);
+        assert!(r.expect_exhausted().is_ok());
+    }
+
+    #[test]
+    fn truncated_reads_error_without_panicking() {
+        let mut w = ByteWriter::new();
+        w.u32(5);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes[..2]);
+        assert!(matches!(r.u32(), Err(WireError::UnexpectedEof { .. })));
+        // Cursor unchanged: a shorter read still works.
+        assert_eq!(r.u16().unwrap(), 5);
+    }
+
+    #[test]
+    fn oversized_string_length_is_implausible() {
+        let mut w = ByteWriter::new();
+        w.u32(1_000_000); // length prefix far beyond the payload
+        w.bytes(b"xy");
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert!(matches!(
+            r.str(),
+            Err(WireError::ImplausibleLength { at: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn invalid_utf8_is_typed() {
+        let mut w = ByteWriter::new();
+        w.u32(2);
+        w.bytes(&[0xff, 0xfe]);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert!(matches!(r.str(), Err(WireError::InvalidUtf8 { at: 4 })));
+    }
+
+    #[test]
+    fn count_rejects_impossible_item_counts() {
+        let mut w = ByteWriter::new();
+        w.u64(u64::MAX / 2);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert!(matches!(
+            r.count(4),
+            Err(WireError::ImplausibleLength { .. })
+        ));
+        // Zero-byte items accept any count.
+        let mut r = ByteReader::new(&bytes);
+        assert!(r.count(0).is_ok());
+    }
+
+    #[test]
+    fn trailing_bytes_are_reported() {
+        let bytes = [1u8, 2, 3];
+        let mut r = ByteReader::new(&bytes);
+        let _ = r.u8();
+        assert_eq!(
+            r.expect_exhausted(),
+            Err(WireError::TrailingBytes { at: 1 })
+        );
+    }
+}

@@ -1,10 +1,15 @@
 //! `flexpath-cli` — run flexible XPath + full-text queries against an XML
-//! file from the command line.
+//! file (or a prebuilt persistent store) from the command line.
 //!
 //! ```text
 //! flexpath-cli <corpus.xml> '<query>' [options]
+//! flexpath-cli --store DIR <name> '<query>' [options]
+//! flexpath-cli index <corpus.xml> --store DIR [--name NAME]
 //!
 //! options:
+//!   --store DIR           store directory: `index` writes into it; query
+//!                         mode loads <name> from it instead of parsing XML
+//!   --name NAME           document name in the store (default: file stem)
 //!   --k N                 number of answers (default 10)
 //!   --algorithm A         dpo | sso | hybrid (default hybrid)
 //!   --scheme S            structure | keyword | combined (default structure)
@@ -38,9 +43,10 @@
 //! ```
 
 use flexpath::{
-    explain_answer, explain_plan, explain_schedule, Algorithm, CancelToken, FleXPath,
-    ParallelConfig, RankingScheme,
+    explain_answer, explain_plan, explain_schedule, Algorithm, CancelToken, Catalog, FleXPath,
+    ParallelConfig, RankingScheme, StoreBuilder,
 };
+use std::path::Path;
 use std::process::ExitCode;
 use std::sync::OnceLock;
 use std::time::Duration;
@@ -80,9 +86,21 @@ fn install_ctrl_c(token: &CancelToken) {
 #[cfg(not(unix))]
 fn install_ctrl_c(_token: &CancelToken) {}
 
+/// What the invocation asks for: run a query, or build a store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// `flexpath-cli <corpus.xml|name> '<query>' …`
+    Query,
+    /// `flexpath-cli index <corpus.xml> --store DIR [--name NAME]`
+    Index,
+}
+
 struct Options {
+    mode: Mode,
     corpus: String,
     query: String,
+    store: Option<String>,
+    name: Option<String>,
     k: usize,
     algorithm: Algorithm,
     scheme: RankingScheme,
@@ -131,12 +149,25 @@ const FLAGS: &[(&str, bool, &str)] = &[
         "stop after N ms with best answers so far",
     ),
     ("--threads", true, "worker threads (default: all cores)"),
+    (
+        "--store",
+        true,
+        "store directory; query mode loads <name> from it",
+    ),
+    (
+        "--name",
+        true,
+        "document name in the store (default: file stem)",
+    ),
     ("--help", false, "print this help"),
 ];
 
 fn usage_text() -> String {
-    let mut out =
-        String::from("usage: flexpath-cli <corpus.xml> '<query>' [options]\n\noptions:\n");
+    let mut out = String::from(
+        "usage: flexpath-cli <corpus.xml> '<query>' [options]\n\
+         \x20      flexpath-cli --store DIR <name> '<query>' [options]\n\
+         \x20      flexpath-cli index <corpus.xml> --store DIR [--name NAME]\n\noptions:\n",
+    );
     for (flag, takes_value, help) in FLAGS {
         let arg = if *takes_value {
             format!("{flag} N")
@@ -157,11 +188,20 @@ fn parse_args() -> Result<Options, ExitCode> {
     parse_args_from(std::env::args().skip(1).collect())
 }
 
-fn parse_args_from(args: Vec<String>) -> Result<Options, ExitCode> {
+fn parse_args_from(mut args: Vec<String>) -> Result<Options, ExitCode> {
+    let mode = if args.first().map(String::as_str) == Some("index") {
+        args.remove(0);
+        Mode::Index
+    } else {
+        Mode::Query
+    };
     let mut positional: Vec<String> = Vec::new();
     let mut opts = Options {
+        mode,
         corpus: String::new(),
         query: String::new(),
+        store: None,
+        name: None,
         k: 10,
         algorithm: Algorithm::Hybrid,
         scheme: RankingScheme::StructureFirst,
@@ -216,6 +256,14 @@ fn parse_args_from(args: Vec<String>) -> Result<Options, ExitCode> {
                 i += 1;
                 opts.threads = Some(args.get(i).and_then(|s| s.parse().ok()).ok_or_else(usage)?);
             }
+            "--store" => {
+                i += 1;
+                opts.store = Some(args.get(i).cloned().ok_or_else(usage)?);
+            }
+            "--name" => {
+                i += 1;
+                opts.name = Some(args.get(i).cloned().ok_or_else(usage)?);
+            }
             "--explain" => opts.explain = true,
             "--plan" => opts.plan = true,
             "--xml" => opts.xml = true,
@@ -230,20 +278,37 @@ fn parse_args_from(args: Vec<String>) -> Result<Options, ExitCode> {
         }
         i += 1;
     }
-    if positional.len() != 2 {
-        return Err(usage());
+    match opts.mode {
+        Mode::Query => {
+            // Two positionals: the corpus (an XML path, or with `--store`
+            // a document name inside the store) and the query.
+            if positional.len() != 2 {
+                return Err(usage());
+            }
+            opts.corpus = positional.remove(0);
+            opts.query = positional.remove(0);
+        }
+        Mode::Index => {
+            if positional.len() != 1 || opts.store.is_none() {
+                return Err(usage());
+            }
+            opts.corpus = positional.remove(0);
+        }
     }
-    opts.corpus = positional.remove(0);
-    opts.query = positional.remove(0);
     Ok(opts)
 }
 
-fn main() -> ExitCode {
-    let opts = match parse_args() {
-        Ok(o) => o,
-        Err(code) => return code,
-    };
+/// The document name used when `--name` is absent: the corpus file stem.
+fn default_name(corpus: &str) -> String {
+    Path::new(corpus)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("document")
+        .to_string()
+}
 
+/// `flexpath-cli index`: parse + preprocess the corpus once and persist it.
+fn run_index(opts: &Options, store_dir: &str) -> ExitCode {
     let xml = match std::fs::read_to_string(&opts.corpus) {
         Ok(s) => s,
         Err(e) => {
@@ -256,6 +321,87 @@ fn main() -> ExitCode {
         Err(e) => {
             eprintln!("cannot parse {}: {e}", opts.corpus);
             return ExitCode::FAILURE;
+        }
+    };
+    let name = opts
+        .name
+        .clone()
+        .unwrap_or_else(|| default_name(&opts.corpus));
+    let catalog = match Catalog::open(Path::new(store_dir)) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("cannot open store {store_dir}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let ctx = flex.context();
+    let builder = StoreBuilder::from_parts(&name, ctx.doc(), ctx.stats(), ctx.index());
+    match catalog.save(&builder) {
+        Ok(path) => {
+            let meta = builder.meta();
+            println!(
+                "indexed {} -> {} ({} nodes, {} terms, {} posting entries)",
+                opts.corpus,
+                path.display(),
+                meta.nodes,
+                meta.terms,
+                meta.posting_entries
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("cannot write store: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(code) => return code,
+    };
+
+    if opts.mode == Mode::Index {
+        // `parse_args_from` guarantees --store is present in index mode.
+        let store_dir = opts.store.clone().unwrap_or_default();
+        return run_index(&opts, &store_dir);
+    }
+
+    let flex = match &opts.store {
+        // `--store DIR`: the first positional is a document name in the
+        // catalog; the parse/stats/index cold start is skipped entirely.
+        Some(dir) => {
+            let catalog = match Catalog::open(Path::new(dir)) {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("cannot open store {dir}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match catalog.load(&opts.corpus) {
+                Ok(store) => FleXPath::from_store(store),
+                Err(e) => {
+                    eprintln!("cannot load {:?} from store {dir}: {e}", opts.corpus);
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        None => {
+            let xml = match std::fs::read_to_string(&opts.corpus) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("cannot read {}: {e}", opts.corpus);
+                    return ExitCode::FAILURE;
+                }
+            };
+            match FleXPath::from_xml(&xml) {
+                Ok(f) => f,
+                Err(e) => {
+                    eprintln!("cannot parse {}: {e}", opts.corpus);
+                    return ExitCode::FAILURE;
+                }
+            }
         }
     };
 
@@ -346,6 +492,19 @@ fn main() -> ExitCode {
     }
     if let Some(trace) = &results.trace {
         if opts.trace {
+            // The store-load span is printed separately from the query
+            // trace: it belongs to the session, and query fingerprints
+            // must match the in-memory path exactly.
+            if let Some(span) = flex.store_trace() {
+                println!(
+                    "\n-- store --\nstore.open [{:.3} ms]{}",
+                    span.duration.as_secs_f64() * 1e3,
+                    span.counters
+                        .iter()
+                        .map(|(k, v)| format!(" {k}={v}"))
+                        .collect::<String>()
+                );
+            }
             println!("\n-- trace --");
             print!("{}", trace.render_text());
         }
@@ -397,6 +556,7 @@ mod tests {
             }
         }
         let opts = parse_args_from(args).expect("all flags parse");
+        assert_eq!(opts.mode, Mode::Query);
         assert_eq!(opts.k, 3);
         assert_eq!(opts.algorithm, Algorithm::Dpo);
         assert_eq!(opts.scheme, RankingScheme::Combined);
@@ -406,8 +566,61 @@ mod tests {
         assert_eq!(opts.deadline_ms, Some(3));
         assert_eq!(opts.threads, Some(3));
         assert_eq!(opts.snippet, 3);
+        assert_eq!(opts.store.as_deref(), Some("3"));
+        assert_eq!(opts.name.as_deref(), Some("3"));
+        // With --store, the first positional is a document name.
         assert_eq!(opts.corpus, "corpus.xml");
         assert_eq!(opts.query, "//a");
+    }
+
+    #[test]
+    fn index_mode_requires_corpus_and_store() {
+        let opts = parse_args_from(vec![
+            "index".into(),
+            "corpus.xml".into(),
+            "--store".into(),
+            "stores".into(),
+            "--name".into(),
+            "auctions".into(),
+        ])
+        .expect("index invocation parses");
+        assert_eq!(opts.mode, Mode::Index);
+        assert_eq!(opts.corpus, "corpus.xml");
+        assert_eq!(opts.store.as_deref(), Some("stores"));
+        assert_eq!(opts.name.as_deref(), Some("auctions"));
+        // Missing --store: rejected.
+        assert!(parse_args_from(vec!["index".into(), "corpus.xml".into()]).is_err());
+        // Extra positional: rejected.
+        assert!(parse_args_from(vec![
+            "index".into(),
+            "a.xml".into(),
+            "b.xml".into(),
+            "--store".into(),
+            "s".into()
+        ])
+        .is_err());
+    }
+
+    #[test]
+    fn store_query_mode_takes_name_and_query() {
+        let opts = parse_args_from(vec![
+            "--store".into(),
+            "stores".into(),
+            "auctions".into(),
+            "//item".into(),
+        ])
+        .expect("store query parses");
+        assert_eq!(opts.mode, Mode::Query);
+        assert_eq!(opts.store.as_deref(), Some("stores"));
+        assert_eq!(opts.corpus, "auctions");
+        assert_eq!(opts.query, "//item");
+    }
+
+    #[test]
+    fn default_name_is_the_file_stem() {
+        assert_eq!(default_name("data/auctions.xml"), "auctions");
+        assert_eq!(default_name("plain"), "plain");
+        assert_eq!(default_name(""), "document");
     }
 
     #[test]

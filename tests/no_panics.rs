@@ -3,7 +3,7 @@
 //!
 //! The same rule is enforced at lint level by
 //! `#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]`
-//! in `flexpath-xmldom` and `flexpath-engine`; this test re-checks it by
+//! in `flexpath-xmldom`, `flexpath-engine`, and `flexpath-store`; this test re-checks it by
 //! source scan so plain `cargo test` catches violations without a clippy
 //! run. A documented-contract panic opts out the enclosing item with
 //! `#[allow(clippy::unwrap_used)]` / `#[allow(clippy::expect_used)]`, which
@@ -13,7 +13,7 @@ use std::fs;
 use std::path::{Path, PathBuf};
 
 /// Crate source trees covered by the panic policy.
-const SCANNED: &[&str] = &["crates/xmldom/src", "crates/engine/src"];
+const SCANNED: &[&str] = &["crates/xmldom/src", "crates/engine/src", "crates/store/src"];
 
 fn rust_sources(dir: &Path, out: &mut Vec<PathBuf>) {
     let entries = fs::read_dir(dir).unwrap_or_else(|e| panic!("read {}: {e}", dir.display()));

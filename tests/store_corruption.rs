@@ -1,0 +1,139 @@
+//! Corruption suite for the persistent store: every damaged input —
+//! truncation at any byte, a flipped byte anywhere, wrong magic, a future
+//! format version — must surface as a *typed* [`StoreError`], never a
+//! panic, never an out-of-bounds slice, never a giant bogus allocation.
+
+use flexpath::{Budget, CorpusStore, FleXPath, StoreError};
+use flexpath_store::{FORMAT_VERSION, MAGIC};
+use std::path::PathBuf;
+
+const XML: &str = r#"<site>
+  <item><name>gold watch</name><description><parlist><listitem>rare
+    collectible watch</listitem></parlist></description>
+    <mailbox><mail><text>asking about the <bold>gold</bold> watch</text></mail></mailbox>
+    <incategory category="c1"/></item>
+  <item><name>silver ring</name><description>plain silver ring, no list
+    </description></item>
+</site>"#;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("flexpath-corruption-{tag}-{}", std::process::id()))
+}
+
+/// A healthy store file for the tests to damage.
+fn store_bytes() -> Vec<u8> {
+    let dir = temp_dir("seed");
+    let path = dir.join("doc.fxs");
+    FleXPath::from_xml(XML)
+        .expect("corpus parses")
+        .save(&path, "doc")
+        .expect("store saves");
+    let bytes = std::fs::read(&path).expect("store file readable");
+    let _ = std::fs::remove_dir_all(&dir);
+    bytes
+}
+
+fn decode(bytes: &[u8]) -> Result<CorpusStore, StoreError> {
+    CorpusStore::from_bytes(bytes, &Budget::unlimited())
+}
+
+#[test]
+fn healthy_file_decodes() {
+    let store = decode(&store_bytes()).expect("undamaged file loads");
+    assert_eq!(store.name(), "doc");
+}
+
+#[test]
+fn every_truncation_point_is_a_typed_error() {
+    let bytes = store_bytes();
+    for cut in 0..bytes.len() {
+        let err = decode(&bytes[..cut]).expect_err("truncated file must not decode");
+        // The Display impl must also hold up on every variant.
+        let _ = format!("{err}");
+    }
+}
+
+#[test]
+fn every_single_byte_flip_is_detected() {
+    // The header is covered by the header CRC (and the magic/version
+    // checks before it); every payload byte is covered by its section
+    // CRC — so no flip anywhere in the file may decode successfully.
+    let bytes = store_bytes();
+    for i in 0..bytes.len() {
+        let mut bad = bytes.clone();
+        bad[i] ^= 0x40;
+        let err = decode(&bad)
+            .err()
+            .unwrap_or_else(|| panic!("flip at byte {i} went undetected"));
+        let _ = format!("{err}");
+    }
+}
+
+#[test]
+fn wrong_magic_is_typed() {
+    let mut bytes = store_bytes();
+    bytes[..8].copy_from_slice(b"NOTAFXPS");
+    assert!(matches!(decode(&bytes), Err(StoreError::BadMagic)));
+}
+
+#[test]
+fn future_version_reports_unsupported_not_checksum() {
+    // A future writer may lay the header out differently, so the version
+    // check must win over the (now stale) header CRC.
+    let mut bytes = store_bytes();
+    let future = FORMAT_VERSION + 1;
+    bytes[8..12].copy_from_slice(&future.to_le_bytes());
+    match decode(&bytes) {
+        Err(StoreError::UnsupportedVersion { found, supported }) => {
+            assert_eq!(found, future);
+            assert_eq!(supported, FORMAT_VERSION);
+        }
+        other => panic!("expected UnsupportedVersion, got {other:?}"),
+    }
+}
+
+#[test]
+fn flipped_byte_in_each_section_names_that_section() {
+    let bytes = store_bytes();
+    assert_eq!(&bytes[..8], &MAGIC);
+    // Walk the section table (16-byte fixed header, then 24-byte entries:
+    // id u32, offset u64, len u64, crc u32 — all little-endian).
+    let count = u32::from_le_bytes(bytes[12..16].try_into().unwrap()) as usize;
+    assert!(count >= 6, "expected all six sections, found {count}");
+    for i in 0..count {
+        let e = 16 + i * 24;
+        let offset = u64::from_le_bytes(bytes[e + 4..e + 12].try_into().unwrap()) as usize;
+        let len = u64::from_le_bytes(bytes[e + 12..e + 20].try_into().unwrap()) as usize;
+        if len == 0 {
+            continue;
+        }
+        let mut bad = bytes.clone();
+        bad[offset + len / 2] ^= 0xff;
+        match decode(&bad) {
+            Err(StoreError::ChecksumMismatch { .. }) => {}
+            other => panic!("section {i} flip: expected ChecksumMismatch, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn on_disk_garbage_and_truncation_are_typed_through_open() {
+    let dir = temp_dir("disk");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let garbage = dir.join("garbage.fxs");
+    std::fs::write(&garbage, b"this is not a store file").expect("write");
+    assert!(matches!(
+        CorpusStore::open(&garbage),
+        Err(StoreError::BadMagic)
+    ));
+    let bytes = store_bytes();
+    let truncated = dir.join("truncated.fxs");
+    std::fs::write(&truncated, &bytes[..bytes.len() / 2]).expect("write");
+    match CorpusStore::open(&truncated) {
+        Ok(_) => panic!("truncated file must not open"),
+        Err(e) => {
+            let _ = format!("{e}");
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

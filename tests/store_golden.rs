@@ -1,0 +1,86 @@
+//! Golden-file drift check: the committed `tests/golden/tiny.fxs` is the
+//! byte-exact serialization of a fixed tiny corpus at the current
+//! `FORMAT_VERSION`. Any change to the wire layout — container, section
+//! payloads, encoding order — flips these bytes and fails this test.
+//!
+//! That failure is the prompt: either revert the accidental layout change,
+//! or (for a deliberate format change) bump
+//! `flexpath_store::FORMAT_VERSION` and regenerate the golden file with
+//!
+//! ```text
+//! cargo test -q --test store_golden -- --ignored regenerate
+//! ```
+
+use flexpath::FleXPath;
+use flexpath_store::{StoreBuilder, FORMAT_VERSION};
+use std::path::PathBuf;
+
+/// The fixed corpus. Never edit: the golden bytes encode exactly this.
+const TINY_XML: &str = r#"<site>
+  <item id="i1"><name>gold watch</name>
+    <description><parlist><listitem>a rare gold watch</listitem></parlist></description>
+    <mailbox><mail><text>is the <bold>gold</bold> watch still available</text></mail></mailbox>
+  </item>
+  <item id="i2"><name>tin whistle</name>
+    <description>a plain tin whistle</description>
+  </item>
+</site>"#;
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/tiny.fxs")
+}
+
+fn current_bytes() -> Vec<u8> {
+    let flex = FleXPath::from_xml(TINY_XML).expect("tiny corpus parses");
+    let ctx = flex.context();
+    StoreBuilder::from_parts("tiny", ctx.doc(), ctx.stats(), ctx.index()).to_bytes()
+}
+
+#[test]
+fn format_matches_committed_golden_file() {
+    let golden = std::fs::read(golden_path()).expect(
+        "tests/golden/tiny.fxs missing — regenerate with \
+         `cargo test -q --test store_golden -- --ignored regenerate`",
+    );
+    let current = current_bytes();
+    assert_eq!(
+        current,
+        golden,
+        "store serialization drifted from the committed golden file at \
+         FORMAT_VERSION {FORMAT_VERSION} (first differing byte: {:?}). \
+         If the layout change is deliberate, bump FORMAT_VERSION and \
+         regenerate with `cargo test -q --test store_golden -- --ignored \
+         regenerate`; otherwise revert the encoding change.",
+        current
+            .iter()
+            .zip(golden.iter())
+            .position(|(a, b)| a != b)
+            .unwrap_or_else(|| current.len().min(golden.len()))
+    );
+}
+
+#[test]
+fn golden_file_still_opens_and_answers() {
+    // Drift aside, the committed bytes must decode with the current reader
+    // and answer a query — this is the backward-compatibility contract for
+    // the current FORMAT_VERSION.
+    let flex = FleXPath::open(&golden_path()).expect("golden file opens");
+    let hits = flex
+        .query("//item[./mailbox/mail/text]")
+        .expect("query parses")
+        .top(5)
+        .execute()
+        .hits;
+    assert!(!hits.is_empty(), "golden corpus has a matching item");
+}
+
+/// Regenerates the golden file. Run explicitly after a deliberate format
+/// change (with the version bump already in place):
+/// `cargo test -q --test store_golden -- --ignored regenerate`.
+#[test]
+#[ignore = "writes tests/golden/tiny.fxs; run explicitly after a format bump"]
+fn regenerate() {
+    let path = golden_path();
+    std::fs::create_dir_all(path.parent().expect("parent")).expect("golden dir");
+    std::fs::write(&path, current_bytes()).expect("write golden file");
+}
