@@ -17,6 +17,8 @@
 //! *shapes* are what EXPERIMENTS.md tracks: who wins, how gaps grow with
 //! relaxation count / K / document size, and where the algorithms tie.
 
+#![forbid(unsafe_code)]
+
 pub mod harness;
 pub mod minibench;
 pub mod report;

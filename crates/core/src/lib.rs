@@ -52,6 +52,7 @@
 
 // The facade is the public surface downstream users read first — every
 // exported item must carry a doc comment.
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
 pub mod explain;

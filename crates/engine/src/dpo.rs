@@ -47,6 +47,8 @@ use std::time::{Duration, Instant};
 /// rounds, which by Theorem 3 is a prefix of the unbounded run's ranking
 /// under structure-first order.
 pub fn dpo_topk(ctx: &EngineContext, request: &TopKRequest) -> TopKResult {
+    // lint:allow(determinism): wall-clock feeds only duration stats, which
+    // the trace/counter fingerprints exclude.
     let started = Instant::now();
     let mut tracer = if request.collect_trace {
         Tracer::enabled("dpo")
@@ -86,6 +88,8 @@ pub fn dpo_topk(ctx: &EngineContext, request: &TopKRequest) -> TopKResult {
 
     let mut stats = ExecStats::default();
     let mut answers: Vec<Answer> = Vec::new();
+    // lint:allow(determinism): membership-only dedup set — never iterated,
+    // so its order cannot reach answers or fingerprints.
     let mut seen: HashSet<flexpath_xmldom::NodeId> = HashSet::new();
     // The structural score at which we had ≥ K answers (Combined pruning).
     let mut ss_at_k: Option<f64> = None;
@@ -155,6 +159,8 @@ pub fn dpo_topk(ctx: &EngineContext, request: &TopKRequest) -> TopKResult {
         // happens at merge time, in round order, exactly as the sequential
         // loop interleaves it.
         let evaluated: Vec<(Vec<Answer>, u64, u64, Duration)> = fan_out(batch, batch, |bi| {
+            // lint:allow(determinism): per-round duration only; durations
+            // are excluded from the counter fingerprint.
             let round_started = Instant::now();
             let round = next_round + bi;
             let round_query = if round == 0 {
@@ -175,6 +181,8 @@ pub fn dpo_topk(ctx: &EngineContext, request: &TopKRequest) -> TopKResult {
                 &budget,
             );
             let mut round_delta: Vec<Answer> = Vec::new();
+            // lint:allow(determinism): membership-only dedup set — never
+            // iterated; cross-round merge applies `seen` in round order.
             let mut round_seen: HashSet<flexpath_xmldom::NodeId> = HashSet::new();
             let mut intermediates = 0u64;
             let mut on_answer = |a: Answer| {

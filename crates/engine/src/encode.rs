@@ -264,6 +264,8 @@ impl EncodedQuery {
                 Some(i) => i,
                 // Relaxation operators never invent variables; a miss here
                 // is an engine bug, not reachable from user input.
+                // lint:allow(panic): internal invariant — every relaxation
+                // step rewrites edges over the original variable set.
                 None => unreachable!("relaxed query variable missing from original"),
             }
         };

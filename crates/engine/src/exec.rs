@@ -344,6 +344,8 @@ impl Evaluator<'_> {
                 return false;
             }
         }
+        // lint:allow(governor): iterates the query's attribute specs —
+        // query-arity-sized, not corpus-sized.
         for (name, pred, mode) in &spec.attrs {
             let actual = name.and_then(|sym| self.ctx.doc().attribute(d, sym));
             let ok = match (mode, self.enc.attr_relax) {

@@ -26,7 +26,7 @@ use crate::score::{PenaltyModel, RankingScheme};
 use crate::sso::choose_prefix;
 use crate::topk::{sort_answers, Answer, ExecStats, TopKRequest, TopKResult};
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::{BTreeMap, BinaryHeap};
 use std::time::Instant;
 
 /// An `f64` ordered by `total_cmp` (usable in a heap).
@@ -53,6 +53,8 @@ impl Ord for TotalF64 {
 /// (the surviving buckets at the moment the budget tripped), not a
 /// guaranteed rank prefix of the unbounded run.
 pub fn hybrid_topk(ctx: &EngineContext, request: &TopKRequest) -> TopKResult {
+    // lint:allow(determinism): wall-clock feeds only duration stats, which
+    // the trace/counter fingerprints exclude.
     let started = Instant::now();
     let mut tracer = if request.collect_trace {
         Tracer::enabled("hybrid")
@@ -105,7 +107,9 @@ pub fn hybrid_topk(ctx: &EngineContext, request: &TopKRequest) -> TopKResult {
         RankingScheme::StructureFirst => 0.0,
     };
 
-    let mut buckets: HashMap<u64, Vec<Answer>> = HashMap::new();
+    // BTreeMap so the bucket concatenation below visits equal-ss buckets in
+    // key order — the stable sort then yields one deterministic ranking.
+    let mut buckets: BTreeMap<u64, Vec<Answer>> = BTreeMap::new();
     loop {
         if budget.check_now() {
             break;
@@ -216,6 +220,8 @@ pub fn hybrid_topk(ctx: &EngineContext, request: &TopKRequest) -> TopKResult {
         buckets.into_values().map(|v| (v[0].score.ss, v)).collect();
     keyed.sort_by(|a, b| b.0.total_cmp(&a.0));
     let mut taken = 0usize;
+    // lint:allow(governor): post-search concatenation of surviving buckets —
+    // every answer here was already charged to the budget when produced.
     for (ss, bucket) in keyed {
         // Buckets that can no longer contribute are dropped wholesale
         // ("pruning of intermediate answers translates to elimination of

@@ -430,6 +430,8 @@ impl Tracer {
         Tracer {
             frames: vec![Frame {
                 span: TraceSpan::new(root),
+                // lint:allow(determinism): span durations are display-only;
+                // fingerprint() skips duration fields.
                 started: Instant::now(),
             }],
         }
@@ -445,6 +447,8 @@ impl Tracer {
         if self.is_enabled() {
             self.frames.push(Frame {
                 span: TraceSpan::new(name),
+                // lint:allow(determinism): span durations are display-only;
+                // fingerprint() skips duration fields.
                 started: Instant::now(),
             });
         }

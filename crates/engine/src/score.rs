@@ -24,7 +24,7 @@
 use crate::context::EngineContext;
 use flexpath_ftsearch::{Budget, FtExpr};
 use flexpath_tpq::{Predicate, Tpq, Var};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Per-predicate weights `w_Q`. The paper fixes `w(contains) = 1` and lets
 /// structural weights be user-specified; `uniform()` (the default, used by
@@ -32,7 +32,7 @@ use std::collections::HashMap;
 #[derive(Debug, Clone)]
 pub struct WeightAssignment {
     default_structural: f64,
-    overrides: HashMap<Predicate, f64>,
+    overrides: BTreeMap<Predicate, f64>,
 }
 
 impl Default for WeightAssignment {
@@ -46,7 +46,7 @@ impl WeightAssignment {
     pub fn uniform() -> Self {
         WeightAssignment {
             default_structural: 1.0,
-            overrides: HashMap::new(),
+            overrides: BTreeMap::new(),
         }
     }
 
@@ -54,7 +54,7 @@ impl WeightAssignment {
     pub fn structural(w: f64) -> Self {
         WeightAssignment {
             default_structural: w,
-            overrides: HashMap::new(),
+            overrides: BTreeMap::new(),
         }
     }
 
@@ -82,9 +82,9 @@ impl WeightAssignment {
 /// The data-derived penalty model for one (query, document) pair.
 pub struct PenaltyModel {
     /// Tag of each original query variable (`None` = wildcard).
-    var_tags: HashMap<Var, Option<Box<str>>>,
+    var_tags: BTreeMap<Var, Option<Box<str>>>,
     /// Original query parent of each variable.
-    var_parent: HashMap<Var, Var>,
+    var_parent: BTreeMap<Var, Var>,
     weights: WeightAssignment,
 }
 
@@ -93,8 +93,8 @@ impl PenaltyModel {
     /// from the *original* query — penalties are properties of the original
     /// closure, independent of how far relaxation has progressed).
     pub fn new(original: &Tpq, weights: WeightAssignment) -> Self {
-        let mut var_tags = HashMap::new();
-        let mut var_parent = HashMap::new();
+        let mut var_tags = BTreeMap::new();
+        let mut var_parent = BTreeMap::new();
         for (idx, node) in original.nodes().iter().enumerate() {
             var_tags.insert(node.var, node.tag.clone());
             if let Some(p) = node.parent {

@@ -95,6 +95,8 @@ pub(crate) fn choose_prefix(
 /// not guaranteed to be a rank prefix of the unbounded run (documented in
 /// DESIGN.md).
 pub fn sso_topk(ctx: &EngineContext, request: &TopKRequest) -> TopKResult {
+    // lint:allow(determinism): wall-clock feeds only duration stats, which
+    // the trace/counter fingerprints exclude.
     let started = Instant::now();
     let mut tracer = if request.collect_trace {
         Tracer::enabled("sso")

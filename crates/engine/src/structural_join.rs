@@ -39,6 +39,9 @@ pub fn stack_tree_desc_budgeted(
             break;
         }
         // Push every ancestor-candidate that starts before `d`.
+        // lint:allow(governor): `ai` is a monotone cursor — this loop visits
+        // each ancestor once across the whole join, and the enclosing
+        // per-descendant loop checkpoints the budget.
         while ai < ancestors.len() && doc.start(ancestors[ai]) < doc.start(d) {
             let a = ancestors[ai];
             // Pop candidates that ended before this one starts.

@@ -71,11 +71,13 @@ impl FtExpr {
     /// Builds a [`FtExpr::Term`], tokenizing and stemming `word`. Multi-word
     /// input becomes a [`FtExpr::Phrase`].
     pub fn term(word: &str) -> FtExpr {
-        let toks: Vec<String> = tokenize(word).iter().map(|t| stem(t)).collect();
-        match toks.len() {
-            0 => FtExpr::Phrase(Vec::new()), // degenerate: satisfied nowhere
-            1 => FtExpr::Term(toks.into_iter().next().unwrap()),
-            _ => FtExpr::Phrase(toks),
+        let mut toks: Vec<String> = tokenize(word).iter().map(|t| stem(t)).collect();
+        if toks.len() > 1 {
+            return FtExpr::Phrase(toks);
+        }
+        match toks.pop() {
+            Some(only) => FtExpr::Term(only),
+            None => FtExpr::Phrase(Vec::new()), // degenerate: satisfied nowhere
         }
     }
 
@@ -214,10 +216,13 @@ impl<'a> FtParser<'a> {
         while self.eat_keyword("or") {
             parts.push(self.parse_and()?);
         }
-        Ok(if parts.len() == 1 {
-            parts.pop().unwrap()
-        } else {
-            FtExpr::Or(parts)
+        Ok(match parts.pop() {
+            Some(only) if parts.is_empty() => only,
+            Some(last) => {
+                parts.push(last);
+                FtExpr::Or(parts)
+            }
+            None => FtExpr::Phrase(Vec::new()),
         })
     }
 
@@ -226,10 +231,13 @@ impl<'a> FtParser<'a> {
         while self.eat_keyword("and") {
             parts.push(self.parse_unary()?);
         }
-        Ok(if parts.len() == 1 {
-            parts.pop().unwrap()
-        } else {
-            FtExpr::And(parts)
+        Ok(match parts.pop() {
+            Some(only) if parts.is_empty() => only,
+            Some(last) => {
+                parts.push(last);
+                FtExpr::And(parts)
+            }
+            None => FtExpr::Phrase(Vec::new()),
         })
     }
 

@@ -69,6 +69,8 @@ impl Posting {
 /// The inverted index over one document.
 #[derive(Debug, Clone)]
 pub struct InvertedIndex {
+    // lint:allow(determinism): never iterated on an output path — lookups
+    // are keyed, df sums are order-free, and encode() sorts terms first.
     postings: HashMap<Box<str>, Posting>,
     /// Elements with at least one direct text token (the `N` of idf).
     scoring_elements: u64,
@@ -82,6 +84,8 @@ pub struct InvertedIndex {
 impl InvertedIndex {
     /// Builds the index in one pass over the document's text nodes.
     pub fn build(doc: &Document) -> Self {
+        // lint:allow(determinism): hot build-path map; see the field note —
+        // no iteration order reaches scores or serialized bytes.
         let mut postings: HashMap<Box<str>, Posting> = HashMap::new();
         let mut scoring: Vec<bool> = vec![false; doc.node_count()];
         let mut direct_tokens: Vec<u64> = vec![0; doc.node_count()];
@@ -91,9 +95,11 @@ impl InvertedIndex {
             let Some(text) = doc.text_content(n) else {
                 continue;
             };
-            let parent = doc
-                .parent(n)
-                .expect("text nodes always have an element parent");
+            // Text nodes always have an element parent; a root text node
+            // cannot exist in a well-formed document, so skip defensively.
+            let Some(parent) = doc.parent(n) else {
+                continue;
+            };
             scoring[parent.index()] = true;
             for_each_token(text, |tok| {
                 let stemmed = stem(tok);
@@ -252,6 +258,8 @@ impl InvertedIndex {
         let scoring_elements = tr.u64()?;
         let term_count = tr.count(12)?;
         let mut pr = ByteReader::new(posting_bytes);
+        // lint:allow(determinism): decode-path map, keyed lookups only; the
+        // serialized form it came from is already sorted.
         let mut postings: HashMap<Box<str>, Posting> = HashMap::with_capacity(term_count);
         let mut direct_tokens: Vec<u64> = vec![0; node_count];
         let mut total_tokens = 0u64;

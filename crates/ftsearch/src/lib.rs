@@ -31,6 +31,8 @@
 //! assert!(eval.score(&doc, article) > 0.0);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod budget;
 pub mod cache;
 pub mod eval;

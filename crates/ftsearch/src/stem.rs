@@ -27,7 +27,9 @@ pub fn stem(word: &str) -> String {
     step_4(&mut w);
     step_5a(&mut w);
     step_5b(&mut w);
-    String::from_utf8(w).expect("stemmer operates on ASCII")
+    // The stemmer only ever shrinks/rewrites ASCII bytes, so this cannot
+    // lose data; lossy conversion keeps the path panic-free regardless.
+    String::from_utf8_lossy(&w).into_owned()
 }
 
 /// Is `w[i]` a consonant (Porter's definition: `y` is a consonant when it

@@ -1,0 +1,32 @@
+//! Known-bad fixture: nondeterminism sources in a fingerprinted module.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+pub fn hash_map_site(keys: &[u32]) -> Vec<u32> {
+    let mut m: HashMap<u32, u32> = HashMap::new();
+    for &k in keys {
+        m.insert(k, k * 2);
+    }
+    m.into_values().collect()
+}
+
+pub fn clock_site() -> bool {
+    let t = Instant::now();
+    t.elapsed().as_nanos() % 2 == 0
+}
+
+pub fn wall_clock_site() -> u64 {
+    let _ = std::time::SystemTime::now();
+    0
+}
+
+pub fn thread_identity_site() -> String {
+    format!("{:?}", std::thread::current().id())
+}
+
+pub fn unjustified_escape(keys: &[u32]) -> usize {
+    // lint:allow(determinism)
+    let m: std::collections::HashSet<u32> = keys.iter().copied().collect();
+    m.len()
+}

@@ -1,0 +1,81 @@
+//! Allowed fixture: budgeted, transitively budgeted, trivial, and
+//! justified loops — none of these may fire the governor rule.
+
+pub struct Budget;
+
+impl Budget {
+    pub fn checkpoint(&mut self) -> Result<(), ()> {
+        Ok(())
+    }
+    pub fn charge_answer(&mut self, _n: u64) -> Result<(), ()> {
+        Ok(())
+    }
+}
+
+pub fn direct_checkpoint(budget: &mut Budget, candidates: &[u64]) -> Result<u64, ()> {
+    let mut acc = 0u64;
+    for &node in candidates {
+        budget.checkpoint()?;
+        let mut weight = 1u64;
+        if node % 2 == 0 {
+            weight += node * 3;
+        } else {
+            weight += node / 2;
+        }
+        acc += weight;
+        if acc > 1_000_000 {
+            acc /= 2;
+        }
+    }
+    Ok(acc)
+}
+
+fn charge_step(budget: &mut Budget, node: u64) -> Result<u64, ()> {
+    budget.charge_answer(1)?;
+    Ok(node * 2)
+}
+
+pub fn transitively_budgeted(budget: &mut Budget, candidates: &[u64]) -> Result<u64, ()> {
+    let mut acc = 0u64;
+    for &node in candidates {
+        let scored = charge_step(budget, node)?;
+        let mut weight = 1u64;
+        if scored % 2 == 0 {
+            weight += scored * 3;
+        } else {
+            weight += scored / 2;
+        }
+        acc += weight;
+        if acc > 1_000_000 {
+            acc /= 2;
+        }
+    }
+    Ok(acc)
+}
+
+pub fn trivial_loop(pairs: &[(u64, u64)]) -> u64 {
+    let mut acc = 0;
+    for (a, b) in pairs {
+        acc += a + b;
+    }
+    acc
+}
+
+pub fn justified_loop(buckets: &[Vec<u64>]) -> u64 {
+    let mut acc = 0u64;
+    // lint:allow(governor): post-search concatenation — every element was
+    // already charged when the buckets were built.
+    for bucket in buckets {
+        for &node in bucket {
+            if node % 2 == 0 {
+                acc += node * 3;
+            } else {
+                acc += node / 2;
+            }
+            if acc > 1_000_000 {
+                acc /= 2;
+            }
+        }
+    }
+    acc
+}

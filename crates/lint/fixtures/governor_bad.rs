@@ -1,0 +1,61 @@
+//! Known-bad fixture: non-trivial loops that never observe the governor.
+
+pub struct Answer {
+    pub node: u64,
+    pub score: f64,
+}
+
+pub fn unbudgeted_for(candidates: &[u64], out: &mut Vec<Answer>) {
+    for &node in candidates {
+        let mut score = 0.0;
+        let mut weight = 1.0;
+        for _ in 0..3 {
+            weight *= 0.5;
+        }
+        score += weight * (node as f64);
+        if score > 0.25 {
+            out.push(Answer { node, score });
+        }
+        if out.len() > 1024 {
+            out.sort_by(|a, b| b.score.total_cmp(&a.score));
+            out.truncate(512);
+        }
+    }
+}
+
+pub fn unbudgeted_while(postings: &[u32]) -> u64 {
+    let mut i = 0;
+    let mut acc = 0u64;
+    while i < postings.len() {
+        let p = postings.get(i).copied().unwrap_or(0);
+        if p % 2 == 0 {
+            acc += u64::from(p) * 3;
+        } else {
+            acc += u64::from(p) / 2;
+        }
+        if acc > 1_000_000 {
+            acc /= 2;
+        }
+        i += 1;
+    }
+    acc
+}
+
+pub fn unbudgeted_loop(stream: &mut impl Iterator<Item = u32>) -> u64 {
+    let mut acc = 0u64;
+    loop {
+        let Some(p) = stream.next() else { break };
+        if p % 2 == 0 {
+            acc += u64::from(p) * 3;
+        } else {
+            acc += u64::from(p) / 2;
+        }
+        if acc > 1_000_000 {
+            acc /= 2;
+        }
+        if acc == 42 {
+            break;
+        }
+    }
+    acc
+}

@@ -1,0 +1,50 @@
+//! Allowed fixture: every escape hatch must suppress the panic rule.
+
+#[allow(clippy::unwrap_used)]
+pub fn attr_unwrap(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+
+#[allow(clippy::expect_used)]
+pub fn attr_expect(x: Option<u32>) -> u32 {
+    x.expect("documented contract")
+}
+
+#[allow(clippy::panic, clippy::unreachable)]
+pub fn attr_macros(flag: bool) {
+    if flag {
+        panic!("documented contract");
+    }
+    unreachable!()
+}
+
+pub fn comment_escape(x: Option<u32>) -> u32 {
+    // lint:allow(panic): caller proves Some on this path.
+    x.unwrap()
+}
+
+#[allow(clippy::indexing_slicing)]
+pub fn attr_index(bytes: &[u8]) -> u8 {
+    bytes[0]
+}
+
+pub fn guarded_index(bytes: &[u8]) -> u8 {
+    // lint:allow(panic): length checked by the caller's header parse.
+    bytes[0]
+}
+
+#[allow(unsafe_code)]
+pub fn attr_unsafe(p: *const u8) -> u8 {
+    unsafe { *p }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_is_exempt() {
+        let v: Option<u32> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+        let b = [1u8, 2];
+        assert_eq!(b[0], 1);
+    }
+}

@@ -1,0 +1,32 @@
+//! Known-bad fixture: every panic-policy pattern must fire.
+
+pub fn unwrap_site(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+
+pub fn expect_site(x: Option<u32>) -> u32 {
+    x.expect("present")
+}
+
+pub fn macro_sites(flag: bool) {
+    if flag {
+        panic!("boom");
+    }
+    unreachable!()
+}
+
+pub fn todo_site() {
+    todo!()
+}
+
+pub fn index_site(bytes: &[u8]) -> u8 {
+    bytes[0]
+}
+
+pub fn slice_site(bytes: &[u8]) -> &[u8] {
+    &bytes[1..4]
+}
+
+pub fn unsafe_site(p: *const u8) -> u8 {
+    unsafe { *p }
+}

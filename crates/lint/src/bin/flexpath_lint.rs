@@ -1,0 +1,82 @@
+//! Command-line front-end for the workspace invariant checker.
+//!
+//! ```text
+//! flexpath-lint [--root DIR] [--json PATH] [--quiet]
+//! ```
+//!
+//! Exit codes: 0 = clean, 1 = violations found, 2 = usage/IO error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut json_out: Option<PathBuf> = None;
+    let mut quiet = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(v) => root = PathBuf::from(v),
+                None => return usage("--root needs a directory"),
+            },
+            "--json" => match args.next() {
+                Some(v) => json_out = Some(PathBuf::from(v)),
+                None => return usage("--json needs a path"),
+            },
+            "--quiet" => quiet = true,
+            "--help" | "-h" => {
+                println!("usage: flexpath-lint [--root DIR] [--json PATH] [--quiet]");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument {other:?}")),
+        }
+    }
+
+    // Convenience: when launched via `cargo run -p flexpath-lint` from a
+    // subdirectory, walk up to the directory that has a `crates/` tree.
+    if !root.join("crates").is_dir() {
+        let mut cur = root.canonicalize().unwrap_or_else(|_| root.clone());
+        while let Some(parent) = cur.parent() {
+            if cur.join("crates").is_dir() {
+                break;
+            }
+            cur = parent.to_path_buf();
+        }
+        if cur.join("crates").is_dir() {
+            root = cur;
+        }
+    }
+
+    let report = match flexpath_lint::lint_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("flexpath-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if let Some(path) = json_out {
+        if let Err(e) = std::fs::write(&path, report.render_json()) {
+            eprintln!("flexpath-lint: writing {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+    if !quiet {
+        print!("{}", report.render_text());
+        eprintln!(
+            "flexpath-lint: {} file(s) scanned, {} violation(s)",
+            report.files_scanned,
+            report.violations.len()
+        );
+    }
+    if report.violations.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("flexpath-lint: {msg}\nusage: flexpath-lint [--root DIR] [--json PATH] [--quiet]");
+    ExitCode::from(2)
+}

@@ -1,0 +1,477 @@
+//! A self-contained Rust lexer producing line-numbered tokens.
+//!
+//! The workspace deliberately takes no external dependencies, so instead of
+//! `syn` the linter carries its own lexer. It handles everything the rules
+//! need to see token boundaries correctly: nested block comments, raw
+//! strings with arbitrary `#` counts, byte/C strings, char literals vs
+//! lifetimes, raw identifiers, and numeric literals (so that `0..len` never
+//! fuses into a malformed float). Comments are not tokens; line comments are
+//! collected into a side table because the `// lint:allow(...)` escape
+//! hatches live there.
+
+use std::collections::BTreeMap;
+
+/// Bracketing delimiter of a [`TokKind::Open`]/[`TokKind::Close`] pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Delim {
+    /// `(` `)`
+    Paren,
+    /// `[` `]`
+    Bracket,
+    /// `{` `}`
+    Brace,
+}
+
+/// What a token is. Text is carried on [`Tok`] for the kinds that need it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`fn`, `HashMap`, `r#type` with the `r#`
+    /// stripped).
+    Ident,
+    /// `'a` — a lifetime or loop label, not a char literal.
+    Lifetime,
+    /// Any string-ish literal (`"…"`, `r#"…"#`, `b"…"`, `c"…"`). Text is
+    /// the raw inner contents, escapes unprocessed.
+    Str,
+    /// Char or byte literal (`'x'`, `b'\n'`).
+    Char,
+    /// Numeric literal.
+    Num,
+    /// Single punctuation character (multi-char operators arrive as
+    /// adjacent tokens; the rules match sequences where needed).
+    Punct(char),
+    /// Opening delimiter.
+    Open(Delim),
+    /// Closing delimiter.
+    Close(Delim),
+}
+
+/// One lexed token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// Token classification.
+    pub kind: TokKind,
+    /// Source text for `Ident`/`Str` (inner contents); empty otherwise.
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+impl Tok {
+    /// Whether this token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// Whether this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct(c)
+    }
+}
+
+/// Lexer output: the token stream plus every `//` comment keyed by line.
+#[derive(Debug)]
+pub struct Lexed {
+    /// Tokens in source order.
+    pub toks: Vec<Tok>,
+    /// Line-comment text (without the `//`) per 1-based line. A line with
+    /// several `//` comments keeps the last, which is the trailing one.
+    pub comments: BTreeMap<u32, String>,
+}
+
+/// Lexes `src`, failing with a diagnostic on unterminated constructs.
+pub fn lex(src: &str) -> Result<Lexed, String> {
+    Lexer {
+        bytes: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        toks: Vec::new(),
+        comments: BTreeMap::new(),
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+    toks: Vec<Tok>,
+    comments: BTreeMap<u32, String>,
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+impl Lexer<'_> {
+    fn peek(&self, off: usize) -> u8 {
+        self.bytes.get(self.pos + off).copied().unwrap_or(0)
+    }
+
+    fn bump(&mut self) -> u8 {
+        let b = self.peek(0);
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+        }
+        b
+    }
+
+    fn push(&mut self, kind: TokKind, text: String, line: u32) {
+        self.toks.push(Tok { kind, text, line });
+    }
+
+    fn run(mut self) -> Result<Lexed, String> {
+        while self.pos < self.bytes.len() {
+            let line = self.line;
+            let b = self.peek(0);
+            match b {
+                b' ' | b'\t' | b'\r' | b'\n' => {
+                    self.bump();
+                }
+                b'/' if self.peek(1) == b'/' => self.line_comment(),
+                b'/' if self.peek(1) == b'*' => self.block_comment()?,
+                b'"' => self.string(line)?,
+                b'\'' => self.char_or_lifetime(line)?,
+                b'(' => self.delim(TokKind::Open(Delim::Paren), line),
+                b')' => self.delim(TokKind::Close(Delim::Paren), line),
+                b'[' => self.delim(TokKind::Open(Delim::Bracket), line),
+                b']' => self.delim(TokKind::Close(Delim::Bracket), line),
+                b'{' => self.delim(TokKind::Open(Delim::Brace), line),
+                b'}' => self.delim(TokKind::Close(Delim::Brace), line),
+                b if b.is_ascii_digit() => self.number(line),
+                b if is_ident_start(b) => self.ident_or_prefixed(line)?,
+                _ => {
+                    self.bump();
+                    self.push(TokKind::Punct(b as char), String::new(), line);
+                }
+            }
+        }
+        Ok(Lexed {
+            toks: self.toks,
+            comments: self.comments,
+        })
+    }
+
+    fn delim(&mut self, kind: TokKind, line: u32) {
+        self.bump();
+        self.push(kind, String::new(), line);
+    }
+
+    fn line_comment(&mut self) {
+        let line = self.line;
+        self.pos += 2; // the `//`
+        let start = self.pos;
+        while self.pos < self.bytes.len() && self.peek(0) != b'\n' {
+            self.pos += 1;
+        }
+        let text = String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned();
+        self.comments.insert(line, text);
+    }
+
+    fn block_comment(&mut self) -> Result<(), String> {
+        let start_line = self.line;
+        self.bump();
+        self.bump();
+        let mut depth = 1usize;
+        while depth > 0 {
+            if self.pos >= self.bytes.len() {
+                return Err(format!("unterminated block comment at line {start_line}"));
+            }
+            if self.peek(0) == b'/' && self.peek(1) == b'*' {
+                self.bump();
+                self.bump();
+                depth += 1;
+            } else if self.peek(0) == b'*' && self.peek(1) == b'/' {
+                self.bump();
+                self.bump();
+                depth -= 1;
+            } else {
+                self.bump();
+            }
+        }
+        Ok(())
+    }
+
+    /// Plain `"…"` string with escapes.
+    fn string(&mut self, line: u32) -> Result<(), String> {
+        self.bump(); // opening quote
+        let start = self.pos;
+        loop {
+            if self.pos >= self.bytes.len() {
+                return Err(format!("unterminated string literal at line {line}"));
+            }
+            match self.peek(0) {
+                b'\\' => {
+                    self.bump();
+                    self.bump();
+                }
+                b'"' => break,
+                _ => {
+                    self.bump();
+                }
+            }
+        }
+        let text = String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned();
+        self.bump(); // closing quote
+        self.push(TokKind::Str, text, line);
+        Ok(())
+    }
+
+    /// `r#"…"#` with any number of `#`s (the `r`/`b`/`c` prefix is already
+    /// consumed by the caller).
+    fn raw_string(&mut self, line: u32) -> Result<(), String> {
+        let mut hashes = 0usize;
+        while self.peek(0) == b'#' {
+            self.bump();
+            hashes += 1;
+        }
+        if self.peek(0) != b'"' {
+            return Err(format!("malformed raw string at line {line}"));
+        }
+        self.bump();
+        let start = self.pos;
+        'search: loop {
+            if self.pos >= self.bytes.len() {
+                return Err(format!("unterminated raw string at line {line}"));
+            }
+            if self.peek(0) == b'"' {
+                for h in 0..hashes {
+                    if self.peek(1 + h) != b'#' {
+                        self.bump();
+                        continue 'search;
+                    }
+                }
+                break;
+            }
+            self.bump();
+        }
+        let text = String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned();
+        self.bump(); // closing quote
+        for _ in 0..hashes {
+            self.bump();
+        }
+        self.push(TokKind::Str, text, line);
+        Ok(())
+    }
+
+    /// `'a` (lifetime/label) vs `'x'` / `'\n'` (char literal).
+    fn char_or_lifetime(&mut self, line: u32) -> Result<(), String> {
+        self.bump(); // the quote
+        if self.peek(0) == b'\\' {
+            // Escaped char literal: consume until the closing quote.
+            self.bump();
+            self.bump(); // the escaped character (enough for \u{…} below)
+            while self.pos < self.bytes.len() && self.peek(0) != b'\'' {
+                self.bump();
+            }
+            if self.pos >= self.bytes.len() {
+                return Err(format!("unterminated char literal at line {line}"));
+            }
+            self.bump();
+            self.push(TokKind::Char, String::new(), line);
+            return Ok(());
+        }
+        if is_ident_start(self.peek(0)) || self.peek(0).is_ascii_digit() {
+            // Could be 'a' (char) or 'a (lifetime): a closing quote right
+            // after a single character decides.
+            let mut len = 1usize;
+            while is_ident_continue(self.peek(len)) {
+                len += 1;
+            }
+            if self.peek(len) == b'\'' {
+                // Char literal — `len` may exceed 1 for multi-byte chars
+                // like '…' (a lifetime is never followed by a quote).
+                for _ in 0..len + 1 {
+                    self.bump();
+                }
+                self.push(TokKind::Char, String::new(), line);
+            } else {
+                let start = self.pos;
+                for _ in 0..len {
+                    self.bump();
+                }
+                let text = String::from_utf8_lossy(&self.bytes[start..start + len]).into_owned();
+                self.push(TokKind::Lifetime, text, line);
+            }
+            return Ok(());
+        }
+        // Punctuation char literal like '(' or ' '.
+        if self.peek(1) == b'\'' {
+            self.bump();
+            self.bump();
+            self.push(TokKind::Char, String::new(), line);
+            return Ok(());
+        }
+        Err(format!("malformed char literal at line {line}"))
+    }
+
+    fn number(&mut self, line: u32) {
+        // Integer part (covers 0x/0b/0o and type suffixes via the
+        // alphanumeric sweep).
+        while is_ident_continue(self.peek(0)) {
+            self.bump();
+        }
+        // Fraction only when `.` is followed by a digit — keeps `0..len`
+        // and `1.max(x)` as separate tokens.
+        if self.peek(0) == b'.' && self.peek(1).is_ascii_digit() {
+            self.bump();
+            while is_ident_continue(self.peek(0)) {
+                self.bump();
+            }
+        }
+        // Exponent sign (`1e-3` — the `e` was consumed by the sweep).
+        if (self.peek(0) == b'+' || self.peek(0) == b'-')
+            && matches!(self.bytes.get(self.pos.wrapping_sub(1)), Some(b'e' | b'E'))
+            && self.peek(1).is_ascii_digit()
+        {
+            self.bump();
+            while is_ident_continue(self.peek(0)) {
+                self.bump();
+            }
+        }
+        self.push(TokKind::Num, String::new(), line);
+    }
+
+    /// Identifier, keyword, raw identifier, or a string prefix (`r"`,
+    /// `b"`, `br#"`, `c"`, `b'x'`).
+    fn ident_or_prefixed(&mut self, line: u32) -> Result<(), String> {
+        let start = self.pos;
+        let mut len = 0usize;
+        while is_ident_continue(self.peek(len)) {
+            len += 1;
+        }
+        let word = &self.bytes[start..start + len];
+        let next = self.peek(len);
+        match word {
+            // `b"…"`/`c"…"` are escape-processed strings with a prefix.
+            b"b" | b"c" if next == b'"' => {
+                self.bump();
+                return self.string(line);
+            }
+            // `r"…"`/`r#"…"#` (and br/cr variants) are raw strings — but
+            // `r#ident` is a raw identifier.
+            b"r" | b"br" | b"cr" if next == b'"' || next == b'#' => {
+                if word == b"r" && next == b'#' && is_ident_start(self.peek(len + 1)) {
+                    self.bump(); // r
+                    self.bump(); // #
+                    let istart = self.pos;
+                    while is_ident_continue(self.peek(0)) {
+                        self.bump();
+                    }
+                    let text = String::from_utf8_lossy(&self.bytes[istart..self.pos]).into_owned();
+                    self.push(TokKind::Ident, text, line);
+                    return Ok(());
+                }
+                for _ in 0..len {
+                    self.bump();
+                }
+                return self.raw_string(line);
+            }
+            b"b" if next == b'\'' => {
+                self.bump(); // b
+                return self.char_or_lifetime(line);
+            }
+            _ => {}
+        }
+        for _ in 0..len {
+            self.bump();
+        }
+        let text = String::from_utf8_lossy(word).into_owned();
+        self.push(TokKind::Ident, text, line);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .unwrap()
+            .toks
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn basic_tokens_and_lines() {
+        let l = lex("fn main() {\n  x.unwrap();\n}").unwrap();
+        assert!(l.toks[0].is_ident("fn"));
+        let unwrap = l.toks.iter().find(|t| t.is_ident("unwrap")).unwrap();
+        assert_eq!(unwrap.line, 2);
+    }
+
+    #[test]
+    fn strings_do_not_leak_tokens() {
+        // Contents of strings must never look like code to the rules.
+        assert_eq!(
+            idents(r#"let s = "x.unwrap() // not a comment";"#),
+            ["let", "s"]
+        );
+        let l = lex(r##"let s = r#"He said "hi" \ "#;"##).unwrap();
+        assert_eq!(l.toks.iter().filter(|t| t.kind == TokKind::Str).count(), 1);
+    }
+
+    #[test]
+    fn byte_and_c_strings() {
+        let l = lex("let a = b\"a\\\"b\"; let d = c\"z\"; let e = br##\"x\"# y\"##;").unwrap();
+        let strs: Vec<&str> = l
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Str)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(strs, ["a\\\"b", "z", "x\"# y"]);
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let l = lex("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }").unwrap();
+        assert_eq!(
+            l.toks
+                .iter()
+                .filter(|t| t.kind == TokKind::Lifetime)
+                .count(),
+            2
+        );
+        assert_eq!(l.toks.iter().filter(|t| t.kind == TokKind::Char).count(), 2);
+    }
+
+    #[test]
+    fn nested_block_comments_and_line_comments() {
+        let l = lex("a /* x /* y */ z */ b // trailing note\nc").unwrap();
+        assert_eq!(idents("a /* x /* y */ z */ b // note\nc"), ["a", "b", "c"]);
+        assert_eq!(
+            l.comments.get(&1).map(String::as_str),
+            Some(" trailing note")
+        );
+    }
+
+    #[test]
+    fn ranges_do_not_fuse_into_floats() {
+        let l = lex("for i in 0..len {}").unwrap();
+        let dots = l.toks.iter().filter(|t| t.is_punct('.')).count();
+        assert_eq!(dots, 2);
+        assert!(l.toks.iter().any(|t| t.is_ident("len")));
+    }
+
+    #[test]
+    fn raw_identifiers() {
+        assert_eq!(idents("let r#type = 1;"), ["let", "type"]);
+    }
+
+    #[test]
+    fn unterminated_constructs_error() {
+        assert!(lex("let s = \"abc").is_err());
+        assert!(lex("/* never closed").is_err());
+        assert!(lex("let s = r#\"abc\"").is_err());
+    }
+}

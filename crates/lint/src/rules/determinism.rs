@@ -1,0 +1,98 @@
+//! Rule family 2: determinism in fingerprinted paths.
+//!
+//! The schedule/score/trace fingerprints (Theorem 3's rank-prefix guarantee
+//! and the `tests/determinism.rs` matrix) require that nothing
+//! order-unstable or wall-clock-dependent reaches scored output. In the
+//! modules on those paths this rule flags:
+//!
+//! * `HashMap` / `HashSet` — iteration order varies per process (RandomState
+//!   seeding); use `BTreeMap`/`BTreeSet` or prove the order never escapes.
+//! * `Instant::now` / `SystemTime` / `thread::current` — wall-clock and
+//!   thread-identity reads must not feed fingerprinted values.
+//!
+//! Escape: `// lint:allow(determinism): <why the order/time cannot reach
+//! output>` on the site's line or the line above. `use` declarations are not
+//! flagged — the rule fires where a type is actually named in code, so one
+//! justified escape marks the construction site, not the import list.
+
+use super::{FileModel, Violation};
+use crate::lexer::TokKind;
+
+/// Rule id used in reports.
+pub const RULE: &str = "determinism";
+
+/// Runs the determinism family over one file.
+pub fn check(m: &FileModel, out: &mut Vec<Violation>) {
+    let toks = &m.toks;
+    // Tracks whether we are inside a `use …;` declaration (imports are
+    // exempt; `use` is a strict keyword so the ident check is unambiguous,
+    // and use-trees cannot contain `;`).
+    let mut in_use = false;
+    for (i, st) in toks.iter().enumerate() {
+        if st.test {
+            continue;
+        }
+        let t = &st.tok;
+        if t.is_ident("use") {
+            in_use = true;
+            continue;
+        }
+        if t.is_punct(';') {
+            in_use = false;
+            continue;
+        }
+        if t.kind != TokKind::Ident || in_use {
+            continue;
+        }
+        let followed_by_path = |next: &str| {
+            toks.get(i + 1).is_some_and(|a| a.tok.is_punct(':'))
+                && toks.get(i + 2).is_some_and(|a| a.tok.is_punct(':'))
+                && toks.get(i + 3).is_some_and(|a| a.tok.is_ident(next))
+        };
+        match t.text.as_str() {
+            "HashMap" | "HashSet" => {
+                m.report(
+                    out,
+                    RULE,
+                    t.line,
+                    format!(
+                        "{} in a fingerprinted module — iteration order is per-process \
+                         random; use BTreeMap/BTreeSet or justify with lint:allow",
+                        t.text
+                    ),
+                );
+            }
+            "Instant" if followed_by_path("now") => {
+                m.report(
+                    out,
+                    RULE,
+                    t.line,
+                    "Instant::now in a fingerprinted module — wall-clock reads must not \
+                     feed fingerprinted values"
+                        .to_string(),
+                );
+            }
+            "SystemTime" => {
+                m.report(
+                    out,
+                    RULE,
+                    t.line,
+                    "SystemTime in a fingerprinted module — wall-clock reads must not \
+                     feed fingerprinted values"
+                        .to_string(),
+                );
+            }
+            "thread" if followed_by_path("current") => {
+                m.report(
+                    out,
+                    RULE,
+                    t.line,
+                    "thread::current in a fingerprinted module — thread identity must \
+                     not influence scored output"
+                        .to_string(),
+                );
+            }
+            _ => {}
+        }
+    }
+}

@@ -1,0 +1,120 @@
+//! Rule family 1: panic-freedom in library code.
+//!
+//! Flags `.unwrap()`, `.expect(…)`, the panic macro family, `unsafe`, and —
+//! in byte-decoding modules — direct indexing/slicing `x[…]`. Sites carrying
+//! the matching `#[allow(clippy::…)]` / `#[allow(unsafe_code)]` attribute or
+//! a justified `// lint:allow(panic)` comment are accepted, and test code is
+//! skipped entirely.
+
+use super::{FileModel, Violation};
+use crate::lexer::{Delim, TokKind};
+use crate::scope::Allow;
+
+/// Rule id used in reports.
+pub const RULE: &str = "panic";
+
+/// Panic macros and the allow-bit that excuses each.
+const MACROS: &[(&str, u16)] = &[
+    ("panic", Allow::PANIC),
+    ("unreachable", Allow::UNREACHABLE),
+    ("todo", Allow::TODO),
+    ("unimplemented", Allow::UNIMPLEMENTED),
+];
+
+/// Keywords that may precede `[` without making it an index expression.
+/// (`Open(Bracket)` directly after one of these starts a slice type/pattern,
+/// not an indexing operation.)
+const NON_VALUE_KEYWORDS: &[&str] = &[
+    "as", "box", "break", "const", "continue", "crate", "dyn", "else", "enum", "extern", "fn",
+    "for", "if", "impl", "in", "let", "loop", "match", "mod", "move", "mut", "pub", "ref",
+    "return", "static", "struct", "trait", "type", "unsafe", "use", "where", "while", "yield",
+];
+
+/// Runs the panic-policy family over one file.
+///
+/// `check_indexing` is only set for input-facing byte decoders (see the
+/// policy table in `lib.rs`).
+pub fn check(m: &FileModel, check_indexing: bool, out: &mut Vec<Violation>) {
+    let toks = &m.toks;
+    for (i, st) in toks.iter().enumerate() {
+        if st.test {
+            continue;
+        }
+        let t = &st.tok;
+        match t.kind {
+            TokKind::Ident => {
+                // `.unwrap(` / `.expect(`
+                if i > 0
+                    && toks[i - 1].tok.is_punct('.')
+                    && matches!(
+                        toks.get(i + 1).map(|n| &n.tok.kind),
+                        Some(TokKind::Open(Delim::Paren))
+                    )
+                {
+                    let (name, bit) = match t.text.as_str() {
+                        "unwrap" => ("unwrap", Allow::UNWRAP),
+                        "expect" => ("expect", Allow::EXPECT),
+                        _ => ("", 0),
+                    };
+                    if bit != 0 && !st.allow.has(bit) {
+                        m.report(
+                            out,
+                            RULE,
+                            t.line,
+                            format!(
+                                ".{name}() in library code — return an error or handle the \
+                                 case (#[allow(clippy::{name}_used)] to opt out)"
+                            ),
+                        );
+                        continue;
+                    }
+                }
+                // `panic!` / `unreachable!` / `todo!` / `unimplemented!`
+                if matches!(
+                    toks.get(i + 1).map(|n| &n.tok.kind),
+                    Some(TokKind::Punct('!'))
+                ) {
+                    if let Some(&(name, bit)) = MACROS.iter().find(|(name, _)| t.text == *name) {
+                        if !st.allow.has(bit) {
+                            m.report(
+                                out,
+                                RULE,
+                                t.line,
+                                format!("{name}! in library code — unreachable on arbitrary input must be proven, not asserted"),
+                            );
+                        }
+                        continue;
+                    }
+                }
+                // `unsafe`
+                if t.text == "unsafe" && !st.allow.has(Allow::UNSAFE) {
+                    m.report(
+                        out,
+                        RULE,
+                        t.line,
+                        "unsafe block/fn — the workspace is #![forbid(unsafe_code)]".to_string(),
+                    );
+                }
+            }
+            TokKind::Open(Delim::Bracket) if check_indexing && i > 0 => {
+                let prev = &toks[i - 1].tok;
+                let indexes_a_value = match prev.kind {
+                    TokKind::Close(_) => true,
+                    TokKind::Ident => !NON_VALUE_KEYWORDS.contains(&prev.text.as_str()),
+                    TokKind::Str => true,
+                    TokKind::Punct('?') => true, // `take(n)?[0]`
+                    _ => false,
+                };
+                if indexes_a_value && !st.allow.has(Allow::INDEXING) {
+                    m.report(
+                        out,
+                        RULE,
+                        t.line,
+                        "direct indexing/slicing in a byte-decoding module — use get()/split_at_checked and surface a decode error".to_string(),
+                    );
+                }
+            }
+            _ => {}
+        }
+    }
+}

@@ -1,0 +1,151 @@
+//! Fixture corpus: every rule family must fire on its known-bad fixture
+//! and stay silent on the matching allowed fixture (escape hatches,
+//! ordered collections, trivial loops, documented namespaces).
+
+use flexpath_lint::{lint_source, FileClass, Violation};
+
+fn lint(name: &str, src: &str, class: FileClass) -> Vec<Violation> {
+    lint_source(name, src, class).expect("fixture lexes")
+}
+
+fn lines(violations: &[Violation]) -> Vec<u32> {
+    violations.iter().map(|v| v.line).collect()
+}
+
+const PANIC_CLASS: FileClass = FileClass {
+    panic: true,
+    indexing: true,
+    determinism: false,
+    governor: false,
+    metrics: false,
+};
+
+const DETERMINISM_CLASS: FileClass = FileClass {
+    panic: false,
+    indexing: false,
+    determinism: true,
+    governor: false,
+    metrics: false,
+};
+
+const GOVERNOR_CLASS: FileClass = FileClass {
+    panic: false,
+    indexing: false,
+    determinism: false,
+    governor: true,
+    metrics: false,
+};
+
+const METRICS_CLASS: FileClass = FileClass {
+    panic: false,
+    indexing: false,
+    determinism: false,
+    governor: false,
+    metrics: true,
+};
+
+#[test]
+fn panic_rule_fires_on_every_bad_pattern() {
+    let src = include_str!("../fixtures/panic_bad.rs");
+    let found = lint("fixtures/panic_bad.rs", src, PANIC_CLASS);
+    assert!(found.iter().all(|v| v.rule == "panic"), "{found:?}");
+    // unwrap, expect, panic!, unreachable!, todo!, two index sites, unsafe.
+    let got = lines(&found);
+    for line in [4, 8, 13, 15, 19, 23, 27, 31] {
+        assert!(
+            got.contains(&line),
+            "no violation on line {line}: {found:?}"
+        );
+    }
+    assert_eq!(found.len(), 8, "{found:?}");
+}
+
+#[test]
+fn panic_rule_honors_every_escape_hatch() {
+    let src = include_str!("../fixtures/panic_allowed.rs");
+    let found = lint("fixtures/panic_allowed.rs", src, PANIC_CLASS);
+    assert!(found.is_empty(), "{found:?}");
+}
+
+#[test]
+fn determinism_rule_fires_on_every_source_of_nondeterminism() {
+    let src = include_str!("../fixtures/determinism_bad.rs");
+    let found = lint("fixtures/determinism_bad.rs", src, DETERMINISM_CLASS);
+    assert!(found.iter().all(|v| v.rule == "determinism"), "{found:?}");
+    // HashMap, Instant::now, SystemTime, thread::current, bare escape.
+    let got = lines(&found);
+    for line in [7, 15, 20, 25, 30] {
+        assert!(
+            got.contains(&line),
+            "no violation on line {line}: {found:?}"
+        );
+    }
+    // An escape comment without a justification is itself a violation.
+    assert!(
+        found
+            .iter()
+            .any(|v| v.line == 30 && v.message.contains("justification")),
+        "{found:?}"
+    );
+}
+
+#[test]
+fn determinism_rule_accepts_ordered_collections_and_justified_escapes() {
+    let src = include_str!("../fixtures/determinism_allowed.rs");
+    let found = lint("fixtures/determinism_allowed.rs", src, DETERMINISM_CLASS);
+    assert!(found.is_empty(), "{found:?}");
+}
+
+#[test]
+fn governor_rule_fires_on_unbudgeted_loops_of_every_kind() {
+    let src = include_str!("../fixtures/governor_bad.rs");
+    let found = lint("fixtures/governor_bad.rs", src, GOVERNOR_CLASS);
+    assert!(found.iter().all(|v| v.rule == "governor"), "{found:?}");
+    assert_eq!(found.len(), 3, "{found:?}");
+    for kw in ["`for`", "`while`", "`loop`"] {
+        assert!(
+            found.iter().any(|v| v.message.contains(kw)),
+            "no {kw} violation: {found:?}"
+        );
+    }
+}
+
+#[test]
+fn governor_rule_accepts_budgeted_trivial_and_justified_loops() {
+    let src = include_str!("../fixtures/governor_allowed.rs");
+    let found = lint("fixtures/governor_allowed.rs", src, GOVERNOR_CLASS);
+    assert!(found.is_empty(), "{found:?}");
+}
+
+#[test]
+fn metrics_rule_fires_on_out_of_namespace_names() {
+    let src = include_str!("../fixtures/metrics_bad.rs");
+    let found = lint("fixtures/metrics_bad.rs", src, METRICS_CLASS);
+    assert!(found.iter().all(|v| v.rule == "metrics-name"), "{found:?}");
+    assert_eq!(found.len(), 3, "{found:?}");
+    for name in ["cache.hits", "latency.ms", "rows_emitted"] {
+        assert!(
+            found.iter().any(|v| v.message.contains(name)),
+            "no violation for {name:?}: {found:?}"
+        );
+    }
+}
+
+#[test]
+fn metrics_rule_accepts_namespaced_dynamic_and_justified_names() {
+    let src = include_str!("../fixtures/metrics_allowed.rs");
+    let found = lint("fixtures/metrics_allowed.rs", src, METRICS_CLASS);
+    assert!(found.is_empty(), "{found:?}");
+}
+
+#[test]
+fn violations_render_as_file_line_rule_message() {
+    let src = include_str!("../fixtures/panic_bad.rs");
+    let found = lint("fixtures/panic_bad.rs", src, PANIC_CLASS);
+    let first = &found[0];
+    let rendered = first.render();
+    assert!(
+        rendered.starts_with(&format!("fixtures/panic_bad.rs:{}: panic: ", first.line)),
+        "{rendered:?}"
+    );
+}

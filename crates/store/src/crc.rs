@@ -19,6 +19,7 @@ const fn make_table() -> [u32; 256] {
             };
             bit += 1;
         }
+        // lint:allow(panic): const-eval table fill, i < 256 by the loop bound.
         table[i] = crc;
         i += 1;
     }
@@ -32,6 +33,7 @@ pub fn crc32(data: &[u8]) -> u32 {
     let mut crc = 0xFFFF_FFFFu32;
     for &b in data {
         let idx = ((crc ^ b as u32) & 0xFF) as usize;
+        // lint:allow(panic): idx is masked with 0xFF, TABLE has 256 entries.
         crc = (crc >> 8) ^ TABLE[idx];
     }
     crc ^ 0xFFFF_FFFF

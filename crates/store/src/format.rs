@@ -93,6 +93,7 @@ pub(crate) fn assemble(sections: &[(SectionId, Vec<u8>)]) -> Vec<u8> {
         offset += payload.len() as u64;
     }
     let mut bytes = w.into_bytes();
+    // lint:allow(panic): encode path — table_end is the writer's own length.
     let header_crc = crc32(&bytes[..table_end]);
     bytes.extend_from_slice(&header_crc.to_le_bytes());
     for (_, payload) in sections {
@@ -106,9 +107,11 @@ pub(crate) fn parse_header(bytes: &[u8]) -> Result<Vec<SectionEntry>, StoreError
     if bytes.len() < MAGIC.len() {
         return Err(StoreError::Truncated { what: "magic" });
     }
+    // lint:allow(panic): both slices guarded by the length check above.
     if bytes[..MAGIC.len()] != MAGIC {
         return Err(StoreError::BadMagic);
     }
+    // lint:allow(panic): guarded by the same magic-length check.
     let mut r = ByteReader::new(&bytes[MAGIC.len()..]);
     let version = r
         .u32()
@@ -152,6 +155,7 @@ pub(crate) fn parse_header(bytes: &[u8]) -> Result<Vec<SectionEntry>, StoreError
     let stored_crc = r.u32().map_err(|_| StoreError::Truncated {
         what: "header checksum",
     })?;
+    // lint:allow(panic): `bytes.len() < table_end + 4` was rejected above.
     if crc32(&bytes[..table_end]) != stored_crc {
         return Err(StoreError::ChecksumMismatch { section: "header" });
     }
@@ -176,6 +180,8 @@ pub(crate) fn section<'a>(
         .ok()
         .filter(|&l| l <= bytes.len() - start)
         .ok_or(StoreError::Truncated { what: id.name() })?;
+    // lint:allow(panic): start ≤ len(bytes) and len ≤ len(bytes) − start are
+    // both enforced by the try_from filters directly above.
     let payload = &bytes[start..start + len];
     if crc32(payload) != entry.crc {
         return Err(StoreError::ChecksumMismatch { section: id.name() });

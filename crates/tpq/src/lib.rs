@@ -34,6 +34,8 @@
 //! assert!(closure.len() > q.logical().len()); // inference rules fire
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod ast;
 pub mod closure;
 pub mod containment;

@@ -25,6 +25,8 @@
 //! assert!(!doc.nodes_with_tag_name("item").is_empty());
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod articles;
 pub mod generator;
 pub mod rng;

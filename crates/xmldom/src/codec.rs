@@ -273,6 +273,7 @@ pub fn decode_document(tag_bytes: &[u8], elem_bytes: &[u8]) -> Result<Document, 
         });
     }
     let root = NodeId(root_raw);
+    // lint:allow(panic): root_raw was range-checked directly above.
     if !matches!(nodes[root.index()].kind, NodeKind::Element { .. }) {
         return Err(CodecError::Invalid {
             what: "root is not an element",
@@ -304,6 +305,8 @@ pub fn decode_document(tag_bytes: &[u8], elem_bytes: &[u8]) -> Result<Document, 
 pub fn encode_stats(stats: &DocStats) -> Vec<u8> {
     let mut w = ByteWriter::with_capacity(32);
     w.u64(stats.element_total);
+    // HashMap iteration is unordered, but the very next line sorts.
+    #[allow(clippy::disallowed_methods)]
     let mut tags: Vec<(Sym, u64)> = stats.tag_counts.iter().map(|(&s, &c)| (s, c)).collect();
     tags.sort_unstable();
     w.u64(tags.len() as u64);
@@ -312,6 +315,8 @@ pub fn encode_stats(stats: &DocStats) -> Vec<u8> {
         w.u64(c);
     }
     for map in [&stats.pc_counts, &stats.ad_counts] {
+        // HashMap iteration is unordered, but the very next line sorts.
+        #[allow(clippy::disallowed_methods)]
         let mut pairs: Vec<(TagPair, u64)> = map.iter().map(|(&p, &c)| (p, c)).collect();
         pairs.sort_unstable();
         w.u64(pairs.len() as u64);

@@ -34,6 +34,7 @@
 
 // Library targets must stay panic-free on input-reachable paths; the
 // workspace `no_panics` test enforces the same rule by source scan.
+#![forbid(unsafe_code)]
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod axes;

@@ -93,6 +93,11 @@ struct Parser<'a, 's, S: XmlSink> {
     seen_root: bool,
 }
 
+// Cursor-invariant slicing: `pos` only advances via `peek`-guarded bumps,
+// `find` offsets, and `min(len)` clamps, so `pos <= len` holds on a char
+// boundary everywhere in this impl. The robustness suite feeds arbitrary
+// bytes through `parse` to back this up.
+#[allow(clippy::indexing_slicing)]
 impl<'a, S: XmlSink> Parser<'a, '_, S> {
     fn err(&self, kind: ParseErrorKind) -> ParseError {
         ParseError::at(kind, self.input, self.pos)

@@ -174,6 +174,7 @@ impl<'a> ByteReader<'a> {
                 at: self.pos,
                 want: n,
             })?;
+        // lint:allow(panic): `end` is checked_add + clamped to len above.
         let out = &self.data[self.pos..end];
         self.pos = end;
         Ok(out)
@@ -181,27 +182,30 @@ impl<'a> ByteReader<'a> {
 
     /// Reads one byte.
     pub fn u8(&mut self) -> Result<u8, WireError> {
+        // lint:allow(panic): take(1) guarantees exactly one byte.
         Ok(self.take(1)?[0])
     }
 
     /// Reads a little-endian `u16`.
     pub fn u16(&mut self) -> Result<u16, WireError> {
         let b = self.take(2)?;
+        // lint:allow(panic): take(2) guarantees two bytes.
         Ok(u16::from_le_bytes([b[0], b[1]]))
     }
 
     /// Reads a little-endian `u32`.
     pub fn u32(&mut self) -> Result<u32, WireError> {
         let b = self.take(4)?;
+        // lint:allow(panic): take(4) guarantees four bytes.
         Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
     }
 
     /// Reads a little-endian `u64`.
     pub fn u64(&mut self) -> Result<u64, WireError> {
         let b = self.take(8)?;
-        Ok(u64::from_le_bytes([
-            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
-        ]))
+        let mut a = [0u8; 8];
+        a.copy_from_slice(b); // take(8) guarantees eight bytes
+        Ok(u64::from_le_bytes(a))
     }
 
     /// Reads `n` raw bytes.

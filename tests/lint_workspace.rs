@@ -1,0 +1,32 @@
+//! Workspace invariant snapshot: the full `flexpath-lint` scan must come
+//! back clean, so any new unwrap/nondeterministic collection/uncovered
+//! loop/misnamed metric fails `cargo test` — not just CI's dedicated step.
+
+use std::path::Path;
+
+#[test]
+fn workspace_lints_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let report = flexpath_lint::lint_workspace(root).expect("workspace parses");
+    assert!(
+        report.files_scanned >= 60,
+        "only {} files scanned — walker lost a source tree?",
+        report.files_scanned
+    );
+    assert!(
+        report.violations.is_empty(),
+        "workspace must lint clean; run `cargo run -p flexpath-lint` for \
+         details:\n{}",
+        report.render_text()
+    );
+}
+
+#[test]
+fn json_report_is_well_formed() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let report = flexpath_lint::lint_workspace(root).expect("workspace parses");
+    let json = report.render_json();
+    assert!(json.starts_with("{\"files_scanned\":"));
+    assert!(json.ends_with("]}"));
+    assert!(json.contains("\"violations\":["));
+}

@@ -1,104 +1,71 @@
-//! Panic-policy guard: library source of the input-facing crates must not
-//! call `.unwrap()` / `.expect(` on input-reachable paths.
+//! Panic-policy guard, backed by the AST-level rule in `flexpath-lint`.
 //!
-//! The same rule is enforced at lint level by
-//! `#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]`
-//! in `flexpath-xmldom`, `flexpath-engine`, and `flexpath-store`; this test re-checks it by
-//! source scan so plain `cargo test` catches violations without a clippy
-//! run. A documented-contract panic opts out the enclosing item with
-//! `#[allow(clippy::unwrap_used)]` / `#[allow(clippy::expect_used)]`, which
-//! both the lint and this scan honor.
+//! This replaces the old indentation-counting line scanner: the linter
+//! lexes each file, scopes `#[allow(…)]` / `#[cfg(test)]` attributes
+//! structurally, and checks `.unwrap()` / `.expect(` / panic macros /
+//! `unsafe` (plus direct indexing in the byte-decoding modules). Coverage
+//! now includes `crates/ftsearch/src`, which the line scanner never saw.
+//! A documented-contract panic opts out with `#[allow(clippy::…)]` or a
+//! justified `// lint:allow(panic): …` comment, both honored here and by
+//! clippy/the full workspace lint.
 
-use std::fs;
-use std::path::{Path, PathBuf};
+use std::path::Path;
 
 /// Crate source trees covered by the panic policy.
-const SCANNED: &[&str] = &["crates/xmldom/src", "crates/engine/src", "crates/store/src"];
-
-fn rust_sources(dir: &Path, out: &mut Vec<PathBuf>) {
-    let entries = fs::read_dir(dir).unwrap_or_else(|e| panic!("read {}: {e}", dir.display()));
-    for entry in entries {
-        let path = entry.expect("readable dir entry").path();
-        if path.is_dir() {
-            rust_sources(&path, out);
-        } else if path.extension().is_some_and(|x| x == "rs") {
-            out.push(path);
-        }
-    }
-}
-
-/// Scans one file, appending `file:line: text` for every violation.
-fn scan(path: &Path, violations: &mut Vec<String>) {
-    let text = fs::read_to_string(path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
-    // Test modules sit at the end of each file; everything from the
-    // `#[cfg(test)]` attribute on is out of scope for the policy.
-    let lines = text
-        .lines()
-        .take_while(|l| !l.trim_start().starts_with("#[cfg(test)]"));
-    // While > 0, we are inside an item exempted by an `#[allow(clippy::…)]`
-    // attribute: skip until a closing brace returns to the attribute's
-    // indentation.
-    let mut exempt_indent: Option<usize> = None;
-    for (idx, line) in lines.enumerate() {
-        let trimmed = line.trim_start();
-        if trimmed.starts_with("//") {
-            continue; // line, doc, and module comments
-        }
-        let indent = line.len() - trimmed.len();
-        if let Some(allow_indent) = exempt_indent {
-            if indent <= allow_indent && trimmed.starts_with('}') {
-                exempt_indent = None;
-            }
-            continue;
-        }
-        if trimmed.starts_with("#[allow(clippy::unwrap_used")
-            || trimmed.starts_with("#[allow(clippy::expect_used")
-        {
-            exempt_indent = Some(indent);
-            continue;
-        }
-        if line.contains(".unwrap()") || line.contains(".expect(") {
-            violations.push(format!("{}:{}: {}", path.display(), idx + 1, trimmed));
-        }
-    }
-}
+const SCANNED: &[&str] = &[
+    "crates/xmldom/src",
+    "crates/engine/src",
+    "crates/store/src",
+    "crates/ftsearch/src",
+];
 
 #[test]
-fn library_sources_have_no_unwrap_or_expect_on_input_paths() {
+fn library_sources_pass_the_panic_policy_rule() {
     let root = Path::new(env!("CARGO_MANIFEST_DIR"));
-    let mut files = Vec::new();
-    for dir in SCANNED {
-        rust_sources(&root.join(dir), &mut files);
-    }
+    let report = flexpath_lint::lint_workspace(root).expect("workspace parses");
     assert!(
-        files.len() >= 15,
-        "scan found only {} sources — directory layout changed?",
-        files.len()
+        report.files_scanned >= 30,
+        "scan covered only {} sources — directory layout changed?",
+        report.files_scanned
     );
-    let mut violations = Vec::new();
-    for file in &files {
-        scan(file, &mut violations);
+    for dir in SCANNED {
+        assert!(
+            root.join(dir).is_dir(),
+            "{dir} missing — panic-policy coverage shrank"
+        );
     }
+    let panics: Vec<String> = report
+        .violations
+        .iter()
+        .filter(|v| v.rule == "panic")
+        .map(|v| v.render())
+        .collect();
     assert!(
-        violations.is_empty(),
-        "unwrap/expect on library paths (mark a documented contract with \
-         #[allow(clippy::unwrap_used)] / #[allow(clippy::expect_used)]):\n{}",
-        violations.join("\n")
+        panics.is_empty(),
+        "panic-policy violations (mark a documented contract with \
+         #[allow(clippy::unwrap_used)] or `// lint:allow(panic): why`):\n{}",
+        panics.join("\n")
     );
 }
 
 #[test]
-fn scan_honors_the_allow_optout() {
+fn rule_honors_the_allow_optout() {
     // The builder's infallible wrappers are the canonical opted-out panics:
-    // the scan must see their `#[allow]` and stay quiet, and the file must
+    // the rule must see their `#[allow]` and stay quiet, and the file must
     // actually contain the expects being exempted (otherwise the guard is
     // vacuous).
     let root = Path::new(env!("CARGO_MANIFEST_DIR"));
     let builder = root.join("crates/xmldom/src/builder.rs");
-    let text = fs::read_to_string(&builder).expect("builder.rs exists");
+    let text = std::fs::read_to_string(&builder).expect("builder.rs exists");
     assert!(text.contains("#[allow(clippy::expect_used)]"));
     assert!(text.contains(".expect("));
-    let mut violations = Vec::new();
-    scan(&builder, &mut violations);
-    assert!(violations.is_empty(), "{violations:?}");
+    let violations = flexpath_lint::lint_source(
+        "crates/xmldom/src/builder.rs",
+        &text,
+        flexpath_lint::classify("crates/xmldom/src/builder.rs"),
+    )
+    .expect("builder.rs parses");
+    let panics: Vec<&flexpath_lint::Violation> =
+        violations.iter().filter(|v| v.rule == "panic").collect();
+    assert!(panics.is_empty(), "{panics:?}");
 }
