@@ -9,6 +9,10 @@
 //! repro all --metrics results/metrics.json
 //!                                # dump the engine metrics registry
 //!                                # (same JSON the CLI's --metrics shows)
+//! repro --serve-load results/serve_load.json
+//!                                # closed-loop load sweep against the
+//!                                # flexpath-serve front end (QPS, latency
+//!                                # percentiles, shed-vs-degrade knee)
 //! repro all --store results/store
 //!                                # cache sessions in a persistent store:
 //!                                # first run indexes+saves, later runs
@@ -36,6 +40,7 @@ fn main() {
     let mut repeats = 3usize;
     let mut json_path: Option<String> = None;
     let mut metrics_path: Option<String> = None;
+    let mut serve_load_path: Option<String> = None;
     let mut parallel = false;
     let mut i = 0;
     while i < args.len() {
@@ -62,6 +67,16 @@ fn main() {
                 i += 1;
                 metrics_path = args.get(i).cloned();
             }
+            "--serve-load" => {
+                i += 1;
+                match args.get(i) {
+                    Some(path) => serve_load_path = Some(path.clone()),
+                    None => {
+                        eprintln!("--serve-load requires an output path");
+                        std::process::exit(2);
+                    }
+                }
+            }
             "--store" => {
                 i += 1;
                 match args.get(i) {
@@ -78,10 +93,20 @@ fn main() {
         }
         i += 1;
     }
+    if let Some(path) = &serve_load_path {
+        // The serve sweep is its own target: it owns the process's load
+        // pattern, so it runs before (or instead of) the figure workers.
+        let report = flexpath_bench::serve_load::run(scale);
+        println!("{}", report.render_table());
+        write_report(path, &report.render_json());
+    }
     if figures.is_empty() {
+        if serve_load_path.is_some() {
+            return;
+        }
         eprintln!(
             "usage: repro <all|figNN|ablation_*>... [--scale F] [--repeats N] [--json PATH] \
-             [--metrics PATH] [--store DIR] [--parallel]"
+             [--metrics PATH] [--store DIR] [--serve-load PATH] [--parallel]"
         );
         eprintln!("       repro --list");
         std::process::exit(2);

@@ -22,6 +22,7 @@
 pub mod harness;
 pub mod minibench;
 pub mod report;
+pub mod serve_load;
 pub mod workload;
 
 pub use harness::{run_figure, run_once, run_once_threads, FigureSpec, RunRecord, Series};

@@ -67,7 +67,10 @@ pub use flexpath_engine::{
     ExecStats, ExhaustReason, MetricsRegistry, MetricsSnapshot, ParallelConfig, QueryLimits,
     QueryTrace, RankingScheme, TagHierarchy, TraceSpan, WeightAssignment,
 };
-pub use flexpath_store::{Catalog, CatalogEntry, CorpusStore, StoreBuilder, StoreError, StoreMeta};
+pub use flexpath_store::{
+    Catalog, CatalogEntry, CatalogListing, CorpusStore, QuarantinedEntry, StoreBuilder, StoreError,
+    StoreMeta,
+};
 
 /// The process-wide engine metrics registry (see
 /// [`flexpath_engine::metrics`]): cumulative counters and duration

@@ -392,6 +392,13 @@ impl QueryResults {
         self.completeness.is_complete()
     }
 
+    /// The limit that stopped the run early, if any (`None` for complete
+    /// runs). Convenience for callers that degrade rather than error on
+    /// budget trips — e.g. a server returning a partial with `Retry-After`.
+    pub fn exhaust_reason(&self) -> Option<flexpath_engine::ExhaustReason> {
+        self.completeness.exhaust_reason()
+    }
+
     /// Whether any answer required relaxation.
     pub fn used_relaxation(&self) -> bool {
         self.hits.iter().any(|h| h.relaxation_level > 0) || self.stats.relaxations_used > 0

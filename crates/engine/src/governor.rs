@@ -92,6 +92,52 @@ impl QueryLimits {
         *self != QueryLimits::default()
     }
 
+    /// Clamps every axis to `ceiling`: the result is the per-axis minimum,
+    /// where `None` means unlimited (so a ceiling of `None` passes the
+    /// request through, and a request of `None` inherits the ceiling).
+    ///
+    /// This is the server-side admission-control primitive: a front-end
+    /// applies an operator-configured ceiling to client-requested limits so
+    /// no request can exceed the server's budget policy on any axis.
+    ///
+    /// ```
+    /// use flexpath_engine::QueryLimits;
+    /// use std::time::Duration;
+    ///
+    /// let ceiling = QueryLimits::default()
+    ///     .with_deadline(Duration::from_secs(1))
+    ///     .with_max_candidate_answers(100);
+    /// let greedy = QueryLimits::default().with_deadline(Duration::from_secs(60));
+    /// let clamped = greedy.clamp_to(&ceiling);
+    /// assert_eq!(clamped.deadline, Some(Duration::from_secs(1)));
+    /// assert_eq!(clamped.max_candidate_answers, Some(100));
+    /// ```
+    pub fn clamp_to(&self, ceiling: &QueryLimits) -> QueryLimits {
+        fn min_axis<T: Ord + Copy>(a: Option<T>, b: Option<T>) -> Option<T> {
+            match (a, b) {
+                (Some(x), Some(y)) => Some(x.min(y)),
+                (Some(x), None) | (None, Some(x)) => Some(x),
+                (None, None) => None,
+            }
+        }
+        QueryLimits {
+            deadline: min_axis(self.deadline, ceiling.deadline),
+            max_relaxations_enumerated: min_axis(
+                self.max_relaxations_enumerated,
+                ceiling.max_relaxations_enumerated,
+            ),
+            max_candidate_answers: min_axis(
+                self.max_candidate_answers,
+                ceiling.max_candidate_answers,
+            ),
+            max_ft_postings_scanned: min_axis(
+                self.max_ft_postings_scanned,
+                ceiling.max_ft_postings_scanned,
+            ),
+            max_memory_hint: min_axis(self.max_memory_hint, ceiling.max_memory_hint),
+        }
+    }
+
     /// Builds the shared [`Budget`] for one execution, anchoring the
     /// deadline at "now" and attaching the external token, if any.
     pub fn budget(&self, cancel: Option<CancelToken>) -> Budget {
@@ -243,6 +289,30 @@ impl std::fmt::Display for Completeness {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn clamp_to_takes_the_per_axis_minimum() {
+        let ceiling = QueryLimits::default()
+            .with_deadline(Duration::from_secs(2))
+            .with_max_candidate_answers(100)
+            .with_max_memory_hint(1 << 20);
+        // Unlimited request inherits the ceiling wholesale.
+        assert_eq!(QueryLimits::default().clamp_to(&ceiling), ceiling);
+        // A greedy request is capped; a modest one passes through;
+        // axes the ceiling leaves open keep the request's value.
+        let req = QueryLimits::default()
+            .with_deadline(Duration::from_secs(60))
+            .with_max_candidate_answers(5)
+            .with_max_ft_postings_scanned(77);
+        let clamped = req.clamp_to(&ceiling);
+        assert_eq!(clamped.deadline, Some(Duration::from_secs(2)));
+        assert_eq!(clamped.max_candidate_answers, Some(5));
+        assert_eq!(clamped.max_ft_postings_scanned, Some(77));
+        assert_eq!(clamped.max_memory_hint, Some(1 << 20));
+        assert_eq!(clamped.max_relaxations_enumerated, None);
+        // Unlimited ceiling is the identity.
+        assert_eq!(req.clamp_to(&QueryLimits::default()), req);
+    }
 
     #[test]
     fn default_limits_are_unlimited() {

@@ -23,6 +23,8 @@ pub fn documented_namespaces() {
     reg.add("engine.answers_emitted", 1);
     reg.add("governor.budget_trips", 1);
     reg.observe("nd.rank_entropy", 0.5);
+    reg.add("serve.requests", 1);
+    reg.observe("serve.query.duration", 1.5);
 }
 
 pub fn dynamic_name(metrics: &MetricsRegistry, name: &str) {
@@ -40,4 +42,11 @@ pub fn justified_bridge_name() {
     // lint:allow(metrics-name): legacy dashboard key, kept until the v2
     // dashboards migrate to governor.*.
     reg.add("budget.trips_legacy", 1);
+}
+
+pub fn justified_external_probe_name() {
+    let reg = global();
+    // lint:allow(metrics-name): emitted for an external uptime prober
+    // that expects this exact key; not part of the serve.* vocabulary.
+    reg.add("probe.serve_alive", 1);
 }

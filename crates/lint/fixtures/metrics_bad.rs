@@ -27,3 +27,8 @@ pub fn direct_chain() {
 pub fn typed_param(metrics: &MetricsRegistry) -> u64 {
     metrics.counter("rows_emitted")
 }
+
+pub fn near_miss_of_the_serve_namespace() {
+    // "serve." is a documented namespace; "server." is not.
+    global().add("server.requests", 1);
+}

@@ -100,6 +100,11 @@ pub fn classify(rel: &str) -> FileClass {
             c.determinism = file == "index.rs" || file == "eval.rs";
             c.governor = file == "eval.rs";
         }
+        "serve" => {
+            // The whole crate faces untrusted network input; malformed
+            // bytes must become typed errors, never unwinds.
+            c.panic = true;
+        }
         _ => {}
     }
     c
@@ -296,6 +301,9 @@ mod tests {
         assert!(classify("crates/ftsearch/src/index.rs").determinism);
         let root = classify("src/bin/flexpath_cli.rs");
         assert!(root.metrics && !root.panic);
+        let serve = classify("crates/serve/src/http.rs");
+        assert!(serve.panic && serve.metrics);
+        assert!(!serve.indexing && !serve.determinism && !serve.governor);
     }
 
     #[test]

@@ -1,7 +1,8 @@
 //! Rule family 4: metrics naming discipline.
 //!
 //! Every counter/histogram name handed to the global [`MetricsRegistry`]
-//! must live in a documented namespace (`engine.*`, `governor.*`, `nd.*`) —
+//! must live in a documented namespace (`engine.*`, `governor.*`, `nd.*`,
+//! `serve.*`) —
 //! the observability docs and the `nd.`-prefix determinism carve-out both
 //! key off these prefixes. The rule tracks which local bindings hold the
 //! registry (either `let m = …global();` or a parameter typed
@@ -19,7 +20,7 @@ use std::collections::BTreeSet;
 pub const RULE: &str = "metrics-name";
 
 /// Namespaces a registry name may start with.
-pub const NAMESPACES: &[&str] = &["engine.", "governor.", "nd."];
+pub const NAMESPACES: &[&str] = &["engine.", "governor.", "nd.", "serve."];
 
 /// Registry methods whose first argument is a metric name.
 const METHODS: &[&str] = &["counter", "add", "histogram", "observe", "observe_duration"];

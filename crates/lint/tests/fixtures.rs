@@ -122,8 +122,13 @@ fn metrics_rule_fires_on_out_of_namespace_names() {
     let src = include_str!("../fixtures/metrics_bad.rs");
     let found = lint("fixtures/metrics_bad.rs", src, METRICS_CLASS);
     assert!(found.iter().all(|v| v.rule == "metrics-name"), "{found:?}");
-    assert_eq!(found.len(), 3, "{found:?}");
-    for name in ["cache.hits", "latency.ms", "rows_emitted"] {
+    assert_eq!(found.len(), 4, "{found:?}");
+    for name in [
+        "cache.hits",
+        "latency.ms",
+        "rows_emitted",
+        "server.requests",
+    ] {
         assert!(
             found.iter().any(|v| v.message.contains(name)),
             "no violation for {name:?}: {found:?}"

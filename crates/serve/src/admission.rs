@@ -1,0 +1,263 @@
+//! Admission control: a bounded, slow-starting concurrency governor for
+//! query execution.
+//!
+//! The engine's per-query governor bounds *one* query; this module bounds
+//! *how many* queries run at once, and what happens to the rest. The
+//! contract is typed, never-blocking-forever load shedding:
+//!
+//! * an execution slot is free → the request is admitted immediately;
+//! * all slots busy but the wait queue has room → the request waits up to
+//!   the admission timeout, then is shed ([`AdmissionError::Timeout`]);
+//! * the wait queue is full → shed immediately ([`AdmissionError::QueueFull`]);
+//! * the server is draining → shed immediately ([`AdmissionError::Draining`]).
+//!
+//! The concurrency limit *slow-starts*: it begins at a configured floor
+//! and earns one slot per completed query up to the maximum, so a cold
+//! process (cold FT caches, cold page cache) is not hit with full
+//! concurrency in its first milliseconds.
+
+use std::sync::{Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+/// Why a request was not admitted. Each variant maps to one shed
+/// response; see `routes`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmissionError {
+    /// The wait queue is at capacity — the server is overloaded *now*.
+    QueueFull,
+    /// The request waited its full admission timeout without a slot
+    /// freeing up.
+    Timeout,
+    /// The server is draining and admits no new work.
+    Draining,
+}
+
+impl std::fmt::Display for AdmissionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AdmissionError::QueueFull => write!(f, "admission queue full"),
+            AdmissionError::Timeout => write!(f, "timed out waiting for an execution slot"),
+            AdmissionError::Draining => write!(f, "server is draining"),
+        }
+    }
+}
+
+impl std::error::Error for AdmissionError {}
+
+#[derive(Debug)]
+struct Inner {
+    /// Queries currently holding a slot.
+    in_flight: usize,
+    /// Requests currently blocked in [`AdmissionController::admit`].
+    waiting: usize,
+    /// Current slow-start limit (≤ `max_concurrent`).
+    limit: usize,
+    /// Draining: all admissions refused.
+    draining: bool,
+}
+
+/// The shared admission state. One per server; cheap to share behind an
+/// `Arc`.
+#[derive(Debug)]
+pub struct AdmissionController {
+    inner: Mutex<Inner>,
+    freed: Condvar,
+    max_concurrent: usize,
+    max_waiting: usize,
+    max_wait: Duration,
+}
+
+// Admission state is a handful of counters; a panic while holding the
+// lock (impossible in this no-panic crate, but belt and braces) cannot
+// leave them un-repairable, so poison is ignored.
+fn lock<'a>(m: &'a Mutex<Inner>) -> MutexGuard<'a, Inner> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+impl AdmissionController {
+    /// A controller with `max_concurrent` slots, starting its slow-start
+    /// ramp at `initial` (clamped to `1..=max_concurrent`), a wait queue
+    /// of `max_waiting`, and a per-request admission timeout.
+    pub fn new(
+        max_concurrent: usize,
+        initial: usize,
+        max_waiting: usize,
+        max_wait: Duration,
+    ) -> Self {
+        let max_concurrent = max_concurrent.max(1);
+        AdmissionController {
+            inner: Mutex::new(Inner {
+                in_flight: 0,
+                waiting: 0,
+                limit: initial.clamp(1, max_concurrent),
+                draining: false,
+            }),
+            freed: Condvar::new(),
+            max_concurrent,
+            max_waiting,
+            max_wait,
+        }
+    }
+
+    /// Tries to claim an execution slot, waiting up to the admission
+    /// timeout. On success the returned [`Permit`] must be kept alive for
+    /// the duration of the query; dropping it frees the slot and advances
+    /// slow-start.
+    pub fn admit(&self) -> Result<Permit<'_>, AdmissionError> {
+        let deadline = Instant::now() + self.max_wait;
+        let mut inner = lock(&self.inner);
+        loop {
+            if inner.draining {
+                return Err(AdmissionError::Draining);
+            }
+            if inner.in_flight < inner.limit {
+                inner.in_flight += 1;
+                return Ok(Permit { ctrl: self });
+            }
+            if inner.waiting >= self.max_waiting {
+                return Err(AdmissionError::QueueFull);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(AdmissionError::Timeout);
+            }
+            inner.waiting += 1;
+            let (guard, _timeout) = self
+                .freed
+                .wait_timeout(inner, deadline - now)
+                .unwrap_or_else(|e| e.into_inner());
+            inner = guard;
+            inner.waiting -= 1;
+            // Loop: re-check slot/drain/deadline. A timeout with a freed
+            // slot still admits (the re-check sees in_flight < limit).
+        }
+    }
+
+    /// Switches to draining: every current and future [`admit`] call
+    /// returns [`AdmissionError::Draining`]; in-flight permits are
+    /// unaffected.
+    ///
+    /// [`admit`]: AdmissionController::admit
+    pub fn drain(&self) {
+        lock(&self.inner).draining = true;
+        self.freed.notify_all();
+    }
+
+    /// Whether [`AdmissionController::drain`] has been called.
+    pub fn is_draining(&self) -> bool {
+        lock(&self.inner).draining
+    }
+
+    /// Queries currently holding slots (for `/healthz` and tests).
+    pub fn in_flight(&self) -> usize {
+        lock(&self.inner).in_flight
+    }
+
+    /// The current slow-start concurrency limit (for `/healthz` and
+    /// tests).
+    pub fn current_limit(&self) -> usize {
+        lock(&self.inner).limit
+    }
+
+    fn release(&self) {
+        let mut inner = lock(&self.inner);
+        inner.in_flight = inner.in_flight.saturating_sub(1);
+        // Slow-start: each completed query earns one slot of capacity.
+        if inner.limit < self.max_concurrent {
+            inner.limit += 1;
+        }
+        drop(inner);
+        self.freed.notify_all();
+    }
+}
+
+/// An admitted request's execution slot. Freed (and slow-start advanced)
+/// on drop, so early returns and shed paths can never leak a slot.
+#[derive(Debug)]
+pub struct Permit<'a> {
+    ctrl: &'a AdmissionController,
+}
+
+impl Drop for Permit<'_> {
+    fn drop(&mut self) {
+        self.ctrl.release();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn admits_up_to_the_limit_then_sheds() {
+        let ctrl = AdmissionController::new(2, 2, 0, Duration::from_millis(10));
+        let p1 = ctrl.admit().unwrap();
+        let p2 = ctrl.admit().unwrap();
+        // No wait queue: the third request is shed instantly.
+        assert_eq!(ctrl.admit().unwrap_err(), AdmissionError::QueueFull);
+        drop(p1);
+        let _p3 = ctrl.admit().unwrap();
+        drop(p2);
+        assert_eq!(ctrl.in_flight(), 1);
+    }
+
+    #[test]
+    fn waiting_request_times_out_with_a_typed_error() {
+        let ctrl = AdmissionController::new(1, 1, 4, Duration::from_millis(30));
+        let _p = ctrl.admit().unwrap();
+        let t = Instant::now();
+        assert_eq!(ctrl.admit().unwrap_err(), AdmissionError::Timeout);
+        assert!(t.elapsed() >= Duration::from_millis(25));
+    }
+
+    #[test]
+    fn waiting_request_is_admitted_when_a_slot_frees() {
+        let ctrl = Arc::new(AdmissionController::new(1, 1, 4, Duration::from_secs(5)));
+        let p = ctrl.admit().unwrap();
+        let worker = {
+            let ctrl = Arc::clone(&ctrl);
+            std::thread::spawn(move || ctrl.admit().map(drop).is_ok())
+        };
+        std::thread::sleep(Duration::from_millis(20));
+        drop(p); // frees the slot; the waiter should be admitted
+        assert!(worker.join().unwrap_or(false));
+    }
+
+    #[test]
+    fn slow_start_ramps_one_slot_per_completion() {
+        let ctrl = AdmissionController::new(4, 1, 0, Duration::from_millis(1));
+        assert_eq!(ctrl.current_limit(), 1);
+        let p = ctrl.admit().unwrap();
+        assert_eq!(ctrl.admit().unwrap_err(), AdmissionError::QueueFull);
+        drop(p);
+        assert_eq!(ctrl.current_limit(), 2);
+        let p1 = ctrl.admit().unwrap();
+        let p2 = ctrl.admit().unwrap();
+        assert_eq!(ctrl.admit().unwrap_err(), AdmissionError::QueueFull);
+        drop(p1);
+        drop(p2);
+        assert_eq!(ctrl.current_limit(), 4);
+        // The ramp stops at max_concurrent.
+        for _ in 0..10 {
+            drop(ctrl.admit().unwrap());
+        }
+        assert_eq!(ctrl.current_limit(), 4);
+    }
+
+    #[test]
+    fn draining_refuses_admission_and_wakes_waiters() {
+        let ctrl = Arc::new(AdmissionController::new(1, 1, 4, Duration::from_secs(30)));
+        let p = ctrl.admit().unwrap();
+        let waiter = {
+            let ctrl = Arc::clone(&ctrl);
+            std::thread::spawn(move || ctrl.admit().err())
+        };
+        std::thread::sleep(Duration::from_millis(20));
+        ctrl.drain();
+        assert_eq!(waiter.join().ok().flatten(), Some(AdmissionError::Draining));
+        assert_eq!(ctrl.admit().unwrap_err(), AdmissionError::Draining);
+        drop(p); // in-flight permit still releases cleanly
+        assert_eq!(ctrl.in_flight(), 0);
+    }
+}

@@ -1,0 +1,137 @@
+//! The service's typed error, and its mapping to HTTP statuses.
+//!
+//! Everything that can go wrong between "bytes arrived on a socket" and
+//! "a query ran" is one of these variants; the no-panic policy means the
+//! request path *must* produce one of them rather than unwinding. The
+//! mapping to a status code lives here so every handler sheds and fails
+//! with consistent semantics:
+//!
+//! | variant                         | status |
+//! |---------------------------------|--------|
+//! | `Http` (parse/timeout/overrun)  | its [`HttpError::status`] |
+//! | `BadRequest` (body/field error) | 400 |
+//! | `Store(DocumentNotFound)`       | 404 |
+//! | `Store` (corrupt/unreadable)    | 500 |
+//! | `Shed(QueueFull/Timeout)`       | 429 |
+//! | `Shed(Draining)`                | 503 |
+
+use crate::admission::AdmissionError;
+use crate::http::HttpError;
+use flexpath::StoreError;
+
+/// Any failure while serving one request.
+#[derive(Debug)]
+pub enum ServeError {
+    /// The HTTP layer rejected the request bytes.
+    Http(HttpError),
+    /// The request parsed as HTTP but its payload is invalid (bad JSON,
+    /// missing field, unknown algorithm, unparseable query, …).
+    BadRequest(String),
+    /// The store layer failed (missing document, corrupt file, I/O).
+    Store(StoreError),
+    /// Admission control shed the request.
+    Shed(AdmissionError),
+    /// Binding or accepting on the listener socket failed.
+    Io(std::io::Error),
+}
+
+impl ServeError {
+    /// The HTTP status this error maps to.
+    pub fn status(&self) -> u16 {
+        match self {
+            ServeError::Http(e) => e.status(),
+            ServeError::BadRequest(_) => 400,
+            ServeError::Store(StoreError::DocumentNotFound { .. }) => 404,
+            ServeError::Store(StoreError::InvalidName { .. }) => 400,
+            ServeError::Store(_) => 500,
+            ServeError::Shed(AdmissionError::QueueFull | AdmissionError::Timeout) => 429,
+            ServeError::Shed(AdmissionError::Draining) => 503,
+            ServeError::Io(_) => 500,
+        }
+    }
+
+    /// Stable snake_case discriminator carried in error JSON bodies.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ServeError::Http(_) => "http",
+            ServeError::BadRequest(_) => "bad_request",
+            ServeError::Store(StoreError::DocumentNotFound { .. }) => "not_found",
+            ServeError::Store(_) => "store",
+            ServeError::Shed(AdmissionError::QueueFull) => "shed_queue_full",
+            ServeError::Shed(AdmissionError::Timeout) => "shed_timeout",
+            ServeError::Shed(AdmissionError::Draining) => "draining",
+            ServeError::Io(_) => "io",
+        }
+    }
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Http(e) => write!(f, "{e}"),
+            ServeError::BadRequest(m) => write!(f, "{m}"),
+            ServeError::Store(e) => write!(f, "{e}"),
+            ServeError::Shed(e) => write!(f, "{e}"),
+            ServeError::Io(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Http(e) => Some(e),
+            ServeError::Store(e) => Some(e),
+            ServeError::Shed(e) => Some(e),
+            ServeError::Io(e) => Some(e),
+            ServeError::BadRequest(_) => None,
+        }
+    }
+}
+
+impl From<HttpError> for ServeError {
+    fn from(e: HttpError) -> Self {
+        ServeError::Http(e)
+    }
+}
+
+impl From<StoreError> for ServeError {
+    fn from(e: StoreError) -> Self {
+        ServeError::Store(e)
+    }
+}
+
+impl From<AdmissionError> for ServeError {
+    fn from(e: AdmissionError) -> Self {
+        ServeError::Shed(e)
+    }
+}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn statuses_follow_the_documented_mapping() {
+        assert_eq!(ServeError::BadRequest("x".into()).status(), 400);
+        assert_eq!(
+            ServeError::Store(StoreError::DocumentNotFound { name: "d".into() }).status(),
+            404
+        );
+        assert_eq!(ServeError::Store(StoreError::BadMagic).status(), 500);
+        assert_eq!(ServeError::Shed(AdmissionError::QueueFull).status(), 429);
+        assert_eq!(ServeError::Shed(AdmissionError::Timeout).status(), 429);
+        assert_eq!(ServeError::Shed(AdmissionError::Draining).status(), 503);
+        assert_eq!(ServeError::Http(HttpError::BadRequestLine).status(), 400);
+        assert_eq!(
+            ServeError::Shed(AdmissionError::Draining).kind(),
+            "draining"
+        );
+    }
+}

@@ -1,0 +1,607 @@
+//! Endpoint dispatch: maps parsed requests to responses.
+//!
+//! Every route returns a [`Response`]; failures flow through
+//! [`ServeError`] so each gets a consistent JSON error body and status.
+//! The `/query` route is where the robustness story comes together:
+//! admission control first (shed with `429`/`503` *before* any work),
+//! then server-clamped limits, then execution under the drain token —
+//! so a budget trip degrades into a `200` partial with `Retry-After`
+//! rather than an error.
+
+use crate::admission::{AdmissionController, AdmissionError};
+use crate::error::ServeError;
+use crate::http::{Method, Request, Response};
+use crate::json::{self, Json, JsonBuf};
+use crate::policy::ServePolicy;
+use crate::state::ServerState;
+use flexpath::{Algorithm, CancelToken, QueryLimits, QueryResults, RankingScheme};
+use flexpath_engine::metrics;
+use flexpath_engine::reason_key;
+use std::time::{Duration, Instant};
+
+/// Everything a route handler needs, borrowed from the server for the
+/// duration of one request.
+#[derive(Debug)]
+pub struct RouteContext<'a> {
+    /// Session cache + catalog.
+    pub state: &'a ServerState,
+    /// Server policy (limit ceilings, timeouts, Retry-After hint).
+    pub policy: &'a ServePolicy,
+    /// The admission controller queries must pass.
+    pub admission: &'a AdmissionController,
+    /// Cancelled when the drain deadline expires; attached to every query
+    /// so in-flight work stops at its next checkpoint instead of
+    /// overstaying the drain window.
+    pub drain_cancel: &'a CancelToken,
+}
+
+/// Routes one request. Never panics; anything unexpected becomes a typed
+/// error response.
+pub fn dispatch(ctx: &RouteContext<'_>, req: &Request) -> Response {
+    metrics::global().add("serve.requests", 1);
+    let resp = match (req.method, req.path.as_str()) {
+        (Method::Get | Method::Head, "/healthz") => healthz(ctx),
+        (Method::Get | Method::Head, "/metrics") => metrics_endpoint(req),
+        (Method::Get | Method::Head, "/catalogs") => catalogs(ctx),
+        (Method::Post, "/query") => query(ctx, req).unwrap_or_else(|e| error_response(ctx, &e)),
+        (Method::Post, "/explain") => explain(ctx, req).unwrap_or_else(|e| error_response(ctx, &e)),
+        (_, "/query" | "/explain") => error_response(
+            ctx,
+            &ServeError::Http(crate::http::HttpError::MethodUnknown),
+        ),
+        _ => err_json(404, "not_found", &format!("no route for {}", req.path)),
+    };
+    metrics::global().add(status_metric(resp.status), 1);
+    resp
+}
+
+/// The metric key for a response status class.
+fn status_metric(status: u16) -> &'static str {
+    match status {
+        200..=299 => "serve.responses.2xx",
+        429 => "serve.responses.429",
+        503 => "serve.responses.503",
+        400..=499 => "serve.responses.4xx",
+        _ => "serve.responses.5xx",
+    }
+}
+
+/// Renders a `ServeError` as its JSON error response, attaching
+/// `Retry-After` to shed responses so well-behaved clients back off.
+pub fn error_response(ctx: &RouteContext<'_>, e: &ServeError) -> Response {
+    if let ServeError::Shed(reason) = e {
+        let key = match reason {
+            AdmissionError::QueueFull => "serve.shed.queue_full",
+            AdmissionError::Timeout => "serve.shed.timeout",
+            AdmissionError::Draining => "serve.shed.draining",
+        };
+        metrics::global().add(key, 1);
+    }
+    let resp = err_json(e.status(), e.kind(), &e.to_string());
+    match e {
+        ServeError::Shed(_) => resp.retry_after(ctx.policy.retry_after_secs),
+        _ => resp,
+    }
+}
+
+/// A JSON error body: `{"error":{"status":s,"kind":"k","message":"m"}}`.
+pub fn err_json(status: u16, kind: &str, message: &str) -> Response {
+    let mut b = JsonBuf::new();
+    b.raw("{").key("error").raw("{");
+    b.key("status").u64(u64::from(status));
+    b.key("kind").string(kind);
+    b.key("message").string(message);
+    b.raw("}}");
+    Response::json(status, b.finish())
+}
+
+fn healthz(ctx: &RouteContext<'_>) -> Response {
+    let mut b = JsonBuf::new();
+    b.raw("{");
+    b.key("status").string(if ctx.admission.is_draining() {
+        "draining"
+    } else {
+        "ok"
+    });
+    b.key("sessions").u64(ctx.state.session_count() as u64);
+    b.key("in_flight").u64(ctx.admission.in_flight() as u64);
+    b.key("concurrency_limit")
+        .u64(ctx.admission.current_limit() as u64);
+    b.raw("}");
+    let status = if ctx.admission.is_draining() {
+        503
+    } else {
+        200
+    };
+    Response::json(status, b.finish())
+}
+
+fn metrics_endpoint(req: &Request) -> Response {
+    let snapshot = metrics::global().snapshot();
+    if req.query.split('&').any(|kv| kv == "format=json") {
+        Response::json(200, snapshot.render_json())
+    } else {
+        Response::text(200, snapshot.render_text())
+    }
+}
+
+fn catalogs(ctx: &RouteContext<'_>) -> Response {
+    let listing = match ctx.state.catalog().list_report() {
+        Ok(l) => l,
+        Err(e) => return err_json(500, "store", &e.to_string()),
+    };
+    let mut b = JsonBuf::new();
+    b.raw("{").key("documents").raw("[");
+    for entry in &listing.entries {
+        b.comma().raw("{");
+        b.key("name").string(&entry.meta.name);
+        b.key("nodes").u64(entry.meta.nodes);
+        b.key("terms").u64(entry.meta.terms);
+        b.key("posting_entries").u64(entry.meta.posting_entries);
+        b.key("file_bytes").u64(entry.file_bytes);
+        b.raw("}");
+    }
+    b.raw("]").key("quarantined").raw("[");
+    for q in &listing.quarantined {
+        b.comma().raw("{");
+        b.key("path").string(&q.path.to_string_lossy());
+        b.key("error").string(&q.error.to_string());
+        b.raw("}");
+    }
+    b.raw("]}");
+    Response::json(200, b.finish())
+}
+
+/// The parsed, validated body of a `/query` (or `/explain`) request.
+#[derive(Debug)]
+struct QueryRequest {
+    catalog: String,
+    query: String,
+    k: usize,
+    algorithm: Algorithm,
+    scheme: RankingScheme,
+    limits: QueryLimits,
+    threads: usize,
+    trace: bool,
+    snippet_chars: usize,
+    test_delay: Duration,
+}
+
+impl QueryRequest {
+    /// Parses and validates the request body. Unknown top-level keys are
+    /// rejected — a typo like `deadine_ms` must not silently run an
+    /// undeadlined query.
+    fn parse(body: &[u8], policy: &ServePolicy) -> Result<QueryRequest, ServeError> {
+        let bad = |m: String| ServeError::BadRequest(m);
+        let v = json::parse(body).map_err(|e| bad(e.to_string()))?;
+        let Json::Object(map) = &v else {
+            return Err(bad("request body must be a JSON object".into()));
+        };
+        const KNOWN: &[&str] = &[
+            "catalog",
+            "query",
+            "k",
+            "algorithm",
+            "scheme",
+            "deadline_ms",
+            "max_relaxations",
+            "max_candidates",
+            "max_postings",
+            "max_memory",
+            "threads",
+            "trace",
+            "snippet_chars",
+            "test_delay_ms",
+        ];
+        for key in map.keys() {
+            if !KNOWN.contains(&key.as_str()) {
+                return Err(bad(format!("unknown field {key:?}")));
+            }
+        }
+        let str_field = |name: &str| -> Result<String, ServeError> {
+            map.get(name)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| bad(format!("field {name:?} (string) is required")))
+        };
+        let uint = |name: &str| -> Result<Option<u64>, ServeError> {
+            match map.get(name) {
+                None | Some(Json::Null) => Ok(None),
+                Some(v) => v
+                    .as_u64()
+                    .map(Some)
+                    .ok_or_else(|| bad(format!("field {name:?} must be a non-negative integer"))),
+            }
+        };
+        let algorithm = match map.get("algorithm").map(|v| v.as_str()) {
+            None => Algorithm::Hybrid,
+            Some(Some(s)) => match s.to_ascii_lowercase().as_str() {
+                "dpo" => Algorithm::Dpo,
+                "sso" => Algorithm::Sso,
+                "hybrid" => Algorithm::Hybrid,
+                other => return Err(bad(format!("unknown algorithm {other:?}"))),
+            },
+            Some(None) => return Err(bad("field \"algorithm\" must be a string".into())),
+        };
+        let scheme = match map.get("scheme").map(|v| v.as_str()) {
+            None => RankingScheme::StructureFirst,
+            Some(Some(s)) => match s.to_ascii_lowercase().as_str() {
+                "structure_first" => RankingScheme::StructureFirst,
+                "keyword_first" => RankingScheme::KeywordFirst,
+                "combined" => RankingScheme::Combined,
+                other => return Err(bad(format!("unknown scheme {other:?}"))),
+            },
+            Some(None) => return Err(bad("field \"scheme\" must be a string".into())),
+        };
+        let trace = match map.get("trace") {
+            None => false,
+            Some(v) => v
+                .as_bool()
+                .ok_or_else(|| bad("field \"trace\" must be a boolean".into()))?,
+        };
+        let mut limits = QueryLimits::default();
+        if let Some(ms) = uint("deadline_ms")? {
+            limits.deadline = Some(Duration::from_millis(ms));
+        }
+        if let Some(n) = uint("max_relaxations")? {
+            limits.max_relaxations_enumerated = Some(n as usize);
+        }
+        limits.max_candidate_answers = uint("max_candidates")?;
+        limits.max_ft_postings_scanned = uint("max_postings")?;
+        limits.max_memory_hint = uint("max_memory")?;
+        let test_delay_ms = uint("test_delay_ms")?.unwrap_or(0);
+        if test_delay_ms > 0 && !policy.allow_test_delay {
+            return Err(bad(
+                "field \"test_delay_ms\" is disabled by server policy".into()
+            ));
+        }
+        Ok(QueryRequest {
+            catalog: str_field("catalog")?,
+            query: str_field("query")?,
+            k: uint("k")?.unwrap_or(10).min(10_000) as usize,
+            algorithm,
+            scheme,
+            limits,
+            threads: uint("threads")?.unwrap_or(1).clamp(1, 64) as usize,
+            trace,
+            snippet_chars: uint("snippet_chars")?.unwrap_or(0).min(10_000) as usize,
+            test_delay: Duration::from_millis(test_delay_ms.min(60_000)),
+        })
+    }
+}
+
+fn query(ctx: &RouteContext<'_>, req: &Request) -> Result<Response, ServeError> {
+    let parsed = QueryRequest::parse(&req.body, ctx.policy)?;
+    // Admission *before* session load: an overloaded server must shed
+    // without doing per-request work.
+    let _permit = ctx.admission.admit()?;
+    let flex = ctx.state.session(&parsed.catalog)?;
+    hold_test_delay(ctx, parsed.test_delay);
+    let started = Instant::now();
+    let mut q = flex
+        .query(&parsed.query)
+        .map_err(|e| ServeError::BadRequest(e.to_string()))?
+        .top(parsed.k)
+        .algorithm(parsed.algorithm)
+        .scheme(parsed.scheme)
+        .limits(ctx.policy.clamp(&parsed.limits))
+        .cancel(ctx.drain_cancel.clone())
+        .threads(parsed.threads);
+    if parsed.trace {
+        q = q.trace();
+    }
+    let results = q.execute();
+    let elapsed = started.elapsed();
+    metrics::global().observe_duration("serve.query.duration", elapsed);
+    metrics::global().add(
+        if results.is_complete() {
+            "serve.query.complete"
+        } else {
+            "serve.query.partial"
+        },
+        1,
+    );
+
+    let body = render_results(&flex, &parsed, &results, elapsed);
+    let resp = Response::json(200, body);
+    // Graceful degradation: a budget trip is not an error — the client
+    // gets the best answers found plus a hint to retry for the rest.
+    if results.is_complete() {
+        Ok(resp)
+    } else {
+        Ok(resp.retry_after(ctx.policy.retry_after_secs))
+    }
+}
+
+/// Holds the execution slot for a fixed time (tests and the load harness
+/// only — gated by `ServePolicy::allow_test_delay` at parse time). Wakes
+/// early if the drain token fires so a draining server is never stuck
+/// behind artificial delays.
+fn hold_test_delay(ctx: &RouteContext<'_>, delay: Duration) {
+    let until = Instant::now() + delay;
+    while !ctx.drain_cancel.is_cancelled() {
+        let now = Instant::now();
+        if now >= until {
+            break;
+        }
+        std::thread::sleep((until - now).min(Duration::from_millis(5)));
+    }
+}
+
+fn render_results(
+    flex: &flexpath::FleXPath,
+    req: &QueryRequest,
+    results: &QueryResults,
+    elapsed: Duration,
+) -> String {
+    let mut b = JsonBuf::new();
+    b.raw("{");
+    b.key("catalog").string(&req.catalog);
+    b.key("algorithm").string(&results.algorithm.to_string());
+    b.key("k").u64(req.k as u64);
+    b.key("elapsed_us").u64(elapsed.as_micros() as u64);
+    b.key("completeness").raw("{");
+    b.key("complete").bool(results.is_complete());
+    if let flexpath::Completeness::Exhausted {
+        reason,
+        relaxations_explored,
+        relaxations_remaining_estimate,
+    } = &results.completeness
+    {
+        b.key("reason").string(reason_key(*reason));
+        b.key("relaxations_explored")
+            .u64(*relaxations_explored as u64);
+        b.key("relaxations_remaining_estimate")
+            .u64(*relaxations_remaining_estimate as u64);
+    }
+    b.raw("}");
+    b.key("hits").raw("[");
+    for hit in &results.hits {
+        b.comma().raw("{");
+        b.key("node").u64(u64::from(hit.node.0));
+        b.key("path").string(&flex.path_of(hit.node));
+        b.key("ss").f64(hit.score.ss);
+        b.key("ks").f64(hit.score.ks);
+        b.key("relaxation_level").u64(hit.relaxation_level as u64);
+        if req.snippet_chars > 0 {
+            b.key("snippet")
+                .string(&flex.snippet(hit.node, req.snippet_chars));
+        }
+        b.raw("}");
+    }
+    b.raw("]");
+    b.key("stats").raw("{");
+    b.key("relaxations_used")
+        .u64(results.stats.relaxations_used as u64);
+    b.key("evaluations").u64(results.stats.evaluations as u64);
+    b.key("intermediate_answers")
+        .u64(results.stats.intermediate_answers as u64);
+    b.key("restarts").u64(results.stats.restarts as u64);
+    b.key("pruned").u64(results.stats.pruned as u64);
+    b.raw("}");
+    if let Some(trace) = &results.trace {
+        b.key("trace").raw(&trace.render_json());
+    }
+    b.raw("}");
+    b.finish()
+}
+
+fn explain(ctx: &RouteContext<'_>, req: &Request) -> Result<Response, ServeError> {
+    let parsed = QueryRequest::parse(&req.body, ctx.policy)?;
+    let _permit = ctx.admission.admit()?;
+    let flex = ctx.state.session(&parsed.catalog)?;
+    let text = flexpath::explain_profile(&flex, &parsed.query, parsed.k, parsed.algorithm)
+        .map_err(|e| ServeError::BadRequest(e.to_string()))?;
+    Ok(Response::text(200, text))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::http::HttpLimits;
+
+    fn test_ctx() -> (
+        ServerState,
+        ServePolicy,
+        AdmissionController,
+        CancelToken,
+        std::path::PathBuf,
+    ) {
+        // A process-wide counter keeps parallel tests in distinct dirs
+        // (thread identity is a disallowed API workspace-wide).
+        static DIR_SEQ: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+        let seq = DIR_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let dir = std::env::temp_dir().join(format!(
+            "flexpath-serve-routes-{}-{seq}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let state = ServerState::open(&dir).unwrap();
+        state.insert_session(
+            "doc",
+            flexpath::FleXPath::from_xml(
+                "<site><article><section><paragraph>XML streaming</paragraph>\
+                 </section></article></site>",
+            )
+            .unwrap(),
+        );
+        let policy = ServePolicy::for_tests();
+        let admission = AdmissionController::new(2, 2, 1, Duration::from_millis(50));
+        (state, policy, admission, CancelToken::new(), dir)
+    }
+
+    fn post(path: &str, body: &str) -> Request {
+        Request {
+            method: Method::Post,
+            path: path.to_string(),
+            query: String::new(),
+            headers: Vec::new(),
+            body: body.as_bytes().to_vec(),
+        }
+    }
+
+    #[test]
+    fn query_round_trips_json() {
+        let (state, policy, admission, cancel, dir) = test_ctx();
+        let ctx = RouteContext {
+            state: &state,
+            policy: &policy,
+            admission: &admission,
+            drain_cancel: &cancel,
+        };
+        let req = post(
+            "/query",
+            r#"{"catalog":"doc","query":"//article[.contains(\"XML\")]","k":3,"snippet_chars":20}"#,
+        );
+        let resp = dispatch(&ctx, &req);
+        assert_eq!(resp.status, 200, "{}", String::from_utf8_lossy(&resp.body));
+        let v = json::parse(&resp.body).unwrap();
+        assert_eq!(
+            v.get("completeness").and_then(|c| c.get("complete")),
+            Some(&Json::Bool(true))
+        );
+        let hits = v.get("hits").cloned();
+        assert!(matches!(hits, Some(Json::Array(a)) if !a.is_empty()));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn partial_results_carry_retry_after() {
+        let (state, policy, admission, cancel, dir) = test_ctx();
+        let ctx = RouteContext {
+            state: &state,
+            policy: &policy,
+            admission: &admission,
+            drain_cancel: &cancel,
+        };
+        // max_candidates: 0 deterministically trips the answer budget.
+        let req = post(
+            "/query",
+            r#"{"catalog":"doc","query":"//article[.contains(\"XML\")]","max_candidates":0}"#,
+        );
+        let resp = dispatch(&ctx, &req);
+        assert_eq!(resp.status, 200, "partials degrade, not error");
+        assert!(resp.headers.iter().any(|(n, _)| *n == "Retry-After"));
+        let v = json::parse(&resp.body).unwrap();
+        assert_eq!(
+            v.get("completeness").and_then(|c| c.get("complete")),
+            Some(&Json::Bool(false))
+        );
+        assert_eq!(
+            v.get("completeness")
+                .and_then(|c| c.get("reason"))
+                .and_then(Json::as_str),
+            Some("answer_budget")
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bad_bodies_and_unknown_fields_are_400() {
+        let (state, policy, admission, cancel, dir) = test_ctx();
+        let ctx = RouteContext {
+            state: &state,
+            policy: &policy,
+            admission: &admission,
+            drain_cancel: &cancel,
+        };
+        for body in [
+            "not json",
+            "[]",
+            r#"{"query":"//a"}"#,
+            r#"{"catalog":"doc"}"#,
+            r#"{"catalog":"doc","query":"//a","deadine_ms":5}"#,
+            r#"{"catalog":"doc","query":"//a","k":"ten"}"#,
+            r#"{"catalog":"doc","query":"//a","algorithm":"magic"}"#,
+            r#"{"catalog":"doc","query":"not an xpath"}"#,
+        ] {
+            let resp = dispatch(&ctx, &post("/query", body));
+            assert_eq!(resp.status, 400, "{body}");
+        }
+        // Missing catalog document: 404.
+        let resp = dispatch(&ctx, &post("/query", r#"{"catalog":"nope","query":"//a"}"#));
+        assert_eq!(resp.status, 404);
+        // Wrong method: 405.
+        let mut req = post("/query", "");
+        req.method = Method::Get;
+        assert_eq!(dispatch(&ctx, &req).status, 405);
+        // Unknown route: 404.
+        let mut req = post("/nope", "");
+        req.method = Method::Get;
+        assert_eq!(dispatch(&ctx, &req).status, 404);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn draining_sheds_with_503_and_retry_after() {
+        let (state, policy, admission, cancel, dir) = test_ctx();
+        admission.drain();
+        let ctx = RouteContext {
+            state: &state,
+            policy: &policy,
+            admission: &admission,
+            drain_cancel: &cancel,
+        };
+        let resp = dispatch(&ctx, &post("/query", r#"{"catalog":"doc","query":"//a"}"#));
+        assert_eq!(resp.status, 503);
+        assert!(resp.headers.iter().any(|(n, _)| *n == "Retry-After"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn auxiliary_endpoints_respond() {
+        let (state, policy, admission, cancel, dir) = test_ctx();
+        let ctx = RouteContext {
+            state: &state,
+            policy: &policy,
+            admission: &admission,
+            drain_cancel: &cancel,
+        };
+        let get = |path: &str, query: &str| Request {
+            method: Method::Get,
+            path: path.to_string(),
+            query: query.to_string(),
+            headers: Vec::new(),
+            body: Vec::new(),
+        };
+        let health = dispatch(&ctx, &get("/healthz", ""));
+        assert_eq!(health.status, 200);
+        assert!(json::parse(&health.body).is_ok());
+        let m = dispatch(&ctx, &get("/metrics", ""));
+        assert_eq!(m.status, 200);
+        assert_eq!(m.content_type, "text/plain; charset=utf-8");
+        let mj = dispatch(&ctx, &get("/metrics", "format=json"));
+        assert!(json::parse(&mj.body).is_ok());
+        let cats = dispatch(&ctx, &get("/catalogs", ""));
+        assert_eq!(cats.status, 200);
+        let explain = dispatch(
+            &ctx,
+            &post("/explain", r#"{"catalog":"doc","query":"//article"}"#),
+        );
+        assert_eq!(explain.status, 200);
+        assert!(String::from_utf8_lossy(&explain.body).contains("EXPLAIN ANALYZE"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn test_delay_requires_policy_opt_in() {
+        let (state, mut policy, admission, cancel, dir) = test_ctx();
+        policy.allow_test_delay = false;
+        policy.http = HttpLimits::default();
+        let ctx = RouteContext {
+            state: &state,
+            policy: &policy,
+            admission: &admission,
+            drain_cancel: &cancel,
+        };
+        let resp = dispatch(
+            &ctx,
+            &post(
+                "/query",
+                r#"{"catalog":"doc","query":"//a","test_delay_ms":50}"#,
+            ),
+        );
+        assert_eq!(resp.status, 400);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

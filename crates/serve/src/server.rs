@@ -1,0 +1,375 @@
+//! The threaded server: bounded accept queue, worker pool, keep-alive
+//! connection handling, and the drain lifecycle.
+//!
+//! ## Lifecycle
+//!
+//! [`Server::run`] owns the process until shutdown. The accept loop is
+//! non-blocking (1 ms poll) so it can notice shutdown promptly without
+//! platform-specific signal plumbing; accepted connections land in a
+//! *bounded* queue and overflow is answered `503` at the door — the
+//! server's first load-shedding tier, before any request bytes are read.
+//! Workers pop connections and serve keep-alive request loops; each query
+//! additionally passes the [`AdmissionController`] (the second tier,
+//! `429`/`503` per request).
+//!
+//! ## Drain
+//!
+//! [`ServerHandle::shutdown`] (e.g. from a SIGINT handler) flips the
+//! server into draining:
+//!
+//! 1. the accept loop stops accepting and `503`s everything still queued;
+//! 2. admission refuses new queries ([`AdmissionError::Draining`]) while
+//!    in-flight queries keep their permits;
+//! 3. idle keep-alive connections are unblocked via
+//!    `shutdown(Shutdown::Read)` so their reads return EOF immediately
+//!    instead of dangling until the read timeout;
+//! 4. a watchdog fires the shared drain [`CancelToken`] at the drain
+//!    deadline, stopping any still-running query at its next governor
+//!    checkpoint — in-flight work completes as `200` partials, and
+//!    [`Server::run`] returns.
+//!
+//! [`AdmissionError::Draining`]: crate::admission::AdmissionError::Draining
+
+use crate::admission::AdmissionController;
+use crate::error::ServeError;
+use crate::http::{self, HttpError, Method, Response};
+use crate::policy::ServePolicy;
+use crate::routes::{self, RouteContext};
+use crate::state::ServerState;
+use flexpath::CancelToken;
+use flexpath_engine::metrics;
+use std::collections::{BTreeMap, VecDeque};
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+/// State shared between the accept loop, workers, the watchdog, and every
+/// [`ServerHandle`].
+#[derive(Debug)]
+struct Shared {
+    shutdown: AtomicBool,
+    drain_started: Mutex<Option<Instant>>,
+    drain_cancel: CancelToken,
+    admission: AdmissionController,
+    queue: Mutex<VecDeque<TcpStream>>,
+    queue_cv: Condvar,
+    /// Clones of every connection a worker is currently serving, so drain
+    /// can unblock their reads. Keyed by a serial id.
+    conns: Mutex<BTreeMap<u64, TcpStream>>,
+    next_conn_id: AtomicU64,
+}
+
+fn lock<'a, T>(m: &'a Mutex<T>) -> MutexGuard<'a, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+impl Shared {
+    fn is_shutdown(&self) -> bool {
+        self.shutdown.load(Ordering::Acquire)
+    }
+}
+
+/// A handle for requesting shutdown from another thread (typically a
+/// signal handler's monitor thread). Cloneable and cheap.
+#[derive(Debug, Clone)]
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+}
+
+impl ServerHandle {
+    /// Begins the drain: stop accepting, refuse new queries, unblock idle
+    /// connections, and bound in-flight work by the drain deadline.
+    /// Idempotent; returns immediately ([`Server::run`] returns once the
+    /// drain completes).
+    pub fn shutdown(&self) {
+        let mut started = lock(&self.shared.drain_started);
+        if started.is_none() {
+            *started = Some(Instant::now());
+        }
+        drop(started);
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.shared.admission.drain();
+        // Unblock idle keep-alive reads: EOF beats waiting out the read
+        // timeout. In-flight responses still write fine — only the read
+        // half closes.
+        for conn in lock(&self.shared.conns).values() {
+            let _ = conn.shutdown(Shutdown::Read);
+        }
+        self.shared.queue_cv.notify_all();
+    }
+
+    /// Whether shutdown has been requested.
+    pub fn is_shutdown(&self) -> bool {
+        self.shared.is_shutdown()
+    }
+}
+
+/// The query service: a TCP listener plus shared state. Bind with
+/// [`Server::bind`], then call [`Server::run`] (which blocks until a
+/// [`ServerHandle::shutdown`]).
+pub struct Server {
+    listener: TcpListener,
+    state: Arc<ServerState>,
+    policy: ServePolicy,
+    shared: Arc<Shared>,
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("addr", &self.listener.local_addr().ok())
+            .field("policy", &self.policy)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Server {
+    /// Binds the listener and prepares shared state. `addr` may be
+    /// `"127.0.0.1:0"` to pick a free port (see [`Server::local_addr`]).
+    pub fn bind(
+        addr: &str,
+        state: Arc<ServerState>,
+        policy: ServePolicy,
+    ) -> Result<Server, ServeError> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let shared = Arc::new(Shared {
+            shutdown: AtomicBool::new(false),
+            drain_started: Mutex::new(None),
+            drain_cancel: CancelToken::new(),
+            admission: AdmissionController::new(
+                policy.max_concurrent_queries,
+                policy.initial_concurrent_queries,
+                policy.admission_queue_depth,
+                policy.admission_timeout,
+            ),
+            queue: Mutex::new(VecDeque::new()),
+            queue_cv: Condvar::new(),
+            conns: Mutex::new(BTreeMap::new()),
+            next_conn_id: AtomicU64::new(0),
+        });
+        Ok(Server {
+            listener,
+            state,
+            policy,
+            shared,
+        })
+    }
+
+    /// The bound address (useful after binding port 0).
+    pub fn local_addr(&self) -> Result<std::net::SocketAddr, ServeError> {
+        Ok(self.listener.local_addr()?)
+    }
+
+    /// A shutdown handle, safe to move to other threads.
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Serves until shutdown, then drains and returns. Worker threads are
+    /// scoped: when this returns, every connection is closed and every
+    /// query has finished (completely or as a drain-cancelled partial).
+    pub fn run(self) -> Result<(), ServeError> {
+        let shared = &self.shared;
+        let policy = &self.policy;
+        let state = &self.state;
+        std::thread::scope(|scope| {
+            for _ in 0..policy.workers.max(1) {
+                scope.spawn(move || worker_loop(shared, state, policy));
+            }
+            scope.spawn(move || drain_watchdog(shared, policy.drain_deadline));
+
+            // Accept loop: non-blocking so shutdown is noticed within ~1 ms.
+            while !shared.is_shutdown() {
+                match self.listener.accept() {
+                    Ok((stream, _)) => {
+                        metrics::global().add("serve.conns.accepted", 1);
+                        let mut queue = lock(&shared.queue);
+                        if queue.len() >= policy.conn_queue_depth {
+                            drop(queue);
+                            // First shedding tier: the door. No request
+                            // bytes are read from an overflowing client.
+                            shed_connection(stream, policy);
+                        } else {
+                            queue.push_back(stream);
+                            drop(queue);
+                            shared.queue_cv.notify_one();
+                        }
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                    Err(_) => {
+                        // Transient accept failure (e.g. EMFILE): back off
+                        // briefly rather than spinning or dying.
+                        std::thread::sleep(Duration::from_millis(10));
+                    }
+                }
+            }
+
+            // Drain: everything still queued gets a typed 503 without its
+            // request being read; workers exit once the queue stays empty.
+            let queued: Vec<TcpStream> = lock(&shared.queue).drain(..).collect();
+            for stream in queued {
+                shed_connection(stream, policy);
+            }
+            shared.queue_cv.notify_all();
+        });
+        Ok(())
+    }
+}
+
+/// Writes a `503 + Retry-After` and closes — used for door-level shedding
+/// and for connections still queued when the drain begins.
+fn shed_connection(mut stream: TcpStream, policy: &ServePolicy) {
+    metrics::global().add("serve.shed.at_door", 1);
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(250)));
+    let resp = routes::err_json(503, "overloaded", "connection queue full; retry later")
+        .retry_after(policy.retry_after_secs);
+    let _ = resp.write_to(&mut stream, false, true);
+}
+
+/// Fires the drain [`CancelToken`] if in-flight work outlives the drain
+/// deadline; exits quietly once the server is idle.
+fn drain_watchdog(shared: &Shared, drain_deadline: Duration) {
+    loop {
+        std::thread::sleep(Duration::from_millis(5));
+        if !shared.is_shutdown() {
+            continue;
+        }
+        let idle = lock(&shared.queue).is_empty()
+            && lock(&shared.conns).is_empty()
+            && shared.admission.in_flight() == 0;
+        if idle {
+            return;
+        }
+        let started = lock(&shared.drain_started).unwrap_or_else(Instant::now);
+        if started.elapsed() >= drain_deadline {
+            metrics::global().add("serve.drain.deadline_fired", 1);
+            shared.drain_cancel.cancel();
+            return;
+        }
+    }
+}
+
+/// One worker: pop connections off the shared queue and serve them until
+/// shutdown *and* the queue is empty.
+fn worker_loop(shared: &Shared, state: &ServerState, policy: &ServePolicy) {
+    loop {
+        let stream = {
+            let mut queue = lock(&shared.queue);
+            loop {
+                if let Some(s) = queue.pop_front() {
+                    break Some(s);
+                }
+                if shared.is_shutdown() {
+                    break None;
+                }
+                let (guard, _) = shared
+                    .queue_cv
+                    .wait_timeout(queue, Duration::from_millis(100))
+                    .unwrap_or_else(|e| e.into_inner());
+                queue = guard;
+            }
+        };
+        match stream {
+            Some(stream) => handle_connection(shared, state, policy, stream),
+            None => return,
+        }
+    }
+}
+
+/// Serves one connection's keep-alive request loop. All errors are typed:
+/// parse failures get their mapped status, the connection closes, and the
+/// worker moves on — nothing here can panic or hang past the socket
+/// timeouts.
+fn handle_connection(
+    shared: &Shared,
+    state: &ServerState,
+    policy: &ServePolicy,
+    mut stream: TcpStream,
+) {
+    if http::install_timeouts(&stream, policy.read_timeout, policy.write_timeout).is_err() {
+        return;
+    }
+    // Register a clone so drain can unblock this connection's reads.
+    let conn_id = shared.next_conn_id.fetch_add(1, Ordering::Relaxed);
+    if let Ok(clone) = stream.try_clone() {
+        lock(&shared.conns).insert(conn_id, clone);
+    }
+    serve_requests(shared, state, policy, &mut stream);
+    lock(&shared.conns).remove(&conn_id);
+    let _ = stream.shutdown(Shutdown::Both);
+}
+
+fn serve_requests(
+    shared: &Shared,
+    state: &ServerState,
+    policy: &ServePolicy,
+    stream: &mut TcpStream,
+) {
+    let ctx = RouteContext {
+        state,
+        policy,
+        admission: &shared.admission,
+        drain_cancel: &shared.drain_cancel,
+    };
+    for served in 0..policy.max_requests_per_conn.max(1) {
+        // A connection popped (or parked) after shutdown gets a shed
+        // response without its request being read.
+        if shared.is_shutdown() {
+            let resp = routes::err_json(503, "draining", "server is draining")
+                .retry_after(policy.retry_after_secs);
+            let _ = resp.write_to(stream, false, true);
+            return;
+        }
+        let req = match http::read_request(stream, &policy.http) {
+            Ok(req) => req,
+            Err(HttpError::ConnectionClosed) => return,
+            Err(e) => {
+                metrics::global().add("serve.http.errors", 1);
+                let err = ServeError::Http(e);
+                let resp = routes::error_response(&ctx, &err);
+                let _ = resp.write_to(stream, false, true);
+                return;
+            }
+        };
+        let head_only = req.method == Method::Head;
+        let close = req.wants_close() || served + 1 == policy.max_requests_per_conn;
+        let resp: Response = routes::dispatch(&ctx, &req);
+        if resp.write_to(stream, head_only, close).is_err() {
+            return;
+        }
+        if close {
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // End-to-end coverage lives in `tests/serve.rs`; here we only check
+    // the pieces that are awkward to reach over a real socket.
+
+    #[test]
+    fn bind_on_port_zero_yields_an_addr_and_handle() {
+        let dir = std::env::temp_dir().join(format!("flexpath-serve-bind-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let state = Arc::new(ServerState::open(&dir).unwrap());
+        let server = Server::bind("127.0.0.1:0", state, ServePolicy::for_tests()).unwrap();
+        let addr = server.local_addr().unwrap();
+        assert_ne!(addr.port(), 0);
+        let handle = server.handle();
+        assert!(!handle.is_shutdown());
+        handle.shutdown();
+        assert!(handle.is_shutdown());
+        // run() after shutdown returns promptly (nothing to drain).
+        server.run().unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,147 @@
+//! Shared server state: the catalog directory and the cache of opened
+//! sessions.
+//!
+//! A [`FleXPath`] session is immutable after construction and `Send +
+//! Sync`, so one `Arc<FleXPath>` per document serves every concurrent
+//! request — queries share the document arena, statistics, inverted
+//! index, and the sharded full-text cache without copying any of them.
+//! The cache here is *insert-only*: a catalog document is decoded from
+//! the FXPSTORE at most once per process (double-checked under the write
+//! lock), then shared for the lifetime of the server.
+
+use crate::error::ServeError;
+use flexpath::{Catalog, FleXPath};
+use flexpath_engine::metrics;
+use std::collections::BTreeMap;
+use std::sync::{Arc, RwLock};
+use std::time::Instant;
+
+/// The catalog plus the session cache. One per server, shared by every
+/// worker behind an `Arc`.
+pub struct ServerState {
+    catalog: Catalog,
+    sessions: RwLock<BTreeMap<String, Arc<FleXPath>>>,
+}
+
+impl std::fmt::Debug for ServerState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // FleXPath sessions are large and not Debug; show names only.
+        f.debug_struct("ServerState")
+            .field("catalog", &self.catalog)
+            .field(
+                "sessions",
+                &read_lock(&self.sessions).keys().collect::<Vec<_>>(),
+            )
+            .finish()
+    }
+}
+
+impl ServerState {
+    /// State over the catalog at `dir` (created if absent).
+    pub fn open(dir: &std::path::Path) -> Result<Self, ServeError> {
+        Ok(ServerState {
+            catalog: Catalog::open(dir)?,
+            sessions: RwLock::new(BTreeMap::new()),
+        })
+    }
+
+    /// The underlying catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Injects an already-built session under `name`, bypassing the
+    /// catalog (tests and the load benchmark index in memory instead of
+    /// round-tripping through disk).
+    pub fn insert_session(&self, name: &str, flex: FleXPath) {
+        write_lock(&self.sessions).insert(name.to_string(), Arc::new(flex));
+    }
+
+    /// Number of cached sessions (for `/healthz`).
+    pub fn session_count(&self) -> usize {
+        read_lock(&self.sessions).len()
+    }
+
+    /// The session for document `name`, loading and caching it from the
+    /// store on first use. Concurrent first requests for the same
+    /// document load it once (double-checked under the write lock).
+    pub fn session(&self, name: &str) -> Result<Arc<FleXPath>, ServeError> {
+        if let Some(s) = read_lock(&self.sessions).get(name) {
+            metrics::global().add("serve.sessions.cache_hits", 1);
+            return Ok(s.clone());
+        }
+        let mut sessions = write_lock(&self.sessions);
+        if let Some(s) = sessions.get(name) {
+            metrics::global().add("serve.sessions.cache_hits", 1);
+            return Ok(s.clone());
+        }
+        let started = Instant::now();
+        let store = self.catalog.load(name)?;
+        let flex = Arc::new(FleXPath::from_store(store));
+        sessions.insert(name.to_string(), flex.clone());
+        metrics::global().add("serve.sessions.loaded", 1);
+        metrics::global().observe_duration("serve.sessions.load_duration", started.elapsed());
+        Ok(flex)
+    }
+}
+
+// Session-cache state is an insert-only map of immutable Arcs; a panic
+// while holding the lock cannot corrupt it, so poison is ignored.
+fn read_lock<'a, T>(l: &'a RwLock<T>) -> std::sync::RwLockReadGuard<'a, T> {
+    l.read().unwrap_or_else(|e| e.into_inner())
+}
+
+fn write_lock<'a, T>(l: &'a RwLock<T>) -> std::sync::RwLockWriteGuard<'a, T> {
+    l.write().unwrap_or_else(|e| e.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexpath::StoreBuilder;
+
+    fn tmp_dir(tag: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("flexpath-serve-state-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn sessions_load_once_and_are_shared() {
+        let dir = tmp_dir("shared");
+        let state = ServerState::open(&dir).unwrap();
+        let flex = FleXPath::from_xml("<a><b>gold coin</b></a>").unwrap();
+        let ctx = flex.context();
+        state
+            .catalog()
+            .save(&StoreBuilder::from_parts(
+                "doc",
+                ctx.doc(),
+                ctx.stats(),
+                ctx.index(),
+            ))
+            .unwrap();
+
+        let s1 = state.session("doc").unwrap();
+        let s2 = state.session("doc").unwrap();
+        assert!(Arc::ptr_eq(&s1, &s2), "same Arc served twice");
+        assert_eq!(state.session_count(), 1);
+        assert!(matches!(
+            state.session("missing"),
+            Err(ServeError::Store(
+                flexpath::StoreError::DocumentNotFound { .. }
+            ))
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn injected_sessions_bypass_the_catalog() {
+        let dir = tmp_dir("inject");
+        let state = ServerState::open(&dir).unwrap();
+        state.insert_session("mem", FleXPath::from_xml("<a>x</a>").unwrap());
+        assert!(state.session("mem").is_ok());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

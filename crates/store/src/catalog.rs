@@ -24,6 +24,28 @@ pub struct CatalogEntry {
     pub file_bytes: u64,
 }
 
+/// A `.fxs` file in the catalog directory that could not be listed: it is
+/// quarantined from the healthy listing with the *typed* reason, instead
+/// of silently disappearing or failing the whole listing.
+#[derive(Debug)]
+pub struct QuarantinedEntry {
+    /// The offending file.
+    pub path: PathBuf,
+    /// Why its header/meta could not be read (bad magic, truncation,
+    /// checksum mismatch, I/O, …).
+    pub error: StoreError,
+}
+
+/// The result of [`Catalog::list_report`]: healthy entries plus the files
+/// that were quarantined.
+#[derive(Debug, Default)]
+pub struct CatalogListing {
+    /// Documents whose header and meta section verified, sorted by name.
+    pub entries: Vec<CatalogEntry>,
+    /// `.fxs` files that failed verification, sorted by path.
+    pub quarantined: Vec<QuarantinedEntry>,
+}
+
 /// Manages multiple named documents in one store directory.
 #[derive(Debug, Clone)]
 pub struct Catalog {
@@ -107,29 +129,44 @@ impl Catalog {
     /// Lists the catalog's documents, sorted by name. Only each file's
     /// header and meta section are read (and CRC-verified) — payloads are
     /// not decoded, so listing stays cheap for large catalogs. Files that
-    /// are not valid stores are skipped rather than failing the listing.
+    /// are not valid stores are quarantined out of the listing; use
+    /// [`Catalog::list_report`] to see them with their typed errors.
     pub fn list(&self) -> Result<Vec<CatalogEntry>, StoreError> {
-        let mut out = Vec::new();
+        Ok(self.list_report()?.entries)
+    }
+
+    /// [`Catalog::list`], but corrupt or unreadable `.fxs` files are
+    /// *reported*, not dropped: each lands in
+    /// [`CatalogListing::quarantined`] with the [`StoreError`] that
+    /// disqualified it. One damaged file (a truncated write, a flipped
+    /// bit, a foreign file with the right extension) never fails the
+    /// listing — and never hides, either, so an operator sees the damage
+    /// instead of a silently shorter catalog.
+    pub fn list_report(&self) -> Result<CatalogListing, StoreError> {
+        let mut listing = CatalogListing::default();
         for entry in std::fs::read_dir(&self.dir)? {
             let entry = entry?;
             let path = entry.path();
             if path.extension().and_then(|e| e.to_str()) != Some(FILE_EXTENSION) {
                 continue;
             }
-            let Ok(bytes) = std::fs::read(&path) else {
-                continue;
-            };
-            let Ok(meta) = peek_meta(&bytes) else {
-                continue;
-            };
-            out.push(CatalogEntry {
-                meta,
-                file_bytes: bytes.len() as u64,
-                path,
-            });
+            let verified = std::fs::read(&path)
+                .map_err(StoreError::from)
+                .and_then(|bytes| Ok((peek_meta(&bytes)?, bytes.len() as u64)));
+            match verified {
+                Ok((meta, file_bytes)) => listing.entries.push(CatalogEntry {
+                    meta,
+                    file_bytes,
+                    path,
+                }),
+                Err(error) => listing.quarantined.push(QuarantinedEntry { path, error }),
+            }
         }
-        out.sort_by(|a, b| a.meta.name.cmp(&b.meta.name));
-        Ok(out)
+        listing
+            .entries
+            .sort_by(|a, b| a.meta.name.cmp(&b.meta.name));
+        listing.quarantined.sort_by(|a, b| a.path.cmp(&b.path));
+        Ok(listing)
     }
 }
 
@@ -211,6 +248,16 @@ mod tests {
         let listing = cat.list().unwrap();
         assert_eq!(listing.len(), 1);
         assert_eq!(listing[0].meta.name, "real");
+        // The full report surfaces the junk file with its typed error
+        // (non-.fxs files stay invisible: they were never claimed).
+        let report = cat.list_report().unwrap();
+        assert_eq!(report.entries.len(), 1);
+        assert_eq!(report.quarantined.len(), 1);
+        assert!(report.quarantined[0].path.ends_with("junk.fxs"));
+        assert!(matches!(
+            report.quarantined[0].error,
+            StoreError::BadMagic | StoreError::Truncated { .. }
+        ));
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -55,7 +55,7 @@ pub mod error;
 pub mod format;
 pub mod store;
 
-pub use catalog::{Catalog, CatalogEntry};
+pub use catalog::{Catalog, CatalogEntry, CatalogListing, QuarantinedEntry};
 pub use crc::crc32;
 pub use error::StoreError;
 pub use format::{SectionId, FILE_EXTENSION, FORMAT_VERSION, MAGIC};

@@ -5,6 +5,7 @@
 //! flexpath-cli <corpus.xml> '<query>' [options]
 //! flexpath-cli --store DIR <name> '<query>' [options]
 //! flexpath-cli index <corpus.xml> --store DIR [--name NAME]
+//! flexpath-cli serve --store DIR [--addr HOST:PORT] [options]
 //!
 //! options:
 //!   --store DIR           store directory: `index` writes into it; query
@@ -28,7 +29,17 @@
 //!                         found so far
 //!   --threads N           worker threads (default: available parallelism;
 //!                         1 = sequential; results are identical either way)
+//!   --addr HOST:PORT      serve: listen address (default 127.0.0.1:7171)
+//!   --workers N           serve: connection worker threads
+//!   --queue N             serve: accepted-connection queue depth
+//!   --max-concurrent N    serve: concurrent query execution slots
+//!   --drain-ms N          serve: drain deadline after SIGINT
 //! ```
+//!
+//! `serve` starts the overload-safe HTTP query service over a store
+//! directory (`POST /query`, `POST /explain`, `GET /catalogs`,
+//! `GET /metrics`, `GET /healthz`). SIGINT drains: in-flight requests
+//! finish (bounded by `--drain-ms`), new work is shed with 429/503.
 //!
 //! On Unix, Ctrl-C cancels a running query at its next checkpoint: the best
 //! answers found so far are printed together with a note that the search
@@ -46,6 +57,7 @@ use flexpath::{
     explain_answer, explain_plan, explain_schedule, Algorithm, CancelToken, Catalog, FleXPath,
     ParallelConfig, RankingScheme, StoreBuilder,
 };
+use flexpath_serve::{ServePolicy, Server, ServerState};
 use std::path::Path;
 use std::process::ExitCode;
 use std::sync::OnceLock;
@@ -93,6 +105,8 @@ enum Mode {
     Query,
     /// `flexpath-cli index <corpus.xml> --store DIR [--name NAME]`
     Index,
+    /// `flexpath-cli serve --store DIR [--addr HOST:PORT] …`
+    Serve,
 }
 
 struct Options {
@@ -116,6 +130,11 @@ struct Options {
     metrics: bool,
     deadline_ms: Option<u64>,
     threads: Option<usize>,
+    addr: String,
+    workers: Option<usize>,
+    queue: Option<usize>,
+    max_concurrent: Option<usize>,
+    drain_ms: Option<u64>,
 }
 
 /// Every flag the parser accepts, with `true` for flags that consume a
@@ -159,6 +178,15 @@ const FLAGS: &[(&str, bool, &str)] = &[
         true,
         "document name in the store (default: file stem)",
     ),
+    (
+        "--addr",
+        true,
+        "serve: listen address (default 127.0.0.1:7171)",
+    ),
+    ("--workers", true, "serve: connection worker threads"),
+    ("--queue", true, "serve: accepted-connection queue depth"),
+    ("--max-concurrent", true, "serve: concurrent query slots"),
+    ("--drain-ms", true, "serve: drain deadline after SIGINT"),
     ("--help", false, "print this help"),
 ];
 
@@ -189,11 +217,16 @@ fn parse_args() -> Result<Options, ExitCode> {
 }
 
 fn parse_args_from(mut args: Vec<String>) -> Result<Options, ExitCode> {
-    let mode = if args.first().map(String::as_str) == Some("index") {
-        args.remove(0);
-        Mode::Index
-    } else {
-        Mode::Query
+    let mode = match args.first().map(String::as_str) {
+        Some("index") => {
+            args.remove(0);
+            Mode::Index
+        }
+        Some("serve") => {
+            args.remove(0);
+            Mode::Serve
+        }
+        _ => Mode::Query,
     };
     let mut positional: Vec<String> = Vec::new();
     let mut opts = Options {
@@ -217,6 +250,11 @@ fn parse_args_from(mut args: Vec<String>) -> Result<Options, ExitCode> {
         metrics: false,
         deadline_ms: None,
         threads: None,
+        addr: "127.0.0.1:7171".to_string(),
+        workers: None,
+        queue: None,
+        max_concurrent: None,
+        drain_ms: None,
     };
     let mut i = 0;
     while i < args.len() {
@@ -264,6 +302,27 @@ fn parse_args_from(mut args: Vec<String>) -> Result<Options, ExitCode> {
                 i += 1;
                 opts.name = Some(args.get(i).cloned().ok_or_else(usage)?);
             }
+            "--addr" => {
+                i += 1;
+                opts.addr = args.get(i).cloned().ok_or_else(usage)?;
+            }
+            "--workers" => {
+                i += 1;
+                opts.workers = Some(args.get(i).and_then(|s| s.parse().ok()).ok_or_else(usage)?);
+            }
+            "--queue" => {
+                i += 1;
+                opts.queue = Some(args.get(i).and_then(|s| s.parse().ok()).ok_or_else(usage)?);
+            }
+            "--max-concurrent" => {
+                i += 1;
+                opts.max_concurrent =
+                    Some(args.get(i).and_then(|s| s.parse().ok()).ok_or_else(usage)?);
+            }
+            "--drain-ms" => {
+                i += 1;
+                opts.drain_ms = Some(args.get(i).and_then(|s| s.parse().ok()).ok_or_else(usage)?);
+            }
             "--explain" => opts.explain = true,
             "--plan" => opts.plan = true,
             "--xml" => opts.xml = true,
@@ -293,6 +352,11 @@ fn parse_args_from(mut args: Vec<String>) -> Result<Options, ExitCode> {
                 return Err(usage());
             }
             opts.corpus = positional.remove(0);
+        }
+        Mode::Serve => {
+            if !positional.is_empty() || opts.store.is_none() {
+                return Err(usage());
+            }
         }
     }
     Ok(opts)
@@ -356,11 +420,83 @@ fn run_index(opts: &Options, store_dir: &str) -> ExitCode {
     }
 }
 
+/// `flexpath-cli serve`: run the HTTP query service until SIGINT drains it.
+fn run_serve(opts: &Options, store_dir: &str) -> ExitCode {
+    let state = match ServerState::open(Path::new(store_dir)) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot open store {store_dir}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let docs = state.catalog().list().map(|l| l.len()).unwrap_or(0);
+    let mut policy = ServePolicy::default();
+    if let Some(n) = opts.workers {
+        policy.workers = n.max(1);
+    }
+    if let Some(n) = opts.queue {
+        policy.conn_queue_depth = n;
+    }
+    if let Some(n) = opts.max_concurrent {
+        policy.max_concurrent_queries = n.max(1);
+        policy.initial_concurrent_queries = policy.initial_concurrent_queries.min(n.max(1));
+    }
+    if let Some(ms) = opts.drain_ms {
+        policy.drain_deadline = Duration::from_millis(ms);
+    }
+    if let Some(ms) = opts.deadline_ms {
+        policy.default_deadline = Duration::from_millis(ms);
+    }
+    let server = match Server::bind(&opts.addr, std::sync::Arc::new(state), policy) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot bind {}: {e}", opts.addr);
+            return ExitCode::FAILURE;
+        }
+    };
+    let addr = match server.local_addr() {
+        Ok(a) => a.to_string(),
+        Err(_) => opts.addr.clone(),
+    };
+    println!("flexpath-serve: store {store_dir} ({docs} documents) on http://{addr}");
+    println!("endpoints: POST /query /explain · GET /catalogs /metrics /healthz");
+    println!("Ctrl-C drains: in-flight requests finish, new work is shed");
+
+    // SIGINT flips the CancelToken (async-signal-safe); a monitor thread
+    // translates that into the server's drain sequence.
+    let cancel = CancelToken::new();
+    install_ctrl_c(&cancel);
+    let handle = server.handle();
+    std::thread::spawn(move || {
+        while !cancel.is_cancelled() {
+            std::thread::sleep(Duration::from_millis(50));
+        }
+        eprintln!("flexpath-serve: draining…");
+        handle.shutdown();
+    });
+    match server.run() {
+        Ok(()) => {
+            println!("flexpath-serve: drained cleanly");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("serve failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let opts = match parse_args() {
         Ok(o) => o,
         Err(code) => return code,
     };
+
+    if opts.mode == Mode::Serve {
+        // `parse_args_from` guarantees --store is present in serve mode.
+        let store_dir = opts.store.clone().unwrap_or_default();
+        return run_serve(&opts, &store_dir);
+    }
 
     if opts.mode == Mode::Index {
         // `parse_args_from` guarantees --store is present in index mode.
@@ -568,6 +704,11 @@ mod tests {
         assert_eq!(opts.snippet, 3);
         assert_eq!(opts.store.as_deref(), Some("3"));
         assert_eq!(opts.name.as_deref(), Some("3"));
+        assert_eq!(opts.addr, "3");
+        assert_eq!(opts.workers, Some(3));
+        assert_eq!(opts.queue, Some(3));
+        assert_eq!(opts.max_concurrent, Some(3));
+        assert_eq!(opts.drain_ms, Some(3));
         // With --store, the first positional is a document name.
         assert_eq!(opts.corpus, "corpus.xml");
         assert_eq!(opts.query, "//a");
@@ -614,6 +755,34 @@ mod tests {
         assert_eq!(opts.store.as_deref(), Some("stores"));
         assert_eq!(opts.corpus, "auctions");
         assert_eq!(opts.query, "//item");
+    }
+
+    #[test]
+    fn serve_mode_requires_store_and_no_positionals() {
+        let opts = parse_args_from(vec![
+            "serve".into(),
+            "--store".into(),
+            "stores".into(),
+            "--addr".into(),
+            "127.0.0.1:0".into(),
+            "--workers".into(),
+            "2".into(),
+        ])
+        .expect("serve invocation parses");
+        assert_eq!(opts.mode, Mode::Serve);
+        assert_eq!(opts.store.as_deref(), Some("stores"));
+        assert_eq!(opts.addr, "127.0.0.1:0");
+        assert_eq!(opts.workers, Some(2));
+        // Missing --store: rejected.
+        assert!(parse_args_from(vec!["serve".into()]).is_err());
+        // Stray positional: rejected.
+        assert!(parse_args_from(vec![
+            "serve".into(),
+            "extra".into(),
+            "--store".into(),
+            "s".into()
+        ])
+        .is_err());
     }
 
     #[test]

@@ -2,9 +2,10 @@
 //! threads simultaneously with identical results, and the shared full-text
 //! cache is populated exactly once per expression.
 
-use flexpath::{Algorithm, FleXPath};
+use flexpath::{Algorithm, CancelToken, FleXPath, QueryLimits};
 use flexpath_xmark::{generate, XmarkConfig};
 use std::sync::Arc;
+use std::time::Duration;
 
 const QUERY: &str =
     "//item[./description/parlist and ./mailbox/mail/text[.contains(\"vintage\" and \"gold\")]]";
@@ -49,6 +50,85 @@ fn parallel_queries_agree_with_serial_execution() {
             assert_eq!(a, b, "DPO set differs under concurrency");
         }
     }
+}
+
+/// The serving contract: a shared session stays byte-deterministic even
+/// while sibling threads are having their queries cancelled or tripped by
+/// deadlines mid-flight. Budget trips on one thread must never leak into
+/// another thread's schedule, scores, or trace counters.
+#[test]
+fn cancellation_on_one_thread_never_perturbs_another() {
+    let flex = Arc::new(FleXPath::new(generate(&XmarkConfig::sized(128 * 1024, 35))));
+    let fingerprint = |flex: &FleXPath| {
+        let r = flex
+            .query(QUERY)
+            .unwrap()
+            .top(25)
+            .algorithm(Algorithm::Hybrid)
+            .trace()
+            .execute();
+        assert!(r.completeness.is_complete(), "reference run is complete");
+        (
+            r.nodes(),
+            format!("{:?}", r.hits.iter().map(|h| h.score).collect::<Vec<_>>()),
+            r.trace.expect("trace requested").counter_fingerprint(),
+        )
+    };
+    let serial = fingerprint(&flex);
+
+    let mut handles = Vec::new();
+    for t in 0..12 {
+        let flex = Arc::clone(&flex);
+        handles.push(std::thread::spawn(move || match t % 3 {
+            // A third of the threads run the real query with a trace.
+            0 => {
+                let r = flex
+                    .query(QUERY)
+                    .unwrap()
+                    .top(25)
+                    .algorithm(Algorithm::Hybrid)
+                    .trace()
+                    .execute();
+                Some((
+                    r.nodes(),
+                    format!("{:?}", r.hits.iter().map(|h| h.score).collect::<Vec<_>>()),
+                    r.trace.expect("trace requested").counter_fingerprint(),
+                ))
+            }
+            // A third get cancelled before they start: zero answers, a
+            // typed Cancelled completeness, no panic.
+            1 => {
+                let token = CancelToken::new();
+                token.cancel();
+                let r = flex.query(QUERY).unwrap().top(25).cancel(token).execute();
+                assert!(!r.completeness.is_complete(), "cancelled run is partial");
+                None
+            }
+            // A third trip an absurdly small deadline mid-flight.
+            _ => {
+                let r = flex
+                    .query(QUERY)
+                    .unwrap()
+                    .top(25)
+                    .limits(QueryLimits::default().with_deadline(Duration::from_nanos(1)))
+                    .execute();
+                assert!(!r.completeness.is_complete(), "deadline run is partial");
+                None
+            }
+        }));
+    }
+    for h in handles {
+        if let Some(observed) = h.join().expect("worker did not panic") {
+            assert_eq!(
+                observed, serial,
+                "concurrent run diverged from serial fingerprint"
+            );
+        }
+    }
+
+    // After all that mid-flight cancellation, the shared session still
+    // produces the identical bytes: nothing was poisoned.
+    assert_eq!(fingerprint(&flex), serial, "session state perturbed");
 }
 
 #[test]

@@ -1,0 +1,290 @@
+//! End-to-end tests for `flexpath-serve` over real sockets: the full
+//! robustness contract from the ISSUE — typed shedding under overload
+//! (`429`/`503` + `Retry-After`), graceful degradation into `200`
+//! partials on budget trips, typed statuses for malformed HTTP, and a
+//! drain that finishes in-flight work while shedding new work — all
+//! without ever poisoning the shared session.
+
+use flexpath::FleXPath;
+use flexpath_serve::{http_call, Client, ServePolicy, Server, ServerHandle, ServerState};
+use flexpath_xmark::{generate, XmarkConfig};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+const QUERY: &str = "//item[./description/parlist and ./mailbox/mail/text]";
+
+const TIMEOUT: Duration = Duration::from_secs(5);
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("flexpath-serve-e2e-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A running server over an in-memory XMark session, plus the bits a test
+/// needs to talk to it and shut it down.
+struct Harness {
+    addr: SocketAddr,
+    handle: ServerHandle,
+    join: Option<std::thread::JoinHandle<()>>,
+    dir: PathBuf,
+}
+
+impl Harness {
+    fn start(tag: &str, policy: ServePolicy) -> Harness {
+        let dir = temp_dir(tag);
+        let state = ServerState::open(&dir).expect("catalog opens");
+        let flex = FleXPath::new(generate(&XmarkConfig::sized(64 * 1024, 41)));
+        // Save to the catalog so /catalogs lists it, and inject the
+        // already-built session so tests don't pay a reload.
+        let ctx = flex.context();
+        state
+            .catalog()
+            .save(&flexpath::StoreBuilder::from_parts(
+                "doc",
+                ctx.doc(),
+                ctx.stats(),
+                ctx.index(),
+            ))
+            .expect("store saves");
+        state.insert_session("doc", flex);
+        let server = Server::bind("127.0.0.1:0", Arc::new(state), policy).expect("binds port 0");
+        let addr = server.local_addr().expect("bound addr");
+        let handle = server.handle();
+        let join = std::thread::spawn(move || server.run().expect("server run"));
+        Harness {
+            addr,
+            handle,
+            join: Some(join),
+            dir,
+        }
+    }
+
+    fn query_body(extra: &str) -> String {
+        format!(r#"{{"catalog":"doc","query":"{QUERY}","k":5{extra}}}"#)
+    }
+
+    fn post_query(&self, extra: &str) -> flexpath_serve::ClientResponse {
+        http_call(
+            self.addr,
+            "POST",
+            "/query",
+            Self::query_body(extra).as_bytes(),
+            TIMEOUT,
+        )
+        .expect("query call completes")
+    }
+}
+
+impl Drop for Harness {
+    fn drop(&mut self) {
+        self.handle.shutdown();
+        if let Some(join) = self.join.take() {
+            join.join().expect("server thread exits cleanly");
+        }
+        let _ = std::fs::remove_dir_all(&self.dir);
+    }
+}
+
+/// Sends raw bytes on a fresh connection and returns the status code the
+/// server answered with (0 if it closed without answering).
+fn raw_status(addr: SocketAddr, bytes: &[u8]) -> u16 {
+    let mut stream = TcpStream::connect_timeout(&addr, TIMEOUT).expect("connects");
+    stream.set_read_timeout(Some(TIMEOUT)).unwrap();
+    stream.set_write_timeout(Some(TIMEOUT)).unwrap();
+    stream.write_all(bytes).expect("request bytes written");
+    let mut buf = Vec::new();
+    let _ = stream.read_to_end(&mut buf);
+    let head = String::from_utf8_lossy(&buf);
+    head.split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0)
+}
+
+#[test]
+fn query_round_trips_over_a_real_socket() {
+    let h = Harness::start("roundtrip", ServePolicy::for_tests());
+
+    let resp = h.post_query("");
+    assert_eq!(resp.status, 200, "body: {}", resp.body_text());
+    let body = resp.body_text();
+    assert!(body.contains(r#""complete":true"#), "complete: {body}");
+    assert!(body.contains(r#""hits":["#), "hits present: {body}");
+    assert!(body.contains(r#""path":"#), "paths rendered: {body}");
+
+    // Keep-alive: the same client connection serves several requests.
+    let mut client = Client::connect(h.addr, TIMEOUT);
+    for _ in 0..3 {
+        let r = client
+            .call("POST", "/query", Harness::query_body("").as_bytes())
+            .expect("keep-alive call");
+        assert_eq!(r.status, 200);
+    }
+
+    let health = http_call(h.addr, "GET", "/healthz", b"", TIMEOUT).expect("healthz");
+    assert_eq!(health.status, 200);
+    assert!(health.body_text().contains(r#""status":"ok""#));
+
+    let catalogs = http_call(h.addr, "GET", "/catalogs", b"", TIMEOUT).expect("catalogs");
+    assert_eq!(catalogs.status, 200);
+    assert!(catalogs.body_text().contains(r#""doc""#));
+
+    let metrics = http_call(h.addr, "GET", "/metrics", b"", TIMEOUT).expect("metrics");
+    assert_eq!(metrics.status, 200);
+    assert!(metrics.body_text().contains("serve.requests"));
+}
+
+#[test]
+fn overload_sheds_with_429_and_never_poisons_the_session() {
+    // for_tests(): 2 slots, wait queue of 1, 50 ms admission timeout —
+    // six concurrent 300 ms holders guarantee sheds.
+    let h = Harness::start("overload", ServePolicy::for_tests());
+    let mut workers = Vec::new();
+    for _ in 0..6 {
+        let addr = h.addr;
+        workers.push(std::thread::spawn(move || {
+            http_call(
+                addr,
+                "POST",
+                "/query",
+                Harness::query_body(r#","test_delay_ms":300"#).as_bytes(),
+                TIMEOUT,
+            )
+            .expect("overloaded call still answers")
+        }));
+    }
+    let mut ok = 0usize;
+    let mut shed = 0usize;
+    for w in workers {
+        let resp = w.join().expect("client thread");
+        match resp.status {
+            200 => ok += 1,
+            // 429: admission shed (wait queue full or admission timeout).
+            // 503: door shed (the bounded connection queue overflowed).
+            429 | 503 => {
+                shed += 1;
+                assert!(
+                    resp.header("retry-after").is_some(),
+                    "shed responses carry Retry-After"
+                );
+                if resp.status == 429 {
+                    let body = resp.body_text();
+                    assert!(
+                        body.contains("shed_queue_full") || body.contains("shed_timeout"),
+                        "typed shed reason: {body}"
+                    );
+                }
+            }
+            other => panic!("unexpected status under overload: {other}"),
+        }
+    }
+    assert!(ok >= 2, "slot holders complete ({ok} ok)");
+    assert!(shed >= 1, "overflow is shed ({shed} shed)");
+
+    // The session is untouched by shedding: a fresh query still answers
+    // completely.
+    let resp = h.post_query("");
+    assert_eq!(resp.status, 200, "post-shed body: {}", resp.body_text());
+    assert!(resp.body_text().contains(r#""complete":true"#));
+}
+
+#[test]
+fn budget_trips_degrade_into_partials_with_retry_after() {
+    let h = Harness::start("partial", ServePolicy::for_tests());
+    // max_candidates: 0 exhausts the answer budget deterministically.
+    let resp = h.post_query(r#","max_candidates":0"#);
+    assert_eq!(resp.status, 200, "partials are 200s: {}", resp.body_text());
+    let body = resp.body_text();
+    assert!(body.contains(r#""complete":false"#), "partial: {body}");
+    assert!(
+        body.contains(r#""reason":"answer_budget""#),
+        "typed reason: {body}"
+    );
+    assert!(
+        resp.header("retry-after").is_some(),
+        "partials hint Retry-After so clients back off"
+    );
+}
+
+#[test]
+fn malformed_http_maps_to_typed_statuses() {
+    let h = Harness::start("malformed", ServePolicy::for_tests());
+
+    assert_eq!(raw_status(h.addr, b"not http at all\r\n\r\n"), 400);
+    assert_eq!(raw_status(h.addr, b"GET /healthz HTTP/3.0\r\n\r\n"), 505);
+    assert_eq!(raw_status(h.addr, b"BREW /query HTTP/1.1\r\n\r\n"), 405);
+    assert_eq!(
+        raw_status(
+            h.addr,
+            b"POST /query HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"
+        ),
+        501
+    );
+    assert_eq!(
+        raw_status(
+            h.addr,
+            b"POST /query HTTP/1.1\r\nContent-Length: 999999999999\r\n\r\n"
+        ),
+        413
+    );
+    // An oversized head trips the cap mid-read.
+    let mut big = b"GET /healthz HTTP/1.1\r\n".to_vec();
+    big.extend_from_slice(format!("X-Pad: {}\r\n\r\n", "a".repeat(64 * 1024)).as_bytes());
+    assert_eq!(raw_status(h.addr, &big), 431);
+
+    // Bad JSON and unknown routes are typed too.
+    let resp = http_call(h.addr, "POST", "/query", b"{not json", TIMEOUT).unwrap();
+    assert_eq!(resp.status, 400);
+    let resp = http_call(h.addr, "GET", "/nope", b"", TIMEOUT).unwrap();
+    assert_eq!(resp.status, 404);
+
+    // After all that abuse the server still answers real queries.
+    assert_eq!(h.post_query("").status, 200);
+}
+
+#[test]
+fn drain_finishes_in_flight_work_and_sheds_new_work() {
+    let h = Harness::start("drain", ServePolicy::for_tests());
+
+    // An in-flight slow request...
+    let addr = h.addr;
+    let slow = std::thread::spawn(move || {
+        http_call(
+            addr,
+            "POST",
+            "/query",
+            Harness::query_body(r#","test_delay_ms":300"#).as_bytes(),
+            TIMEOUT,
+        )
+        .expect("in-flight request answered")
+    });
+    std::thread::sleep(Duration::from_millis(100));
+
+    // ...survives the shutdown and completes as a 200...
+    h.handle.shutdown();
+    let resp = slow.join().expect("slow client thread");
+    assert_eq!(
+        resp.status,
+        200,
+        "in-flight work finishes: {}",
+        resp.body_text()
+    );
+
+    // ...while new work after the drain began is shed with 503.
+    let resp = http_call(
+        h.addr,
+        "POST",
+        "/query",
+        Harness::query_body("").as_bytes(),
+        TIMEOUT,
+    );
+    // (An Err is equally fine: the listener may already be gone.)
+    if let Ok(resp) = resp {
+        assert_eq!(resp.status, 503, "draining sheds: {}", resp.body_text());
+        assert!(resp.header("retry-after").is_some());
+    }
+}

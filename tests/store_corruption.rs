@@ -3,7 +3,7 @@
 //! format version — must surface as a *typed* [`StoreError`], never a
 //! panic, never an out-of-bounds slice, never a giant bogus allocation.
 
-use flexpath::{Budget, CorpusStore, FleXPath, StoreError};
+use flexpath::{Budget, Catalog, CorpusStore, FleXPath, StoreError};
 use flexpath_store::{FORMAT_VERSION, MAGIC};
 use std::path::PathBuf;
 
@@ -135,5 +135,54 @@ fn on_disk_garbage_and_truncation_are_typed_through_open() {
             let _ = format!("{e}");
         }
     }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn catalog_listing_quarantines_damaged_entries() {
+    // A catalog directory with one healthy store, one store truncated
+    // mid-header, one with a bit flipped in the section table, and one
+    // plain-garbage file: `list_report` must serve the healthy entry and
+    // quarantine each damaged file with a typed error — never fail the
+    // whole listing, never panic. (Listing verifies only the header and
+    // meta section — that is what keeps it cheap — so the damage here is
+    // aimed at that region; payload damage is caught at load time, see
+    // the flip/truncation sweeps above.)
+    let dir = temp_dir("quarantine");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let bytes = store_bytes();
+    std::fs::write(dir.join("healthy.fxs"), &bytes).expect("write healthy");
+    std::fs::write(dir.join("truncated.fxs"), &bytes[..20]).expect("write truncated");
+    let mut flipped = bytes.clone();
+    flipped[17] ^= 0xff; // inside the section table, covered by the header CRC
+    std::fs::write(dir.join("flipped.fxs"), &flipped).expect("write flipped");
+    std::fs::write(dir.join("garbage.fxs"), b"junk").expect("write garbage");
+    // Non-.fxs files are not the catalog's business at all.
+    std::fs::write(dir.join("notes.txt"), b"ignore me").expect("write notes");
+
+    let catalog = Catalog::open(&dir).expect("catalog opens");
+    let report = catalog.list_report().expect("listing survives corruption");
+    assert_eq!(report.entries.len(), 1, "only the healthy store lists");
+    assert_eq!(report.entries[0].meta.name, "doc");
+    assert_eq!(
+        report.quarantined.len(),
+        3,
+        "every damaged .fxs file is quarantined: {:?}",
+        report.quarantined
+    );
+    for q in &report.quarantined {
+        // Typed error with a working Display, and the path names the file.
+        assert!(q.path.extension().is_some_and(|x| x == "fxs"));
+        let _ = format!("{}", q.error);
+    }
+
+    // The legacy `list()` keeps working and agrees with the report.
+    let entries = catalog.list().expect("list() tolerates corruption");
+    assert_eq!(entries.len(), 1);
+
+    // Quarantine is observation, not repair: the healthy entry still
+    // loads (by file name — the meta name inside is "doc").
+    let store = catalog.load("healthy").expect("healthy store loads");
+    assert_eq!(store.name(), "doc");
     let _ = std::fs::remove_dir_all(&dir);
 }
