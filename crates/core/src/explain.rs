@@ -6,7 +6,8 @@
 
 use crate::session::FleXPath;
 use flexpath_engine::{
-    build_schedule, Algorithm, Answer, EncodedQuery, EngineContext, PenaltyModel, WeightAssignment,
+    build_schedule, Algorithm, Answer, CancelToken, EncodedQuery, EngineContext, PenaltyModel,
+    QueryLimits, WeightAssignment,
 };
 use flexpath_tpq::{QueryParseError, Tpq};
 use std::fmt::Write as _;
@@ -65,10 +66,34 @@ pub fn explain_profile(
     k: usize,
     algorithm: Algorithm,
 ) -> Result<String, QueryParseError> {
+    explain_profile_with(
+        flex,
+        xpath,
+        k,
+        algorithm,
+        QueryLimits::default(),
+        CancelToken::new(),
+    )
+}
+
+/// [`explain_profile`] under governor control: the profiled run executes
+/// with `limits` and stops at `cancel` like any other query, so callers
+/// that must bound work (e.g. a server clamping per-request budgets) can
+/// profile without granting an unlimited, uncancellable execution.
+pub fn explain_profile_with(
+    flex: &FleXPath,
+    xpath: &str,
+    k: usize,
+    algorithm: Algorithm,
+    limits: QueryLimits,
+    cancel: CancelToken,
+) -> Result<String, QueryParseError> {
     let results = flex
         .query(xpath)?
         .top(k)
         .algorithm(algorithm)
+        .limits(limits)
+        .cancel(cancel)
         .trace()
         .execute();
     let mut out = String::new();
@@ -177,6 +202,30 @@ mod tests {
         assert!(text.contains("governor.checkpoint."), "{text}");
         assert!(text.contains("counter fingerprint"), "{text}");
         assert!(text.contains("dpo>schedule"), "{text}");
+    }
+
+    #[test]
+    fn profile_with_honors_limits_and_cancel() {
+        let flex = FleXPath::from_xml(CORPUS).unwrap();
+        // A zero answer budget trips before completion — the profile must
+        // report a partial run, not ignore the limits.
+        let limited = explain_profile_with(
+            &flex,
+            Q1,
+            2,
+            crate::Algorithm::Dpo,
+            QueryLimits::default().with_max_candidate_answers(0),
+            CancelToken::new(),
+        )
+        .unwrap();
+        assert!(limited.contains("completeness: exhausted"), "{limited}");
+        // A pre-cancelled token stops the run at its first checkpoint.
+        let cancel = CancelToken::new();
+        cancel.cancel();
+        let cancelled =
+            explain_profile_with(&flex, Q1, 2, crate::Algorithm::Dpo, QueryLimits::default(), cancel)
+                .unwrap();
+        assert!(cancelled.contains("completeness: exhausted"), "{cancelled}");
     }
 
     #[test]

@@ -58,7 +58,9 @@
 pub mod explain;
 pub mod session;
 
-pub use explain::{explain_answer, explain_plan, explain_profile, explain_schedule};
+pub use explain::{
+    explain_answer, explain_plan, explain_profile, explain_profile_with, explain_schedule,
+};
 pub use session::{FleXPath, QueryResults, TopKQuery};
 
 // Re-exports for downstream users.

@@ -67,6 +67,12 @@ pub struct Request {
     pub headers: Vec<(String, String)>,
     /// The request body (empty unless `Content-Length` was sent).
     pub body: Vec<u8>,
+    /// Bytes beyond `Content-Length` arrived with this request — a
+    /// pipelined next request this server does not support. They were
+    /// discarded, so the connection is desynchronized and must be closed
+    /// after responding (the pipelining client sees the close and retries
+    /// instead of hanging on a response that will never come).
+    pub pipelined_excess: bool,
 }
 
 impl Request {
@@ -226,9 +232,11 @@ pub fn read_request(stream: &mut impl Read, limits: &HttpLimits) -> Result<Reque
     // Body: whatever arrived with the head, then read the rest exactly.
     let mut body = std::mem::take(&mut leftover);
     let want = content_length as usize;
-    if body.len() > want {
-        // Pipelined extra bytes are not supported; drop them rather than
-        // desynchronizing the connection.
+    let pipelined_excess = body.len() > want;
+    if pipelined_excess {
+        // Pipelined extra bytes are not supported; the flag forces the
+        // connection closed after this response so the client notices
+        // (keep-alive would silently eat its next request).
         body.truncate(want);
     }
     while body.len() < want {
@@ -250,6 +258,7 @@ pub fn read_request(stream: &mut impl Read, limits: &HttpLimits) -> Result<Reque
         query,
         headers,
         body,
+        pipelined_excess,
     })
 }
 
@@ -502,6 +511,18 @@ mod tests {
                 limit: 8
             })
         ));
+    }
+
+    #[test]
+    fn pipelined_extra_bytes_flag_the_connection_for_close() {
+        let r = parse(
+            b"POST /query HTTP/1.1\r\nContent-Length: 4\r\n\r\nabcdPOST /query HTTP/1.1\r\n\r\n",
+        )
+        .unwrap();
+        assert_eq!(r.body, b"abcd");
+        assert!(r.pipelined_excess, "excess bytes must force close");
+        let exact = parse(b"POST /query HTTP/1.1\r\nContent-Length: 4\r\n\r\nabcd").unwrap();
+        assert!(!exact.pipelined_excess);
     }
 
     #[test]

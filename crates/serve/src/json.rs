@@ -51,10 +51,11 @@ impl Json {
 
     /// The numeric value as a non-negative integer, if it is one.
     pub fn as_u64(&self) -> Option<u64> {
+        // Strict upper bound: `u64::MAX as f64` rounds UP to 2^64, so a
+        // `<=` comparison would admit 2^64 itself and saturate the cast.
+        const TWO_POW_64: f64 = 18_446_744_073_709_551_616.0;
         match self {
-            Json::Number(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= u64::MAX as f64 => {
-                Some(*n as u64)
-            }
+            Json::Number(n) if *n >= 0.0 && n.fract() == 0.0 && *n < TWO_POW_64 => Some(*n as u64),
             _ => None,
         }
     }
@@ -517,5 +518,21 @@ mod tests {
         assert_eq!(v.get("name").and_then(Json::as_str), Some("a\"b"));
         assert_eq!(v.get("n").and_then(Json::as_u64), Some(42));
         assert_eq!(v.get("flag").and_then(Json::as_bool), Some(false));
+    }
+
+    #[test]
+    fn as_u64_rejects_values_at_and_beyond_two_pow_64() {
+        // 2^64 itself: `u64::MAX as f64` rounds up to exactly this, so a
+        // `<=` bound would let it through and saturate the cast.
+        assert_eq!(Json::Number(18_446_744_073_709_551_616.0).as_u64(), None);
+        assert_eq!(Json::Number(1e300).as_u64(), None);
+        assert_eq!(Json::Number(-1.0).as_u64(), None);
+        assert_eq!(Json::Number(1.5).as_u64(), None);
+        // The largest f64 below 2^64 still converts.
+        assert_eq!(
+            Json::Number(18_446_744_073_709_549_568.0).as_u64(),
+            Some(18_446_744_073_709_549_568)
+        );
+        assert_eq!(Json::Number(0.0).as_u64(), Some(0));
     }
 }

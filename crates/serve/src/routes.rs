@@ -390,8 +390,18 @@ fn explain(ctx: &RouteContext<'_>, req: &Request) -> Result<Response, ServeError
     let parsed = QueryRequest::parse(&req.body, ctx.policy)?;
     let _permit = ctx.admission.admit()?;
     let flex = ctx.state.session(&parsed.catalog)?;
-    let text = flexpath::explain_profile(&flex, &parsed.query, parsed.k, parsed.algorithm)
-        .map_err(|e| ServeError::BadRequest(e.to_string()))?;
+    // Same governor contract as /query: clamped limits and the drain
+    // token — an explain run must not outlive the drain deadline or
+    // escape the operator's budget ceilings.
+    let text = flexpath::explain_profile_with(
+        &flex,
+        &parsed.query,
+        parsed.k,
+        parsed.algorithm,
+        ctx.policy.clamp(&parsed.limits),
+        ctx.drain_cancel.clone(),
+    )
+    .map_err(|e| ServeError::BadRequest(e.to_string()))?;
     Ok(Response::text(200, text))
 }
 
@@ -437,6 +447,7 @@ mod tests {
             query: String::new(),
             headers: Vec::new(),
             body: body.as_bytes().to_vec(),
+            pipelined_excess: false,
         }
     }
 
@@ -563,6 +574,7 @@ mod tests {
             query: query.to_string(),
             headers: Vec::new(),
             body: Vec::new(),
+            pipelined_excess: false,
         };
         let health = dispatch(&ctx, &get("/healthz", ""));
         assert_eq!(health.status, 200);
@@ -580,6 +592,51 @@ mod tests {
         );
         assert_eq!(explain.status, 200);
         assert!(String::from_utf8_lossy(&explain.body).contains("EXPLAIN ANALYZE"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn explain_runs_under_clamped_limits_and_drain_token() {
+        let (state, policy, admission, cancel, dir) = test_ctx();
+        {
+            let ctx = RouteContext {
+                state: &state,
+                policy: &policy,
+                admission: &admission,
+                drain_cancel: &cancel,
+            };
+            // Request limits reach the profiled run (zero answer budget
+            // trips the governor, visible in the rendered completeness).
+            let resp = dispatch(
+                &ctx,
+                &post(
+                    "/explain",
+                    r#"{"catalog":"doc","query":"//article[.contains(\"XML\")]","max_candidates":0}"#,
+                ),
+            );
+            assert_eq!(resp.status, 200);
+            let text = String::from_utf8_lossy(&resp.body);
+            assert!(text.contains("completeness: exhausted"), "{text}");
+        }
+        // A fired drain token stops an explain run at its first governor
+        // checkpoint — explain cannot outlive the drain deadline.
+        cancel.cancel();
+        let ctx = RouteContext {
+            state: &state,
+            policy: &policy,
+            admission: &admission,
+            drain_cancel: &cancel,
+        };
+        let resp = dispatch(
+            &ctx,
+            &post(
+                "/explain",
+                r#"{"catalog":"doc","query":"//article[.contains(\"XML\")]"}"#,
+            ),
+        );
+        assert_eq!(resp.status, 200);
+        let text = String::from_utf8_lossy(&resp.body);
+        assert!(text.contains("completeness: exhausted"), "{text}");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -224,12 +224,23 @@ impl Server {
 
 /// Writes a `503 + Retry-After` and closes — used for door-level shedding
 /// and for connections still queued when the drain begins.
-fn shed_connection(mut stream: TcpStream, policy: &ServePolicy) {
+///
+/// The write is a single best-effort non-blocking attempt: this runs on
+/// the accept loop, and a slow or unresponsive client being shed must not
+/// stall `accept()` for well-behaved connections — exactly the moment
+/// (overload) when that would hurt most. A freshly accepted socket's send
+/// buffer is empty, so the small 503 body virtually always fits; when it
+/// doesn't, the client just sees the close.
+fn shed_connection(stream: TcpStream, policy: &ServePolicy) {
     metrics::global().add("serve.shed.at_door", 1);
-    let _ = stream.set_write_timeout(Some(Duration::from_millis(250)));
     let resp = routes::err_json(503, "overloaded", "connection queue full; retry later")
         .retry_after(policy.retry_after_secs);
-    let _ = resp.write_to(&mut stream, false, true);
+    let mut buf = Vec::with_capacity(256);
+    let _ = resp.write_to(&mut buf, false, true);
+    if stream.set_nonblocking(true).is_ok() {
+        use std::io::Write as _;
+        let _ = (&stream).write(&buf);
+    }
 }
 
 /// Fires the drain [`CancelToken`] if in-flight work outlives the drain
@@ -338,7 +349,9 @@ fn serve_requests(
             }
         };
         let head_only = req.method == Method::Head;
-        let close = req.wants_close() || served + 1 == policy.max_requests_per_conn;
+        let close = req.wants_close()
+            || req.pipelined_excess
+            || served + 1 == policy.max_requests_per_conn;
         let resp: Response = routes::dispatch(&ctx, &req);
         if resp.write_to(stream, head_only, close).is_err() {
             return;

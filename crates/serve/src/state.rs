@@ -6,21 +6,33 @@
 //! request — queries share the document arena, statistics, inverted
 //! index, and the sharded full-text cache without copying any of them.
 //! The cache here is *insert-only*: a catalog document is decoded from
-//! the FXPSTORE at most once per process (double-checked under the write
-//! lock), then shared for the lifetime of the server.
+//! the FXPSTORE at most once per process, then shared for the lifetime
+//! of the server. Decoding happens *outside* the map lock, behind a
+//! per-document slot: a cold load (potentially seconds for a large
+//! store) only blocks other requests for the *same* document — cache
+//! hits for already-loaded documents never wait behind it.
 
 use crate::error::ServeError;
 use flexpath::{Catalog, FleXPath};
 use flexpath_engine::metrics;
 use std::collections::BTreeMap;
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
 use std::time::Instant;
+
+/// One document's place in the cache: the loaded session once ready, and
+/// a mutex serializing the load among requests that raced for a cold
+/// document. Holding `loading` does NOT hold the sessions map lock.
+#[derive(Default)]
+struct SessionSlot {
+    session: OnceLock<Arc<FleXPath>>,
+    loading: Mutex<()>,
+}
 
 /// The catalog plus the session cache. One per server, shared by every
 /// worker behind an `Arc`.
 pub struct ServerState {
     catalog: Catalog,
-    sessions: RwLock<BTreeMap<String, Arc<FleXPath>>>,
+    sessions: RwLock<BTreeMap<String, Arc<SessionSlot>>>,
 }
 
 impl std::fmt::Debug for ServerState {
@@ -54,31 +66,60 @@ impl ServerState {
     /// catalog (tests and the load benchmark index in memory instead of
     /// round-tripping through disk).
     pub fn insert_session(&self, name: &str, flex: FleXPath) {
-        write_lock(&self.sessions).insert(name.to_string(), Arc::new(flex));
+        let slot = Arc::new(SessionSlot::default());
+        let _ = slot.session.set(Arc::new(flex));
+        write_lock(&self.sessions).insert(name.to_string(), slot);
     }
 
-    /// Number of cached sessions (for `/healthz`).
+    /// Number of loaded sessions (for `/healthz`). Slots still mid-load
+    /// don't count.
     pub fn session_count(&self) -> usize {
-        read_lock(&self.sessions).len()
+        read_lock(&self.sessions)
+            .values()
+            .filter(|slot| slot.session.get().is_some())
+            .count()
     }
 
     /// The session for document `name`, loading and caching it from the
     /// store on first use. Concurrent first requests for the same
-    /// document load it once (double-checked under the write lock).
+    /// document load it once (serialized on that document's slot); cache
+    /// hits for *other* documents proceed without waiting — the map's
+    /// write lock is only held for the cheap slot insertion, never across
+    /// the decode.
     pub fn session(&self, name: &str) -> Result<Arc<FleXPath>, ServeError> {
-        if let Some(s) = read_lock(&self.sessions).get(name) {
-            metrics::global().add("serve.sessions.cache_hits", 1);
-            return Ok(s.clone());
+        if let Some(slot) = read_lock(&self.sessions).get(name) {
+            if let Some(s) = slot.session.get() {
+                metrics::global().add("serve.sessions.cache_hits", 1);
+                return Ok(s.clone());
+            }
         }
-        let mut sessions = write_lock(&self.sessions);
-        if let Some(s) = sessions.get(name) {
+        let slot = write_lock(&self.sessions)
+            .entry(name.to_string())
+            .or_default()
+            .clone();
+        let _loading = lock(&slot.loading);
+        if let Some(s) = slot.session.get() {
             metrics::global().add("serve.sessions.cache_hits", 1);
             return Ok(s.clone());
         }
         let started = Instant::now();
-        let store = self.catalog.load(name)?;
+        let store = match self.catalog.load(name) {
+            Ok(store) => store,
+            Err(e) => {
+                // Failures are not cached: drop the empty slot (if it is
+                // still ours) so a later request retries the load — e.g.
+                // after the operator re-indexes a missing document.
+                let mut sessions = write_lock(&self.sessions);
+                if let Some(cur) = sessions.get(name) {
+                    if Arc::ptr_eq(cur, &slot) && cur.session.get().is_none() {
+                        sessions.remove(name);
+                    }
+                }
+                return Err(e.into());
+            }
+        };
         let flex = Arc::new(FleXPath::from_store(store));
-        sessions.insert(name.to_string(), flex.clone());
+        let _ = slot.session.set(flex.clone());
         metrics::global().add("serve.sessions.loaded", 1);
         metrics::global().observe_duration("serve.sessions.load_duration", started.elapsed());
         Ok(flex)
@@ -86,9 +127,13 @@ impl ServerState {
 }
 
 // Session-cache state is an insert-only map of immutable Arcs; a panic
-// while holding the lock cannot corrupt it, so poison is ignored.
+// while holding a lock cannot corrupt it, so poison is ignored.
 fn read_lock<'a, T>(l: &'a RwLock<T>) -> std::sync::RwLockReadGuard<'a, T> {
     l.read().unwrap_or_else(|e| e.into_inner())
+}
+
+fn lock<'a, T>(m: &'a Mutex<T>) -> std::sync::MutexGuard<'a, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
 }
 
 fn write_lock<'a, T>(l: &'a RwLock<T>) -> std::sync::RwLockWriteGuard<'a, T> {
@@ -133,6 +178,30 @@ mod tests {
                 flexpath::StoreError::DocumentNotFound { .. }
             ))
         ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn failed_loads_are_not_cached() {
+        let dir = tmp_dir("retry");
+        let state = ServerState::open(&dir).unwrap();
+        assert!(state.session("doc").is_err());
+        assert_eq!(state.session_count(), 0, "failure left no cached slot");
+        // The operator indexes the document; the next request must retry
+        // the load instead of finding a stale empty slot.
+        let flex = FleXPath::from_xml("<a><b>silver coin</b></a>").unwrap();
+        let ctx = flex.context();
+        state
+            .catalog()
+            .save(&StoreBuilder::from_parts(
+                "doc",
+                ctx.doc(),
+                ctx.stats(),
+                ctx.index(),
+            ))
+            .unwrap();
+        assert!(state.session("doc").is_ok());
+        assert_eq!(state.session_count(), 1);
         let _ = std::fs::remove_dir_all(&dir);
     }
 
