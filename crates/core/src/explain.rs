@@ -222,9 +222,15 @@ mod tests {
         // A pre-cancelled token stops the run at its first checkpoint.
         let cancel = CancelToken::new();
         cancel.cancel();
-        let cancelled =
-            explain_profile_with(&flex, Q1, 2, crate::Algorithm::Dpo, QueryLimits::default(), cancel)
-                .unwrap();
+        let cancelled = explain_profile_with(
+            &flex,
+            Q1,
+            2,
+            crate::Algorithm::Dpo,
+            QueryLimits::default(),
+            cancel,
+        )
+        .unwrap();
         assert!(cancelled.contains("completeness: exhausted"), "{cancelled}");
     }
 

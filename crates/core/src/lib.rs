@@ -65,9 +65,10 @@ pub use session::{FleXPath, QueryResults, TopKQuery};
 
 // Re-exports for downstream users.
 pub use flexpath_engine::{
-    Algorithm, Answer, AnswerScore, AttrRelaxation, Budget, CancelToken, Completeness, EngineError,
-    ExecStats, ExhaustReason, MetricsRegistry, MetricsSnapshot, ParallelConfig, QueryLimits,
-    QueryTrace, RankingScheme, TagHierarchy, TraceSpan, WeightAssignment,
+    hardware_threads, Algorithm, Answer, AnswerScore, AttrRelaxation, Budget, CancelToken,
+    Completeness, EngineError, ExecStats, ExhaustReason, MetricsRegistry, MetricsSnapshot, Offer,
+    ParallelConfig, PruneFloor, QueryLimits, QueryTrace, RankingScheme, ScoreKey, TagHierarchy,
+    TopKBuckets, TraceSpan, WeightAssignment,
 };
 pub use flexpath_store::{
     Catalog, CatalogEntry, CatalogListing, CorpusStore, QuarantinedEntry, StoreBuilder, StoreError,

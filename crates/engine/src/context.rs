@@ -125,16 +125,21 @@ impl EngineContext {
         out.clear();
         match tag {
             Some(tag) => {
+                // Both ends of the subtree range by binary search, then one
+                // bulk copy — no per-element bound test on the common
+                // (descendant-axis) path.
                 let list = self.doc.nodes_with_tag(tag);
                 let last = self.doc.subtree_last(anchor);
                 let lo = list.partition_point(|&n| n <= anchor);
-                for &n in &list[lo..] {
-                    if n > last {
-                        break;
+                let hi = lo + list[lo..].partition_point(|&n| n <= last);
+                if children_only {
+                    for &n in &list[lo..hi] {
+                        if self.doc.is_parent(anchor, n) {
+                            out.push(n);
+                        }
                     }
-                    if !children_only || self.doc.is_parent(anchor, n) {
-                        out.push(n);
-                    }
+                } else {
+                    out.extend_from_slice(&list[lo..hi]);
                 }
             }
             None => {

@@ -545,6 +545,59 @@ impl EncodedQuery {
         }
         lists
     }
+
+    /// The same child lists in one contiguous arena ([`ChildIndex`]) — the
+    /// evaluator's hot loops read ranges of it instead of cloning a
+    /// per-spec `Vec` for every candidate visited.
+    pub fn child_index(&self) -> ChildIndex {
+        let n = self.specs.len();
+        let mut offsets = vec![0usize; n + 1];
+        for spec in &self.specs {
+            if let Some(p) = spec.parent {
+                offsets[p + 1] += 1;
+            }
+        }
+        for i in 0..n {
+            offsets[i + 1] += offsets[i];
+        }
+        let mut cursor = offsets.clone();
+        let mut list = vec![0usize; offsets[n]];
+        // Specs are visited in index (= original-tree) order, so each
+        // parent's slice stays in tree order, like `children_lists`.
+        for (idx, spec) in self.specs.iter().enumerate() {
+            if let Some(p) = spec.parent {
+                list[cursor[p]] = idx;
+                cursor[p] += 1;
+            }
+        }
+        ChildIndex { offsets, list }
+    }
+}
+
+/// Contiguous (CSR-style) layout of the original query tree's child lists:
+/// one shared arena plus per-spec offset ranges. Built once per evaluator;
+/// walking a node's children is then a range read with no allocation —
+/// the per-candidate `Vec` clone this replaced dominated the evaluator's
+/// allocator traffic on large documents.
+#[derive(Debug, Clone)]
+pub struct ChildIndex {
+    /// `offsets[i]..offsets[i + 1]` indexes `list` for spec `i`'s children.
+    offsets: Vec<usize>,
+    /// Child spec indices, grouped by parent, in original-tree order.
+    list: Vec<usize>,
+}
+
+impl ChildIndex {
+    /// Arena range holding spec `idx`'s children (resolve with
+    /// [`ChildIndex::at`]).
+    pub fn range(&self, idx: usize) -> std::ops::Range<usize> {
+        self.offsets[idx]..self.offsets[idx + 1]
+    }
+
+    /// The child spec index stored at arena position `i`.
+    pub fn at(&self, i: usize) -> usize {
+        self.list[i]
+    }
 }
 
 #[cfg(test)]

@@ -25,7 +25,7 @@
 //! children independently.
 
 use crate::context::EngineContext;
-use crate::encode::{BitCheck, EncodedQuery};
+use crate::encode::{BitCheck, ChildIndex, EncodedQuery};
 use crate::parallel::{chunk_ranges, fan_out, ParallelConfig};
 use crate::score::{AnswerScore, RankingScheme};
 use crate::topk::Answer;
@@ -68,6 +68,11 @@ pub struct EvalStats {
     pub candidates_examined: u64,
     /// Answers emitted.
     pub answers: u64,
+    /// Candidate loops cut short by the saturation shortcut: a binding
+    /// satisfied every relaxable bit its subtree can contribute (and the
+    /// subtree carries no keyword score), so no later candidate can beat
+    /// it and the rest of the loop is skipped.
+    pub saturated_breaks: u64,
 }
 
 /// Evaluates `enc`, invoking `on_answer` once per distinct answer
@@ -93,12 +98,14 @@ pub fn evaluate_encoded_budgeted(
     budget: &Budget,
     mut on_answer: impl FnMut(Answer),
 ) -> EvalStats {
-    let children = enc.children_lists();
+    let children = enc.child_index();
     let mut ev = Evaluator {
         ctx,
         enc,
         scheme,
         children,
+        subtree: subtree_info(enc),
+        range_memo: vec![None; enc.specs.len()],
         env: vec![None; enc.specs.len()],
         pinned: None,
         stats: EvalStats::default(),
@@ -163,6 +170,7 @@ fn record_eval(stats: &EvalStats) {
     reg.add("engine.exec.evaluations", 1);
     reg.add("engine.exec.candidates", stats.candidates_examined);
     reg.add("engine.exec.answers", stats.answers);
+    reg.add("engine.exec.saturated", stats.saturated_breaks);
 }
 
 /// [`evaluate_encoded_budgeted`] fanned out over worker threads, collecting
@@ -212,7 +220,9 @@ pub fn evaluate_encoded_parallel(
             ctx,
             enc,
             scheme,
-            children: enc.children_lists(),
+            children: enc.child_index(),
+            subtree: subtree_info(enc),
+            range_memo: vec![None; enc.specs.len()],
             env: vec![None; enc.specs.len()],
             pinned: None,
             stats: EvalStats::default(),
@@ -261,6 +271,7 @@ pub fn evaluate_encoded_parallel(
         all.extend(answers);
         stats.candidates_examined += s.candidates_examined;
         stats.answers += s.answers;
+        stats.saturated_breaks += s.saturated_breaks;
     }
     record_eval(&stats);
     (all, stats)
@@ -296,7 +307,14 @@ struct Evaluator<'a> {
     ctx: &'a EngineContext,
     enc: &'a EncodedQuery,
     scheme: RankingScheme,
-    children: Vec<Vec<usize>>,
+    /// Flat child-list arena — range reads, no per-candidate allocation.
+    children: ChildIndex,
+    /// Saturation targets for the candidate-loop shortcut.
+    subtree: SubtreeInfo,
+    /// Per spec: last `(anchor, lo, hi)` subtree range served by
+    /// [`Self::tag_range`] — a one-entry memo per spec that absorbs the
+    /// repeated range queries issued by enclosing candidate loops.
+    range_memo: Vec<Option<(NodeId, usize, usize)>>,
     env: Vec<Option<NodeId>>,
     pinned: Option<(usize, NodeId)>,
     stats: EvalStats,
@@ -306,6 +324,120 @@ struct Evaluator<'a> {
     buffer_pool: Vec<Vec<NodeId>>,
     /// Cooperative budget checked in the candidate loops.
     budget: &'a Budget,
+}
+
+/// Anchor-subtree size (in node ids) below which candidate enumeration
+/// scans the contiguous id range directly instead of binary-searching the
+/// global tag list. Sized so the sequential scan stays within a couple of
+/// cache lines of the tag array.
+const SMALL_SUBTREE: u32 = 32;
+
+/// Per-spec saturation info for the candidate-loop shortcut (computed once
+/// per evaluation, O(specs × bits)).
+struct SubtreeInfo {
+    /// OR of the relaxable bits owned by each spec's subtree.
+    mask: Vec<u64>,
+    /// Whether the subtree contains any keyword-scored (`contains`) spec —
+    /// keyword scores are not bounded by bits, so saturation cannot
+    /// shortcut those subtrees.
+    scored: Vec<bool>,
+    /// Per spec: subtree bits whose [`BitCheck`] references a spec
+    /// *outside* the subtree, as `(bit, referenced spec)`. When that spec
+    /// is unbound at loop entry the bit is unsatisfiable for the whole
+    /// loop and drops out of the saturation target.
+    ext_refs: Vec<Vec<(usize, usize)>>,
+    /// Per spec: eligible for the batched leaf scan — a childless spec
+    /// with one concrete tag, no attribute or `contains` requirements, and
+    /// only `pc`/`ad` bits. Its candidate loop then runs in
+    /// [`Evaluator::leaf_scan`] with the per-bit checks hoisted out of the
+    /// loop (the referenced bindings are loop-invariant).
+    leaf_simple: Vec<bool>,
+}
+
+fn subtree_info(enc: &EncodedQuery) -> SubtreeInfo {
+    let n = enc.specs.len();
+    let mut mask = vec![0u64; n];
+    let mut scored = vec![false; n];
+    for (i, spec) in enc.specs.iter().enumerate() {
+        for &bi in &spec.bits {
+            mask[i] |= 1u64 << bi;
+        }
+        scored[i] = !spec.required_contains.is_empty();
+    }
+    // Children always follow their parent in spec order (specs mirror the
+    // original query tree), so one reverse sweep folds subtrees upward.
+    // lint:allow(governor): query-arity-sized loop, not corpus-sized.
+    for i in (1..n).rev() {
+        if let Some(p) = enc.specs[i].parent {
+            debug_assert!(p < i, "spec order must be parent-before-child");
+            mask[p] |= mask[i];
+            scored[p] = scored[p] || scored[i];
+        }
+    }
+    // Ancestor sets as bitsets (spec counts are query-arity-sized; beyond
+    // 64 we skip external-reference analysis, which only weakens — never
+    // breaks — the shortcut).
+    let mut ext_refs = vec![Vec::new(); n];
+    if n <= 64 {
+        let mut anc = vec![0u64; n];
+        for i in 0..n {
+            anc[i] = (1u64 << i) | enc.specs[i].parent.map_or(0, |p| anc[p]);
+        }
+        // lint:allow(governor): specs × bits — both query-arity-sized.
+        for (o, spec) in enc.specs.iter().enumerate() {
+            // lint:allow(governor): query-arity-sized loop, not corpus-sized.
+            for &bi in &spec.bits {
+                let x = match enc.relaxable[bi].check {
+                    BitCheck::PcFrom(x) | BitCheck::AdFrom(x) => x,
+                    _ => continue,
+                };
+                // The bit is external to every subtree rooted strictly
+                // below `x` on the owner's ancestor path.
+                let mut c = Some(o);
+                // lint:allow(governor): walks the owner's ancestor path —
+                // bounded by query depth.
+                while let Some(ci) = c {
+                    if anc[x] & (1u64 << ci) != 0 {
+                        break;
+                    }
+                    ext_refs[ci].push((bi, x));
+                    c = enc.specs[ci].parent;
+                }
+            }
+        }
+    }
+    let mut has_child = vec![false; n];
+    for spec in enc.specs.iter().skip(1) {
+        if let Some(p) = spec.parent {
+            has_child[p] = true;
+        }
+    }
+    let leaf_simple = enc
+        .specs
+        .iter()
+        .enumerate()
+        .map(|(i, s)| {
+            !has_child[i]
+                && s.tag.is_some()
+                && !s.tag_missing
+                && s.alt_tags.is_empty()
+                && s.attrs.is_empty()
+                && s.required_contains.is_empty()
+                && !s.bits.is_empty()
+                && s.bits.iter().all(|&bi| {
+                    matches!(
+                        enc.relaxable[bi].check,
+                        BitCheck::PcFrom(_) | BitCheck::AdFrom(_)
+                    )
+                })
+        })
+        .collect();
+    SubtreeInfo {
+        mask,
+        scored,
+        ext_refs,
+        leaf_simple,
+    }
 }
 
 /// Document-ordered candidates for an unanchored spec (the query root, or
@@ -332,6 +464,11 @@ fn spec_candidates(ctx: &EngineContext, enc: &EncodedQuery, spec_idx: usize) -> 
 }
 
 impl Evaluator<'_> {
+    /// Scratch capacity of [`Self::leaf_scan`]'s inner-binding table.
+    /// Bounded by the spec's bit count; real queries reference a handful of
+    /// ancestors, so overflow just means falling back to the generic scan.
+    const LEAF_SCAN_MAX_INNER: usize = 8;
+
     fn root_candidates(&self, root_spec: usize) -> Vec<NodeId> {
         spec_candidates(self.ctx, self.enc, root_spec)
     }
@@ -388,9 +525,10 @@ impl Evaluator<'_> {
                 contrib.sat_penalty += self.enc.relaxable[bi].penalty;
             }
         }
-        // Children (original-tree order).
-        let kids = self.children[idx].clone();
-        for c in kids {
+        // Children (original-tree order) — indices into the flat arena, so
+        // the recursion borrows nothing from `self` across calls.
+        for ci in self.children.range(idx) {
+            let c = self.children.at(ci);
             match self.best_child(c) {
                 Some(cc) => contrib.merge(cc),
                 None => {
@@ -439,35 +577,120 @@ impl Evaluator<'_> {
             None => return if surviving { None } else { self.ghost_skip(c) },
         };
         let children_only = surviving && spec.axis == flexpath_tpq::Axis::Child;
-        let mut candidates = self.buffer_pool.pop().unwrap_or_default();
-        if spec.tag.is_some() || spec.alt_tags.is_empty() {
-            self.ctx
-                .candidates_under(spec.tag, anchor_binding, children_only, &mut candidates);
-        } else {
-            candidates.clear();
-        }
-        if !spec.alt_tags.is_empty() {
-            let mut extra = self.buffer_pool.pop().unwrap_or_default();
-            for &alt in &spec.alt_tags {
-                self.ctx
-                    .candidates_under(Some(alt), anchor_binding, children_only, &mut extra);
-                candidates.extend_from_slice(&extra);
+
+        // Batched inner loop for simple leaves: classify the spec's pc/ad
+        // bits against the bound reference intervals ONCE, then scan with
+        // two or three integer compares per candidate instead of a
+        // check_bit call per bit (each of which re-loads the referenced
+        // binding and its subtree interval from memory). Visits the exact
+        // same candidates in the same order as the generic scan, so every
+        // counter and tie-break is preserved.
+        if self.subtree.leaf_simple[c] && !children_only && self.pinned.is_none() {
+            if let Some(best) = self.leaf_scan(c, anchor_binding) {
+                return if surviving {
+                    best
+                } else {
+                    match (best, self.ghost_skip(c)) {
+                        (Some(b), Some(s)) => {
+                            Some(if b.better_than(&s, self.scheme) { b } else { s })
+                        }
+                        (Some(b), None) => Some(b),
+                        (None, s) => s,
+                    }
+                };
             }
-            self.buffer_pool.push(extra);
-            candidates.sort_unstable();
         }
 
-        let mut best: Option<Contribution> = None;
-        for d in candidates {
-            if self.budget.checkpoint() {
-                break;
+        // Saturation target for the candidate-loop shortcut: a subtree bit
+        // whose check references an unbound external spec (a λ-deleted
+        // ancestor left unbound for this whole loop) is unsatisfiable and
+        // drops out of the target.
+        let mut achievable = self.subtree.mask[c];
+        for &(bi, x) in &self.subtree.ext_refs[c] {
+            if self.env[x].is_none() {
+                achievable &= !(1u64 << bi);
             }
-            self.stats.candidates_examined += 1;
-            if let Some(contrib) = self.match_node(c, d) {
-                if best.is_none_or(|b| contrib.better_than(&b, self.scheme)) {
-                    best = Some(contrib);
+        }
+        let can_saturate = !self.subtree.scored[c];
+
+        let mut best: Option<Contribution> = None;
+        if let (Some(tag), true) = (spec.tag, spec.alt_tags.is_empty()) {
+            let ctx = self.ctx;
+            let last = ctx.doc().subtree_last(anchor_binding);
+            if last.0 - anchor_binding.0 <= SMALL_SUBTREE {
+                // Tiny anchor subtree (deep specs re-anchored at a bound
+                // parent): a sequential id-range scan with a tag test per
+                // node beats two binary probes into the global tag list —
+                // node ids are contiguous per subtree, so this reads a
+                // handful of adjacent tag entries instead of hopping
+                // through a list with ~log(n) cache misses.
+                for raw in anchor_binding.0 + 1..=last.0 {
+                    if self.budget.checkpoint() {
+                        break;
+                    }
+                    let d = NodeId(raw);
+                    if ctx.doc().tag(d) != Some(tag) {
+                        continue;
+                    }
+                    if children_only && !ctx.doc().is_parent(anchor_binding, d) {
+                        continue;
+                    }
+                    if self.consider(c, d, achievable, can_saturate, &mut best) {
+                        break;
+                    }
+                }
+            } else {
+                // Hot path (single concrete tag): iterate the
+                // document-ordered tag list in place — no copy into a
+                // scratch buffer, and the subtree range is memoized per
+                // spec (inner loops re-request the same (spec, anchor)
+                // range for every candidate of the enclosing loop).
+                let (lo, hi) = self.tag_range(c, tag, anchor_binding);
+                let list = ctx.doc().nodes_with_tag(tag);
+                for &d in &list[lo..hi] {
+                    if self.budget.checkpoint() {
+                        break;
+                    }
+                    if children_only && !ctx.doc().is_parent(anchor_binding, d) {
+                        continue;
+                    }
+                    if self.consider(c, d, achievable, can_saturate, &mut best) {
+                        break;
+                    }
                 }
             }
+        } else {
+            // Cold path (wildcard, or hierarchy alt-tags): materialize the
+            // merged candidate list in a pooled scratch buffer.
+            let mut candidates = self.buffer_pool.pop().unwrap_or_default();
+            if spec.tag.is_some() || spec.alt_tags.is_empty() {
+                self.ctx
+                    .candidates_under(spec.tag, anchor_binding, children_only, &mut candidates);
+            } else {
+                candidates.clear();
+            }
+            if !spec.alt_tags.is_empty() {
+                let mut extra = self.buffer_pool.pop().unwrap_or_default();
+                for &alt in &spec.alt_tags {
+                    self.ctx
+                        .candidates_under(Some(alt), anchor_binding, children_only, &mut extra);
+                    candidates.extend_from_slice(&extra);
+                }
+                self.buffer_pool.push(extra);
+                candidates.sort_unstable();
+            }
+            for &d in &candidates {
+                if self.budget.checkpoint() {
+                    break;
+                }
+                if self.consider(c, d, achievable, can_saturate, &mut best) {
+                    break;
+                }
+            }
+            // Return the buffer so deeper/later calls reuse its capacity —
+            // dropping it here would put an allocation back on the hot path.
+            candidates.clear();
+            self.buffer_pool.push(candidates);
         }
         if surviving {
             best
@@ -483,14 +706,204 @@ impl Evaluator<'_> {
         }
     }
 
+    /// One step of a candidate loop: examine `d` for spec `c`, fold its
+    /// contribution into `best`, and report whether the loop may stop
+    /// because `best` saturated the achievable bits (see the shortcut
+    /// comment in [`Self::best_child`]). The first maximal candidate is
+    /// the one the full scan would keep anyway (strict `better_than` keeps
+    /// the earliest of tied contributions), so stopping is
+    /// output-invisible; exact-integer bit comparison avoids float-sum
+    /// ordering hazards.
+    #[inline]
+    fn consider(
+        &mut self,
+        c: usize,
+        d: NodeId,
+        achievable: u64,
+        can_saturate: bool,
+        best: &mut Option<Contribution>,
+    ) -> bool {
+        self.stats.candidates_examined += 1;
+        if let Some(contrib) = self.match_node(c, d) {
+            if best.is_none_or(|b| contrib.better_than(&b, self.scheme)) {
+                let saturated = can_saturate && contrib.bits & achievable == achievable;
+                *best = Some(contrib);
+                if saturated {
+                    self.stats.saturated_breaks += 1;
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Subtree candidate range of spec `c`'s tag list under `anchor`,
+    /// memoized per spec: the two binary searches only run when the anchor
+    /// actually changes (inner loops re-request the same range for every
+    /// candidate of the enclosing loop).
+    fn tag_range(&mut self, c: usize, tag: flexpath_xmldom::Sym, anchor: NodeId) -> (usize, usize) {
+        if let Some((a, lo, hi)) = self.range_memo[c] {
+            if a == anchor {
+                return (lo, hi);
+            }
+        }
+        let doc = self.ctx.doc();
+        let list = doc.nodes_with_tag(tag);
+        let last = doc.subtree_last(anchor);
+        let lo = list.partition_point(|&n| n <= anchor);
+        let hi = lo + list[lo..].partition_point(|&n| n <= last);
+        self.range_memo[c] = Some((anchor, lo, hi));
+        (lo, hi)
+    }
+
+    /// Batched candidate loop for a [`SubtreeInfo::leaf_simple`] spec: the
+    /// same scan over the same candidates in the same order as the generic
+    /// path, with the per-bit work hoisted out of the loop.
+    ///
+    /// A simple leaf's bits are all `pc`/`ad` checks against bindings of
+    /// *other* specs, which are loop-invariant: each bound reference is
+    /// classified once into "is the anchor", "inside the anchor subtree"
+    /// (an id interval plus its pc/ad bit masks), "an ancestor of the
+    /// anchor" (its `ad` bits hold for every candidate), or "disjoint"
+    /// (unsatisfiable). Per candidate the satisfied-bit mask then follows
+    /// from at most one parent lookup and a couple of interval compares —
+    /// no per-bit [`Self::check_bit`] dispatch, no env loads, no repeated
+    /// `subtree_last` probes. Penalties are summed in `spec.bits` order, so
+    /// the contribution is bit-for-bit what [`Self::match_node`] computes;
+    /// candidate counters, budget checkpoints, and the saturation shortcut
+    /// fire identically.
+    ///
+    /// Returns `None` — caller falls back to the generic scan — in the
+    /// out-of-spec case of more than [`Self::LEAF_SCAN_MAX_INNER`] distinct
+    /// inner reference bindings (the scratch table is stack-allocated).
+    fn leaf_scan(&mut self, c: usize, anchor: NodeId) -> Option<Option<Contribution>> {
+        let enc = self.enc;
+        let spec = &enc.specs[c];
+        // leaf_simple guarantees a concrete tag; fall back rather than
+        // assert so the generic scan stays the single source of truth.
+        let tag = spec.tag?;
+        let (lo, hi) = self.tag_range(c, tag, anchor);
+        if lo == hi {
+            // No candidate under the anchor: the scan finds nothing.
+            return Some(None);
+        }
+        let ctx = self.ctx;
+        let doc = ctx.doc();
+
+        // Classify each bound bit reference against the anchor subtree.
+        // All containment tests are the O(1) start/end compares of
+        // [`flexpath_xmldom::Document::is_ancestor`] — no `subtree_last`
+        // binary searches on this path.
+        let mut base_mask = 0u64; // ad bits every candidate satisfies
+        let mut anchor_pc = 0u64; // pc bits whose referenced binding IS the anchor
+                                  // Bindings strictly inside the anchor subtree: (b, pc, ad).
+        let mut inner = [(NodeId(0), 0u64, 0u64); Self::LEAF_SCAN_MAX_INNER];
+        let mut ninner = 0usize;
+        // lint:allow(governor): query-arity-sized loop, not corpus-sized.
+        for &bi in &spec.bits {
+            let (x, is_pc) = match enc.relaxable[bi].check {
+                BitCheck::PcFrom(x) => (x, true),
+                BitCheck::AdFrom(x) => (x, false),
+                // lint:allow(panic): guaranteed by the leaf_simple filter.
+                _ => unreachable!("leaf_simple admits only pc/ad bits"),
+            };
+            let Some(b) = self.env[x] else {
+                continue; // unbound reference: unsatisfiable for every candidate
+            };
+            let bit = 1u64 << bi;
+            if b == anchor {
+                if is_pc {
+                    anchor_pc |= bit;
+                } else {
+                    base_mask |= bit; // every candidate is a strict descendant
+                }
+            } else if doc.is_ancestor(anchor, b) {
+                let e = match inner[..ninner].iter().position(|e| e.0 == b) {
+                    Some(i) => &mut inner[i],
+                    None => {
+                        if ninner == Self::LEAF_SCAN_MAX_INNER {
+                            return None; // scratch full: generic scan handles it
+                        }
+                        inner[ninner] = (b, 0, 0);
+                        ninner += 1;
+                        &mut inner[ninner - 1]
+                    }
+                };
+                if is_pc {
+                    e.1 |= bit;
+                } else {
+                    e.2 |= bit;
+                }
+            } else if !is_pc && doc.is_ancestor(b, anchor) {
+                base_mask |= bit; // ancestor of the anchor: globally satisfied
+            }
+            // Anything else is disjoint from the candidate range — the bit
+            // is unsatisfiable here, exactly as check_bit would conclude.
+        }
+        let need_parent = anchor_pc != 0 || inner[..ninner].iter().any(|e| e.1 != 0);
+
+        // Saturation target, identical to the generic scan's.
+        let mut achievable = self.subtree.mask[c];
+        for &(bi, x) in &self.subtree.ext_refs[c] {
+            if self.env[x].is_none() {
+                achievable &= !(1u64 << bi);
+            }
+        }
+        let can_saturate = !self.subtree.scored[c];
+
+        let list = doc.nodes_with_tag(tag);
+        let mut best: Option<Contribution> = None;
+        for &d in &list[lo..hi] {
+            if self.budget.checkpoint() {
+                break;
+            }
+            self.stats.candidates_examined += 1;
+            let p = if need_parent { doc.parent(d) } else { None };
+            let mut mask = base_mask;
+            if anchor_pc != 0 && p == Some(anchor) {
+                mask |= anchor_pc;
+            }
+            // lint:allow(governor): at most LEAF_SCAN_MAX_INNER entries;
+            // the enclosing candidate loop checkpoints per candidate.
+            for e in &inner[..ninner] {
+                if doc.is_ancestor(e.0, d) {
+                    mask |= e.2;
+                    if e.1 != 0 && p == Some(e.0) {
+                        mask |= e.1;
+                    }
+                }
+            }
+            let mut contrib = Contribution {
+                bits: mask,
+                sat_penalty: 0.0,
+                ks: 0.0,
+            };
+            // Same order as match_node's bits loop: identical float sums.
+            for &bi in &spec.bits {
+                if mask & (1u64 << bi) != 0 {
+                    contrib.sat_penalty += enc.relaxable[bi].penalty;
+                }
+            }
+            if best.is_none_or(|b| contrib.better_than(&b, self.scheme)) {
+                let saturated = can_saturate && mask & achievable == achievable;
+                best = Some(contrib);
+                if saturated {
+                    self.stats.saturated_breaks += 1;
+                    break;
+                }
+            }
+        }
+        Some(best)
+    }
+
     /// Contribution of ghost `c`'s subtree with `c` left unbound: its own
     /// bits are unsatisfied; its children are matched independently. A
     /// child may still be *surviving* (σ promoted it out before λ deleted
     /// `c`) — such a child is required, and its failure fails the match.
     fn ghost_skip(&mut self, c: usize) -> Option<Contribution> {
         let mut contrib = Contribution::default();
-        let kids = self.children[c].clone();
-        for k in kids {
+        for ki in self.children.range(c) {
+            let k = self.children.at(ki);
             match self.best_child(k) {
                 Some(cc) => contrib.merge(cc),
                 None => {

@@ -10,10 +10,15 @@
 //!
 //! Buckets are keyed on the satisfied-predicate bitset the evaluator
 //! computes per answer. Answers stream in document order, so each bucket's
-//! `Vec` push keeps node-id order for free — the counter that SSO pays
-//! ([`ExecStats::sorted_insert_shifts`]) stays at zero here. Pruning
-//! happens per answer against the current K-th structural score plus
-//! `maxScoreGrowth` (for Combined, the keyword headroom `m`).
+//! `Vec` push keeps node-id order for free —
+//! [`ExecStats::sorted_insert_shifts`] stays at zero. (Since PR 7 the same
+//! no-resort property holds for SSO too, via the generalized
+//! [`TopKBuckets`](crate::order::TopKBuckets) structure that this
+//! algorithm's bucket trick inspired; the paper's Fig. 13 contrast is
+//! preserved historically in PERFORMANCE.md.) Pruning happens per answer
+//! against the current K-th structural score — maintained by
+//! [`PruneFloor`](crate::order::PruneFloor) — plus `maxScoreGrowth` (for
+//! Combined, the keyword headroom `m`).
 
 use crate::context::EngineContext;
 use crate::dpo::record_common_root;
@@ -21,31 +26,13 @@ use crate::encode::EncodedQuery;
 use crate::exec::{evaluate_encoded_budgeted, evaluate_encoded_parallel};
 use crate::governor::{reason_key, CheckpointSite, Completeness, ExhaustReason};
 use crate::metrics::{self, Tracer};
+use crate::order::PruneFloor;
 use crate::schedule::build_schedule_reported;
 use crate::score::{PenaltyModel, RankingScheme};
 use crate::sso::choose_prefix;
 use crate::topk::{sort_answers, Answer, ExecStats, TopKRequest, TopKResult};
-use std::cmp::Reverse;
-use std::collections::{BTreeMap, BinaryHeap};
+use std::collections::BTreeMap;
 use std::time::Instant;
-
-/// An `f64` ordered by `total_cmp` (usable in a heap).
-#[derive(Debug, Clone, Copy, PartialEq)]
-struct TotalF64(f64);
-
-impl Eq for TotalF64 {}
-
-impl PartialOrd for TotalF64 {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl Ord for TotalF64 {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.0.total_cmp(&other.0)
-    }
-}
 
 /// Runs the Hybrid top-K algorithm under the request's resource limits.
 ///
@@ -132,26 +119,19 @@ pub fn hybrid_topk(ctx: &EngineContext, request: &TopKRequest) -> TopKResult {
         let mut total_kept = 0usize;
         // Min-heap of the top-K structural scores seen so far: its minimum
         // is the pruning floor, maintained in O(log K) per answer — no
-        // score sorting of intermediate results ever happens.
-        let mut top_ss: BinaryHeap<Reverse<TotalF64>> = BinaryHeap::new();
+        // score sorting of intermediate results ever happens. (`floor()`
+        // is None when k = 0: the heap never fills, and nothing can be
+        // pruned against an empty floor.)
+        let mut top_ss = PruneFloor::new(request.k);
         let mut feed = |a: Answer| {
             stats.intermediate_answers += 1;
-            // (`peek` is None when k = 0: the heap never fills, and nothing
-            // can be pruned against an empty floor.)
-            if top_ss.len() >= request.k {
-                if let Some(floor) = top_ss.peek().map(|r| r.0 .0) {
-                    if a.score.ss + max_growth < floor {
-                        stats.pruned += 1;
-                        return;
-                    }
+            if let Some(floor) = top_ss.floor() {
+                if a.score.ss + max_growth < floor {
+                    stats.pruned += 1;
+                    return;
                 }
             }
-            if request.k > 0 {
-                top_ss.push(Reverse(TotalF64(a.score.ss)));
-                if top_ss.len() > request.k {
-                    top_ss.pop();
-                }
-            }
+            top_ss.observe(a.score.ss);
             buckets.entry(a.satisfied).or_default().push(a);
             total_kept += 1;
         };

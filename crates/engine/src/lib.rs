@@ -53,6 +53,7 @@ pub mod exec;
 pub mod governor;
 pub mod hierarchy;
 pub mod metrics;
+pub mod order;
 pub mod parallel;
 pub mod schedule;
 pub mod score;
@@ -76,7 +77,8 @@ pub use governor::{
 pub use hierarchy::TagHierarchy;
 pub use hybrid::hybrid_topk;
 pub use metrics::{MetricsRegistry, MetricsSnapshot, QueryTrace, TraceSpan, Tracer};
-pub use parallel::ParallelConfig;
+pub use order::{Offer, PruneFloor, ScoreKey, TopKBuckets};
+pub use parallel::{hardware_threads, ParallelConfig};
 pub use schedule::{build_schedule, ScheduleBuildReport, ScheduledStep};
 pub use score::{AnswerScore, PenaltyModel, RankingScheme, WeightAssignment};
 pub use selectivity::{estimate_cardinality, estimate_cardinality_budgeted};

@@ -26,11 +26,38 @@
 //!
 //! No thread pool is kept alive: fan-outs use [`std::thread::scope`], so
 //! workers borrow the caller's context directly and all threads join before
-//! the fan-out returns. Spawn cost (~tens of µs) is amortized by only
-//! fanning out coarse work — whole relaxation rounds, or candidate chunks
-//! of at least [`ParallelConfig::min_round_size`] nodes.
+//! the fan-out returns. Spawn cost (~tens of µs) is amortized by a
+//! two-part **cost gate** (see PERFORMANCE.md for the calibration):
+//!
+//! 1. **Hardware clamp** — no fan-out ever uses more workers than the
+//!    machine has hardware threads ([`hardware_threads`]). Extra software
+//!    threads on a saturated machine only add spawn/join and scheduler
+//!    overhead; this is what made `--threads 8` *slower* than `--threads 1`
+//!    on small hosts before the clamp.
+//! 2. **Work threshold** — each worker must bring at least
+//!    [`ParallelConfig::min_round_size`] fine-grained work items of its
+//!    own, so the per-thread spawn cost is amortized against a meaningful
+//!    chunk. Below the floor the engine runs the literal sequential path.
+//!
+//! Both gates only *reduce* worker counts; the deterministic merge makes
+//! the output identical at every effective width, so the gate never needs
+//! to be bit-exact across machines.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// Hardware threads available to this process, queried once and cached
+/// (`std::thread::available_parallelism`, 1 if unknown). Fan-out widths are
+/// clamped to this: beyond it, extra workers cannot run concurrently and
+/// only add overhead.
+pub fn hardware_threads() -> usize {
+    static HW: OnceLock<usize> = OnceLock::new();
+    *HW.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
+}
 
 /// How a query run uses worker threads.
 ///
@@ -90,25 +117,37 @@ impl ParallelConfig {
         self.threads > 1
     }
 
+    /// The configured thread count clamped to the machine
+    /// ([`hardware_threads`]): the most workers any fan-out of this config
+    /// will ever use.
+    pub fn effective_threads(&self) -> usize {
+        self.threads.clamp(1, hardware_threads())
+    }
+
     /// Workers to use for `items` coarse work units (relaxation rounds):
-    /// one thread per round, capped at `threads`.
+    /// one thread per round, capped at the effective thread count. A round
+    /// is expensive enough to be worth a thread whenever a second hardware
+    /// thread exists to run it.
     pub fn workers_for_rounds(&self, items: usize) -> usize {
         if self.threads <= 1 {
             1
         } else {
-            self.threads.min(items.max(1))
+            self.effective_threads().min(items.max(1))
         }
     }
 
-    /// Workers to use for `items` fine-grained work units (candidates):
-    /// sequential below the `min_round_size` floor, otherwise capped so
-    /// each worker gets a meaningful chunk.
+    /// Workers to use for `items` fine-grained work units (candidates) —
+    /// the cost gate: sequential below the `min_round_size` floor, and
+    /// above it capped so every worker brings at least `min_round_size`
+    /// candidates of its own (and never more workers than hardware
+    /// threads). This is what keeps thread counts > 1 from regressing on
+    /// small rounds or small machines.
     pub fn workers_for_candidates(&self, items: usize) -> usize {
         if self.threads <= 1 || items < self.min_round_size.max(2) {
-            1
-        } else {
-            self.threads.min(items)
+            return 1;
         }
+        let per_worker_floor = items / self.min_round_size.max(1);
+        self.effective_threads().min(per_worker_floor).max(1)
     }
 }
 
@@ -268,15 +307,35 @@ mod tests {
         assert_eq!(seq.workers_for_rounds(10), 1);
         assert_eq!(seq.workers_for_candidates(10_000), 1);
 
+        // Worker counts are hardware-clamped, so expectations are phrased
+        // against the machine running the test.
+        let hw = hardware_threads();
         let p = ParallelConfig::with_threads(4);
         assert!(p.is_parallel());
-        assert_eq!(p.workers_for_rounds(2), 2);
-        assert_eq!(p.workers_for_rounds(64), 4);
+        assert_eq!(p.workers_for_rounds(2), 2.min(hw));
+        assert_eq!(p.workers_for_rounds(64), 4.min(hw));
         // Fine-grained floor: tiny candidate sets stay sequential.
         assert_eq!(p.workers_for_candidates(8), 1);
-        assert_eq!(p.workers_for_candidates(100_000), 4);
+        assert_eq!(p.workers_for_candidates(100_000), 4.min(hw));
 
         assert!(ParallelConfig::auto().threads >= 1);
         assert_eq!(ParallelConfig::with_threads(0).threads, 1);
+    }
+
+    #[test]
+    fn cost_gate_scales_workers_with_available_work() {
+        // min_round_size is the per-worker amortization floor: every
+        // admitted worker must bring at least that many candidates.
+        let mut p = ParallelConfig::with_threads(8);
+        p.min_round_size = 100;
+        let hw = hardware_threads();
+        assert_eq!(p.workers_for_candidates(99), 1, "below the floor");
+        assert_eq!(p.workers_for_candidates(100), 1, "one worker's worth");
+        assert_eq!(p.workers_for_candidates(250), 2.min(hw));
+        assert_eq!(p.workers_for_candidates(399), 3.min(hw));
+        assert_eq!(p.workers_for_candidates(100_000), 8.min(hw));
+        // Workers never exceed the hardware, however large the input.
+        assert!(p.workers_for_candidates(usize::MAX / 2) <= hw);
+        assert!(p.effective_threads() <= hw);
     }
 }

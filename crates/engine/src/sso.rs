@@ -5,18 +5,24 @@
 //! the single encoded plan once, and restarts with more relaxations when
 //! the estimate proved optimistic.
 //!
-//! Its cost signature — the one Figure 13–16 contrast with Hybrid — is the
-//! maintenance of intermediate answers **sorted on score**: every answer is
-//! placed by binary search + shift into a score-ordered list (the paper:
-//! "the algorithm used to evaluate the structural join expects its result
-//! to be sorted on node identifiers while pruning … requires their sorting
-//! on scores. There is a fundamental tension between these two sort
-//! orders."). The shift count is surfaced in
-//! [`ExecStats::sorted_insert_shifts`].
+//! Its historical cost signature — the one Figure 13–16 contrast with
+//! Hybrid — was the maintenance of intermediate answers **sorted on
+//! score**: the paper's SSO places every answer by binary search + shift
+//! into a score-ordered list ("the algorithm used to evaluate the
+//! structural join expects its result to be sorted on node identifiers
+//! while pruning … requires their sorting on scores. There is a
+//! fundamental tension between these two sort orders."). This
+//! implementation resolves the tension with the bucketized
+//! [`TopKBuckets`](crate::order::TopKBuckets) structure — Hybrid's bucket
+//! trick generalized to every ranking scheme — so
+//! [`ExecStats::sorted_insert_shifts`] is structurally zero while the
+//! emitted ranking stays byte-identical to the shifting implementation
+//! (see `crate::order` for the argument, PERFORMANCE.md for the numbers).
 //!
 //! Threshold pruning (`maxScoreGrowth`): once K answers are held, an
-//! incoming answer that cannot beat the current K-th score is discarded
-//! without insertion.
+//! incoming answer that cannot beat the current K-th ranking key is
+//! discarded without insertion, and whole buckets that fall below that
+//! key are evicted wholesale.
 
 use crate::context::EngineContext;
 use crate::dpo::record_common_root;
@@ -24,6 +30,7 @@ use crate::encode::EncodedQuery;
 use crate::exec::{evaluate_encoded_budgeted, evaluate_encoded_parallel};
 use crate::governor::{reason_key, CheckpointSite, Completeness, ExhaustReason};
 use crate::metrics::{self, Tracer};
+use crate::order::{Offer, TopKBuckets};
 use crate::schedule::{build_schedule_reported, ScheduledStep};
 use crate::score::{PenaltyModel, RankingScheme};
 use crate::selectivity::estimate_cardinality_budgeted;
@@ -141,8 +148,9 @@ pub fn sso_topk(ctx: &EngineContext, request: &TopKRequest) -> TopKResult {
     }
     tracer.end();
 
-    // Score-sorted intermediate answer list (descending under the scheme).
-    let mut list: Vec<Answer> = Vec::new();
+    // Bucketized intermediate answers, ordered on the scheme's ranking key
+    // — no per-insert shifting (see crate::order).
+    let mut list = TopKBuckets::new(request.k, request.scheme);
     loop {
         if budget.check_now() {
             break;
@@ -150,7 +158,6 @@ pub fn sso_topk(ctx: &EngineContext, request: &TopKRequest) -> TopKResult {
         tracer.begin(&format!("pass[{}]", stats.restarts));
         let pass_intermediates = stats.intermediate_answers;
         let pass_pruned = stats.pruned;
-        let pass_shifts = stats.sorted_insert_shifts;
         let enc = EncodedQuery::build_full_budgeted(
             ctx,
             &model,
@@ -165,19 +172,12 @@ pub fn sso_topk(ctx: &EngineContext, request: &TopKRequest) -> TopKResult {
         list.clear();
         let mut feed = |a: Answer| {
             stats.intermediate_answers += 1;
-            // Threshold pruning: cannot enter the top K → discard.
-            if list.len() >= request.k {
-                let kth = &list[request.k - 1];
-                if a.score.cmp_under(&kth.score, request.scheme).is_le() {
-                    stats.pruned += 1;
-                    return;
-                }
+            // Threshold pruning (cannot enter the top K → discard) and
+            // bucket placement happen inside the order structure; no
+            // element is ever shifted.
+            if list.offer(a) == Offer::Pruned {
+                stats.pruned += 1;
             }
-            // Binary search on the scheme key (descending list), then
-            // shift-insert — SSO's resort cost.
-            let pos = list.partition_point(|b| b.score.cmp_under(&a.score, request.scheme).is_ge());
-            stats.sorted_insert_shifts += (list.len() - pos) as u64;
-            list.insert(pos, a);
         };
         let candidates = if request.parallel.is_parallel() {
             // Candidates are evaluated on worker threads; the concatenated
@@ -201,7 +201,8 @@ pub fn sso_topk(ctx: &EngineContext, request: &TopKRequest) -> TopKResult {
                 (stats.intermediate_answers - pass_intermediates) as u64,
             );
             tracer.add("pass.pruned", (stats.pruned - pass_pruned) as u64);
-            tracer.add("pass.shifts", stats.sorted_insert_shifts - pass_shifts);
+            tracer.add("pass.buckets", list.bucket_count() as u64);
+            tracer.add("pass.evicted", list.evicted());
             tracer.add("governor.checkpoint.sso_pass", 1);
             tracer.add("governor.checkpoint.candidate_loop", candidates);
         }
@@ -234,7 +235,8 @@ pub fn sso_topk(ctx: &EngineContext, request: &TopKRequest) -> TopKResult {
         break;
     }
 
-    list.truncate(request.k);
+    stats.buckets = list.bucket_count();
+    let answers = list.into_ranked();
     let completeness = if let Some(reason) = budget.tripped() {
         Completeness::Exhausted {
             reason,
@@ -242,7 +244,7 @@ pub fn sso_topk(ctx: &EngineContext, request: &TopKRequest) -> TopKResult {
             relaxations_remaining_estimate: schedule.len() - stats.relaxations_used
                 + truncated_steps,
         }
-    } else if truncated_steps > 0 && list.len() < request.k {
+    } else if truncated_steps > 0 && answers.len() < request.k {
         Completeness::Exhausted {
             reason: ExhaustReason::RelaxationBudget,
             relaxations_explored: stats.relaxations_used,
@@ -254,6 +256,7 @@ pub fn sso_topk(ctx: &EngineContext, request: &TopKRequest) -> TopKResult {
     if tracer.is_enabled() {
         tracer.add_root("evaluations", stats.evaluations as u64);
         tracer.add_root("restarts", stats.restarts as u64);
+        tracer.add_root("buckets", stats.buckets as u64);
         record_common_root(&mut tracer, ctx, cache_before, &budget);
         if let Some(reason) = completeness.exhaust_reason() {
             let site = CheckpointSite::for_reason(reason, CheckpointSite::SsoPass);
@@ -265,7 +268,7 @@ pub fn sso_topk(ctx: &EngineContext, request: &TopKRequest) -> TopKResult {
     reg.add("engine.query.sso", 1);
     reg.observe_duration("engine.query_duration", started.elapsed());
     TopKResult {
-        answers: list,
+        answers,
         stats,
         completeness,
         trace: None,
@@ -322,13 +325,15 @@ mod tests {
     }
 
     #[test]
-    fn sorted_insert_shifts_are_counted() {
+    fn bucketized_order_maintenance_never_shifts() {
         let ctx = EngineContext::new(parse(ARTICLES).unwrap());
         let r = sso_topk(&ctx, &TopKRequest::new(q1(), 4));
-        // With 4 answers kept, at least some inserts displace others
-        // (document order ≠ score order in this corpus).
+        // Document order ≠ score order in this corpus, yet the bucketized
+        // structure re-orders without moving a single element.
         assert_eq!(r.answers.len(), 4);
         assert!(r.stats.intermediate_answers >= 4);
+        assert_eq!(r.stats.sorted_insert_shifts, 0);
+        assert!(r.stats.buckets >= 2, "distinct score classes expected");
     }
 
     #[test]
@@ -402,7 +407,9 @@ mod tests {
         let r = sso_topk(&ctx, &req);
         assert_eq!(r.answers.len(), 5);
         if r.stats.intermediate_answers > 5 {
-            assert!(r.stats.pruned > 0 || r.stats.sorted_insert_shifts > 0);
+            // Excess answers are either rejected at the floor or spread
+            // over multiple score buckets (and evicted from the worst).
+            assert!(r.stats.pruned > 0 || r.stats.buckets > 1);
         }
     }
 }

@@ -25,6 +25,13 @@ pub fn stack_tree_desc(
 /// [`stack_tree_desc`] under a resource [`Budget`]: checkpoints once per
 /// descendant and returns the (document-order) pair prefix joined so far
 /// when the budget trips.
+///
+/// Descendants that provably produce no pairs are skipped by **galloping**
+/// (exponential probe + binary search) rather than visited one at a time:
+/// whenever the stack is empty, every descendant before the next
+/// ancestor's start position is output-free, so the merge jumps straight
+/// to the first viable descendant in `O(log gap)`. Skipped counts surface
+/// as `engine.join.skipped`; the emitted pair stream is identical.
 pub fn stack_tree_desc_budgeted(
     doc: &Document,
     ancestors: &[NodeId],
@@ -34,10 +41,30 @@ pub fn stack_tree_desc_budgeted(
     let mut out = Vec::new();
     let mut stack: Vec<NodeId> = Vec::new();
     let mut ai = 0usize;
-    for &d in descendants {
+    let mut di = 0usize;
+    let mut skipped = 0u64;
+    while di < descendants.len() {
         if budget.checkpoint() {
             break;
         }
+        if stack.is_empty() {
+            // No open ancestor interval: only a future ancestor can cover
+            // the descendants ahead.
+            if ai >= ancestors.len() {
+                skipped += (descendants.len() - di) as u64;
+                break;
+            }
+            let next_start = doc.start(ancestors[ai]);
+            if doc.start(descendants[di]) < next_start {
+                let jump = gallop_below(doc, &descendants[di..], next_start);
+                skipped += jump as u64;
+                di += jump;
+                if di >= descendants.len() {
+                    break;
+                }
+            }
+        }
+        let d = descendants[di];
         // Push every ancestor-candidate that starts before `d`.
         // lint:allow(governor): `ai` is a monotone cursor — this loop visits
         // each ancestor once across the whole join, and the enclosing
@@ -68,11 +95,29 @@ pub fn stack_tree_desc_budgeted(
             debug_assert!(doc.is_ancestor(a, d));
             out.push((a, d));
         }
+        di += 1;
     }
     let reg = crate::metrics::global();
     reg.add("engine.join.calls", 1);
     reg.add("engine.join.pairs", out.len() as u64);
+    reg.add("engine.join.skipped", skipped);
     out
+}
+
+/// Number of leading `nodes` whose start position is `< bound`, found by
+/// galloping: exponential probe to bracket the boundary, then binary
+/// search inside the bracket. `O(log k)` for a skip of `k` — cheap for
+/// short hops, still logarithmic for huge ones.
+// lint:allow(governor): logarithmic probe over an in-memory slice — the
+// caller's per-descendant loop holds the budget checkpoint.
+fn gallop_below(doc: &Document, nodes: &[NodeId], bound: u32) -> usize {
+    let mut probe = 1usize;
+    while probe < nodes.len() && doc.start(nodes[probe]) < bound {
+        probe <<= 1;
+    }
+    let lo = probe >> 1;
+    let hi = probe.min(nodes.len());
+    lo + nodes[lo..hi].partition_point(|&n| doc.start(n) < bound)
 }
 
 /// [`stack_tree_desc`] fanned out over worker threads.
@@ -168,6 +213,17 @@ mod tests {
         assert!(doc.is_parent(pc[0].0, pc[0].1));
         let ad = stack_tree_desc(&doc, &a_list, &b_list);
         assert_eq!(ad.len(), 2);
+    }
+
+    #[test]
+    fn galloping_skips_output_free_descendants() {
+        // A long output-free prefix (and suffix) of descendants: the merge
+        // gallops over them, and the emitted pairs are unchanged.
+        let doc = parse("<r><b/><b/><b/><b/><b/><b/><b/><b/><a><b/></a><b/><b/><b/></r>").unwrap();
+        let a_list = doc.nodes_with_tag_name("a").to_vec();
+        let b_list = doc.nodes_with_tag_name("b").to_vec();
+        let out = stack_tree_desc(&doc, &a_list, &b_list);
+        assert_eq!(sorted(out), naive_ad(&doc, &a_list, &b_list));
     }
 
     #[test]

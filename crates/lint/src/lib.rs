@@ -55,6 +55,9 @@ const DETERMINISM_ENGINE: &[&str] = &[
     "exec.rs",
     "structural_join.rs",
     "metrics.rs",
+    // Order maintenance ranks the final answer sequence; any iteration-
+    // order nondeterminism here would break byte-identical output.
+    "order.rs",
 ];
 
 /// Engine modules whose loops must observe the governor.
@@ -294,6 +297,8 @@ mod tests {
         assert!(classify("crates/engine/src/exec.rs").determinism);
         assert!(classify("crates/engine/src/exec.rs").governor);
         assert!(!classify("crates/engine/src/plan.rs").determinism);
+        assert!(classify("crates/engine/src/order.rs").determinism);
+        assert!(!classify("crates/engine/src/order.rs").governor);
         assert!(classify("crates/store/src/codec.rs").indexing);
         assert!(!classify("crates/engine/src/exec.rs").indexing);
         assert!(classify("crates/ftsearch/src/eval.rs").governor);

@@ -349,9 +349,8 @@ fn serve_requests(
             }
         };
         let head_only = req.method == Method::Head;
-        let close = req.wants_close()
-            || req.pipelined_excess
-            || served + 1 == policy.max_requests_per_conn;
+        let close =
+            req.wants_close() || req.pipelined_excess || served + 1 == policy.max_requests_per_conn;
         let resp: Response = routes::dispatch(&ctx, &req);
         if resp.write_to(stream, head_only, close).is_err() {
             return;

@@ -16,7 +16,91 @@ use crate::ast::Tpq;
 use crate::logical::{Predicate, PredicateSet};
 
 /// Computes the closure of a predicate set (fixpoint of the three rules).
+///
+/// The rules only ever derive facts expressible over the *reachability
+/// relation* of the `pc`/`ad` edges, so instead of a literal fixpoint over
+/// growing predicate vectors the closure is computed on dense `u64`
+/// adjacency bitsets (one per distinct variable) and materialized once:
+/// `O(V²·V/64)` bit operations plus a single sort, versus the naive
+/// quadratic re-scan per fixpoint round. Schedule construction scores
+/// hundreds of candidate operators — each needing a closure — per query, so
+/// this is a hot path. Sets mentioning more than 64 distinct variables fall
+/// back to the naive fixpoint (queries are arity-sized; this is a safety
+/// hatch, not an expected path).
 pub fn closure_of(preds: &PredicateSet) -> PredicateSet {
+    // Dense var ↦ index mapping.
+    let mut vars: Vec<crate::ast::Var> = Vec::new();
+    for p in preds.iter() {
+        for v in p.vars() {
+            if !vars.contains(&v) {
+                vars.push(v);
+            }
+        }
+    }
+    if vars.len() > 64 {
+        return closure_naive(preds);
+    }
+    vars.sort_unstable();
+    let idx = |v: crate::ast::Var| vars.binary_search(&v).expect("var collected above");
+
+    // desc[i] = bitset of variables strictly below i via pc/ad edges.
+    let mut desc = vec![0u64; vars.len()];
+    for p in preds.iter() {
+        if let Predicate::Pc(x, y) | Predicate::Ad(x, y) = p {
+            desc[idx(*x)] |= 1u64 << idx(*y);
+        }
+    }
+    // Transitive closure: propagate descendant sets to fixpoint. Converges
+    // in O(depth) rounds; each round is V popcount-guided unions.
+    loop {
+        let mut changed = false;
+        for i in 0..desc.len() {
+            let mut acc = desc[i];
+            let mut m = desc[i];
+            while m != 0 {
+                let j = m.trailing_zeros() as usize;
+                m &= m - 1;
+                acc |= desc[j];
+            }
+            if acc != desc[i] {
+                desc[i] = acc;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Materialize: originals + every derived ad + contains propagated to
+    // all ancestors, deduped by one sort.
+    let mut out: Vec<Predicate> = preds.iter().cloned().collect();
+    for (i, &d) in desc.iter().enumerate() {
+        let mut m = d;
+        while m != 0 {
+            let j = m.trailing_zeros() as usize;
+            m &= m - 1;
+            if i != j {
+                out.push(Predicate::Ad(vars[i], vars[j]));
+            }
+        }
+    }
+    for p in preds.iter() {
+        if let Predicate::Contains(y, e) = p {
+            let yi = idx(*y);
+            for (i, &d) in desc.iter().enumerate() {
+                if d & (1u64 << yi) != 0 {
+                    out.push(Predicate::Contains(vars[i], e.clone()));
+                }
+            }
+        }
+    }
+    PredicateSet::from_vec(out)
+}
+
+/// The literal Figure-3 fixpoint, kept as the >64-variable fallback and as
+/// the oracle the fast path is property-tested against.
+fn closure_naive(preds: &PredicateSet) -> PredicateSet {
     let mut out = preds.clone();
     loop {
         let mut new: Vec<Predicate> = Vec::new();
@@ -156,6 +240,46 @@ mod tests {
         b.add_contains(x, FtExpr::term("gold"));
         let c = b.build().closure();
         assert!(c.contains(&Predicate::Contains(Var(1), FtExpr::term("gold"))));
+    }
+
+    #[test]
+    fn bitset_closure_matches_naive_fixpoint_on_random_sets() {
+        // Property: the bitset fast path and the literal Figure-3 fixpoint
+        // agree on arbitrary (even non-tree) predicate sets. Deterministic
+        // LCG so failures reproduce.
+        let mut state = 0x2545F4914F6CDD1Du64;
+        let mut next = move |m: u32| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) as u32) % m
+        };
+        for _ in 0..200 {
+            let nvars = 2 + next(8);
+            let nedges = 1 + next(12);
+            let mut preds = Vec::new();
+            for _ in 0..nedges {
+                let x = Var(next(nvars));
+                let y = Var(next(nvars));
+                if x == y {
+                    continue;
+                }
+                preds.push(if next(2) == 0 {
+                    Predicate::Pc(x, y)
+                } else {
+                    Predicate::Ad(x, y)
+                });
+            }
+            if next(2) == 0 {
+                preds.push(Predicate::Contains(Var(next(nvars)), FtExpr::term("gold")));
+            }
+            let set = PredicateSet::from_vec(preds);
+            assert_eq!(
+                closure_of(&set),
+                closure_naive(&set),
+                "fast/naive closure divergence on {set:?}"
+            );
+        }
     }
 
     #[test]

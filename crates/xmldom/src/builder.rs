@@ -253,6 +253,7 @@ impl DocumentBuilder {
         let (Some(root), true) = (self.root, self.open.is_empty()) else {
             return Err(BuildError::Incomplete);
         };
+        let subtree_last = crate::document::compute_subtree_last(&self.nodes);
         Ok(Document {
             nodes: self.nodes,
             texts: self.texts,
@@ -260,6 +261,7 @@ impl DocumentBuilder {
             symbols: self.symbols,
             tag_index: self.tag_index,
             root,
+            subtree_last,
         })
     }
 }

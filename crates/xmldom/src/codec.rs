@@ -290,6 +290,7 @@ pub fn decode_document(tag_bytes: &[u8], elem_bytes: &[u8]) -> Result<Document, 
         }
     }
 
+    let subtree_last = crate::document::compute_subtree_last(&nodes);
     Ok(Document {
         nodes,
         texts,
@@ -297,6 +298,7 @@ pub fn decode_document(tag_bytes: &[u8], elem_bytes: &[u8]) -> Result<Document, 
         symbols,
         tag_index,
         root,
+        subtree_last,
     })
 }
 

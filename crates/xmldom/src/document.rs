@@ -73,6 +73,26 @@ pub struct Document {
     pub(crate) symbols: SymbolTable,
     pub(crate) tag_index: HashMap<Sym, Vec<NodeId>>,
     pub(crate) root: NodeId,
+    /// Per node: id of the last node in its subtree (itself for leaves),
+    /// precomputed at construction so [`Document::subtree_last`] — on the
+    /// hot path of every subtree range computation — is a single array
+    /// load instead of a binary search. See [`compute_subtree_last`].
+    pub(crate) subtree_last: Vec<NodeId>,
+}
+
+/// Last-descendant table for an arena in document order: children carry
+/// larger ids than their parent, so one reverse sweep folding each node's
+/// `last` into its parent computes every subtree's last id in O(n).
+pub(crate) fn compute_subtree_last(nodes: &[NodeData]) -> Vec<NodeId> {
+    let mut last: Vec<NodeId> = (0..nodes.len() as u32).map(NodeId).collect();
+    for i in (1..nodes.len()).rev() {
+        if let Some(p) = nodes[i].parent {
+            if last[i] > last[p.index()] {
+                last[p.index()] = last[i];
+            }
+        }
+    }
+    last
 }
 
 impl Document {
@@ -247,26 +267,13 @@ impl Document {
 
     /// Id of the last node in the subtree of `n` (i.e. descendants of `n` are
     /// exactly the ids `n+1 ..= subtree_last(n)`). Returns `n` for leaves.
+    ///
+    /// O(1): served from the table precomputed at construction — this sits
+    /// on the hot path of candidate-range computation (every anchored
+    /// candidate loop derives its id range from it).
+    #[inline]
     pub fn subtree_last(&self, n: NodeId) -> NodeId {
-        let end = self.nodes[n.index()].end;
-        // Ids are in document order, so descendants form a contiguous id
-        // range. Binary-search the first node whose start exceeds our end.
-        let lo = n.index() + 1;
-        let mut a = lo;
-        let mut b = self.nodes.len();
-        while a < b {
-            let mid = (a + b) / 2;
-            if self.nodes[mid].start < end {
-                a = mid + 1;
-            } else {
-                b = mid;
-            }
-        }
-        if a == lo {
-            n
-        } else {
-            NodeId((a - 1) as u32)
-        }
+        self.subtree_last[n.index()]
     }
 
     /// Number of descendants of `n` (excluding `n`).
