@@ -13,6 +13,9 @@
 //!                                # closed-loop load sweep against the
 //!                                # flexpath-serve front end (QPS, latency
 //!                                # percentiles, shed-vs-degrade knee)
+//! repro --recorder-overhead results/recorder_overhead.json
+//!                                # flight-recorder cost per query on the
+//!                                # fig10 workload (must stay < 2%)
 //! repro all --store results/store
 //!                                # cache sessions in a persistent store:
 //!                                # first run indexes+saves, later runs
@@ -41,6 +44,7 @@ fn main() {
     let mut json_path: Option<String> = None;
     let mut metrics_path: Option<String> = None;
     let mut serve_load_path: Option<String> = None;
+    let mut recorder_overhead_path: Option<String> = None;
     let mut parallel = false;
     let mut i = 0;
     while i < args.len() {
@@ -77,6 +81,16 @@ fn main() {
                     }
                 }
             }
+            "--recorder-overhead" => {
+                i += 1;
+                match args.get(i) {
+                    Some(path) => recorder_overhead_path = Some(path.clone()),
+                    None => {
+                        eprintln!("--recorder-overhead requires an output path");
+                        std::process::exit(2);
+                    }
+                }
+            }
             "--store" => {
                 i += 1;
                 match args.get(i) {
@@ -100,13 +114,19 @@ fn main() {
         println!("{}", report.render_table());
         write_report(path, &report.render_json());
     }
+    if let Some(path) = &recorder_overhead_path {
+        let report = flexpath_bench::recorder_overhead::run(scale);
+        println!("{}", report.render_table());
+        write_report(path, &report.render_json());
+    }
     if figures.is_empty() {
-        if serve_load_path.is_some() {
+        if serve_load_path.is_some() || recorder_overhead_path.is_some() {
             return;
         }
         eprintln!(
             "usage: repro <all|figNN|ablation_*>... [--scale F] [--repeats N] [--json PATH] \
-             [--metrics PATH] [--store DIR] [--serve-load PATH] [--parallel]"
+             [--metrics PATH] [--store DIR] [--serve-load PATH] [--recorder-overhead PATH] \
+             [--parallel]"
         );
         eprintln!("       repro --list");
         std::process::exit(2);

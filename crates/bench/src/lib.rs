@@ -21,6 +21,7 @@
 
 pub mod harness;
 pub mod minibench;
+pub mod recorder_overhead;
 pub mod report;
 pub mod serve_load;
 pub mod workload;

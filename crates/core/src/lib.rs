@@ -65,10 +65,10 @@ pub use session::{FleXPath, QueryResults, TopKQuery};
 
 // Re-exports for downstream users.
 pub use flexpath_engine::{
-    hardware_threads, Algorithm, Answer, AnswerScore, AttrRelaxation, Budget, CancelToken,
-    Completeness, EngineError, ExecStats, ExhaustReason, MetricsRegistry, MetricsSnapshot, Offer,
-    ParallelConfig, PruneFloor, QueryLimits, QueryTrace, RankingScheme, ScoreKey, TagHierarchy,
-    TopKBuckets, TraceSpan, WeightAssignment,
+    hardware_threads, prometheus_name, skew_millibits, Algorithm, Answer, AnswerScore,
+    AttrRelaxation, Budget, CancelToken, Completeness, EngineError, ExecStats, ExhaustReason,
+    MetricsRegistry, MetricsSnapshot, Offer, ParallelConfig, PruneFloor, QueryLimits, QueryTrace,
+    RankingScheme, ScoreKey, TagHierarchy, TopKBuckets, TraceSpan, WeightAssignment,
 };
 pub use flexpath_store::{
     Catalog, CatalogEntry, CatalogListing, CorpusStore, QuarantinedEntry, StoreBuilder, StoreError,

@@ -250,6 +250,22 @@ pub fn dpo_topk(ctx: &EngineContext, request: &TopKRequest) -> TopKResult {
             stats.intermediate_answers += intermediates as usize;
             let before_dedup = round_delta.len();
             round_delta.retain(|a| !seen.contains(&a.node));
+            // Estimate-vs-actual skew for this round: the static estimator's
+            // prediction for the round's (cumulatively relaxed) query against
+            // the distinct answers the full evaluation just materialized.
+            // Computed here on the driver thread with an *unbudgeted*
+            // estimate — a pure function of document statistics and the round
+            // query — so neither governor counters nor the deterministic
+            // fingerprint can see a difference.
+            let round_query_ref = if round == 0 {
+                &request.query
+            } else {
+                &schedule[round - 1].query
+            };
+            let round_est = crate::selectivity::estimate_cardinality(ctx, round_query_ref);
+            metrics::global().record_skew("dpo", round_est, before_dedup as u64);
+            stats.estimated_answers = round_est;
+            stats.observed_answers = before_dedup as u64;
             if tracer.is_enabled() {
                 // Span attachment happens only here, at commit time and in
                 // round order, so the span tree (and every non-`nd.`
@@ -262,6 +278,8 @@ pub fn dpo_topk(ctx: &EngineContext, request: &TopKRequest) -> TopKResult {
                 span.duration = round_time;
                 span.add("round.candidates", candidates);
                 span.add("round.intermediates", intermediates);
+                span.add("round.estimated", round_est.max(0.0) as u64);
+                span.add("round.observed", before_dedup as u64);
                 span.add("round.admitted", round_delta.len() as u64);
                 span.add(
                     "round.duplicates_pruned",

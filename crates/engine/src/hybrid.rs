@@ -104,6 +104,13 @@ pub fn hybrid_topk(ctx: &EngineContext, request: &TopKRequest) -> TopKResult {
         tracer.begin(&format!("pass[{}]", stats.restarts));
         let pass_intermediates = stats.intermediate_answers;
         let pass_pruned = stats.pruned;
+        // Estimate for this pass's encoded prefix endpoint (skew telemetry;
+        // see sso.rs — unbudgeted and deterministic by construction).
+        let pass_est = if prefix == 0 {
+            crate::selectivity::estimate_cardinality(ctx, &request.query)
+        } else {
+            crate::selectivity::estimate_cardinality(ctx, &schedule[prefix - 1].query)
+        };
         let enc = EncodedQuery::build_full_budgeted(
             ctx,
             &model,
@@ -149,24 +156,28 @@ pub fn hybrid_topk(ctx: &EngineContext, request: &TopKRequest) -> TopKResult {
         } else {
             evaluate_encoded_budgeted(ctx, &enc, request.scheme, &budget, feed).candidates_examined
         };
+        let pass_observed = (stats.intermediate_answers - pass_intermediates) as u64;
         if tracer.is_enabled() {
             tracer.add("pass.prefix", prefix as u64);
             tracer.add("pass.candidates", candidates);
-            tracer.add(
-                "pass.intermediates",
-                (stats.intermediate_answers - pass_intermediates) as u64,
-            );
+            tracer.add("pass.estimated", pass_est.max(0.0) as u64);
+            tracer.add("pass.intermediates", pass_observed);
             tracer.add("pass.pruned", (stats.pruned - pass_pruned) as u64);
             tracer.add("pass.buckets", buckets.len() as u64);
             tracer.add("governor.checkpoint.hybrid_pass", 1);
             tracer.add("governor.checkpoint.candidate_loop", candidates);
         }
         tracer.end();
+        stats.estimated_answers = pass_est;
+        stats.observed_answers = pass_observed;
         if budget.tripped().is_some() {
-            // Keep the best-effort buckets scanned so far; no restart.
+            // Keep the best-effort buckets scanned so far; no restart. The
+            // partial intermediate count is not an observed answer universe,
+            // so tripped passes stay out of the skew histograms.
             stats.buckets = buckets.len();
             break;
         }
+        metrics::global().record_skew("hybrid", pass_est, pass_observed);
         if total_kept < request.k && prefix < schedule.len() {
             // Deficit-driven restart, mirroring SSO (see sso.rs).
             let deficit = (request.k - total_kept) as f64;

@@ -76,7 +76,10 @@ pub use governor::{
 };
 pub use hierarchy::TagHierarchy;
 pub use hybrid::hybrid_topk;
-pub use metrics::{MetricsRegistry, MetricsSnapshot, QueryTrace, TraceSpan, Tracer};
+pub use metrics::{
+    prometheus_name, skew_millibits, MetricsRegistry, MetricsSnapshot, QueryTrace, TraceSpan,
+    Tracer,
+};
 pub use order::{Offer, PruneFloor, ScoreKey, TopKBuckets};
 pub use parallel::{hardware_threads, ParallelConfig};
 pub use schedule::{build_schedule, ScheduleBuildReport, ScheduledStep};

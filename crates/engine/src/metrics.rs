@@ -66,11 +66,17 @@ impl Histogram {
 
     /// Records one duration.
     pub fn observe(&self, d: Duration) {
-        let micros = d.as_micros().min(u128::from(u64::MAX)) as u64;
-        let bucket = (64 - micros.leading_zeros() as usize).min(HISTOGRAM_BUCKETS - 1);
+        self.observe_value(d.as_micros().min(u128::from(u64::MAX)) as u64);
+    }
+
+    /// Records one raw integer observation. Durations land here as
+    /// microseconds; dimensionless series (e.g. `engine.skew.*` millibit
+    /// ratios) use the same log₂ bucketing over their own unit.
+    pub fn observe_value(&self, v: u64) {
+        let bucket = (64 - v.leading_zeros() as usize).min(HISTOGRAM_BUCKETS - 1);
         self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
-        self.sum_micros.fetch_add(micros, Ordering::Relaxed);
+        self.sum_micros.fetch_add(v, Ordering::Relaxed);
     }
 
     fn snapshot(&self) -> HistogramSnapshot {
@@ -171,6 +177,26 @@ impl MetricsRegistry {
         self.histogram(name).observe(d);
     }
 
+    /// Records a raw integer observation into the histogram named `name`.
+    pub fn observe_value(&self, name: &str, v: u64) {
+        self.histogram(name).observe_value(v);
+    }
+
+    /// Records one estimate-vs-actual observation for `algo` (e.g. `"dpo"`)
+    /// under the `engine.skew.*` namespace: the absolute log₂-ratio skew in
+    /// millibits goes into a histogram, and the sign of the divergence bumps
+    /// an `over` / `under` / `exact` counter. See [`skew_millibits`].
+    pub fn record_skew(&self, algo: &str, estimated: f64, observed: u64) {
+        let mb = skew_millibits(estimated, observed);
+        self.observe_value(&format!("engine.skew.{algo}.millibits"), mb.unsigned_abs());
+        let sign = match mb.cmp(&0) {
+            std::cmp::Ordering::Greater => "over",
+            std::cmp::Ordering::Less => "under",
+            std::cmp::Ordering::Equal => "exact",
+        };
+        self.add(&format!("engine.skew.{algo}.{sign}"), 1);
+    }
+
     /// Point-in-time copy of every counter and histogram.
     pub fn snapshot(&self) -> MetricsSnapshot {
         MetricsSnapshot {
@@ -218,8 +244,17 @@ impl MetricsSnapshot {
 
     /// Renders the snapshot as a JSON object (hand-rolled; the workspace
     /// deliberately takes no serialization dependency).
+    ///
+    /// Shape (snapshot schema 2 — the bump is made here and nowhere else):
+    /// the top level gains `"schema"` and `"bucket_scheme"` keys, and each
+    /// histogram carries its bucket *boundaries* explicitly as
+    /// `[upper_inclusive, count]` pairs plus a `"mean"` convenience field,
+    /// so consumers never hardcode the log₂ bucketing. Schema 1 readers
+    /// (which only looked up `counters` / `histograms` / `count` / `sum_us`
+    /// / `buckets`) parse schema 2 unchanged.
     pub fn render_json(&self) -> String {
-        let mut out = String::from("{\"counters\":{");
+        let mut out =
+            String::from("{\"schema\":2,\"bucket_scheme\":\"log2-upper-inclusive\",\"counters\":{");
         for (i, (name, v)) in self.counters.iter().enumerate() {
             if i > 0 {
                 out.push(',');
@@ -231,8 +266,9 @@ impl MetricsSnapshot {
             if i > 0 {
                 out.push(',');
             }
+            let mean = h.sum_micros.checked_div(h.count).unwrap_or(0);
             out.push_str(&format!(
-                "{}:{{\"count\":{},\"sum_us\":{},\"buckets\":[",
+                "{}:{{\"count\":{},\"sum_us\":{},\"mean\":{mean},\"buckets\":[",
                 json_string(name),
                 h.count,
                 h.sum_micros
@@ -248,6 +284,71 @@ impl MetricsSnapshot {
         out.push_str("}}");
         out
     }
+
+    /// Renders the snapshot in the Prometheus text exposition format
+    /// (version 0.0.4): counters as `# TYPE <name> counter` plus one sample
+    /// line, histograms as cumulative `<name>_bucket{le="..."}` series
+    /// ending in `le="+Inf"`, followed by `<name>_sum` and `<name>_count`.
+    /// Names are passed through [`prometheus_name`]; histogram units stay
+    /// whatever the series records (microseconds for durations, millibits
+    /// for `engine.skew.*`).
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (name, v) in &self.counters {
+            let n = prometheus_name(name);
+            out.push_str(&format!("# TYPE {n} counter\n{n} {v}\n"));
+        }
+        for (name, h) in &self.histograms {
+            let n = prometheus_name(name);
+            out.push_str(&format!("# TYPE {n} histogram\n"));
+            let mut cumulative = 0u64;
+            for (upper, count) in &h.buckets {
+                cumulative += count;
+                out.push_str(&format!("{n}_bucket{{le=\"{upper}\"}} {cumulative}\n"));
+            }
+            // A racing observe() can bump `count` between bucket loads; keep
+            // the +Inf bucket monotone per the exposition-format contract.
+            let total = cumulative.max(h.count);
+            out.push_str(&format!("{n}_bucket{{le=\"+Inf\"}} {total}\n"));
+            out.push_str(&format!("{n}_sum {}\n{n}_count {total}\n", h.sum_micros));
+        }
+        out
+    }
+}
+
+/// Sanitizes `name` for Prometheus exposition: characters outside
+/// `[a-zA-Z0-9_:]` map to `_`, and a leading digit gets a `_` prefix. The
+/// registry's dotted lowercase naming convention (enforced by
+/// `flexpath-lint`'s metrics-name rule) keeps this mapping injective in
+/// practice — distinct registry names never collide after sanitization.
+pub fn prometheus_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+            if out.is_empty() && c.is_ascii_digit() {
+                out.push('_');
+            }
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+/// Signed log₂ ratio of `estimated` to `observed` cardinality, in
+/// *millibits* (thousandths of a doubling): positive when the estimator
+/// overshot, negative when it undershot, `0` on exact agreement. Both sides
+/// are shifted by `+1` so empty results and zero estimates stay finite.
+/// This is the aggregation unit for the `engine.skew.*` histograms and the
+/// per-op skew column in EXPLAIN ANALYZE.
+pub fn skew_millibits(estimated: f64, observed: u64) -> i64 {
+    let est = estimated.max(0.0) + 1.0;
+    let obs = observed as f64 + 1.0;
+    ((est / obs).log2() * 1000.0).round() as i64
 }
 
 // ---------------------------------------------------------------------------
@@ -665,6 +766,85 @@ mod tests {
             .root
             .counters
             .contains_key("governor.trip.site.ft_eval"));
+    }
+
+    #[test]
+    fn observe_value_shares_bucketing_with_durations() {
+        let reg = MetricsRegistry::new();
+        reg.observe_value("engine.skew.dpo.millibits", 0);
+        reg.observe_value("engine.skew.dpo.millibits", 3);
+        reg.observe_value("engine.skew.dpo.millibits", 1000);
+        let snap = reg.snapshot();
+        let h = snap.histograms.get("engine.skew.dpo.millibits").unwrap();
+        assert_eq!(h.count, 3);
+        assert_eq!(h.sum_micros, 1003);
+        assert_eq!(h.buckets, vec![(0, 1), (3, 1), (1023, 1)]);
+    }
+
+    #[test]
+    fn skew_millibits_sign_and_magnitude() {
+        assert_eq!(skew_millibits(0.0, 0), 0); // 1/1
+        assert_eq!(skew_millibits(7.0, 7), 0); // exact agreement
+        assert_eq!(skew_millibits(3.0, 1), 1000); // 4/2 = one doubling over
+        assert_eq!(skew_millibits(1.0, 3), -1000); // one doubling under
+        assert_eq!(skew_millibits(1023.0, 0), 10_000); // 1024/1
+        assert!(skew_millibits(-5.0, 0) == 0); // negative estimates clamp
+    }
+
+    #[test]
+    fn record_skew_feeds_histogram_and_sign_counters() {
+        let reg = MetricsRegistry::new();
+        reg.record_skew("sso", 3.0, 1);
+        reg.record_skew("sso", 1.0, 3);
+        reg.record_skew("sso", 4.0, 4);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters.get("engine.skew.sso.over"), Some(&1));
+        assert_eq!(snap.counters.get("engine.skew.sso.under"), Some(&1));
+        assert_eq!(snap.counters.get("engine.skew.sso.exact"), Some(&1));
+        let h = snap.histograms.get("engine.skew.sso.millibits").unwrap();
+        assert_eq!(h.count, 3);
+        assert_eq!(h.sum_micros, 2000); // |±1000| twice, 0 once
+    }
+
+    #[test]
+    fn prometheus_name_sanitizes_outside_charset() {
+        assert_eq!(prometheus_name("engine.query.count"), "engine_query_count");
+        assert_eq!(
+            prometheus_name("engine.parallel.worker[3].items"),
+            "engine_parallel_worker_3__items"
+        );
+        assert_eq!(prometheus_name("9lives"), "_9lives");
+        assert_eq!(prometheus_name(""), "_");
+    }
+
+    #[test]
+    fn prometheus_rendering_is_cumulative_and_typed() {
+        let reg = MetricsRegistry::new();
+        reg.add("engine.query.count", 3);
+        reg.observe_duration("engine.query_duration", Duration::from_micros(1));
+        reg.observe_duration("engine.query_duration", Duration::from_micros(3));
+        reg.observe_duration("engine.query_duration", Duration::from_micros(3));
+        let text = reg.snapshot().render_prometheus();
+        assert!(text.contains("# TYPE engine_query_count counter\n"));
+        assert!(text.contains("engine_query_count 3\n"));
+        assert!(text.contains("# TYPE engine_query_duration histogram\n"));
+        // Bucket counts are cumulative: 1 obs ≤ 1µs, then 3 obs ≤ 3µs.
+        assert!(text.contains("engine_query_duration_bucket{le=\"1\"} 1\n"));
+        assert!(text.contains("engine_query_duration_bucket{le=\"3\"} 3\n"));
+        assert!(text.contains("engine_query_duration_bucket{le=\"+Inf\"} 3\n"));
+        assert!(text.contains("engine_query_duration_sum 7\n"));
+        assert!(text.contains("engine_query_duration_count 3\n"));
+    }
+
+    #[test]
+    fn json_snapshot_declares_schema_and_bucket_scheme() {
+        let reg = MetricsRegistry::new();
+        reg.observe_duration("q", Duration::from_micros(6));
+        let json = reg.snapshot().render_json();
+        assert!(json.starts_with("{\"schema\":2,"));
+        assert!(json.contains("\"bucket_scheme\":\"log2-upper-inclusive\""));
+        assert!(json.contains("\"buckets\":[[7,1]]"));
+        assert!(json.contains("\"mean\":6"));
     }
 
     #[test]

@@ -158,6 +158,16 @@ pub fn sso_topk(ctx: &EngineContext, request: &TopKRequest) -> TopKResult {
         tracer.begin(&format!("pass[{}]", stats.restarts));
         let pass_intermediates = stats.intermediate_answers;
         let pass_pruned = stats.pruned;
+        // The static estimator's prediction for this pass's encoded prefix
+        // endpoint — the quantity the pass's observed intermediates are
+        // checked against for skew telemetry. Unbudgeted: a pure function of
+        // document statistics, so it neither charges the governor nor
+        // perturbs the deterministic counter fingerprint.
+        let pass_est = if prefix == 0 {
+            crate::selectivity::estimate_cardinality(ctx, &request.query)
+        } else {
+            crate::selectivity::estimate_cardinality(ctx, &schedule[prefix - 1].query)
+        };
         let enc = EncodedQuery::build_full_budgeted(
             ctx,
             &model,
@@ -193,13 +203,12 @@ pub fn sso_topk(ctx: &EngineContext, request: &TopKRequest) -> TopKResult {
         } else {
             evaluate_encoded_budgeted(ctx, &enc, request.scheme, &budget, feed).candidates_examined
         };
+        let pass_observed = (stats.intermediate_answers - pass_intermediates) as u64;
         if tracer.is_enabled() {
             tracer.add("pass.prefix", prefix as u64);
             tracer.add("pass.candidates", candidates);
-            tracer.add(
-                "pass.intermediates",
-                (stats.intermediate_answers - pass_intermediates) as u64,
-            );
+            tracer.add("pass.estimated", pass_est.max(0.0) as u64);
+            tracer.add("pass.intermediates", pass_observed);
             tracer.add("pass.pruned", (stats.pruned - pass_pruned) as u64);
             tracer.add("pass.buckets", list.bucket_count() as u64);
             tracer.add("pass.evicted", list.evicted());
@@ -207,10 +216,15 @@ pub fn sso_topk(ctx: &EngineContext, request: &TopKRequest) -> TopKResult {
             tracer.add("governor.checkpoint.candidate_loop", candidates);
         }
         tracer.end();
+        stats.estimated_answers = pass_est;
+        stats.observed_answers = pass_observed;
         if budget.tripped().is_some() {
-            // Keep the best-effort answers scanned so far; no restart.
+            // Keep the best-effort answers scanned so far; no restart. A
+            // partial scan's intermediate count is not the query's answer
+            // universe, so it is not fed to the skew histograms either.
             break;
         }
+        metrics::global().record_skew("sso", pass_est, pass_observed);
         // Estimate miss: relax further and restart ("we would need to
         // restart SSO", Section 6). The restart extends the prefix until
         // the *additional* estimated answers cover twice the observed

@@ -173,8 +173,16 @@ pub struct ExecStats {
     pub buckets: usize,
     /// Answers pruned by the score threshold (maxScoreGrowth pruning).
     pub pruned: usize,
-    /// Estimated cardinality at the moment evaluation started (SSO/Hybrid).
+    /// Estimated cardinality of the query the final evaluation ran
+    /// (SSO/Hybrid: the chosen prefix endpoint; DPO: the last committed
+    /// round). Paired with [`ExecStats::observed_answers`] this is the
+    /// per-query estimate-vs-actual skew summary.
     pub estimated_answers: f64,
+    /// Observed counterpart of [`ExecStats::estimated_answers`]: distinct
+    /// answers the final evaluation materialized before top-K truncation
+    /// (DPO: the last committed round's pre-dedup delta; SSO/Hybrid: answers
+    /// streamed by the last evaluation pass).
+    pub observed_answers: u64,
     /// Ancestor-descendant shortcut pairs materialized (data-relaxation
     /// baseline only).
     pub shortcut_pairs: u64,

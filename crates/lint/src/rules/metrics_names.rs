@@ -1,10 +1,14 @@
 //! Rule family 4: metrics naming discipline.
 //!
 //! Every counter/histogram name handed to the global [`MetricsRegistry`]
-//! must live in a documented namespace (`engine.*`, `governor.*`, `nd.*`,
-//! `serve.*`) —
+//! must live in a documented namespace (`engine.*` — including the
+//! `engine.skew.*` estimate-vs-actual family, `governor.*`, `nd.*`,
+//! `serve.*` — including the `serve.debug.*` flight-recorder family) —
 //! the observability docs and the `nd.`-prefix determinism carve-out both
-//! key off these prefixes. The rule tracks which local bindings hold the
+//! key off these prefixes. Literal names must also stay inside the
+//! Prometheus-safe charset `[a-z0-9._]`: `/metrics` maps every other
+//! character to `_`, so an out-of-charset name silently collides after
+//! sanitization. The rule tracks which local bindings hold the
 //! registry (either `let m = …global();` or a parameter typed
 //! `…MetricsRegistry`) and checks string literals passed to its recording
 //! methods. Span-local `Tracer`/`TraceSpan` names (`schedule.*`, `round.*`,
@@ -23,7 +27,14 @@ pub const RULE: &str = "metrics-name";
 pub const NAMESPACES: &[&str] = &["engine.", "governor.", "nd.", "serve."];
 
 /// Registry methods whose first argument is a metric name.
-const METHODS: &[&str] = &["counter", "add", "histogram", "observe", "observe_duration"];
+const METHODS: &[&str] = &[
+    "counter",
+    "add",
+    "histogram",
+    "observe",
+    "observe_duration",
+    "observe_value",
+];
 
 /// Runs the metrics-naming rule over one file.
 pub fn check(m: &FileModel, out: &mut Vec<Violation>) {
@@ -80,19 +91,34 @@ fn check_method_chain(m: &FileModel, j: usize, out: &mut Vec<Violation>) {
         return; // dynamic name — not statically checkable
     }
     let name = &arg.tok.text;
-    if NAMESPACES.iter().any(|ns| name.starts_with(ns)) {
+    if !NAMESPACES.iter().any(|ns| name.starts_with(ns)) {
+        m.report(
+            out,
+            RULE,
+            arg.tok.line,
+            format!(
+                "metric name {name:?} outside the documented namespaces \
+                 ({}) — see ARCHITECTURE.md observability section",
+                NAMESPACES.join(", ")
+            ),
+        );
         return;
     }
-    m.report(
-        out,
-        RULE,
-        arg.tok.line,
-        format!(
-            "metric name {name:?} outside the documented namespaces \
-             ({}) — see ARCHITECTURE.md observability section",
-            NAMESPACES.join(", ")
-        ),
-    );
+    if !name
+        .chars()
+        .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '.' || c == '_')
+    {
+        m.report(
+            out,
+            RULE,
+            arg.tok.line,
+            format!(
+                "metric name {name:?} outside the charset [a-z0-9._] — \
+                 /metrics sanitizes other characters to '_', which makes \
+                 distinct names collide in the Prometheus exposition"
+            ),
+        );
+    }
 }
 
 /// Collects local names bound to the metrics registry in this file.

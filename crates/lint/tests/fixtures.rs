@@ -122,18 +122,27 @@ fn metrics_rule_fires_on_out_of_namespace_names() {
     let src = include_str!("../fixtures/metrics_bad.rs");
     let found = lint("fixtures/metrics_bad.rs", src, METRICS_CLASS);
     assert!(found.iter().all(|v| v.rule == "metrics-name"), "{found:?}");
-    assert_eq!(found.len(), 4, "{found:?}");
+    assert_eq!(found.len(), 6, "{found:?}");
     for name in [
         "cache.hits",
         "latency.ms",
         "rows_emitted",
         "server.requests",
+        "skew.millibits",
+        "serve.debug.Recorded",
     ] {
         assert!(
             found.iter().any(|v| v.message.contains(name)),
             "no violation for {name:?}: {found:?}"
         );
     }
+    // The in-namespace, out-of-charset name gets the charset diagnostic.
+    assert!(
+        found
+            .iter()
+            .any(|v| v.message.contains("charset [a-z0-9._]")),
+        "{found:?}"
+    );
 }
 
 #[test]

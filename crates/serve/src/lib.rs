@@ -36,8 +36,22 @@
 //! | `/query` | POST | Run a top-K query; JSON results, optional trace |
 //! | `/explain` | POST | EXPLAIN ANALYZE (text) for a query |
 //! | `/catalogs` | GET | List store documents (+ quarantined files) |
-//! | `/metrics` | GET | Process metrics (text or `?format=json`) |
-//! | `/healthz` | GET | Liveness: sessions, in-flight, concurrency |
+//! | `/metrics` | GET | Prometheus text exposition (`?format=json` / `?format=text`) |
+//! | `/healthz` | GET | Liveness: sessions, in-flight, concurrency, uptime |
+//! | `/version` | GET | Build info, uptime, drain state, recorder config |
+//! | `/debug/queries` | GET | Flight recorder: last completed queries (`?n=`) |
+//! | `/debug/slow` | GET | Flight recorder: slow ring (threshold-gated) |
+//!
+//! ## Observability
+//!
+//! Every executed `/query` and `/explain` leaves a [`QueryRecord`] in the
+//! process-wide [`FlightRecorder`] — effective limits, duration,
+//! completeness, governor trip site, estimate-vs-actual skew, and an
+//! FNV-1a hash of the deterministic counter fingerprint. Records at or
+//! above [`ServePolicy::slow_query_threshold`] also land in the slow ring
+//! and (with [`ServePolicy::slow_log`]) a JSON-lines slow-query log. The
+//! recorder reads *completed* results only, so enabling it never perturbs
+//! engine counters or fingerprints.
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
@@ -49,6 +63,7 @@ pub mod error;
 pub mod http;
 pub mod json;
 pub mod policy;
+pub mod recorder;
 pub mod routes;
 pub mod server;
 pub mod state;
@@ -58,5 +73,6 @@ pub use client::{http_call, Client, ClientError, ClientResponse};
 pub use error::ServeError;
 pub use http::{HttpError, HttpLimits, Method, Request, Response};
 pub use policy::ServePolicy;
+pub use recorder::{FlightRecorder, QueryRecord};
 pub use server::{Server, ServerHandle};
 pub use state::ServerState;

@@ -63,6 +63,17 @@ pub struct ServePolicy {
     /// only: makes a request hold its execution slot for a fixed time so
     /// overload is deterministic). Never enable in production.
     pub allow_test_delay: bool,
+    /// Completed-query records kept by the flight recorder (served from
+    /// `/debug/queries`). Zero still keeps a minimal ring (one record per
+    /// stripe) — the recorder itself cannot be disabled, only shrunk.
+    pub recorder_capacity: usize,
+    /// Queries at or above this duration are mirrored into the slow ring
+    /// (`/debug/slow`) and, when [`ServePolicy::slow_log`] is set,
+    /// appended to the slow-query log file.
+    pub slow_query_threshold: Duration,
+    /// JSON-lines slow-query log file (`--slow-log` on the CLI). `None`
+    /// keeps the slow ring in memory only.
+    pub slow_log: Option<std::path::PathBuf>,
 }
 
 impl Default for ServePolicy {
@@ -91,6 +102,9 @@ impl Default for ServePolicy {
             drain_deadline: Duration::from_secs(5),
             retry_after_secs: 1,
             allow_test_delay: false,
+            recorder_capacity: 256,
+            slow_query_threshold: Duration::from_millis(500),
+            slow_log: None,
         }
     }
 }
@@ -124,6 +138,10 @@ impl ServePolicy {
             write_timeout: Duration::from_secs(2),
             drain_deadline: Duration::from_secs(2),
             allow_test_delay: true,
+            recorder_capacity: 32,
+            // Everything is "slow" under tests so /debug/slow is exercised
+            // deterministically without actually sleeping.
+            slow_query_threshold: Duration::ZERO,
             ..ServePolicy::default()
         }
     }

@@ -13,10 +13,12 @@ use crate::error::ServeError;
 use crate::http::{Method, Request, Response};
 use crate::json::{self, Json, JsonBuf};
 use crate::policy::ServePolicy;
+use crate::recorder::{fnv1a, FlightRecorder, QueryRecord};
 use crate::state::ServerState;
-use flexpath::{Algorithm, CancelToken, QueryLimits, QueryResults, RankingScheme};
+use flexpath::{skew_millibits, Algorithm, CancelToken, QueryLimits, QueryResults, RankingScheme};
 use flexpath_engine::metrics;
 use flexpath_engine::reason_key;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Everything a route handler needs, borrowed from the server for the
@@ -33,6 +35,10 @@ pub struct RouteContext<'a> {
     /// so in-flight work stops at its next checkpoint instead of
     /// overstaying the drain window.
     pub drain_cancel: &'a CancelToken,
+    /// The process-wide query flight recorder fed by `/query` and
+    /// `/explain` after execution; served by `/debug/queries` and
+    /// `/debug/slow`.
+    pub recorder: &'a FlightRecorder,
 }
 
 /// Routes one request. Never panics; anything unexpected becomes a typed
@@ -41,8 +47,11 @@ pub fn dispatch(ctx: &RouteContext<'_>, req: &Request) -> Response {
     metrics::global().add("serve.requests", 1);
     let resp = match (req.method, req.path.as_str()) {
         (Method::Get | Method::Head, "/healthz") => healthz(ctx),
+        (Method::Get | Method::Head, "/version") => version(ctx),
         (Method::Get | Method::Head, "/metrics") => metrics_endpoint(req),
         (Method::Get | Method::Head, "/catalogs") => catalogs(ctx),
+        (Method::Get | Method::Head, "/debug/queries") => debug_ring(ctx, req, false),
+        (Method::Get | Method::Head, "/debug/slow") => debug_ring(ctx, req, true),
         (Method::Post, "/query") => query(ctx, req).unwrap_or_else(|e| error_response(ctx, &e)),
         (Method::Post, "/explain") => explain(ctx, req).unwrap_or_else(|e| error_response(ctx, &e)),
         (_, "/query" | "/explain") => error_response(
@@ -107,6 +116,7 @@ fn healthz(ctx: &RouteContext<'_>) -> Response {
     b.key("in_flight").u64(ctx.admission.in_flight() as u64);
     b.key("concurrency_limit")
         .u64(ctx.admission.current_limit() as u64);
+    b.key("uptime_s").u64(ctx.state.uptime().as_secs());
     b.raw("}");
     let status = if ctx.admission.is_draining() {
         503
@@ -116,13 +126,79 @@ fn healthz(ctx: &RouteContext<'_>) -> Response {
     Response::json(status, b.finish())
 }
 
+/// Build/version info plus process vitals: uptime, drain state, session
+/// cache, and flight-recorder configuration. Unlike `/healthz` this never
+/// returns 503 — it describes the process, it does not gate traffic.
+fn version(ctx: &RouteContext<'_>) -> Response {
+    let mut b = JsonBuf::new();
+    b.raw("{");
+    b.key("name").string(env!("CARGO_PKG_NAME"));
+    b.key("version").string(env!("CARGO_PKG_VERSION"));
+    b.key("uptime_s").u64(ctx.state.uptime().as_secs());
+    b.key("draining").bool(ctx.admission.is_draining());
+    b.key("sessions").raw("{");
+    b.key("loaded").u64(ctx.state.session_count() as u64);
+    b.raw("}");
+    b.key("recorder").raw("{");
+    b.key("capacity").u64(ctx.recorder.capacity() as u64);
+    b.key("recorded").u64(ctx.recorder.recorded());
+    b.key("slow_threshold_ms").u64(
+        ctx.recorder
+            .slow_threshold()
+            .as_millis()
+            .min(u128::from(u64::MAX)) as u64,
+    );
+    b.raw("}");
+    b.raw("}");
+    Response::json(200, b.finish())
+}
+
+/// `/metrics`: Prometheus text exposition by default (`# TYPE`d counters
+/// and cumulative `_bucket`/`_sum`/`_count` histograms); `?format=json`
+/// keeps the machine-readable snapshot and `?format=text` the legacy flat
+/// listing.
 fn metrics_endpoint(req: &Request) -> Response {
     let snapshot = metrics::global().snapshot();
     if req.query.split('&').any(|kv| kv == "format=json") {
         Response::json(200, snapshot.render_json())
-    } else {
+    } else if req.query.split('&').any(|kv| kv == "format=text") {
         Response::text(200, snapshot.render_text())
+    } else {
+        Response::text(200, snapshot.render_prometheus())
     }
+}
+
+/// `/debug/queries` and `/debug/slow`: the flight-recorder rings as JSON,
+/// newest record first. `?n=` bounds the count (default 50, max 1000).
+fn debug_ring(ctx: &RouteContext<'_>, req: &Request, slow_only: bool) -> Response {
+    let n = req
+        .query
+        .split('&')
+        .find_map(|kv| kv.strip_prefix("n="))
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(50)
+        .min(1000);
+    let records: Vec<Arc<QueryRecord>> = if slow_only {
+        ctx.recorder.slow_recent(n)
+    } else {
+        ctx.recorder.recent(n)
+    };
+    let mut b = JsonBuf::new();
+    b.raw("{");
+    b.key("recorded").u64(ctx.recorder.recorded());
+    b.key("capacity").u64(ctx.recorder.capacity() as u64);
+    b.key("slow_threshold_ms").u64(
+        ctx.recorder
+            .slow_threshold()
+            .as_millis()
+            .min(u128::from(u64::MAX)) as u64,
+    );
+    b.key("queries").raw("[");
+    for rec in &records {
+        b.comma().raw(&rec.render_json());
+    }
+    b.raw("]}");
+    Response::json(200, b.finish())
 }
 
 fn catalogs(ctx: &RouteContext<'_>) -> Response {
@@ -277,6 +353,7 @@ fn query(ctx: &RouteContext<'_>, req: &Request) -> Result<Response, ServeError> 
     let _permit = ctx.admission.admit()?;
     let flex = ctx.state.session(&parsed.catalog)?;
     hold_test_delay(ctx, parsed.test_delay);
+    let effective_limits = ctx.policy.clamp(&parsed.limits);
     let started = Instant::now();
     let mut q = flex
         .query(&parsed.query)
@@ -284,7 +361,7 @@ fn query(ctx: &RouteContext<'_>, req: &Request) -> Result<Response, ServeError> 
         .top(parsed.k)
         .algorithm(parsed.algorithm)
         .scheme(parsed.scheme)
-        .limits(ctx.policy.clamp(&parsed.limits))
+        .limits(effective_limits.clone())
         .cancel(ctx.drain_cancel.clone())
         .threads(parsed.threads);
     if parsed.trace {
@@ -301,6 +378,7 @@ fn query(ctx: &RouteContext<'_>, req: &Request) -> Result<Response, ServeError> 
         },
         1,
     );
+    record_completed(ctx, "query", &parsed, effective_limits, &results, elapsed);
 
     let body = render_results(&flex, &parsed, &results, elapsed);
     let resp = Response::json(200, body);
@@ -311,6 +389,71 @@ fn query(ctx: &RouteContext<'_>, req: &Request) -> Result<Response, ServeError> 
     } else {
         Ok(resp.retry_after(ctx.policy.retry_after_secs))
     }
+}
+
+/// The stable wire name of a ranking scheme (matches the request field
+/// vocabulary accepted by [`QueryRequest::parse`]).
+fn scheme_key(scheme: RankingScheme) -> &'static str {
+    match scheme {
+        RankingScheme::StructureFirst => "structure_first",
+        RankingScheme::KeywordFirst => "keyword_first",
+        RankingScheme::Combined => "combined",
+    }
+}
+
+/// Feeds one completed execution into the flight recorder. Runs on the
+/// request's worker thread *after* the engine committed the results —
+/// strictly read-only over them, so recording cannot perturb governor
+/// counters or the deterministic trace fingerprint (whose FNV-1a hash the
+/// record carries when the request was traced).
+fn record_completed(
+    ctx: &RouteContext<'_>,
+    endpoint: &'static str,
+    parsed: &QueryRequest,
+    effective_limits: QueryLimits,
+    results: &QueryResults,
+    elapsed: Duration,
+) {
+    let (complete, exhaust_reason) = match &results.completeness {
+        flexpath::Completeness::Complete => (true, None),
+        flexpath::Completeness::Exhausted { reason, .. } => (false, Some(reason_key(*reason))),
+    };
+    // The governor latches its trip site into the trace root as a
+    // `governor.trip.site.<name>` counter; untraced runs record the
+    // reason only.
+    let trip_site = results.trace.as_ref().and_then(|t| {
+        t.root
+            .counters
+            .keys()
+            .find_map(|k| k.strip_prefix("governor.trip.site.").map(str::to_string))
+    });
+    let fingerprint_hash = results
+        .trace
+        .as_ref()
+        .map(|t| fnv1a(t.counter_fingerprint().as_bytes()));
+    ctx.recorder.record(QueryRecord {
+        id: 0, // assigned by the recorder
+        endpoint,
+        corpus: parsed.catalog.clone(),
+        query: QueryRecord::clip_query(&parsed.query),
+        algorithm: results.algorithm.to_string().to_ascii_lowercase(),
+        scheme: scheme_key(parsed.scheme).to_string(),
+        k: parsed.k as u64,
+        threads: parsed.threads as u64,
+        limits: effective_limits,
+        duration: elapsed,
+        complete,
+        exhaust_reason,
+        trip_site,
+        answers: results.hits.len() as u64,
+        estimated_answers: results.stats.estimated_answers,
+        observed_answers: results.stats.observed_answers,
+        skew_millibits: skew_millibits(
+            results.stats.estimated_answers,
+            results.stats.observed_answers,
+        ),
+        fingerprint_hash,
+    });
 }
 
 /// Holds the execution slot for a fixed time (tests and the load harness
@@ -393,15 +536,48 @@ fn explain(ctx: &RouteContext<'_>, req: &Request) -> Result<Response, ServeError
     // Same governor contract as /query: clamped limits and the drain
     // token — an explain run must not outlive the drain deadline or
     // escape the operator's budget ceilings.
+    let effective_limits = ctx.policy.clamp(&parsed.limits);
+    let started = Instant::now();
     let text = flexpath::explain_profile_with(
         &flex,
         &parsed.query,
         parsed.k,
         parsed.algorithm,
-        ctx.policy.clamp(&parsed.limits),
+        effective_limits.clone(),
         ctx.drain_cancel.clone(),
     )
     .map_err(|e| ServeError::BadRequest(e.to_string()))?;
+    let elapsed = started.elapsed();
+    // EXPLAIN returns rendered text, not a results struct; the record is
+    // recovered from the report's own header lines (best effort — an
+    // explain record documents that a profiled run happened and how long
+    // it held its slot, not the full skew summary).
+    let complete = text.lines().any(|l| l == "completeness: complete");
+    let answers = text
+        .lines()
+        .find_map(|l| l.strip_prefix("answers returned: "))
+        .and_then(|n| n.trim().parse::<u64>().ok())
+        .unwrap_or(0);
+    ctx.recorder.record(QueryRecord {
+        id: 0, // assigned by the recorder
+        endpoint: "explain",
+        corpus: parsed.catalog.clone(),
+        query: QueryRecord::clip_query(&parsed.query),
+        algorithm: parsed.algorithm.to_string().to_ascii_lowercase(),
+        scheme: scheme_key(parsed.scheme).to_string(),
+        k: parsed.k as u64,
+        threads: parsed.threads as u64,
+        limits: effective_limits,
+        duration: elapsed,
+        complete,
+        exhaust_reason: None,
+        trip_site: None,
+        answers,
+        estimated_answers: 0.0,
+        observed_answers: 0,
+        skew_millibits: 0,
+        fingerprint_hash: None,
+    });
     Ok(Response::text(200, text))
 }
 
@@ -415,6 +591,7 @@ mod tests {
         ServePolicy,
         AdmissionController,
         CancelToken,
+        FlightRecorder,
         std::path::PathBuf,
     ) {
         // A process-wide counter keeps parallel tests in distinct dirs
@@ -437,7 +614,8 @@ mod tests {
         );
         let policy = ServePolicy::for_tests();
         let admission = AdmissionController::new(2, 2, 1, Duration::from_millis(50));
-        (state, policy, admission, CancelToken::new(), dir)
+        let recorder = FlightRecorder::new(policy.recorder_capacity, policy.slow_query_threshold);
+        (state, policy, admission, CancelToken::new(), recorder, dir)
     }
 
     fn post(path: &str, body: &str) -> Request {
@@ -453,12 +631,13 @@ mod tests {
 
     #[test]
     fn query_round_trips_json() {
-        let (state, policy, admission, cancel, dir) = test_ctx();
+        let (state, policy, admission, cancel, recorder, dir) = test_ctx();
         let ctx = RouteContext {
             state: &state,
             policy: &policy,
             admission: &admission,
             drain_cancel: &cancel,
+            recorder: &recorder,
         };
         let req = post(
             "/query",
@@ -478,12 +657,13 @@ mod tests {
 
     #[test]
     fn partial_results_carry_retry_after() {
-        let (state, policy, admission, cancel, dir) = test_ctx();
+        let (state, policy, admission, cancel, recorder, dir) = test_ctx();
         let ctx = RouteContext {
             state: &state,
             policy: &policy,
             admission: &admission,
             drain_cancel: &cancel,
+            recorder: &recorder,
         };
         // max_candidates: 0 deterministically trips the answer budget.
         let req = post(
@@ -509,12 +689,13 @@ mod tests {
 
     #[test]
     fn bad_bodies_and_unknown_fields_are_400() {
-        let (state, policy, admission, cancel, dir) = test_ctx();
+        let (state, policy, admission, cancel, recorder, dir) = test_ctx();
         let ctx = RouteContext {
             state: &state,
             policy: &policy,
             admission: &admission,
             drain_cancel: &cancel,
+            recorder: &recorder,
         };
         for body in [
             "not json",
@@ -545,13 +726,14 @@ mod tests {
 
     #[test]
     fn draining_sheds_with_503_and_retry_after() {
-        let (state, policy, admission, cancel, dir) = test_ctx();
+        let (state, policy, admission, cancel, recorder, dir) = test_ctx();
         admission.drain();
         let ctx = RouteContext {
             state: &state,
             policy: &policy,
             admission: &admission,
             drain_cancel: &cancel,
+            recorder: &recorder,
         };
         let resp = dispatch(&ctx, &post("/query", r#"{"catalog":"doc","query":"//a"}"#));
         assert_eq!(resp.status, 503);
@@ -561,12 +743,13 @@ mod tests {
 
     #[test]
     fn auxiliary_endpoints_respond() {
-        let (state, policy, admission, cancel, dir) = test_ctx();
+        let (state, policy, admission, cancel, recorder, dir) = test_ctx();
         let ctx = RouteContext {
             state: &state,
             policy: &policy,
             admission: &admission,
             drain_cancel: &cancel,
+            recorder: &recorder,
         };
         let get = |path: &str, query: &str| Request {
             method: Method::Get,
@@ -582,8 +765,13 @@ mod tests {
         let m = dispatch(&ctx, &get("/metrics", ""));
         assert_eq!(m.status, 200);
         assert_eq!(m.content_type, "text/plain; charset=utf-8");
+        let prom = String::from_utf8_lossy(&m.body);
+        assert!(prom.contains("# TYPE"), "default is Prometheus: {prom}");
+        assert!(prom.contains("serve_requests"), "{prom}");
         let mj = dispatch(&ctx, &get("/metrics", "format=json"));
         assert!(json::parse(&mj.body).is_ok());
+        let mt = dispatch(&ctx, &get("/metrics", "format=text"));
+        assert_eq!(mt.status, 200);
         let cats = dispatch(&ctx, &get("/catalogs", ""));
         assert_eq!(cats.status, 200);
         let explain = dispatch(
@@ -597,13 +785,14 @@ mod tests {
 
     #[test]
     fn explain_runs_under_clamped_limits_and_drain_token() {
-        let (state, policy, admission, cancel, dir) = test_ctx();
+        let (state, policy, admission, cancel, recorder, dir) = test_ctx();
         {
             let ctx = RouteContext {
                 state: &state,
                 policy: &policy,
                 admission: &admission,
                 drain_cancel: &cancel,
+                recorder: &recorder,
             };
             // Request limits reach the profiled run (zero answer budget
             // trips the governor, visible in the rendered completeness).
@@ -626,6 +815,7 @@ mod tests {
             policy: &policy,
             admission: &admission,
             drain_cancel: &cancel,
+            recorder: &recorder,
         };
         let resp = dispatch(
             &ctx,
@@ -641,8 +831,99 @@ mod tests {
     }
 
     #[test]
+    fn flight_recorder_feeds_debug_endpoints() {
+        let (state, policy, admission, cancel, recorder, dir) = test_ctx();
+        let ctx = RouteContext {
+            state: &state,
+            policy: &policy,
+            admission: &admission,
+            drain_cancel: &cancel,
+            recorder: &recorder,
+        };
+        let get = |path: &str, query: &str| Request {
+            method: Method::Get,
+            path: path.to_string(),
+            query: query.to_string(),
+            headers: Vec::new(),
+            body: Vec::new(),
+            pipelined_excess: false,
+        };
+        // One traced query and one explain leave two records behind.
+        let q = post(
+            "/query",
+            r#"{"catalog":"doc","query":"//article[.contains(\"XML\")]","trace":true}"#,
+        );
+        assert_eq!(dispatch(&ctx, &q).status, 200);
+        let e = post("/explain", r#"{"catalog":"doc","query":"//article"}"#);
+        assert_eq!(dispatch(&ctx, &e).status, 200);
+
+        let resp = dispatch(&ctx, &get("/debug/queries", "n=10"));
+        assert_eq!(resp.status, 200);
+        let v = json::parse(&resp.body).unwrap();
+        assert_eq!(v.get("recorded").and_then(Json::as_u64), Some(2));
+        let Some(Json::Array(queries)) = v.get("queries") else {
+            panic!("queries array: {}", String::from_utf8_lossy(&resp.body));
+        };
+        assert_eq!(queries.len(), 2);
+        // Newest first: the explain record precedes the query record.
+        assert_eq!(
+            queries[0].get("endpoint").and_then(Json::as_str),
+            Some("explain")
+        );
+        let query_rec = &queries[1];
+        assert_eq!(
+            query_rec.get("endpoint").and_then(Json::as_str),
+            Some("query")
+        );
+        assert_eq!(query_rec.get("corpus").and_then(Json::as_str), Some("doc"));
+        assert_eq!(
+            query_rec.get("scheme").and_then(Json::as_str),
+            Some("structure_first")
+        );
+        assert!(query_rec
+            .get("skew")
+            .and_then(|s| s.get("millibits"))
+            .is_some());
+        assert!(
+            query_rec.get("fingerprint_fnv1a").is_some(),
+            "traced query carries a fingerprint hash"
+        );
+        assert!(
+            query_rec
+                .get("limits")
+                .and_then(|l| l.get("deadline_ms"))
+                .and_then(Json::as_u64)
+                .is_some(),
+            "effective limits include the defaulted deadline"
+        );
+
+        // The test policy's zero slow threshold mirrors everything slow.
+        let slow = dispatch(&ctx, &get("/debug/slow", ""));
+        let v = json::parse(&slow.body).unwrap();
+        assert!(matches!(v.get("queries"), Some(Json::Array(a)) if a.len() == 2));
+
+        let ver = dispatch(&ctx, &get("/version", ""));
+        assert_eq!(ver.status, 200);
+        let v = json::parse(&ver.body).unwrap();
+        assert_eq!(
+            v.get("version").and_then(Json::as_str),
+            Some(env!("CARGO_PKG_VERSION"))
+        );
+        assert_eq!(
+            v.get("recorder")
+                .and_then(|r| r.get("recorded"))
+                .and_then(Json::as_u64),
+            Some(2)
+        );
+        let health = dispatch(&ctx, &get("/healthz", ""));
+        let v = json::parse(&health.body).unwrap();
+        assert!(v.get("uptime_s").and_then(Json::as_u64).is_some());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn test_delay_requires_policy_opt_in() {
-        let (state, mut policy, admission, cancel, dir) = test_ctx();
+        let (state, mut policy, admission, cancel, recorder, dir) = test_ctx();
         policy.allow_test_delay = false;
         policy.http = HttpLimits::default();
         let ctx = RouteContext {
@@ -650,6 +931,7 @@ mod tests {
             policy: &policy,
             admission: &admission,
             drain_cancel: &cancel,
+            recorder: &recorder,
         };
         let resp = dispatch(
             &ctx,

@@ -34,6 +34,7 @@ use crate::admission::AdmissionController;
 use crate::error::ServeError;
 use crate::http::{self, HttpError, Method, Response};
 use crate::policy::ServePolicy;
+use crate::recorder::FlightRecorder;
 use crate::routes::{self, RouteContext};
 use crate::state::ServerState;
 use flexpath::CancelToken;
@@ -58,6 +59,8 @@ struct Shared {
     /// can unblock their reads. Keyed by a serial id.
     conns: Mutex<BTreeMap<u64, TcpStream>>,
     next_conn_id: AtomicU64,
+    /// The process's query flight recorder (see [`crate::recorder`]).
+    recorder: FlightRecorder,
 }
 
 fn lock<'a, T>(m: &'a Mutex<T>) -> MutexGuard<'a, T> {
@@ -134,6 +137,11 @@ impl Server {
     ) -> Result<Server, ServeError> {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
+        let mut recorder =
+            FlightRecorder::new(policy.recorder_capacity, policy.slow_query_threshold);
+        if let Some(path) = &policy.slow_log {
+            recorder = recorder.with_slow_log(path)?;
+        }
         let shared = Arc::new(Shared {
             shutdown: AtomicBool::new(false),
             drain_started: Mutex::new(None),
@@ -148,6 +156,7 @@ impl Server {
             queue_cv: Condvar::new(),
             conns: Mutex::new(BTreeMap::new()),
             next_conn_id: AtomicU64::new(0),
+            recorder,
         });
         Ok(Server {
             listener,
@@ -327,6 +336,7 @@ fn serve_requests(
         policy,
         admission: &shared.admission,
         drain_cancel: &shared.drain_cancel,
+        recorder: &shared.recorder,
     };
     for served in 0..policy.max_requests_per_conn.max(1) {
         // A connection popped (or parked) after shutdown gets a shed

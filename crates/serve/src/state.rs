@@ -33,6 +33,10 @@ struct SessionSlot {
 pub struct ServerState {
     catalog: Catalog,
     sessions: RwLock<BTreeMap<String, Arc<SessionSlot>>>,
+    /// Anchor for `/healthz` / `/version` uptime reporting. A monotonic
+    /// `Instant` (never wall-clock — `SystemTime::now` is banned
+    /// workspace-wide) captured when the state was created.
+    started: Instant,
 }
 
 impl std::fmt::Debug for ServerState {
@@ -54,12 +58,18 @@ impl ServerState {
         Ok(ServerState {
             catalog: Catalog::open(dir)?,
             sessions: RwLock::new(BTreeMap::new()),
+            started: Instant::now(),
         })
     }
 
     /// The underlying catalog.
     pub fn catalog(&self) -> &Catalog {
         &self.catalog
+    }
+
+    /// Time since this state (≈ the server process) was created.
+    pub fn uptime(&self) -> std::time::Duration {
+        self.started.elapsed()
     }
 
     /// Injects an already-built session under `name`, bypassing the

@@ -34,12 +34,18 @@
 //!   --queue N             serve: accepted-connection queue depth
 //!   --max-concurrent N    serve: concurrent query execution slots
 //!   --drain-ms N          serve: drain deadline after SIGINT
+//!   --slow-ms N           serve: slow-query threshold in milliseconds
+//!   --slow-log PATH       serve: append slow queries to PATH (JSON lines)
 //! ```
 //!
 //! `serve` starts the overload-safe HTTP query service over a store
 //! directory (`POST /query`, `POST /explain`, `GET /catalogs`,
-//! `GET /metrics`, `GET /healthz`). SIGINT drains: in-flight requests
-//! finish (bounded by `--drain-ms`), new work is shed with 429/503.
+//! `GET /metrics` in Prometheus text exposition, `GET /healthz`,
+//! `GET /version`, and the flight-recorder endpoints `GET /debug/queries`
+//! / `GET /debug/slow`). Queries at or above `--slow-ms` land in the slow
+//! ring and, with `--slow-log`, in a JSON-lines log file. SIGINT drains:
+//! in-flight requests finish (bounded by `--drain-ms`), new work is shed
+//! with 429/503.
 //!
 //! On Unix, Ctrl-C cancels a running query at its next checkpoint: the best
 //! answers found so far are printed together with a note that the search
@@ -135,6 +141,8 @@ struct Options {
     queue: Option<usize>,
     max_concurrent: Option<usize>,
     drain_ms: Option<u64>,
+    slow_ms: Option<u64>,
+    slow_log: Option<String>,
 }
 
 /// Every flag the parser accepts, with `true` for flags that consume a
@@ -187,6 +195,16 @@ const FLAGS: &[(&str, bool, &str)] = &[
     ("--queue", true, "serve: accepted-connection queue depth"),
     ("--max-concurrent", true, "serve: concurrent query slots"),
     ("--drain-ms", true, "serve: drain deadline after SIGINT"),
+    (
+        "--slow-ms",
+        true,
+        "serve: slow-query threshold in milliseconds",
+    ),
+    (
+        "--slow-log",
+        true,
+        "serve: append slow queries to PATH (JSON lines)",
+    ),
     ("--help", false, "print this help"),
 ];
 
@@ -255,6 +273,8 @@ fn parse_args_from(mut args: Vec<String>) -> Result<Options, ExitCode> {
         queue: None,
         max_concurrent: None,
         drain_ms: None,
+        slow_ms: None,
+        slow_log: None,
     };
     let mut i = 0;
     while i < args.len() {
@@ -322,6 +342,14 @@ fn parse_args_from(mut args: Vec<String>) -> Result<Options, ExitCode> {
             "--drain-ms" => {
                 i += 1;
                 opts.drain_ms = Some(args.get(i).and_then(|s| s.parse().ok()).ok_or_else(usage)?);
+            }
+            "--slow-ms" => {
+                i += 1;
+                opts.slow_ms = Some(args.get(i).and_then(|s| s.parse().ok()).ok_or_else(usage)?);
+            }
+            "--slow-log" => {
+                i += 1;
+                opts.slow_log = Some(args.get(i).cloned().ok_or_else(usage)?);
             }
             "--explain" => opts.explain = true,
             "--plan" => opts.plan = true,
@@ -447,6 +475,12 @@ fn run_serve(opts: &Options, store_dir: &str) -> ExitCode {
     if let Some(ms) = opts.deadline_ms {
         policy.default_deadline = Duration::from_millis(ms);
     }
+    if let Some(ms) = opts.slow_ms {
+        policy.slow_query_threshold = Duration::from_millis(ms);
+    }
+    if let Some(path) = &opts.slow_log {
+        policy.slow_log = Some(std::path::PathBuf::from(path));
+    }
     let server = match Server::bind(&opts.addr, std::sync::Arc::new(state), policy) {
         Ok(s) => s,
         Err(e) => {
@@ -459,7 +493,10 @@ fn run_serve(opts: &Options, store_dir: &str) -> ExitCode {
         Err(_) => opts.addr.clone(),
     };
     println!("flexpath-serve: store {store_dir} ({docs} documents) on http://{addr}");
-    println!("endpoints: POST /query /explain · GET /catalogs /metrics /healthz");
+    println!(
+        "endpoints: POST /query /explain · GET /catalogs /metrics /healthz /version \
+         /debug/queries /debug/slow"
+    );
     println!("Ctrl-C drains: in-flight requests finish, new work is shed");
 
     // SIGINT flips the CancelToken (async-signal-safe); a monitor thread
@@ -709,6 +746,8 @@ mod tests {
         assert_eq!(opts.queue, Some(3));
         assert_eq!(opts.max_concurrent, Some(3));
         assert_eq!(opts.drain_ms, Some(3));
+        assert_eq!(opts.slow_ms, Some(3));
+        assert_eq!(opts.slow_log.as_deref(), Some("3"));
         // With --store, the first positional is a document name.
         assert_eq!(opts.corpus, "corpus.xml");
         assert_eq!(opts.query, "//a");

@@ -158,6 +158,18 @@ fn trace_counter_fingerprints_are_identical_across_thread_counts() {
                 baseline.contains("governor.checkpoint."),
                 "{algorithm} / {scheme:?}: fingerprint must carry checkpoint counters"
             );
+            // The estimate-vs-actual skew counters are span counters and
+            // therefore part of the fingerprint — they must be present
+            // (the estimator runs unbudgeted on the driver thread) and,
+            // below, identical at every thread count.
+            let skew_key = match algorithm {
+                Algorithm::Dpo => "round.estimated",
+                Algorithm::Sso | Algorithm::Hybrid => "pass.estimated",
+            };
+            assert!(
+                baseline.contains(skew_key),
+                "{algorithm} / {scheme:?}: fingerprint must carry {skew_key}"
+            );
             for threads in [2, 4, 8] {
                 assert_eq!(
                     baseline,
@@ -166,6 +178,82 @@ fn trace_counter_fingerprints_are_identical_across_thread_counts() {
                 );
             }
         }
+    }
+}
+
+#[test]
+fn fingerprints_survive_flight_recording_at_every_thread_count() {
+    // The serve-side flight recorder hashes the committed fingerprint and
+    // pushes a record after execution; all of that is read-only over the
+    // trace, so running with the recorder fed at threads 1/2/4/8 must
+    // leave fingerprints (and their FNV-1a hashes) byte-identical.
+    use flexpath_serve::recorder::{fnv1a, FlightRecorder, QueryRecord};
+    let flex = session();
+    for algorithm in [Algorithm::Dpo, Algorithm::Sso, Algorithm::Hybrid] {
+        let recorder = FlightRecorder::new(32, std::time::Duration::ZERO);
+        let run = |threads: usize| {
+            let mut cfg = ParallelConfig::with_threads(threads);
+            cfg.min_round_size = 1;
+            let results = flex
+                .query(QUERIES[1])
+                .unwrap()
+                .top(25)
+                .algorithm(algorithm)
+                .parallel(cfg)
+                .trace()
+                .execute();
+            let fp = results
+                .trace
+                .as_ref()
+                .expect("trace requested")
+                .counter_fingerprint();
+            recorder.record(QueryRecord {
+                id: 0,
+                endpoint: "query",
+                corpus: "xmark".into(),
+                query: QueryRecord::clip_query(QUERIES[1]),
+                algorithm: results.algorithm.to_string().to_ascii_lowercase(),
+                scheme: "structure_first".into(),
+                k: 25,
+                threads: threads as u64,
+                limits: flexpath::QueryLimits::default(),
+                duration: std::time::Duration::ZERO,
+                complete: results.is_complete(),
+                exhaust_reason: None,
+                trip_site: None,
+                answers: results.hits.len() as u64,
+                estimated_answers: results.stats.estimated_answers,
+                observed_answers: results.stats.observed_answers,
+                skew_millibits: flexpath::skew_millibits(
+                    results.stats.estimated_answers,
+                    results.stats.observed_answers,
+                ),
+                fingerprint_hash: Some(fnv1a(fp.as_bytes())),
+            });
+            fp
+        };
+        let baseline = run(1);
+        for threads in [2, 4, 8] {
+            assert_eq!(
+                baseline,
+                run(threads),
+                "{algorithm}: fingerprint diverged at threads={threads} with recorder on"
+            );
+        }
+        let records = recorder.recent(8);
+        assert_eq!(records.len(), 4, "{algorithm}: one record per thread count");
+        assert!(
+            records
+                .windows(2)
+                .all(|w| w[0].fingerprint_hash == w[1].fingerprint_hash),
+            "{algorithm}: recorded fingerprint hashes diverged across thread counts"
+        );
+        assert!(
+            records
+                .windows(2)
+                .all(|w| w[0].skew_millibits == w[1].skew_millibits),
+            "{algorithm}: recorded skew diverged across thread counts"
+        );
     }
 }
 

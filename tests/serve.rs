@@ -133,9 +133,15 @@ fn query_round_trips_over_a_real_socket() {
     assert_eq!(catalogs.status, 200);
     assert!(catalogs.body_text().contains(r#""doc""#));
 
+    // Default /metrics is Prometheus text exposition (sanitized names);
+    // the JSON snapshot stays reachable via ?format=json.
     let metrics = http_call(h.addr, "GET", "/metrics", b"", TIMEOUT).expect("metrics");
     assert_eq!(metrics.status, 200);
-    assert!(metrics.body_text().contains("serve.requests"));
+    assert!(metrics.body_text().contains("# TYPE"));
+    assert!(metrics.body_text().contains("serve_requests"));
+    let metrics = http_call(h.addr, "GET", "/metrics?format=json", b"", TIMEOUT).expect("metrics");
+    assert_eq!(metrics.status, 200);
+    assert!(metrics.body_text().contains(r#""serve.requests""#));
 }
 
 #[test]
@@ -244,6 +250,145 @@ fn malformed_http_maps_to_typed_statuses() {
 
     // After all that abuse the server still answers real queries.
     assert_eq!(h.post_query("").status, 200);
+}
+
+#[test]
+fn flight_recorder_and_metrics_endpoints_e2e() {
+    let slow_log = std::env::temp_dir().join(format!(
+        "flexpath-serve-e2e-slowlog-{}.jsonl",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&slow_log);
+    let mut policy = ServePolicy::for_tests();
+    // for_tests() sets a zero slow threshold, so *every* completed query
+    // counts as slow — deterministic coverage for /debug/slow and the log.
+    policy.slow_log = Some(slow_log.clone());
+    let h = Harness::start("recorder", policy);
+
+    // One complete query and one deterministic budget-tripped partial.
+    assert_eq!(h.post_query("").status, 200);
+    let partial = h.post_query(r#","max_candidates":0"#);
+    assert_eq!(partial.status, 200);
+    assert!(partial.body_text().contains(r#""complete":false"#));
+
+    // /debug/queries: both records, with skew summaries, the effective
+    // limits, and the partial's typed exhaust reason.
+    let resp = http_call(h.addr, "GET", "/debug/queries?n=10", b"", TIMEOUT).expect("debug");
+    assert_eq!(resp.status, 200);
+    let body = resp.body_text();
+    assert!(body.contains(r#""recorded":2"#), "{body}");
+    assert!(body.contains(r#""endpoint":"query""#), "{body}");
+    assert!(body.contains(r#""skew":{"estimated":"#), "{body}");
+    assert!(body.contains(r#""millibits":"#), "{body}");
+    assert!(body.contains(r#""limits":{"#), "{body}");
+    assert!(
+        body.contains(r#""exhaust_reason":"answer_budget""#),
+        "{body}"
+    );
+
+    // /debug/slow mirrors both (zero threshold), and ?n clamps the list.
+    let resp = http_call(h.addr, "GET", "/debug/slow?n=10", b"", TIMEOUT).expect("debug slow");
+    assert_eq!(resp.status, 200);
+    assert_eq!(resp.body_text().matches(r#""endpoint":"#).count(), 2);
+    let resp = http_call(h.addr, "GET", "/debug/slow?n=1", b"", TIMEOUT).expect("debug slow n=1");
+    assert_eq!(resp.body_text().matches(r#""endpoint":"#).count(), 1);
+
+    // The slow log got one JSON line per slow query.
+    let text = std::fs::read_to_string(&slow_log).expect("slow log written");
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 2, "{text}");
+    for line in &lines {
+        assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+        assert!(line.contains(r#""duration_us":"#), "{line}");
+    }
+
+    // /version reports build identity and recorder state; /healthz uptime.
+    let resp = http_call(h.addr, "GET", "/version", b"", TIMEOUT).expect("version");
+    assert_eq!(resp.status, 200);
+    let body = resp.body_text();
+    assert!(body.contains(r#""version":"#), "{body}");
+    assert!(body.contains(r#""recorder":{"#), "{body}");
+    assert!(body.contains(r#""recorded":2"#), "{body}");
+    let resp = http_call(h.addr, "GET", "/healthz", b"", TIMEOUT).expect("healthz");
+    assert!(resp.body_text().contains(r#""uptime_s":"#));
+
+    // /metrics parses as Prometheus text exposition and carries the
+    // recorder counters.
+    let resp = http_call(h.addr, "GET", "/metrics", b"", TIMEOUT).expect("metrics");
+    assert_eq!(resp.status, 200);
+    let text = resp.body_text();
+    assert!(text.contains("serve_debug_recorded"), "{text}");
+    assert_prometheus_parses(&text);
+
+    let _ = std::fs::remove_file(&slow_log);
+}
+
+/// A minimal Prometheus text-exposition parser (mirrors the one in
+/// `tests/observability.rs`; test binaries are separate crates): every
+/// line is a comment or a `name[{labels}] value` sample, names stay in
+/// `[a-zA-Z0-9_:]`, values parse as floats, and `_bucket` series are
+/// cumulative.
+fn assert_prometheus_parses(text: &str) {
+    let mut samples = 0usize;
+    let mut last_bucket: Option<(String, u64)> = None;
+    for line in text.lines() {
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split_whitespace();
+            let name = parts.next().expect("TYPE line names a metric");
+            assert!(
+                name.chars()
+                    .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'),
+                "bad metric name in {line:?}"
+            );
+            let kind = parts.next().expect("TYPE line has a kind");
+            assert!(
+                kind == "counter" || kind == "histogram" || kind == "gauge",
+                "unknown TYPE in {line:?}"
+            );
+            continue;
+        }
+        if line.starts_with('#') {
+            continue;
+        }
+        let (series, value) = line.rsplit_once(' ').expect("sample line has a value");
+        let name = match series.split_once('{') {
+            Some((n, labels)) => {
+                assert!(labels.ends_with('}'), "unterminated labels in {line:?}");
+                n
+            }
+            None => series,
+        };
+        assert!(
+            !name.is_empty()
+                && name
+                    .chars()
+                    .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'),
+            "bad series name in {line:?}"
+        );
+        let v: f64 = value
+            .parse()
+            .unwrap_or_else(|_| panic!("bad value in {line:?}"));
+        if let Some(base) = name.strip_suffix("_bucket") {
+            let count = v as u64;
+            match &last_bucket {
+                Some((prev, prev_count)) if prev == base => {
+                    assert!(
+                        count >= *prev_count,
+                        "non-cumulative bucket in {line:?} (prev {prev_count})"
+                    );
+                    last_bucket = Some((base.to_string(), count));
+                }
+                _ => last_bucket = Some((base.to_string(), count)),
+            }
+        } else {
+            last_bucket = None;
+        }
+        samples += 1;
+    }
+    assert!(samples > 0, "exposition was empty");
 }
 
 #[test]
