@@ -292,9 +292,13 @@ fn threads_scaling(scale: f64, repeats: usize) -> Series {
 
 /// Cold-start elimination: per document size, median wall-clock of a full
 /// in-memory build (XML parse + statistics + inverted index) vs restoring
-/// the same session with `CorpusStore::open`. Both sessions answer a
-/// verification query identically (fingerprints compared; a mismatch is
-/// reported in the record's note rather than silently ignored).
+/// the same session eagerly (`FleXPath::open_eager` — every section
+/// decoded and CRC-verified at open) vs the lazy v2 open
+/// (`FleXPath::open` — header + meta validated, sections decoded on
+/// first touch, so the open itself is O(ms) regardless of store size).
+/// All three sessions answer a verification query identically
+/// (fingerprints compared; a mismatch is reported in the record's note
+/// rather than silently ignored).
 fn store_coldstart(scale: f64, repeats: usize) -> Series {
     use crate::workload::bench_config;
     use flexpath_xmark::generate;
@@ -341,16 +345,28 @@ fn store_coldstart(scale: f64, repeats: usize) -> Series {
         let load_times: Vec<f64> = (0..repeats.max(1))
             .map(|_| {
                 let t = Instant::now();
-                loaded = Some(FleXPath::open(&path).expect("benchmark store opens"));
+                loaded = Some(FleXPath::open_eager(&path).expect("benchmark store opens"));
+                t.elapsed().as_secs_f64() * 1e3
+            })
+            .collect();
+        let mut lazy = None;
+        let lazy_times: Vec<f64> = (0..repeats.max(1))
+            .map(|_| {
+                let t = Instant::now();
+                lazy = Some(FleXPath::open(&path).expect("benchmark store opens lazily"));
                 t.elapsed().as_secs_f64() * 1e3
             })
             .collect();
 
         let built = built.expect("at least one build");
         let loaded = loaded.expect("at least one load");
+        let lazy = lazy.expect("at least one lazy open");
+        let lazy_mapped = lazy.lazy_store().is_some_and(|s| s.is_mapped());
         let (answers, built_nodes, built_fp) = fingerprint(&built);
         let (_, loaded_nodes, loaded_fp) = fingerprint(&loaded);
+        let (_, lazy_nodes, lazy_fp) = fingerprint(&lazy);
         let verified = built_nodes == loaded_nodes && built_fp == loaded_fp;
+        let lazy_verified = built_nodes == lazy_nodes && built_fp == lazy_fp;
 
         let record = |label: &str, millis: f64, note: String| RunRecord {
             algorithm: label.into(),
@@ -379,15 +395,29 @@ fn store_coldstart(scale: f64, repeats: usize) -> Series {
                         if verified { "identical" } else { "MISMATCH" }
                     ),
                 ),
+                record(
+                    "LazyOpen",
+                    median(lazy_times),
+                    format!(
+                        "{file_bytes} B store, v2 lazy ({}), answers {}",
+                        if lazy_mapped { "mmap" } else { "owned bytes" },
+                        if lazy_verified {
+                            "identical"
+                        } else {
+                            "MISMATCH"
+                        }
+                    ),
+                ),
             ],
         });
     }
     let _ = std::fs::remove_dir_all(&dir);
     Series {
         id: "store_coldstart".into(),
-        title: "Cold start — XML parse+index vs persistent-store open (same answers)".into(),
+        title: "Cold start — XML parse+index vs eager store open vs lazy mmap open (same answers)"
+            .into(),
         x_label: "document size".into(),
-        algorithms: vec!["ColdBuild".into(), "StoreOpen".into()],
+        algorithms: vec!["ColdBuild".into(), "StoreOpen".into(), "LazyOpen".into()],
         rows,
     }
 }

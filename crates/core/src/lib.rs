@@ -68,11 +68,12 @@ pub use flexpath_engine::{
     hardware_threads, prometheus_name, skew_millibits, Algorithm, Answer, AnswerScore,
     AttrRelaxation, Budget, CancelToken, Completeness, EngineError, ExecStats, ExhaustReason,
     MetricsRegistry, MetricsSnapshot, Offer, ParallelConfig, PruneFloor, QueryLimits, QueryTrace,
-    RankingScheme, ScoreKey, TagHierarchy, TopKBuckets, TraceSpan, WeightAssignment,
+    RankingScheme, ScoreKey, SourceError, SourceErrorKind, SourceResidency, TagHierarchy,
+    TopKBuckets, TraceSpan, WeightAssignment,
 };
 pub use flexpath_store::{
-    Catalog, CatalogEntry, CatalogListing, CorpusStore, QuarantinedEntry, StoreBuilder, StoreError,
-    StoreMeta,
+    Catalog, CatalogEntry, CatalogListing, CorpusStore, LazyStore, QuarantinedEntry, StoreBuilder,
+    StoreError, StoreInspection, StoreMeta,
 };
 
 /// The process-wide engine metrics registry (see

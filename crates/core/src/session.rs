@@ -3,16 +3,18 @@
 use flexpath_engine::Budget;
 use flexpath_engine::{
     dpo_topk, hybrid_topk, sso_topk, Algorithm, Answer, AttrRelaxation, CancelToken, Completeness,
-    EngineContext, EngineError, ExecStats, ParallelConfig, QueryLimits, QueryTrace, RankingScheme,
-    TagHierarchy, TopKRequest, TopKResult, TraceSpan, WeightAssignment,
+    ContextSource, EngineContext, EngineError, ExecStats, ParallelConfig, QueryLimits, QueryTrace,
+    RankingScheme, SourceError, SourceResidency, TagHierarchy, TopKRequest, TopKResult, TraceSpan,
+    WeightAssignment,
 };
 use flexpath_ftsearch::{highlight, HighlightStyle, Thesaurus};
-use flexpath_store::{CorpusStore, StoreBuilder, StoreError};
+use flexpath_store::{CorpusStore, LazyStore, StoreBuilder, StoreError};
 use flexpath_tpq::{parse_query_weighted, QueryParseError, Tpq};
 use flexpath_xmldom::{
-    parse as parse_xml, to_xml_string, Document, NodeId, ParseError, ParseErrorKind,
+    parse as parse_xml, to_xml_string, DocStats, Document, NodeId, ParseError, ParseErrorKind,
 };
 use std::path::Path;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// A FleXPath session over one document (collection).
@@ -20,7 +22,9 @@ use std::time::Duration;
 /// Construction preprocesses the document once: structural statistics for
 /// penalties and selectivity estimation, plus the full-text inverted index.
 /// Alternatively, [`FleXPath::open`] restores a session from a persistent
-/// store file, skipping all preprocessing.
+/// store file *lazily*: the file is memory-mapped, the open does O(header)
+/// work, and each part (document arena, statistics, inverted index) is
+/// CRC-verified and decoded on first touch.
 pub struct FleXPath {
     ctx: EngineContext,
     /// The `store.open` span when this session was loaded from a store.
@@ -28,6 +32,33 @@ pub struct FleXPath {
     /// `counter_fingerprint()`s must be identical across the parse and
     /// load paths.
     store_trace: Option<TraceSpan>,
+    /// The backing lazy store when opened via [`FleXPath::open`] /
+    /// [`FleXPath::from_lazy_store`] — shared with the engine context's
+    /// source. Lets the session layer reach store-typed state (version,
+    /// residency, typed errors for `save`) that the engine cannot name.
+    lazy: Option<Arc<LazyStore>>,
+}
+
+/// Adapter sharing one [`LazyStore`] between the engine context (as its
+/// [`ContextSource`]) and the session (for store-typed accessors).
+struct SharedSource(Arc<LazyStore>);
+
+impl ContextSource for SharedSource {
+    fn load_document(&self) -> Result<&Document, SourceError> {
+        self.0.load_document()
+    }
+
+    fn load_stats(&self) -> Result<&DocStats, SourceError> {
+        self.0.load_stats()
+    }
+
+    fn load_index(&self) -> Result<&flexpath_ftsearch::InvertedIndex, SourceError> {
+        self.0.load_index()
+    }
+
+    fn residency(&self) -> SourceResidency {
+        self.0.residency()
+    }
 }
 
 impl FleXPath {
@@ -36,6 +67,7 @@ impl FleXPath {
         FleXPath {
             ctx: EngineContext::new(doc),
             store_trace: None,
+            lazy: None,
         }
     }
 
@@ -82,17 +114,31 @@ impl FleXPath {
     /// Restores a session from the persistent store file at `path`
     /// (written by [`FleXPath::save`] or the `flexpath index` command),
     /// skipping XML parsing, statistics collection, and index
-    /// construction. Queries on the restored session return byte-identical
-    /// answers and trace fingerprints to a freshly built one.
+    /// construction. The open is *lazy* for v2 files: O(header) work up
+    /// front, sections validated and decoded on first touch (v1 files
+    /// decode eagerly, as they always have). Queries on the restored
+    /// session return byte-identical answers and trace fingerprints to a
+    /// freshly built one.
     pub fn open(path: &Path) -> Result<Self, StoreError> {
-        Ok(Self::from_store(CorpusStore::open(path)?))
+        Ok(Self::from_lazy_store(LazyStore::open(path)?))
     }
 
     /// [`FleXPath::open`] under a governor [`Budget`]: the load charges
     /// the file's bytes against the memory cap and the index's posting
-    /// entries against the postings cap before decoding.
+    /// entries against the postings cap up front, bounding what the
+    /// session may eventually materialize.
     pub fn open_budgeted(path: &Path, budget: &Budget) -> Result<Self, StoreError> {
-        Ok(Self::from_store(CorpusStore::open_budgeted(path, budget)?))
+        Ok(Self::from_lazy_store(LazyStore::open_budgeted(
+            path, budget,
+        )?))
+    }
+
+    /// [`FleXPath::open`] via the historical eager path: every section is
+    /// CRC-verified and decoded before this returns. Kept for callers that
+    /// prefer open-time validation over open-time speed (and as the
+    /// baseline the coldstart benchmark compares against).
+    pub fn open_eager(path: &Path) -> Result<Self, StoreError> {
+        Ok(Self::from_store(CorpusStore::open(path)?))
     }
 
     /// Wraps an already-loaded [`CorpusStore`] (e.g. one fetched from a
@@ -103,13 +149,55 @@ impl FleXPath {
         FleXPath {
             ctx: EngineContext::from_parts(doc, stats, index),
             store_trace: Some(trace),
+            lazy: None,
         }
+    }
+
+    /// Wraps a lazily-opened [`LazyStore`] (e.g. from
+    /// [`flexpath_store::Catalog::open_lazy`]) in a session. Nothing is
+    /// decoded yet for v2 stores; use [`FleXPath::materialize`] or the
+    /// fallible query path ([`TopKQuery::try_execute`]) to surface
+    /// first-touch corruption as typed errors instead of panics.
+    pub fn from_lazy_store(store: LazyStore) -> Self {
+        let trace = store.load_trace().clone();
+        let store = Arc::new(store);
+        FleXPath {
+            ctx: EngineContext::from_source(Box::new(SharedSource(store.clone()))),
+            store_trace: Some(trace),
+            lazy: Some(store),
+        }
+    }
+
+    /// The backing lazy store, when this session was opened lazily.
+    pub fn lazy_store(&self) -> Option<&LazyStore> {
+        self.lazy.as_deref()
+    }
+
+    /// Which parts of the session are materialized (always everything for
+    /// sessions built from XML or opened eagerly).
+    pub fn residency(&self) -> SourceResidency {
+        self.ctx.residency()
+    }
+
+    /// Forces materialization of the document and statistics — plus the
+    /// inverted index when `with_index` — reporting the first failure as
+    /// a typed error. After `Ok(())`, infallible accessors like
+    /// [`FleXPath::document`] and [`TopKQuery::execute`] cannot hit a
+    /// store fault (full-text queries also need `with_index`).
+    pub fn materialize(&self, with_index: bool) -> Result<(), EngineError> {
+        self.ctx.ensure_ready(with_index).map_err(EngineError::from)
     }
 
     /// Persists this session's document, statistics, and index to `path`
     /// in the store format, under the logical name `name`. Returns the
-    /// number of bytes written.
+    /// number of bytes written. For lazy sessions this materializes all
+    /// parts first (reporting store faults as typed errors).
     pub fn save(&self, path: &Path, name: &str) -> Result<u64, StoreError> {
+        if let Some(store) = &self.lazy {
+            store.document()?;
+            store.stats()?;
+            store.index()?;
+        }
         StoreBuilder::from_parts(name, self.ctx.doc(), self.ctx.stats(), self.ctx.index())
             .write_to(path)
     }
@@ -127,8 +215,19 @@ impl FleXPath {
     }
 
     /// The document.
+    ///
+    /// For lazy sessions this materializes the document arena on first
+    /// call; a store fault at that point is a contract violation (panic) —
+    /// store-backed callers that have not run [`FleXPath::materialize`]
+    /// should use [`FleXPath::try_document`].
     pub fn document(&self) -> &Document {
         self.ctx.doc()
+    }
+
+    /// [`FleXPath::document`] with first-touch store faults surfaced as
+    /// typed errors instead of panics.
+    pub fn try_document(&self) -> Result<&Document, EngineError> {
+        self.ctx.try_doc().map_err(EngineError::from)
     }
 
     /// Starts a top-K query from an XPath-subset string. `^<weight>`
@@ -336,7 +435,31 @@ impl TopKQuery<'_> {
         &self.request
     }
 
-    /// Runs the query.
+    /// Whether this query needs the inverted index: true iff it carries
+    /// any `contains` predicate (thesaurus expansion only rewrites
+    /// *existing* `contains` expressions, so it cannot change the answer).
+    fn needs_index(&self) -> bool {
+        self.request
+            .query
+            .nodes()
+            .iter()
+            .any(|n| !n.contains.is_empty())
+    }
+
+    /// Runs the query, materializing exactly the parts it needs first —
+    /// the document and statistics always, the inverted index only when
+    /// the query carries `contains` predicates — and surfacing first-touch
+    /// store faults (checksum mismatch, corrupt section, I/O) as typed
+    /// errors. This is the canonical path for store-backed sessions; for
+    /// in-memory sessions it never fails.
+    pub fn try_execute(&self) -> Result<QueryResults, EngineError> {
+        self.flex.ctx.ensure_ready(self.needs_index())?;
+        Ok(self.execute())
+    }
+
+    /// Runs the query. Infallible: on a lazy session whose store turns
+    /// out to be corrupt at first touch, this panics — use
+    /// [`TopKQuery::try_execute`] when the store is untrusted.
     pub fn execute(&self) -> QueryResults {
         let mut request = self.request.clone();
         if let Some(t) = &self.thesaurus {

@@ -5,6 +5,16 @@
 //! once per document (the paper: "we first do intensive pre-processing of
 //! the document in order to obtain counts of the various types of nodes and
 //! edges").
+//!
+//! Two backing modes exist. An **owned** context holds the decoded parts
+//! directly (the parse/build path and the eager store path). A **lazy**
+//! context borrows them on demand from a [`ContextSource`] — the
+//! memory-mapped store — which decodes each part at most once, on first
+//! touch, and reports failures as typed [`SourceError`]s. Callers that can
+//! observe a lazy source (the session layer, the server) materialize the
+//! parts they need up front via [`EngineContext::ensure_ready`] and handle
+//! the error; after that, the infallible accessors are guaranteed to
+//! succeed and the hot paths stay branch-light.
 
 use flexpath_ftsearch::{
     Budget, CacheStats, FtEval, FtExpr, InvertedIndex, ScoringModel, ShardedCache,
@@ -12,15 +22,130 @@ use flexpath_ftsearch::{
 use flexpath_xmldom::{DocStats, Document, NodeId, Sym};
 use std::sync::Arc;
 
-/// Owns one document plus every auxiliary structure the engine needs.
-pub struct EngineContext {
+/// Why a lazily-backed context part could not be produced. Carried by
+/// [`SourceError`]; mirrors the store's error taxonomy without depending
+/// on the store crate (the dependency points the other way).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SourceErrorKind {
+    /// The part's bytes failed checksum verification on first touch.
+    Checksum,
+    /// The part's bytes decoded to an inconsistent structure, were
+    /// truncated, or were missing entirely.
+    Corrupt,
+    /// The underlying file or mapping failed at the I/O level.
+    Io,
+    /// The governor budget tripped while charging the load.
+    Budget(crate::governor::ExhaustReason),
+}
+
+/// A typed failure while materializing a context part from its source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SourceError {
+    /// Which part could not be produced: `"document"`, `"stats"`, or
+    /// `"index"`.
+    pub part: &'static str,
+    /// Failure category.
+    pub kind: SourceErrorKind,
+    /// Human-readable description from the underlying layer.
+    pub detail: String,
+}
+
+impl std::fmt::Display for SourceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let kind = match &self.kind {
+            SourceErrorKind::Checksum => "checksum mismatch",
+            SourceErrorKind::Corrupt => "corrupt data",
+            SourceErrorKind::Io => "I/O failure",
+            SourceErrorKind::Budget(_) => "budget exhausted",
+        };
+        write!(
+            f,
+            "cannot materialize {} ({kind}): {}",
+            self.part, self.detail
+        )
+    }
+}
+
+impl std::error::Error for SourceError {}
+
+/// Which parts a [`ContextSource`] has already materialized (all `true`
+/// for owned contexts). Surfaced per-session by the server so operators
+/// can see what a lazy open has actually paid for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SourceResidency {
+    /// The document arena is decoded and resident.
+    pub document: bool,
+    /// The structural statistics are decoded and resident.
+    pub stats: bool,
+    /// The inverted index is decoded and resident.
+    pub index: bool,
+}
+
+impl SourceResidency {
+    /// Residency of a fully-materialized (owned/eager) context.
+    pub fn full() -> Self {
+        SourceResidency {
+            document: true,
+            stats: true,
+            index: true,
+        }
+    }
+}
+
+/// A provider of context parts that decodes them on demand.
+///
+/// Implementations (the memory-mapped `LazyStore` in `flexpath-store`)
+/// own the decoded values and hand out references: the first call to a
+/// `load_*` method validates and decodes that part, subsequent calls are
+/// cheap cache hits. All methods must be safe to call concurrently.
+pub trait ContextSource: Send + Sync {
+    /// The document arena, decoding it on first call.
+    fn load_document(&self) -> Result<&Document, SourceError>;
+    /// The structural statistics, decoding them on first call.
+    fn load_stats(&self) -> Result<&DocStats, SourceError>;
+    /// The inverted index, decoding it on first call.
+    fn load_index(&self) -> Result<&InvertedIndex, SourceError>;
+    /// Which parts are currently materialized.
+    fn residency(&self) -> SourceResidency;
+}
+
+/// The decoded parts, owned directly or borrowed from a lazy source.
+///
+/// The `Owned` variant is boxed: it is hundreds of bytes of inline
+/// structure headers next to `Lazy`'s single fat pointer, and an
+/// `EngineContext` is created once per session — one extra indirection
+/// here is free, while the size skew would bloat every context on the
+/// stack.
+enum Parts {
+    Owned(Box<OwnedParts>),
+    Lazy(Box<dyn ContextSource>),
+}
+
+struct OwnedParts {
     doc: Document,
     stats: DocStats,
     index: InvertedIndex,
+}
+
+/// Owns one document plus every auxiliary structure the engine needs.
+pub struct EngineContext {
+    parts: Parts,
     /// Memoized full-text evaluations, keyed by expression. Sharded and
     /// lock-striped so the parallel top-K workers — and concurrent queries
     /// sharing one session — probe it without serializing on a single lock.
     ft_cache: ShardedCache<FtExpr, FtEval>,
+}
+
+/// A lazily-backed part failed *after* the session layer reported it
+/// ready — a contract violation (e.g. an accessor called without
+/// [`EngineContext::ensure_ready`] on a corrupt store), not an
+/// input-reachable state. Keeping the diverging arm out of line keeps the
+/// accessors inlinable.
+#[cold]
+fn source_fault(e: &SourceError) -> ! {
+    // lint:allow(panic): unreachable once ensure_ready has succeeded; the
+    // fallible try_* accessors are the input-facing surface.
+    panic!("context part unavailable after readiness check: {e}")
 }
 
 impl EngineContext {
@@ -38,26 +163,102 @@ impl EngineContext {
     /// exactly that).
     pub fn from_parts(doc: Document, stats: DocStats, index: InvertedIndex) -> Self {
         EngineContext {
-            doc,
-            stats,
-            index,
+            parts: Parts::Owned(Box::new(OwnedParts { doc, stats, index })),
             ft_cache: ShardedCache::default(),
+        }
+    }
+
+    /// Assembles a context over a lazy [`ContextSource`]: nothing is
+    /// decoded yet. Callers must run [`EngineContext::ensure_ready`] (or
+    /// use the `try_*` accessors) before the infallible accessors.
+    pub fn from_source(source: Box<dyn ContextSource>) -> Self {
+        EngineContext {
+            parts: Parts::Lazy(source),
+            ft_cache: ShardedCache::default(),
+        }
+    }
+
+    /// Whether this context decodes its parts on demand.
+    pub fn is_lazy(&self) -> bool {
+        matches!(self.parts, Parts::Lazy(_))
+    }
+
+    /// Which parts are currently materialized (always everything for an
+    /// owned context).
+    pub fn residency(&self) -> SourceResidency {
+        match &self.parts {
+            Parts::Owned(_) => SourceResidency::full(),
+            Parts::Lazy(src) => src.residency(),
+        }
+    }
+
+    /// Materializes the document and statistics — plus the inverted index
+    /// when `needs_index` — reporting the first failure. After `Ok(())`,
+    /// the corresponding infallible accessors cannot fail.
+    pub fn ensure_ready(&self, needs_index: bool) -> Result<(), SourceError> {
+        self.try_doc()?;
+        self.try_stats()?;
+        if needs_index {
+            self.try_index()?;
+        }
+        Ok(())
+    }
+
+    /// The document, materializing it if needed.
+    pub fn try_doc(&self) -> Result<&Document, SourceError> {
+        match &self.parts {
+            Parts::Owned(p) => Ok(&p.doc),
+            Parts::Lazy(src) => src.load_document(),
+        }
+    }
+
+    /// The statistics, materializing them if needed.
+    pub fn try_stats(&self) -> Result<&DocStats, SourceError> {
+        match &self.parts {
+            Parts::Owned(p) => Ok(&p.stats),
+            Parts::Lazy(src) => src.load_stats(),
+        }
+    }
+
+    /// The inverted index, materializing it if needed.
+    pub fn try_index(&self) -> Result<&InvertedIndex, SourceError> {
+        match &self.parts {
+            Parts::Owned(p) => Ok(&p.index),
+            Parts::Lazy(src) => src.load_index(),
         }
     }
 
     /// The document.
     pub fn doc(&self) -> &Document {
-        &self.doc
+        match &self.parts {
+            Parts::Owned(p) => &p.doc,
+            Parts::Lazy(src) => match src.load_document() {
+                Ok(doc) => doc,
+                Err(e) => source_fault(&e),
+            },
+        }
     }
 
     /// Structural statistics (`#(t)`, `#pc`, `#ad`).
     pub fn stats(&self) -> &DocStats {
-        &self.stats
+        match &self.parts {
+            Parts::Owned(p) => &p.stats,
+            Parts::Lazy(src) => match src.load_stats() {
+                Ok(stats) => stats,
+                Err(e) => source_fault(&e),
+            },
+        }
     }
 
     /// The inverted index.
     pub fn index(&self) -> &InvertedIndex {
-        &self.index
+        match &self.parts {
+            Parts::Owned(p) => &p.index,
+            Parts::Lazy(src) => match src.load_index() {
+                Ok(index) => index,
+                Err(e) => source_fault(&e),
+            },
+        }
     }
 
     /// Evaluates (or recalls) a full-text expression. The result is shared:
@@ -66,7 +267,7 @@ impl EngineContext {
     /// computation" goal of Section 1).
     pub fn ft_eval(&self, expr: &FtExpr) -> Arc<FtEval> {
         self.ft_cache
-            .get_or_insert_with(expr, || self.index.evaluate(&self.doc, expr))
+            .get_or_insert_with(expr, || self.index().evaluate(self.doc(), expr))
     }
 
     /// [`ft_eval`](Self::ft_eval) under a resource [`Budget`].
@@ -81,8 +282,8 @@ impl EngineContext {
         if let Some(hit) = self.ft_cache.get(expr) {
             return hit;
         }
-        let eval = Arc::new(self.index.evaluate_budgeted(
-            &self.doc,
+        let eval = Arc::new(self.index().evaluate_budgeted(
+            self.doc(),
             expr,
             ScoringModel::default(),
             budget,
@@ -107,7 +308,7 @@ impl EngineContext {
 
     /// Resolves a query tag name against the document's symbol table.
     pub fn resolve_tag(&self, name: &str) -> Option<Sym> {
-        self.doc.symbols().lookup(name)
+        self.doc().symbols().lookup(name)
     }
 
     /// Candidate elements with tag `tag` inside the subtree of `anchor`
@@ -123,18 +324,19 @@ impl EngineContext {
         out: &mut Vec<NodeId>,
     ) {
         out.clear();
+        let doc = self.doc();
         match tag {
             Some(tag) => {
                 // Both ends of the subtree range by binary search, then one
                 // bulk copy — no per-element bound test on the common
                 // (descendant-axis) path.
-                let list = self.doc.nodes_with_tag(tag);
-                let last = self.doc.subtree_last(anchor);
+                let list = doc.nodes_with_tag(tag);
+                let last = doc.subtree_last(anchor);
                 let lo = list.partition_point(|&n| n <= anchor);
                 let hi = lo + list[lo..].partition_point(|&n| n <= last);
                 if children_only {
                     for &n in &list[lo..hi] {
-                        if self.doc.is_parent(anchor, n) {
+                        if doc.is_parent(anchor, n) {
                             out.push(n);
                         }
                     }
@@ -144,11 +346,11 @@ impl EngineContext {
             }
             None => {
                 // Wildcard: scan the subtree.
-                for n in self.doc.descendants(anchor) {
-                    if !self.doc.is_element(n) {
+                for n in doc.descendants(anchor) {
+                    if !doc.is_element(n) {
                         continue;
                     }
-                    if !children_only || self.doc.is_parent(anchor, n) {
+                    if !children_only || doc.is_parent(anchor, n) {
                         out.push(n);
                     }
                 }

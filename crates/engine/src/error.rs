@@ -7,6 +7,7 @@
 //! `no_panics` suite in the workspace tests enforces that the library
 //! targets stay free of `unwrap`/`expect` on such paths.
 
+use crate::context::SourceError;
 use flexpath_xmldom::ParseError;
 
 /// An error raised while building or querying an engine session.
@@ -14,6 +15,10 @@ use flexpath_xmldom::ParseError;
 pub enum EngineError {
     /// A document (or collection part) failed to parse.
     Parse(ParseError),
+    /// A lazily-backed context part (document / stats / index) could not
+    /// be materialized from its store — corruption, I/O failure, or a
+    /// tripped load budget discovered at first touch.
+    Store(SourceError),
     /// A collection part contains a DOCTYPE declaration, which the
     /// collection gluer forbids (parts are embedded verbatim under a
     /// synthetic root, where a DTD would be ill-formed and is a classic
@@ -35,6 +40,7 @@ impl std::fmt::Display for EngineError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             EngineError::Parse(e) => write!(f, "parse error: {e}"),
+            EngineError::Store(e) => write!(f, "store-backed session failed: {e}"),
             EngineError::DoctypeForbidden { part } => {
                 write!(f, "collection part {part} contains a DOCTYPE declaration")
             }
@@ -50,6 +56,7 @@ impl std::error::Error for EngineError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             EngineError::Parse(e) => Some(e),
+            EngineError::Store(e) => Some(e),
             _ => None,
         }
     }
@@ -58,6 +65,12 @@ impl std::error::Error for EngineError {
 impl From<ParseError> for EngineError {
     fn from(e: ParseError) -> Self {
         EngineError::Parse(e)
+    }
+}
+
+impl From<SourceError> for EngineError {
+    fn from(e: SourceError) -> Self {
+        EngineError::Store(e)
     }
 }
 

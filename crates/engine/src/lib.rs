@@ -67,7 +67,7 @@ mod sso;
 
 pub use attr_relax::AttrRelaxation;
 pub use baseline::{data_relaxation_topk, full_encoding_topk, rewrite_enumeration_topk};
-pub use context::EngineContext;
+pub use context::{ContextSource, EngineContext, SourceError, SourceErrorKind, SourceResidency};
 pub use dpo::dpo_topk;
 pub use encode::EncodedQuery;
 pub use error::EngineError;

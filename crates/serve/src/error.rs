@@ -12,12 +12,13 @@
 //! | `BadRequest` (body/field error) | 400 |
 //! | `Store(DocumentNotFound)`       | 404 |
 //! | `Store` (corrupt/unreadable)    | 500 |
+//! | `Session` (lazy first-touch fault) | 500 |
 //! | `Shed(QueueFull/Timeout)`       | 429 |
 //! | `Shed(Draining)`                | 503 |
 
 use crate::admission::AdmissionError;
 use crate::http::HttpError;
-use flexpath::StoreError;
+use flexpath::{EngineError, SourceError, StoreError};
 
 /// Any failure while serving one request.
 #[derive(Debug)]
@@ -29,6 +30,11 @@ pub enum ServeError {
     BadRequest(String),
     /// The store layer failed (missing document, corrupt file, I/O).
     Store(StoreError),
+    /// A lazily-opened session faulted on first touch of a store section
+    /// (checksum mismatch, decode corruption, I/O, budget trip). The open
+    /// succeeded, so this surfaces mid-query — always a 500, never a 4xx:
+    /// the request was fine, the resident data is not.
+    Session(SourceError),
     /// Admission control shed the request.
     Shed(AdmissionError),
     /// Binding or accepting on the listener socket failed.
@@ -44,6 +50,7 @@ impl ServeError {
             ServeError::Store(StoreError::DocumentNotFound { .. }) => 404,
             ServeError::Store(StoreError::InvalidName { .. }) => 400,
             ServeError::Store(_) => 500,
+            ServeError::Session(_) => 500,
             ServeError::Shed(AdmissionError::QueueFull | AdmissionError::Timeout) => 429,
             ServeError::Shed(AdmissionError::Draining) => 503,
             ServeError::Io(_) => 500,
@@ -57,6 +64,7 @@ impl ServeError {
             ServeError::BadRequest(_) => "bad_request",
             ServeError::Store(StoreError::DocumentNotFound { .. }) => "not_found",
             ServeError::Store(_) => "store",
+            ServeError::Session(_) => "session",
             ServeError::Shed(AdmissionError::QueueFull) => "shed_queue_full",
             ServeError::Shed(AdmissionError::Timeout) => "shed_timeout",
             ServeError::Shed(AdmissionError::Draining) => "draining",
@@ -71,6 +79,7 @@ impl std::fmt::Display for ServeError {
             ServeError::Http(e) => write!(f, "{e}"),
             ServeError::BadRequest(m) => write!(f, "{m}"),
             ServeError::Store(e) => write!(f, "{e}"),
+            ServeError::Session(e) => write!(f, "session fault: {e}"),
             ServeError::Shed(e) => write!(f, "{e}"),
             ServeError::Io(e) => write!(f, "{e}"),
         }
@@ -82,6 +91,7 @@ impl std::error::Error for ServeError {
         match self {
             ServeError::Http(e) => Some(e),
             ServeError::Store(e) => Some(e),
+            ServeError::Session(e) => Some(e),
             ServeError::Shed(e) => Some(e),
             ServeError::Io(e) => Some(e),
             ServeError::BadRequest(_) => None,
@@ -98,6 +108,20 @@ impl From<HttpError> for ServeError {
 impl From<StoreError> for ServeError {
     fn from(e: StoreError) -> Self {
         ServeError::Store(e)
+    }
+}
+
+impl From<EngineError> for ServeError {
+    fn from(e: EngineError) -> Self {
+        match e {
+            // The only engine failure a served session can hit after
+            // parsing: a lazy store part failed to materialize.
+            EngineError::Store(src) => ServeError::Session(src),
+            // Parse/collection errors never reach serve (sessions come
+            // from the catalog, not raw XML) — classify them as request
+            // faults rather than panicking on an "impossible" arm.
+            other => ServeError::BadRequest(other.to_string()),
+        }
     }
 }
 
@@ -133,5 +157,20 @@ mod tests {
             ServeError::Shed(AdmissionError::Draining).kind(),
             "draining"
         );
+    }
+
+    #[test]
+    fn lazy_session_faults_map_to_typed_500s() {
+        let src = SourceError {
+            part: "index",
+            kind: flexpath::SourceErrorKind::Checksum,
+            detail: "checksum mismatch in section postings".into(),
+        };
+        let e = ServeError::from(EngineError::Store(src));
+        assert!(matches!(e, ServeError::Session(_)));
+        assert_eq!(e.status(), 500);
+        assert_eq!(e.kind(), "session");
+        assert!(e.to_string().starts_with("session fault:"));
+        assert!(std::error::Error::source(&e).is_some());
     }
 }

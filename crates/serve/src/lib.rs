@@ -75,4 +75,4 @@ pub use http::{HttpError, HttpLimits, Method, Request, Response};
 pub use policy::ServePolicy;
 pub use recorder::{FlightRecorder, QueryRecord};
 pub use server::{Server, ServerHandle};
-pub use state::ServerState;
+pub use state::{ServerState, SessionInfo};

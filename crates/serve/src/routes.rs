@@ -138,6 +138,26 @@ fn version(ctx: &RouteContext<'_>) -> Response {
     b.key("draining").bool(ctx.admission.is_draining());
     b.key("sessions").raw("{");
     b.key("loaded").u64(ctx.state.session_count() as u64);
+    // Per-catalog session vitals: how long each store open took, whether
+    // the session is lazily backed / memory-mapped, and which parts have
+    // actually been decoded so far. `open_ms` for a lazy open measures
+    // header + meta validation only — the operator-visible proof that
+    // opening is O(ms) regardless of store size.
+    b.key("catalogs").raw("[");
+    for info in ctx.state.sessions_info() {
+        b.comma().raw("{");
+        b.key("name").string(&info.name);
+        b.key("open_ms").f64(info.open.as_secs_f64() * 1e3);
+        b.key("lazy").bool(info.lazy);
+        b.key("mapped").bool(info.mapped);
+        b.key("resident").raw("{");
+        b.key("document").bool(info.residency.document);
+        b.key("stats").bool(info.residency.stats);
+        b.key("index").bool(info.residency.index);
+        b.raw("}");
+        b.raw("}");
+    }
+    b.raw("]");
     b.raw("}");
     b.key("recorder").raw("{");
     b.key("capacity").u64(ctx.recorder.capacity() as u64);
@@ -367,7 +387,10 @@ fn query(ctx: &RouteContext<'_>, req: &Request) -> Result<Response, ServeError> 
     if parsed.trace {
         q = q.trace();
     }
-    let results = q.execute();
+    // Fallible execute: a lazy session's first touch of a corrupt or
+    // unreadable section surfaces here as a typed 500 (`session`), never
+    // a worker panic.
+    let results = q.try_execute()?;
     let elapsed = started.elapsed();
     metrics::global().observe_duration("serve.query.duration", elapsed);
     metrics::global().add(
@@ -537,6 +560,10 @@ fn explain(ctx: &RouteContext<'_>, req: &Request) -> Result<Response, ServeError
     // token — an explain run must not outlive the drain deadline or
     // escape the operator's budget ceilings.
     let effective_limits = ctx.policy.clamp(&parsed.limits);
+    // The explain renderer runs the query through the infallible
+    // `execute()`; materialize every part up front so a corrupt lazy
+    // section becomes a typed 500 here instead of a fault mid-render.
+    flex.materialize(true)?;
     let started = Instant::now();
     let text = flexpath::explain_profile_with(
         &flex,

@@ -13,11 +13,11 @@
 //! hits for already-loaded documents never wait behind it.
 
 use crate::error::ServeError;
-use flexpath::{Catalog, FleXPath};
+use flexpath::{Catalog, FleXPath, SourceResidency};
 use flexpath_engine::metrics;
 use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex, OnceLock, RwLock};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// One document's place in the cache: the loaded session once ready, and
 /// a mutex serializing the load among requests that raced for a cold
@@ -25,7 +25,28 @@ use std::time::Instant;
 #[derive(Default)]
 struct SessionSlot {
     session: OnceLock<Arc<FleXPath>>,
+    /// How long the store open took for this slot (set just before
+    /// `session`; zero for injected in-memory sessions). With lazy opens
+    /// this measures header + meta validation, not full decode.
+    open: OnceLock<Duration>,
     loading: Mutex<()>,
+}
+
+/// One loaded session's vitals, reported per catalog document in
+/// `/version`.
+#[derive(Debug, Clone)]
+pub struct SessionInfo {
+    /// Catalog document name.
+    pub name: String,
+    /// Store open duration for this slot (zero for injected sessions).
+    pub open: Duration,
+    /// Whether the session is lazily backed by a store file.
+    pub lazy: bool,
+    /// Whether the backing bytes are memory-mapped (false when owned or
+    /// when the session is not store-backed).
+    pub mapped: bool,
+    /// Which parts have been decoded so far.
+    pub residency: SourceResidency,
 }
 
 /// The catalog plus the session cache. One per server, shared by every
@@ -77,6 +98,7 @@ impl ServerState {
     /// round-tripping through disk).
     pub fn insert_session(&self, name: &str, flex: FleXPath) {
         let slot = Arc::new(SessionSlot::default());
+        let _ = slot.open.set(Duration::ZERO);
         let _ = slot.session.set(Arc::new(flex));
         write_lock(&self.sessions).insert(name.to_string(), slot);
     }
@@ -113,7 +135,12 @@ impl ServerState {
             return Ok(s.clone());
         }
         let started = Instant::now();
-        let store = match self.catalog.load(name) {
+        // Lazy open: header + meta are validated now (O(ms) even for a
+        // multi-GB store); document, statistics, and index sections decode
+        // on first touch by a query. Corruption in an untouched section
+        // therefore surfaces as a typed per-request `ServeError::Session`,
+        // not an open failure here.
+        let store = match self.catalog.open_lazy(name) {
             Ok(store) => store,
             Err(e) => {
                 // Failures are not cached: drop the empty slot (if it is
@@ -128,11 +155,32 @@ impl ServerState {
                 return Err(e.into());
             }
         };
-        let flex = Arc::new(FleXPath::from_store(store));
+        let open = started.elapsed();
+        let flex = Arc::new(FleXPath::from_lazy_store(store));
+        let _ = slot.open.set(open);
         let _ = slot.session.set(flex.clone());
         metrics::global().add("serve.sessions.loaded", 1);
-        metrics::global().observe_duration("serve.sessions.load_duration", started.elapsed());
+        metrics::global().observe_duration("serve.sessions.load_duration", open);
         Ok(flex)
+    }
+
+    /// Vitals for every loaded session, sorted by document name — the
+    /// data behind `/version`'s per-catalog session listing. Slots still
+    /// mid-load are skipped.
+    pub fn sessions_info(&self) -> Vec<SessionInfo> {
+        read_lock(&self.sessions)
+            .iter()
+            .filter_map(|(name, slot)| {
+                let flex = slot.session.get()?;
+                Some(SessionInfo {
+                    name: name.clone(),
+                    open: slot.open.get().copied().unwrap_or(Duration::ZERO),
+                    lazy: flex.lazy_store().is_some(),
+                    mapped: flex.lazy_store().is_some_and(|s| s.is_mapped()),
+                    residency: flex.residency(),
+                })
+            })
+            .collect()
     }
 }
 
@@ -212,6 +260,48 @@ mod tests {
             .unwrap();
         assert!(state.session("doc").is_ok());
         assert_eq!(state.session_count(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn catalog_sessions_open_lazily_with_recorded_open_time() {
+        let dir = tmp_dir("lazy");
+        let state = ServerState::open(&dir).unwrap();
+        let flex = FleXPath::from_xml("<a><b>gold coin</b></a>").unwrap();
+        let ctx = flex.context();
+        state
+            .catalog()
+            .save(&StoreBuilder::from_parts(
+                "doc",
+                ctx.doc(),
+                ctx.stats(),
+                ctx.index(),
+            ))
+            .unwrap();
+
+        let s = state.session("doc").unwrap();
+        let info = state.sessions_info();
+        assert_eq!(info.len(), 1);
+        assert_eq!(info[0].name, "doc");
+        assert!(info[0].lazy, "catalog sessions are lazily backed");
+        assert!(
+            !state.sessions_info()[0].residency.document,
+            "nothing decoded before the first query"
+        );
+
+        // A query forces the structural sections resident; /version's
+        // residency report tracks it.
+        let results = s.query("//b").unwrap().top(1).execute();
+        assert_eq!(results.hits.len(), 1);
+        assert!(state.sessions_info()[0].residency.document);
+
+        // Injected sessions report as eager with a zero open time.
+        state.insert_session("mem", FleXPath::from_xml("<a>x</a>").unwrap());
+        let info = state.sessions_info();
+        assert_eq!(info.len(), 2);
+        assert!(!info[1].lazy);
+        assert_eq!(info[1].open, Duration::ZERO);
+        assert!(info[1].residency.index, "owned sessions are fully resident");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

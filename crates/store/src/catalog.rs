@@ -8,6 +8,7 @@
 
 use crate::error::StoreError;
 use crate::format::FILE_EXTENSION;
+use crate::lazy::LazyStore;
 use crate::store::{CorpusStore, StoreBuilder, StoreMeta};
 use crate::{format, SectionId};
 use flexpath_engine::Budget;
@@ -114,6 +115,24 @@ impl Catalog {
         CorpusStore::open_budgeted(&path, budget)
     }
 
+    /// Opens the document named `name` lazily (memory-mapped when
+    /// possible, sections decoded on first touch) with no budget.
+    pub fn open_lazy(&self, name: &str) -> Result<LazyStore, StoreError> {
+        self.open_lazy_budgeted(name, &Budget::unlimited())
+    }
+
+    /// [`Catalog::open_lazy`] charging `budget` as
+    /// [`LazyStore::open_budgeted`] does.
+    pub fn open_lazy_budgeted(&self, name: &str, budget: &Budget) -> Result<LazyStore, StoreError> {
+        let path = self.path_for(name)?;
+        if !path.is_file() {
+            return Err(StoreError::DocumentNotFound {
+                name: name.to_string(),
+            });
+        }
+        LazyStore::open_budgeted(&path, budget)
+    }
+
     /// Removes the document named `name`.
     pub fn remove(&self, name: &str) -> Result<(), StoreError> {
         let path = self.path_for(name)?;
@@ -172,8 +191,8 @@ impl Catalog {
 
 /// Reads and verifies just the header + meta section of a store image.
 fn peek_meta(bytes: &[u8]) -> Result<StoreMeta, StoreError> {
-    let entries = format::parse_header(bytes)?;
-    StoreMeta::decode(format::section(bytes, &entries, SectionId::Meta)?)
+    let header = format::parse_header(bytes)?;
+    StoreMeta::decode(format::section(bytes, &header.entries, SectionId::Meta)?)
 }
 
 #[cfg(test)]

@@ -10,6 +10,18 @@
 //! ...        section payloads, byte-addressed by the table
 //! ```
 //!
+//! Two versions share this container shape:
+//!
+//! * **v1** packs payloads back to back immediately after the header CRC.
+//!   It is read via the *eager* path only: every section is CRC-verified
+//!   and decoded at open.
+//! * **v2** places each payload at an 8-byte-aligned offset (gap bytes are
+//!   zero). Alignment makes every section directly addressable inside a
+//!   memory-mapped file, which is what the lazy open path
+//!   ([`crate::LazyStore`]) relies on: the header CRC is verified at open,
+//!   but each *section* CRC is deferred until that section is first
+//!   touched.
+//!
 //! Every section carries its own CRC-32, and the header (including the
 //! table itself) carries one too, so corruption anywhere in the file maps
 //! to a *typed* [`StoreError`] — never an out-of-bounds slice. The version
@@ -24,13 +36,24 @@ use flexpath_xmldom::wire::{ByteReader, ByteWriter};
 /// First eight bytes of every store file.
 pub const MAGIC: [u8; 8] = *b"FXPSTORE";
 
-/// The (single) format version this build reads and writes. Bump it on
-/// any byte-level change to the container or section payloads — the
-/// committed golden file under `tests/golden/` enforces this.
-pub const FORMAT_VERSION: u32 = 1;
+/// The original, unaligned format: payloads packed back to back, decoded
+/// eagerly at open. Still fully readable.
+pub const FORMAT_V1: u32 = 1;
+
+/// The aligned, mmap-friendly format: payloads at 8-byte-aligned offsets,
+/// section CRCs validated lazily on first touch.
+pub const FORMAT_V2: u32 = 2;
+
+/// The format version this build *writes* (it reads `1..=FORMAT_VERSION`).
+/// Bump it on any byte-level change to the container or section payloads —
+/// the committed golden files under `tests/golden/` enforce this.
+pub const FORMAT_VERSION: u32 = FORMAT_V2;
 
 /// Extension used by [`crate::Catalog`] files.
 pub const FILE_EXTENSION: &str = "fxs";
+
+/// Section payload alignment in v2 files.
+pub(crate) const SECTION_ALIGN: u64 = 8;
 
 /// Section identifiers (the `id` field of a table entry).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -62,6 +85,19 @@ impl SectionId {
             SectionId::Postings => "postings",
         }
     }
+
+    /// Maps a raw table id back to a known section, if any.
+    pub fn from_raw(id: u32) -> Option<SectionId> {
+        match id {
+            1 => Some(SectionId::Meta),
+            2 => Some(SectionId::Tags),
+            3 => Some(SectionId::Elems),
+            4 => Some(SectionId::Stats),
+            5 => Some(SectionId::Terms),
+            6 => Some(SectionId::Postings),
+            _ => None,
+        }
+    }
 }
 
 /// One parsed entry of the section table.
@@ -73,37 +109,59 @@ pub(crate) struct SectionEntry {
     pub(crate) crc: u32,
 }
 
+/// A parsed-and-verified header: the file's version plus its section table.
+#[derive(Debug, Clone)]
+pub(crate) struct ParsedHeader {
+    pub(crate) version: u32,
+    pub(crate) entries: Vec<SectionEntry>,
+}
+
 const ENTRY_BYTES: usize = 24;
 const FIXED_HEADER_BYTES: usize = 16;
 
-/// Serializes a whole store file from `(id, payload)` pairs.
-pub(crate) fn assemble(sections: &[(SectionId, Vec<u8>)]) -> Vec<u8> {
+fn align_up(offset: u64, align: u64) -> u64 {
+    offset.div_ceil(align) * align
+}
+
+/// Serializes a whole store file from `(id, payload)` pairs in the given
+/// format version. v1 packs payloads densely; v2 aligns every payload
+/// offset to [`SECTION_ALIGN`] with zero padding in the gaps.
+pub(crate) fn assemble(sections: &[(SectionId, Vec<u8>)], version: u32) -> Vec<u8> {
     let table_end = FIXED_HEADER_BYTES + sections.len() * ENTRY_BYTES;
-    let mut offset = (table_end + 4) as u64; // + header CRC
-    let total: usize = sections.iter().map(|(_, p)| p.len()).sum();
-    let mut w = ByteWriter::with_capacity(offset as usize + total);
+    let payload_base = (table_end + 4) as u64; // + header CRC
+    let mut offset = payload_base;
+    let mut offsets = Vec::with_capacity(sections.len());
+    for (_, payload) in sections {
+        if version >= FORMAT_V2 {
+            offset = align_up(offset, SECTION_ALIGN);
+        }
+        offsets.push(offset);
+        offset += payload.len() as u64;
+    }
+    let mut w = ByteWriter::with_capacity(offset as usize);
     w.bytes(&MAGIC);
-    w.u32(FORMAT_VERSION);
+    w.u32(version);
     w.u32(sections.len() as u32);
-    for (id, payload) in sections {
+    for ((id, payload), &off) in sections.iter().zip(&offsets) {
         w.u32(*id as u32);
-        w.u64(offset);
+        w.u64(off);
         w.u64(payload.len() as u64);
         w.u32(crc32(payload));
-        offset += payload.len() as u64;
     }
     let mut bytes = w.into_bytes();
     // lint:allow(panic): encode path — table_end is the writer's own length.
     let header_crc = crc32(&bytes[..table_end]);
     bytes.extend_from_slice(&header_crc.to_le_bytes());
-    for (_, payload) in sections {
+    for ((_, payload), &off) in sections.iter().zip(&offsets) {
+        // Zero padding up to the (possibly aligned) payload offset.
+        bytes.resize(off as usize, 0);
         bytes.extend_from_slice(payload);
     }
     bytes
 }
 
-/// Parses and verifies the header, returning the section table.
-pub(crate) fn parse_header(bytes: &[u8]) -> Result<Vec<SectionEntry>, StoreError> {
+/// Parses and verifies the header, returning the version and section table.
+pub(crate) fn parse_header(bytes: &[u8]) -> Result<ParsedHeader, StoreError> {
     if bytes.len() < MAGIC.len() {
         return Err(StoreError::Truncated { what: "magic" });
     }
@@ -116,7 +174,7 @@ pub(crate) fn parse_header(bytes: &[u8]) -> Result<Vec<SectionEntry>, StoreError
     let version = r
         .u32()
         .map_err(|_| StoreError::Truncated { what: "version" })?;
-    if version != FORMAT_VERSION {
+    if !(FORMAT_V1..=FORMAT_VERSION).contains(&version) {
         return Err(StoreError::UnsupportedVersion {
             found: version,
             supported: FORMAT_VERSION,
@@ -159,19 +217,23 @@ pub(crate) fn parse_header(bytes: &[u8]) -> Result<Vec<SectionEntry>, StoreError
     if crc32(&bytes[..table_end]) != stored_crc {
         return Err(StoreError::ChecksumMismatch { section: "header" });
     }
-    Ok(entries)
+    Ok(ParsedHeader { version, entries })
 }
 
-/// Borrows a section's payload after verifying bounds and its CRC.
-pub(crate) fn section<'a>(
+/// Looks up a section's table entry.
+pub(crate) fn entry_for(entries: &[SectionEntry], id: SectionId) -> Option<&SectionEntry> {
+    entries.iter().find(|e| e.id == id as u32)
+}
+
+/// Borrows a section's payload after verifying *bounds only* — the CRC is
+/// deliberately NOT checked. This is the lazy path's raw view; callers
+/// must run [`verify_section`] before decoding.
+pub(crate) fn section_unverified<'a>(
     bytes: &'a [u8],
     entries: &[SectionEntry],
     id: SectionId,
-) -> Result<&'a [u8], StoreError> {
-    let entry = entries
-        .iter()
-        .find(|e| e.id == id as u32)
-        .ok_or(StoreError::MissingSection { section: id.name() })?;
+) -> Result<(&'a [u8], u32), StoreError> {
+    let entry = entry_for(entries, id).ok_or(StoreError::MissingSection { section: id.name() })?;
     let start = usize::try_from(entry.offset)
         .ok()
         .filter(|&s| s <= bytes.len())
@@ -182,10 +244,25 @@ pub(crate) fn section<'a>(
         .ok_or(StoreError::Truncated { what: id.name() })?;
     // lint:allow(panic): start ≤ len(bytes) and len ≤ len(bytes) − start are
     // both enforced by the try_from filters directly above.
-    let payload = &bytes[start..start + len];
-    if crc32(payload) != entry.crc {
+    Ok((&bytes[start..start + len], entry.crc))
+}
+
+/// Verifies a section payload against its table CRC.
+pub(crate) fn verify_section(payload: &[u8], crc: u32, id: SectionId) -> Result<(), StoreError> {
+    if crc32(payload) != crc {
         return Err(StoreError::ChecksumMismatch { section: id.name() });
     }
+    Ok(())
+}
+
+/// Borrows a section's payload after verifying bounds and its CRC.
+pub(crate) fn section<'a>(
+    bytes: &'a [u8],
+    entries: &[SectionEntry],
+    id: SectionId,
+) -> Result<&'a [u8], StoreError> {
+    let (payload, crc) = section_unverified(bytes, entries, id)?;
+    verify_section(payload, crc, id)?;
     Ok(payload)
 }
 
@@ -194,68 +271,131 @@ mod tests {
     use super::*;
 
     #[test]
-    fn assemble_then_parse_roundtrips() {
-        let file = assemble(&[
-            (SectionId::Meta, vec![1, 2, 3]),
-            (SectionId::Tags, vec![4, 5]),
-        ]);
-        let entries = parse_header(&file).unwrap();
-        assert_eq!(entries.len(), 2);
-        assert_eq!(
-            section(&file, &entries, SectionId::Meta).unwrap(),
-            &[1, 2, 3]
+    fn assemble_then_parse_roundtrips_both_versions() {
+        for version in [FORMAT_V1, FORMAT_V2] {
+            let file = assemble(
+                &[
+                    (SectionId::Meta, vec![1, 2, 3]),
+                    (SectionId::Tags, vec![4, 5]),
+                ],
+                version,
+            );
+            let hdr = parse_header(&file).unwrap();
+            assert_eq!(hdr.version, version);
+            assert_eq!(hdr.entries.len(), 2);
+            assert_eq!(
+                section(&file, &hdr.entries, SectionId::Meta).unwrap(),
+                &[1, 2, 3]
+            );
+            assert_eq!(
+                section(&file, &hdr.entries, SectionId::Tags).unwrap(),
+                &[4, 5]
+            );
+            assert!(matches!(
+                section(&file, &hdr.entries, SectionId::Stats),
+                Err(StoreError::MissingSection { section: "stats" })
+            ));
+        }
+    }
+
+    #[test]
+    fn v2_sections_are_aligned_and_padded_with_zeros() {
+        let file = assemble(
+            &[
+                (SectionId::Meta, vec![1, 2, 3]),
+                (SectionId::Tags, vec![4, 5, 6, 7, 8]),
+                (SectionId::Stats, vec![9]),
+            ],
+            FORMAT_V2,
         );
-        assert_eq!(section(&file, &entries, SectionId::Tags).unwrap(), &[4, 5]);
-        assert!(matches!(
-            section(&file, &entries, SectionId::Stats),
-            Err(StoreError::MissingSection { section: "stats" })
-        ));
+        let hdr = parse_header(&file).unwrap();
+        let mut covered = vec![false; file.len()];
+        let table_end = FIXED_HEADER_BYTES + hdr.entries.len() * ENTRY_BYTES + 4;
+        for c in covered.iter_mut().take(table_end) {
+            *c = true;
+        }
+        for e in &hdr.entries {
+            assert_eq!(e.offset % SECTION_ALIGN, 0, "unaligned section {}", e.id);
+            for i in e.offset..e.offset + e.len {
+                covered[i as usize] = true;
+            }
+        }
+        // Every uncovered byte is alignment padding and must be zero.
+        for (i, c) in covered.iter().enumerate() {
+            if !c {
+                assert_eq!(file[i], 0, "nonzero padding at {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn v1_layout_is_dense() {
+        let file = assemble(&[(SectionId::Meta, vec![1, 2, 3])], FORMAT_V1);
+        let hdr = parse_header(&file).unwrap();
+        assert_eq!(hdr.version, FORMAT_V1);
+        let e = &hdr.entries[0];
+        assert_eq!(e.offset as usize, FIXED_HEADER_BYTES + ENTRY_BYTES + 4);
+        assert_eq!(file.len() as u64, e.offset + e.len);
     }
 
     #[test]
     fn bad_magic_and_future_version_are_typed() {
-        let mut file = assemble(&[(SectionId::Meta, vec![])]);
+        let mut file = assemble(&[(SectionId::Meta, vec![])], FORMAT_V2);
         file[0] ^= 0xff;
         assert!(matches!(parse_header(&file), Err(StoreError::BadMagic)));
-        let mut file = assemble(&[(SectionId::Meta, vec![])]);
+        let mut file = assemble(&[(SectionId::Meta, vec![])], FORMAT_V2);
         file[8] = 0x7f; // version low byte
         assert!(matches!(
             parse_header(&file),
             Err(StoreError::UnsupportedVersion { found: 0x7f, .. })
         ));
+        let mut file = assemble(&[(SectionId::Meta, vec![])], FORMAT_V2);
+        file[8] = 0; // version zero is below the supported floor
+        assert!(matches!(
+            parse_header(&file),
+            Err(StoreError::UnsupportedVersion { found: 0, .. })
+        ));
     }
 
     #[test]
     fn header_and_section_corruption_hit_their_crcs() {
-        let file = assemble(&[(SectionId::Meta, vec![9; 16])]);
-        // Corrupt a table byte: header CRC must catch it.
-        let mut bad = file.clone();
-        bad[20] ^= 0xff;
-        assert!(matches!(
-            parse_header(&bad),
-            Err(StoreError::ChecksumMismatch { section: "header" })
-        ));
-        // Corrupt a payload byte: the section CRC must catch it.
-        let mut bad = file.clone();
-        let last = bad.len() - 1;
-        bad[last] ^= 0xff;
-        let entries = parse_header(&bad).unwrap();
-        assert!(matches!(
-            section(&bad, &entries, SectionId::Meta),
-            Err(StoreError::ChecksumMismatch { section: "meta" })
-        ));
+        for version in [FORMAT_V1, FORMAT_V2] {
+            let file = assemble(&[(SectionId::Meta, vec![9; 16])], version);
+            // Corrupt a table byte: header CRC must catch it.
+            let mut bad = file.clone();
+            bad[20] ^= 0xff;
+            assert!(matches!(
+                parse_header(&bad),
+                Err(StoreError::ChecksumMismatch { section: "header" })
+            ));
+            // Corrupt a payload byte: the section CRC must catch it.
+            let mut bad = file.clone();
+            let last = bad.len() - 1;
+            bad[last] ^= 0xff;
+            let hdr = parse_header(&bad).unwrap();
+            assert!(matches!(
+                section(&bad, &hdr.entries, SectionId::Meta),
+                Err(StoreError::ChecksumMismatch { section: "meta" })
+            ));
+            // The unverified borrow sees the same bytes without failing —
+            // verification is the caller's explicit second step.
+            let (payload, crc) = section_unverified(&bad, &hdr.entries, SectionId::Meta).unwrap();
+            assert!(verify_section(payload, crc, SectionId::Meta).is_err());
+        }
     }
 
     #[test]
     fn every_truncation_point_is_typed() {
-        let file = assemble(&[(SectionId::Meta, vec![7; 8])]);
-        for cut in 0..file.len() {
-            let head = &file[..cut];
-            match parse_header(head) {
-                Err(_) => {}
-                Ok(entries) => {
-                    // Header happens to fit; the payload must then fail.
-                    assert!(section(head, &entries, SectionId::Meta).is_err());
+        for version in [FORMAT_V1, FORMAT_V2] {
+            let file = assemble(&[(SectionId::Meta, vec![7; 8])], version);
+            for cut in 0..file.len() {
+                let head = &file[..cut];
+                match parse_header(head) {
+                    Err(_) => {}
+                    Ok(hdr) => {
+                        // Header happens to fit; the payload must then fail.
+                        assert!(section(head, &hdr.entries, SectionId::Meta).is_err());
+                    }
                 }
             }
         }

@@ -1,0 +1,391 @@
+//! The lazy open path: a memory-mapped store whose sections are validated
+//! and decoded on first touch.
+//!
+//! [`LazyStore::open`] does O(header) work — map the file, verify the
+//! header CRC, decode the tiny `meta` section, charge the governor budget
+//! — and returns in milliseconds regardless of corpus size. The three
+//! expensive parts (document arena, statistics, inverted index) stay as
+//! raw mapped bytes until a query actually needs them:
+//!
+//! * first structural touch → `tags` + `elems` sections are CRC-verified
+//!   and decoded into the [`Document`], then `stats`;
+//! * first full-text touch → `terms` + `postings` are CRC-verified and
+//!   decoded into the [`InvertedIndex`].
+//!
+//! Decoding happens at most once per part (double-checked `OnceLock`
+//! cells; a per-part mutex serializes racing first touches). Failures are
+//! **not** cached: a corrupt section reports the same typed
+//! [`StoreError`] on every touch, and an operator replacing the file can
+//! simply reopen.
+//!
+//! **v1 compatibility.** v1 files (dense layout, written by older builds)
+//! are decoded eagerly *inside* open — identical behavior, answers, and
+//! fingerprints to the historical [`CorpusStore`] path, including open-time
+//! corruption errors. Only v2 files get lazy semantics.
+//!
+//! [`LazyStore`] implements [`ContextSource`], so an
+//! [`EngineContext`](flexpath_engine::EngineContext) can sit directly on
+//! top of it; the engine's `ensure_ready` / `try_*` accessors are the
+//! fallible surface through which first-touch errors reach callers.
+
+use crate::error::StoreError;
+use crate::format::{self, SectionId, FORMAT_V1};
+use crate::mmap::StoreBytes;
+use crate::store::StoreMeta;
+use flexpath_engine::metrics::{self, TraceSpan};
+use flexpath_engine::{Budget, ContextSource, SourceError, SourceErrorKind, SourceResidency};
+use flexpath_ftsearch::InvertedIndex;
+use flexpath_xmldom::codec::{decode_document, decode_stats};
+use flexpath_xmldom::{CodecError, DocStats, Document};
+use std::path::Path;
+use std::sync::{Mutex, MutexGuard, OnceLock};
+use std::time::Instant;
+
+/// A store whose sections decode on demand. See the module docs.
+#[derive(Debug)]
+pub struct LazyStore {
+    bytes: StoreBytes,
+    version: u32,
+    entries: Vec<format::SectionEntry>,
+    meta: StoreMeta,
+    open_span: TraceSpan,
+    doc: OnceLock<Document>,
+    stats: OnceLock<DocStats>,
+    index: OnceLock<InvertedIndex>,
+    doc_init: Mutex<()>,
+    stats_init: Mutex<()>,
+    index_init: Mutex<()>,
+}
+
+// The cells hold immutable decoded values; a poisoned init mutex only
+// means another thread's decode panicked mid-flight (which the no-panic
+// policy already forbids) — the cell is still either empty or fully set.
+fn lock(m: &Mutex<()>) -> MutexGuard<'_, ()> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+impl LazyStore {
+    /// Opens the store at `path` lazily with no budget.
+    pub fn open(path: &Path) -> Result<Self, StoreError> {
+        Self::open_budgeted(path, &Budget::unlimited())
+    }
+
+    /// Opens the store at `path` lazily, charging `budget` exactly like
+    /// the eager path: the file's size against the memory cap and the
+    /// meta-declared posting entry count against the postings cap, both
+    /// *before* anything expensive happens. The caps bound what the
+    /// session may eventually materialize, so charging at open keeps
+    /// admission decisions identical whether a store is opened eagerly or
+    /// lazily.
+    pub fn open_budgeted(path: &Path, budget: &Budget) -> Result<Self, StoreError> {
+        let start = Instant::now();
+        let m = metrics::global();
+        let result = StoreBytes::open(path)
+            .map_err(StoreError::Io)
+            .and_then(|bytes| Self::from_store_bytes(bytes, budget));
+        match result {
+            Ok(mut store) => {
+                let elapsed = start.elapsed();
+                store.open_span.duration = elapsed;
+                m.add("engine.store.opens", 1);
+                m.add("engine.store.lazy_opens", 1);
+                m.observe_duration("engine.store.open", elapsed);
+                Ok(store)
+            }
+            Err(e) => {
+                m.add("engine.store.open_errors", 1);
+                Err(e)
+            }
+        }
+    }
+
+    /// The in-memory open path: wraps already-obtained bytes (mapped or
+    /// owned). v1 images are decoded eagerly here; v2 images defer.
+    pub fn from_store_bytes(bytes: StoreBytes, budget: &Budget) -> Result<Self, StoreError> {
+        let header = format::parse_header(&bytes)?;
+        let meta = StoreMeta::decode(format::section(&bytes, &header.entries, SectionId::Meta)?)?;
+        if budget.charge_memory(bytes.len() as u64) || budget.charge_postings(meta.posting_entries)
+        {
+            let reason = budget
+                .tripped()
+                .unwrap_or(flexpath_engine::ExhaustReason::MemoryBudget);
+            return Err(StoreError::Budget(reason));
+        }
+        let mut open_span = TraceSpan::new("store.open");
+        open_span.add("store.bytes", bytes.len() as u64);
+        open_span.add("store.version", u64::from(header.version));
+        open_span.add("store.lazy", u64::from(header.version > FORMAT_V1));
+        open_span.add("store.mapped", u64::from(bytes.is_mapped()));
+        open_span.add("store.nodes", meta.nodes);
+        open_span.add("store.terms", meta.terms);
+        open_span.add("store.posting_entries", meta.posting_entries);
+        let store = LazyStore {
+            bytes,
+            version: header.version,
+            entries: header.entries,
+            meta,
+            open_span,
+            doc: OnceLock::new(),
+            stats: OnceLock::new(),
+            index: OnceLock::new(),
+            doc_init: Mutex::new(()),
+            stats_init: Mutex::new(()),
+            index_init: Mutex::new(()),
+        };
+        if store.version == FORMAT_V1 {
+            // v1 predates lazy validation: decode everything now so that
+            // corruption anywhere still fails the *open*, exactly like the
+            // historical eager path.
+            store.document()?;
+            store.stats()?;
+            store.index()?;
+        }
+        Ok(store)
+    }
+
+    /// The stored meta fields (decoded and verified at open).
+    pub fn meta(&self) -> &StoreMeta {
+        &self.meta
+    }
+
+    /// Logical document name.
+    pub fn name(&self) -> &str {
+        &self.meta.name
+    }
+
+    /// The container format version of the underlying file.
+    pub fn version(&self) -> u32 {
+        self.version
+    }
+
+    /// Whether the file is memory-mapped (false ⇒ owned buffer fallback).
+    pub fn is_mapped(&self) -> bool {
+        self.bytes.is_mapped()
+    }
+
+    /// Total size of the underlying file image in bytes.
+    pub fn file_bytes(&self) -> u64 {
+        self.bytes.len() as u64
+    }
+
+    /// The `store.open` trace span (bytes/version/lazy/mapped counters and
+    /// the wall-clock open time for [`LazyStore::open`]). Kept *separate*
+    /// from query traces on purpose: query `counter_fingerprint()`s must
+    /// be identical whether a session was parsed, loaded, or mapped.
+    pub fn load_trace(&self) -> &TraceSpan {
+        &self.open_span
+    }
+
+    /// Which parts are currently decoded.
+    pub fn parts_resident(&self) -> SourceResidency {
+        SourceResidency {
+            document: self.doc.get().is_some(),
+            stats: self.stats.get().is_some(),
+            index: self.index.get().is_some(),
+        }
+    }
+
+    /// CRC-verified borrow of one section's payload (the first-touch
+    /// validation step).
+    fn section(&self, id: SectionId) -> Result<&[u8], StoreError> {
+        format::section(&self.bytes, &self.entries, id)
+    }
+
+    /// The document arena, decoding `tags` + `elems` on first call.
+    pub fn document(&self) -> Result<&Document, StoreError> {
+        if let Some(doc) = self.doc.get() {
+            return Ok(doc);
+        }
+        let _init = lock(&self.doc_init);
+        if let Some(doc) = self.doc.get() {
+            return Ok(doc);
+        }
+        let start = Instant::now();
+        let tags = self.section(SectionId::Tags)?;
+        let elems = self.section(SectionId::Elems)?;
+        let doc = decode_document(tags, elems)?;
+        if doc.node_count() as u64 != self.meta.nodes {
+            return Err(StoreError::Corrupt(CodecError::Invalid {
+                what: "meta node count disagrees with element table",
+                index: self.meta.nodes,
+            }));
+        }
+        let m = metrics::global();
+        m.add("engine.store.lazy_decodes", 1);
+        m.add("engine.store.bytes_read", (tags.len() + elems.len()) as u64);
+        m.observe_duration("engine.store.lazy_decode", start.elapsed());
+        Ok(self.doc.get_or_init(move || doc))
+    }
+
+    /// The structural statistics, decoding `stats` on first call (forces
+    /// the document first — the decoder needs the symbol count).
+    pub fn stats(&self) -> Result<&DocStats, StoreError> {
+        if let Some(stats) = self.stats.get() {
+            return Ok(stats);
+        }
+        let symbol_count = self.document()?.symbols().len();
+        let _init = lock(&self.stats_init);
+        if let Some(stats) = self.stats.get() {
+            return Ok(stats);
+        }
+        let start = Instant::now();
+        let payload = self.section(SectionId::Stats)?;
+        let stats = decode_stats(payload, symbol_count)?;
+        let m = metrics::global();
+        m.add("engine.store.lazy_decodes", 1);
+        m.add("engine.store.bytes_read", payload.len() as u64);
+        m.observe_duration("engine.store.lazy_decode", start.elapsed());
+        Ok(self.stats.get_or_init(move || stats))
+    }
+
+    /// The inverted index, decoding `terms` + `postings` on first call
+    /// (forces the document first — postings are validated against the
+    /// node count).
+    pub fn index(&self) -> Result<&InvertedIndex, StoreError> {
+        if let Some(index) = self.index.get() {
+            return Ok(index);
+        }
+        let node_count = self.document()?.node_count();
+        let _init = lock(&self.index_init);
+        if let Some(index) = self.index.get() {
+            return Ok(index);
+        }
+        let start = Instant::now();
+        let terms = self.section(SectionId::Terms)?;
+        let postings = self.section(SectionId::Postings)?;
+        let index = InvertedIndex::decode(terms, postings, node_count)?;
+        if index.posting_entry_count() != self.meta.posting_entries
+            || index.term_count() as u64 != self.meta.terms
+        {
+            return Err(StoreError::Corrupt(CodecError::Invalid {
+                what: "meta index counts disagree with postings",
+                index: self.meta.posting_entries,
+            }));
+        }
+        let m = metrics::global();
+        m.add("engine.store.lazy_decodes", 1);
+        m.add(
+            "engine.store.bytes_read",
+            (terms.len() + postings.len()) as u64,
+        );
+        m.observe_duration("engine.store.lazy_decode", start.elapsed());
+        Ok(self.index.get_or_init(move || index))
+    }
+}
+
+/// Maps a first-touch store failure into the engine's source-fault
+/// vocabulary (the engine cannot name [`StoreError`] — the crate
+/// dependency points store → engine).
+fn source_error(part: &'static str, e: &StoreError) -> SourceError {
+    let kind = match e {
+        StoreError::ChecksumMismatch { .. } => SourceErrorKind::Checksum,
+        StoreError::Io(_) => SourceErrorKind::Io,
+        StoreError::Budget(reason) => SourceErrorKind::Budget(*reason),
+        _ => SourceErrorKind::Corrupt,
+    };
+    SourceError {
+        part,
+        kind,
+        detail: e.to_string(),
+    }
+}
+
+impl ContextSource for LazyStore {
+    fn load_document(&self) -> Result<&Document, SourceError> {
+        self.document().map_err(|e| source_error("document", &e))
+    }
+
+    fn load_stats(&self) -> Result<&DocStats, SourceError> {
+        self.stats().map_err(|e| source_error("stats", &e))
+    }
+
+    fn load_index(&self) -> Result<&InvertedIndex, SourceError> {
+        self.index().map_err(|e| source_error("index", &e))
+    }
+
+    fn residency(&self) -> SourceResidency {
+        self.parts_resident()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::StoreBuilder;
+    use flexpath_xmldom::parse;
+
+    fn image(xml: &str, version: u32) -> Vec<u8> {
+        let doc = parse(xml).unwrap();
+        let stats = DocStats::compute(&doc);
+        let index = InvertedIndex::build(&doc);
+        StoreBuilder::from_parts("t", &doc, &stats, &index)
+            .with_version(version)
+            .unwrap()
+            .to_bytes()
+    }
+
+    fn lazy(bytes: Vec<u8>) -> Result<LazyStore, StoreError> {
+        LazyStore::from_store_bytes(StoreBytes::from_vec(bytes), &Budget::unlimited())
+    }
+
+    #[test]
+    fn v2_open_decodes_nothing_until_touched() {
+        let store = lazy(image("<a><b>gold coin</b></a>", format::FORMAT_V2)).unwrap();
+        let r = store.parts_resident();
+        assert!(!r.document && !r.stats && !r.index, "open stayed lazy");
+        assert_eq!(store.meta().name, "t");
+        let doc = store.document().unwrap();
+        assert_eq!(doc.node_count() as u64, store.meta().nodes);
+        assert!(store.parts_resident().document);
+        assert!(!store.parts_resident().index, "index still cold");
+        assert_eq!(store.index().unwrap().df("gold"), 1);
+        assert!(store.parts_resident().index);
+    }
+
+    #[test]
+    fn v1_open_is_eager() {
+        let store = lazy(image("<a><b>gold</b></a>", FORMAT_V1)).unwrap();
+        let r = store.parts_resident();
+        assert!(r.document && r.stats && r.index, "v1 decodes at open");
+        assert_eq!(store.version(), FORMAT_V1);
+    }
+
+    #[test]
+    fn flipped_untouched_section_fails_only_on_touch() {
+        let mut bytes = image("<a><b>gold silver coins</b></a>", format::FORMAT_V2);
+        // Flip the last byte: inside the postings payload.
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xff;
+        let store = lazy(bytes).expect("open must not touch postings");
+        store.document().expect("document section is intact");
+        store.stats().expect("stats section is intact");
+        let err = store.index().expect_err("postings flip surfaces on touch");
+        assert!(matches!(err, StoreError::ChecksumMismatch { .. }));
+        // Errors are not cached: same typed error on every touch.
+        assert!(matches!(
+            store.index(),
+            Err(StoreError::ChecksumMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn budget_is_charged_at_open() {
+        let bytes = image("<a><b>gold</b></a>", format::FORMAT_V2);
+        let budget = Budget::new(None, None, u64::MAX, u64::MAX, 16);
+        assert!(matches!(
+            LazyStore::from_store_bytes(StoreBytes::from_vec(bytes), &budget),
+            Err(StoreError::Budget(_))
+        ));
+    }
+
+    #[test]
+    fn context_source_maps_errors() {
+        let mut bytes = image("<a><b>gold</b></a>", format::FORMAT_V2);
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xff;
+        let store = lazy(bytes).unwrap();
+        let err = store.load_index().unwrap_err();
+        assert_eq!(err.part, "index");
+        assert_eq!(err.kind, SourceErrorKind::Checksum);
+    }
+}

@@ -46,17 +46,26 @@
 
 // Library targets must stay panic-free on input-reachable paths; the
 // workspace `no_panics` test enforces the same rule by source scan.
-#![forbid(unsafe_code)]
+// `unsafe` is denied crate-wide with exactly one sanctioned escape: the
+// raw mmap/munmap calls in `mmap::sys`, each carrying a SAFETY comment
+// and a scoped `#[allow(unsafe_code)]`.
+#![deny(unsafe_code)]
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod catalog;
 pub mod crc;
 pub mod error;
 pub mod format;
+pub mod inspect;
+pub mod lazy;
+pub mod mmap;
 pub mod store;
 
 pub use catalog::{Catalog, CatalogEntry, CatalogListing, QuarantinedEntry};
 pub use crc::crc32;
 pub use error::StoreError;
-pub use format::{SectionId, FILE_EXTENSION, FORMAT_VERSION, MAGIC};
+pub use format::{SectionId, FILE_EXTENSION, FORMAT_V1, FORMAT_V2, FORMAT_VERSION, MAGIC};
+pub use inspect::{inspect_bytes, inspect_file, SectionReport, StoreInspection};
+pub use lazy::LazyStore;
+pub use mmap::StoreBytes;
 pub use store::{CorpusStore, StoreBuilder, StoreMeta};

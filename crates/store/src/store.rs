@@ -72,10 +72,13 @@ impl StoreMeta {
 pub struct StoreBuilder {
     meta: StoreMeta,
     sections: Vec<(SectionId, Vec<u8>)>,
+    version: u32,
 }
 
 impl StoreBuilder {
     /// Encodes `doc`, `stats`, and `index` under the logical name `name`.
+    /// Writes the current [`format::FORMAT_VERSION`] (v2, aligned) unless
+    /// [`StoreBuilder::with_version`] overrides it.
     pub fn from_parts(name: &str, doc: &Document, stats: &DocStats, index: &InvertedIndex) -> Self {
         let (terms, postings) = index.encode();
         let meta = StoreMeta {
@@ -92,7 +95,25 @@ impl StoreBuilder {
             (SectionId::Terms, terms),
             (SectionId::Postings, postings),
         ];
-        StoreBuilder { meta, sections }
+        StoreBuilder {
+            meta,
+            sections,
+            version: format::FORMAT_VERSION,
+        }
+    }
+
+    /// Selects the container version to write — v1 (dense, eager-only) or
+    /// v2 (aligned, lazily openable). Compatibility tests and the v1
+    /// golden file use this; normal callers keep the default.
+    pub fn with_version(mut self, version: u32) -> Result<Self, StoreError> {
+        if !(format::FORMAT_V1..=format::FORMAT_VERSION).contains(&version) {
+            return Err(StoreError::UnsupportedVersion {
+                found: version,
+                supported: format::FORMAT_VERSION,
+            });
+        }
+        self.version = version;
+        Ok(self)
     }
 
     /// The meta fields this builder will write.
@@ -100,9 +121,14 @@ impl StoreBuilder {
         &self.meta
     }
 
+    /// The container version this builder will write.
+    pub fn version(&self) -> u32 {
+        self.version
+    }
+
     /// Serializes the full store file to a byte vector.
     pub fn to_bytes(&self) -> Vec<u8> {
-        format::assemble(&self.sections)
+        format::assemble(&self.sections, self.version)
     }
 
     /// Writes the store to `path` atomically (temp file + rename), creating
@@ -174,8 +200,12 @@ impl CorpusStore {
     }
 
     /// Decodes a store image from memory (the open path minus the I/O).
+    /// Reads both container versions; always eager — every section is
+    /// CRC-verified and decoded here. The lazy alternative is
+    /// [`crate::LazyStore`].
     pub fn from_bytes(bytes: &[u8], budget: &Budget) -> Result<Self, StoreError> {
-        let entries = format::parse_header(bytes)?;
+        let header = format::parse_header(bytes)?;
+        let entries = header.entries;
         let meta = StoreMeta::decode(format::section(bytes, &entries, SectionId::Meta)?)?;
         // Charge the budget up front, before any expensive decoding: the
         // resident cost of the load is roughly the file size, and the
@@ -215,6 +245,7 @@ impl CorpusStore {
         }
         let mut load_span = TraceSpan::new("store.open");
         load_span.add("store.bytes", bytes.len() as u64);
+        load_span.add("store.version", u64::from(header.version));
         load_span.add("store.nodes", meta.nodes);
         load_span.add("store.terms", meta.terms);
         load_span.add("store.posting_entries", meta.posting_entries);
@@ -335,7 +366,7 @@ mod tests {
             ..b.meta.clone()
         };
         sections[0].1 = meta.encode();
-        let bytes = format::assemble(&sections);
+        let bytes = format::assemble(&sections, format::FORMAT_VERSION);
         assert!(matches!(
             CorpusStore::from_bytes(&bytes, &Budget::unlimited()),
             Err(StoreError::Corrupt(_))

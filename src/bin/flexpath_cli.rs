@@ -6,6 +6,7 @@
 //! flexpath-cli --store DIR <name> '<query>' [options]
 //! flexpath-cli index <corpus.xml> --store DIR [--name NAME]
 //! flexpath-cli serve --store DIR [--addr HOST:PORT] [options]
+//! flexpath-cli store inspect <file.fxs>
 //!
 //! options:
 //!   --store DIR           store directory: `index` writes into it; query
@@ -113,6 +114,8 @@ enum Mode {
     Index,
     /// `flexpath-cli serve --store DIR [--addr HOST:PORT] …`
     Serve,
+    /// `flexpath-cli store inspect <file.fxs>`
+    StoreInspect,
 }
 
 struct Options {
@@ -212,7 +215,8 @@ fn usage_text() -> String {
     let mut out = String::from(
         "usage: flexpath-cli <corpus.xml> '<query>' [options]\n\
          \x20      flexpath-cli --store DIR <name> '<query>' [options]\n\
-         \x20      flexpath-cli index <corpus.xml> --store DIR [--name NAME]\n\noptions:\n",
+         \x20      flexpath-cli index <corpus.xml> --store DIR [--name NAME]\n\
+         \x20      flexpath-cli store inspect <file.fxs>\n\noptions:\n",
     );
     for (flag, takes_value, help) in FLAGS {
         let arg = if *takes_value {
@@ -243,6 +247,10 @@ fn parse_args_from(mut args: Vec<String>) -> Result<Options, ExitCode> {
         Some("serve") => {
             args.remove(0);
             Mode::Serve
+        }
+        Some("store") => {
+            args.remove(0);
+            Mode::StoreInspect
         }
         _ => Mode::Query,
     };
@@ -386,6 +394,13 @@ fn parse_args_from(mut args: Vec<String>) -> Result<Options, ExitCode> {
                 return Err(usage());
             }
         }
+        Mode::StoreInspect => {
+            // `store inspect <file>`: the subcommand word plus a file path.
+            if positional.len() != 2 || positional[0] != "inspect" {
+                return Err(usage());
+            }
+            opts.corpus = positional.remove(1);
+        }
     }
     Ok(opts)
 }
@@ -445,6 +460,59 @@ fn run_index(opts: &Options, store_dir: &str) -> ExitCode {
             eprintln!("cannot write store: {e}");
             ExitCode::FAILURE
         }
+    }
+}
+
+/// `flexpath-cli store inspect`: dump a store file's section table —
+/// container version, per-section offsets/lengths, and CRC verification
+/// state — without decoding any payload. Works on damaged files (that is
+/// the point): payload corruption shows as `crc FAIL`, and only an
+/// unparseable header is fatal.
+fn run_store_inspect(path: &str) -> ExitCode {
+    let report = match flexpath_store::inspect_file(Path::new(path)) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("cannot inspect {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "{path}: FXPSTORE v{} ({} bytes, {})",
+        report.version,
+        report.file_bytes,
+        match report.version {
+            1 => "dense layout, eager decode",
+            _ => "aligned layout, lazy decode",
+        }
+    );
+    match &report.meta {
+        Some(meta) => println!(
+            "document {:?}: {} nodes, {} terms, {} posting entries",
+            meta.name, meta.nodes, meta.terms, meta.posting_entries
+        ),
+        None => println!("document meta unreadable"),
+    }
+    println!(
+        "{:<4} {:<10} {:>10} {:>12} {:>10}  crc",
+        "id", "section", "offset", "len", "stored"
+    );
+    for s in &report.sections {
+        println!(
+            "{:<4} {:<10} {:>10} {:>12} {:>10}  {}",
+            s.id,
+            s.name,
+            s.offset,
+            s.len,
+            format!("{:08x}", s.crc_stored),
+            if s.crc_ok { "ok" } else { "FAIL" }
+        );
+    }
+    if report.all_crc_ok() {
+        println!("all sections verified");
+        ExitCode::SUCCESS
+    } else {
+        println!("CORRUPT: one or more sections failed verification");
+        ExitCode::FAILURE
     }
 }
 
@@ -541,6 +609,10 @@ fn main() -> ExitCode {
         return run_index(&opts, &store_dir);
     }
 
+    if opts.mode == Mode::StoreInspect {
+        return run_store_inspect(&opts.corpus);
+    }
+
     let flex = match &opts.store {
         // `--store DIR`: the first positional is a document name in the
         // catalog; the parse/stats/index cold start is skipped entirely.
@@ -552,8 +624,12 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             };
-            match catalog.load(&opts.corpus) {
-                Ok(store) => FleXPath::from_store(store),
+            // Lazy open: header + meta validate in O(ms); sections decode
+            // on first touch, so a structure-only query never pays for the
+            // postings. `try_execute` below turns first-touch corruption
+            // into a typed failure instead of a panic.
+            match catalog.open_lazy(&opts.corpus) {
+                Ok(store) => FleXPath::from_lazy_store(store),
                 Err(e) => {
                     eprintln!("cannot load {:?} from store {dir}: {e}", opts.corpus);
                     return ExitCode::FAILURE;
@@ -590,13 +666,22 @@ fn main() -> ExitCode {
         }
     };
 
-    if opts.explain {
-        print!("{}", explain_schedule(flex.context(), &tpq, 32));
-        println!();
-    }
-    if opts.plan {
-        print!("{}", explain_plan(flex.context(), &tpq, 32));
-        println!();
+    if opts.explain || opts.plan {
+        // The explain renderers use the infallible context accessors;
+        // materialize the structural parts first so a corrupt store file
+        // fails with a message, not a panic.
+        if let Err(e) = flex.materialize(false) {
+            eprintln!("cannot read store sections: {e}");
+            return ExitCode::FAILURE;
+        }
+        if opts.explain {
+            print!("{}", explain_schedule(flex.context(), &tpq, 32));
+            println!();
+        }
+        if opts.plan {
+            print!("{}", explain_plan(flex.context(), &tpq, 32));
+            println!();
+        }
     }
 
     let cancel = CancelToken::new();
@@ -618,7 +703,13 @@ fn main() -> ExitCode {
     if opts.trace || opts.trace_json {
         query = query.trace();
     }
-    let results = query.execute();
+    let results = match query.try_execute() {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("query failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
 
     if !results.is_complete() {
         println!("note: search interrupted ({})", results.completeness);

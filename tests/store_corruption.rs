@@ -2,9 +2,17 @@
 //! truncation at any byte, a flipped byte anywhere, wrong magic, a future
 //! format version — must surface as a *typed* [`StoreError`], never a
 //! panic, never an out-of-bounds slice, never a giant bogus allocation.
+//!
+//! Two decode disciplines are exercised. The eager path
+//! ([`CorpusStore`]) verifies everything at open. The lazy path
+//! ([`FleXPath::open`]) verifies the header + meta at open and each
+//! section on first touch: damage in an untouched section must NOT fail
+//! the open, and the first touch must surface a typed checksum error
+//! through `try_execute` — never a panic.
 
-use flexpath::{Budget, Catalog, CorpusStore, FleXPath, StoreError};
+use flexpath::{Budget, Catalog, CorpusStore, EngineError, FleXPath, SourceErrorKind, StoreError};
 use flexpath_store::{FORMAT_VERSION, MAGIC};
+use std::ops::Range;
 use std::path::PathBuf;
 
 const XML: &str = r#"<site>
@@ -37,6 +45,40 @@ fn decode(bytes: &[u8]) -> Result<CorpusStore, StoreError> {
     CorpusStore::from_bytes(bytes, &Budget::unlimited())
 }
 
+/// The byte ranges of a store image that are semantically live: the
+/// header (fixed fields + section table + header CRC) and every section
+/// payload. v2 images additionally contain zero padding between payloads
+/// (for 8-byte alignment) that no CRC covers — flipping those bytes must
+/// NOT break decoding, which is exactly what the sweep below asserts.
+fn covered_ranges(bytes: &[u8]) -> Vec<Range<usize>> {
+    assert_eq!(&bytes[..8], &MAGIC);
+    let count = u32::from_le_bytes(bytes[12..16].try_into().unwrap()) as usize;
+    // Fixed header + table + the trailing header CRC-32.
+    let mut ranges = Vec::with_capacity(count + 1);
+    ranges.push(0..16 + count * 24 + 4);
+    for i in 0..count {
+        let e = 16 + i * 24;
+        let offset = u64::from_le_bytes(bytes[e + 4..e + 12].try_into().unwrap()) as usize;
+        let len = u64::from_le_bytes(bytes[e + 12..e + 20].try_into().unwrap()) as usize;
+        ranges.push(offset..offset + len);
+    }
+    ranges
+}
+
+/// Offset and length of the section with raw id `id`.
+fn section_range(bytes: &[u8], id: u32) -> Range<usize> {
+    let count = u32::from_le_bytes(bytes[12..16].try_into().unwrap()) as usize;
+    for i in 0..count {
+        let e = 16 + i * 24;
+        if u32::from_le_bytes(bytes[e..e + 4].try_into().unwrap()) == id {
+            let offset = u64::from_le_bytes(bytes[e + 4..e + 12].try_into().unwrap()) as usize;
+            let len = u64::from_le_bytes(bytes[e + 12..e + 20].try_into().unwrap()) as usize;
+            return offset..offset + len;
+        }
+    }
+    panic!("section id {id} not found in table");
+}
+
 #[test]
 fn healthy_file_decodes() {
     let store = decode(&store_bytes()).expect("undamaged file loads");
@@ -57,15 +99,26 @@ fn every_truncation_point_is_a_typed_error() {
 fn every_single_byte_flip_is_detected() {
     // The header is covered by the header CRC (and the magic/version
     // checks before it); every payload byte is covered by its section
-    // CRC — so no flip anywhere in the file may decode successfully.
+    // CRC — so no flip in a *live* byte may decode successfully. The only
+    // bytes outside those ranges are the v2 alignment padding: zeroes
+    // that no reader ever interprets, whose flips must decode to the same
+    // store (robustness against e.g. a tool that rewrites dead bytes).
     let bytes = store_bytes();
+    let covered = covered_ranges(&bytes);
     for i in 0..bytes.len() {
         let mut bad = bytes.clone();
         bad[i] ^= 0x40;
-        let err = decode(&bad)
-            .err()
-            .unwrap_or_else(|| panic!("flip at byte {i} went undetected"));
-        let _ = format!("{err}");
+        if covered.iter().any(|r| r.contains(&i)) {
+            let err = decode(&bad)
+                .err()
+                .unwrap_or_else(|| panic!("flip at live byte {i} went undetected"));
+            let _ = format!("{err}");
+        } else {
+            assert_eq!(bytes[i], 0, "padding byte {i} must be zero as written");
+            let store = decode(&bad)
+                .unwrap_or_else(|e| panic!("flip at padding byte {i} broke decode: {e}"));
+            assert_eq!(store.name(), "doc");
+        }
     }
 }
 
@@ -114,6 +167,109 @@ fn flipped_byte_in_each_section_names_that_section() {
             other => panic!("section {i} flip: expected ChecksumMismatch, got {other:?}"),
         }
     }
+}
+
+/// Writes a (possibly damaged) image to a fresh temp file and returns the
+/// path; the caller removes the directory.
+fn write_store(tag: &str, bytes: &[u8]) -> PathBuf {
+    let dir = temp_dir(tag);
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("doc.fxs");
+    std::fs::write(&path, bytes).expect("write store");
+    path
+}
+
+#[test]
+fn lazy_open_tolerates_corruption_in_untouched_sections() {
+    // Flip a byte inside the postings payload. A lazy open validates only
+    // the header and meta, so the open must succeed, and a structure-only
+    // query (which never touches the index) must answer normally.
+    let bytes = store_bytes();
+    let postings = section_range(&bytes, 6);
+    let mut bad = bytes.clone();
+    bad[postings.start + postings.len() / 2] ^= 0xff;
+    let path = write_store("lazy-postings", &bad);
+
+    let flex = FleXPath::open(&path).expect("lazy open ignores untouched damage");
+    let hits = flex
+        .query("//item[./name]")
+        .expect("query parses")
+        .top(5)
+        .try_execute()
+        .expect("structure-only query never touches the damaged index")
+        .hits;
+    assert_eq!(hits.len(), 2);
+
+    // The first full-text touch must surface the damage as a typed
+    // checksum error naming the index — never a panic.
+    let err = flex
+        .query(r#"//item[.contains("gold")]"#)
+        .expect("query parses")
+        .top(5)
+        .try_execute()
+        .expect_err("full-text query touches the damaged postings");
+    match err {
+        EngineError::Store(src) => {
+            assert_eq!(src.part, "index");
+            assert_eq!(src.kind, SourceErrorKind::Checksum);
+        }
+        other => panic!("expected EngineError::Store, got {other:?}"),
+    }
+
+    // The fault is durable: asking again re-surfaces the same error.
+    assert!(flex
+        .query(r#"//item[.contains("gold")]"#)
+        .expect("query parses")
+        .top(5)
+        .try_execute()
+        .is_err());
+    let _ = std::fs::remove_dir_all(path.parent().unwrap());
+}
+
+#[test]
+fn lazy_first_structural_touch_surfaces_document_damage() {
+    // Damage the elems section (id 3): the open still succeeds (header +
+    // meta verify), and the *first structural touch* reports a typed
+    // checksum error for the document part.
+    let bytes = store_bytes();
+    let elems = section_range(&bytes, 3);
+    let mut bad = bytes.clone();
+    bad[elems.start + elems.len() / 2] ^= 0xff;
+    let path = write_store("lazy-elems", &bad);
+
+    let flex = FleXPath::open(&path).expect("open validates only header + meta");
+    let err = flex
+        .query("//item[./name]")
+        .expect("query parses")
+        .top(5)
+        .try_execute()
+        .expect_err("structural query touches the damaged document");
+    match err {
+        EngineError::Store(src) => {
+            assert_eq!(src.part, "document");
+            assert_eq!(src.kind, SourceErrorKind::Checksum);
+        }
+        other => panic!("expected EngineError::Store, got {other:?}"),
+    }
+    // The fallible document accessor reports the same typed failure.
+    assert!(flex.try_document().is_err());
+    let _ = std::fs::remove_dir_all(path.parent().unwrap());
+}
+
+#[test]
+fn eager_open_still_rejects_any_section_damage_up_front() {
+    // `open_eager` keeps the v1 contract on v2 files: everything decodes
+    // (and therefore verifies) at open time.
+    let bytes = store_bytes();
+    let postings = section_range(&bytes, 6);
+    let mut bad = bytes.clone();
+    bad[postings.start + postings.len() / 2] ^= 0xff;
+    let path = write_store("eager-postings", &bad);
+    assert!(matches!(
+        FleXPath::open_eager(&path),
+        Err(StoreError::ChecksumMismatch { .. })
+    ));
+    let _ = std::fs::remove_dir_all(path.parent().unwrap());
 }
 
 #[test]

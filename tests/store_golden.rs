@@ -1,18 +1,24 @@
-//! Golden-file drift check: the committed `tests/golden/tiny.fxs` is the
-//! byte-exact serialization of a fixed tiny corpus at the current
-//! `FORMAT_VERSION`. Any change to the wire layout — container, section
-//! payloads, encoding order — flips these bytes and fails this test.
+//! Golden-file drift check: the committed `tests/golden/tiny.fxs` (v1,
+//! dense layout) and `tests/golden/tiny_v2.fxs` (v2, aligned layout) are
+//! the byte-exact serializations of a fixed tiny corpus at their
+//! respective container versions. Any change to the wire layout —
+//! container, section payloads, encoding order — flips these bytes and
+//! fails this test.
 //!
 //! That failure is the prompt: either revert the accidental layout change,
-//! or (for a deliberate format change) bump
-//! `flexpath_store::FORMAT_VERSION` and regenerate the golden file with
+//! or (for a deliberate format change) add a new container version and
+//! regenerate the golden files with
 //!
 //! ```text
 //! cargo test -q --test store_golden -- --ignored regenerate
 //! ```
+//!
+//! The v1 golden doubles as the backward-compatibility fixture: the
+//! current reader must keep opening it (eagerly — v1 has no lazy path)
+//! and must produce answers identical to the v2 image of the same corpus.
 
 use flexpath::FleXPath;
-use flexpath_store::{StoreBuilder, FORMAT_VERSION};
+use flexpath_store::{StoreBuilder, FORMAT_V1, FORMAT_V2};
 use std::path::PathBuf;
 
 /// The fixed corpus. Never edit: the golden bytes encode exactly this.
@@ -26,61 +32,95 @@ const TINY_XML: &str = r#"<site>
   </item>
 </site>"#;
 
-fn golden_path() -> PathBuf {
-    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/tiny.fxs")
+/// (container version, committed file name) for each golden image.
+const GOLDENS: &[(u32, &str)] = &[(FORMAT_V1, "tiny.fxs"), (FORMAT_V2, "tiny_v2.fxs")];
+
+fn golden_path(file: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(file)
 }
 
-fn current_bytes() -> Vec<u8> {
+fn current_bytes(version: u32) -> Vec<u8> {
     let flex = FleXPath::from_xml(TINY_XML).expect("tiny corpus parses");
     let ctx = flex.context();
-    StoreBuilder::from_parts("tiny", ctx.doc(), ctx.stats(), ctx.index()).to_bytes()
+    StoreBuilder::from_parts("tiny", ctx.doc(), ctx.stats(), ctx.index())
+        .with_version(version)
+        .expect("supported version")
+        .to_bytes()
 }
 
 #[test]
-fn format_matches_committed_golden_file() {
-    let golden = std::fs::read(golden_path()).expect(
-        "tests/golden/tiny.fxs missing — regenerate with \
-         `cargo test -q --test store_golden -- --ignored regenerate`",
-    );
-    let current = current_bytes();
+fn format_matches_committed_golden_files() {
+    for &(version, file) in GOLDENS {
+        let golden = std::fs::read(golden_path(file)).unwrap_or_else(|_| {
+            panic!(
+                "tests/golden/{file} missing — regenerate with \
+                 `cargo test -q --test store_golden -- --ignored regenerate`"
+            )
+        });
+        let current = current_bytes(version);
+        assert_eq!(
+            current,
+            golden,
+            "store serialization drifted from the committed golden file \
+             {file} at container version {version} (first differing byte: \
+             {:?}). If the layout change is deliberate, add a new container \
+             version and regenerate with `cargo test -q --test store_golden \
+             -- --ignored regenerate`; otherwise revert the encoding change.",
+            current
+                .iter()
+                .zip(golden.iter())
+                .position(|(a, b)| a != b)
+                .unwrap_or_else(|| current.len().min(golden.len()))
+        );
+    }
+}
+
+#[test]
+fn golden_files_still_open_and_answer_identically() {
+    // Drift aside, the committed bytes of BOTH versions must decode with
+    // the current reader and answer a query with identical results — the
+    // backward-compatibility contract: a v1 file written by an old build
+    // keeps working, byte-identical in its answers to a v2 rewrite.
+    let mut all_hits = Vec::new();
+    for &(version, file) in GOLDENS {
+        let flex = FleXPath::open(&golden_path(file)).expect("golden file opens");
+        if version == FORMAT_V1 {
+            // v1 has no lazy representation: the open decodes everything.
+            assert!(
+                flex.residency().index,
+                "v1 files must decode eagerly at open"
+            );
+        }
+        let hits = flex
+            .query("//item[./mailbox/mail/text]")
+            .expect("query parses")
+            .top(5)
+            .execute()
+            .hits;
+        assert!(!hits.is_empty(), "golden corpus has a matching item");
+        all_hits.push(
+            hits.iter()
+                .map(|h| (h.node.0, h.score.ss.to_bits(), h.score.ks.to_bits()))
+                .collect::<Vec<_>>(),
+        );
+    }
     assert_eq!(
-        current,
-        golden,
-        "store serialization drifted from the committed golden file at \
-         FORMAT_VERSION {FORMAT_VERSION} (first differing byte: {:?}). \
-         If the layout change is deliberate, bump FORMAT_VERSION and \
-         regenerate with `cargo test -q --test store_golden -- --ignored \
-         regenerate`; otherwise revert the encoding change.",
-        current
-            .iter()
-            .zip(golden.iter())
-            .position(|(a, b)| a != b)
-            .unwrap_or_else(|| current.len().min(golden.len()))
+        all_hits[0], all_hits[1],
+        "v1 and v2 images of the same corpus must answer identically"
     );
 }
 
-#[test]
-fn golden_file_still_opens_and_answers() {
-    // Drift aside, the committed bytes must decode with the current reader
-    // and answer a query — this is the backward-compatibility contract for
-    // the current FORMAT_VERSION.
-    let flex = FleXPath::open(&golden_path()).expect("golden file opens");
-    let hits = flex
-        .query("//item[./mailbox/mail/text]")
-        .expect("query parses")
-        .top(5)
-        .execute()
-        .hits;
-    assert!(!hits.is_empty(), "golden corpus has a matching item");
-}
-
-/// Regenerates the golden file. Run explicitly after a deliberate format
-/// change (with the version bump already in place):
+/// Regenerates both golden files. Run explicitly after a deliberate
+/// format change (with the version bump already in place):
 /// `cargo test -q --test store_golden -- --ignored regenerate`.
 #[test]
-#[ignore = "writes tests/golden/tiny.fxs; run explicitly after a format bump"]
+#[ignore = "writes tests/golden/*.fxs; run explicitly after a format bump"]
 fn regenerate() {
-    let path = golden_path();
-    std::fs::create_dir_all(path.parent().expect("parent")).expect("golden dir");
-    std::fs::write(&path, current_bytes()).expect("write golden file");
+    for &(version, file) in GOLDENS {
+        let path = golden_path(file);
+        std::fs::create_dir_all(path.parent().expect("parent")).expect("golden dir");
+        std::fs::write(&path, current_bytes(version)).expect("write golden file");
+    }
 }

@@ -1,0 +1,233 @@
+//! Integration suite for the lazy store path: a session opened with
+//! [`FleXPath::open`] (header + meta validated, sections decoded on first
+//! touch) must be observationally identical to one opened eagerly — same
+//! answers, same scores, same trace counter fingerprints, at every thread
+//! count — while only paying for the sections a query actually touches.
+//! A memory-mapped reader must also survive the catalog's atomic
+//! temp-and-rename replace: the old session keeps serving the old bytes.
+
+use flexpath::{Catalog, FleXPath};
+use flexpath_store::{StoreBuilder, FORMAT_V1};
+use std::path::PathBuf;
+
+const XML: &str = r#"<site>
+  <item><name>gold watch</name><description><parlist><listitem>rare
+    collectible gold watch</listitem></parlist></description>
+    <mailbox><mail><text>asking about the <bold>gold</bold> watch</text></mail></mailbox>
+    <incategory category="c1"/></item>
+  <item><name>silver ring</name><description>plain silver ring, no list
+    </description></item>
+  <item><name>tin whistle</name><description>a whistle of tin with a
+    gold-plated mouthpiece</description></item>
+</site>"#;
+
+const QUERIES: &[&str] = &[
+    "//item[./name]",
+    "//item[./description/parlist]",
+    r#"//item[.contains("gold")]"#,
+    r#"//item[./description[.contains("gold" and "watch")]]"#,
+];
+
+fn temp_dir(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("flexpath-lazy-{tag}-{}", std::process::id()))
+}
+
+fn saved_store(tag: &str) -> PathBuf {
+    let dir = temp_dir(tag);
+    let path = dir.join("doc.fxs");
+    FleXPath::from_xml(XML)
+        .expect("corpus parses")
+        .save(&path, "doc")
+        .expect("store saves");
+    path
+}
+
+/// Runs `query` on `flex` with `threads` workers and returns the ranked
+/// hits (bit-exact scores) plus the trace counter fingerprint.
+fn run(flex: &FleXPath, query: &str, threads: usize) -> (Vec<(u32, u64, u64)>, String) {
+    let results = flex
+        .query(query)
+        .expect("query parses")
+        .top(10)
+        .threads(threads)
+        .trace()
+        .execute();
+    let hits = results
+        .hits
+        .iter()
+        .map(|h| (h.node.0, h.score.ss.to_bits(), h.score.ks.to_bits()))
+        .collect();
+    let fp = results
+        .trace
+        .expect("trace requested")
+        .counter_fingerprint();
+    (hits, fp)
+}
+
+#[test]
+fn lazy_and_eager_sessions_answer_byte_identically_at_every_thread_count() {
+    let path = saved_store("equiv");
+    let lazy = FleXPath::open(&path).expect("lazy open");
+    let eager = FleXPath::open_eager(&path).expect("eager open");
+    for query in QUERIES {
+        for threads in [1, 2, 4, 8] {
+            let (lazy_hits, lazy_fp) = run(&lazy, query, threads);
+            let (eager_hits, eager_fp) = run(&eager, query, threads);
+            assert_eq!(
+                lazy_hits, eager_hits,
+                "hits diverged for {query:?} at {threads} threads"
+            );
+            assert_eq!(
+                lazy_fp, eager_fp,
+                "trace fingerprints diverged for {query:?} at {threads} threads"
+            );
+            assert!(!lazy_hits.is_empty(), "query {query:?} must match");
+        }
+    }
+    let _ = std::fs::remove_dir_all(path.parent().unwrap());
+}
+
+#[test]
+fn residency_progresses_with_what_queries_touch() {
+    let path = saved_store("residency");
+    let flex = FleXPath::open(&path).expect("lazy open");
+    let r = flex.residency();
+    assert!(
+        !r.document && !r.stats && !r.index,
+        "nothing is resident right after a lazy open"
+    );
+
+    // A structure-only query forces the document and statistics but must
+    // leave the inverted index on disk.
+    let hits = flex
+        .query("//item[./name]")
+        .expect("query parses")
+        .top(10)
+        .execute()
+        .hits;
+    assert_eq!(hits.len(), 3);
+    let r = flex.residency();
+    assert!(r.document && r.stats, "structural parts decoded");
+    assert!(!r.index, "postings stay on disk for structure-only queries");
+
+    // The first full-text query pulls the index in.
+    let hits = flex
+        .query(r#"//item[.contains("gold")]"#)
+        .expect("query parses")
+        .top(10)
+        .execute()
+        .hits;
+    assert!(!hits.is_empty());
+    assert!(flex.residency().index, "full-text touch decodes the index");
+    let _ = std::fs::remove_dir_all(path.parent().unwrap());
+}
+
+#[test]
+fn v1_files_open_eagerly_and_answer_like_v2() {
+    // Write the same corpus in both container versions; the v1 file (as
+    // an old build would have written it) must open through the same
+    // `FleXPath::open` entry point, decode everything up front, and
+    // answer byte-identically to the v2 image.
+    let dir = temp_dir("v1compat");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let flex = FleXPath::from_xml(XML).expect("corpus parses");
+    let ctx = flex.context();
+    let v1_path = dir.join("v1.fxs");
+    StoreBuilder::from_parts("doc", ctx.doc(), ctx.stats(), ctx.index())
+        .with_version(FORMAT_V1)
+        .expect("v1 supported")
+        .write_to(&v1_path)
+        .expect("v1 writes");
+    let v2_path = dir.join("v2.fxs");
+    StoreBuilder::from_parts("doc", ctx.doc(), ctx.stats(), ctx.index())
+        .write_to(&v2_path)
+        .expect("v2 writes");
+
+    let v1 = FleXPath::open(&v1_path).expect("v1 file opens");
+    let r = v1.residency();
+    assert!(
+        r.document && r.stats && r.index,
+        "v1 has no lazy representation — everything decodes at open"
+    );
+    let v2 = FleXPath::open(&v2_path).expect("v2 file opens");
+    for query in QUERIES {
+        for threads in [1, 2, 4, 8] {
+            assert_eq!(
+                run(&v1, query, threads),
+                run(&v2, query, threads),
+                "v1/v2 diverged for {query:?} at {threads} threads"
+            );
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn open_sessions_survive_atomic_replace() {
+    // The catalog replaces documents with a temp-file write + rename. A
+    // session opened before the replace holds the *old* bytes (via the
+    // mmap or an owned buffer — either way the unlinked inode stays alive
+    // until unmapped) and must keep answering from them; a session opened
+    // after sees the new document. No torn reads, no crashes.
+    let dir = temp_dir("replace");
+    let catalog = Catalog::open(&dir).expect("catalog opens");
+    let old = FleXPath::from_xml(XML).expect("corpus parses");
+    let old_ctx = old.context();
+    catalog
+        .save(&StoreBuilder::from_parts(
+            "doc",
+            old_ctx.doc(),
+            old_ctx.stats(),
+            old_ctx.index(),
+        ))
+        .expect("initial save");
+
+    let before = FleXPath::from_lazy_store(catalog.open_lazy("doc").expect("lazy open"));
+    // Touch nothing yet: the replace happens while every section is
+    // still undecoded, so the reader must pull old bytes afterwards.
+    let new = FleXPath::from_xml("<site><item><name>pewter spoon</name></item></site>")
+        .expect("replacement parses");
+    let new_ctx = new.context();
+    catalog
+        .save(&StoreBuilder::from_parts(
+            "doc",
+            new_ctx.doc(),
+            new_ctx.stats(),
+            new_ctx.index(),
+        ))
+        .expect("atomic replace");
+
+    let hits = before
+        .query(r#"//item[.contains("gold")]"#)
+        .expect("query parses")
+        .top(10)
+        .try_execute()
+        .expect("pre-replace session reads its original bytes")
+        .hits;
+    assert!(!hits.is_empty(), "old corpus still answers");
+    assert_eq!(
+        before
+            .query("//item[./name]")
+            .expect("query parses")
+            .top(10)
+            .execute()
+            .hits
+            .len(),
+        3,
+        "old corpus still has all three items"
+    );
+
+    let after = FleXPath::from_lazy_store(catalog.open_lazy("doc").expect("reopen"));
+    assert_eq!(
+        after
+            .query("//item[./name]")
+            .expect("query parses")
+            .top(10)
+            .execute()
+            .hits
+            .len(),
+        1,
+        "post-replace session sees the new document"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
