@@ -279,6 +279,10 @@ impl FleXPath {
 
     /// Serializes the full document.
     pub fn document_xml(&self) -> String {
+        // lint:allow(fallibility): same contract as `document()` — a store
+        // fault on first touch is a panic by design on this surface;
+        // store-backed callers that skipped `materialize` use
+        // [`FleXPath::try_document`] and serialize that.
         to_xml_string(self.ctx.doc())
     }
 

@@ -1,0 +1,29 @@
+//! Accepted shapes: establisher-then-access in one body, the guarded-call
+//! closure (helpers reached only from post-establishment call sites, one
+//! and two hops deep), and a `try_*` establisher mid-function.
+
+pub fn run(ctx: &EngineContext) -> usize {
+    if ctx.ensure_ready(true).is_err() {
+        return 0;
+    }
+    ctx.doc().node_count()
+}
+
+pub fn driver(ctx: &EngineContext) -> usize {
+    ctx.ensure_ready(false).ok();
+    helper(ctx)
+}
+
+fn helper(ctx: &EngineContext) -> usize {
+    ctx.stats().terms() + second_hop(ctx)
+}
+
+fn second_hop(ctx: &EngineContext) -> usize {
+    ctx.index().len()
+}
+
+pub fn try_then_use(ctx: &EngineContext) -> usize {
+    let Ok(d) = ctx.try_doc() else { return 0 };
+    let _ = d;
+    ctx.doc().node_count()
+}

@@ -1,0 +1,27 @@
+//! Infallible `EngineContext` part access with no post-materialize proof
+//! in scope: every receiver shape must fire, and the justified escape
+//! must silence one.
+
+pub fn census(ctx: &EngineContext) -> usize {
+    ctx.doc().node_count()
+}
+
+pub fn summarize(context: &EngineContext) -> String {
+    let s = context.stats();
+    format!("{s:?}")
+}
+
+pub struct Holder {
+    ctx: EngineContext,
+}
+
+impl Holder {
+    pub fn postings(&self) -> usize {
+        self.ctx.index().len()
+    }
+}
+
+pub fn escaped(ctx: &EngineContext) -> usize {
+    // lint:allow(fallibility): the fixture context is always Owned.
+    ctx.doc().node_count()
+}

@@ -1,0 +1,27 @@
+//! Lexer and scoper regression corpus: nested block comments, raw strings
+//! inside macro invocations, `cfg_attr`-delivered allows, and stacked
+//! attributes. Exactly one real violation lives at the end — everything
+//! before it is commentary, string data, or properly gated.
+
+/* Nested /* block /* comments */ nest all the */ way down: x.unwrap()
+   in here is commentary, not code, and so is panic!("boom"). */
+
+#[derive(Debug)]
+#[cfg(test)]
+mod gated {
+    pub fn in_tests_only(no: Option<u8>) -> u8 {
+        no.unwrap()
+    }
+}
+
+#[cfg_attr(feature = "loose", allow(clippy::unwrap_used))]
+pub fn cfg_attr_gated(v: Option<u8>) -> u8 {
+    v.unwrap()
+}
+
+pub fn raw_strings_in_macros(x: Option<u8>) -> u8 {
+    let query = format!(r#"//item[text() = "a.unwrap()"]"#);
+    let spec = concat!(r##"nested "quote", b.expect("no") and panic!()"##, "t");
+    let _ = (query, spec);
+    x.unwrap()
+}

@@ -1,0 +1,46 @@
+//! The same hazards as `lock_order_bad.rs`, each silenced by a justified
+//! escape — plus the drop-released sequential idiom, which must pass with
+//! no escape at all.
+
+impl Service {
+    fn transfer(&self) {
+        let a = lock(&self.alpha);
+        // lint:allow(lock-order): transfer and refund share the documented
+        // alpha-before-beta order; refund's inversion runs under the outer
+        // refund_serial mutex, so the two orders never race.
+        let b = lock(&self.beta);
+        *b += *a;
+    }
+
+    fn refund(&self) {
+        let b = lock(&self.beta);
+        // lint:allow(lock-order): see transfer — this inversion is fully
+        // serialized by the refund_serial outer mutex.
+        let a = lock(&self.alpha);
+        *a += *b;
+    }
+
+    fn double_tap(&self) {
+        let first = lock(&self.gamma);
+        // lint:allow(lock-order): the inner guard is a shadow taken on a
+        // fixture-local clone, not the same mutex instance.
+        let second = lock(&self.gamma);
+        *second += *first;
+    }
+
+    fn flush_log(&self) {
+        let mut file = lock(&self.sink);
+        // lint:allow(lock-order): the sink mutex serializes whole lines —
+        // holding it across the single buffered write is its purpose.
+        file.write_all(b"entry").ok();
+    }
+
+    fn sweep(&self) {
+        // Sequential same-class use with explicit release: no escape
+        // needed, the drop truncates the first hold range.
+        let a = lock(&self.delta);
+        drop(a);
+        let b = lock(&self.delta);
+        drop(b);
+    }
+}

@@ -1,0 +1,28 @@
+//! Known-bad lock patterns: an A→B / B→A cycle (reported once, at the
+//! textually-first witness edge), a nested same-class acquisition, and a
+//! guard held across blocking I/O. Each hazard must fire exactly once.
+
+impl Service {
+    fn transfer(&self) {
+        let a = lock(&self.alpha);
+        let b = lock(&self.beta); // cycle witness: edge alpha→beta
+        *b += *a;
+    }
+
+    fn refund(&self) {
+        let b = lock(&self.beta);
+        let a = lock(&self.alpha); // edge beta→alpha closes the cycle
+        *a += *b;
+    }
+
+    fn double_tap(&self) {
+        let first = lock(&self.gamma);
+        let second = lock(&self.gamma); // nested same-class acquisition
+        *second += *first;
+    }
+
+    fn flush_log(&self) {
+        let mut file = lock(&self.sink);
+        file.write_all(b"entry").ok(); // blocking I/O under a held guard
+    }
+}

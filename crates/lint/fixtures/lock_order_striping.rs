@@ -1,0 +1,33 @@
+//! The striping idiom: sequential per-shard acquisitions in a loop (and a
+//! map-reduce over all 16 shards) must not trip the nested/same-class
+//! rule, and a receiver method that merely shares its name with a
+//! workspace function (`map.len()` vs `fn len`) must not be read as an
+//! interprocedural re-acquisition.
+
+impl Striped {
+    fn read_shard(&self, i: usize) -> Guard {
+        self.shards[i].read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn write_shard(&self, i: usize) -> Guard {
+        self.shards[i].write().unwrap_or_else(|e| e.into_inner())
+    }
+
+    pub fn len(&self) -> usize {
+        (0..16).map(|i| self.read_shard(i).map.len()).sum()
+    }
+
+    pub fn clear(&self) {
+        for i in 0..16 {
+            let mut shard = self.write_shard(i);
+            shard.map.clear();
+        }
+    }
+
+    pub fn probe(&self, key: &str) -> bool {
+        if let Some(hit) = self.read_shard(self.shard_of(key)).map.get(key) {
+            return hit.live;
+        }
+        false
+    }
+}

@@ -1,0 +1,26 @@
+//! Allowlisted-module discipline: every `unsafe` carries an adjacent
+//! `// SAFETY:` comment — same line, directly above, or above with only
+//! attribute / blank / wrapped-comment lines in between.
+
+// SAFETY: the wrapped pointer is read-only and never remapped after
+// construction; sharing it across threads is no different from `&[u8]`.
+#[allow(unsafe_code)]
+unsafe impl Send for Wrapper {}
+
+// SAFETY: all access is via `&self` to immutable bytes.
+#[allow(unsafe_code)]
+#[repr(transparent)]
+unsafe impl Sync for Wrapper {}
+
+impl Wrapper {
+    #[allow(unsafe_code)]
+    pub fn set(v: &mut Vec<u8>, n: usize) {
+        // SAFETY: n is checked against the capacity by every caller.
+        unsafe { v.set_len(n) }
+    }
+
+    #[allow(unsafe_code)]
+    pub fn read(p: *const u8) -> u8 {
+        unsafe { *p } // SAFETY: p comes from a live Box held by self.
+    }
+}

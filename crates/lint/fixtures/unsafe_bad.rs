@@ -1,0 +1,21 @@
+//! Unsafe outside the module allowlist: the block form, the
+//! `#[allow(unsafe_code)]` door-opener, and proof the per-site escape
+//! still works for the one sanctioned non-library case.
+
+fn grow(v: &mut Vec<u8>, n: usize) {
+    unsafe {
+        v.set_len(n);
+    }
+}
+
+#[allow(unsafe_code)]
+fn poke(p: *mut u8) {
+    unsafe {
+        *p = 1;
+    }
+}
+
+fn escaped(p: *const u8) -> u8 {
+    // lint:allow(unsafe-boundary): fixture proves the escape hatch works.
+    unsafe { *p }
+}

@@ -55,6 +55,10 @@ pub struct Tok {
     pub text: String,
     /// 1-based line the token starts on.
     pub line: u32,
+    /// 0-based byte offset of the token's first byte in the source file.
+    /// Gives reports a total order within a line (`--json` sorts findings
+    /// by file path then byte offset).
+    pub offset: u32,
 }
 
 impl Tok {
@@ -85,6 +89,7 @@ pub fn lex(src: &str) -> Result<Lexed, String> {
         bytes: src.as_bytes(),
         pos: 0,
         line: 1,
+        tok_start: 0,
         toks: Vec::new(),
         comments: BTreeMap::new(),
     }
@@ -95,6 +100,10 @@ struct Lexer<'a> {
     bytes: &'a [u8],
     pos: usize,
     line: u32,
+    /// Byte offset where the token currently being lexed began (set once
+    /// per dispatch in `run`, so prefixed forms like `br#"…"#` report the
+    /// prefix position, not the quote).
+    tok_start: usize,
     toks: Vec<Tok>,
     comments: BTreeMap<u32, String>,
 }
@@ -122,12 +131,18 @@ impl Lexer<'_> {
     }
 
     fn push(&mut self, kind: TokKind, text: String, line: u32) {
-        self.toks.push(Tok { kind, text, line });
+        self.toks.push(Tok {
+            kind,
+            text,
+            line,
+            offset: self.tok_start as u32,
+        });
     }
 
     fn run(mut self) -> Result<Lexed, String> {
         while self.pos < self.bytes.len() {
             let line = self.line;
+            self.tok_start = self.pos;
             let b = self.peek(0);
             match b {
                 b' ' | b'\t' | b'\r' | b'\n' => {
@@ -466,6 +481,24 @@ mod tests {
     #[test]
     fn raw_identifiers() {
         assert_eq!(idents("let r#type = 1;"), ["let", "type"]);
+    }
+
+    #[test]
+    fn offsets_point_at_token_starts() {
+        let src = "fn f() {\n  a.b();\n}";
+        let l = lex(src).unwrap();
+        for t in &l.toks {
+            let at = t.offset as usize;
+            match t.kind {
+                TokKind::Ident => assert!(src[at..].starts_with(&t.text), "{t:?}"),
+                TokKind::Punct(c) => assert_eq!(src[at..].chars().next(), Some(c), "{t:?}"),
+                _ => {}
+            }
+        }
+        // A prefixed raw string reports the prefix position.
+        let l = lex("x br##\"y\"##").unwrap();
+        assert_eq!(l.toks[1].kind, TokKind::Str);
+        assert_eq!(l.toks[1].offset, 2);
     }
 
     #[test]

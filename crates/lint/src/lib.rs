@@ -2,7 +2,7 @@
 //!
 //! Parses every library `.rs` file in the workspace (own lexer + attribute
 //! scoper — the workspace builds offline with zero external dependencies,
-//! so `syn` is deliberately not used) and enforces four rule families:
+//! so `syn` is deliberately not used) and enforces seven rule families:
 //!
 //! 1. **panic** — no `.unwrap()` / `.expect(…)` / panic macros / `unsafe`
 //!    in library code, and no direct indexing in byte-decoding modules.
@@ -11,7 +11,16 @@
 //! 3. **governor** — every non-trivial loop in the executor/join/top-K/
 //!    eval modules reaches a budget checkpoint.
 //! 4. **metrics-name** — registry metric names stay in the documented
-//!    `engine.*` / `governor.*` / `nd.*` namespaces.
+//!    `engine.*` / `governor.*` / `nd.*` / `serve.*` namespaces.
+//! 5. **lock-order** — the static lock-acquisition graph over the
+//!    concurrent modules stays acyclic, same-class guards never nest, and
+//!    no guard is held across blocking I/O or a store cold-load.
+//! 6. **unsafe-boundary** — `unsafe` exists only inside the explicit
+//!    module allowlist ([`UNSAFE_ALLOWLIST`]) and always carries an
+//!    adjacent `// SAFETY:` comment there.
+//! 7. **fallibility** — `EngineContext` parts are reached through the
+//!    fallible `try_*`/`ensure_ready` surface unless the scope is
+//!    provably post-materialization.
 //!
 //! The per-file policy — which rules apply where — is encoded in
 //! [`classify`]; escape hatches are `#[allow(…)]` attributes (panic family)
@@ -43,7 +52,27 @@ pub struct FileClass {
     pub governor: bool,
     /// Metrics-naming family (all library code).
     pub metrics: bool,
+    /// Lock-order family (modules holding `Mutex`/`RwLock` guards).
+    pub lock_order: bool,
+    /// Lazy-fallibility family (`EngineContext` consumers).
+    pub fallibility: bool,
+    /// Unsafe-boundary family (all scanned code).
+    pub unsafe_boundary: bool,
+    /// Whether this module is on the explicit unsafe allowlist: `unsafe`
+    /// inside it needs an adjacent `// SAFETY:` comment instead of being
+    /// banned outright. Today: `crates/store/src/mmap.rs` only.
+    pub unsafe_allowlisted: bool,
 }
+
+/// The explicit module allowlist for `unsafe` code. Extending it is a
+/// reviewed lint-policy change, not a per-site escape.
+pub const UNSAFE_ALLOWLIST: &[&str] = &["crates/store/src/mmap.rs"];
+
+/// Modules whose lock acquisitions feed the lock-order graph (the serve
+/// crate is covered wholesale by [`classify`]; these are the two
+/// out-of-crate concurrent modules).
+const LOCK_ORDER_ENGINE: &[&str] = &["metrics.rs"];
+const LOCK_ORDER_FTSEARCH: &[&str] = &["cache.rs"];
 
 /// Engine modules on the fingerprinted path (schedule/score/trace bytes).
 const DETERMINISM_ENGINE: &[&str] = &[
@@ -76,13 +105,15 @@ const INDEXING_XMLDOM: &[&str] = &["wire.rs", "codec.rs", "parser.rs", "events.r
 pub fn classify(rel: &str) -> FileClass {
     let mut c = FileClass {
         metrics: true,
+        unsafe_boundary: true,
+        unsafe_allowlisted: UNSAFE_ALLOWLIST.contains(&rel),
         ..FileClass::default()
     };
     let Some((crate_dir, file)) = rel
         .strip_prefix("crates/")
         .and_then(|r| r.split_once("/src/"))
     else {
-        return c; // root src/: metrics naming only
+        return c; // root src/: metrics naming + unsafe boundary only
     };
     match crate_dir {
         "xmldom" => {
@@ -97,16 +128,26 @@ pub fn classify(rel: &str) -> FileClass {
             c.panic = true;
             c.determinism = DETERMINISM_ENGINE.contains(&file);
             c.governor = GOVERNOR_ENGINE.contains(&file);
+            c.lock_order = LOCK_ORDER_ENGINE.contains(&file);
+            c.fallibility = true;
         }
         "ftsearch" => {
             c.panic = true;
             c.determinism = file == "index.rs" || file == "eval.rs";
             c.governor = file == "eval.rs";
+            c.lock_order = LOCK_ORDER_FTSEARCH.contains(&file);
         }
         "serve" => {
             // The whole crate faces untrusted network input; malformed
-            // bytes must become typed errors, never unwinds.
+            // bytes must become typed errors, never unwinds. It is also
+            // where most of the workspace's locks live.
             c.panic = true;
+            c.lock_order = true;
+            c.fallibility = true;
+        }
+        "core" => {
+            // The session facade hands EngineContext parts to callers.
+            c.fallibility = true;
         }
         _ => {}
     }
@@ -131,8 +172,10 @@ pub fn lint_source(label: &str, src: &str, class: FileClass) -> Result<Vec<Viola
     let model = analyze_source(label, src)?;
     let models = [model];
     let covered = rules::governor::covered_fns(&models);
+    let guarded = rules::fallibility::guarded_fns(&models);
     let mut out = Vec::new();
-    run_rules(&models[0], class, &covered, &mut out);
+    run_rules(&models[0], class, &covered, &guarded, &mut out);
+    rules::lock_order::check_all(&models, &[class], &mut out);
     sort(&mut out);
     Ok(out)
 }
@@ -157,7 +200,10 @@ impl Report {
         s
     }
 
-    /// Machine-readable report for the CI artifact.
+    /// Machine-readable report for the CI artifact. The output is fully
+    /// deterministic: findings are sorted by file path then byte offset,
+    /// keys are emitted in a fixed order, and `rule` is the stable
+    /// family key a consumer can dispatch on.
     pub fn render_json(&self) -> String {
         let mut s = format!(
             "{{\"files_scanned\":{},\"violations\":[",
@@ -168,9 +214,10 @@ impl Report {
                 s.push(',');
             }
             s.push_str(&format!(
-                "{{\"file\":{},\"line\":{},\"rule\":{},\"message\":{}}}",
+                "{{\"file\":{},\"line\":{},\"offset\":{},\"rule\":{},\"message\":{}}}",
                 json_str(&v.file),
                 v.line,
+                v.offset,
                 json_str(v.rule),
                 json_str(&v.message)
             ));
@@ -204,11 +251,14 @@ pub fn lint_workspace(root: &Path) -> Result<Report, String> {
         let src = fs::read_to_string(path).map_err(|e| format!("{rel}: {e}"))?;
         models.push(analyze_source(rel, &src)?);
     }
+    let classes: Vec<FileClass> = models.iter().map(|m| classify(&m.path)).collect();
     let covered = rules::governor::covered_fns(&models);
+    let guarded = rules::fallibility::guarded_fns(&models);
     let mut violations = Vec::new();
-    for model in &models {
-        run_rules(model, classify(&model.path), &covered, &mut violations);
+    for (model, class) in models.iter().zip(&classes) {
+        run_rules(model, *class, &covered, &guarded, &mut violations);
     }
+    rules::lock_order::check_all(&models, &classes, &mut violations);
     sort(&mut violations);
     Ok(Report {
         files_scanned: models.len(),
@@ -220,6 +270,7 @@ fn run_rules(
     model: &FileModel,
     class: FileClass,
     covered: &BTreeSet<String>,
+    guarded: &BTreeSet<String>,
     out: &mut Vec<Violation>,
 ) {
     if class.panic {
@@ -234,11 +285,21 @@ fn run_rules(
     if class.metrics {
         rules::metrics_names::check(model, out);
     }
+    if class.unsafe_boundary {
+        rules::unsafe_boundary::check(model, class.unsafe_allowlisted, out);
+    }
+    if class.fallibility {
+        rules::fallibility::check(model, guarded, out);
+    }
 }
 
+/// Total deterministic order: file path, then byte offset (which orders
+/// several findings on one line), then rule id for the pathological case
+/// of two rules anchored on the same token.
 fn sort(violations: &mut [Violation]) {
-    violations
-        .sort_by(|a, b| (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule)));
+    violations.sort_by(|a, b| {
+        (a.file.as_str(), a.offset, a.rule).cmp(&(b.file.as_str(), b.offset, b.rule))
+    });
 }
 
 /// Recursively collects `.rs` files under `dir` as (workspace-relative
@@ -306,9 +367,20 @@ mod tests {
         assert!(classify("crates/ftsearch/src/index.rs").determinism);
         let root = classify("src/bin/flexpath_cli.rs");
         assert!(root.metrics && !root.panic);
+        assert!(root.unsafe_boundary && !root.unsafe_allowlisted);
         let serve = classify("crates/serve/src/http.rs");
         assert!(serve.panic && serve.metrics);
         assert!(!serve.indexing && !serve.determinism && !serve.governor);
+        assert!(serve.lock_order && serve.fallibility);
+        assert!(classify("crates/engine/src/metrics.rs").lock_order);
+        assert!(!classify("crates/engine/src/exec.rs").lock_order);
+        assert!(classify("crates/engine/src/exec.rs").fallibility);
+        assert!(classify("crates/ftsearch/src/cache.rs").lock_order);
+        assert!(!classify("crates/ftsearch/src/cache.rs").fallibility);
+        assert!(classify("crates/core/src/session.rs").fallibility);
+        let mmap = classify("crates/store/src/mmap.rs");
+        assert!(mmap.unsafe_boundary && mmap.unsafe_allowlisted);
+        assert!(!classify("crates/store/src/lib.rs").unsafe_allowlisted);
     }
 
     #[test]

@@ -54,7 +54,7 @@ pub fn check(m: &FileModel, out: &mut Vec<Violation>) {
                 m.report(
                     out,
                     RULE,
-                    t.line,
+                    t,
                     format!(
                         "{} in a fingerprinted module — iteration order is per-process \
                          random; use BTreeMap/BTreeSet or justify with lint:allow",
@@ -66,7 +66,7 @@ pub fn check(m: &FileModel, out: &mut Vec<Violation>) {
                 m.report(
                     out,
                     RULE,
-                    t.line,
+                    t,
                     "Instant::now in a fingerprinted module — wall-clock reads must not \
                      feed fingerprinted values"
                         .to_string(),
@@ -76,7 +76,7 @@ pub fn check(m: &FileModel, out: &mut Vec<Violation>) {
                 m.report(
                     out,
                     RULE,
-                    t.line,
+                    t,
                     "SystemTime in a fingerprinted module — wall-clock reads must not \
                      feed fingerprinted values"
                         .to_string(),
@@ -86,7 +86,7 @@ pub fn check(m: &FileModel, out: &mut Vec<Violation>) {
                 m.report(
                     out,
                     RULE,
-                    t.line,
+                    t,
                     "thread::current in a fingerprinted module — thread identity must \
                      not influence scored output"
                         .to_string(),

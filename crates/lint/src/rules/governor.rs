@@ -156,7 +156,7 @@ pub fn check(m: &FileModel, covered: &BTreeSet<String>, out: &mut Vec<Violation>
         m.report(
             out,
             RULE,
-            st.tok.line,
+            &st.tok,
             format!(
                 "`{kw}` loop (~{} tokens) has no reachable budget checkpoint — \
                  call budget.checkpoint()/charge_*() or a budgeted helper inside \

@@ -95,7 +95,7 @@ fn check_method_chain(m: &FileModel, j: usize, out: &mut Vec<Violation>) {
         m.report(
             out,
             RULE,
-            arg.tok.line,
+            &arg.tok,
             format!(
                 "metric name {name:?} outside the documented namespaces \
                  ({}) — see ARCHITECTURE.md observability section",
@@ -111,7 +111,7 @@ fn check_method_chain(m: &FileModel, j: usize, out: &mut Vec<Violation>) {
         m.report(
             out,
             RULE,
-            arg.tok.line,
+            &arg.tok,
             format!(
                 "metric name {name:?} outside the charset [a-z0-9._] — \
                  /metrics sanitizes other characters to '_', which makes \

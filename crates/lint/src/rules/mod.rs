@@ -12,9 +12,12 @@ use crate::scope::ScopedTok;
 use std::collections::BTreeMap;
 
 pub mod determinism;
+pub mod fallibility;
 pub mod governor;
+pub mod lock_order;
 pub mod metrics_names;
 pub mod panic_policy;
+pub mod unsafe_boundary;
 
 /// One finding, reported as `file:line: rule: message`.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -23,7 +26,13 @@ pub struct Violation {
     pub file: String,
     /// 1-based line.
     pub line: u32,
-    /// Rule family id (`panic`, `determinism`, `governor`, `metrics-name`).
+    /// 0-based byte offset of the finding's anchor token — the sort key
+    /// (after the file path) that makes `--json` output fully
+    /// deterministic even with several findings on one line.
+    pub offset: u32,
+    /// Rule family id (`panic`, `determinism`, `governor`, `metrics-name`,
+    /// `lock-order`, `unsafe-boundary`, `fallibility`) — the stable key a
+    /// consumer can dispatch on.
     pub rule: &'static str,
     /// Human-readable description of the finding.
     pub message: String,
@@ -86,19 +95,28 @@ impl FileModel {
     }
 
     /// Emits `violation` unless a justified escape suppresses it; an
-    /// unjustified escape is reported as its own violation.
-    pub fn report(&self, out: &mut Vec<Violation>, rule: &'static str, line: u32, message: String) {
-        match self.escape(rule, line) {
+    /// unjustified escape is reported as its own violation. `at` is the
+    /// anchor token (line for the escape lookup, byte offset for sorting).
+    pub fn report(
+        &self,
+        out: &mut Vec<Violation>,
+        rule: &'static str,
+        at: &crate::lexer::Tok,
+        message: String,
+    ) {
+        match self.escape(rule, at.line) {
             Escape::Justified => {}
             Escape::Absent => out.push(Violation {
                 file: self.path.clone(),
-                line,
+                line: at.line,
+                offset: at.offset,
                 rule,
                 message,
             }),
             Escape::Unjustified => out.push(Violation {
                 file: self.path.clone(),
-                line,
+                line: at.line,
+                offset: at.offset,
                 rule,
                 message: format!(
                     "lint:allow({rule}) escape requires a justification \

@@ -60,7 +60,7 @@ pub fn check(m: &FileModel, check_indexing: bool, out: &mut Vec<Violation>) {
                         m.report(
                             out,
                             RULE,
-                            t.line,
+                            t,
                             format!(
                                 ".{name}() in library code — return an error or handle the \
                                  case (#[allow(clippy::{name}_used)] to opt out)"
@@ -78,8 +78,7 @@ pub fn check(m: &FileModel, check_indexing: bool, out: &mut Vec<Violation>) {
                         if !st.allow.has(bit) {
                             m.report(
                                 out,
-                                RULE,
-                                t.line,
+                                RULE,                                t,
                                 format!("{name}! in library code — unreachable on arbitrary input must be proven, not asserted"),
                             );
                         }
@@ -91,7 +90,7 @@ pub fn check(m: &FileModel, check_indexing: bool, out: &mut Vec<Violation>) {
                     m.report(
                         out,
                         RULE,
-                        t.line,
+                        t,
                         "unsafe block/fn — the workspace is #![forbid(unsafe_code)]".to_string(),
                     );
                 }
@@ -108,8 +107,7 @@ pub fn check(m: &FileModel, check_indexing: bool, out: &mut Vec<Violation>) {
                 if indexes_a_value && !st.allow.has(Allow::INDEXING) {
                     m.report(
                         out,
-                        RULE,
-                        t.line,
+                        RULE,                        t,
                         "direct indexing/slicing in a byte-decoding module — use get()/split_at_checked and surface a decode error".to_string(),
                     );
                 }

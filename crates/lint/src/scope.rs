@@ -112,12 +112,16 @@ fn walk(
         };
         let t = &toks[*i];
         match t.kind {
+            // No `item.is_none()` guard: stacked attributes
+            // (`#[derive(Debug)] #[cfg(test)] mod t { … }`) must all
+            // accumulate onto the same item — gating on "between items"
+            // made every attribute after the first leak into the token
+            // stream as stray punctuation, silently dropping its effect.
             TokKind::Punct('#')
-                if item.is_none()
-                    && matches!(
-                        toks.get(*i + 1).map(|n| &n.kind),
-                        Some(TokKind::Open(Delim::Bracket)) | Some(TokKind::Punct('!'))
-                    ) =>
+                if matches!(
+                    toks.get(*i + 1).map(|n| &n.kind),
+                    Some(TokKind::Open(Delim::Bracket)) | Some(TokKind::Punct('!'))
+                ) =>
             {
                 let inner = toks[*i + 1].kind == TokKind::Punct('!');
                 let attr_start = if inner { *i + 2 } else { *i + 1 };
@@ -317,6 +321,29 @@ mod tests {
                 assert_eq!(toks[t.partner].partner, i);
             }
         }
+    }
+
+    #[test]
+    fn stacked_attributes_all_apply() {
+        // Regression: a second attribute on one item used to be skipped
+        // (and mis-lexed as stray tokens), so `#[derive] #[cfg(test)]`
+        // lost the test gate and `#[derive] #[allow]` lost the allow.
+        let toks = scoped("#[derive(Debug)]\n#[cfg(test)]\nstruct T { f: u8 }\nfn live() { x(); }");
+        assert!(find(&toks, "T").test);
+        assert!(!find(&toks, "live").test);
+        let toks = scoped(
+            "#[derive(Debug)]\n#[allow(clippy::unwrap_used)]\nfn a() { x.unwrap(); }\nfn b() { y.unwrap(); }",
+        );
+        let unwraps: Vec<&ScopedTok> = toks.iter().filter(|t| t.tok.is_ident("unwrap")).collect();
+        assert!(unwraps[0].allow.has(Allow::UNWRAP));
+        assert!(!unwraps[1].allow.has(Allow::UNWRAP));
+    }
+
+    #[test]
+    fn cfg_attr_allow_is_honored() {
+        let toks =
+            scoped("#[cfg_attr(not(test), allow(clippy::unwrap_used))]\nfn a() { x.unwrap(); }");
+        assert!(find(&toks, "unwrap").allow.has(Allow::UNWRAP));
     }
 
     #[test]

@@ -292,6 +292,9 @@ impl FlightRecorder {
             }
             if let Some(file) = &self.slow_log {
                 let line = format!("{}\n", rec.render_json());
+                // lint:allow(lock-order): the file mutex exists to keep
+                // slow-log lines whole — serializing this single buffered
+                // write_all is its purpose, and no other lock is held.
                 if lock(file).write_all(line.as_bytes()).is_err() {
                     reg.add("serve.debug.slowlog_errors", 1);
                 }

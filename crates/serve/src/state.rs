@@ -140,6 +140,10 @@ impl ServerState {
         // on first touch by a query. Corruption in an untouched section
         // therefore surfaces as a typed per-request `ServeError::Session`,
         // not an open failure here.
+        // lint:allow(lock-order): holding the per-slot `loading` mutex
+        // across the cold open is the point — it is dogpile protection so
+        // concurrent requests for one store decode it once; the sessions
+        // map lock is NOT held here, and other slots proceed unblocked.
         let store = match self.catalog.open_lazy(name) {
             Ok(store) => store,
             Err(e) => {

@@ -137,6 +137,9 @@ mod sys {
     // different from sharing a `&[u8]`.
     #[allow(unsafe_code)]
     unsafe impl Send for Mapping {}
+    // SAFETY: all access goes through `&self` to immutable bytes (the
+    // region is mapped PROT_READ and never remapped), so concurrent
+    // readers can never observe a write.
     #[allow(unsafe_code)]
     unsafe impl Sync for Mapping {}
 

@@ -62,7 +62,7 @@ fn main() {
     let resp = http_call(addr, "GET", "/catalogs", b"", TIMEOUT).expect("catalogs");
     assert!(resp.body_text().contains(r#""doc""#));
     let resp = http_call(addr, "GET", "/metrics", b"", TIMEOUT).expect("metrics");
-    assert!(resp.body_text().contains("serve.requests"));
+    assert!(resp.body_text().contains("serve_requests"));
     let resp = http_call(addr, "GET", "/healthz", b"", TIMEOUT).expect("healthz");
     assert_eq!(resp.status, 200);
     println!("endpoints OK: explain, catalogs, metrics, healthz");

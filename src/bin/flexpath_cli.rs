@@ -91,6 +91,12 @@ fn install_ctrl_c(token: &CancelToken) {
         }
     }
     if CANCEL.set(token.clone()).is_ok() {
+        // SAFETY: both handlers are async-signal-safe — `on_sigint` only
+        // performs an atomic store, and SIG_DFL restores the default
+        // disposition; the fn pointers outlive the process.
+        // lint:allow(unsafe-boundary): the CLI's dependency-free signal(2)
+        // registration is the one non-library unsafe site; the module
+        // allowlist deliberately stays store::mmap-only.
         unsafe {
             signal(SIGINT, on_sigint as *const () as usize);
             // Since we survive Ctrl-C, a piped consumer (`… | head`) may be

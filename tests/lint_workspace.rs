@@ -30,3 +30,57 @@ fn json_report_is_well_formed() {
     assert!(json.ends_with("]}"));
     assert!(json.contains("\"violations\":["));
 }
+
+/// Schema snapshot: the exact shape CI consumers parse. Keys appear in a
+/// fixed order (`file`, `line`, `offset`, `rule`, `message`), findings are
+/// pre-sorted by file path then byte offset then rule, and `rule` is the
+/// stable family key. Changing any of this is a breaking change to the
+/// `lint-report.json` artifact and must be deliberate.
+#[test]
+fn json_schema_snapshot() {
+    let report = flexpath_lint::Report {
+        files_scanned: 2,
+        violations: vec![
+            flexpath_lint::Violation {
+                file: "crates/a/src/lib.rs".to_string(),
+                line: 3,
+                offset: 41,
+                rule: "lock-order",
+                message: "guard \"g\" held".to_string(),
+            },
+            flexpath_lint::Violation {
+                file: "crates/a/src/lib.rs".to_string(),
+                line: 3,
+                offset: 57,
+                rule: "unsafe-boundary",
+                message: "unsafe outside allowlist".to_string(),
+            },
+        ],
+    };
+    assert_eq!(
+        report.render_json(),
+        "{\"files_scanned\":2,\"violations\":[\
+         {\"file\":\"crates/a/src/lib.rs\",\"line\":3,\"offset\":41,\
+         \"rule\":\"lock-order\",\"message\":\"guard \\\"g\\\" held\"},\
+         {\"file\":\"crates/a/src/lib.rs\",\"line\":3,\"offset\":57,\
+         \"rule\":\"unsafe-boundary\",\"message\":\"unsafe outside allowlist\"}]}"
+    );
+}
+
+/// Two scans of the same tree must serialize byte-identically, and the
+/// finding order must be the documented (file, offset, rule) sort.
+#[test]
+fn json_report_is_deterministic() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let a = flexpath_lint::lint_workspace(root).expect("workspace parses");
+    let b = flexpath_lint::lint_workspace(root).expect("workspace parses");
+    assert_eq!(a.render_json(), b.render_json());
+    let keys: Vec<_> = a
+        .violations
+        .iter()
+        .map(|v| (v.file.clone(), v.offset, v.rule))
+        .collect();
+    let mut sorted = keys.clone();
+    sorted.sort();
+    assert_eq!(keys, sorted);
+}
